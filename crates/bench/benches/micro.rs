@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of PlanetP's basic operations (Table 1):
+//! Bloom filter insert/search/compress/decompress and inverted-index
+//! insert/search, at the key counts the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use planetp_bloom::{BloomFilter, CompressedBloom};
+use planetp_index::{stem, tokenize, InvertedIndex};
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("term-{i}")).collect()
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let ks = keys(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("insert", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut f = BloomFilter::with_paper_defaults();
+                for k in ks {
+                    f.insert(k);
+                }
+                black_box(f.count_ones())
+            });
+        });
+        let mut filter = BloomFilter::with_paper_defaults();
+        for k in &ks {
+            filter.insert(k);
+        }
+        g.bench_with_input(BenchmarkId::new("search", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in ks {
+                    hits += usize::from(filter.contains(k));
+                }
+                black_box(hits)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("compress", n), &filter, |b, f| {
+            b.iter(|| black_box(CompressedBloom::compress(f)));
+        });
+        let compressed = CompressedBloom::compress(&filter);
+        g.bench_with_input(BenchmarkId::new("decompress", n), &compressed, |b, cb| {
+            b.iter(|| black_box(cb.decompress()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inverted_index");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let ks = keys(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("insert", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut idx = InvertedIndex::new();
+                for (d, chunk) in ks.chunks(100).enumerate() {
+                    idx.add_document(d as u64, chunk);
+                }
+                black_box(idx.num_terms())
+            });
+        });
+        let mut idx = InvertedIndex::new();
+        for (d, chunk) in ks.chunks(100).enumerate() {
+            idx.add_document(d as u64, chunk);
+        }
+        g.bench_with_input(BenchmarkId::new("search", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for k in ks {
+                    total += idx.postings(k).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_text(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text_analysis");
+    let text = "The epidemic gossiping protocols reliably replicate the \
+                communal directory across thousands of cooperating peers "
+        .repeat(100);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| black_box(tokenize(&text)).len());
+    });
+    let words: Vec<String> = tokenize(&text);
+    g.bench_function("porter_stem", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &words {
+                total += stem(w).len();
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bloom, bench_index, bench_text);
+criterion_main!(benches);

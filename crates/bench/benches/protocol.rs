@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the gossip protocol machinery: engine ticks,
+//! message handling, directory digests, and the simulator's event rate
+//! — the per-operation costs behind the Fig 2-5 scalability results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planetp_gossip::{
+    DirEntry, Directory, GossipConfig, GossipEngine, PeerStatus, SizedPayload,
+    SpeedClass,
+};
+use planetp_simnet::{LinkClass, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn directory_of(n: u32) -> Directory<SizedPayload> {
+    let mut d = Directory::new();
+    for id in 0..n {
+        d.insert(
+            id,
+            DirEntry {
+                status_version: 1,
+                bloom_version: 1,
+                payload: Some(SizedPayload { bytes: 16_000 }),
+                status: PeerStatus::Online,
+                speed: SpeedClass::Fast,
+            },
+        );
+    }
+    d
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_engine");
+    for n in [100u32, 1000, 5000] {
+        let dir = directory_of(n);
+        g.bench_with_input(BenchmarkId::new("tick", n), &dir, |b, dir| {
+            let mut engine = GossipEngine::with_directory(
+                0,
+                SpeedClass::Fast,
+                GossipConfig::default(),
+                42,
+                dir.clone(),
+            );
+            engine.local_update(SizedPayload { bytes: 3000 });
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 30_000;
+                black_box(engine.tick(now))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("digest", n), &dir, |b, dir| {
+            // Clone defeats the digest cache so the full fold is timed.
+            b.iter(|| black_box(dir.clone().digest()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("propagation_200_lan", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::default());
+            sim.add_stable_community(&[LinkClass::Lan45M; 200], 16_000);
+            let rumor = sim.local_update(0, 3000);
+            sim.track(rumor);
+            sim.run_until(600_000);
+            black_box(sim.metrics.total_messages)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the retrieval path: IPF computation over
+//! many Bloom filters (the paper quotes "50 ms to search for a query
+//! with five terms across 1000 Bloom filters"), peer ranking, and full
+//! distributed queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planetp_bench::retrieval::build_setup;
+use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_corpus::{ap89_like_scaled, Collection, Partition};
+use planetp_search::{
+    rank_peers, DistributedSearch, IpfTable, SelectionConfig,
+};
+use std::hint::black_box;
+
+fn filters(n: usize) -> Vec<BloomFilter> {
+    (0..n)
+        .map(|p| {
+            let mut f = BloomFilter::with_paper_defaults();
+            for i in 0..1000 {
+                f.insert(&format!("peer{p}-term{i}"));
+            }
+            for i in 0..200 {
+                f.insert(&format!("shared-term{i}"));
+            }
+            f
+        })
+        .collect()
+}
+
+fn bench_ipf_and_ranking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ranking");
+    g.sample_size(20);
+    let query: Vec<String> = (0..5).map(|i| format!("shared-term{i}")).collect();
+    for n in [100usize, 1000] {
+        let fs = filters(n);
+        // The paper's micro-benchmark: query of five terms against
+        // n Bloom filters.
+        g.bench_with_input(BenchmarkId::new("ipf_5_terms", n), &fs, |b, fs| {
+            b.iter(|| black_box(IpfTable::compute(&query, fs)));
+        });
+        let ipf = IpfTable::compute(&query, &fs);
+        g.bench_with_input(BenchmarkId::new("rank_peers", n), &fs, |b, fs| {
+            b.iter(|| black_box(rank_peers(&query, fs, &ipf)).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributed_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_query");
+    g.sample_size(10);
+    let collection = Collection::generate(ap89_like_scaled(40));
+    let setup = build_setup(
+        collection,
+        200,
+        Partition::paper(),
+        BloomParams::paper(),
+        7,
+    );
+    let search = DistributedSearch::new(&setup.peers);
+    let queries: Vec<&Vec<String>> = setup
+        .collection
+        .queries
+        .iter()
+        .take(10)
+        .map(|q| &q.terms)
+        .collect();
+    g.bench_function("tfxipf_adaptive_k20", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += search.search(q, SelectionConfig::paper(20)).results.len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("tfidf_oracle_k20", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += setup.central.top_k(q, 20).len();
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ipf_and_ranking, bench_distributed_query);
+criterion_main!(benches);

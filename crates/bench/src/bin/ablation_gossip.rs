@@ -1,0 +1,108 @@
+//! Gossip-parameter ablations, one propagation experiment per setting:
+//!
+//! - rumor death counter n ∈ {1, 2, 4};
+//! - anti-entropy frequency (every {2, 5, 10, 20} rounds) with and
+//!   without partial anti-entropy — the trade the paper describes in
+//!   §3 ("we would be expending much more bandwidth");
+//! - adaptive interval on/off (quiescent traffic after convergence).
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_gossip::{Algorithm, GossipConfig};
+use planetp_simnet::{LinkClass, SimConfig, Simulator, Table2};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Run {
+    label: String,
+    time_s: Option<f64>,
+    total_mb: f64,
+    quiescent_bps: f64,
+}
+
+fn run(label: &str, gossip: GossipConfig, n: usize) -> Run {
+    let cfg = SimConfig { gossip, seed: 0xAB2, ..SimConfig::default() };
+    let mut sim = Simulator::new(cfg);
+    sim.add_stable_community(
+        &vec![LinkClass::Dsl512k; n],
+        Table2::paper().bf_20000_keys_bytes as u32,
+    );
+    sim.run_until(5_000);
+    let rumor = sim.local_update(0, Table2::paper().bf_1000_keys_bytes as u32);
+    let t = sim.track(rumor);
+    let mut bytes_at_conv = None;
+    let deadline = sim.now() + 3 * 3600 * 1000;
+    while sim.now() < deadline {
+        sim.run_for(1000);
+        if sim.metrics.tracked[t].converged_at.is_some() {
+            bytes_at_conv = Some(sim.metrics.total_bytes);
+            break;
+        }
+    }
+    let time_s = sim.metrics.tracked[t].latency_ms().map(|ms| ms as f64 / 1000.0);
+    let total = bytes_at_conv.unwrap_or(sim.metrics.total_bytes);
+    // Quiescent bandwidth: run another 30 sim-minutes after convergence.
+    let before = sim.metrics.total_bytes;
+    let q_start = sim.now();
+    sim.run_for(30 * 60 * 1000);
+    let q_bps = (sim.metrics.total_bytes - before) as f64
+        / ((sim.now() - q_start) as f64 / 1000.0);
+    Run {
+        label: label.to_string(),
+        time_s,
+        total_mb: total as f64 / 1e6,
+        quiescent_bps: q_bps,
+    }
+}
+
+fn main() {
+    let n = match scale_from_args() {
+        Scale::Quick => 100,
+        _ => 500,
+    };
+    let base = GossipConfig::default();
+    let mut runs = Vec::new();
+
+    for death_n in [1u32, 2, 4] {
+        runs.push(run(
+            &format!("rumor death n={death_n}"),
+            GossipConfig { rumor_death_n: death_n, ..base },
+            n,
+        ));
+    }
+    for ae_every in [2u32, 5, 10, 20] {
+        runs.push(run(
+            &format!("full AE every {ae_every} rounds"),
+            GossipConfig { anti_entropy_every: ae_every, ..base },
+            n,
+        ));
+    }
+    runs.push(run(
+        "no partial anti-entropy",
+        GossipConfig { algorithm: Algorithm::PlanetPNoPartialAE, ..base },
+        n,
+    ));
+    runs.push(run(
+        "no adaptive interval (slowdown=0)",
+        GossipConfig { slowdown_ms: 0, ..base },
+        n,
+    ));
+    runs.push(run("paper defaults", base, n));
+
+    println!("Gossip ablations: one 1000-key update through {n} DSL peers");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.time_s.map_or("TIMEOUT".into(), |t| format!("{t:.0}")),
+                format!("{:.2}", r.total_mb),
+                format!("{:.1}", r.quiescent_bps),
+            ]
+        })
+        .collect();
+    print_table(
+        &["configuration", "time (s)", "volume (MB)", "quiescent B/s (aggregate)"],
+        &rows,
+    );
+    write_json("ablation_gossip", &runs);
+}

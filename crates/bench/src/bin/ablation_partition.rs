@@ -1,0 +1,83 @@
+//! Ablation: Weibull vs uniform document distribution.
+//!
+//! The paper's companion TR (DCS-TR-483, referenced in §7.3) "also
+//! stud[ies] a uniform distribution and show[s] that PlanetP does
+//! equally well although it has to contact more peers as documents are
+//! more spread out in the community." This harness measures exactly
+//! that comparison.
+
+use planetp_bench::retrieval::{build_setup, eval_tfidf, eval_tfxipf};
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::BloomParams;
+use planetp_corpus::{ap89_like_scaled, Collection, Partition};
+use planetp_search::StoppingRule;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Run {
+    partition: String,
+    k: usize,
+    recall: f64,
+    precision: f64,
+    avg_contacted: f64,
+    best: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (spec, num_peers, ks) = match scale {
+        Scale::Quick => (ap89_like_scaled(40), 100, vec![20]),
+        _ => (ap89_like_scaled(8), 400, vec![20, 100]),
+    };
+    eprintln!("generating {}...", spec.name);
+    let collection = Collection::generate(spec);
+
+    let mut runs = Vec::new();
+    for (name, partition) in
+        [("Weibull", Partition::paper()), ("Uniform", Partition::Uniform)]
+    {
+        let setup = build_setup(
+            collection.clone(),
+            num_peers,
+            partition,
+            BloomParams::paper(),
+            0xAB4,
+        );
+        for &k in &ks {
+            let idf = eval_tfidf(&setup, k);
+            let ipf = eval_tfxipf(&setup, k, StoppingRule::Adaptive, 1);
+            runs.push(Run {
+                partition: name.to_string(),
+                k,
+                recall: ipf.recall,
+                precision: ipf.precision,
+                avg_contacted: ipf.avg_contacted,
+                best: idf.avg_contacted,
+            });
+        }
+    }
+    println!("Ablation: document distribution across {num_peers} peers (TFxIPF adaptive)");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.partition.clone(),
+                r.k.to_string(),
+                format!("{:.3}", r.recall),
+                format!("{:.3}", r.precision),
+                format!("{:.1}", r.avg_contacted),
+                format!("{:.1}", r.best),
+            ]
+        })
+        .collect();
+    print_table(
+        &["partition", "k", "recall", "precision", "contacted", "best"],
+        &rows,
+    );
+    println!(
+        "\nExpected (companion TR): quality roughly equal, but the uniform \
+         distribution spreads matching documents over more peers, so more \
+         are contacted."
+    );
+    write_json("ablation_partition", &runs);
+}

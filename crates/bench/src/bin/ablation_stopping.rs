@@ -1,0 +1,56 @@
+//! Ablation: the adaptive stopping heuristic (eq. 4) against the
+//! alternatives §5.2 discusses — the naive first-k rule ("terrible
+//! retrieval performance"), fixed patience values, and the exhaustive
+//! contact-everyone upper bound.
+
+use planetp_bench::retrieval::{build_setup, eval_tfxipf};
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::BloomParams;
+use planetp_corpus::{ap89_like_scaled, Collection, Partition};
+use planetp_search::StoppingRule;
+
+fn main() {
+    let scale = scale_from_args();
+    let (spec, num_peers, ks) = match scale {
+        Scale::Quick => (ap89_like_scaled(40), 100, vec![20]),
+        _ => (ap89_like_scaled(8), 400, vec![20, 100]),
+    };
+    eprintln!("generating {}...", spec.name);
+    let collection = Collection::generate(spec);
+    let setup = build_setup(
+        collection,
+        num_peers,
+        Partition::paper(),
+        BloomParams::paper(),
+        0xAB1,
+    );
+    let rules: Vec<(&str, StoppingRule)> = vec![
+        ("first-k (naive)", StoppingRule::FirstK),
+        ("fixed p=1", StoppingRule::FixedPatience(1)),
+        ("adaptive (eq. 4)", StoppingRule::Adaptive),
+        ("fixed p=10", StoppingRule::FixedPatience(10)),
+        ("all ranked peers", StoppingRule::AllRanked),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &k in &ks {
+        for (name, rule) in &rules {
+            let p = eval_tfxipf(&setup, k, *rule, 1);
+            rows.push(vec![
+                k.to_string(),
+                name.to_string(),
+                format!("{:.3}", p.recall),
+                format!("{:.3}", p.precision),
+                format!("{:.1}", p.avg_contacted),
+            ]);
+            json.push((k, name.to_string(), p));
+        }
+    }
+    println!("Ablation: stopping rules for the selection problem ({num_peers} peers)");
+    print_table(&["k", "rule", "recall", "precision", "peers contacted"], &rows);
+    println!(
+        "\nExpected: first-k recalls worst; adaptive within a whisker of \
+         all-ranked at a fraction of the contacts."
+    );
+    write_json("ablation_stopping", &json);
+}

@@ -1,0 +1,77 @@
+//! Figure 2: time (a), aggregate network volume (b), and average
+//! per-peer bandwidth (c) to propagate a single 1000-key Bloom filter
+//! diff through stable communities of increasing size, under six
+//! scenarios: LAN, LAN-AE (anti-entropy-only baseline), DSL-10/30/60
+//! (gossip interval sweep), and MIX (Saroiu link mixture).
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_simnet::experiments::{propagation, PropagationResult, Scenario};
+
+fn main() {
+    let scale = scale_from_args();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![100, 200],
+        Scale::Default => vec![200, 500, 1000, 1500, 2000],
+        Scale::Full => vec![200, 500, 1000, 1500, 2000, 3000],
+    };
+    let deadline_s = 4 * 3600;
+    let mut results: Vec<PropagationResult> = Vec::new();
+    for scenario in Scenario::fig2_all() {
+        for &n in &sizes {
+            let r = propagation(scenario, n, 0x00F2, deadline_s);
+            eprintln!(
+                "{:8} n={:5} time={:>8} bytes={:>12}",
+                r.scenario,
+                r.n,
+                r.time_s.map_or("TIMEOUT".into(), |t| format!("{t:.0}s")),
+                r.total_bytes,
+            );
+            results.push(r);
+        }
+    }
+    // The paper continues DSL-30 to 5000 peers.
+    if scale == Scale::Full {
+        let dsl30 = Scenario::fig2_all()[3];
+        for n in [4000usize, 5000] {
+            let r = propagation(dsl30, n, 0x00F2, deadline_s);
+            eprintln!("{:8} n={:5} time={:?}", r.scenario, r.n, r.time_s);
+            results.push(r);
+        }
+    }
+
+    println!("\nFigure 2(a): propagation time (seconds) vs community size");
+    by_scenario(&results, |r| {
+        r.time_s.map_or("-".into(), |t| format!("{t:.0}"))
+    });
+    println!("\nFigure 2(b): aggregate network volume (MB) vs community size");
+    by_scenario(&results, |r| format!("{:.2}", r.total_bytes as f64 / 1e6));
+    println!("\nFigure 2(c): average per-peer bandwidth (B/s) vs community size");
+    by_scenario(&results, |r| format!("{:.1}", r.per_peer_bw_bps));
+    write_json("fig2_propagation", &results);
+}
+
+fn by_scenario(results: &[planetp_simnet::experiments::PropagationResult], f: impl Fn(&PropagationResult) -> String) {
+    let mut sizes: Vec<usize> = results.iter().map(|r| r.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut scenarios: Vec<&str> = results.iter().map(|r| r.scenario).collect();
+    scenarios.dedup();
+    let mut headers: Vec<String> = vec!["scenario".into()];
+    headers.extend(sizes.iter().map(|n| format!("n={n}")));
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.to_string()];
+            for &n in &sizes {
+                let cell = results
+                    .iter()
+                    .find(|r| r.scenario == *s && r.n == n)
+                    .map_or("-".into(), &f);
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print_table(&headers, &rows);
+}

@@ -1,0 +1,61 @@
+//! Figure 3: time for `x - n` peers to simultaneously join a stable
+//! community of `n` online peers, each joiner sharing a 20,000-key
+//! Bloom filter; LAN, DSL, and MIX connectivity.
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_gossip::Algorithm;
+use planetp_simnet::experiments::{join_storm, JoinResult, Scenario};
+use planetp_simnet::LinkScenario;
+
+fn main() {
+    let scale = scale_from_args();
+    let (n_stable, joiner_counts): (usize, Vec<usize>) = match scale {
+        Scale::Quick => (100, vec![10, 25]),
+        Scale::Default => (500, vec![25, 50, 75, 100, 125]),
+        Scale::Full => (1000, vec![50, 100, 150, 200, 250]),
+    };
+    let scenarios = [
+        Scenario { name: "LAN", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+        Scenario { name: "DSL", links: LinkScenario::DSL, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+        Scenario { name: "MIX", links: LinkScenario::Mix, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: true },
+    ];
+    let mut results: Vec<JoinResult> = Vec::new();
+    for scenario in scenarios {
+        for &m in &joiner_counts {
+            let deadline_s = 6 * 3600;
+            let r = join_storm(scenario, n_stable, m, 0x00F3, deadline_s);
+            eprintln!(
+                "{:4} m={:4} time={:>9} volume={:.1}MB",
+                r.scenario,
+                r.m_joiners,
+                r.time_s.map_or("TIMEOUT".into(), |t| format!("{t:.0}s")),
+                r.total_bytes as f64 / 1e6
+            );
+            results.push(r);
+        }
+    }
+
+    println!(
+        "\nFigure 3: seconds for m peers (20k keys each) to join {n_stable} stable peers"
+    );
+    let mut headers: Vec<String> = vec!["scenario".into()];
+    headers.extend(joiner_counts.iter().map(|m| format!("m={m}")));
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.name.to_string()];
+            for &m in &joiner_counts {
+                let cell = results
+                    .iter()
+                    .find(|r| r.scenario == s.name && r.m_joiners == m)
+                    .and_then(|r| r.time_s)
+                    .map_or("-".into(), |t| format!("{t:.0}"));
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print_table(&headers, &rows);
+    write_json("fig3_join", &results);
+}

@@ -1,0 +1,130 @@
+//! Figure 6: search efficiency on the AP89-like collection.
+//!
+//! (a) average recall and precision vs k, TFxIDF (centralized oracle)
+//!     vs TFxIPF with the adaptive stopping heuristic on a Weibull
+//!     distribution of documents over 400 peers;
+//! (b) TFxIPF recall vs community size at k = 20;
+//! (c) peers contacted vs k — TFxIPF adaptive vs "Best" (the minimum
+//!     number of peers that hold the oracle's top-k).
+
+use planetp_bench::retrieval::{build_setup, eval_tfidf, eval_tfxipf, QualityPoint};
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::BloomParams;
+use planetp_corpus::{ap89_like, ap89_like_scaled, Collection, Partition};
+use planetp_search::StoppingRule;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Json {
+    fig6a_idf: Vec<QualityPoint>,
+    fig6a_ipf: Vec<QualityPoint>,
+    fig6b_recall_vs_n: Vec<(usize, f64)>,
+    fig6c: Vec<(usize, f64, f64)>,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (spec, num_peers, ks, sizes_6b): (_, usize, Vec<usize>, Vec<usize>) = match scale {
+        Scale::Quick => (
+            ap89_like_scaled(40),
+            100,
+            vec![10, 20, 50],
+            vec![50, 100, 200],
+        ),
+        Scale::Default => (
+            ap89_like_scaled(8),
+            400,
+            vec![10, 20, 50, 100, 150, 200, 300, 400],
+            vec![100, 200, 400, 600, 800, 1000],
+        ),
+        Scale::Full => (
+            ap89_like(),
+            400,
+            vec![10, 20, 50, 100, 150, 200, 300, 400],
+            vec![100, 200, 400, 600, 800, 1000],
+        ),
+    };
+    eprintln!("generating {} ({} docs)...", spec.name, spec.num_docs);
+    let collection = Collection::generate(spec);
+    let params = BloomParams::paper();
+
+    eprintln!("distributing over {num_peers} peers (Weibull)...");
+    let setup = build_setup(collection.clone(), num_peers, Partition::paper(), params, 0x00F6);
+
+    let mut idf_points = Vec::new();
+    let mut ipf_points = Vec::new();
+    for &k in &ks {
+        let idf = eval_tfidf(&setup, k);
+        let ipf = eval_tfxipf(&setup, k, StoppingRule::Adaptive, 1);
+        eprintln!(
+            "k={k:4}  IDF R={:.3} P={:.3} | IPF R={:.3} P={:.3} contacted={:.1}",
+            idf.recall, idf.precision, ipf.recall, ipf.precision, ipf.avg_contacted
+        );
+        idf_points.push(idf);
+        ipf_points.push(ipf);
+    }
+
+    println!("\nFigure 6(a): average recall/precision vs k ({} over {num_peers} peers)", collection.spec.name);
+    let rows: Vec<Vec<String>> = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            vec![
+                k.to_string(),
+                format!("{:.3}", idf_points[i].recall),
+                format!("{:.3}", idf_points[i].precision),
+                format!("{:.3}", ipf_points[i].recall),
+                format!("{:.3}", ipf_points[i].precision),
+            ]
+        })
+        .collect();
+    print_table(&["k", "IDF R", "IDF P", "IPF Ad.W R", "IPF Ad.W P"], &rows);
+
+    // Fig 6(b): recall vs community size at fixed k=20.
+    println!("\nFigure 6(b): TFxIPF recall vs community size (k = 20)");
+    let mut fig6b = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &sizes_6b {
+        let s = build_setup(collection.clone(), n, Partition::paper(), params, 0x00F6);
+        let idf = eval_tfidf(&s, 20);
+        let ipf = eval_tfxipf(&s, 20, StoppingRule::Adaptive, 1);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", idf.recall),
+            format!("{:.3}", ipf.recall),
+        ]);
+        fig6b.push((n, ipf.recall));
+    }
+    print_table(&["peers", "IDF R", "IPF Ad.W R"], &rows);
+
+    // Fig 6(c): peers contacted vs k.
+    println!("\nFigure 6(c): peers contacted vs k ({num_peers} peers)");
+    let mut fig6c = Vec::new();
+    let rows: Vec<Vec<String>> = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            fig6c.push((k, ipf_points[i].avg_contacted, idf_points[i].avg_contacted));
+            vec![
+                k.to_string(),
+                format!("{:.1}", ipf_points[i].avg_contacted),
+                format!("{:.1}", idf_points[i].avg_contacted),
+            ]
+        })
+        .collect();
+    print_table(&["k", "IPF Ad.W contacted", "Best"], &rows);
+    println!(
+        "\nExpected shape: IPF tracks IDF closely (slightly behind at small k, \
+         catching up at large k); contacts grow with k and exceed Best."
+    );
+
+    write_json(
+        "fig6_search",
+        &Fig6Json {
+            fig6a_idf: idf_points,
+            fig6a_ipf: ipf_points,
+            fig6b_recall_vs_n: fig6b,
+            fig6c,
+        },
+    );
+}

@@ -1,0 +1,61 @@
+//! Table 2: the constants used by the gossiping simulator, printed from
+//! the code that actually parameterizes it, plus the measured
+//! compressed-filter sizes from the real Bloom implementation for
+//! comparison.
+
+use planetp_bench::print_table;
+use planetp_bloom::{BloomFilter, CompressedBloom};
+use planetp_simnet::Table2;
+
+fn measured_bf(keys: usize) -> usize {
+    let mut f = BloomFilter::with_paper_defaults();
+    for i in 0..keys {
+        f.insert(&format!("term-{i}"));
+    }
+    CompressedBloom::compress(&f).wire_bytes()
+}
+
+fn main() {
+    let t = Table2::paper();
+    println!("Table 2: constants used in the simulation of PlanetP's gossiping algorithm");
+    print_table(
+        &["Parameter", "Value"],
+        &[
+            vec!["CPU gossiping time".into(), format!("{} ms", t.cpu_gossip_ms)],
+            vec![
+                "Base gossiping interval".into(),
+                format!("{} s", t.base_gossip_interval_ms / 1000),
+            ],
+            vec![
+                "Max gossiping interval".into(),
+                format!("{} s", t.max_gossip_interval_ms / 1000),
+            ],
+            vec!["Network BW".into(), "56 Kb/s to 45 Mb/s".into()],
+            vec![
+                "Message header size".into(),
+                format!("{} bytes", t.message_header_bytes),
+            ],
+            vec![
+                "1000 keys BF".into(),
+                format!(
+                    "{} bytes (measured: {})",
+                    t.bf_1000_keys_bytes,
+                    measured_bf(1000)
+                ),
+            ],
+            vec![
+                "20000 keys BF".into(),
+                format!(
+                    "{} bytes (measured: {})",
+                    t.bf_20000_keys_bytes,
+                    measured_bf(20_000)
+                ),
+            ],
+            vec!["BF summary".into(), format!("{} bytes", t.bf_summary_bytes)],
+            vec![
+                "Peer summary".into(),
+                format!("{} bytes", t.peer_summary_bytes),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,63 @@
+//! Table 3: characteristics of the collections used to evaluate
+//! PlanetP's search and retrieval. Our collections are synthetic
+//! equivalents matched on query and document counts (see DESIGN.md for
+//! the substitution argument); this binary generates them and reports
+//! their actual statistics next to the paper's numbers.
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_corpus::{ap89_like_scaled, table3_specs, Collection};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    trace: String,
+    queries: usize,
+    documents: usize,
+    vocabulary: usize,
+    size_mb: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let paper = [
+        ("CACM", 52, 3204, 75_493, 2.1),
+        ("MED", 30, 1033, 83_451, 1.0),
+        ("CRAN", 152, 1400, 117_718, 1.6),
+        ("CISI", 76, 1460, 84_957, 2.4),
+        ("AP89", 97, 84_678, 129_603, 266.0),
+    ];
+    let mut specs = table3_specs();
+    if scale != Scale::Full {
+        // Full AP89 takes a while to generate; scale it down by default.
+        let last = specs.len() - 1;
+        specs[last] = ap89_like_scaled(8);
+    }
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (spec, p) in specs.into_iter().zip(paper) {
+        eprintln!("generating {} ({} docs)...", spec.name, spec.num_docs);
+        let c = Collection::generate(spec);
+        let r = Row {
+            trace: c.spec.name.clone(),
+            queries: c.queries.len(),
+            documents: c.docs.len(),
+            vocabulary: c.vocabulary_size(),
+            size_mb: c.size_mb(),
+        };
+        rows.push(vec![
+            r.trace.clone(),
+            format!("{} (paper {})", r.queries, p.1),
+            format!("{} (paper {})", r.documents, p.2),
+            format!("{} (paper {})", r.vocabulary, p.3),
+            format!("{:.1} (paper {:.1})", r.size_mb, p.4),
+        ]);
+        json.push(r);
+    }
+    println!("Table 3: characteristics of the synthetic evaluation collections");
+    print_table(
+        &["Trace", "Queries", "Documents", "Number of words", "Size (MB)"],
+        &rows,
+    );
+    write_json("table3_collections", &json);
+}

@@ -1,0 +1,103 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Every binary prints a human-readable table to stdout and, when
+//! `PLANETP_JSON_DIR` is set, writes the same series as JSON for
+//! plotting. `--quick` runs a scaled-down sweep (the integration tests
+//! and smoke runs use it); `--full` runs at the paper's scale.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Sweep scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale sweep with smaller communities.
+    Quick,
+    /// The paper's experiment sizes.
+    Full,
+    /// The default: paper-faithful shapes at tractable sizes.
+    Default,
+}
+
+/// Parse `--quick` / `--full` from the process arguments.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Default
+    }
+}
+
+/// Write a named JSON artifact if `PLANETP_JSON_DIR` is set.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("PLANETP_JSON_DIR") else {
+        return;
+    };
+    let mut path = PathBuf::from(dir);
+    if std::fs::create_dir_all(&path).is_err() {
+        return;
+    }
+    path.push(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Render a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Summarize a latency sample as the quantiles the paper's CDF figures
+/// are read at.
+pub fn cdf_row(label: &str, samples: &[f64], unconverged: usize) -> Vec<String> {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let q = |p: f64| -> String {
+        if s.is_empty() {
+            return "-".into();
+        }
+        let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+        format!("{:.0}", s[idx])
+    };
+    vec![
+        label.to_string(),
+        s.len().to_string(),
+        q(0.10),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        q(1.0),
+        unconverged.to_string(),
+    ]
+}
+
+/// Headers matching [`cdf_row`].
+pub fn cdf_headers() -> Vec<&'static str> {
+    vec!["series", "events", "p10(s)", "p50(s)", "p90(s)", "p99(s)", "max(s)", "unconverged"]
+}
+
+pub mod retrieval;

@@ -1,0 +1,130 @@
+//! Shared retrieval-experiment machinery for the Fig 6 and ablation
+//! harnesses: build a peer community from a synthetic collection,
+//! evaluate TFxIDF and TFxIPF, and report recall/precision/contacts.
+
+use planetp_bloom::BloomParams;
+use planetp_corpus::{partition_docs, Collection, Partition};
+use planetp_index::InvertedIndex;
+use planetp_search::{
+    average_recall_precision, recall_precision, CentralizedIndex,
+    DistributedSearch, DocRef, IndexedPeer, RecallPrecision, SelectionConfig,
+    StoppingRule,
+};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// A collection distributed over a community of peers.
+pub struct RetrievalSetup {
+    /// Per-peer stores.
+    pub peers: Vec<IndexedPeer>,
+    /// Global doc id -> (peer, local id).
+    pub refs: Vec<DocRef>,
+    /// The global index (the TFxIDF oracle).
+    pub central: CentralizedIndex,
+    /// The source collection (queries + judgments).
+    pub collection: Collection,
+}
+
+/// Distribute `collection` over `num_peers` peers.
+pub fn build_setup(
+    collection: Collection,
+    num_peers: usize,
+    partition: Partition,
+    bloom_params: BloomParams,
+    seed: u64,
+) -> RetrievalSetup {
+    let assignment =
+        partition_docs(collection.docs.len(), num_peers, partition, seed);
+    let mut indexes: Vec<InvertedIndex> =
+        (0..num_peers).map(|_| InvertedIndex::new()).collect();
+    let mut refs = Vec::with_capacity(collection.docs.len());
+    let mut next_local = vec![0u64; num_peers];
+    for (doc_id, doc) in collection.docs.iter().enumerate() {
+        let peer = assignment[doc_id];
+        let local = next_local[peer];
+        next_local[peer] += 1;
+        indexes[peer].add_document(local, &doc.terms);
+        refs.push(DocRef { peer, doc: local });
+    }
+    let mut central = CentralizedIndex::default();
+    for (pno, idx) in indexes.iter().enumerate() {
+        central.add_peer(pno, idx);
+    }
+    let peers = indexes
+        .into_iter()
+        .map(|idx| IndexedPeer::new(idx, bloom_params))
+        .collect();
+    RetrievalSetup { peers, refs, central, collection }
+}
+
+/// Measured quality of one ranking strategy at one k.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QualityPoint {
+    /// Result-list size.
+    pub k: usize,
+    /// Average recall over queries.
+    pub recall: f64,
+    /// Average precision over queries.
+    pub precision: f64,
+    /// Mean peers contacted per query.
+    pub avg_contacted: f64,
+}
+
+/// Evaluate the centralized TFxIDF oracle at `k`. `avg_contacted` is
+/// the paper's "Best": the minimum peers needed to fetch the top-k.
+pub fn eval_tfidf(setup: &RetrievalSetup, k: usize) -> QualityPoint {
+    let mut scores: Vec<RecallPrecision> = Vec::new();
+    let mut contacted = 0usize;
+    let mut queries = 0usize;
+    for q in &setup.collection.queries {
+        if q.relevant.is_empty() {
+            continue;
+        }
+        queries += 1;
+        let relevant: HashSet<DocRef> =
+            q.relevant.iter().map(|&d| setup.refs[d]).collect();
+        let top = setup.central.top_k(&q.terms, k);
+        contacted += CentralizedIndex::peers_required(&top);
+        let docs: Vec<DocRef> = top.iter().map(|s| s.doc).collect();
+        scores.push(recall_precision(&docs, &relevant));
+    }
+    let avg = average_recall_precision(&scores);
+    QualityPoint {
+        k,
+        recall: avg.recall,
+        precision: avg.precision,
+        avg_contacted: contacted as f64 / queries.max(1) as f64,
+    }
+}
+
+/// Evaluate distributed TFxIPF at `k` under a stopping rule.
+pub fn eval_tfxipf(
+    setup: &RetrievalSetup,
+    k: usize,
+    stopping: StoppingRule,
+    group_size: usize,
+) -> QualityPoint {
+    let search = DistributedSearch::new(&setup.peers);
+    let mut scores: Vec<RecallPrecision> = Vec::new();
+    let mut contacted = 0usize;
+    let mut queries = 0usize;
+    for q in &setup.collection.queries {
+        if q.relevant.is_empty() {
+            continue;
+        }
+        queries += 1;
+        let relevant: HashSet<DocRef> =
+            q.relevant.iter().map(|&d| setup.refs[d]).collect();
+        let out = search.search(&q.terms, SelectionConfig { k, stopping, group_size });
+        contacted += out.peers_contacted;
+        let docs: Vec<DocRef> = out.results.iter().map(|s| s.doc).collect();
+        scores.push(recall_precision(&docs, &relevant));
+    }
+    let avg = average_recall_precision(&scores);
+    QualityPoint {
+        k,
+        recall: avg.recall,
+        precision: avg.precision,
+        avg_contacted: contacted as f64 / queries.max(1) as f64,
+    }
+}

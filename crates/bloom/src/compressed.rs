@@ -1,0 +1,144 @@
+//! The gossip wire format for Bloom filters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::{BloomFilter, BloomParams};
+use crate::golomb;
+
+/// A Golomb run-length compressed Bloom filter, as gossiped between peers.
+///
+/// Stores the gap-coded set-bit positions plus enough metadata to rebuild
+/// the exact [`BloomFilter`]. For the sparse filters PlanetP gossips (1 k
+/// terms in a 50 KB filter) this is ~3 KB versus 51,200 bytes raw —
+/// matching Table 2's "1000 keys BF = 3000 bytes".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedBloom {
+    params: BloomParams,
+    golomb_parameter: u32,
+    num_set_bits: u32,
+    keys_inserted: u64,
+    payload: Vec<u8>,
+}
+
+impl CompressedBloom {
+    /// Compress a filter.
+    pub fn compress(filter: &BloomFilter) -> Self {
+        let positions = filter.set_bit_positions();
+        let (m, payload) =
+            golomb::encode_positions(&positions, filter.num_bits() as u32);
+        Self {
+            params: filter.params(),
+            golomb_parameter: m,
+            num_set_bits: positions.len() as u32,
+            keys_inserted: filter.keys_inserted(),
+            payload,
+        }
+    }
+
+    /// Decompress back to the exact original filter.
+    ///
+    /// Returns `None` if the payload is truncated or internally
+    /// inconsistent (e.g. decoded positions exceed the bit space).
+    pub fn decompress(&self) -> Option<BloomFilter> {
+        let positions = golomb::decode_positions(
+            &self.payload,
+            self.golomb_parameter,
+            self.num_set_bits as usize,
+        )?;
+        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
+            return None;
+        }
+        Some(BloomFilter::from_set_bits(
+            self.params,
+            &positions,
+            self.keys_inserted,
+        ))
+    }
+
+    /// Size of the compressed payload in bytes (excludes the small fixed
+    /// header counted separately by the simulator's message model).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total serialized size: payload plus a 24-byte fixed header
+    /// (params, parameter, counts).
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + 24
+    }
+
+    /// Number of set bits represented.
+    pub fn num_set_bits(&self) -> u32 {
+        self.num_set_bits
+    }
+
+    /// Compression ratio versus the raw bitmap.
+    pub fn ratio(&self) -> f64 {
+        self.wire_bytes() as f64 / (self.params.num_bits as f64 / 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with_keys(n: usize) -> BloomFilter {
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in 0..n {
+            f.insert(&format!("term-{i}"));
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        for n in [0usize, 1, 10, 1000, 20_000] {
+            let f = filter_with_keys(n);
+            let c = CompressedBloom::compress(&f);
+            let g = c.decompress().expect("decompress");
+            assert_eq!(f, g, "n={n}");
+        }
+    }
+
+    #[test]
+    fn table2_sizes_hold() {
+        // Table 2: 1000-key BF ≈ 3000 bytes, 20000-key BF ≈ 16000 bytes.
+        let c1k = CompressedBloom::compress(&filter_with_keys(1000));
+        assert!(
+            (1000..=4500).contains(&c1k.wire_bytes()),
+            "1k keys -> {} bytes",
+            c1k.wire_bytes()
+        );
+        // 20k keys * 2 hashes fill ~9% of the bit space; the entropy
+        // bound there is ~23 KB, so we land slightly above the paper's
+        // 16 KB figure (their filter was likely less full).
+        let c20k = CompressedBloom::compress(&filter_with_keys(20_000));
+        assert!(
+            (8_000..=24_000).contains(&c20k.wire_bytes()),
+            "20k keys -> {} bytes",
+            c20k.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_filter_compresses_to_header_only() {
+        let c = CompressedBloom::compress(&BloomFilter::with_paper_defaults());
+        assert_eq!(c.payload_bytes(), 0);
+        assert_eq!(c.num_set_bits(), 0);
+        assert!(c.decompress().unwrap().is_empty());
+    }
+
+    #[test]
+    fn ratio_below_one_for_sparse() {
+        let c = CompressedBloom::compress(&filter_with_keys(1000));
+        assert!(c.ratio() < 0.1, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn truncated_payload_fails_cleanly() {
+        let c = CompressedBloom::compress(&filter_with_keys(1000));
+        let mut bad = c.clone();
+        bad.payload.truncate(bad.payload.len() / 2);
+        assert!(bad.decompress().is_none());
+    }
+}

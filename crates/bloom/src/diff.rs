@@ -1,0 +1,213 @@
+//! Bloom filter diffs.
+//!
+//! "PlanetP sends diffs of the Bloom filters to save bandwidth" (§7.2):
+//! when a peer adds terms to its index, only the newly-set bits need to be
+//! gossiped. Since PlanetP filters are append-only between full rebuilds
+//! (terms are only added), a diff is the XOR of the old and new bitmaps,
+//! and applying it to the old version ORs the new bits in.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compressed::CompressedBloom;
+use crate::filter::{BloomFilter, BloomParams};
+use crate::golomb;
+
+/// A compressed delta between two versions of a peer's Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomDiff {
+    params: BloomParams,
+    golomb_parameter: u32,
+    num_changed_bits: u32,
+    /// keys_inserted of the *new* version, carried so the receiver's copy
+    /// stays in sync.
+    new_keys_inserted: u64,
+    payload: Vec<u8>,
+}
+
+impl BloomDiff {
+    /// Compute the delta taking `old` to `new`.
+    ///
+    /// # Panics
+    /// Panics if the two filters have different parameters.
+    pub fn between(old: &BloomFilter, new: &BloomFilter) -> Self {
+        assert_eq!(
+            old.params(),
+            new.params(),
+            "cannot diff filters with different parameters"
+        );
+        let mut changed = Vec::new();
+        for (wi, (a, b)) in old.words().iter().zip(new.words()).enumerate() {
+            let mut delta = a ^ b;
+            while delta != 0 {
+                let bit = delta.trailing_zeros();
+                changed.push((wi * 64) as u32 + bit);
+                delta &= delta - 1;
+            }
+        }
+        let (m, payload) =
+            golomb::encode_positions(&changed, old.params().num_bits as u32);
+        Self {
+            params: old.params(),
+            golomb_parameter: m,
+            num_changed_bits: changed.len() as u32,
+            new_keys_inserted: new.keys_inserted(),
+            payload,
+        }
+    }
+
+    /// Apply the delta to `base`, producing the new version.
+    ///
+    /// Returns `None` if the payload is corrupt or the parameters do not
+    /// match `base`.
+    pub fn apply(&self, base: &BloomFilter) -> Option<BloomFilter> {
+        if base.params() != self.params {
+            return None;
+        }
+        let positions = golomb::decode_positions(
+            &self.payload,
+            self.golomb_parameter,
+            self.num_changed_bits as usize,
+        )?;
+        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
+            return None;
+        }
+        let mut bits = base.set_bit_positions();
+        // XOR semantics: toggle each changed position.
+        for p in positions {
+            match bits.binary_search(&p) {
+                Ok(i) => {
+                    bits.remove(i);
+                }
+                Err(i) => bits.insert(i, p),
+            }
+        }
+        Some(BloomFilter::from_set_bits(
+            self.params,
+            &bits,
+            self.new_keys_inserted,
+        ))
+    }
+
+    /// Number of bit positions that differ.
+    pub fn num_changed_bits(&self) -> u32 {
+        self.num_changed_bits
+    }
+
+    /// True if the two versions were identical.
+    pub fn is_empty(&self) -> bool {
+        self.num_changed_bits == 0
+    }
+
+    /// Wire size: compressed payload plus a 24-byte header.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + 24
+    }
+}
+
+/// Convenience: the wire object a peer gossips when its filter changes —
+/// either a full compressed filter (first publication) or a diff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterUpdate {
+    /// Complete filter, for peers that have no base version.
+    Full(CompressedBloom),
+    /// Delta against the previous version.
+    Delta(BloomDiff),
+}
+
+impl FilterUpdate {
+    /// Serialized size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            FilterUpdate::Full(c) => c.wire_bytes(),
+            FilterUpdate::Delta(d) => d.wire_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with(range: std::ops::Range<usize>) -> BloomFilter {
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in range {
+            f.insert(&format!("term-{i}"));
+        }
+        f
+    }
+
+    #[test]
+    fn diff_apply_recovers_new_version() {
+        let old = filter_with(0..5000);
+        let new = filter_with(0..6000);
+        let d = BloomDiff::between(&old, &new);
+        assert!(!d.is_empty());
+        let rebuilt = d.apply(&old).unwrap();
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn diff_of_identical_filters_is_empty() {
+        let f = filter_with(0..100);
+        let d = BloomDiff::between(&f, &f.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.apply(&f).unwrap(), f);
+    }
+
+    #[test]
+    fn diff_smaller_than_full_filter() {
+        // Adding 1000 keys to a 20k-key filter should gossip far fewer
+        // bytes than re-sending the whole 20k filter.
+        let old = filter_with(0..20_000);
+        let new = filter_with(0..21_000);
+        let d = BloomDiff::between(&old, &new);
+        let full = CompressedBloom::compress(&new);
+        assert!(
+            d.wire_bytes() < full.wire_bytes() / 3,
+            "diff {} vs full {}",
+            d.wire_bytes(),
+            full.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn thousand_key_diff_near_table2_size() {
+        // The Fig 2 experiment gossips "a new Bloom filter summarizing
+        // 1000 terms ... PlanetP sends diffs" ≈ 3000 bytes in Table 2.
+        let old = BloomFilter::with_paper_defaults();
+        let new = filter_with(0..1000);
+        let d = BloomDiff::between(&old, &new);
+        assert!(
+            (1000..=4500).contains(&d.wire_bytes()),
+            "1000-key diff = {} bytes",
+            d.wire_bytes()
+        );
+    }
+
+    #[test]
+    fn xor_semantics_toggle_bits_both_ways() {
+        // A rebuilt (shrunk) filter also diffs correctly: bits can clear.
+        let old = filter_with(0..1000);
+        let new = filter_with(500..1500);
+        let d = BloomDiff::between(&old, &new);
+        assert_eq!(d.apply(&old).unwrap(), new);
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_base() {
+        let old = filter_with(0..10);
+        let new = filter_with(0..20);
+        let d = BloomDiff::between(&old, &new);
+        let wrong_base =
+            BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        assert!(d.apply(&wrong_base).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn between_rejects_mismatched_params() {
+        let a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
+        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let _ = BloomDiff::between(&a, &b);
+    }
+}

@@ -1,0 +1,374 @@
+//! The core Bloom filter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hashing::DoubleHasher;
+
+/// Sizing parameters for a [`BloomFilter`].
+///
+/// The paper uses constant-size 50 KB filters with two hash functions,
+/// chosen to "summarize up to 50,000 terms with less than 5% error"
+/// (§7.1). Those are the [`BloomParams::paper`] defaults; other sizes are
+/// supported because the authors note they "will almost certainly move to
+/// variable size filters".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomParams {
+    /// Total number of bits in the filter.
+    pub num_bits: usize,
+    /// Number of hash functions (bits set per key).
+    pub num_hashes: u32,
+}
+
+impl BloomParams {
+    /// The paper's constants: 50 KB (409,600 bits), two hash functions.
+    pub const fn paper() -> Self {
+        Self { num_bits: 50 * 1024 * 8, num_hashes: 2 }
+    }
+
+    /// Pick parameters for an expected number of keys and a target
+    /// false-positive rate, using the standard optima
+    /// `m = -n ln p / (ln 2)^2` and `k = (m/n) ln 2`.
+    pub fn for_capacity(expected_keys: usize, target_fpr: f64) -> Self {
+        assert!(expected_keys > 0, "capacity must be positive");
+        assert!(
+            target_fpr > 0.0 && target_fpr < 1.0,
+            "false positive rate must be in (0, 1)"
+        );
+        let n = expected_keys as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * target_fpr.ln() / (ln2 * ln2)).ceil().max(64.0);
+        let k = ((m / n) * ln2).round().max(1.0);
+        Self { num_bits: m as usize, num_hashes: k as u32 }
+    }
+}
+
+impl Default for BloomParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A Bloom filter over strings.
+///
+/// Supports membership queries with no false negatives, plus the
+/// set-algebra operations PlanetP relies on: `union` (a peer "may choose
+/// to combine the filters of several peers to save space", §2) and XOR
+/// diffs (see [`crate::BloomDiff`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    params: BloomParams,
+    bits: Vec<u64>,
+    /// Number of insert calls (not distinct keys); used for FPR estimates.
+    keys_inserted: u64,
+}
+
+impl BloomFilter {
+    /// Empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> Self {
+        let words = params.num_bits.div_ceil(64);
+        Self { params, bits: vec![0; words], keys_inserted: 0 }
+    }
+
+    /// Empty filter with the paper's 50 KB / 2-hash parameters.
+    pub fn with_paper_defaults() -> Self {
+        Self::new(BloomParams::paper())
+    }
+
+    /// The filter's sizing parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> usize {
+        self.params.num_bits
+    }
+
+    /// Raw 64-bit words backing the filter.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Insert a key. Returns `true` if any bit changed (i.e. the key was
+    /// definitely not present before).
+    pub fn insert(&mut self, key: &str) -> bool {
+        let h = DoubleHasher::new(key);
+        let mut changed = false;
+        for i in 0..self.params.num_hashes {
+            let idx = h.index(i, self.params.num_bits);
+            let (w, b) = (idx / 64, idx % 64);
+            let mask = 1u64 << b;
+            if self.bits[w] & mask == 0 {
+                self.bits[w] |= mask;
+                changed = true;
+            }
+        }
+        self.keys_inserted += 1;
+        changed
+    }
+
+    /// Insert every key from an iterator.
+    pub fn extend<'a, I: IntoIterator<Item = &'a str>>(&mut self, keys: I) {
+        for k in keys {
+            self.insert(k);
+        }
+    }
+
+    /// Membership test: `false` means *definitely absent*; `true` means
+    /// present with probability `1 - estimated_fpr()`.
+    pub fn contains(&self, key: &str) -> bool {
+        let h = DoubleHasher::new(key);
+        for i in 0..self.params.num_hashes {
+            let idx = h.index(i, self.params.num_bits);
+            if self.bits[idx / 64] & (1 << (idx % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits set.
+    pub fn fill_ratio(&self) -> f64 {
+        self.count_ones() as f64 / self.params.num_bits as f64
+    }
+
+    /// Estimated false-positive rate given the current fill:
+    /// `fill_ratio ^ num_hashes`.
+    pub fn estimated_fpr(&self) -> f64 {
+        self.fill_ratio().powi(self.params.num_hashes as i32)
+    }
+
+    /// Maximum-likelihood estimate of the number of *distinct* keys
+    /// inserted, from the fill ratio: `-(m/k) ln(1 - X/m)`.
+    pub fn estimated_keys(&self) -> f64 {
+        let m = self.params.num_bits as f64;
+        let x = self.count_ones() as f64;
+        if x >= m {
+            return f64::INFINITY;
+        }
+        -(m / self.params.num_hashes as f64) * (1.0 - x / m).ln()
+    }
+
+    /// Number of insert calls made (counts duplicates).
+    pub fn keys_inserted(&self) -> u64 {
+        self.keys_inserted
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Reset all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.keys_inserted = 0;
+    }
+
+    /// In-place union. Any key in either filter is in the result.
+    ///
+    /// # Panics
+    /// Panics if the parameters differ — filters hash into different bit
+    /// spaces and cannot be merged.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            self.params, other.params,
+            "cannot union Bloom filters with different parameters"
+        );
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.keys_inserted += other.keys_inserted;
+    }
+
+    /// True if every bit set in `self` is also set in `other`; i.e. every
+    /// key in `self` would also be reported present by `other`.
+    pub fn is_subset_of(&self, other: &BloomFilter) -> bool {
+        self.params == other.params
+            && self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Count of query keys the filter reports as present.
+    pub fn count_hits<'a, I: IntoIterator<Item = &'a str>>(&self, keys: I) -> usize {
+        keys.into_iter().filter(|k| self.contains(k)).count()
+    }
+
+    /// Sorted positions of all set bits (the representation Golomb coding
+    /// compresses).
+    pub fn set_bit_positions(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, &w) in self.bits.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let b = word.trailing_zeros();
+                out.push((wi * 64) as u32 + b);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Rebuild a filter from set-bit positions (inverse of
+    /// [`Self::set_bit_positions`]).
+    ///
+    /// `keys_inserted` is restored from the caller since positions alone
+    /// cannot recover it; pass 0 if unknown.
+    pub fn from_set_bits(
+        params: BloomParams,
+        positions: &[u32],
+        keys_inserted: u64,
+    ) -> Self {
+        let mut f = Self::new(params);
+        for &p in positions {
+            let p = p as usize;
+            assert!(p < params.num_bits, "bit position {p} out of range");
+            f.bits[p / 64] |= 1 << (p % 64);
+        }
+        f.keys_inserted = keys_inserted;
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = BloomFilter::with_paper_defaults();
+        assert!(!f.contains("gossip"));
+        assert!(f.insert("gossip"));
+        assert!(f.contains("gossip"));
+        // Re-inserting flips no new bits.
+        assert!(!f.insert("gossip"));
+    }
+
+    #[test]
+    fn no_false_negatives_over_many_keys() {
+        let mut f = BloomFilter::with_paper_defaults();
+        let keys: Vec<String> = (0..50_000).map(|i| format!("term-{i}")).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn paper_fpr_target_holds_at_50k_keys() {
+        // Paper §7.1: 50 KB filter summarizes up to 50,000 terms with
+        // less than 5% error.
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in 0..50_000 {
+            f.insert(&format!("term-{i}"));
+        }
+        assert!(f.estimated_fpr() < 0.05, "fpr {}", f.estimated_fpr());
+        // Empirical check against keys never inserted.
+        let fp = (0..20_000)
+            .filter(|i| f.contains(&format!("absent-{i}")))
+            .count();
+        let rate = fp as f64 / 20_000.0;
+        assert!(rate < 0.06, "empirical fpr {rate}");
+    }
+
+    #[test]
+    fn for_capacity_meets_target() {
+        let params = BloomParams::for_capacity(10_000, 0.01);
+        let mut f = BloomFilter::new(params);
+        for i in 0..10_000 {
+            f.insert(&format!("k{i}"));
+        }
+        let fp = (0..20_000)
+            .filter(|i| f.contains(&format!("a{i}")))
+            .count();
+        assert!((fp as f64 / 20_000.0) < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn for_capacity_rejects_zero() {
+        BloomParams::for_capacity(0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "false positive rate")]
+    fn for_capacity_rejects_bad_fpr() {
+        BloomParams::for_capacity(10, 1.5);
+    }
+
+    #[test]
+    fn union_contains_both_sides() {
+        let mut a = BloomFilter::with_paper_defaults();
+        let mut b = BloomFilter::with_paper_defaults();
+        a.insert("left");
+        b.insert("right");
+        a.union_with(&b);
+        assert!(a.contains("left") && a.contains("right"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn union_rejects_mismatched_params() {
+        let mut a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
+        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut a = BloomFilter::with_paper_defaults();
+        let mut b = BloomFilter::with_paper_defaults();
+        a.insert("x");
+        b.insert("x");
+        b.insert("y");
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn set_bits_roundtrip() {
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in 0..1000 {
+            f.insert(&format!("w{i}"));
+        }
+        let pos = f.set_bit_positions();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]), "positions sorted");
+        let g = BloomFilter::from_set_bits(f.params(), &pos, f.keys_inserted());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn estimated_keys_tracks_distinct_inserts() {
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in 0..10_000 {
+            f.insert(&format!("w{i}"));
+        }
+        let est = f.estimated_keys();
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut f = BloomFilter::with_paper_defaults();
+        f.insert("a");
+        assert!(!f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.keys_inserted(), 0);
+    }
+
+    #[test]
+    fn count_hits_counts_present_keys() {
+        let mut f = BloomFilter::with_paper_defaults();
+        f.insert("a");
+        f.insert("b");
+        let hits = f.count_hits(["a", "b", "absent-term-xyz"]);
+        assert!(hits >= 2);
+    }
+}

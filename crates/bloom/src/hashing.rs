@@ -1,0 +1,148 @@
+//! Hash functions used to derive Bloom filter bit indices.
+//!
+//! The paper computes *n* indices per term "typically via n different
+//! hashing functions". We use the standard Kirsch–Mitzenmacher double
+//! hashing construction: two independent 64-bit hashes `h1`, `h2` generate
+//! the family `g_i(x) = h1(x) + i * h2(x)`, which preserves the asymptotic
+//! false-positive rate of truly independent hash functions while costing
+//! two hash evaluations per key.
+//!
+//! Both base hashes are implemented here from scratch (FNV-1a and a
+//! xorshift-multiply finalizer over a seeded FNV stream) so the crate has
+//! no hashing dependencies and its output is stable across platforms —
+//! important because filters are exchanged between peers on the wire.
+
+/// 64-bit FNV-1a with a caller-provided seed folded into the offset basis.
+#[inline]
+pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ seed.wrapping_mul(PRIME);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer; decorrelates the FNV stream for the second hash.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Double-hashing index generator for a single key.
+///
+/// Yields `num_hashes` bit positions in `[0, num_bits)`.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleHasher {
+    h1: u64,
+    h2: u64,
+}
+
+impl DoubleHasher {
+    /// Hash `key` once; the resulting struct can enumerate any number of
+    /// derived indices without rehashing the key.
+    #[inline]
+    pub fn new(key: &str) -> Self {
+        let bytes = key.as_bytes();
+        // FNV-1a alone has poor avalanche in the high bits for short keys
+        // (and fastrange consumes the high bits), so finalize with
+        // SplitMix64.
+        let h1 = mix64(fnv1a64(0x5149_9df9_4c81_3db9, bytes));
+        // Mixing h1 rather than rehashing the bytes keeps the second pass
+        // O(1); SplitMix64 is a full-avalanche finalizer so h2 is
+        // effectively independent of h1.
+        let mut h2 = mix64(h1 ^ fnv1a64(0x9ae1_6a3b_2f90_404f, bytes));
+        // h2 must be odd so that i*h2 walks the whole index space even for
+        // power-of-two bit counts.
+        h2 |= 1;
+        Self { h1, h2 }
+    }
+
+    /// The `i`-th derived index in `[0, num_bits)`.
+    #[inline]
+    pub fn index(&self, i: u32, num_bits: usize) -> usize {
+        debug_assert!(num_bits > 0);
+        let g = self.h1.wrapping_add(u64::from(i).wrapping_mul(self.h2));
+        // Lemire's fastrange: maps uniformly without a modulo.
+        ((u128::from(g) * num_bits as u128) >> 64) as usize
+    }
+
+    /// Iterator over the first `num_hashes` indices.
+    pub fn indices(
+        &self,
+        num_hashes: u32,
+        num_bits: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
+        (0..num_hashes).map(move |i| self.index(i, num_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a64(0, b"gossip"), fnv1a64(0, b"gossiq"));
+        assert_ne!(fnv1a64(0, b"ab"), fnv1a64(0, b"ba"));
+        assert_ne!(fnv1a64(1, b"gossip"), fnv1a64(2, b"gossip"));
+    }
+
+    #[test]
+    fn fnv_empty_input_depends_on_seed() {
+        assert_ne!(fnv1a64(1, b""), fnv1a64(2, b""));
+    }
+
+    #[test]
+    fn mix64_changes_value() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let h = DoubleHasher::new("term");
+        for bits in [1usize, 7, 64, 409_600] {
+            for i in 0..8 {
+                assert!(h.index(i, bits) < bits);
+            }
+        }
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let a = DoubleHasher::new("planetp");
+        let b = DoubleHasher::new("planetp");
+        let ia: Vec<_> = a.indices(4, 1000).collect();
+        let ib: Vec<_> = b.indices(4, 1000).collect();
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn different_keys_rarely_collide_on_all_indices() {
+        let bits = 409_600;
+        let a: Vec<_> = DoubleHasher::new("alpha").indices(2, bits).collect();
+        let b: Vec<_> = DoubleHasher::new("beta").indices(2, bits).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_distribution_is_roughly_uniform() {
+        // Bucket 10k keys' first index into 16 buckets; each should get a
+        // share well away from zero.
+        let bits = 1 << 16;
+        let mut buckets = [0u32; 16];
+        for k in 0..10_000 {
+            let idx = DoubleHasher::new(&format!("key-{k}")).index(0, bits);
+            buckets[idx * 16 / bits] += 1;
+        }
+        for &c in &buckets {
+            assert!(c > 400, "bucket count {c} too skewed: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Bloom filters for PlanetP.
+//!
+//! PlanetP (Cuenca-Acuna et al., HPDC 2003) summarizes each peer's inverted
+//! index with a Bloom filter and gossips these summaries so that every peer
+//! holds a copy of the *global directory*: the membership list plus one
+//! filter per member. This crate provides:
+//!
+//! - [`BloomFilter`]: a classic k-hash Bloom filter over strings with
+//!   set-algebra operations (union, intersection), fill-ratio and
+//!   false-positive-rate estimation.
+//! - [`BloomDiff`]: XOR deltas between two versions of a filter, so that a
+//!   peer that adds terms gossips only the changed bits ("PlanetP sends
+//!   diffs of the Bloom filters to save bandwidth", §7.2).
+//! - [`CompressedBloom`]: the gossip wire format — a Golomb run-length
+//!   coding of the set-bit gaps, which the paper reports outperforms gzip
+//!   for their sparse constant-size (50 KB) filters.
+//! - [`golomb`]: the underlying Golomb/Rice coder, usable on any sorted
+//!   sequence of deltas.
+//!
+//! # Example
+//!
+//! ```
+//! use planetp_bloom::BloomFilter;
+//!
+//! let mut summary = BloomFilter::with_paper_defaults();
+//! summary.insert("epidemic");
+//! summary.insert("gossip");
+//! assert!(summary.contains("gossip"));
+//! // False positives are possible, false negatives are not.
+//! assert!(!summary.contains("zebra") || summary.estimated_fpr() > 0.0);
+//! ```
+
+pub mod compressed;
+pub mod diff;
+pub mod filter;
+pub mod golomb;
+pub mod hashing;
+
+pub use compressed::CompressedBloom;
+pub use diff::BloomDiff;
+pub use filter::{BloomFilter, BloomParams};
+pub use hashing::DoubleHasher;

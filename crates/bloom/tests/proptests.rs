@@ -1,0 +1,106 @@
+//! Property-based tests for the Bloom filter crate.
+
+use planetp_bloom::{BloomDiff, BloomFilter, BloomParams, CompressedBloom};
+use proptest::prelude::*;
+
+fn small_params() -> impl Strategy<Value = BloomParams> {
+    (256usize..8192, 1u32..6)
+        .prop_map(|(num_bits, num_hashes)| BloomParams { num_bits, num_hashes })
+}
+
+fn key_set() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,12}", 0..200)
+}
+
+proptest! {
+    /// No false negatives, ever: every inserted key tests present.
+    #[test]
+    fn no_false_negatives(params in small_params(), keys in key_set()) {
+        let mut f = BloomFilter::new(params);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Compression is lossless for arbitrary fills.
+    #[test]
+    fn compress_roundtrip(params in small_params(), keys in key_set()) {
+        let mut f = BloomFilter::new(params);
+        for k in &keys {
+            f.insert(k);
+        }
+        let c = CompressedBloom::compress(&f);
+        prop_assert_eq!(c.decompress().unwrap(), f);
+    }
+
+    /// diff(old, new).apply(old) == new for any pair of same-param filters.
+    #[test]
+    fn diff_roundtrip(
+        params in small_params(),
+        old_keys in key_set(),
+        new_keys in key_set(),
+    ) {
+        let mut old = BloomFilter::new(params);
+        let mut new = BloomFilter::new(params);
+        for k in &old_keys {
+            old.insert(k);
+        }
+        for k in &new_keys {
+            new.insert(k);
+        }
+        let d = BloomDiff::between(&old, &new);
+        prop_assert_eq!(d.apply(&old).unwrap(), new);
+    }
+
+    /// Union is commutative (on the bit level) and a superset of both.
+    #[test]
+    fn union_commutes_and_dominates(
+        params in small_params(),
+        ka in key_set(),
+        kb in key_set(),
+    ) {
+        let mut a = BloomFilter::new(params);
+        let mut b = BloomFilter::new(params);
+        for k in &ka { a.insert(k); }
+        for k in &kb { b.insert(k); }
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(ab.words(), ba.words());
+        prop_assert!(a.is_subset_of(&ab));
+        prop_assert!(b.is_subset_of(&ab));
+        for k in ka.iter().chain(&kb) {
+            prop_assert!(ab.contains(k));
+        }
+    }
+
+    /// set_bit_positions is sorted, deduplicated, and reconstructs the filter.
+    #[test]
+    fn positions_roundtrip(params in small_params(), keys in key_set()) {
+        let mut f = BloomFilter::new(params);
+        for k in &keys { f.insert(k); }
+        let pos = f.set_bit_positions();
+        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        let g = BloomFilter::from_set_bits(params, &pos, f.keys_inserted());
+        prop_assert_eq!(g, f);
+    }
+
+    /// Golomb value coding round-trips for arbitrary values and parameters.
+    #[test]
+    fn golomb_value_roundtrip(values in prop::collection::vec(0u32..1_000_000, 0..100), m in 1u32..5000) {
+        use planetp_bloom::golomb::{encode_value, decode_value, BitWriter, BitReader};
+        let mut w = BitWriter::new();
+        for &v in &values {
+            encode_value(&mut w, v, m);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(decode_value(&mut r, m), Some(v));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! A single broker's storage: the slice of the key space it owns.
+
+use crate::ring::key_position;
+use crate::snippet::Snippet;
+use crate::TimeMs;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One broker's key-partition store. Snippets are shared (`Arc`) since
+/// one snippet is filed under each of its keys.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerNode {
+    by_key: HashMap<String, Vec<Arc<Snippet>>>,
+}
+
+impl BrokerNode {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// File a snippet under one of its keys.
+    pub fn publish(&mut self, key: &str, snippet: Arc<Snippet>) {
+        let entry = self.by_key.entry(key.to_string()).or_default();
+        // Republication replaces the previous version from the same
+        // publisher with the same id.
+        entry.retain(|s| !(s.publisher == snippet.publisher && s.id == snippet.id));
+        entry.push(snippet);
+    }
+
+    /// Unexpired snippets filed under `key` at time `now`.
+    pub fn lookup(&self, key: &str, now: TimeMs) -> Vec<Arc<Snippet>> {
+        self.by_key
+            .get(key)
+            .map(|v| v.iter().filter(|s| !s.expired(now)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drop expired snippets; returns how many were discarded.
+    pub fn sweep(&mut self, now: TimeMs) -> usize {
+        let mut dropped = 0;
+        self.by_key.retain(|_, v| {
+            let before = v.len();
+            v.retain(|s| !s.expired(now));
+            dropped += before - v.len();
+            !v.is_empty()
+        });
+        dropped
+    }
+
+    /// Number of (key, snippet) filings stored.
+    pub fn filings(&self) -> usize {
+        self.by_key.values().map(Vec::len).sum()
+    }
+
+    /// Extract the filings whose key positions fall in the half-open
+    /// ring interval `(from, to]` (wrapping) — the handoff when a new
+    /// broker joins and takes over part of this broker's range.
+    pub fn split_range(
+        &mut self,
+        from: u64,
+        to: u64,
+    ) -> Vec<(String, Arc<Snippet>)> {
+        let in_range = |pos: u64| {
+            if from < to {
+                pos > from && pos <= to
+            } else {
+                // Wrapped interval.
+                pos > from || pos <= to
+            }
+        };
+        let mut moved = Vec::new();
+        self.by_key.retain(|key, v| {
+            if in_range(key_position(key)) {
+                for s in v.drain(..) {
+                    moved.push((key.clone(), s));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        moved
+    }
+
+    /// Drain everything (graceful leave: hand all filings to the
+    /// successor).
+    pub fn drain_all(&mut self) -> Vec<(String, Arc<Snippet>)> {
+        let mut out = Vec::new();
+        for (k, v) in self.by_key.drain() {
+            for s in v {
+                out.push((k.clone(), s));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snip(id: u64, publisher: u32, key: &str, discard_at: TimeMs) -> Arc<Snippet> {
+        Arc::new(Snippet {
+            id,
+            publisher,
+            xml: format!("<x id='{id}'/>"),
+            keys: vec![key.to_string()],
+            discard_at,
+        })
+    }
+
+    #[test]
+    fn publish_then_lookup() {
+        let mut b = BrokerNode::new();
+        b.publish("gossip", snip(1, 0, "gossip", 1000));
+        assert_eq!(b.lookup("gossip", 0).len(), 1);
+        assert!(b.lookup("other", 0).is_empty());
+    }
+
+    #[test]
+    fn lookup_hides_expired_and_sweep_removes_them() {
+        let mut b = BrokerNode::new();
+        b.publish("k", snip(1, 0, "k", 100));
+        b.publish("k", snip(2, 0, "k", 10_000));
+        assert_eq!(b.lookup("k", 500).len(), 1);
+        assert_eq!(b.filings(), 2);
+        assert_eq!(b.sweep(500), 1);
+        assert_eq!(b.filings(), 1);
+    }
+
+    #[test]
+    fn republication_replaces() {
+        let mut b = BrokerNode::new();
+        b.publish("k", snip(1, 7, "k", 100));
+        b.publish("k", snip(1, 7, "k", 9_000));
+        let found = b.lookup("k", 0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].discard_at, 9_000);
+        // Same id from a different publisher is a different snippet.
+        b.publish("k", snip(1, 8, "k", 100));
+        assert_eq!(b.lookup("k", 0).len(), 2);
+    }
+
+    #[test]
+    fn split_range_moves_only_matching_keys() {
+        let mut b = BrokerNode::new();
+        for k in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            b.publish(k, snip(1, 0, k, u64::MAX));
+        }
+        let total = b.filings();
+        // Pick a range that certainly contains at least one key.
+        let pos = key_position("gamma");
+        let moved = b.split_range(pos.wrapping_sub(1), pos);
+        assert!(moved.iter().any(|(k, _)| k == "gamma"));
+        assert_eq!(b.filings() + moved.len(), total);
+        assert!(b.lookup("gamma", 0).is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut b = BrokerNode::new();
+        b.publish("a", snip(1, 0, "a", u64::MAX));
+        b.publish("b", snip(2, 0, "b", u64::MAX));
+        let all = b.drain_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(b.filings(), 0);
+    }
+}

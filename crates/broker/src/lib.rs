@@ -1,0 +1,37 @@
+//! PlanetP's information brokerage service (§4 of the paper).
+//!
+//! Gossiping spreads news in minutes; the brokerage makes *brand-new*
+//! content findable in seconds. "Information is published to the
+//! brokerage service as an XML snippet with a set of associated keys
+//! (terms) and a discard time. The network of brokers use consistent
+//! hashing to partition the key space among them."
+//!
+//! The service is explicitly an *optimization*, not a dependability
+//! layer: "this service makes no guarantee as to the safety of
+//! information published to it. If a member leaves abruptly without
+//! passing on its portion of the published data, that data will be
+//! lost."
+//!
+//! - [`ring`]: the consistent-hashing ring — each broker chooses an id
+//!   in `[0, max_id)`, a key maps to the *least successor* of its hash.
+//! - [`snippet`]: published XML snippets with keys and discard times.
+//! - [`broker`]: a single broker's key-partition storage with expiry.
+//! - [`service`]: the community-wide service — routing, joins (key
+//!   handoff from the successor), graceful and abrupt leaves.
+
+pub mod broker;
+pub mod ring;
+pub mod service;
+pub mod snippet;
+
+pub use broker::BrokerNode;
+pub use ring::{key_position, ConsistentRing};
+pub use service::BrokerageService;
+pub use snippet::Snippet;
+
+/// Broker identifier (a peer acting as broker).
+pub type BrokerId = u32;
+
+/// Milliseconds since an arbitrary epoch (same convention as the gossip
+/// layer).
+pub type TimeMs = u64;

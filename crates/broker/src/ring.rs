@@ -1,0 +1,194 @@
+//! The consistent-hashing ring.
+//!
+//! "Each active member chooses a unique broker ID from a predetermined
+//! range (0 to maxID). Then, all members arrange themselves into a ring
+//! using their IDs. To map a key to a broker, we compute the hash H of
+//! the key. Then, we send the snippet and key to the broker whose ID
+//! makes it the least successor to H mod maxID on the ring." (§4)
+
+use crate::BrokerId;
+use serde::{Deserialize, Serialize};
+
+/// The predetermined id range: positions live in `[0, RING_MAX)`.
+pub const RING_MAX: u64 = 1 << 32;
+
+/// Hash a key to its ring position (`H mod maxID`).
+pub fn key_position(key: &str) -> u64 {
+    // FNV-1a then SplitMix finalizer, as elsewhere in the codebase.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (h ^ (h >> 31)) % RING_MAX
+}
+
+/// A ring of brokers ordered by their chosen positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsistentRing {
+    /// Sorted by position; positions are unique.
+    members: Vec<(u64, BrokerId)>,
+}
+
+impl ConsistentRing {
+    /// Empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Add a broker at `position`. Returns `false` (and changes
+    /// nothing) if the position is already taken.
+    pub fn insert(&mut self, position: u64, id: BrokerId) -> bool {
+        assert!(position < RING_MAX, "position outside the id range");
+        match self.members.binary_search_by_key(&position, |&(p, _)| p) {
+            Ok(_) => false,
+            Err(i) => {
+                self.members.insert(i, (position, id));
+                true
+            }
+        }
+    }
+
+    /// Remove a broker by id. Returns its position if present.
+    pub fn remove(&mut self, id: BrokerId) -> Option<u64> {
+        let i = self.members.iter().position(|&(_, m)| m == id)?;
+        Some(self.members.remove(i).0)
+    }
+
+    /// The broker responsible for `position`: the least successor on
+    /// the ring (wrapping).
+    pub fn successor_of(&self, position: u64) -> Option<BrokerId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let i = self
+            .members
+            .partition_point(|&(p, _)| p < position % RING_MAX);
+        let i = if i == self.members.len() { 0 } else { i };
+        Some(self.members[i].1)
+    }
+
+    /// The broker responsible for a key.
+    pub fn broker_for(&self, key: &str) -> Option<BrokerId> {
+        self.successor_of(key_position(key))
+    }
+
+    /// The broker's position, if it is a member.
+    pub fn position_of(&self, id: BrokerId) -> Option<u64> {
+        self.members.iter().find(|&&(_, m)| m == id).map(|&(p, _)| p)
+    }
+
+    /// Iterate `(position, id)` pairs in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, BrokerId)> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The broker that follows `id` on the ring (its successor), if the
+    /// ring has more than one member.
+    pub fn next_after(&self, id: BrokerId) -> Option<BrokerId> {
+        if self.members.len() < 2 {
+            return None;
+        }
+        let i = self.members.iter().position(|&(_, m)| m == id)?;
+        Some(self.members[(i + 1) % self.members.len()].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_wraps_around() {
+        let mut r = ConsistentRing::new();
+        r.insert(100, 1);
+        r.insert(1000, 2);
+        assert_eq!(r.successor_of(50), Some(1));
+        assert_eq!(r.successor_of(100), Some(1), "own position maps to self");
+        assert_eq!(r.successor_of(101), Some(2));
+        assert_eq!(r.successor_of(5000), Some(1), "wraps to the first");
+    }
+
+    #[test]
+    fn duplicate_positions_rejected() {
+        let mut r = ConsistentRing::new();
+        assert!(r.insert(7, 1));
+        assert!(!r.insert(7, 2));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_restores_routing_to_successor() {
+        let mut r = ConsistentRing::new();
+        r.insert(100, 1);
+        r.insert(200, 2);
+        r.insert(300, 3);
+        assert_eq!(r.successor_of(150), Some(2));
+        assert_eq!(r.remove(2), Some(200));
+        assert_eq!(r.successor_of(150), Some(3));
+        assert_eq!(r.remove(2), None, "double remove");
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let r = ConsistentRing::new();
+        assert_eq!(r.broker_for("key"), None);
+        assert_eq!(r.successor_of(0), None);
+    }
+
+    #[test]
+    fn keys_distribute_across_brokers() {
+        let mut r = ConsistentRing::new();
+        // Evenly spaced brokers.
+        for i in 0..8u64 {
+            r.insert(i * (RING_MAX / 8), i as BrokerId);
+        }
+        let mut counts = [0u32; 8];
+        for k in 0..8000 {
+            let b = r.broker_for(&format!("key-{k}")).unwrap();
+            counts[b as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1600).contains(&c),
+                "broker {i} got {c} of 8000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_position_stable_and_in_range() {
+        assert_eq!(key_position("gossip"), key_position("gossip"));
+        assert_ne!(key_position("gossip"), key_position("bloom"));
+        for k in ["a", "b", "longer-key-string"] {
+            assert!(key_position(k) < RING_MAX);
+        }
+    }
+
+    #[test]
+    fn next_after_cycles_the_ring() {
+        let mut r = ConsistentRing::new();
+        r.insert(10, 1);
+        r.insert(20, 2);
+        r.insert(30, 3);
+        assert_eq!(r.next_after(1), Some(2));
+        assert_eq!(r.next_after(3), Some(1), "wraps");
+        r.remove(2);
+        r.remove(3);
+        assert_eq!(r.next_after(1), None, "singleton has no successor");
+    }
+}

@@ -1,0 +1,242 @@
+//! The community-wide brokerage service.
+//!
+//! Routes publications and lookups over the ring and implements the
+//! membership dynamics §4 alludes to: a joining broker takes over the
+//! slice of its successor's range below its position; a *graceful*
+//! leave hands everything to the successor; an *abrupt* leave loses the
+//! broker's filings ("no guarantee as to the safety of information
+//! published to it").
+
+use crate::broker::BrokerNode;
+use crate::ring::ConsistentRing;
+use crate::snippet::Snippet;
+use crate::{BrokerId, TimeMs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The brokerage: a ring of brokers and their stores.
+///
+/// In a live deployment each `BrokerNode` runs on its own peer; this
+/// struct is the coordination logic, used directly by the simulator and
+/// wrapped by the live runtime.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerageService {
+    ring: ConsistentRing,
+    stores: HashMap<BrokerId, BrokerNode>,
+}
+
+impl BrokerageService {
+    /// Empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the ring (read-only).
+    pub fn ring(&self) -> &ConsistentRing {
+        &self.ring
+    }
+
+    /// Number of active brokers.
+    pub fn num_brokers(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// A broker joins at `position`. Filings in its new range move from
+    /// its successor. Returns `false` if the position was taken.
+    pub fn join(&mut self, id: BrokerId, position: u64) -> bool {
+        if !self.ring.insert(position, id) {
+            return false;
+        }
+        self.stores.entry(id).or_default();
+        // Take over the half-open range (predecessor, position] from the
+        // successor.
+        if let Some(successor) = self.ring.next_after(id) {
+            let pred_pos = self
+                .ring
+                .iter()
+                .filter(|&(p, m)| m != id && p != position)
+                .map(|(p, _)| p)
+                .filter(|&p| p < position)
+                .max()
+                .or_else(|| self.ring.iter().map(|(p, _)| p).max())
+                .unwrap_or(position);
+            let moved = self
+                .stores
+                .get_mut(&successor)
+                .expect("successor has a store")
+                .split_range(pred_pos, position);
+            let store = self.stores.get_mut(&id).expect("inserted above");
+            for (key, s) in moved {
+                store.publish(&key, s);
+            }
+        }
+        true
+    }
+
+    /// Graceful leave: hand all filings to the successor.
+    pub fn leave_graceful(&mut self, id: BrokerId) {
+        let successor = self.ring.next_after(id);
+        self.ring.remove(id);
+        let Some(mut store) = self.stores.remove(&id) else {
+            return;
+        };
+        if let Some(succ) = successor {
+            let succ_store =
+                self.stores.get_mut(&succ).expect("successor has a store");
+            for (key, s) in store.drain_all() {
+                succ_store.publish(&key, s);
+            }
+        }
+    }
+
+    /// Abrupt leave: the broker's filings are lost.
+    pub fn leave_abrupt(&mut self, id: BrokerId) {
+        self.ring.remove(id);
+        self.stores.remove(&id);
+    }
+
+    /// Publish a snippet: file it under each of its keys at the
+    /// responsible brokers. Returns how many filings were placed (0 if
+    /// there are no brokers).
+    pub fn publish(&mut self, snippet: Snippet) -> usize {
+        let snippet = Arc::new(snippet);
+        let mut placed = 0;
+        for key in snippet.keys.clone() {
+            if let Some(b) = self.ring.broker_for(&key) {
+                self.stores
+                    .get_mut(&b)
+                    .expect("ring members have stores")
+                    .publish(&key, Arc::clone(&snippet));
+                placed += 1;
+            }
+        }
+        placed
+    }
+
+    /// Look up unexpired snippets filed under `key`.
+    pub fn lookup(&self, key: &str, now: TimeMs) -> Vec<Arc<Snippet>> {
+        match self.ring.broker_for(key) {
+            Some(b) => self
+                .stores
+                .get(&b)
+                .map(|s| s.lookup(key, now))
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sweep expired snippets on all brokers; returns total discarded.
+    pub fn sweep(&mut self, now: TimeMs) -> usize {
+        self.stores.values_mut().map(|s| s.sweep(now)).sum()
+    }
+
+    /// Total filings across all brokers.
+    pub fn total_filings(&self) -> usize {
+        self.stores.values().map(BrokerNode::filings).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snippet(id: u64, keys: &[&str], discard_at: TimeMs) -> Snippet {
+        Snippet {
+            id,
+            publisher: 1,
+            xml: format!("<s id='{id}'/>"),
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+            discard_at,
+        }
+    }
+
+    fn ring_of(n: u64) -> BrokerageService {
+        let mut svc = BrokerageService::new();
+        for i in 0..n {
+            assert!(svc.join(i as BrokerId, i * (crate::ring::RING_MAX / n)));
+        }
+        svc
+    }
+
+    #[test]
+    fn publish_and_lookup_roundtrip() {
+        let mut svc = ring_of(4);
+        svc.publish(snippet(1, &["gossip", "bloom"], 10_000));
+        assert_eq!(svc.lookup("gossip", 0).len(), 1);
+        assert_eq!(svc.lookup("bloom", 0).len(), 1);
+        assert!(svc.lookup("absent", 0).is_empty());
+        assert_eq!(svc.total_filings(), 2);
+    }
+
+    #[test]
+    fn expiry_hides_snippets() {
+        let mut svc = ring_of(4);
+        svc.publish(snippet(1, &["k"], 600_000)); // 10 min, as PFS uses
+        assert_eq!(svc.lookup("k", 599_999).len(), 1);
+        assert!(svc.lookup("k", 600_000).is_empty());
+        assert_eq!(svc.sweep(600_000), 1);
+        assert_eq!(svc.total_filings(), 0);
+    }
+
+    #[test]
+    fn join_takes_over_range_without_losing_data() {
+        let mut svc = ring_of(3);
+        for i in 0..200 {
+            svc.publish(snippet(i, &[&format!("key-{i}")], u64::MAX));
+        }
+        assert_eq!(svc.total_filings(), 200);
+        // A new broker joins between existing ones.
+        assert!(svc.join(99, crate::ring::RING_MAX / 2 + 12345));
+        assert_eq!(svc.total_filings(), 200, "join must not lose filings");
+        for i in 0..200 {
+            assert_eq!(
+                svc.lookup(&format!("key-{i}"), 0).len(),
+                1,
+                "key-{i} lost after join"
+            );
+        }
+    }
+
+    #[test]
+    fn graceful_leave_preserves_data() {
+        let mut svc = ring_of(4);
+        for i in 0..100 {
+            svc.publish(snippet(i, &[&format!("key-{i}")], u64::MAX));
+        }
+        svc.leave_graceful(2);
+        assert_eq!(svc.total_filings(), 100);
+        for i in 0..100 {
+            assert_eq!(svc.lookup(&format!("key-{i}"), 0).len(), 1);
+        }
+    }
+
+    #[test]
+    fn abrupt_leave_loses_that_brokers_data() {
+        let mut svc = ring_of(4);
+        for i in 0..100 {
+            svc.publish(snippet(i, &[&format!("key-{i}")], u64::MAX));
+        }
+        let before = svc.total_filings();
+        svc.leave_abrupt(1);
+        let after = svc.total_filings();
+        assert!(after < before, "abrupt leave should lose filings");
+        // Remaining keys still resolve via the ring.
+        let resolvable = (0..100)
+            .filter(|i| !svc.lookup(&format!("key-{i}"), 0).is_empty())
+            .count();
+        assert_eq!(resolvable, after);
+    }
+
+    #[test]
+    fn no_brokers_no_placement() {
+        let mut svc = BrokerageService::new();
+        assert_eq!(svc.publish(snippet(1, &["k"], 100)), 0);
+        assert!(svc.lookup("k", 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_position_join_rejected() {
+        let mut svc = ring_of(2);
+        assert!(!svc.join(7, 0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Published snippets.
+
+use crate::TimeMs;
+use serde::{Deserialize, Serialize};
+
+/// An XML snippet published to the brokerage: content, the keys it is
+/// filed under, and when brokers may discard it (§4: "The snippet is
+/// discarded after its discard time expires").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snippet {
+    /// Publisher-assigned identifier, unique per publisher.
+    pub id: u64,
+    /// The publishing peer.
+    pub publisher: u32,
+    /// The XML content (e.g. PFS publishes a URL + file pointer).
+    pub xml: String,
+    /// Keys (terms) the snippet is findable under.
+    pub keys: Vec<String>,
+    /// Absolute expiry time.
+    pub discard_at: TimeMs,
+}
+
+impl Snippet {
+    /// Has the snippet expired at `now`?
+    pub fn expired(&self, now: TimeMs) -> bool {
+        now >= self.discard_at
+    }
+
+    /// Approximate wire/storage size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        16 + self.xml.len() + self.keys.iter().map(|k| k.len() + 2).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snip(discard_at: TimeMs) -> Snippet {
+        Snippet {
+            id: 1,
+            publisher: 9,
+            xml: "<file href='http://p9/x.pdf'/>".into(),
+            keys: vec!["gossip".into()],
+            discard_at,
+        }
+    }
+
+    #[test]
+    fn expiry_boundary() {
+        let s = snip(1000);
+        assert!(!s.expired(999));
+        assert!(s.expired(1000));
+        assert!(s.expired(2000));
+    }
+
+    #[test]
+    fn size_accounts_for_content_and_keys() {
+        let s = snip(0);
+        assert!(s.size_bytes() > s.xml.len());
+    }
+}

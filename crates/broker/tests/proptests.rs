@@ -1,0 +1,138 @@
+//! Property-based tests for the brokerage: routing invariants of the
+//! consistent-hashing ring under arbitrary joins and leaves, and
+//! no-loss guarantees for graceful membership changes.
+
+use planetp_broker::{key_position, BrokerageService, ConsistentRing, Snippet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Join(u32),
+    LeaveGraceful(u8),
+    LeaveAbrupt(u8),
+    Publish(u16),
+}
+
+fn op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![
+        2 => any::<u32>().prop_map(RingOp::Join),
+        1 => any::<u8>().prop_map(RingOp::LeaveGraceful),
+        1 => any::<u8>().prop_map(RingOp::LeaveAbrupt),
+        3 => any::<u16>().prop_map(RingOp::Publish),
+    ]
+}
+
+proptest! {
+    /// Ring routing is a function: every key maps to exactly one live
+    /// broker, and removing an unrelated broker never re-routes a key
+    /// owned by someone else's predecessor range... i.e. keys only move
+    /// to the removed broker's successor.
+    #[test]
+    fn removal_moves_keys_only_to_successor(
+        positions in prop::collection::btree_set(0u64..1_000_000, 3..12),
+        victim_idx in any::<prop::sample::Index>(),
+        keys in prop::collection::vec("[a-z]{1,8}", 1..40),
+    ) {
+        let mut ring = ConsistentRing::new();
+        let pos: Vec<u64> = positions.iter().copied().collect();
+        for (i, &p) in pos.iter().enumerate() {
+            prop_assert!(ring.insert(p, i as u32));
+        }
+        let victim = victim_idx.index(pos.len()) as u32;
+        let successor = ring.next_after(victim).expect("n >= 3");
+        let before: Vec<(String, u32)> = keys
+            .iter()
+            .map(|k| (k.clone(), ring.broker_for(k).expect("non-empty")))
+            .collect();
+        ring.remove(victim);
+        for (k, owner) in before {
+            let now = ring.broker_for(&k).expect("still non-empty");
+            if owner == victim {
+                prop_assert_eq!(now, successor, "key {} must move to successor", k);
+            } else {
+                prop_assert_eq!(now, owner, "key {} must not move", k);
+            }
+        }
+    }
+
+    /// Under arbitrary operation sequences with graceful leaves only,
+    /// every published key remains resolvable while at least one broker
+    /// is alive.
+    #[test]
+    fn graceful_service_never_loses_filings(ops in prop::collection::vec(op(), 1..40)) {
+        let mut svc = BrokerageService::new();
+        svc.join(0, 0);
+        let mut alive = vec![0u32];
+        let mut next_id = 1u32;
+        let mut published: Vec<String> = Vec::new();
+        let mut snippet_id = 0u64;
+        for o in &ops {
+            match o {
+                RingOp::Join(p) => {
+                    let pos = u64::from(*p) % planetp_broker::ring::RING_MAX;
+                    if svc.join(next_id, pos) {
+                        alive.push(next_id);
+                        next_id += 1;
+                    }
+                }
+                RingOp::LeaveGraceful(i) | RingOp::LeaveAbrupt(i) => {
+                    // Keep at least one broker; all leaves graceful here.
+                    if alive.len() > 1 {
+                        let idx = usize::from(*i) % alive.len();
+                        let id = alive.swap_remove(idx);
+                        svc.leave_graceful(id);
+                    }
+                }
+                RingOp::Publish(k) => {
+                    snippet_id += 1;
+                    let key = format!("key-{k}");
+                    svc.publish(Snippet {
+                        id: snippet_id,
+                        publisher: 0,
+                        xml: "<s/>".into(),
+                        keys: vec![key.clone()],
+                        discard_at: u64::MAX,
+                    });
+                    published.push(key);
+                }
+            }
+        }
+        for key in &published {
+            prop_assert!(
+                !svc.lookup(key, 0).is_empty(),
+                "key {key} lost despite graceful-only membership changes"
+            );
+        }
+    }
+
+    /// key_position is total and stable; the successor function agrees
+    /// with a brute-force scan.
+    #[test]
+    fn successor_matches_bruteforce(
+        positions in prop::collection::btree_set(0u64..u32::MAX as u64, 1..16),
+        probe in any::<u32>(),
+    ) {
+        let mut ring = ConsistentRing::new();
+        let pos: Vec<u64> = positions.iter().copied().collect();
+        for (i, &p) in pos.iter().enumerate() {
+            ring.insert(p, i as u32);
+        }
+        let probe = u64::from(probe);
+        let got = ring.successor_of(probe).expect("non-empty");
+        // Brute force: smallest position >= probe, else smallest overall.
+        let expect_pos = pos
+            .iter()
+            .copied()
+            .filter(|&p| p >= probe % planetp_broker::ring::RING_MAX)
+            .min()
+            .unwrap_or_else(|| *pos.iter().min().expect("non-empty"));
+        let expect = pos.iter().position(|&p| p == expect_pos).expect("present") as u32;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Hash positions stay inside the predetermined range.
+    #[test]
+    fn key_position_in_range(key in ".{0,64}") {
+        prop_assert!(key_position(&key) < planetp_broker::ring::RING_MAX);
+    }
+}

@@ -1,0 +1,206 @@
+//! `planetp` — a command-line peer for live PlanetP communities.
+//!
+//! Run one peer per terminal; the first founds the community, the rest
+//! bootstrap off any existing member:
+//!
+//! ```sh
+//! planetp --id 0 --interval-ms 1000                 # founder; prints its address
+//! planetp --id 1 --bootstrap 0@127.0.0.1:40001      # joiner
+//! ```
+//!
+//! Commands on stdin:
+//!
+//! ```text
+//! publish <xml>        publish an XML document (or: publish @file.xml)
+//! search <query>       ranked TFxIPF search
+//! grep <query>         exhaustive conjunctive search
+//! proxy <id> <query>   ranked search via peer <id> (proxy search)
+//! peers                show the local directory copy
+//! help / quit
+//! ```
+
+use planetp::live::{LiveConfig, LiveNode};
+use planetp_gossip::GossipConfig;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+struct Args {
+    id: u32,
+    bootstrap: Option<(u32, String)>,
+    interval_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut bootstrap = None;
+    let mut interval_ms = 30_000u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--id" => {
+                id = Some(
+                    argv.get(i + 1)
+                        .ok_or("--id needs a value")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad --id: {e}"))?,
+                );
+                i += 2;
+            }
+            "--bootstrap" => {
+                let v = argv.get(i + 1).ok_or("--bootstrap needs id@addr")?;
+                let (pid, addr) =
+                    v.split_once('@').ok_or("--bootstrap format: <id>@<addr>")?;
+                bootstrap = Some((
+                    pid.parse::<u32>().map_err(|e| format!("bad peer id: {e}"))?,
+                    addr.to_string(),
+                ));
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = argv
+                    .get(i + 1)
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad interval: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        id: id.ok_or("--id is required")?,
+        bootstrap,
+        interval_ms,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let config = LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: args.interval_ms,
+            max_interval_ms: args.interval_ms * 2,
+            slowdown_ms: args.interval_ms / 6,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(5),
+        seed: u64::from(args.id) + 0xC11,
+    };
+    let node = match LiveNode::start(args.id, config, args.bootstrap) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("peer {} listening on {}", node.id(), node.addr());
+    println!("bootstrap others with: --bootstrap {}@{}", node.id(), node.addr());
+    repl(&node);
+}
+
+fn repl(node: &LiveNode) {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("planetp> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" => return,
+            "help" => {
+                println!(
+                    "publish <xml>|@file  search <query>  grep <query>  \
+                     proxy <id> <query>  peers  quit"
+                );
+            }
+            "publish" => {
+                let xml = if let Some(path) = rest.strip_prefix('@') {
+                    match std::fs::read_to_string(path) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            println!("cannot read {path}: {e}");
+                            continue;
+                        }
+                    }
+                } else {
+                    rest.to_string()
+                };
+                match node.publish(&xml) {
+                    Ok(id) => println!("published as doc {id}"),
+                    Err(e) => println!("publish failed: {e}"),
+                }
+            }
+            "search" => match node.search_ranked(rest, 10) {
+                Ok(hits) => {
+                    for h in hits {
+                        println!("{:.3}  peer {} doc {}: {}", h.score, h.peer, h.doc, trim(&h.xml));
+                    }
+                }
+                Err(e) => println!("search failed: {e}"),
+            },
+            "grep" => match node.search_exhaustive(rest) {
+                Ok(hits) => {
+                    for h in hits {
+                        println!("peer {} doc {}: {}", h.peer, h.doc, trim(&h.xml));
+                    }
+                }
+                Err(e) => println!("search failed: {e}"),
+            },
+            "proxy" => {
+                let (pid, query) = match rest.split_once(' ') {
+                    Some(x) => x,
+                    None => {
+                        println!("usage: proxy <peer id> <query>");
+                        continue;
+                    }
+                };
+                match pid.parse::<u32>() {
+                    Ok(pid) => match node.search_via_proxy(pid, query, 10) {
+                        Ok(hits) => {
+                            for h in hits {
+                                println!(
+                                    "{:.3}  peer {} doc {}: {}",
+                                    h.score,
+                                    h.peer,
+                                    h.doc,
+                                    trim(&h.xml)
+                                );
+                            }
+                        }
+                        Err(e) => println!("proxy search failed: {e}"),
+                    },
+                    Err(e) => println!("bad peer id: {e}"),
+                }
+            }
+            "peers" => {
+                println!("directory: {} peers", node.directory_size());
+            }
+            other => println!("unknown command {other:?}; try help"),
+        }
+    }
+}
+
+fn trim(xml: &str) -> String {
+    let flat: String = xml.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.len() > 72 {
+        format!("{}...", &flat[..72])
+    } else {
+        flat
+    }
+}

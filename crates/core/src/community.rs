@@ -1,0 +1,515 @@
+//! The in-process community runtime.
+//!
+//! [`Community`] wires peers together in one address space: the global
+//! directory is trivially consistent (what gossiping converges to), so
+//! applications, examples, and the retrieval experiments can exercise
+//! the full publish → summarize → rank → retrieve pipeline without
+//! sockets. The live TCP runtime in [`crate::live`] provides the same
+//! operations over a real network.
+
+use planetp_broker::{BrokerageService, Snippet};
+use planetp_index::DocId;
+use planetp_search::{
+    DistributedSearch, IpfTable, PeerStore, SelectionConfig,
+};
+use std::collections::HashMap;
+
+use crate::datastore::{LocalDataStore, PublishOptions};
+use crate::error::PlanetPError;
+use crate::persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
+use crate::query::parse_query;
+
+/// Opaque handle to a community member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerHandle(pub(crate) usize);
+
+struct Member {
+    name: String,
+    store: LocalDataStore,
+    online: bool,
+    registry: PersistentQueryRegistry,
+}
+
+/// One hit of a ranked search.
+#[derive(Debug, Clone)]
+pub struct RankedHit {
+    /// Owning peer's name.
+    pub peer: String,
+    /// Document id within that peer's store.
+    pub doc: DocId,
+    /// TFxIPF similarity score.
+    pub score: f64,
+    /// The document's XML.
+    pub xml: String,
+}
+
+/// Result of a ranked search.
+#[derive(Debug, Clone)]
+pub struct RankedHits {
+    /// Best-first results (at most k).
+    pub results: Vec<RankedHit>,
+    /// Peers contacted to produce them.
+    pub peers_contacted: usize,
+}
+
+/// One hit of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveHit {
+    /// Owning peer's name.
+    pub peer: String,
+    /// Document id within that peer's store.
+    pub doc: DocId,
+    /// The document's XML.
+    pub xml: String,
+}
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveHits {
+    /// All matching documents from online peers.
+    pub results: Vec<ExhaustiveHit>,
+    /// Broker snippets matching the query (fresh content).
+    pub snippets: Vec<String>,
+    /// Offline peers whose filters matched: "the searching peer could
+    /// arrange to rendezvous with the off-line peers when they
+    /// reconnect" (§2).
+    pub possibly_on_offline_peers: Vec<String>,
+}
+
+/// A PlanetP community in one process.
+pub struct Community {
+    members: Vec<Member>,
+    names: HashMap<String, usize>,
+    brokerage: BrokerageService,
+    /// Logical clock for snippet expiry, ms.
+    now_ms: u64,
+    /// Discard time for hot-term snippets (PFS uses 10 minutes).
+    pub snippet_ttl_ms: u64,
+    next_snippet_id: u64,
+}
+
+impl Community {
+    /// Empty community.
+    pub fn new() -> Self {
+        Self {
+            members: Vec::new(),
+            names: HashMap::new(),
+            brokerage: BrokerageService::new(),
+            now_ms: 0,
+            snippet_ttl_ms: 10 * 60 * 1000,
+            next_snippet_id: 0,
+        }
+    }
+
+    /// Add a member; its name must be unique.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn add_peer(&mut self, name: &str) -> PeerHandle {
+        assert!(
+            !self.names.contains_key(name),
+            "peer name {name:?} already taken"
+        );
+        let idx = self.members.len();
+        self.members.push(Member {
+            name: name.to_string(),
+            store: LocalDataStore::new(),
+            online: true,
+            registry: PersistentQueryRegistry::new(),
+        });
+        self.names.insert(name.to_string(), idx);
+        // Every member also serves as a broker; its ring position is
+        // derived from its name.
+        let pos = planetp_broker::key_position(name);
+        self.brokerage.join(idx as u32, pos);
+        PeerHandle(idx)
+    }
+
+    /// Look up a member by name.
+    pub fn peer(&self, name: &str) -> Option<PeerHandle> {
+        self.names.get(name).map(|&i| PeerHandle(i))
+    }
+
+    /// A member's name.
+    pub fn name(&self, peer: PeerHandle) -> &str {
+        &self.members[peer.0].name
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the community has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Advance the logical clock (drives snippet expiry).
+    pub fn advance_time(&mut self, ms: u64) {
+        self.now_ms += ms;
+        self.brokerage.sweep(self.now_ms);
+    }
+
+    /// Current logical time, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Take a member offline (its documents become unreachable, but
+    /// its Bloom filter stays in everyone's directory).
+    pub fn set_offline(&mut self, peer: PeerHandle) {
+        self.members[peer.0].online = false;
+        self.brokerage.leave_abrupt(peer.0 as u32);
+    }
+
+    /// Bring a member back online.
+    pub fn set_online(&mut self, peer: PeerHandle) {
+        let m = &mut self.members[peer.0];
+        if !m.online {
+            m.online = true;
+            let pos = planetp_broker::key_position(&m.name);
+            self.brokerage.join(peer.0 as u32, pos);
+        }
+    }
+
+    /// Is the member online?
+    pub fn is_online(&self, peer: PeerHandle) -> bool {
+        self.members[peer.0].online
+    }
+
+    /// Direct access to a member's data store.
+    pub fn store(&self, peer: PeerHandle) -> &LocalDataStore {
+        &self.members[peer.0].store
+    }
+
+    // ------------------------------------------------------------------
+    // Publishing
+    // ------------------------------------------------------------------
+
+    /// Publish an XML document from a peer. Triggers persistent-query
+    /// upcalls on every member (the in-process analog of the new Bloom
+    /// filter reaching everyone) and, when requested, a hot-term
+    /// brokerage publication.
+    pub fn publish(
+        &mut self,
+        peer: PeerHandle,
+        xml: &str,
+        options: PublishOptions,
+    ) -> Result<DocId, PlanetPError> {
+        let doc_id = self.members[peer.0].store.publish(xml)?;
+        let publisher = self.members[peer.0].name.clone();
+
+        if let Some(fraction) = options.broker_hot_terms {
+            let keys = self.members[peer.0].store.hot_terms(doc_id, fraction);
+            if !keys.is_empty() {
+                self.next_snippet_id += 1;
+                let snippet = Snippet {
+                    id: self.next_snippet_id,
+                    publisher: peer.0 as u32,
+                    xml: xml.to_string(),
+                    keys: keys.clone(),
+                    discard_at: self.now_ms + self.snippet_ttl_ms,
+                };
+                self.brokerage.publish(snippet);
+                for m in &self.members {
+                    m.registry.on_snippet(&publisher, xml, &keys);
+                }
+            }
+        }
+
+        // The publisher's new Bloom filter "arrives" at every member.
+        let bloom = self.members[peer.0].store.bloom().clone();
+        for m in &self.members {
+            m.registry.on_bloom_update(&publisher, &bloom);
+        }
+        Ok(doc_id)
+    }
+
+    /// Remove a document from a peer's store.
+    pub fn unpublish(&mut self, peer: PeerHandle, doc: DocId) -> Result<(), PlanetPError> {
+        self.members[peer.0].store.unpublish(doc)
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Exhaustive search (§5.1): all documents on online peers matching
+    /// *every* query key, plus matching broker snippets, plus the names
+    /// of offline peers whose filters matched.
+    pub fn search_exhaustive(
+        &self,
+        peer: PeerHandle,
+        raw_query: &str,
+    ) -> Result<ExhaustiveHits, PlanetPError> {
+        let analyzer = self.members[peer.0].store.analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        let mut hits = ExhaustiveHits {
+            results: Vec::new(),
+            snippets: Vec::new(),
+            possibly_on_offline_peers: Vec::new(),
+        };
+        if q.is_empty() {
+            return Ok(hits);
+        }
+        for m in &self.members {
+            let candidate = q.terms.iter().all(|t| m.store.bloom().contains(t));
+            if !candidate {
+                continue;
+            }
+            if !m.online {
+                hits.possibly_on_offline_peers.push(m.name.clone());
+                continue;
+            }
+            for doc in m.store.search_conjunction(&q.terms) {
+                let rec = m.store.get(doc).expect("searched doc exists");
+                hits.results.push(ExhaustiveHit {
+                    peer: m.name.clone(),
+                    doc,
+                    xml: rec.xml.clone(),
+                });
+            }
+        }
+        // Brokers may hold fresh snippets under any query term; a
+        // snippet matches if it satisfies the whole conjunction.
+        let mut seen = std::collections::HashSet::new();
+        for t in &q.terms {
+            for s in self.brokerage.lookup(t, self.now_ms) {
+                if q.terms.iter().all(|qt| s.keys.contains(qt))
+                    && seen.insert((s.publisher, s.id))
+                {
+                    hits.snippets.push(s.xml.clone());
+                }
+            }
+        }
+        hits.results.sort_by(|a, b| (&a.peer, a.doc).cmp(&(&b.peer, b.doc)));
+        Ok(hits)
+    }
+
+    /// Ranked search (§5.2): TFxIPF with the adaptive stopping
+    /// heuristic, over online peers.
+    pub fn search_ranked(
+        &self,
+        peer: PeerHandle,
+        raw_query: &str,
+        k: usize,
+    ) -> Result<RankedHits, PlanetPError> {
+        let analyzer = self.members[peer.0].store.analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        if q.is_empty() {
+            return Ok(RankedHits { results: Vec::new(), peers_contacted: 0 });
+        }
+        let online: Vec<usize> = (0..self.members.len())
+            .filter(|&i| self.members[i].online)
+            .collect();
+        let stores: Vec<StoreAdapter<'_>> = online
+            .iter()
+            .map(|&i| StoreAdapter { store: &self.members[i].store })
+            .collect();
+        let search = DistributedSearch::new(&stores);
+        let out = search.search(&q.terms, SelectionConfig::paper(k));
+        let results = out
+            .results
+            .into_iter()
+            .map(|sd| {
+                let member = &self.members[online[sd.doc.peer]];
+                let rec = member.store.get(sd.doc.doc).expect("ranked doc exists");
+                RankedHit {
+                    peer: member.name.clone(),
+                    doc: sd.doc.doc,
+                    score: sd.score,
+                    xml: rec.xml.clone(),
+                }
+            })
+            .collect();
+        Ok(RankedHits { results, peers_contacted: out.peers_contacted })
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent queries
+    // ------------------------------------------------------------------
+
+    /// Register a persistent query for a peer; `callback` runs whenever
+    /// matching content appears anywhere in the community.
+    pub fn register_persistent_query(
+        &mut self,
+        peer: PeerHandle,
+        raw_query: &str,
+        callback: impl Fn(&Notification) + Send + Sync + 'static,
+    ) -> PersistentQueryId {
+        let analyzer = self.members[peer.0].store.analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        self.members[peer.0].registry.register(q.terms, callback)
+    }
+
+    /// Remove a persistent query.
+    pub fn unregister_persistent_query(
+        &mut self,
+        peer: PeerHandle,
+        id: PersistentQueryId,
+    ) -> bool {
+        self.members[peer.0].registry.unregister(id)
+    }
+}
+
+impl Default for Community {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Adapter exposing a `LocalDataStore` as a search `PeerStore`.
+struct StoreAdapter<'a> {
+    store: &'a LocalDataStore,
+}
+
+impl PeerStore for StoreAdapter<'_> {
+    fn bloom(&self) -> &planetp_bloom::BloomFilter {
+        self.store.bloom()
+    }
+
+    fn local_search(&self, query_terms: &[String], ipf: &IpfTable) -> Vec<(u64, f64)> {
+        planetp_search::score_index(self.store.index(), query_terms, ipf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn community_of(names: &[&str]) -> (Community, Vec<PeerHandle>) {
+        let mut c = Community::new();
+        let handles = names.iter().map(|n| c.add_peer(n)).collect();
+        (c, handles)
+    }
+
+    #[test]
+    fn publish_then_exhaustive_search() {
+        let (mut c, h) = community_of(&["alice", "bob", "carol"]);
+        c.publish(h[0], "<d>gossip protocols everywhere</d>", PublishOptions::default())
+            .unwrap();
+        c.publish(h[1], "<d>gossip networks</d>", PublishOptions::default())
+            .unwrap();
+        c.publish(h[2], "<d>unrelated content</d>", PublishOptions::default())
+            .unwrap();
+        let hits = c.search_exhaustive(h[2], "gossip").unwrap();
+        assert_eq!(hits.results.len(), 2);
+        let hits = c.search_exhaustive(h[2], "gossip protocols").unwrap();
+        assert_eq!(hits.results.len(), 1);
+        assert_eq!(hits.results[0].peer, "alice");
+    }
+
+    #[test]
+    fn ranked_search_orders_by_relevance() {
+        let (mut c, h) = community_of(&["a", "b"]);
+        c.publish(h[0], "<d>bloom bloom bloom filters</d>", PublishOptions::default())
+            .unwrap();
+        c.publish(h[1], "<d>bloom mentioned once here among many other words</d>", PublishOptions::default())
+            .unwrap();
+        let hits = c.search_ranked(h[0], "bloom", 10).unwrap();
+        assert_eq!(hits.results.len(), 2);
+        assert_eq!(hits.results[0].peer, "a", "tf-heavy doc first");
+        assert!(hits.results[0].score > hits.results[1].score);
+    }
+
+    #[test]
+    fn offline_peers_reported_not_searched() {
+        let (mut c, h) = community_of(&["a", "b"]);
+        c.publish(h[1], "<d>rare-term document</d>", PublishOptions::default())
+            .unwrap();
+        c.set_offline(h[1]);
+        let hits = c.search_exhaustive(h[0], "rare-term").unwrap();
+        assert!(hits.results.is_empty());
+        assert_eq!(hits.possibly_on_offline_peers, vec!["b"]);
+        c.set_online(h[1]);
+        let hits = c.search_exhaustive(h[0], "rare-term").unwrap();
+        assert_eq!(hits.results.len(), 1);
+    }
+
+    #[test]
+    fn broker_snippets_surface_fresh_content() {
+        let (mut c, h) = community_of(&["a", "b", "c", "d"]);
+        c.publish(
+            h[0],
+            "<d>breaking breaking news</d>",
+            PublishOptions { broker_hot_terms: Some(1.0) },
+        )
+        .unwrap();
+        let hits = c.search_exhaustive(h[3], "breaking news").unwrap();
+        assert_eq!(hits.snippets.len(), 1);
+        // After the TTL the snippet is gone but the document remains.
+        c.advance_time(11 * 60 * 1000);
+        let hits = c.search_exhaustive(h[3], "breaking news").unwrap();
+        assert!(hits.snippets.is_empty());
+        assert_eq!(hits.results.len(), 1);
+    }
+
+    #[test]
+    fn persistent_query_fires_on_publish() {
+        let (mut c, h) = community_of(&["watcher", "writer"]);
+        let count = Arc::new(AtomicUsize::new(0));
+        let cc = Arc::clone(&count);
+        c.register_persistent_query(h[0], "epidemic", move |_| {
+            cc.fetch_add(1, Ordering::SeqCst);
+        });
+        c.publish(h[1], "<d>epidemic algorithms</d>", PublishOptions::default())
+            .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        // Bloom filters are cumulative: a later publish re-delivers a
+        // filter that still matches, so the upcall fires again (the
+        // application re-runs the query to find what, if anything, is
+        // new — exactly how PFS refreshes directories, §6).
+        c.publish(h[1], "<d>nothing relevant</d>", PublishOptions::default())
+            .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn unregister_silences_persistent_query() {
+        let (mut c, h) = community_of(&["w", "p"]);
+        let count = Arc::new(AtomicUsize::new(0));
+        let cc = Arc::clone(&count);
+        let id = c.register_persistent_query(h[0], "topic", move |_| {
+            cc.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(c.unregister_persistent_query(h[0], id));
+        c.publish(h[1], "<d>topic</d>", PublishOptions::default()).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn empty_query_returns_empty() {
+        let (mut c, h) = community_of(&["a"]);
+        c.publish(h[0], "<d>content</d>", PublishOptions::default()).unwrap();
+        assert!(c.search_exhaustive(h[0], "the of").unwrap().results.is_empty());
+        assert!(c.search_ranked(h[0], "", 5).unwrap().results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn duplicate_names_rejected() {
+        let mut c = Community::new();
+        c.add_peer("same");
+        c.add_peer("same");
+    }
+
+    #[test]
+    fn peer_lookup_by_name() {
+        let (c, h) = community_of(&["x", "y"]);
+        assert_eq!(c.peer("y"), Some(h[1]));
+        assert_eq!(c.peer("zzz"), None);
+        assert_eq!(c.name(h[0]), "x");
+    }
+
+    #[test]
+    fn unpublish_removes_from_search() {
+        let (mut c, h) = community_of(&["a"]);
+        let d = c.publish(h[0], "<d>temporary</d>", PublishOptions::default()).unwrap();
+        assert_eq!(c.search_exhaustive(h[0], "temporary").unwrap().results.len(), 1);
+        c.unpublish(h[0], d).unwrap();
+        assert!(c.search_exhaustive(h[0], "temporary").unwrap().results.is_empty());
+    }
+}

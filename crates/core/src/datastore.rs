@@ -1,0 +1,268 @@
+//! The local data store (§2).
+//!
+//! "PlanetP maintains a local data store at each peer ... the basic
+//! unit of storage is an XML document. ... Each published XML document
+//! is stored in the local data store of the publishing peer." The store
+//! indexes the document's text (plus tag names and attribute values)
+//! into the peer's inverted index and keeps the Bloom filter summary of
+//! the vocabulary up to date.
+
+use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_index::{Analyzer, DocId, InvertedIndex, XmlDocument};
+use std::collections::HashMap;
+
+use crate::error::PlanetPError;
+
+/// Options for publishing a document.
+#[derive(Debug, Clone, Default)]
+pub struct PublishOptions {
+    /// Also publish the document's hottest terms to the information
+    /// brokerage (as PFS does, §6). The community runtime handles the
+    /// actual brokerage call; the option records intent and the hot
+    /// fraction.
+    pub broker_hot_terms: Option<f64>,
+}
+
+/// A stored document.
+#[derive(Debug, Clone)]
+pub struct DocumentRecord {
+    /// Store-assigned id.
+    pub id: DocId,
+    /// The raw XML as published.
+    pub xml: String,
+    /// Analyzed terms (what the index holds).
+    pub terms: Vec<String>,
+    /// External links referenced by the document.
+    pub links: Vec<String>,
+}
+
+/// One peer's document store, inverted index, and filter summary.
+#[derive(Debug)]
+pub struct LocalDataStore {
+    analyzer: Analyzer,
+    bloom_params: BloomParams,
+    docs: HashMap<DocId, DocumentRecord>,
+    index: InvertedIndex,
+    bloom: BloomFilter,
+    /// Versions the Bloom filter summary; bumped on every change.
+    bloom_version: u32,
+    next_id: DocId,
+}
+
+impl LocalDataStore {
+    /// Empty store with the paper's analyzer and filter parameters.
+    pub fn new() -> Self {
+        Self::with_params(Analyzer::new(), BloomParams::paper())
+    }
+
+    /// Empty store with custom analysis/summary parameters.
+    pub fn with_params(analyzer: Analyzer, bloom_params: BloomParams) -> Self {
+        Self {
+            analyzer,
+            bloom_params,
+            docs: HashMap::new(),
+            index: InvertedIndex::new(),
+            bloom: BloomFilter::new(bloom_params),
+            bloom_version: 0,
+            next_id: 1,
+        }
+    }
+
+    /// Publish an XML document: parse, index, summarize. Returns the
+    /// assigned document id.
+    pub fn publish(&mut self, xml: &str) -> Result<DocId, PlanetPError> {
+        let doc = XmlDocument::parse(xml)?;
+        let terms = self.analyzer.analyze(&doc.indexable_text());
+        let links = doc.links().into_iter().map(String::from).collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.add_document(id, &terms);
+        // New terms are ORed into the (append-only) filter.
+        for t in &terms {
+            self.bloom.insert(t);
+        }
+        self.bloom_version += 1;
+        self.docs.insert(
+            id,
+            DocumentRecord { id, xml: xml.to_string(), terms, links },
+        );
+        Ok(id)
+    }
+
+    /// Remove a document. The Bloom filter is rebuilt from the index
+    /// (filters cannot delete in place).
+    pub fn unpublish(&mut self, id: DocId) -> Result<(), PlanetPError> {
+        if self.docs.remove(&id).is_none() {
+            return Err(PlanetPError::UnknownDocument(id));
+        }
+        self.index.remove_document(id);
+        let mut fresh = BloomFilter::new(self.bloom_params);
+        for t in self.index.vocabulary() {
+            fresh.insert(t);
+        }
+        self.bloom = fresh;
+        self.bloom_version += 1;
+        Ok(())
+    }
+
+    /// Fetch a stored document.
+    pub fn get(&self, id: DocId) -> Option<&DocumentRecord> {
+        self.docs.get(&id)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The store's inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The current Bloom filter summary.
+    pub fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
+    /// Version of the summary (bumped on every publish/unpublish).
+    pub fn bloom_version(&self) -> u32 {
+        self.bloom_version
+    }
+
+    /// The analyzer documents and queries share.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Local exhaustive search: document ids containing *all* terms.
+    pub fn search_conjunction(&self, terms: &[String]) -> Vec<DocId> {
+        let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+        self.index.search_conjunction(&refs)
+    }
+
+    /// The `fraction` most frequent terms of a document (what PFS
+    /// publishes to the brokerage, §6: "the 10% most frequently
+    /// appearing terms in the file").
+    pub fn hot_terms(&self, id: DocId, fraction: f64) -> Vec<String> {
+        let Some(rec) = self.docs.get(&id) else {
+            return Vec::new();
+        };
+        let mut counts: HashMap<&str, u32> = HashMap::new();
+        for t in &rec.terms {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut by_freq: Vec<(&str, u32)> = counts.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let n = ((by_freq.len() as f64 * fraction).ceil() as usize)
+            .clamp(usize::from(!by_freq.is_empty()), by_freq.len());
+        by_freq.truncate(n);
+        by_freq.into_iter().map(|(t, _)| t.to_string()).collect()
+    }
+
+    /// Iterate all stored documents.
+    pub fn documents(&self) -> impl Iterator<Item = &DocumentRecord> {
+        self.docs.values()
+    }
+}
+
+impl Default for LocalDataStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(docs: &[&str]) -> LocalDataStore {
+        let mut s = LocalDataStore::new();
+        for d in docs {
+            s.publish(d).expect("publish");
+        }
+        s
+    }
+
+    #[test]
+    fn publish_indexes_and_summarizes() {
+        let s = store_with(&["<doc>epidemic gossiping protocols</doc>"]);
+        assert_eq!(s.len(), 1);
+        // Terms are stemmed; the filter covers them.
+        assert!(s.index().contains_term("gossip"));
+        assert!(s.bloom().contains("gossip"));
+        assert!(s.bloom().contains("epidem"));
+        assert_eq!(s.bloom_version(), 1);
+    }
+
+    #[test]
+    fn invalid_xml_rejected() {
+        let mut s = LocalDataStore::new();
+        assert!(matches!(
+            s.publish("<doc>unclosed"),
+            Err(PlanetPError::InvalidXml(_))
+        ));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unpublish_rebuilds_filter() {
+        let mut s = store_with(&[
+            "<a>unique-alpha-term</a>",
+            "<b>shared common words</b>",
+        ]);
+        assert!(s.bloom().contains("alpha"));
+        s.unpublish(1).unwrap();
+        assert!(!s.index().contains_term("alpha"));
+        assert!(
+            !s.bloom().contains("alpha") || s.bloom().estimated_fpr() > 0.0,
+            "rebuilt filter must drop removed vocabulary"
+        );
+        assert!(s.bloom().contains("share"));
+        assert!(matches!(
+            s.unpublish(1),
+            Err(PlanetPError::UnknownDocument(1))
+        ));
+    }
+
+    #[test]
+    fn conjunction_search_local() {
+        let s = store_with(&[
+            "<a>gossip networks</a>",
+            "<b>gossip protocols</b>",
+            "<c>storage networks</c>",
+        ]);
+        let hits = s.search_conjunction(&["gossip".into(), "network".into()]);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn hot_terms_pick_most_frequent() {
+        let s = store_with(&[
+            "<d>bloom bloom bloom filter filter gossip</d>",
+        ]);
+        let hot = s.hot_terms(1, 0.34);
+        assert_eq!(hot[0], "bloom");
+        assert!(!hot.is_empty() && hot.len() <= 2);
+        assert!(s.hot_terms(99, 0.1).is_empty(), "unknown doc -> empty");
+    }
+
+    #[test]
+    fn links_extracted_on_publish() {
+        let s = store_with(&[r#"<d><file href="http://x/a.pdf"/>text</d>"#]);
+        assert_eq!(s.get(1).unwrap().links, vec!["http://x/a.pdf"]);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut s = store_with(&["<a>one</a>"]);
+        s.unpublish(1).unwrap();
+        let id = s.publish("<b>two</b>").unwrap();
+        assert_eq!(id, 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the public API.
+
+use std::fmt;
+
+/// Errors surfaced by PlanetP operations.
+#[derive(Debug)]
+pub enum PlanetPError {
+    /// The XML snippet could not be parsed.
+    InvalidXml(planetp_index::xml::XmlError),
+    /// The referenced peer does not exist in this community.
+    UnknownPeer(String),
+    /// The referenced document does not exist.
+    UnknownDocument(u64),
+    /// A network operation failed (live runtime).
+    Network(std::io::Error),
+    /// A peer sent a malformed frame (live runtime).
+    Protocol(String),
+}
+
+impl fmt::Display for PlanetPError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanetPError::InvalidXml(e) => write!(f, "invalid XML: {e}"),
+            PlanetPError::UnknownPeer(p) => write!(f, "unknown peer: {p}"),
+            PlanetPError::UnknownDocument(d) => write!(f, "unknown document: {d}"),
+            PlanetPError::Network(e) => write!(f, "network error: {e}"),
+            PlanetPError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanetPError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanetPError::InvalidXml(e) => Some(e),
+            PlanetPError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<planetp_index::xml::XmlError> for PlanetPError {
+    fn from(e: planetp_index::xml::XmlError) -> Self {
+        PlanetPError::InvalidXml(e)
+    }
+}
+
+impl From<std::io::Error> for PlanetPError {
+    fn from(e: std::io::Error) -> Self {
+        PlanetPError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PlanetPError::UnknownPeer("zed".into());
+        assert!(e.to_string().contains("zed"));
+        let e = PlanetPError::UnknownDocument(42);
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn xml_error_converts_and_chains() {
+        let xml_err = planetp_index::XmlDocument::parse("<a>").unwrap_err();
+        let e: PlanetPError = xml_err.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,69 @@
+//! # PlanetP
+//!
+//! A content search and retrieval infrastructure for peer-to-peer
+//! information sharing communities, reproducing Cuenca-Acuna et al.,
+//! *"PlanetP: Using Gossiping to Build Content Addressable Peer-to-Peer
+//! Information Sharing Communities"* (HPDC 2003).
+//!
+//! Every peer publishes XML documents into a local data store, indexes
+//! their text, and gossips a Bloom filter summary of its vocabulary.
+//! The replicated *global directory* (membership + one filter per peer)
+//! lets any peer answer two kinds of queries against the communal
+//! store:
+//!
+//! - **exhaustive search** (§5.1): a conjunction of keys, answered by
+//!   contacting every peer whose filter may match;
+//! - **ranked search** (§5.2): TFxIPF — a distributed approximation of
+//!   TFxIDF vector-space ranking — with an adaptive heuristic deciding
+//!   how many peers to contact.
+//!
+//! Fresh content is additionally findable within seconds through the
+//! consistent-hashing *information brokerage* (§4), and applications
+//! can register *persistent queries* (§5.1) to be called back when
+//! matching content appears.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use planetp::{Community, PublishOptions};
+//!
+//! let mut community = Community::new();
+//! let alice = community.add_peer("alice");
+//! let bob = community.add_peer("bob");
+//!
+//! community
+//!     .publish(
+//!         alice,
+//!         r#"<doc><title>Epidemic algorithms</title>
+//!            <body>randomized gossip spreads updates reliably</body></doc>"#,
+//!         PublishOptions::default(),
+//!     )
+//!     .unwrap();
+//!
+//! // Bob searches the whole community by content.
+//! let hits = community.search_ranked(bob, "gossip algorithms", 10).unwrap();
+//! assert_eq!(hits.results.len(), 1);
+//! # let _ = hits;
+//! ```
+//!
+//! Two runtimes are provided:
+//! - [`Community`]: in-process, for applications embedding PlanetP and
+//!   for tests — peers exchange data through memory.
+//! - [`live::LiveNode`]: each peer is a real TCP endpoint; gossip,
+//!   anti-entropy, and search RPCs cross the network. This is the
+//!   analog of the paper's Java prototype used to validate the
+//!   simulator.
+
+pub mod community;
+pub mod datastore;
+pub mod error;
+pub mod live;
+pub mod persistent;
+pub mod query;
+pub mod wire;
+
+pub use community::{Community, PeerHandle, RankedHits};
+pub use datastore::{DocumentRecord, LocalDataStore, PublishOptions};
+pub use error::PlanetPError;
+pub use persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
+pub use query::{parse_query, QueryTerms};

@@ -1,0 +1,636 @@
+//! The live TCP runtime.
+//!
+//! Each [`LiveNode`] is one real peer: a TCP listener, a gossip loop
+//! thread running a [`GossipEngine`] over compressed Bloom filters, a
+//! local data store, and RPC handlers for ranked and exhaustive search.
+//! This is the analog of the paper's Java prototype, used to validate
+//! that the protocol converges over real sockets (the paper validated
+//! its simulator against a 200-peer cluster deployment the same way).
+//!
+//! Peer addresses ride inside the gossip payload: a peer's
+//! [`LivePayload`] carries its socket address next to its compressed
+//! filter, so learning of a peer via gossip also teaches how to reach
+//! it.
+
+use parking_lot::Mutex;
+use planetp_bloom::CompressedBloom;
+use planetp_gossip::{
+    GossipConfig, GossipEngine, Message, Payload, PeerId, SpeedClass,
+};
+use planetp_search::{adaptive_p, rank_peers, IpfTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::datastore::LocalDataStore;
+use crate::error::PlanetPError;
+use crate::query::parse_query;
+
+/// What a live peer gossips about itself: its address and its
+/// compressed Bloom filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivePayload {
+    /// Socket address ("127.0.0.1:port").
+    pub addr: String,
+    /// Golomb-compressed filter summarizing the peer's vocabulary.
+    pub bloom: CompressedBloom,
+}
+
+impl Payload for LivePayload {
+    fn wire_bytes(&self) -> usize {
+        6 + self.addr.len() + self.bloom.wire_bytes()
+    }
+}
+
+/// Everything that crosses the wire between live peers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum LiveMsg {
+    /// A gossip protocol message.
+    Gossip {
+        /// Sending peer.
+        from: PeerId,
+        /// The protocol message.
+        msg: Message<LivePayload>,
+    },
+    /// Ranked-search RPC: score the local store with the given IPF view.
+    SearchRequest {
+        /// Analyzed query terms.
+        terms: Vec<String>,
+        /// The initiator's `(term, IPF)` view.
+        ipf: Vec<(String, f64)>,
+        /// Community size the IPF was computed over.
+        num_peers: usize,
+    },
+    /// Reply: `(doc id, score, xml)` for matching documents.
+    SearchResponse {
+        /// Matching documents.
+        docs: Vec<(u64, f64, String)>,
+    },
+    /// Exhaustive-search RPC: conjunction of analyzed terms.
+    ExhaustiveRequest {
+        /// Analyzed query terms.
+        terms: Vec<String>,
+    },
+    /// Reply: `(doc id, xml)` for documents containing every term.
+    ExhaustiveResponse {
+        /// Matching documents.
+        docs: Vec<(u64, String)>,
+    },
+    /// Proxy search (§7.2 future work): a bandwidth-limited peer asks a
+    /// well-connected one to run the whole ranked query on its behalf —
+    /// the proxy fans out to the community and returns the final top-k.
+    ProxySearchRequest {
+        /// Raw query text (the proxy analyzes it with its own pipeline).
+        query: String,
+        /// Result-list size.
+        k: usize,
+    },
+    /// Reply to `ProxySearchRequest`: `(peer, doc id, score, xml)`.
+    ProxySearchResponse {
+        /// Final ranked hits.
+        hits: Vec<(PeerId, u64, f64, String)>,
+    },
+}
+
+/// Configuration of a live node.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Gossip protocol settings. Tests shrink `base_interval_ms` so
+    /// convergence takes milliseconds instead of minutes.
+    pub gossip: GossipConfig,
+    /// Connect/read timeout for peer contacts.
+    pub io_timeout: Duration,
+    /// RNG seed for the gossip engine.
+    pub seed: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            gossip: GossipConfig::default(),
+            io_timeout: Duration::from_secs(5),
+            seed: 1,
+        }
+    }
+}
+
+struct Inner {
+    id: PeerId,
+    addr: String,
+    config: LiveConfig,
+    engine: Mutex<GossipEngine<LivePayload>>,
+    store: Mutex<LocalDataStore>,
+    /// Fallback address book (bootstrap contact before its payload
+    /// arrives).
+    addr_book: Mutex<HashMap<PeerId, String>>,
+    epoch: Instant,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn resolve(&self, peer: PeerId) -> Option<String> {
+        if let Some(e) = self.engine.lock().directory().get(peer) {
+            if let Some(p) = &e.payload {
+                return Some(p.addr.clone());
+            }
+        }
+        self.addr_book.lock().get(&peer).cloned()
+    }
+
+    fn my_payload(&self) -> LivePayload {
+        LivePayload {
+            addr: self.addr.clone(),
+            bloom: CompressedBloom::compress(self.store.lock().bloom()),
+        }
+    }
+
+    /// Run one half of a gossip conversation over an open stream:
+    /// handle `msg`, write back our responses, and keep alternating
+    /// until either side has nothing more to say.
+    fn converse(&self, stream: &mut TcpStream, from: PeerId, msg: Message<LivePayload>) -> io::Result<()> {
+        let mut responses = self.engine.lock().handle_message(from, msg, self.now_ms());
+        loop {
+            let batch: Vec<LiveMsg> = responses
+                .drain(..)
+                .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
+                .collect();
+            let done = batch.is_empty();
+            crate::wire::write_frame(stream, &batch)?;
+            if done {
+                return Ok(());
+            }
+            let Some(reply): Option<Vec<LiveMsg>> = crate::wire::read_frame(stream)? else {
+                return Ok(());
+            };
+            if reply.is_empty() {
+                return Ok(());
+            }
+            for m in reply {
+                if let LiveMsg::Gossip { from, msg } = m {
+                    responses.extend(
+                        self.engine.lock().handle_message(from, msg, self.now_ms()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Initiate a gossip exchange with `target`.
+    fn gossip_to(&self, target: PeerId, msg: Message<LivePayload>) {
+        let Some(addr) = self.resolve(target) else {
+            return;
+        };
+        let attempt = || -> io::Result<()> {
+            let mut stream = TcpStream::connect(&addr)?;
+            stream.set_read_timeout(Some(self.config.io_timeout))?;
+            stream.set_write_timeout(Some(self.config.io_timeout))?;
+            crate::wire::write_frame(
+                &mut stream,
+                &vec![LiveMsg::Gossip { from: self.id, msg: msg.clone() }],
+            )?;
+            // Alternate until both sides go quiet.
+            loop {
+                let Some(batch): Option<Vec<LiveMsg>> =
+                    crate::wire::read_frame(&mut stream)?
+                else {
+                    return Ok(());
+                };
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                let mut responses = Vec::new();
+                for m in batch {
+                    if let LiveMsg::Gossip { from, msg } = m {
+                        responses.extend(
+                            self.engine.lock().handle_message(from, msg, self.now_ms()),
+                        );
+                    }
+                }
+                let out: Vec<LiveMsg> = responses
+                    .into_iter()
+                    .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
+                    .collect();
+                let done = out.is_empty();
+                crate::wire::write_frame(&mut stream, &out)?;
+                if done {
+                    return Ok(());
+                }
+            }
+        };
+        if attempt().is_err() {
+            self.engine.lock().on_contact_failed(target, self.now_ms());
+        }
+    }
+
+    /// One synchronous RPC (search) to a peer.
+    fn rpc(&self, addr: &str, request: &LiveMsg) -> io::Result<LiveMsg> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        crate::wire::write_frame(&mut stream, &vec![request])?;
+        let batch: Vec<LiveMsg> = crate::wire::read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no reply"))?;
+        batch
+            .into_iter()
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty reply"))
+    }
+
+    /// Ranked TFxIPF search across the community (shared by the node
+    /// API and the proxy-search handler).
+    fn ranked_search(&self, raw_query: &str, k: usize) -> Result<Vec<LiveHit>, PlanetPError> {
+        let analyzer = self.store.lock().analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        if q.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Decompress every peer's filter from the directory.
+        let (filters, owners) = {
+            let engine = self.engine.lock();
+            let mut filters = Vec::new();
+            let mut owners = Vec::new();
+            for (pid, e) in engine.directory().iter() {
+                if let Some(p) = &e.payload {
+                    if let Some(f) = p.bloom.decompress() {
+                        filters.push(f);
+                        owners.push((pid, p.addr.clone()));
+                    }
+                }
+            }
+            (filters, owners)
+        };
+        let ipf = IpfTable::compute(&q.terms, &filters);
+        let ranked = rank_peers(&q.terms, &filters, &ipf);
+        let patience = adaptive_p(filters.len(), k);
+        let mut top: Vec<LiveHit> = Vec::new();
+        let mut dry = 0usize;
+        for rp in ranked {
+            let (pid, addr) = &owners[rp.peer];
+            let docs = if *pid == self.id {
+                let store = self.store.lock();
+                planetp_search::score_index(store.index(), &q.terms, &ipf)
+                    .into_iter()
+                    .filter_map(|(d, s)| store.get(d).map(|r| (d, s, r.xml.clone())))
+                    .collect()
+            } else {
+                match self.rpc(
+                    addr,
+                    &LiveMsg::SearchRequest {
+                        terms: q.terms.clone(),
+                        ipf: ipf.to_pairs(),
+                        num_peers: filters.len(),
+                    },
+                ) {
+                    Ok(LiveMsg::SearchResponse { docs }) => docs,
+                    _ => {
+                        self.engine.lock().on_contact_failed(*pid, self.now_ms());
+                        continue;
+                    }
+                }
+            };
+            let mut contributed = false;
+            for (doc, score, xml) in docs {
+                let hit = LiveHit { peer: *pid, doc, score, xml };
+                if offer_hit(&mut top, hit, k) {
+                    contributed = true;
+                }
+            }
+            if contributed {
+                dry = 0;
+            } else {
+                dry += 1;
+            }
+            if top.len() >= k && dry >= patience {
+                break;
+            }
+        }
+        top.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are never NaN")
+                .then_with(|| (a.peer, a.doc).cmp(&(b.peer, b.doc)))
+        });
+        Ok(top)
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+        let Ok(Some(batch)) = crate::wire::read_frame::<Vec<LiveMsg>>(&mut stream)
+        else {
+            return;
+        };
+        for m in batch {
+            match m {
+                LiveMsg::Gossip { from, msg } => {
+                    let _ = self.converse(&mut stream, from, msg);
+                }
+                LiveMsg::SearchRequest { terms, ipf, num_peers } => {
+                    let table = IpfTable::from_pairs(ipf, num_peers);
+                    let store = self.store.lock();
+                    let docs = planetp_search::score_index(store.index(), &terms, &table)
+                        .into_iter()
+                        .filter_map(|(doc, score)| {
+                            store.get(doc).map(|r| (doc, score, r.xml.clone()))
+                        })
+                        .collect();
+                    let _ = crate::wire::write_frame(
+                        &mut stream,
+                        &vec![LiveMsg::SearchResponse { docs }],
+                    );
+                }
+                LiveMsg::ExhaustiveRequest { terms } => {
+                    let store = self.store.lock();
+                    let docs = store
+                        .search_conjunction(&terms)
+                        .into_iter()
+                        .filter_map(|d| store.get(d).map(|r| (d, r.xml.clone())))
+                        .collect();
+                    let _ = crate::wire::write_frame(
+                        &mut stream,
+                        &vec![LiveMsg::ExhaustiveResponse { docs }],
+                    );
+                }
+                LiveMsg::ProxySearchRequest { query, k } => {
+                    let hits = match self.ranked_search(&query, k) {
+                        Ok(h) => h
+                            .into_iter()
+                            .map(|h| (h.peer, h.doc, h.score, h.xml))
+                            .collect(),
+                        Err(_) => Vec::new(),
+                    };
+                    let _ = crate::wire::write_frame(
+                        &mut stream,
+                        &vec![LiveMsg::ProxySearchResponse { hits }],
+                    );
+                }
+                LiveMsg::SearchResponse { .. }
+                | LiveMsg::ExhaustiveResponse { .. }
+                | LiveMsg::ProxySearchResponse { .. } => {}
+            }
+        }
+    }
+}
+
+/// Bounded top-k insertion; returns whether the hit made the cut.
+fn offer_hit(top: &mut Vec<LiveHit>, hit: LiveHit, k: usize) -> bool {
+    if top.len() < k {
+        top.push(hit);
+        return true;
+    }
+    let (worst_i, _) = top
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.score.partial_cmp(&b.score).expect("scores are never NaN")
+        })
+        .expect("top non-empty");
+    if hit.score > top[worst_i].score {
+        top[worst_i] = hit;
+        true
+    } else {
+        false
+    }
+}
+
+/// One ranked hit from a live search.
+#[derive(Debug, Clone)]
+pub struct LiveHit {
+    /// Owning peer.
+    pub peer: PeerId,
+    /// Document id on that peer.
+    pub doc: u64,
+    /// TFxIPF score.
+    pub score: f64,
+    /// Document XML.
+    pub xml: String,
+}
+
+/// A live PlanetP peer: listener + gossip loop + data store.
+pub struct LiveNode {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl LiveNode {
+    /// Start a node. `bootstrap` is `(peer id, address)` of one
+    /// existing member; `None` founds a new community.
+    pub fn start(
+        id: PeerId,
+        config: LiveConfig,
+        bootstrap: Option<(PeerId, String)>,
+    ) -> Result<Self, PlanetPError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let store = LocalDataStore::new();
+        let payload = LivePayload {
+            addr: addr.clone(),
+            bloom: CompressedBloom::compress(store.bloom()),
+        };
+        let engine = GossipEngine::new(
+            id,
+            SpeedClass::Fast,
+            config.gossip,
+            config.seed ^ u64::from(id),
+            Some(payload),
+            bootstrap.as_ref().map(|(b, _)| (*b, SpeedClass::Fast)),
+        );
+        let mut addr_book = HashMap::new();
+        if let Some((b, a)) = bootstrap {
+            addr_book.insert(b, a);
+        }
+        let inner = Arc::new(Inner {
+            id,
+            addr,
+            config,
+            engine: Mutex::new(engine),
+            store: Mutex::new(store),
+            addr_book: Mutex::new(addr_book),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        // Listener thread: one handler thread per connection (peer
+        // counts here are test-scale).
+        {
+            let inner = Arc::clone(&inner);
+            listener.set_nonblocking(true)?;
+            threads.push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let inner = Arc::clone(&inner);
+                            std::thread::spawn(move || {
+                                inner.handle_connection(stream);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        // Gossip loop.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                let mut next_tick = Duration::from_millis(0);
+                let started = Instant::now();
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    if started.elapsed() < next_tick {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    let outcome = {
+                        let mut engine = inner.engine.lock();
+                        let o = engine.tick(inner.now_ms());
+                        next_tick = started.elapsed()
+                            + Duration::from_millis(engine.current_interval());
+                        o
+                    };
+                    if let Some(out) = outcome {
+                        inner.gossip_to(out.target, out.message);
+                    }
+                }
+            }));
+        }
+        Ok(Self { inner, threads })
+    }
+
+    /// This node's peer id.
+    pub fn id(&self) -> PeerId {
+        self.inner.id
+    }
+
+    /// The node's listen address.
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// Number of peers in the local directory copy.
+    pub fn directory_size(&self) -> usize {
+        self.inner.engine.lock().directory().len()
+    }
+
+    /// Directory digest (for convergence checks in tests).
+    pub fn directory_digest(&self) -> u64 {
+        self.inner.engine.lock().directory().digest()
+    }
+
+    /// Publish an XML document: index locally and gossip the new filter.
+    pub fn publish(&self, xml: &str) -> Result<u64, PlanetPError> {
+        let doc = self.inner.store.lock().publish(xml)?;
+        let payload = self.inner.my_payload();
+        self.inner.engine.lock().local_update(payload);
+        Ok(doc)
+    }
+
+    /// Ranked TFxIPF search across the community.
+    pub fn search_ranked(&self, raw_query: &str, k: usize) -> Result<Vec<LiveHit>, PlanetPError> {
+        self.inner.ranked_search(raw_query, k)
+    }
+
+    /// Ask `proxy` to run the ranked search on our behalf — the §7.2
+    /// "proxy search" extension for bandwidth-limited peers. The proxy
+    /// does the fan-out; we pay for one request and one reply.
+    pub fn search_via_proxy(
+        &self,
+        proxy: PeerId,
+        raw_query: &str,
+        k: usize,
+    ) -> Result<Vec<LiveHit>, PlanetPError> {
+        let addr = self
+            .inner
+            .resolve(proxy)
+            .ok_or_else(|| PlanetPError::UnknownPeer(format!("peer {proxy}")))?;
+        match self.inner.rpc(
+            &addr,
+            &LiveMsg::ProxySearchRequest { query: raw_query.to_string(), k },
+        ) {
+            Ok(LiveMsg::ProxySearchResponse { hits }) => Ok(hits
+                .into_iter()
+                .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
+                .collect()),
+            Ok(_) => Err(PlanetPError::Protocol("unexpected proxy reply".into())),
+            Err(e) => Err(PlanetPError::Network(e)),
+        }
+    }
+
+    /// Exhaustive conjunction search across the community.
+    pub fn search_exhaustive(&self, raw_query: &str) -> Result<Vec<LiveHit>, PlanetPError> {
+        let analyzer = self.inner.store.lock().analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        if q.is_empty() {
+            return Ok(Vec::new());
+        }
+        let candidates: Vec<(PeerId, Option<String>)> = {
+            let engine = self.inner.engine.lock();
+            engine
+                .directory()
+                .iter()
+                .filter_map(|(pid, e)| {
+                    let p = e.payload.as_ref()?;
+                    let f = p.bloom.decompress()?;
+                    q.terms
+                        .iter()
+                        .all(|t| f.contains(t))
+                        .then(|| (pid, Some(p.addr.clone())))
+                })
+                .collect()
+        };
+        let mut hits = Vec::new();
+        for (pid, addr) in candidates {
+            if pid == self.inner.id {
+                let store = self.inner.store.lock();
+                for d in store.search_conjunction(&q.terms) {
+                    let r = store.get(d).expect("doc exists");
+                    hits.push(LiveHit { peer: pid, doc: d, score: 0.0, xml: r.xml.clone() });
+                }
+                continue;
+            }
+            let Some(addr) = addr else { continue };
+            if let Ok(LiveMsg::ExhaustiveResponse { docs }) = self
+                .inner
+                .rpc(&addr, &LiveMsg::ExhaustiveRequest { terms: q.terms.clone() })
+            {
+                for (doc, xml) in docs {
+                    hits.push(LiveHit { peer: pid, doc, score: 0.0, xml });
+                }
+            } else {
+                self.inner
+                    .engine
+                    .lock()
+                    .on_contact_failed(pid, self.inner.now_ms());
+            }
+        }
+        hits.sort_by_key(|a| (a.peer, a.doc));
+        Ok(hits)
+    }
+
+    /// Stop the node's threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LiveNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,183 @@
+//! Persistent queries (§5.1).
+//!
+//! "Persistent queries allow peers to specify interest in new
+//! information entering the system without having to constantly poll
+//! ... the poster provides an object that will be invoked whenever a
+//! new matching snippet is found, either when a new Bloom filter is
+//! received or a new snippet is published to the brokers."
+
+use planetp_bloom::BloomFilter;
+use std::collections::HashMap;
+
+/// Identifier of a registered persistent query.
+pub type PersistentQueryId = u64;
+
+/// Why a persistent query fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// A peer's updated Bloom filter claims all query terms: that peer
+    /// may now hold matching documents (false positives possible).
+    PeerMayMatch {
+        /// Name of the peer whose filter matched.
+        peer: String,
+    },
+    /// A snippet matching the query was published to the brokerage.
+    Snippet {
+        /// Name of the publishing peer.
+        publisher: String,
+        /// The snippet's XML content.
+        xml: String,
+    },
+}
+
+type Callback = Box<dyn Fn(&Notification) + Send + Sync>;
+
+struct PersistentQuery {
+    terms: Vec<String>,
+    callback: Callback,
+}
+
+/// Registry of a peer's persistent queries.
+#[derive(Default)]
+pub struct PersistentQueryRegistry {
+    queries: HashMap<PersistentQueryId, PersistentQuery>,
+    next_id: PersistentQueryId,
+}
+
+impl std::fmt::Debug for PersistentQueryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentQueryRegistry")
+            .field("queries", &self.queries.len())
+            .finish()
+    }
+}
+
+impl PersistentQueryRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a query (analyzed terms) with an upcall.
+    pub fn register(
+        &mut self,
+        terms: Vec<String>,
+        callback: impl Fn(&Notification) + Send + Sync + 'static,
+    ) -> PersistentQueryId {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.queries
+            .insert(id, PersistentQuery { terms, callback: Box::new(callback) });
+        id
+    }
+
+    /// Remove a query. Returns whether it existed.
+    pub fn unregister(&mut self, id: PersistentQueryId) -> bool {
+        self.queries.remove(&id).is_some()
+    }
+
+    /// Number of live queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// A peer's new Bloom filter arrived: fire every query whose terms
+    /// all hit the filter.
+    pub fn on_bloom_update(&self, peer: &str, bloom: &BloomFilter) {
+        for q in self.queries.values() {
+            if !q.terms.is_empty() && q.terms.iter().all(|t| bloom.contains(t)) {
+                (q.callback)(&Notification::PeerMayMatch { peer: peer.to_string() });
+            }
+        }
+    }
+
+    /// A snippet was published: fire every query whose terms are all
+    /// among the snippet's keys.
+    pub fn on_snippet(&self, publisher: &str, xml: &str, keys: &[String]) {
+        for q in self.queries.values() {
+            if !q.terms.is_empty() && q.terms.iter().all(|t| keys.contains(t)) {
+                (q.callback)(&Notification::Snippet {
+                    publisher: publisher.to_string(),
+                    xml: xml.to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planetp_bloom::BloomParams;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn terms(t: &[&str]) -> Vec<String> {
+        t.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bloom_update_fires_matching_queries_only() {
+        let mut reg = PersistentQueryRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        reg.register(terms(&["gossip", "bloom"]), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut f = BloomFilter::new(BloomParams::for_capacity(100, 0.001));
+        f.insert("gossip");
+        reg.on_bloom_update("alice", &f);
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "partial match must not fire");
+        f.insert("bloom");
+        reg.on_bloom_update("alice", &f);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn snippet_matching_is_conjunctive_on_keys() {
+        let mut reg = PersistentQueryRegistry::new();
+        let got: Arc<parking_lot::Mutex<Vec<Notification>>> = Default::default();
+        let g = Arc::clone(&got);
+        reg.register(terms(&["alert"]), move |n| g.lock().push(n.clone()));
+        reg.on_snippet("bob", "<n>fire</n>", &terms(&["alert", "fire"]));
+        reg.on_snippet("bob", "<n>calm</n>", &terms(&["calm"]));
+        let got = got.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0],
+            Notification::Snippet { publisher: "bob".into(), xml: "<n>fire</n>".into() }
+        );
+    }
+
+    #[test]
+    fn unregister_stops_upcalls() {
+        let mut reg = PersistentQueryRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let id = reg.register(terms(&["x"]), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(reg.unregister(id));
+        assert!(!reg.unregister(id));
+        reg.on_snippet("p", "<x/>", &terms(&["x"]));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn empty_term_queries_never_fire() {
+        let mut reg = PersistentQueryRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        reg.register(vec![], move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        reg.on_snippet("p", "<x/>", &terms(&["anything"]));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Query parsing.
+//!
+//! "An application poses a query represented as a conjunction of keys
+//! separated by white spaces" (§5.1). Queries run through the same
+//! analyzer as documents (tokenize, stop-word removal, stemming) or
+//! lookups would miss.
+
+use planetp_index::Analyzer;
+
+/// An analyzed query: the terms actually matched against the indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTerms {
+    /// Analyzed terms in query order, duplicates removed.
+    pub terms: Vec<String>,
+}
+
+impl QueryTerms {
+    /// Is there anything to search for?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Analyze a raw query string.
+pub fn parse_query(raw: &str, analyzer: &Analyzer) -> QueryTerms {
+    let mut terms = analyzer.analyze(raw);
+    // Conjunction semantics: each key counts once.
+    let mut seen = std::collections::HashSet::new();
+    terms.retain(|t| seen.insert(t.clone()));
+    QueryTerms { terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_stems() {
+        let q = parse_query("Gossiping  protocols", &Analyzer::new());
+        assert_eq!(q.terms, vec!["gossip", "protocol"]);
+    }
+
+    #[test]
+    fn stop_words_drop_out() {
+        let q = parse_query("the of and", &Analyzer::new());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let q = parse_query("gossip gossip gossiping", &Analyzer::new());
+        assert_eq!(q.terms, vec!["gossip"]);
+    }
+}

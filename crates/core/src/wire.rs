@@ -1,0 +1,103 @@
+//! Framing for the live TCP runtime.
+//!
+//! Frames are length-prefixed JSON: a 4-byte big-endian length followed
+//! by the serialized value. JSON is verbose on the wire, but the live
+//! runtime exists to *validate* protocol behaviour over real sockets
+//! (the analog of the paper's 8-machine cluster run), where its
+//! debuggability outweighs compactness; the simulator models wire sizes
+//! with the paper's Table 2 constants regardless.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+
+/// Refuse frames bigger than this (64 MiB) — corrupt or hostile input.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one value as a frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    let body = serde_json::to_vec(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds maximum size",
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds maximum size",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let value = serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        a: u32,
+        b: Vec<String>,
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        let x = Sample { a: 1, b: vec!["one".into()] };
+        let y = Sample { a: 2, b: vec![] };
+        write_frame(&mut buf, &x).unwrap();
+        write_frame(&mut buf, &y).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(x));
+        assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(y));
+        assert_eq!(read_frame::<Sample>(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Sample { a: 1, b: vec![] }).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = buf.as_slice();
+        assert!(read_frame::<Sample>(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = buf.as_slice();
+        assert!(read_frame::<Sample>(&mut r).is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(b"not j");
+        let mut r = buf.as_slice();
+        assert!(read_frame::<Sample>(&mut r).is_err());
+    }
+}

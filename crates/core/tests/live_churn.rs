@@ -1,0 +1,92 @@
+//! Live runtime under churn: a node disappears mid-community, others
+//! detect the failure through real connection errors and route around
+//! it, and searches keep working.
+
+use planetp::live::{LiveConfig, LiveNode};
+use planetp_gossip::GossipConfig;
+use std::time::{Duration, Instant};
+
+fn fast_config(seed: u64) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 120,
+            slowdown_ms: 20,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_millis(500),
+        seed,
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+#[test]
+fn community_survives_peer_death() {
+    let founder = LiveNode::start(0, fast_config(500), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..5 {
+        nodes.push(
+            LiveNode::start(id, fast_config(500 + u64::from(id)), Some(bootstrap.clone()))
+                .expect("node"),
+        );
+    }
+    assert!(wait_for(
+        || nodes.iter().all(|n| n.directory_size() == 5),
+        Duration::from_secs(30),
+    ));
+
+    nodes[1].publish("<d>durable knowledge survives churn</d>").unwrap();
+    nodes[4].publish("<d>volatile host content</d>").unwrap();
+    assert!(wait_for(
+        || {
+            let d = nodes[0].directory_digest();
+            nodes.iter().all(|n| n.directory_digest() == d)
+        },
+        Duration::from_secs(30),
+    ));
+
+    // Kill node 4 (drop closes its listener and stops its threads).
+    let dead = nodes.pop().expect("node 4");
+    drop(dead);
+
+    // The survivors keep gossiping; a search from node 2 still finds
+    // node 1's document, and the dead peer's content is simply absent
+    // (its filter still matches, the contact fails, search moves on).
+    assert!(
+        wait_for(
+            || {
+                let hits = nodes[2].search_ranked("durable knowledge", 5).unwrap();
+                hits.len() == 1 && hits[0].peer == 1
+            },
+            Duration::from_secs(30),
+        ),
+        "search must keep working after a peer death"
+    );
+    let hits = nodes[2].search_ranked("volatile host", 5).unwrap();
+    assert!(hits.is_empty(), "dead peer's docs must not be returned");
+
+    // New content published after the death still converges among the
+    // survivors.
+    nodes[3].publish("<d>post-mortem publication</d>").unwrap();
+    assert!(
+        wait_for(
+            || {
+                let hits = nodes[0].search_exhaustive("post-mortem").unwrap();
+                hits.len() == 1
+            },
+            Duration::from_secs(30),
+        ),
+        "publications after the death must still spread"
+    );
+}

@@ -1,0 +1,155 @@
+//! Live TCP runtime validation: real sockets, real gossip, real search
+//! RPCs — the analog of the paper's cluster deployment used to validate
+//! the simulator. Gossip intervals are shrunk from 30 s to tens of
+//! milliseconds so convergence takes a moment, not minutes.
+
+use planetp::live::{LiveConfig, LiveNode};
+use planetp_gossip::GossipConfig;
+use std::time::{Duration, Instant};
+
+fn fast_config(seed: u64) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 120,
+            slowdown_ms: 20,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(2),
+        seed,
+    }
+}
+
+/// Spin until `cond` holds or the deadline passes.
+fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+fn start_community(n: u32) -> Vec<LiveNode> {
+    let founder = LiveNode::start(0, fast_config(100), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..n {
+        nodes.push(
+            LiveNode::start(id, fast_config(100 + u64::from(id)), Some(bootstrap.clone()))
+                .expect("node starts"),
+        );
+    }
+    nodes
+}
+
+#[test]
+fn five_peers_converge_and_search() {
+    let nodes = start_community(5);
+    assert!(
+        wait_for(
+            || nodes.iter().all(|n| n.directory_size() == 5),
+            Duration::from_secs(30),
+        ),
+        "directories never reached size 5: {:?}",
+        nodes.iter().map(|n| n.directory_size()).collect::<Vec<_>>()
+    );
+
+    // Publish from different peers.
+    nodes[1]
+        .publish("<doc><title>Epidemic algorithms</title><body>gossip spreads updates</body></doc>")
+        .unwrap();
+    nodes[3]
+        .publish("<doc><title>Bloom filters</title><body>compact summaries for gossip</body></doc>")
+        .unwrap();
+    nodes[4]
+        .publish("<doc><title>Cooking</title><body>entirely unrelated content</body></doc>")
+        .unwrap();
+
+    // Wait until the new filters are everywhere (digests equal).
+    assert!(
+        wait_for(
+            || {
+                let d0 = nodes[0].directory_digest();
+                nodes.iter().all(|n| n.directory_digest() == d0)
+            },
+            Duration::from_secs(30),
+        ),
+        "directories never converged after publishes"
+    );
+
+    // Ranked search from a peer that owns none of the matching docs.
+    let hits = nodes[0].search_ranked("gossip", 10).unwrap();
+    let owners: Vec<u32> = hits.iter().map(|h| h.peer).collect();
+    assert!(owners.contains(&1), "missing node 1's doc: {owners:?}");
+    assert!(owners.contains(&3), "missing node 3's doc: {owners:?}");
+    assert!(!owners.contains(&4), "unrelated doc matched");
+
+    // Exhaustive conjunction search.
+    let hits = nodes[0].search_exhaustive("gossip summaries").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].peer, 3);
+}
+
+#[test]
+fn late_joiner_downloads_directory_and_content_is_findable() {
+    let mut nodes = start_community(3);
+    nodes[2].publish("<d>deterministic replicated directory</d>").unwrap();
+    assert!(
+        wait_for(
+            || {
+                let d0 = nodes[0].directory_digest();
+                nodes.iter().all(|n| n.directory_digest() == d0)
+            },
+            Duration::from_secs(30),
+        ),
+        "initial community never converged"
+    );
+
+    // A new peer joins via node 1.
+    let late = LiveNode::start(
+        9,
+        fast_config(999),
+        Some((1, nodes[1].addr().to_string())),
+    )
+    .unwrap();
+    nodes.push(late);
+    assert!(
+        wait_for(
+            || nodes.iter().all(|n| n.directory_size() == 4),
+            Duration::from_secs(30),
+        ),
+        "join never propagated: {:?}",
+        nodes.iter().map(|n| n.directory_size()).collect::<Vec<_>>()
+    );
+
+    // The late joiner can find content published before it joined.
+    let hits = nodes[3].search_ranked("replicated directory", 5).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].peer, 2);
+}
+
+#[test]
+fn search_suppresses_non_candidates() {
+    let nodes = start_community(3);
+    assert!(wait_for(
+        || nodes.iter().all(|n| n.directory_size() == 3),
+        Duration::from_secs(30),
+    ));
+    nodes[1].publish("<d>zanzibar archipelago</d>").unwrap();
+    assert!(wait_for(
+        || {
+            let d0 = nodes[0].directory_digest();
+            nodes.iter().all(|n| n.directory_digest() == d0)
+        },
+        Duration::from_secs(30),
+    ));
+    // A term on no peer returns nothing (and must not hang).
+    let hits = nodes[0].search_exhaustive("nonexistent-term-xyz").unwrap();
+    assert!(hits.is_empty());
+    let hits = nodes[2].search_exhaustive("zanzibar").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].peer, 1);
+}

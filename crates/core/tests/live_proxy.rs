@@ -1,0 +1,76 @@
+//! Proxy search over the live runtime — the §7.2 extension where a
+//! bandwidth-limited peer delegates the whole fan-out to a
+//! well-connected proxy.
+
+use planetp::live::{LiveConfig, LiveNode};
+use planetp_gossip::GossipConfig;
+use std::time::{Duration, Instant};
+
+fn fast_config(seed: u64) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 120,
+            slowdown_ms: 20,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(2),
+        seed,
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+#[test]
+fn proxy_search_returns_same_hits_as_direct() {
+    let founder = LiveNode::start(0, fast_config(900), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..4 {
+        nodes.push(
+            LiveNode::start(id, fast_config(900 + u64::from(id)), Some(bootstrap.clone()))
+                .expect("node"),
+        );
+    }
+    assert!(wait_for(
+        || nodes.iter().all(|n| n.directory_size() == 4),
+        Duration::from_secs(30),
+    ));
+    nodes[1].publish("<d>planetary gossip economics</d>").unwrap();
+    nodes[2].publish("<d>planetary weather patterns</d>").unwrap();
+    assert!(wait_for(
+        || {
+            let d = nodes[0].directory_digest();
+            nodes.iter().all(|n| n.directory_digest() == d)
+        },
+        Duration::from_secs(30),
+    ));
+
+    // Node 3 (imagine it is modem-connected) asks node 0 to search on
+    // its behalf.
+    let direct = nodes[3].search_ranked("planetary", 10).unwrap();
+    let proxied = nodes[3].search_via_proxy(0, "planetary", 10).unwrap();
+    assert_eq!(direct.len(), proxied.len());
+    let key = |h: &planetp::live::LiveHit| (h.peer, h.doc);
+    let mut d: Vec<_> = direct.iter().map(key).collect();
+    let mut p: Vec<_> = proxied.iter().map(key).collect();
+    d.sort_unstable();
+    p.sort_unstable();
+    assert_eq!(d, p, "proxy must return the same result set");
+}
+
+#[test]
+fn proxy_search_to_unknown_peer_errors() {
+    let solo = LiveNode::start(0, fast_config(950), None).expect("founder");
+    let err = solo.search_via_proxy(77, "anything", 5);
+    assert!(err.is_err(), "unknown proxy must be an error");
+}

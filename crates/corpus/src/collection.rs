@@ -1,0 +1,263 @@
+//! Collection generation from the topic model.
+
+use crate::words::{background_word, topic_word};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectionSpec {
+    /// Collection name (e.g. "AP89-like").
+    pub name: String,
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// Background vocabulary size.
+    pub background_vocab: usize,
+    /// Discriminative vocabulary size per topic.
+    pub topic_vocab: usize,
+    /// Mean document length in terms.
+    pub mean_doc_len: usize,
+    /// Fraction of a document's terms drawn from its topics (the rest
+    /// come from the background vocabulary).
+    pub topic_fraction: f64,
+    /// Probability that a topical term draws from the document's
+    /// *secondary* topic instead of its primary one. This cross-topic
+    /// leakage is what makes retrieval imperfect: documents of other
+    /// topics contain query terms without being relevant, so precision
+    /// falls with k as in real collections.
+    pub secondary_leak: f64,
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Terms per query (min, max inclusive).
+    pub query_terms: (usize, usize),
+    /// Zipf exponent for both vocabularies.
+    pub zipf_exponent: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// A generated document: a bag of (already analyzed) terms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    /// The topic most of its discriminative terms come from.
+    pub primary_topic: usize,
+    /// A second topic a minority of terms leak from.
+    pub secondary_topic: usize,
+    /// The document's terms, in generation order.
+    pub terms: Vec<String>,
+}
+
+impl Document {
+    /// Render the document as text (for examples and the XML pipeline).
+    pub fn text(&self) -> String {
+        self.terms.join(" ")
+    }
+}
+
+/// A generated query with its relevance judgments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// The topic the query asks about.
+    pub topic: usize,
+    /// Query terms.
+    pub terms: Vec<String>,
+    /// Relevant document ids (indexes into `Collection::docs`), sorted.
+    pub relevant: Vec<usize>,
+}
+
+/// A complete synthetic collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Collection {
+    /// The spec it was generated from.
+    pub spec: CollectionSpec,
+    /// Documents; the document id is the index.
+    pub docs: Vec<Document>,
+    /// Queries with relevance judgments.
+    pub queries: Vec<Query>,
+}
+
+impl Collection {
+    /// Generate a collection from its spec. Deterministic in the seed.
+    pub fn generate(spec: CollectionSpec) -> Self {
+        assert!(spec.num_topics > 0, "need at least one topic");
+        assert!(spec.background_vocab > 0 && spec.topic_vocab > 0);
+        assert!((0.0..=1.0).contains(&spec.topic_fraction));
+        assert!((0.0..=1.0).contains(&spec.secondary_leak));
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let bg_zipf = Zipf::new(spec.background_vocab as f64, spec.zipf_exponent)
+            .expect("valid Zipf");
+        let topic_zipf =
+            Zipf::new(spec.topic_vocab as f64, spec.zipf_exponent).expect("valid Zipf");
+        // Document lengths: lognormal around the mean, clamped.
+        let len_dist = LogNormal::new((spec.mean_doc_len as f64).ln(), 0.4)
+            .expect("valid LogNormal");
+
+        let mut docs = Vec::with_capacity(spec.num_docs);
+        for _ in 0..spec.num_docs {
+            let primary_topic = rng.random_range(0..spec.num_topics);
+            let secondary_topic = rng.random_range(0..spec.num_topics);
+            let len = (len_dist.sample(&mut rng) as usize).clamp(10, 2000);
+            let mut terms = Vec::with_capacity(len);
+            for _ in 0..len {
+                if rng.random_bool(spec.topic_fraction) {
+                    let rank = topic_zipf.sample(&mut rng) as u64;
+                    let topic = if rng.random_bool(spec.secondary_leak) {
+                        secondary_topic
+                    } else {
+                        primary_topic
+                    };
+                    terms.push(topic_word(topic, rank));
+                } else {
+                    let rank = bg_zipf.sample(&mut rng) as u64;
+                    terms.push(background_word(rank));
+                }
+            }
+            docs.push(Document { primary_topic, secondary_topic, terms });
+        }
+
+        let mut queries = Vec::with_capacity(spec.num_queries);
+        for _ in 0..spec.num_queries {
+            let topic = rng.random_range(0..spec.num_topics);
+            let n_terms = rng.random_range(spec.query_terms.0..=spec.query_terms.1);
+            let mut terms = Vec::with_capacity(n_terms);
+            while terms.len() < n_terms {
+                let rank = topic_zipf.sample(&mut rng) as u64;
+                let w = topic_word(topic, rank);
+                if !terms.contains(&w) {
+                    terms.push(w);
+                }
+            }
+            let relevant: Vec<usize> = docs
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| {
+                    d.primary_topic == topic
+                        && d.terms.iter().any(|t| terms.contains(t))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            queries.push(Query { topic, terms, relevant });
+        }
+        Self { spec, docs, queries }
+    }
+
+    /// Vocabulary size actually used by the documents.
+    pub fn vocabulary_size(&self) -> usize {
+        let mut v: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for d in &self.docs {
+            for t in &d.terms {
+                v.insert(t);
+            }
+        }
+        v.len()
+    }
+
+    /// Approximate collection size in megabytes (terms + separators, as
+    /// if stored as text).
+    pub fn size_mb(&self) -> f64 {
+        let bytes: usize = self
+            .docs
+            .iter()
+            .map(|d| d.terms.iter().map(|t| t.len() + 1).sum::<usize>())
+            .sum();
+        bytes as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CollectionSpec {
+        CollectionSpec {
+            name: "tiny".into(),
+            num_docs: 200,
+            num_topics: 10,
+            background_vocab: 2000,
+            topic_vocab: 100,
+            mean_doc_len: 60,
+            topic_fraction: 0.35,
+        secondary_leak: 0.08,
+            num_queries: 20,
+            query_terms: (2, 4),
+            zipf_exponent: 1.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Collection::generate(small_spec());
+        let b = Collection::generate(small_spec());
+        assert_eq!(a.docs.len(), b.docs.len());
+        assert_eq!(a.docs[0].terms, b.docs[0].terms);
+        assert_eq!(a.queries[3].terms, b.queries[3].terms);
+        assert_eq!(a.queries[3].relevant, b.queries[3].relevant);
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let c = Collection::generate(small_spec());
+        assert_eq!(c.docs.len(), 200);
+        assert_eq!(c.queries.len(), 20);
+        for q in &c.queries {
+            assert!((2..=4).contains(&q.terms.len()));
+        }
+        for d in &c.docs {
+            assert!(d.terms.len() >= 10);
+        }
+    }
+
+    #[test]
+    fn queries_have_nonempty_relevance_mostly() {
+        let c = Collection::generate(small_spec());
+        let with_rel = c.queries.iter().filter(|q| !q.relevant.is_empty()).count();
+        assert!(with_rel >= 18, "{with_rel}/20 queries have relevant docs");
+    }
+
+    #[test]
+    fn relevant_docs_share_topic_and_terms() {
+        let c = Collection::generate(small_spec());
+        for q in &c.queries {
+            for &d in &q.relevant {
+                let doc = &c.docs[d];
+                assert_eq!(doc.primary_topic, q.topic);
+                assert!(doc.terms.iter().any(|t| q.terms.contains(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_lists_sorted() {
+        let c = Collection::generate(small_spec());
+        for q in &c.queries {
+            assert!(q.relevant.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn zipf_makes_head_terms_frequent() {
+        let c = Collection::generate(small_spec());
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for d in &c.docs {
+            for t in &d.terms {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        let max = *counts.values().max().unwrap();
+        let total: usize = counts.values().sum();
+        // The most frequent term should dominate (harmonic head).
+        assert!(max * 20 > total / 10, "head term too flat: {max}/{total}");
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let c = Collection::generate(small_spec());
+        assert!(c.vocabulary_size() > 100);
+        assert!(c.size_mb() > 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic benchmark collections for PlanetP's retrieval experiments.
+//!
+//! The paper evaluates search quality on five collections — CACM, MED,
+//! CRAN, CISI (Smart) and AP89 (TREC) — each with queries and human
+//! relevance judgments (Table 3). Those corpora are licensed data we
+//! cannot ship, so this crate generates *synthetic equivalents* from a
+//! topic model:
+//!
+//! - a Zipfian background vocabulary shared by all documents;
+//! - per-topic vocabularies of discriminative terms, also Zipfian;
+//! - documents drawing a configurable fraction of their terms from
+//!   their primary topic and the rest from the background;
+//! - queries built from discriminative terms of one topic;
+//! - relevance judgments: documents of the query's topic that share at
+//!   least one query term.
+//!
+//! The paper's comparisons are *relative* (TFxIPF vs TFxIDF on the same
+//! collection), and the topic model gives both rankers the same signal
+//! structure — term frequency and term rarity correlate with relevance
+//! — so the relative shapes of Fig 6 are preserved. See DESIGN.md for
+//! the substitution argument.
+
+pub mod collection;
+pub mod partition;
+pub mod specs;
+pub mod words;
+
+pub use collection::{Collection, CollectionSpec, Document, Query};
+pub use partition::{partition_docs, peer_loads, Partition};
+pub use specs::{
+    ap89_like, ap89_like_scaled, cacm_like, cisi_like, cran_like, med_like,
+    table3_specs,
+};

@@ -1,0 +1,135 @@
+//! Distributing documents across peers.
+//!
+//! "The distribution of documents on our simulation follows a Weibull
+//! function, which is motivated by observing current P2P file-sharing
+//! communities" (§7.3) — a few peers share many documents, most share
+//! few. The uniform alternative is also provided (the companion TR
+//! studies both).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Weibull};
+use serde::{Deserialize, Serialize};
+
+/// How documents are spread over peers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Peer share sizes proportional to Weibull(shape) samples.
+    Weibull {
+        /// Weibull shape parameter; < 1 gives the heavy skew observed
+        /// in file-sharing communities.
+        shape: f64,
+    },
+    /// Every document lands on a uniformly random peer.
+    Uniform,
+}
+
+impl Partition {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Partition::Weibull { shape: 0.7 }
+    }
+}
+
+/// Assign each document to a peer. Returns `assignment[doc] = peer`.
+/// Every peer index is in `0..num_peers`; peers may end up empty under
+/// heavy skew.
+pub fn partition_docs(
+    num_docs: usize,
+    num_peers: usize,
+    partition: Partition,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(num_peers > 0, "need at least one peer");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match partition {
+        Partition::Uniform => {
+            (0..num_docs).map(|_| rng.random_range(0..num_peers)).collect()
+        }
+        Partition::Weibull { shape } => {
+            let w = Weibull::new(1.0, shape).expect("valid Weibull");
+            let weights: Vec<f64> =
+                (0..num_peers).map(|_| w.sample(&mut rng).max(1e-9)).collect();
+            let total: f64 = weights.iter().sum();
+            // Cumulative distribution for roulette selection.
+            let mut cdf = Vec::with_capacity(num_peers);
+            let mut acc = 0.0;
+            for &x in &weights {
+                acc += x / total;
+                cdf.push(acc);
+            }
+            (0..num_docs)
+                .map(|_| {
+                    let u: f64 = rng.random();
+                    cdf.partition_point(|&c| c < u).min(num_peers - 1)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Per-peer document counts for an assignment.
+pub fn peer_loads(assignment: &[usize], num_peers: usize) -> Vec<usize> {
+    let mut loads = vec![0; num_peers];
+    for &p in assignment {
+        loads[p] += 1;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_docs_assigned_in_range() {
+        for part in [Partition::Uniform, Partition::paper()] {
+            let a = partition_docs(5000, 40, part, 1);
+            assert_eq!(a.len(), 5000);
+            assert!(a.iter().all(|&p| p < 40));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = partition_docs(1000, 20, Partition::paper(), 9);
+        let b = partition_docs(1000, 20, Partition::paper(), 9);
+        assert_eq!(a, b);
+        let c = partition_docs(1000, 20, Partition::paper(), 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn weibull_is_more_skewed_than_uniform() {
+        let n_docs = 20_000;
+        let n_peers = 100;
+        let gini = |loads: &[usize]| {
+            let mut l: Vec<f64> = loads.iter().map(|&x| x as f64).collect();
+            l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = l.len() as f64;
+            let sum: f64 = l.iter().sum();
+            if sum == 0.0 {
+                return 0.0;
+            }
+            let weighted: f64 =
+                l.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+            (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+        };
+        let u = peer_loads(&partition_docs(n_docs, n_peers, Partition::Uniform, 3), n_peers);
+        let w = peer_loads(&partition_docs(n_docs, n_peers, Partition::paper(), 3), n_peers);
+        assert!(
+            gini(&w) > gini(&u) + 0.1,
+            "weibull gini {} vs uniform {}",
+            gini(&w),
+            gini(&u)
+        );
+        assert_eq!(u.iter().sum::<usize>(), n_docs);
+        assert_eq!(w.iter().sum::<usize>(), n_docs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_rejected() {
+        partition_docs(10, 0, Partition::Uniform, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Specs matched to the paper's five collections (Table 3).
+//!
+//! | Trace | Queries | Documents | Words   | Size (MB) |
+//! |-------|---------|-----------|---------|-----------|
+//! | CACM  | 52      | 3204      | 75,493  | 2.1       |
+//! | MED   | 30      | 1033      | 83,451  | 1.0       |
+//! | CRAN  | 152     | 1400      | 117,718 | 1.6       |
+//! | CISI  | 76      | 1460      | 84,957  | 2.4       |
+//! | AP89  | 97      | 84,678    | 129,603 | 266.0     |
+//!
+//! The synthetic specs match document and query counts exactly and the
+//! vocabulary scale approximately. AP89 generation at full size takes a
+//! while and a few GB of strings; [`ap89_like_scaled`] provides the
+//! runtime-friendly version the benches default to.
+
+use crate::collection::CollectionSpec;
+
+#[allow(clippy::too_many_arguments)] // private constructor mirroring Table 3's columns
+fn spec(
+    name: &str,
+    num_docs: usize,
+    num_queries: usize,
+    num_topics: usize,
+    background_vocab: usize,
+    topic_vocab: usize,
+    mean_doc_len: usize,
+    seed: u64,
+) -> CollectionSpec {
+    CollectionSpec {
+        name: name.into(),
+        num_docs,
+        num_topics,
+        background_vocab,
+        topic_vocab,
+        mean_doc_len,
+        topic_fraction: 0.35,
+        secondary_leak: 0.08,
+        num_queries,
+        query_terms: (2, 5),
+        zipf_exponent: 1.0,
+        seed,
+    }
+}
+
+/// CACM-like: 3204 abstracts, 52 queries.
+pub fn cacm_like() -> CollectionSpec {
+    spec("CACM-like", 3204, 52, 40, 20_000, 400, 90, 0xCAC0)
+}
+
+/// MED-like: 1033 abstracts, 30 queries.
+pub fn med_like() -> CollectionSpec {
+    spec("MED-like", 1033, 30, 25, 18_000, 400, 130, 0x3ED0)
+}
+
+/// CRAN-like: 1400 abstracts, 152 queries.
+pub fn cran_like() -> CollectionSpec {
+    spec("CRAN-like", 1400, 152, 30, 25_000, 500, 150, 0xC4A0)
+}
+
+/// CISI-like: 1460 abstracts, 76 queries.
+pub fn cisi_like() -> CollectionSpec {
+    spec("CISI-like", 1460, 76, 30, 20_000, 400, 220, 0xC151)
+}
+
+/// AP89-like at full Table 3 scale: 84,678 articles, 97 queries.
+pub fn ap89_like() -> CollectionSpec {
+    spec("AP89-like", 84_678, 97, 150, 60_000, 450, 430, 0xA890)
+}
+
+/// AP89-like scaled down for fast regeneration: same topical structure,
+/// `1/scale` of the documents.
+pub fn ap89_like_scaled(scale: usize) -> CollectionSpec {
+    let mut s = ap89_like();
+    s.name = format!("AP89-like/{scale}");
+    s.num_docs /= scale.max(1);
+    s
+}
+
+/// All five Table 3 specs in paper order.
+pub fn table3_specs() -> Vec<CollectionSpec> {
+    vec![cacm_like(), med_like(), cran_like(), cisi_like(), ap89_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+
+    #[test]
+    fn counts_match_table3() {
+        let specs = table3_specs();
+        let expected = [
+            ("CACM-like", 3204, 52),
+            ("MED-like", 1033, 30),
+            ("CRAN-like", 1400, 152),
+            ("CISI-like", 1460, 76),
+            ("AP89-like", 84_678, 97),
+        ];
+        for (s, (name, docs, queries)) in specs.iter().zip(expected) {
+            assert_eq!(s.name, name);
+            assert_eq!(s.num_docs, docs);
+            assert_eq!(s.num_queries, queries);
+        }
+    }
+
+    #[test]
+    fn small_collections_generate_with_table3_size_scale() {
+        // MED-like is the smallest: generate it fully and check size is
+        // within the right order of magnitude (Table 3 says 1.0 MB).
+        let c = Collection::generate(med_like());
+        assert_eq!(c.docs.len(), 1033);
+        let mb = c.size_mb();
+        assert!((0.3..6.0).contains(&mb), "{mb} MB");
+    }
+
+    #[test]
+    fn scaled_ap89_shrinks() {
+        let s = ap89_like_scaled(10);
+        assert_eq!(s.num_docs, 8467);
+        assert_eq!(s.num_queries, 97);
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic pseudo-word generation.
+//!
+//! Vocabulary entries are synthesized from syllables so documents look
+//! like text (useful in examples) while remaining deterministic
+//! functions of their vocabulary index. Background and topic words use
+//! disjoint prefixes so they can never collide.
+
+/// Syllable inventory; 24 entries so indexes mix well.
+const SYLLABLES: &[&str] = &[
+    "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe",
+    "qui", "ro", "su", "ta", "ve", "wi", "xo", "yu", "za", "bren", "dor", "mik",
+];
+
+/// Deterministic pseudo-word for a vocabulary index.
+pub fn synth_word(mut i: u64) -> String {
+    let mut w = String::new();
+    loop {
+        w.push_str(SYLLABLES[(i % SYLLABLES.len() as u64) as usize]);
+        i /= SYLLABLES.len() as u64;
+        if i == 0 {
+            break;
+        }
+    }
+    w
+}
+
+/// The `rank`-th background-vocabulary word.
+pub fn background_word(rank: u64) -> String {
+    format!("bg{}", synth_word(rank))
+}
+
+/// The `rank`-th discriminative word of a topic.
+pub fn topic_word(topic: usize, rank: u64) -> String {
+    format!("t{topic}{}", synth_word(rank))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(synth_word(12345), synth_word(12345));
+        assert_eq!(background_word(7), background_word(7));
+    }
+
+    #[test]
+    fn distinct_indexes_distinct_words() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(synth_word(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn background_and_topic_namespaces_disjoint() {
+        for i in 0..100 {
+            let b = background_word(i);
+            for t in 0..5 {
+                assert_ne!(b, topic_word(t, i));
+            }
+        }
+    }
+
+    #[test]
+    fn topic_namespaces_disjoint_from_each_other() {
+        // t1 + word(0) = "t1ba" vs t11 + ... prefixes could collide:
+        // topic 1 rank X vs topic 11 rank Y iff "1"+w(X) == "11"+w(Y),
+        // i.e. w(X) starts with "1" — impossible, syllables are alphabetic.
+        let w1: std::collections::HashSet<String> =
+            (0..1000).map(|r| topic_word(1, r)).collect();
+        for r in 0..1000 {
+            assert!(!w1.contains(&topic_word(11, r)));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the synthetic collection generator.
+
+use planetp_corpus::{
+    partition_docs, peer_loads, Collection, CollectionSpec, Partition,
+};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = CollectionSpec> {
+    (
+        10usize..120,   // docs
+        1usize..8,      // topics
+        100usize..2000, // background vocab
+        10usize..200,   // topic vocab
+        15usize..80,    // mean doc len
+        0u64..1000,     // seed
+    )
+        .prop_map(|(docs, topics, bg, tv, len, seed)| CollectionSpec {
+            name: "prop".into(),
+            num_docs: docs,
+            num_topics: topics,
+            background_vocab: bg,
+            topic_vocab: tv,
+            mean_doc_len: len,
+            topic_fraction: 0.35,
+            secondary_leak: 0.08,
+            num_queries: 5,
+            query_terms: (1, 3),
+            zipf_exponent: 1.0,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated collections satisfy their own invariants: counts match
+    /// the spec, topics are in range, queries draw from their topic's
+    /// vocabulary, and relevance judgments are sound and sorted.
+    #[test]
+    fn collection_invariants(spec in spec_strategy()) {
+        let c = Collection::generate(spec.clone());
+        prop_assert_eq!(c.docs.len(), spec.num_docs);
+        prop_assert_eq!(c.queries.len(), spec.num_queries);
+        for d in &c.docs {
+            prop_assert!(d.primary_topic < spec.num_topics);
+            prop_assert!(d.secondary_topic < spec.num_topics);
+            prop_assert!(!d.terms.is_empty());
+        }
+        for q in &c.queries {
+            prop_assert!(q.topic < spec.num_topics);
+            let prefix = format!("t{}", q.topic);
+            for t in &q.terms {
+                prop_assert!(
+                    t.starts_with(&prefix),
+                    "query term {t} not from topic {}", q.topic
+                );
+            }
+            prop_assert!(q.relevant.windows(2).all(|w| w[0] < w[1]));
+            for &d in &q.relevant {
+                prop_assert!(d < c.docs.len());
+                prop_assert_eq!(c.docs[d].primary_topic, q.topic);
+                prop_assert!(c.docs[d].terms.iter().any(|t| q.terms.contains(t)));
+            }
+        }
+    }
+
+    /// Same spec, same collection — byte for byte.
+    #[test]
+    fn generation_deterministic(spec in spec_strategy()) {
+        let a = Collection::generate(spec.clone());
+        let b = Collection::generate(spec);
+        prop_assert_eq!(a.docs.len(), b.docs.len());
+        for (da, db) in a.docs.iter().zip(&b.docs) {
+            prop_assert_eq!(&da.terms, &db.terms);
+        }
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            prop_assert_eq!(&qa.terms, &qb.terms);
+            prop_assert_eq!(&qa.relevant, &qb.relevant);
+        }
+    }
+
+    /// Partitioning conserves documents and stays within peer bounds,
+    /// for both distributions and any peer count.
+    #[test]
+    fn partition_conserves(
+        num_docs in 0usize..2000,
+        num_peers in 1usize..100,
+        seed in any::<u64>(),
+        uniform in any::<bool>(),
+    ) {
+        let part = if uniform { Partition::Uniform } else { Partition::paper() };
+        let a = partition_docs(num_docs, num_peers, part, seed);
+        prop_assert_eq!(a.len(), num_docs);
+        prop_assert!(a.iter().all(|&p| p < num_peers));
+        let loads = peer_loads(&a, num_peers);
+        prop_assert_eq!(loads.iter().sum::<usize>(), num_docs);
+    }
+}

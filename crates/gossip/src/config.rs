@@ -1,0 +1,122 @@
+//! Gossip protocol configuration.
+
+use crate::TimeMs;
+use serde::{Deserialize, Serialize};
+
+/// Which dissemination algorithm a peer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// PlanetP's combined algorithm: push rumoring + pull anti-entropy
+    /// every `anti_entropy_every` rounds + partial anti-entropy
+    /// piggybacked on rumor replies.
+    PlanetP,
+    /// PlanetP without the partial anti-entropy component — the paper's
+    /// "LAN-NPA" ablation (Fig 4a).
+    PlanetPNoPartialAE,
+    /// Push anti-entropy every round — the paper's "LAN-AE" baseline
+    /// (Fig 2), in the style of Name Dropper / Bayou / Deno.
+    AntiEntropyOnly,
+}
+
+impl Algorithm {
+    /// Does this algorithm piggyback partial anti-entropy ids?
+    pub fn partial_ae(self) -> bool {
+        matches!(self, Algorithm::PlanetP)
+    }
+}
+
+/// Tunables for the gossip engine. Defaults are the paper's settings
+/// (§3 and Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Base gossiping interval T_g (paper: 30 s).
+    pub base_interval_ms: TimeMs,
+    /// Maximum interval the adaptive slow-down may reach (Table 2: 60 s;
+    /// §3's prose mentions 2 minutes — both are reachable via config).
+    pub max_interval_ms: TimeMs,
+    /// Slow-down constant added to the interval (paper: 5 s).
+    pub slowdown_ms: TimeMs,
+    /// Gossip-less threshold: identical-directory contacts required
+    /// before slowing down (paper: 2).
+    pub gossipless_threshold: u32,
+    /// Perform anti-entropy instead of rumoring every this many rounds
+    /// (paper: every tenth round).
+    pub anti_entropy_every: u32,
+    /// Stop spreading a rumor after this many *consecutive* contacts
+    /// that already knew it (Demers et al.'s counter variant; the paper
+    /// leaves n unspecified — 2 reproduces their convergence times).
+    pub rumor_death_n: u32,
+    /// Number of recently-retired rumor ids piggybacked for partial
+    /// anti-entropy ("a small number m", §3).
+    pub partial_ae_ids: usize,
+    /// Drop a peer from the directory after it has been continuously
+    /// offline for this long (T_Dead, §3).
+    pub t_dead_ms: TimeMs,
+    /// Bandwidth-aware peer selection (§7.2 "Joining of new members"):
+    /// fast peers gossip with fast peers, slow with slow.
+    pub bandwidth_aware: bool,
+    /// Probability that a fast peer rumors to a slow peer when
+    /// bandwidth-aware (paper: 1%).
+    pub fast_to_slow_prob: f64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::PlanetP,
+            base_interval_ms: 30_000,
+            max_interval_ms: 60_000,
+            slowdown_ms: 5_000,
+            gossipless_threshold: 2,
+            anti_entropy_every: 10,
+            rumor_death_n: 2,
+            partial_ae_ids: 8,
+            t_dead_ms: 7 * 24 * 3600 * 1000,
+            bandwidth_aware: false,
+            fast_to_slow_prob: 0.01,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Paper defaults with a different base gossip interval (the DSL-10 /
+    /// DSL-30 / DSL-60 scenarios vary T_g).
+    pub fn with_interval(interval_ms: TimeMs) -> Self {
+        Self {
+            base_interval_ms: interval_ms,
+            max_interval_ms: interval_ms * 2,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GossipConfig::default();
+        assert_eq!(c.base_interval_ms, 30_000);
+        assert_eq!(c.slowdown_ms, 5_000);
+        assert_eq!(c.gossipless_threshold, 2);
+        assert_eq!(c.anti_entropy_every, 10);
+        assert_eq!(c.algorithm, Algorithm::PlanetP);
+    }
+
+    #[test]
+    fn partial_ae_flag() {
+        assert!(Algorithm::PlanetP.partial_ae());
+        assert!(!Algorithm::PlanetPNoPartialAE.partial_ae());
+        assert!(!Algorithm::AntiEntropyOnly.partial_ae());
+    }
+
+    #[test]
+    fn with_interval_scales_max() {
+        let c = GossipConfig::with_interval(10_000);
+        assert_eq!(c.base_interval_ms, 10_000);
+        assert_eq!(c.max_interval_ms, 20_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Deterministic hashing for protocol state.
+//!
+//! `std::collections::HashMap` seeds its hasher from OS entropy, so
+//! iteration order differs between *runs* even with identical inputs.
+//! Gossip target selection draws candidates from map iteration order, so
+//! simulations would not be reproducible. All protocol maps therefore
+//! use this fixed-seed FxHash-style hasher: same insertions, same
+//! layout, same iteration order, every run.
+//!
+//! HashDoS is not a concern here: keys are internal peer ids, not
+//! attacker-controlled strings.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-xor hasher with a fixed seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetHasher {
+    state: u64,
+}
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ u64::from(b)).wrapping_mul(K);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.state = (self.state.rotate_left(5) ^ u64::from(i)).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state.rotate_left(5) ^ i).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Deterministic map state.
+pub type DetState = BuildHasherDefault<DetHasher>;
+
+/// A `HashMap` with run-to-run deterministic iteration order.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_insertions_same_iteration_order() {
+        let build = || {
+            let mut m: DetHashMap<u32, u32> = DetHashMap::default();
+            for i in 0..1000 {
+                m.insert(i * 7 % 991, i);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn distributes_keys() {
+        use std::hash::BuildHasher;
+        let s = DetState::default();
+        let h = |x: u32| s.hash_one(x);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            seen.insert(h(i));
+        }
+        assert_eq!(seen.len(), 1000, "collisions in tiny key space");
+    }
+}

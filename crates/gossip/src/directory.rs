@@ -1,0 +1,307 @@
+//! The replicated global directory.
+//!
+//! "This directory contains the names and addresses of all current
+//! members, as well as a Bloom filter per member that summarizes the set
+//! of terms contained in the documents being shared by that member"
+//! (§1). Each peer holds its own copy; gossiping keeps the copies
+//! convergent.
+//!
+//! Offline status is strictly local: "Each peer discovers that another
+//! peer is offline when an attempt to communicate with it fails. It
+//! marks the peer as off-line in its directory but does not gossip this
+//! information" (§3).
+
+use crate::dethash::DetHashMap;
+use crate::rumor::Payload;
+use crate::{PeerId, TimeMs};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// Connectivity class for bandwidth-aware gossiping (§7.2): Fast is
+/// 512 Kbps or better, Slow is modem-speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeedClass {
+    /// 512 Kbps or better.
+    Fast,
+    /// Modem-speed connectivity.
+    Slow,
+}
+
+/// A peer's liveness as locally believed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerStatus {
+    /// Believed reachable.
+    Online,
+    /// A communication attempt failed at the given time; subject to
+    /// T_Dead expiry.
+    Offline {
+        /// When the peer was first marked offline.
+        since: TimeMs,
+    },
+}
+
+/// One directory entry: everything this peer believes about another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirEntry<P: Payload> {
+    /// Membership incarnation; a peer bumps its own on join/rejoin.
+    pub status_version: u64,
+    /// Version of the peer's Bloom filter.
+    pub bloom_version: u32,
+    /// The peer's Bloom filter (or a sized stub in simulation).
+    pub payload: Option<P>,
+    /// Local liveness belief (never gossiped).
+    pub status: PeerStatus,
+    /// Connectivity class, learned out of band ("assuming that peers can
+    /// learn of each other's connectivity speed", §7.2).
+    pub speed: SpeedClass,
+}
+
+impl<P: Payload> DirEntry<P> {
+    /// Is the entry at least as new as the given version pair?
+    pub fn covers(&self, status_version: u64, bloom_version: u32) -> bool {
+        (self.status_version, self.bloom_version)
+            >= (status_version, bloom_version)
+    }
+}
+
+/// A peer's local copy of the global directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory<P: Payload> {
+    entries: DetHashMap<PeerId, DirEntry<P>>,
+    /// Tombstones for peers dropped by T_Dead expiry: the versions known
+    /// at expiry. Without these, a stale anti-entropy summary from a
+    /// peer that has not yet noticed the departure would resurrect the
+    /// entry indefinitely. A genuine rejoin bumps `status_version` past
+    /// the tombstone and is accepted.
+    expired: DetHashMap<PeerId, (u64, u32)>,
+    /// Lazily cached content digest; invalidated on any mutation.
+    digest_cache: Cell<Option<u64>>,
+}
+
+impl<P: Payload> Directory<P> {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self {
+            entries: DetHashMap::default(),
+            expired: DetHashMap::default(),
+            digest_cache: Cell::new(None),
+        }
+    }
+
+    /// Look up a peer.
+    pub fn get(&self, id: PeerId) -> Option<&DirEntry<P>> {
+        self.entries.get(&id)
+    }
+
+    /// Mutable lookup. Conservatively invalidates the digest cache.
+    pub fn get_mut(&mut self, id: PeerId) -> Option<&mut DirEntry<P>> {
+        self.digest_cache.set(None);
+        self.entries.get_mut(&id)
+    }
+
+    /// Insert or replace an entry wholesale. Clears any tombstone — the
+    /// caller has decided this peer is live again.
+    pub fn insert(&mut self, id: PeerId, entry: DirEntry<P>) {
+        self.digest_cache.set(None);
+        self.expired.remove(&id);
+        self.entries.insert(id, entry);
+    }
+
+    /// Remove a peer entirely (T_Dead expiry).
+    pub fn remove(&mut self, id: PeerId) -> Option<DirEntry<P>> {
+        self.digest_cache.set(None);
+        self.entries.remove(&id)
+    }
+
+    /// Number of known peers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, &DirEntry<P>)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// Ids of peers currently believed online.
+    pub fn believed_online(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.entries.iter().filter_map(|(&id, e)| {
+            (e.status == PeerStatus::Online).then_some(id)
+        })
+    }
+
+    /// Would news `(subject, status_version, bloom_version)` teach this
+    /// directory anything?
+    pub fn is_news(
+        &self,
+        subject: PeerId,
+        status_version: u64,
+        bloom_version: u32,
+    ) -> bool {
+        match self.entries.get(&subject) {
+            None => match self.expired.get(&subject) {
+                // Expired: only a strictly newer incarnation or filter
+                // is news.
+                Some(&(sv, bv)) => (status_version, bloom_version) > (sv, bv),
+                None => true,
+            },
+            Some(e) => !e.covers(status_version, bloom_version),
+        }
+    }
+
+    /// Mark a peer offline at `now` (idempotent: keeps the earliest
+    /// `since` so T_Dead measures continuous absence).
+    pub fn mark_offline(&mut self, id: PeerId, now: TimeMs) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            if e.status == PeerStatus::Online {
+                e.status = PeerStatus::Offline { since: now };
+            }
+        }
+    }
+
+    /// Mark a peer online (on hearing fresh news about it).
+    pub fn mark_online(&mut self, id: PeerId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.status = PeerStatus::Online;
+        }
+    }
+
+    /// Drop peers continuously offline for `t_dead_ms` ("all information
+    /// about it is dropped from the directory", §3). Returns the ids
+    /// dropped.
+    pub fn expire_dead(&mut self, now: TimeMs, t_dead_ms: TimeMs) -> Vec<PeerId> {
+        let dead: Vec<PeerId> = self
+            .entries
+            .iter()
+            .filter_map(|(&id, e)| match e.status {
+                PeerStatus::Offline { since }
+                    if now.saturating_sub(since) >= t_dead_ms =>
+                {
+                    Some(id)
+                }
+                _ => None,
+            })
+            .collect();
+        if !dead.is_empty() {
+            self.digest_cache.set(None);
+        }
+        for id in &dead {
+            if let Some(e) = self.entries.remove(id) {
+                self.expired.insert(*id, (e.status_version, e.bloom_version));
+            }
+        }
+        dead
+    }
+
+    /// Content digest over `(id, status_version, bloom_version)` for all
+    /// entries. Excludes liveness (local-only) so two peers that know
+    /// the same news digest equal even if they disagree about who is
+    /// reachable. Used for the cheap "same directory?" test that drives
+    /// the adaptive interval.
+    pub fn digest(&self) -> u64 {
+        if let Some(d) = self.digest_cache.get() {
+            return d;
+        }
+        // Order-independent: sum of per-entry mixes.
+        let mut acc = 0u64;
+        for (&id, e) in &self.entries {
+            let mut z = u64::from(id) ^ (e.status_version << 32)
+                ^ (u64::from(e.bloom_version) << 8);
+            // SplitMix64 finalizer.
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            acc = acc.wrapping_add(z ^ (z >> 31));
+        }
+        self.digest_cache.set(Some(acc));
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::SizedPayload;
+
+    fn entry(sv: u64, bv: u32) -> DirEntry<SizedPayload> {
+        DirEntry {
+            status_version: sv,
+            bloom_version: bv,
+            payload: Some(SizedPayload { bytes: 100 }),
+            status: PeerStatus::Online,
+            speed: SpeedClass::Fast,
+        }
+    }
+
+    #[test]
+    fn news_detection() {
+        let mut d = Directory::new();
+        assert!(d.is_news(1, 1, 0), "unknown peer is news");
+        d.insert(1, entry(1, 5));
+        assert!(!d.is_news(1, 1, 5), "same version is stale");
+        assert!(!d.is_news(1, 1, 4), "older bloom is stale");
+        assert!(d.is_news(1, 1, 6), "newer bloom is news");
+        assert!(d.is_news(1, 2, 0), "newer incarnation is news");
+    }
+
+    #[test]
+    fn offline_keeps_earliest_since() {
+        let mut d = Directory::new();
+        d.insert(1, entry(1, 0));
+        d.mark_offline(1, 100);
+        d.mark_offline(1, 200);
+        assert_eq!(d.get(1).unwrap().status, PeerStatus::Offline { since: 100 });
+        d.mark_online(1);
+        assert_eq!(d.get(1).unwrap().status, PeerStatus::Online);
+    }
+
+    #[test]
+    fn t_dead_expiry() {
+        let mut d = Directory::new();
+        d.insert(1, entry(1, 0));
+        d.insert(2, entry(1, 0));
+        d.mark_offline(1, 0);
+        assert!(d.expire_dead(50, 100).is_empty());
+        assert_eq!(d.expire_dead(100, 100), vec![1]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn digest_ignores_liveness_but_not_versions() {
+        let mut a = Directory::new();
+        let mut b = Directory::new();
+        a.insert(1, entry(1, 1));
+        b.insert(1, entry(1, 1));
+        assert_eq!(a.digest(), b.digest());
+        b.mark_offline(1, 5);
+        assert_eq!(a.digest(), b.digest(), "liveness is local-only");
+        b.get_mut(1).unwrap().bloom_version = 2;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let mut a = Directory::new();
+        a.insert(1, entry(1, 1));
+        a.insert(2, entry(3, 4));
+        let mut b = Directory::new();
+        b.insert(2, entry(3, 4));
+        b.insert(1, entry(1, 1));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn believed_online_filters() {
+        let mut d = Directory::new();
+        d.insert(1, entry(1, 0));
+        d.insert(2, entry(1, 0));
+        d.mark_offline(2, 7);
+        let online: Vec<_> = d.believed_online().collect();
+        assert_eq!(online, vec![1]);
+    }
+}

@@ -1,0 +1,715 @@
+//! The gossip state machine.
+//!
+//! [`GossipEngine`] is transport-agnostic and fully deterministic given
+//! its seed: a driver (the discrete-event simulator, or the live TCP
+//! runtime) calls [`GossipEngine::tick`] on the engine's schedule and
+//! [`GossipEngine::handle_message`] on delivery, and routes the
+//! `(target, message)` pairs both return.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+use crate::config::{Algorithm, GossipConfig};
+use crate::dethash::DetHashMap;
+use crate::directory::{DirEntry, Directory, PeerStatus, SpeedClass};
+use crate::messages::{Message, PeerState, PeerSummary};
+use crate::rumor::{Payload, Rumor, RumorId, RumorKind};
+use crate::selector::{pick_target, SelectionPurpose};
+use crate::stats::EngineStats;
+use crate::{PeerId, TimeMs};
+
+/// A rumor this peer is actively spreading.
+#[derive(Debug, Clone)]
+struct ActiveRumor {
+    id: RumorId,
+    kind: RumorKind,
+    /// Consecutive contacts that already knew this rumor; retire at
+    /// `config.rumor_death_n`.
+    consecutive_known: u32,
+}
+
+/// What a tick produced: one message to send to one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickOutcome<P: Payload> {
+    /// Chosen gossip partner.
+    pub target: PeerId,
+    /// Message to deliver.
+    pub message: Message<P>,
+}
+
+/// The per-peer gossip protocol instance.
+#[derive(Debug, Clone)]
+pub struct GossipEngine<P: Payload> {
+    id: PeerId,
+    speed: SpeedClass,
+    config: GossipConfig,
+    dir: Directory<P>,
+    /// Active rumors keyed by subject (at most one per subject — fresher
+    /// news supersedes).
+    active: DetHashMap<PeerId, ActiveRumor>,
+    /// Recently retired rumor ids, newest last (partial anti-entropy).
+    recent: VecDeque<RumorId>,
+    /// Rumor ids last pushed to each target, awaiting a `RumorAck`.
+    pending_acks: DetHashMap<PeerId, Vec<RumorId>>,
+    round: u64,
+    interval_ms: TimeMs,
+    /// Gossip-less counter p.
+    gossipless: u32,
+    /// Force an anti-entropy exchange on the next tick (set at
+    /// join/rejoin so the peer downloads the directory immediately).
+    force_ae: bool,
+    rng: SmallRng,
+    stats: EngineStats,
+}
+
+impl<P: Payload> GossipEngine<P> {
+    /// Create an engine for a peer joining a community.
+    ///
+    /// `bootstrap` is the one existing member a new peer knows (with its
+    /// speed class); pass `None` for the community's founding member.
+    /// `payload` is the peer's initial Bloom filter, gossiped to
+    /// everyone as its Join rumor.
+    pub fn new(
+        id: PeerId,
+        speed: SpeedClass,
+        config: GossipConfig,
+        seed: u64,
+        payload: Option<P>,
+        bootstrap: Option<(PeerId, SpeedClass)>,
+    ) -> Self {
+        let mut dir = Directory::new();
+        dir.insert(
+            id,
+            DirEntry {
+                status_version: 1,
+                bloom_version: if payload.is_some() { 1 } else { 0 },
+                payload,
+                status: PeerStatus::Online,
+                speed,
+            },
+        );
+        let mut engine = Self {
+            id,
+            speed,
+            config,
+            dir,
+            active: DetHashMap::default(),
+            recent: VecDeque::new(),
+            pending_acks: DetHashMap::default(),
+            round: 0,
+            interval_ms: config.base_interval_ms,
+            gossipless: 0,
+            force_ae: false,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+        };
+        if let Some((contact, contact_speed)) = bootstrap {
+            engine.dir.insert(
+                contact,
+                DirEntry {
+                    status_version: 0,
+                    bloom_version: 0,
+                    payload: None,
+                    status: PeerStatus::Online,
+                    speed: contact_speed,
+                },
+            );
+            engine.force_ae = true;
+            engine.activate_self_rumor(RumorKind::Join);
+        }
+        engine
+    }
+
+    /// Create an engine with a pre-populated directory (used to set up
+    /// stable communities in simulations without simulating their
+    /// formation).
+    pub fn with_directory(
+        id: PeerId,
+        speed: SpeedClass,
+        config: GossipConfig,
+        seed: u64,
+        dir: Directory<P>,
+    ) -> Self {
+        assert!(dir.get(id).is_some(), "directory must contain the peer itself");
+        Self {
+            id,
+            speed,
+            config,
+            dir,
+            active: DetHashMap::default(),
+            recent: VecDeque::new(),
+            pending_acks: DetHashMap::default(),
+            round: 0,
+            interval_ms: config.base_interval_ms,
+            gossipless: 0,
+            force_ae: false,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// This peer's speed class.
+    pub fn speed(&self) -> SpeedClass {
+        self.speed
+    }
+
+    /// Read access to the local directory copy.
+    pub fn directory(&self) -> &Directory<P> {
+        &self.dir
+    }
+
+    /// Mutable access to the local directory (drivers use this to seed
+    /// state; the protocol itself goes through messages).
+    pub fn directory_mut(&mut self) -> &mut Directory<P> {
+        &mut self.dir
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Milliseconds until the next tick should run (the adaptive
+    /// interval).
+    pub fn current_interval(&self) -> TimeMs {
+        self.interval_ms
+    }
+
+    /// Number of rumors currently being spread.
+    pub fn active_rumors(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Does this peer's directory cover the given news?
+    pub fn knows(&self, id: RumorId) -> bool {
+        !self.dir.is_news(id.subject, id.status_version, id.bloom_version)
+    }
+
+    // ------------------------------------------------------------------
+    // Local events
+    // ------------------------------------------------------------------
+
+    /// The local peer's Bloom filter changed (new terms published).
+    pub fn local_update(&mut self, payload: P) {
+        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        e.bloom_version += 1;
+        e.payload = Some(payload);
+        self.activate_self_rumor(RumorKind::BloomUpdate);
+        self.learned_news();
+    }
+
+    /// The local peer came back online after an absence. `new_payload`
+    /// carries a changed Bloom filter, if any (the paper's "Join" event
+    /// in Fig 4; `None` is the "Rejoin" event).
+    pub fn local_rejoin(&mut self, new_payload: Option<P>) {
+        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        e.status_version += 1;
+        e.status = PeerStatus::Online;
+        let kind = if let Some(p) = new_payload {
+            e.bloom_version += 1;
+            e.payload = Some(p);
+            RumorKind::BloomUpdate
+        } else {
+            RumorKind::Rejoin
+        };
+        self.activate_self_rumor(kind);
+        self.force_ae = true;
+        self.learned_news();
+    }
+
+    /// A communication attempt to `peer` failed: mark it offline
+    /// locally. Never gossiped (§3).
+    pub fn on_contact_failed(&mut self, peer: PeerId, now: TimeMs) {
+        self.dir.mark_offline(peer, now);
+        self.pending_acks.remove(&peer);
+        self.stats.contact_failures += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // The gossip round
+    // ------------------------------------------------------------------
+
+    /// Run one gossip round at time `now`. Returns the message to send,
+    /// or `None` if no reachable peer is known.
+    pub fn tick(&mut self, now: TimeMs) -> Option<TickOutcome<P>> {
+        self.round += 1;
+        let dropped = self.dir.expire_dead(now, self.config.t_dead_ms);
+        for d in dropped {
+            self.active.remove(&d);
+        }
+
+        if self.config.algorithm == Algorithm::AntiEntropyOnly {
+            return self.push_ae_tick();
+        }
+
+        // Full anti-entropy (whole-directory summary) runs every Kth
+        // round. On other rounds, a peer with rumors pushes them; an
+        // idle peer sends a cheap digest ping and pulls only recent
+        // changes. Sending the full summary on every idle round would
+        // make volume proportional to community size and contradict the
+        // paper's Fig 2(b) ("message sizes are mostly proportional to
+        // the number of changes being propagated, not the community
+        // size"); going silent instead would stretch the residual tail
+        // far past the paper's Fig 2(a) times. The cheap ping is the
+        // paper's partial-anti-entropy idea applied to the idle path.
+        let do_full_ae = self.force_ae
+            || self.round.is_multiple_of(u64::from(self.config.anti_entropy_every));
+        if do_full_ae {
+            self.force_ae = false;
+            let target = pick_target(
+                &self.dir,
+                self.id,
+                self.speed,
+                SelectionPurpose::AntiEntropy,
+                self.config.bandwidth_aware,
+                self.config.fast_to_slow_prob,
+                &mut self.rng,
+            )?;
+            self.stats.rounds += 1;
+            self.stats.ae_msgs_sent += 1;
+            return Some(TickOutcome {
+                target,
+                message: Message::AeRequest { digest: self.dir.digest() },
+            });
+        }
+        if self.active.is_empty() {
+            let target = pick_target(
+                &self.dir,
+                self.id,
+                self.speed,
+                SelectionPurpose::AntiEntropy,
+                self.config.bandwidth_aware,
+                self.config.fast_to_slow_prob,
+                &mut self.rng,
+            )?;
+            self.stats.rounds += 1;
+            self.stats.ae_msgs_sent += 1;
+            return Some(TickOutcome {
+                target,
+                message: Message::AePing { digest: self.dir.digest() },
+            });
+        }
+
+        // Rumor round: push all active rumors.
+        let purpose = if self.active.contains_key(&self.id) {
+            SelectionPurpose::RumorSource
+        } else {
+            SelectionPurpose::RumorForward
+        };
+        let target = pick_target(
+            &self.dir,
+            self.id,
+            self.speed,
+            purpose,
+            self.config.bandwidth_aware,
+            self.config.fast_to_slow_prob,
+            &mut self.rng,
+        )?;
+        let rumors: Vec<Rumor<P>> = self
+            .active
+            .values()
+            .map(|a| self.build_rumor(a))
+            .collect();
+        self.pending_acks
+            .insert(target, rumors.iter().map(|r| r.id).collect());
+        self.stats.rounds += 1;
+        self.stats.rumor_msgs_sent += 1;
+        Some(TickOutcome { target, message: Message::Rumor { rumors } })
+    }
+
+    fn push_ae_tick(&mut self) -> Option<TickOutcome<P>> {
+        let target = pick_target(
+            &self.dir,
+            self.id,
+            self.speed,
+            SelectionPurpose::AntiEntropy,
+            self.config.bandwidth_aware,
+            self.config.fast_to_slow_prob,
+            &mut self.rng,
+        )?;
+        self.stats.rounds += 1;
+        self.stats.ae_msgs_sent += 1;
+        Some(TickOutcome {
+            target,
+            message: Message::AePush {
+                entries: self.summaries(),
+                digest: self.dir.digest(),
+            },
+        })
+    }
+
+    /// Handle a message from `from`; returns responses to send.
+    pub fn handle_message(
+        &mut self,
+        from: PeerId,
+        msg: Message<P>,
+        now: TimeMs,
+    ) -> Vec<(PeerId, Message<P>)> {
+        // `now` is only needed for T_Dead expiry, which tick() drives;
+        // the parameter keeps drivers passing a consistent clock.
+        let _ = now;
+        // Hearing from a peer proves it is online.
+        self.dir.mark_online(from);
+        match msg {
+            Message::Rumor { rumors } => self.on_rumor(from, rumors),
+            Message::RumorAck { already_knew, recent_ids } => {
+                self.on_rumor_ack(from, &already_knew, &recent_ids)
+            }
+            Message::Pull { ids } => {
+                let entries = self.states_for(ids.iter().map(|i| i.subject));
+                vec![(from, Message::PullReply { entries })]
+            }
+            Message::PullReply { entries } => {
+                let learned = self.absorb(&entries, true);
+                self.stats.rumors_learned_partial_ae += learned;
+                Vec::new()
+            }
+            Message::AePing { digest } => {
+                if digest == self.dir.digest() {
+                    vec![(from, Message::AeEqual)]
+                } else {
+                    vec![(from, Message::AeRecent { ids: self.recent_and_active_ids() })]
+                }
+            }
+            Message::AeRecent { ids } => {
+                let missing: Vec<RumorId> = ids
+                    .iter()
+                    .filter(|id| id.subject != self.id && !self.knows(**id))
+                    .copied()
+                    .collect();
+                if missing.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![(from, Message::Pull { ids: missing })]
+                }
+            }
+            Message::AeRequest { digest } => {
+                if digest == self.dir.digest() {
+                    vec![(from, Message::AeEqual)]
+                } else {
+                    vec![(from, Message::AeSummary { entries: self.summaries() })]
+                }
+            }
+            Message::AeEqual => {
+                self.note_gossipless();
+                Vec::new()
+            }
+            Message::AeSummary { entries } => {
+                let needed = self.stale_subjects(&entries);
+                if needed.is_empty() {
+                    // Nothing to pull: only we are ahead; the rumor/push
+                    // machinery will reach them.
+                    Vec::new()
+                } else {
+                    vec![(from, Message::AePull { subjects: needed })]
+                }
+            }
+            Message::AePull { subjects } => {
+                let entries = self.states_for(subjects.into_iter());
+                vec![(from, Message::AeReply { entries })]
+            }
+            Message::AeReply { entries } => {
+                let learned = self.absorb(&entries, false);
+                self.stats.rumors_learned_ae += learned;
+                Vec::new()
+            }
+            Message::AePush { entries, digest } => {
+                if digest == self.dir.digest() {
+                    return vec![(from, Message::AeEqual)];
+                }
+                let needed = self.stale_subjects(&entries);
+                if needed.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![(from, Message::AePull { subjects: needed })]
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn on_rumor(
+        &mut self,
+        from: PeerId,
+        rumors: Vec<Rumor<P>>,
+    ) -> Vec<(PeerId, Message<P>)> {
+        // "Whenever x receives a rumor message ... it immediately resets
+        // its gossiping interval to the default" (§3).
+        self.reset_interval();
+        let mut already_knew = Vec::with_capacity(rumors.len());
+        for r in rumors {
+            let knew = self.knows(r.id);
+            already_knew.push(knew);
+            if !knew {
+                self.apply_news(&r);
+                self.stats.rumors_learned_push += 1;
+            }
+        }
+        let recent_ids = if self.config.algorithm.partial_ae() {
+            let m = self.config.partial_ae_ids;
+            self.recent.iter().rev().take(m).copied().collect()
+        } else {
+            Vec::new()
+        };
+        vec![(from, Message::RumorAck { already_knew, recent_ids })]
+    }
+
+    fn on_rumor_ack(
+        &mut self,
+        from: PeerId,
+        already_knew: &[bool],
+        recent_ids: &[RumorId],
+    ) -> Vec<(PeerId, Message<P>)> {
+        if let Some(sent) = self.pending_acks.remove(&from) {
+            for (id, &knew) in sent.iter().zip(already_knew) {
+                let Some(a) = self.active.get_mut(&id.subject) else {
+                    continue;
+                };
+                if a.id != *id {
+                    continue; // superseded since we sent it
+                }
+                if knew {
+                    a.consecutive_known += 1;
+                    if a.consecutive_known >= self.config.rumor_death_n {
+                        self.retire(id.subject);
+                    }
+                } else {
+                    a.consecutive_known = 0;
+                }
+            }
+        }
+        // Partial anti-entropy: pull anything the responder retired that
+        // we have not heard.
+        let missing: Vec<RumorId> = recent_ids
+            .iter()
+            .filter(|id| id.subject != self.id && !self.knows(**id))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            Vec::new()
+        } else {
+            vec![(from, Message::Pull { ids: missing })]
+        }
+    }
+
+    /// Apply news carried by a rumor and start spreading it ourselves.
+    fn apply_news(&mut self, r: &Rumor<P>) {
+        self.update_entry(
+            r.id.subject,
+            r.id.status_version,
+            r.id.bloom_version,
+            r.payload.clone(),
+        );
+        if r.id.subject != self.id {
+            self.activate(r.id, r.kind);
+        }
+        self.learned_news();
+    }
+
+    /// Absorb full peer states from a pull or anti-entropy reply.
+    /// Returns how many taught us something. `respread`: whether to
+    /// start rumoring what we learned (partial-AE pulls respread —
+    /// they are recent, hot news; full AE does not — it is the cold
+    /// path catching residue).
+    fn absorb(&mut self, entries: &[PeerState<P>], respread: bool) -> u64 {
+        let mut learned = 0;
+        for s in entries {
+            if !self.dir.is_news(s.subject, s.status_version, s.bloom_version) {
+                continue;
+            }
+            self.update_entry(
+                s.subject,
+                s.status_version,
+                s.bloom_version,
+                s.payload.clone(),
+            );
+            if respread && s.subject != self.id {
+                self.activate(
+                    RumorId {
+                        subject: s.subject,
+                        status_version: s.status_version,
+                        bloom_version: s.bloom_version,
+                    },
+                    RumorKind::BloomUpdate,
+                );
+            }
+            learned += 1;
+        }
+        if learned > 0 {
+            // "...or finds a new piece of information through
+            // anti-entropy, it immediately resets its gossiping
+            // interval" (§3).
+            self.learned_news();
+        }
+        learned
+    }
+
+    /// Upgrade a directory entry to (sv, bv), keeping the old payload
+    /// when the update carries none (e.g. a Rejoin rumor).
+    fn update_entry(
+        &mut self,
+        subject: PeerId,
+        status_version: u64,
+        bloom_version: u32,
+        payload: Option<P>,
+    ) {
+        match self.dir.get_mut(subject) {
+            Some(e) => {
+                e.status_version = status_version;
+                e.bloom_version = bloom_version;
+                if let Some(p) = payload {
+                    e.payload = Some(p);
+                }
+                // Fresh news about a peer implies it is (or recently
+                // was) online; clear any local offline mark.
+                e.status = PeerStatus::Online;
+            }
+            None => {
+                self.dir.insert(
+                    subject,
+                    DirEntry {
+                        status_version,
+                        bloom_version,
+                        payload,
+                        status: PeerStatus::Online,
+                        // Speed is learned out of band; default Fast
+                        // until the driver overrides.
+                        speed: SpeedClass::Fast,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Start (or refresh) spreading news about a subject.
+    fn activate(&mut self, id: RumorId, kind: RumorKind) {
+        self.active.insert(
+            id.subject,
+            ActiveRumor { id, kind, consecutive_known: 0 },
+        );
+    }
+
+    fn activate_self_rumor(&mut self, kind: RumorKind) {
+        let e = self.dir.get(self.id).expect("self entry always present");
+        let id = RumorId {
+            subject: self.id,
+            status_version: e.status_version,
+            bloom_version: e.bloom_version,
+        };
+        self.activate(id, kind);
+        self.stats.rumors_originated += 1;
+    }
+
+    /// Retire an active rumor (death counter reached n); remember its id
+    /// for partial anti-entropy.
+    fn retire(&mut self, subject: PeerId) {
+        if let Some(a) = self.active.remove(&subject) {
+            self.recent.push_back(a.id);
+            let cap = self.config.partial_ae_ids.max(32);
+            while self.recent.len() > cap {
+                self.recent.pop_front();
+            }
+            self.stats.rumors_retired += 1;
+        }
+    }
+
+    /// Build the rumor message entry for an active rumor from the
+    /// *current* directory state (which may be fresher than when the
+    /// rumor started).
+    fn build_rumor(&self, a: &ActiveRumor) -> Rumor<P> {
+        let e = self.dir.get(a.id.subject);
+        let payload = match a.kind {
+            RumorKind::Rejoin => None,
+            RumorKind::Join | RumorKind::BloomUpdate => {
+                e.and_then(|e| e.payload.clone())
+            }
+        };
+        Rumor { id: a.id, kind: a.kind, payload }
+    }
+
+    /// Ids this peer would advertise in a cheap anti-entropy exchange:
+    /// its active rumors plus the last m retired ones.
+    fn recent_and_active_ids(&self) -> Vec<RumorId> {
+        let m = self.config.partial_ae_ids;
+        let mut ids: Vec<RumorId> =
+            self.active.values().map(|a| a.id).collect();
+        ids.extend(self.recent.iter().rev().take(m));
+        ids.truncate(m.max(ids.len().min(2 * m)));
+        ids
+    }
+
+    fn summaries(&self) -> Vec<PeerSummary> {
+        self.dir
+            .iter()
+            .map(|(id, e)| PeerSummary {
+                subject: id,
+                status_version: e.status_version,
+                bloom_version: e.bloom_version,
+            })
+            .collect()
+    }
+
+    /// Subjects in `entries` that are newer than our directory.
+    fn stale_subjects(&self, entries: &[PeerSummary]) -> Vec<PeerId> {
+        entries
+            .iter()
+            .filter(|s| {
+                self.dir.is_news(s.subject, s.status_version, s.bloom_version)
+            })
+            .map(|s| s.subject)
+            .collect()
+    }
+
+    fn states_for(
+        &self,
+        subjects: impl Iterator<Item = PeerId>,
+    ) -> Vec<PeerState<P>> {
+        subjects
+            .filter_map(|s| {
+                self.dir.get(s).map(|e| PeerState {
+                    subject: s,
+                    status_version: e.status_version,
+                    bloom_version: e.bloom_version,
+                    payload: e.payload.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Count a gossip-less contact; slow the interval after the
+    /// threshold.
+    fn note_gossipless(&mut self) {
+        if !self.active.is_empty() {
+            return;
+        }
+        self.gossipless += 1;
+        if self.gossipless >= self.config.gossipless_threshold {
+            self.interval_ms = (self.interval_ms + self.config.slowdown_ms)
+                .min(self.config.max_interval_ms);
+            self.gossipless = 0;
+            self.stats.slowdowns += 1;
+        }
+    }
+
+    /// New information arrived: snap the interval back to base.
+    fn learned_news(&mut self) {
+        self.reset_interval();
+        self.gossipless = 0;
+    }
+
+    fn reset_interval(&mut self) {
+        if self.interval_ms != self.config.base_interval_ms {
+            self.stats.interval_resets += 1;
+        }
+        self.interval_ms = self.config.base_interval_ms;
+    }
+}

@@ -1,0 +1,55 @@
+//! PlanetP's gossiping layer (§3 of the paper).
+//!
+//! Every peer keeps a local copy of the *global directory* — the list of
+//! peers, their addresses, and their Bloom filters — and the community
+//! continually gossips to keep these copies convergent. The algorithm is
+//! a combination of:
+//!
+//! 1. **Rumor mongering**: news (a join, a rejoin, a Bloom filter change)
+//!    is pushed to random targets every gossip round; a peer stops
+//!    spreading a rumor after contacting `n` peers in a row that already
+//!    knew it.
+//! 2. **Pull anti-entropy**: every `K`th round (or when there is nothing
+//!    to rumor), a peer asks a random target for a summary of its entire
+//!    directory and pulls anything newer — catching the residue rumoring
+//!    misses.
+//! 3. **Partial anti-entropy** (the paper's novel extension): every rumor
+//!    *reply* piggybacks the ids of the last `m` rumors the responder
+//!    retired, letting the initiator pull recent news it missed at the
+//!    cost of tens of bytes.
+//!
+//! The gossip interval adapts: it stretches by `slowdown` every time the
+//! peer sees `gossipless_threshold` consecutive identical-directory
+//! contacts while holding no rumors, and snaps back to the base interval
+//! the moment new information arrives.
+//!
+//! The engine in [`engine::GossipEngine`] is a deterministic,
+//! transport-agnostic state machine: callers (the discrete-event
+//! simulator in `planetp-simnet`, or the live TCP runtime in `planetp`)
+//! deliver ticks and messages and route the `(target, message)` pairs the
+//! engine emits. All randomness comes from a per-engine seeded RNG, so
+//! simulations are exactly reproducible.
+
+pub mod config;
+pub mod dethash;
+pub mod directory;
+pub mod engine;
+pub mod messages;
+pub mod rumor;
+pub mod selector;
+pub mod stats;
+
+pub use config::{Algorithm, GossipConfig};
+pub use dethash::{DetHashMap, DetState};
+pub use directory::{DirEntry, Directory, PeerStatus, SpeedClass};
+pub use engine::{GossipEngine, TickOutcome};
+pub use messages::Message;
+pub use rumor::{Payload, Rumor, RumorId, RumorKind, SizedPayload};
+
+/// Peer identifier. Dense small integers keep the simulator's state
+/// arrays flat; the live runtime maps socket addresses to ids.
+pub type PeerId = u32;
+
+/// Simulation / protocol time in milliseconds. Integer so that runs are
+/// exactly reproducible and times hash cleanly.
+pub type TimeMs = u64;

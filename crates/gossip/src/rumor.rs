@@ -1,0 +1,110 @@
+//! Rumors: the unit of news spread by gossiping.
+//!
+//! Directory-changing events — "the joining of a new member, the rejoin
+//! of a previously off-line member, and a change in a Bloom filter" (§3)
+//! — each become a rumor. A rumor is news that some *subject* peer has
+//! reached a given `(status_version, bloom_version)` pair; a peer
+//! "already knows" a rumor if its directory entry for the subject is at
+//! least that new, which makes rumor identity insensitive to the path
+//! the news took.
+
+use crate::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// What a peer's shared state ("Bloom filter") looks like to the gossip
+/// layer. The simulator uses [`SizedPayload`] stubs carrying only a wire
+/// size; the live runtime uses real compressed Bloom filters.
+pub trait Payload: Clone + std::fmt::Debug + PartialEq {
+    /// Serialized size in bytes when carried in a rumor or an
+    /// anti-entropy reply.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// A payload stub that models only its wire size — what the paper's own
+/// simulator does via the Table 2 constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizedPayload {
+    /// Bytes this payload occupies on the wire (u32 keeps directory
+    /// entries small — simulations hold N² of these).
+    pub bytes: u32,
+}
+
+impl Payload for SizedPayload {
+    fn wire_bytes(&self) -> usize {
+        self.bytes as usize
+    }
+}
+
+/// Globally unique rumor identity: the subject peer plus the version
+/// pair the news announces. 16 bytes on the wire ("in order of tens of
+/// bytes" for the m piggybacked ids, §3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RumorId {
+    /// The peer the news is about.
+    pub subject: PeerId,
+    /// Subject's membership incarnation (bumped on join/rejoin).
+    pub status_version: u64,
+    /// Subject's Bloom filter version (bumped on index change).
+    pub bloom_version: u32,
+}
+
+/// Why the rumor exists. Only affects wire size accounting and
+/// diagnostics; staleness is decided by the version pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RumorKind {
+    /// A brand-new member joined.
+    Join,
+    /// A previously known member came back online (no new content).
+    Rejoin,
+    /// A member's Bloom filter changed.
+    BloomUpdate,
+}
+
+/// A rumor in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rumor<P: Payload> {
+    /// Identity (subject + versions).
+    pub id: RumorId,
+    /// Event class.
+    pub kind: RumorKind,
+    /// The subject's current Bloom filter, when the event carries content
+    /// (Join and BloomUpdate do; Rejoin does not).
+    pub payload: Option<P>,
+}
+
+impl<P: Payload> Rumor<P> {
+    /// Bytes this rumor occupies inside a message: a 48-byte peer
+    /// summary (Table 2) plus the payload, if any.
+    pub fn wire_bytes(&self) -> usize {
+        48 + self.payload.as_ref().map_or(0, Payload::wire_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rumor(bytes: Option<usize>) -> Rumor<SizedPayload> {
+        Rumor {
+            id: RumorId { subject: 7, status_version: 1, bloom_version: 3 },
+            kind: RumorKind::BloomUpdate,
+            payload: bytes.map(|b| SizedPayload { bytes: b as u32 }),
+        }
+    }
+
+    #[test]
+    fn wire_bytes_includes_peer_summary() {
+        assert_eq!(rumor(None).wire_bytes(), 48);
+        assert_eq!(rumor(Some(3000)).wire_bytes(), 3048);
+    }
+
+    #[test]
+    fn rumor_ids_order_by_subject_then_versions() {
+        let a = RumorId { subject: 1, status_version: 1, bloom_version: 0 };
+        let b = RumorId { subject: 1, status_version: 2, bloom_version: 0 };
+        let c = RumorId { subject: 2, status_version: 0, bloom_version: 0 };
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,209 @@
+//! Gossip target selection.
+//!
+//! Default PlanetP picks a uniformly random peer believed to be online.
+//! The bandwidth-aware variant (§7.2) divides peers into Fast
+//! (≥ 512 Kbps) and Slow (modem) classes:
+//!
+//! - a **fast** peer rumoring picks a slow target with probability 1%
+//!   and a fast target otherwise;
+//! - a **fast** peer doing anti-entropy always picks a fast target;
+//! - a **slow** peer rumoring always picks a slow target — unless it is
+//!   the *source* of the rumor, in which case it picks a fast initial
+//!   target so the news escapes the slow pool quickly;
+//! - a **slow** peer doing anti-entropy picks uniformly.
+
+use crate::directory::{Directory, SpeedClass};
+use crate::rumor::Payload;
+use crate::PeerId;
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// Why a target is being selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPurpose {
+    /// Forwarding rumors this peer heard from elsewhere.
+    RumorForward,
+    /// Spreading a rumor this peer originated.
+    RumorSource,
+    /// Anti-entropy exchange.
+    AntiEntropy,
+}
+
+/// Pick a gossip target from the peers believed online, excluding
+/// `self_id`. Returns `None` when no candidate exists.
+pub fn pick_target<P: Payload>(
+    dir: &Directory<P>,
+    self_id: PeerId,
+    self_speed: SpeedClass,
+    purpose: SelectionPurpose,
+    bandwidth_aware: bool,
+    fast_to_slow_prob: f64,
+    rng: &mut SmallRng,
+) -> Option<PeerId> {
+    let mut fast: Vec<PeerId> = Vec::new();
+    let mut slow: Vec<PeerId> = Vec::new();
+    for id in dir.believed_online() {
+        if id == self_id {
+            continue;
+        }
+        match dir.get(id).map(|e| e.speed) {
+            Some(SpeedClass::Fast) => fast.push(id),
+            Some(SpeedClass::Slow) => slow.push(id),
+            None => {}
+        }
+    }
+    if fast.is_empty() && slow.is_empty() {
+        return None;
+    }
+    if !bandwidth_aware {
+        return uniform(&fast, &slow, rng);
+    }
+    match (self_speed, purpose) {
+        // Fast rumoring: binary decision, slow pool with small probability.
+        (SpeedClass::Fast, SelectionPurpose::RumorForward | SelectionPurpose::RumorSource) => {
+            let want_slow = rng.random_bool(fast_to_slow_prob.clamp(0.0, 1.0));
+            pick_preferring(if want_slow { (&slow, &fast) } else { (&fast, &slow) }, rng)
+        }
+        // Fast anti-entropy: always fast.
+        (SpeedClass::Fast, SelectionPurpose::AntiEntropy) => {
+            pick_preferring((&fast, &slow), rng)
+        }
+        // Slow forwarding: always slow (never stall a fast peer).
+        (SpeedClass::Slow, SelectionPurpose::RumorForward) => {
+            pick_preferring((&slow, &fast), rng)
+        }
+        // Slow *source*: initial target is fast so the rumor escapes.
+        (SpeedClass::Slow, SelectionPurpose::RumorSource) => {
+            pick_preferring((&fast, &slow), rng)
+        }
+        // Slow anti-entropy: uniform.
+        (SpeedClass::Slow, SelectionPurpose::AntiEntropy) => uniform(&fast, &slow, rng),
+    }
+}
+
+fn uniform(fast: &[PeerId], slow: &[PeerId], rng: &mut SmallRng) -> Option<PeerId> {
+    let total = fast.len() + slow.len();
+    if total == 0 {
+        return None;
+    }
+    let i = rng.random_range(0..total);
+    Some(if i < fast.len() { fast[i] } else { slow[i - fast.len()] })
+}
+
+/// Pick from the preferred pool, falling back to the other if empty.
+fn pick_preferring(
+    (preferred, fallback): (&[PeerId], &[PeerId]),
+    rng: &mut SmallRng,
+) -> Option<PeerId> {
+    preferred
+        .choose(rng)
+        .or_else(|| fallback.choose(rng))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::{DirEntry, PeerStatus};
+    use crate::rumor::SizedPayload;
+    use rand::SeedableRng;
+
+    fn dir(fast: &[PeerId], slow: &[PeerId]) -> Directory<SizedPayload> {
+        let mut d = Directory::new();
+        for &id in fast {
+            d.insert(id, entry(SpeedClass::Fast));
+        }
+        for &id in slow {
+            d.insert(id, entry(SpeedClass::Slow));
+        }
+        d
+    }
+
+    fn entry(speed: SpeedClass) -> DirEntry<SizedPayload> {
+        DirEntry {
+            status_version: 1,
+            bloom_version: 0,
+            payload: None,
+            status: PeerStatus::Online,
+            speed,
+        }
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn excludes_self_and_offline() {
+        let mut d = dir(&[1, 2], &[]);
+        d.mark_offline(2, 0);
+        let mut r = rng();
+        for _ in 0..20 {
+            let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, false, 0.01, &mut r);
+            assert_eq!(t, None, "only self and an offline peer exist");
+        }
+    }
+
+    #[test]
+    fn uniform_reaches_everyone() {
+        let d = dir(&[1, 2, 3], &[4, 5]);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(
+                pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, false, 0.01, &mut r)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn bandwidth_aware_fast_rarely_picks_slow() {
+        let d = dir(&[1, 2, 3], &[4, 5, 6]);
+        let mut r = rng();
+        let slow_picks = (0..2000)
+            .filter(|_| {
+                let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, true, 0.01, &mut r)
+                    .unwrap();
+                t >= 4
+            })
+            .count();
+        // Expect ~1% = ~20 of 2000; allow generous slack.
+        assert!(slow_picks < 100, "slow picked {slow_picks}/2000 times");
+    }
+
+    #[test]
+    fn bandwidth_aware_fast_ae_never_slow() {
+        let d = dir(&[1, 2], &[3, 4]);
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::AntiEntropy, true, 0.01, &mut r)
+                .unwrap();
+            assert!(t == 2, "fast AE must target fast, got {t}");
+        }
+    }
+
+    #[test]
+    fn slow_forward_targets_slow_but_source_targets_fast() {
+        let d = dir(&[1, 2], &[3, 4]);
+        let mut r = rng();
+        for _ in 0..100 {
+            let fwd = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorForward, true, 0.01, &mut r)
+                .unwrap();
+            assert_eq!(fwd, 4, "slow forward stays slow");
+            let src = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorSource, true, 0.01, &mut r)
+                .unwrap();
+            assert!(src <= 2, "slow source goes fast, got {src}");
+        }
+    }
+
+    #[test]
+    fn falls_back_when_preferred_pool_empty() {
+        let d = dir(&[], &[3, 4]);
+        let mut r = rng();
+        let t = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorSource, true, 0.01, &mut r);
+        assert_eq!(t, Some(4), "no fast peers: fall back to slow");
+    }
+}

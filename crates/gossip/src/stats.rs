@@ -1,0 +1,32 @@
+//! Per-engine protocol counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters a gossip engine maintains about its own behaviour. Network
+/// byte accounting lives in the simulator (which owns the link model);
+/// these track protocol-level decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Gossip rounds executed (ticks that produced an action).
+    pub rounds: u64,
+    /// Rumor messages sent.
+    pub rumor_msgs_sent: u64,
+    /// Anti-entropy requests sent (pull AE) or pushes (baseline).
+    pub ae_msgs_sent: u64,
+    /// Rumors this peer originated (its own join/rejoin/update events).
+    pub rumors_originated: u64,
+    /// Rumors learned from other peers (via rumor push).
+    pub rumors_learned_push: u64,
+    /// Updates learned via partial anti-entropy pulls.
+    pub rumors_learned_partial_ae: u64,
+    /// Updates learned via full anti-entropy.
+    pub rumors_learned_ae: u64,
+    /// Rumors retired by the death counter.
+    pub rumors_retired: u64,
+    /// Times the interval was slowed down.
+    pub slowdowns: u64,
+    /// Times the interval snapped back to base.
+    pub interval_resets: u64,
+    /// Contact failures observed (target marked offline).
+    pub contact_failures: u64,
+}

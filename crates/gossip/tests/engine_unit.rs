@@ -1,0 +1,324 @@
+//! Focused unit tests of `GossipEngine` message handling — exercising
+//! the state machine one message at a time, without a driver loop.
+
+use planetp_gossip::{
+    Algorithm, DirEntry, Directory, GossipConfig, GossipEngine, Message,
+    PeerStatus, RumorId, RumorKind, SizedPayload, SpeedClass,
+};
+
+type Engine = GossipEngine<SizedPayload>;
+type Msg = Message<SizedPayload>;
+
+fn entry(sv: u64, bv: u32, bytes: u32) -> DirEntry<SizedPayload> {
+    DirEntry {
+        status_version: sv,
+        bloom_version: bv,
+        payload: Some(SizedPayload { bytes }),
+        status: PeerStatus::Online,
+        speed: SpeedClass::Fast,
+    }
+}
+
+fn engine_of(n: u32, me: u32) -> Engine {
+    let mut dir = Directory::new();
+    for id in 0..n {
+        dir.insert(id, entry(1, 1, 3000));
+    }
+    Engine::with_directory(me, SpeedClass::Fast, GossipConfig::default(), 7, dir)
+}
+
+fn rumor(subject: u32, sv: u64, bv: u32, bytes: u32) -> planetp_gossip::Rumor<SizedPayload> {
+    planetp_gossip::Rumor {
+        id: RumorId { subject, status_version: sv, bloom_version: bv },
+        kind: RumorKind::BloomUpdate,
+        payload: Some(SizedPayload { bytes }),
+    }
+}
+
+#[test]
+fn fresh_rumor_is_applied_acked_and_respread() {
+    let mut e = engine_of(5, 0);
+    let responses = e.handle_message(
+        1,
+        Msg::Rumor { rumors: vec![rumor(2, 1, 2, 3100)] },
+        0,
+    );
+    // Ack says "did not know".
+    assert_eq!(responses.len(), 1);
+    let (to, msg) = &responses[0];
+    assert_eq!(*to, 1);
+    match msg {
+        Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[false]),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    // Directory updated and the rumor is now active here too.
+    let entry = e.directory().get(2).expect("entry exists");
+    assert_eq!(entry.bloom_version, 2);
+    assert_eq!(entry.payload, Some(SizedPayload { bytes: 3100 }));
+    assert_eq!(e.active_rumors(), 1);
+}
+
+#[test]
+fn stale_rumor_acked_as_known_and_ignored() {
+    let mut e = engine_of(5, 0);
+    let responses =
+        e.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 1, 3000)] }, 0);
+    match &responses[0].1 {
+        Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[true]),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    assert_eq!(e.active_rumors(), 0);
+}
+
+#[test]
+fn rumor_about_unknown_peer_creates_entry() {
+    let mut e = engine_of(3, 0);
+    e.handle_message(1, Msg::Rumor { rumors: vec![rumor(99, 1, 1, 4000)] }, 0);
+    assert!(e.directory().get(99).is_some());
+    assert_eq!(e.directory().len(), 4);
+}
+
+#[test]
+fn ack_known_twice_retires_rumor() {
+    let mut e = engine_of(6, 0);
+    e.local_update(SizedPayload { bytes: 3000 });
+    assert_eq!(e.active_rumors(), 1);
+    let mut acked = 0;
+    // Tick until two rumor pushes have been acked "already known".
+    for round in 1..100 {
+        let now = round * 30_000;
+        let Some(out) = e.tick(now) else { continue };
+        if let Msg::Rumor { rumors } = &out.message {
+            let n = rumors.len();
+            let _ = e.handle_message(
+                out.target,
+                Msg::RumorAck { already_knew: vec![true; n], recent_ids: vec![] },
+                now,
+            );
+            acked += 1;
+            if acked == 2 {
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        e.active_rumors(),
+        0,
+        "rumor must die after {} consecutive known-acks",
+        GossipConfig::default().rumor_death_n
+    );
+}
+
+#[test]
+fn fresh_ack_resets_death_counter() {
+    let mut e = engine_of(6, 0);
+    e.local_update(SizedPayload { bytes: 3000 });
+    let mut pushes = 0;
+    for round in 1..200 {
+        let now = round * 30_000;
+        let Some(out) = e.tick(now) else { continue };
+        if let Msg::Rumor { rumors } = &out.message {
+            let n = rumors.len();
+            // Alternate known / not-known: counter must never reach 2.
+            let knew = pushes % 2 == 0;
+            let _ = e.handle_message(
+                out.target,
+                Msg::RumorAck { already_knew: vec![knew; n], recent_ids: vec![] },
+                now,
+            );
+            pushes += 1;
+            if pushes >= 10 {
+                break;
+            }
+        }
+    }
+    assert_eq!(e.active_rumors(), 1, "alternating acks must keep the rumor hot");
+}
+
+#[test]
+fn partial_ae_pull_fetches_missing_news() {
+    let mut e = engine_of(5, 0);
+    // Peer 1 tells us (via an ack's piggyback) that peer 3 reached v2.
+    let missing = RumorId { subject: 3, status_version: 1, bloom_version: 2 };
+    // First push something so the engine has a pending exchange; the
+    // ack path accepts piggybacks regardless of pending state.
+    let responses = e.handle_message(
+        1,
+        Msg::RumorAck { already_knew: vec![], recent_ids: vec![missing] },
+        0,
+    );
+    assert_eq!(responses.len(), 1);
+    match &responses[0].1 {
+        Msg::Pull { ids } => assert_eq!(ids, &[missing]),
+        other => panic!("expected pull, got {other:?}"),
+    }
+    // The pull reply teaches us the new state.
+    let state = planetp_gossip::messages::PeerState {
+        subject: 3,
+        status_version: 1,
+        bloom_version: 2,
+        payload: Some(SizedPayload { bytes: 3333 }),
+    };
+    let out = e.handle_message(1, Msg::PullReply { entries: vec![state] }, 0);
+    assert!(out.is_empty());
+    assert!(e.knows(missing));
+}
+
+#[test]
+fn ae_request_equal_digest_answers_ae_equal() {
+    let mut a = engine_of(4, 0);
+    let digest = a.directory().digest();
+    let responses = a.handle_message(1, Msg::AeRequest { digest }, 0);
+    assert_eq!(responses[0].1, Msg::AeEqual);
+}
+
+#[test]
+fn ae_request_different_digest_sends_summary() {
+    let mut a = engine_of(4, 0);
+    let responses = a.handle_message(1, Msg::AeRequest { digest: 0xdead }, 0);
+    match &responses[0].1 {
+        Msg::AeSummary { entries } => assert_eq!(entries.len(), 4),
+        other => panic!("expected summary, got {other:?}"),
+    }
+}
+
+#[test]
+fn ae_summary_triggers_pull_of_stale_subjects_only() {
+    let mut a = engine_of(4, 0);
+    use planetp_gossip::messages::PeerSummary;
+    let entries = vec![
+        PeerSummary { subject: 1, status_version: 1, bloom_version: 1 }, // same
+        PeerSummary { subject: 2, status_version: 1, bloom_version: 5 }, // newer
+        PeerSummary { subject: 3, status_version: 1, bloom_version: 0 }, // older
+    ];
+    let responses = a.handle_message(1, Msg::AeSummary { entries }, 0);
+    match &responses[0].1 {
+        Msg::AePull { subjects } => assert_eq!(subjects, &[2]),
+        other => panic!("expected pull, got {other:?}"),
+    }
+}
+
+#[test]
+fn ae_pull_returns_full_state() {
+    let mut a = engine_of(4, 0);
+    let responses = a.handle_message(2, Msg::AePull { subjects: vec![1, 3] }, 0);
+    match &responses[0].1 {
+        Msg::AeReply { entries } => {
+            assert_eq!(entries.len(), 2);
+            assert!(entries.iter().all(|e| e.payload.is_some()));
+        }
+        other => panic!("expected reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn hearing_from_a_peer_marks_it_online() {
+    let mut a = engine_of(4, 0);
+    a.on_contact_failed(2, 100);
+    assert!(matches!(
+        a.directory().get(2).map(|e| e.status),
+        Some(PeerStatus::Offline { .. })
+    ));
+    a.handle_message(2, Msg::AeEqual, 200);
+    assert_eq!(a.directory().get(2).map(|e| e.status), Some(PeerStatus::Online));
+}
+
+#[test]
+fn interval_slows_after_threshold_equal_contacts() {
+    let cfg = GossipConfig::default();
+    let mut a = engine_of(4, 0);
+    assert_eq!(a.current_interval(), cfg.base_interval_ms);
+    for _ in 0..cfg.gossipless_threshold {
+        a.handle_message(1, Msg::AeEqual, 0);
+    }
+    assert_eq!(a.current_interval(), cfg.base_interval_ms + cfg.slowdown_ms);
+    // A rumor snaps it back.
+    a.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 9, 100)] }, 0);
+    assert_eq!(a.current_interval(), cfg.base_interval_ms);
+}
+
+#[test]
+fn interval_never_exceeds_max() {
+    let cfg = GossipConfig::default();
+    let mut a = engine_of(4, 0);
+    for _ in 0..1000 {
+        a.handle_message(1, Msg::AeEqual, 0);
+    }
+    assert_eq!(a.current_interval(), cfg.max_interval_ms);
+}
+
+#[test]
+fn anti_entropy_only_mode_pushes_summaries() {
+    let cfg = GossipConfig {
+        algorithm: Algorithm::AntiEntropyOnly,
+        ..GossipConfig::default()
+    };
+    let mut dir = Directory::new();
+    for id in 0..3 {
+        dir.insert(id, entry(1, 1, 3000));
+    }
+    let mut a = Engine::with_directory(0, SpeedClass::Fast, cfg, 5, dir);
+    let out = a.tick(30_000).expect("has peers");
+    assert!(matches!(out.message, Msg::AePush { .. }));
+}
+
+#[test]
+fn ping_equal_and_recent_paths() {
+    let mut a = engine_of(4, 0);
+    let digest = a.directory().digest();
+    let r = a.handle_message(1, Msg::AePing { digest }, 0);
+    assert_eq!(r[0].1, Msg::AeEqual);
+    // Unequal digest: reply carries recent ids (possibly empty here,
+    // since nothing was ever retired — engine replies AeRecent anyway).
+    let r = a.handle_message(1, Msg::AePing { digest: digest ^ 1 }, 0);
+    assert!(matches!(r[0].1, Msg::AeRecent { .. }));
+}
+
+#[test]
+fn ae_recent_pulls_only_unknown_ids() {
+    let mut a = engine_of(4, 0);
+    let known = RumorId { subject: 1, status_version: 1, bloom_version: 1 };
+    let unknown = RumorId { subject: 2, status_version: 1, bloom_version: 7 };
+    let r = a.handle_message(1, Msg::AeRecent { ids: vec![known, unknown] }, 0);
+    match &r[0].1 {
+        Msg::Pull { ids } => assert_eq!(ids, &[unknown]),
+        other => panic!("expected pull, got {other:?}"),
+    }
+    // Nothing unknown -> no response at all.
+    let r = a.handle_message(1, Msg::AeRecent { ids: vec![known] }, 0);
+    assert!(r.is_empty());
+}
+
+#[test]
+fn tick_with_no_known_peers_does_nothing() {
+    let mut solo = Engine::new(
+        0,
+        SpeedClass::Fast,
+        GossipConfig::default(),
+        1,
+        Some(SizedPayload { bytes: 100 }),
+        None,
+    );
+    assert!(solo.tick(30_000).is_none());
+}
+
+#[test]
+fn joiner_first_action_is_anti_entropy_to_bootstrap() {
+    let mut j = Engine::new(
+        5,
+        SpeedClass::Fast,
+        GossipConfig::default(),
+        1,
+        Some(SizedPayload { bytes: 16_000 }),
+        Some((0, SpeedClass::Fast)),
+    );
+    let out = j.tick(30_000).expect("bootstrap known");
+    assert_eq!(out.target, 0);
+    assert!(
+        matches!(out.message, Msg::AeRequest { .. }),
+        "joiner must immediately download the directory"
+    );
+    // Next tick spreads the Join rumor.
+    let out = j.tick(60_000).expect("still has the bootstrap");
+    assert!(matches!(out.message, Msg::Rumor { .. }));
+}

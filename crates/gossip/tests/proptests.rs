@@ -1,0 +1,214 @@
+//! Property-based tests of the gossip protocol: under arbitrary
+//! sequences of updates, churn, and lossy rounds, the community must
+//! never violate its core invariants and must converge once quiet.
+
+use planetp_gossip::{
+    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerId,
+    PeerStatus, SizedPayload, SpeedClass,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type Engine = GossipEngine<SizedPayload>;
+
+/// Random driver operations.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Run one gossip round for everyone online.
+    Round,
+    /// Peer (index % n) publishes a filter update.
+    Update(u8),
+    /// Toggle peer (index % n) offline/online.
+    Toggle(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Round),
+        1 => any::<u8>().prop_map(Op::Update),
+        1 => any::<u8>().prop_map(Op::Toggle),
+    ]
+}
+
+struct Driver {
+    engines: HashMap<PeerId, Engine>,
+    online: HashMap<PeerId, bool>,
+    now: u64,
+}
+
+impl Driver {
+    fn new(n: u32) -> Self {
+        let mut dir: Directory<SizedPayload> = Directory::new();
+        for id in 0..n {
+            dir.insert(
+                id,
+                DirEntry {
+                    status_version: 1,
+                    bloom_version: 1,
+                    payload: Some(SizedPayload { bytes: 3000 }),
+                    status: PeerStatus::Online,
+                    speed: SpeedClass::Fast,
+                },
+            );
+        }
+        let engines = (0..n)
+            .map(|id| {
+                (
+                    id,
+                    Engine::with_directory(
+                        id,
+                        SpeedClass::Fast,
+                        GossipConfig::default(),
+                        0xfeed + u64::from(id),
+                        dir.clone(),
+                    ),
+                )
+            })
+            .collect();
+        Self { engines, online: (0..n).map(|i| (i, true)).collect(), now: 0 }
+    }
+
+    fn n(&self) -> u32 {
+        self.engines.len() as u32
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Round => self.round(),
+            Op::Update(i) => {
+                let id = u32::from(*i) % self.n();
+                if self.online[&id] {
+                    self.engines
+                        .get_mut(&id)
+                        .expect("engine exists")
+                        .local_update(SizedPayload { bytes: 3000 });
+                }
+            }
+            Op::Toggle(i) => {
+                let id = u32::from(*i) % self.n();
+                let was = self.online[&id];
+                self.online.insert(id, !was);
+                if was {
+                    // went offline; nothing else to do
+                } else {
+                    self.engines
+                        .get_mut(&id)
+                        .expect("engine exists")
+                        .local_rejoin(None);
+                }
+            }
+        }
+    }
+
+    fn round(&mut self) {
+        self.now += 30_000;
+        let mut ids: Vec<PeerId> = self.engines.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if !self.online[&id] {
+                continue;
+            }
+            let out = self.engines.get_mut(&id).expect("exists").tick(self.now);
+            if let Some(o) = out {
+                self.deliver(id, o.target, o.message);
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: PeerId, to: PeerId, msg: Message<SizedPayload>) {
+        if !self.online.get(&to).copied().unwrap_or(false) {
+            self.engines
+                .get_mut(&from)
+                .expect("exists")
+                .on_contact_failed(to, self.now);
+            return;
+        }
+        let responses = self
+            .engines
+            .get_mut(&to)
+            .expect("exists")
+            .handle_message(from, msg, self.now);
+        for (t, m) in responses {
+            self.deliver(to, t, m);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Version monotonicity: no sequence of operations may ever move a
+    /// directory entry's versions backwards on any peer.
+    #[test]
+    fn versions_never_regress(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut d = Driver::new(8);
+        let mut high: HashMap<(PeerId, PeerId), (u64, u32)> = HashMap::new();
+        for op in &ops {
+            d.apply(op);
+            for (&holder, engine) in &d.engines {
+                for (subject, e) in engine.directory().iter() {
+                    let cur = (e.status_version, e.bloom_version);
+                    let prev = high.entry((holder, subject)).or_insert(cur);
+                    prop_assert!(
+                        cur >= *prev,
+                        "peer {holder} regressed {subject}: {prev:?} -> {cur:?}"
+                    );
+                    *prev = cur;
+                }
+            }
+        }
+    }
+
+    /// Quiescent convergence: after arbitrary churn/update activity,
+    /// a burst of quiet rounds with everyone online equalizes all
+    /// directory digests.
+    #[test]
+    fn quiet_rounds_converge(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut d = Driver::new(8);
+        for op in &ops {
+            d.apply(op);
+        }
+        // Bring everyone back online (rejoin bumps their incarnation).
+        let ids: Vec<PeerId> = d.engines.keys().copied().collect();
+        for id in ids {
+            if !d.online[&id] {
+                d.online.insert(id, true);
+                d.engines.get_mut(&id).expect("exists").local_rejoin(None);
+            }
+        }
+        for _ in 0..120 {
+            d.round();
+        }
+        let digests: Vec<u64> = d
+            .engines
+            .values()
+            .map(|e| e.directory().digest())
+            .collect();
+        prop_assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "digests diverged after quiet period: {digests:?}"
+        );
+        // And all rumors must have drained.
+        let active: usize = d.engines.values().map(|e| e.active_rumors()).sum();
+        prop_assert_eq!(active, 0, "rumors still active after convergence");
+    }
+
+    /// Self-entry integrity: a peer's own directory entry always exists,
+    /// is always online, and its versions only the peer itself bumps.
+    #[test]
+    fn self_entry_integrity(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut d = Driver::new(6);
+        for op in &ops {
+            d.apply(op);
+            for (&id, engine) in &d.engines {
+                let e = engine.directory().get(id);
+                prop_assert!(e.is_some(), "peer {id} lost its own entry");
+                prop_assert_eq!(
+                    e.expect("checked").status,
+                    PeerStatus::Online,
+                    "peer {} believes itself offline", id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Protocol-level tests: a synchronous harness delivers messages
+//! instantly (no bandwidth model), validating convergence logic of the
+//! gossip state machine itself.
+
+use planetp_gossip::{
+    Algorithm, DirEntry, Directory, GossipConfig, GossipEngine, PeerId,
+    PeerStatus, RumorId, SizedPayload, SpeedClass, TimeMs,
+};
+use std::collections::HashMap;
+
+type Engine = GossipEngine<SizedPayload>;
+
+/// Synchronous test harness: each round, every online peer ticks once
+/// and all resulting message chains resolve immediately.
+struct Harness {
+    engines: HashMap<PeerId, Engine>,
+    online: HashMap<PeerId, bool>,
+    now: TimeMs,
+}
+
+impl Harness {
+    /// A stable community of `n` peers with mutually consistent
+    /// directories.
+    fn stable(n: u32, config: GossipConfig) -> Self {
+        let mut dir: Directory<SizedPayload> = Directory::new();
+        for id in 0..n {
+            dir.insert(
+                id,
+                DirEntry {
+                    status_version: 1,
+                    bloom_version: 1,
+                    payload: Some(SizedPayload { bytes: 3000 }),
+                    status: PeerStatus::Online,
+                    speed: SpeedClass::Fast,
+                },
+            );
+        }
+        let engines = (0..n)
+            .map(|id| {
+                (
+                    id,
+                    Engine::with_directory(
+                        id,
+                        SpeedClass::Fast,
+                        config,
+                        0xfeed + u64::from(id),
+                        dir.clone(),
+                    ),
+                )
+            })
+            .collect();
+        Self { engines, online: (0..n).map(|i| (i, true)).collect(), now: 0 }
+    }
+
+    /// Run one gossip round: every online peer ticks; message chains
+    /// resolve depth-first and instantly.
+    fn round(&mut self) {
+        self.now += 30_000;
+        let ids: Vec<PeerId> = {
+            let mut v: Vec<PeerId> = self.engines.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for id in ids {
+            if !self.online[&id] {
+                continue;
+            }
+            let outcome = {
+                let e = self.engines.get_mut(&id).expect("engine exists");
+                e.tick(self.now)
+            };
+            let Some(out) = outcome else { continue };
+            self.deliver(id, out.target, out.message);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        msg: planetp_gossip::Message<SizedPayload>,
+    ) {
+        if !self.online.get(&to).copied().unwrap_or(false) {
+            self.engines
+                .get_mut(&from)
+                .expect("engine exists")
+                .on_contact_failed(to, self.now);
+            return;
+        }
+        let responses = self
+            .engines
+            .get_mut(&to)
+            .expect("engine exists")
+            .handle_message(from, msg, self.now);
+        for (next_to, next_msg) in responses {
+            self.deliver(to, next_to, next_msg);
+        }
+    }
+
+    /// Do all online peers cover the given news?
+    fn all_know(&self, id: RumorId) -> bool {
+        self.engines
+            .iter()
+            .filter(|(pid, _)| self.online[pid])
+            .all(|(_, e)| e.knows(id))
+    }
+
+    fn rounds_until_all_know(&mut self, id: RumorId, max_rounds: u32) -> Option<u32> {
+        for r in 0..max_rounds {
+            if self.all_know(id) {
+                return Some(r);
+            }
+            self.round();
+        }
+        self.all_know(id).then_some(max_rounds)
+    }
+}
+
+fn update_rumor_id(engine: &Engine) -> RumorId {
+    let e = engine.directory().get(engine.id()).expect("self entry");
+    RumorId {
+        subject: engine.id(),
+        status_version: e.status_version,
+        bloom_version: e.bloom_version,
+    }
+}
+
+#[test]
+fn single_update_reaches_everyone() {
+    let mut h = Harness::stable(50, GossipConfig::default());
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 3000 });
+    let id = update_rumor_id(&h.engines[&0]);
+    let rounds = h.rounds_until_all_know(id, 40).expect("must converge");
+    assert!(rounds <= 15, "converged in {rounds} rounds");
+}
+
+#[test]
+fn update_converges_in_logarithmic_rounds() {
+    // Propagation time should grow roughly logarithmically with n.
+    let mut rounds_by_n = Vec::new();
+    for n in [20u32, 80, 320] {
+        let mut h = Harness::stable(n, GossipConfig::default());
+        h.engines
+            .get_mut(&0)
+            .unwrap()
+            .local_update(SizedPayload { bytes: 3000 });
+        let id = update_rumor_id(&h.engines[&0]);
+        let rounds = h.rounds_until_all_know(id, 100).expect("must converge");
+        rounds_by_n.push(rounds);
+    }
+    // 16x community growth should not cost anywhere near 16x rounds.
+    assert!(
+        rounds_by_n[2] <= rounds_by_n[0] * 4 + 6,
+        "rounds {rounds_by_n:?} not logarithmic-ish"
+    );
+}
+
+#[test]
+fn anti_entropy_only_also_converges() {
+    let cfg = GossipConfig {
+        algorithm: Algorithm::AntiEntropyOnly,
+        ..GossipConfig::default()
+    };
+    let mut h = Harness::stable(30, cfg);
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 3000 });
+    let id = update_rumor_id(&h.engines[&0]);
+    assert!(h.rounds_until_all_know(id, 80).is_some());
+}
+
+#[test]
+fn no_partial_ae_still_converges() {
+    let cfg = GossipConfig {
+        algorithm: Algorithm::PlanetPNoPartialAE,
+        ..GossipConfig::default()
+    };
+    let mut h = Harness::stable(30, cfg);
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 3000 });
+    let id = update_rumor_id(&h.engines[&0]);
+    assert!(h.rounds_until_all_know(id, 80).is_some());
+}
+
+#[test]
+fn new_member_join_spreads_and_downloads_directory() {
+    let mut h = Harness::stable(20, GossipConfig::default());
+    // Peer 100 joins via bootstrap contact 0.
+    let joiner = Engine::new(
+        100,
+        SpeedClass::Fast,
+        GossipConfig::default(),
+        7,
+        Some(SizedPayload { bytes: 16_000 }),
+        Some((0, SpeedClass::Fast)),
+    );
+    h.engines.insert(100, joiner);
+    h.online.insert(100, true);
+    let join_id =
+        RumorId { subject: 100, status_version: 1, bloom_version: 1 };
+    let rounds = h.rounds_until_all_know(join_id, 60).expect("join spreads");
+    assert!(rounds <= 30, "join took {rounds} rounds");
+    // The joiner must have downloaded the whole directory.
+    let joiner = &h.engines[&100];
+    assert_eq!(joiner.directory().len(), 21);
+    // And captured everyone's payloads via anti-entropy.
+    let with_payload = joiner
+        .directory()
+        .iter()
+        .filter(|(_, e)| e.payload.is_some())
+        .count();
+    assert_eq!(with_payload, 21);
+}
+
+#[test]
+fn offline_peer_marked_and_rejoin_clears_it() {
+    let mut h = Harness::stable(10, GossipConfig::default());
+    h.online.insert(3, false);
+    // Run rounds so someone eventually contacts 3 and fails.
+    for _ in 0..20 {
+        h.round();
+    }
+    let who_noticed = h
+        .engines
+        .iter()
+        .filter(|(id, _)| h.online[id])
+        .filter(|(_, e)| {
+            matches!(
+                e.directory().get(3).map(|en| en.status),
+                Some(PeerStatus::Offline { .. })
+            )
+        })
+        .count();
+    assert!(who_noticed > 0, "someone must notice 3 is gone");
+
+    // 3 comes back with no new content: a Rejoin rumor.
+    h.online.insert(3, true);
+    h.engines.get_mut(&3).unwrap().local_rejoin(None);
+    let rid = update_rumor_id(&h.engines[&3]);
+    assert!(h.rounds_until_all_know(rid, 60).is_some());
+    // Everyone believes 3 is online again.
+    for (id, e) in &h.engines {
+        if h.online[id] {
+            assert_eq!(
+                e.directory().get(3).map(|en| en.status),
+                Some(PeerStatus::Online),
+                "peer {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_adapts_up_in_quiescence_and_resets_on_news() {
+    let cfg = GossipConfig::default();
+    let mut h = Harness::stable(10, cfg);
+    for _ in 0..30 {
+        h.round();
+    }
+    let slowed = h.engines.values().filter(|e| e.current_interval() > cfg.base_interval_ms).count();
+    assert!(slowed >= 8, "most peers should slow down, got {slowed}");
+    let max = h.engines.values().map(|e| e.current_interval()).max().unwrap();
+    assert!(max <= cfg.max_interval_ms);
+
+    // News resets intervals as it spreads.
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 3000 });
+    let id = update_rumor_id(&h.engines[&0]);
+    h.rounds_until_all_know(id, 40).expect("converges");
+    // Everyone that heard the rumor message snapped back at some point.
+    let reset_count: u64 =
+        h.engines.values().map(|e| e.stats().interval_resets).sum();
+    assert!(reset_count > 0);
+}
+
+#[test]
+fn rumors_die_out_after_convergence() {
+    let mut h = Harness::stable(20, GossipConfig::default());
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 3000 });
+    let id = update_rumor_id(&h.engines[&0]);
+    h.rounds_until_all_know(id, 60).expect("converges");
+    // Keep gossiping; active rumors must drain to zero.
+    for _ in 0..30 {
+        h.round();
+    }
+    let still_active: usize =
+        h.engines.values().map(|e| e.active_rumors()).sum();
+    assert_eq!(still_active, 0, "rumors must die after everyone knows");
+}
+
+#[test]
+fn t_dead_expires_departed_peers() {
+    let cfg = GossipConfig { t_dead_ms: 10 * 30_000, ..GossipConfig::default() };
+    let mut h = Harness::stable(8, cfg);
+    h.online.insert(5, false);
+    for _ in 0..40 {
+        h.round();
+    }
+    // Every live peer should eventually have dropped 5 from its
+    // directory entirely.
+    let dropped = h
+        .engines
+        .iter()
+        .filter(|(id, _)| h.online[id])
+        .filter(|(_, e)| e.directory().get(5).is_none())
+        .count();
+    assert_eq!(dropped, 7, "all live peers drop the dead one");
+}
+
+#[test]
+fn concurrent_updates_all_converge() {
+    let mut h = Harness::stable(40, GossipConfig::default());
+    let mut ids = Vec::new();
+    for origin in [0u32, 7, 13, 22, 39] {
+        h.engines
+            .get_mut(&origin)
+            .unwrap()
+            .local_update(SizedPayload { bytes: 3000 });
+        ids.push(update_rumor_id(&h.engines[&origin]));
+    }
+    for _ in 0..60 {
+        h.round();
+        if ids.iter().all(|id| h.all_know(*id)) {
+            break;
+        }
+    }
+    for id in ids {
+        assert!(h.all_know(id), "update from {} lost", id.subject);
+    }
+}
+
+#[test]
+fn supersession_spreads_latest_version() {
+    let mut h = Harness::stable(20, GossipConfig::default());
+    // Two updates from the same origin in quick succession: only the
+    // second (superseding) version matters.
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 1000 });
+    h.round();
+    h.engines
+        .get_mut(&0)
+        .unwrap()
+        .local_update(SizedPayload { bytes: 2000 });
+    let latest = update_rumor_id(&h.engines[&0]);
+    assert!(h.rounds_until_all_know(latest, 60).is_some());
+    for e in h.engines.values() {
+        let entry = e.directory().get(0).unwrap();
+        assert_eq!(entry.payload, Some(SizedPayload { bytes: 2000 }));
+    }
+}
+
+#[test]
+fn digest_equal_communities_stay_quiet() {
+    let mut h = Harness::stable(10, GossipConfig::default());
+    for _ in 0..5 {
+        h.round();
+    }
+    // No updates ever: nobody should have learned anything.
+    for e in h.engines.values() {
+        assert_eq!(e.stats().rumors_learned_push, 0);
+        assert_eq!(e.stats().rumors_learned_ae, 0);
+    }
+}

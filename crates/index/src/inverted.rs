@@ -1,0 +1,286 @@
+//! The per-peer inverted index.
+//!
+//! Each peer stores "the terms extracted from published documents in a
+//! local inverted index" (§2); the vocabulary of this index is what the
+//! peer's Bloom filter summarizes. The index keeps the statistics the
+//! vector-space rankers (eq. 2) need:
+//!
+//! - `f_{D,t}`: how often term *t* occurs in document *D* (per posting);
+//! - `|D|`: the number of terms in document *D*;
+//! - document frequency and collection frequency per term (the paper's
+//!   `f_t`; we store both interpretations — Witten et al.'s IDF uses the
+//!   number of documents containing *t*).
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Identifier of a document within one peer's data store.
+pub type DocId = u64;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Occurrences of the term in that document (`f_{D,t}`).
+    pub tf: u32,
+}
+
+/// Per-term statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TermStats {
+    /// Number of documents containing the term (document frequency).
+    pub doc_freq: u32,
+    /// Total occurrences across the collection (collection frequency).
+    pub collection_freq: u64,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TermEntry {
+    postings: Vec<Posting>,
+    collection_freq: u64,
+}
+
+/// An in-memory inverted index over analyzed term lists.
+///
+/// Terms are expected to come out of [`crate::Analyzer`]; the index does
+/// no analysis of its own.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    terms: HashMap<String, TermEntry>,
+    /// doc id -> |D| (total number of term occurrences in the document).
+    doc_len: HashMap<DocId, u32>,
+}
+
+impl InvertedIndex {
+    /// New empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a document given its analyzed terms. Replaces any existing
+    /// document with the same id.
+    pub fn add_document(&mut self, doc: DocId, terms: &[String]) {
+        if self.doc_len.contains_key(&doc) {
+            self.remove_document(doc);
+        }
+        let mut tf: HashMap<&str, u32> = HashMap::new();
+        for t in terms {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (term, count) in tf {
+            let e = self.terms.entry(term.to_string()).or_default();
+            e.postings.push(Posting { doc, tf: count });
+            e.collection_freq += u64::from(count);
+        }
+        self.doc_len.insert(doc, terms.len() as u32);
+    }
+
+    /// Remove a document. Returns `true` if it was present.
+    pub fn remove_document(&mut self, doc: DocId) -> bool {
+        if self.doc_len.remove(&doc).is_none() {
+            return false;
+        }
+        self.terms.retain(|_, e| {
+            if let Some(p) = e.postings.iter().position(|p| p.doc == doc) {
+                e.collection_freq -= u64::from(e.postings[p].tf);
+                e.postings.swap_remove(p);
+            }
+            !e.postings.is_empty()
+        });
+        true
+    }
+
+    /// Postings for a term (empty slice if absent).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.terms.get(term).map_or(&[], |e| e.postings.as_slice())
+    }
+
+    /// Term frequency of `term` in `doc`, 0 if absent.
+    pub fn term_freq(&self, term: &str, doc: DocId) -> u32 {
+        self.postings(term)
+            .iter()
+            .find(|p| p.doc == doc)
+            .map_or(0, |p| p.tf)
+    }
+
+    /// Per-term statistics, `None` if the term is not in the vocabulary.
+    pub fn term_stats(&self, term: &str) -> Option<TermStats> {
+        self.terms.get(term).map(|e| TermStats {
+            doc_freq: e.postings.len() as u32,
+            collection_freq: e.collection_freq,
+        })
+    }
+
+    /// Does the vocabulary contain this term?
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.terms.contains_key(term)
+    }
+
+    /// Iterate over the vocabulary (what the Bloom filter summarizes).
+    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
+        self.terms.keys().map(String::as_str)
+    }
+
+    /// Vocabulary size.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_documents(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// |D|: total term occurrences in `doc`.
+    pub fn doc_len(&self, doc: DocId) -> Option<u32> {
+        self.doc_len.get(&doc).copied()
+    }
+
+    /// Iterate over `(doc, |D|)` pairs.
+    pub fn documents(&self) -> impl Iterator<Item = (DocId, u32)> + '_ {
+        self.doc_len.iter().map(|(&d, &l)| (d, l))
+    }
+
+    /// Documents containing *all* the given terms (PlanetP's exhaustive
+    /// search poses "a conjunction of keys", §5.1). Returns sorted ids.
+    pub fn search_conjunction(&self, terms: &[&str]) -> Vec<DocId> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        // Start from the rarest term to keep the candidate set small.
+        let mut lists: Vec<&[Posting]> = Vec::with_capacity(terms.len());
+        for t in terms {
+            let p = self.postings(t);
+            if p.is_empty() {
+                return Vec::new();
+            }
+            lists.push(p);
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
+        for l in &lists[1..] {
+            let set: std::collections::HashSet<DocId> =
+                l.iter().map(|p| p.doc).collect();
+            result.retain(|d| set.contains(d));
+            if result.is_empty() {
+                break;
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+
+    /// Documents containing *any* of the given terms, with the number of
+    /// matching terms per document (used by ranked retrieval).
+    pub fn search_disjunction(&self, terms: &[&str]) -> HashMap<DocId, u32> {
+        let mut hits: HashMap<DocId, u32> = HashMap::new();
+        for t in terms {
+            for p in self.postings(t) {
+                match hits.entry(p.doc) {
+                    Entry::Occupied(mut e) => *e.get_mut() += 1,
+                    Entry::Vacant(e) => {
+                        e.insert(1);
+                    }
+                }
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["gossip", "protocol", "gossip"]));
+        idx.add_document(2, &terms(&["bloom", "filter"]));
+        assert_eq!(idx.num_documents(), 2);
+        assert_eq!(idx.num_terms(), 4);
+        assert_eq!(idx.term_freq("gossip", 1), 2);
+        assert_eq!(idx.term_freq("gossip", 2), 0);
+        assert_eq!(idx.doc_len(1), Some(3));
+    }
+
+    #[test]
+    fn stats_track_doc_and_collection_freq() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["a", "a", "b"]));
+        idx.add_document(2, &terms(&["a", "c"]));
+        let s = idx.term_stats("a").unwrap();
+        assert_eq!(s.doc_freq, 2);
+        assert_eq!(s.collection_freq, 3);
+        assert!(idx.term_stats("zzz").is_none());
+    }
+
+    #[test]
+    fn reindexing_replaces_old_version() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["old", "stuff"]));
+        idx.add_document(1, &terms(&["new"]));
+        assert!(!idx.contains_term("old"));
+        assert!(idx.contains_term("new"));
+        assert_eq!(idx.num_documents(), 1);
+        assert_eq!(idx.doc_len(1), Some(1));
+    }
+
+    #[test]
+    fn remove_document_cleans_vocabulary() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["shared", "unique1"]));
+        idx.add_document(2, &terms(&["shared", "unique2"]));
+        assert!(idx.remove_document(1));
+        assert!(!idx.contains_term("unique1"));
+        assert!(idx.contains_term("shared"));
+        assert_eq!(idx.term_stats("shared").unwrap().doc_freq, 1);
+        assert!(!idx.remove_document(1), "double remove is a no-op");
+    }
+
+    #[test]
+    fn conjunction_requires_all_terms() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["p2p", "gossip"]));
+        idx.add_document(2, &terms(&["p2p", "dht"]));
+        idx.add_document(3, &terms(&["p2p", "gossip", "dht"]));
+        assert_eq!(idx.search_conjunction(&["p2p", "gossip"]), vec![1, 3]);
+        assert_eq!(idx.search_conjunction(&["p2p", "gossip", "dht"]), vec![3]);
+        assert!(idx.search_conjunction(&["absent"]).is_empty());
+        assert!(idx.search_conjunction(&[]).is_empty());
+    }
+
+    #[test]
+    fn disjunction_counts_matching_terms() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["a", "b"]));
+        idx.add_document(2, &terms(&["a"]));
+        let hits = idx.search_disjunction(&["a", "b"]);
+        assert_eq!(hits[&1], 2);
+        assert_eq!(hits[&2], 1);
+    }
+
+    #[test]
+    fn vocabulary_iterates_all_terms() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(1, &terms(&["x", "y"]));
+        let mut v: Vec<_> = idx.vocabulary().collect();
+        v.sort_unstable();
+        assert_eq!(v, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = InvertedIndex::new();
+        assert_eq!(idx.num_documents(), 0);
+        assert_eq!(idx.num_terms(), 0);
+        assert!(idx.postings("a").is_empty());
+        assert!(idx.search_conjunction(&["a"]).is_empty());
+    }
+}

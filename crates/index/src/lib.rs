@@ -1,0 +1,91 @@
+//! Text analysis and local indexing for PlanetP.
+//!
+//! PlanetP's unit of storage is an XML document (§2). Each peer extracts
+//! terms from the documents it publishes, maintains a local inverted
+//! index, and summarizes the index's vocabulary in a Bloom filter that is
+//! gossiped to the community. The paper's evaluation pre-processes
+//! documents by "doing stop word removal and stemming" (§7.3); both are
+//! implemented here from scratch.
+//!
+//! - [`tokenizer`]: lower-casing word extraction.
+//! - [`stopwords`]: a standard English stop list.
+//! - [`stemmer`]: the full Porter (1980) stemming algorithm.
+//! - [`xml`]: a minimal XML snippet parser (text extraction + links).
+//! - [`inverted`]: the per-peer inverted index with the statistics the
+//!   TFxIDF/TFxIPF rankers need (term and document frequencies, document
+//!   lengths).
+//!
+//! [`Analyzer`] chains tokenize → stop-filter → stem, which is the
+//! pipeline both indexing and query processing must share.
+
+pub mod inverted;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod xml;
+
+pub use inverted::{DocId, InvertedIndex, Posting, TermStats};
+pub use stemmer::stem;
+pub use tokenizer::tokenize;
+pub use xml::XmlDocument;
+
+/// The shared analysis pipeline: tokenize, drop stop words, stem.
+///
+/// Queries and documents must be analyzed identically or term lookups
+/// miss; keep a single `Analyzer` per community configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    /// Skip stop-word removal (used by ablations).
+    pub keep_stopwords: bool,
+    /// Skip stemming (used by ablations).
+    pub no_stemming: bool,
+}
+
+impl Analyzer {
+    /// The paper's configuration: stop words removed, Porter stemming on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyze raw text into index terms.
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        tokenizer::tokenize(text)
+            .into_iter()
+            .filter(|t| self.keep_stopwords || !stopwords::is_stopword(t))
+            .map(|t| {
+                if self.no_stemming {
+                    t
+                } else {
+                    stemmer::stem(&t)
+                }
+            })
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzer_pipeline() {
+        let a = Analyzer::new();
+        let terms = a.analyze("The running Dogs are barking, loudly!");
+        // "the"/"are" are stop words; remaining words are stemmed.
+        assert_eq!(terms, vec!["run", "dog", "bark", "loudli"]);
+    }
+
+    #[test]
+    fn analyzer_keep_stopwords() {
+        let a = Analyzer { keep_stopwords: true, no_stemming: true };
+        let terms = a.analyze("the cat");
+        assert_eq!(terms, vec!["the", "cat"]);
+    }
+
+    #[test]
+    fn query_and_document_analysis_agree() {
+        let a = Analyzer::new();
+        assert_eq!(a.analyze("distributed systems"), a.analyze("Distributed SYSTEM"));
+    }
+}

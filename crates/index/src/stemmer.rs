@@ -1,0 +1,491 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980).
+//!
+//! The paper's pre-processing "tries to conflate words to their root
+//! (e.g. running becomes run)" (§7.3); Porter's algorithm is the
+//! standard choice for SMART/TREC-era collections. This is a faithful
+//! port of the reference implementation (the well-known `porter.c`),
+//! including the two commonly adopted departures from the 1980 paper
+//! that the reference code documents (the `bli` → `ble` and `logi` →
+//! `log` rules in step 2).
+//!
+//! The stemmer operates on lower-case ASCII; terms with non-letter bytes
+//! are returned unchanged (the tokenizer produces alphanumeric tokens,
+//! and e.g. "x86" should not be stemmed).
+
+/// Stem a lower-case word. Words shorter than 3 letters are returned as
+/// is (as in the reference implementation).
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len() as isize - 1,
+        j: 0,
+    };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    s.b.truncate((s.k + 1) as usize);
+    String::from_utf8(s.b).expect("ascii in, ascii out")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// Offset of the last letter of the (current) stemmed word.
+    /// `isize` because, as in the reference implementation, the offsets
+    /// `j` (and transiently `k`) may be -1 when a suffix spans the whole
+    /// word.
+    k: isize,
+    /// General offset used by the `ends`/`setto` machinery; may be -1.
+    j: isize,
+}
+
+impl Stemmer {
+    #[inline]
+    fn at(&self, i: isize) -> u8 {
+        self.b[i as usize]
+    }
+
+    /// Is b[i] a consonant?
+    fn cons(&self, i: isize) -> bool {
+        match self.at(i) {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Number of consonant sequences between 0 and j (the "measure" m).
+    fn m(&self) -> usize {
+        let mut n = 0;
+        let mut i: isize = 0;
+        loop {
+            if i > self.j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Is there a vowel in the stem 0..=j?
+    fn vowel_in_stem(&self) -> bool {
+        (0..=self.j).any(|i| !self.cons(i))
+    }
+
+    /// Does b[j-1..=j] contain a double consonant?
+    fn doublec(&self, j: isize) -> bool {
+        j >= 1 && self.at(j) == self.at(j - 1) && self.cons(j)
+    }
+
+    /// consonant-vowel-consonant ending at i, where the final consonant
+    /// is not w, x, or y; used to decide whether to restore a trailing e
+    /// (hop(e), lov(e)) and to block it after snow, box, tray.
+    fn cvc(&self, i: isize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.at(i), b'w' | b'x' | b'y')
+    }
+
+    /// Does the word end with `s`? Sets j on success.
+    fn ends(&mut self, s: &[u8]) -> bool {
+        let len = s.len() as isize;
+        if len > self.k + 1 {
+            return false;
+        }
+        let start = (self.k + 1 - len) as usize;
+        if &self.b[start..=self.k as usize] != s {
+            return false;
+        }
+        self.j = self.k - len;
+        true
+    }
+
+    /// Replace b[j+1..=k] with `s`, readjusting k.
+    fn setto(&mut self, s: &[u8]) {
+        self.b.truncate((self.j + 1) as usize);
+        self.b.extend_from_slice(s);
+        self.k = self.j + s.len() as isize;
+    }
+
+    /// setto(s) when m() > 0.
+    fn r(&mut self, s: &[u8]) {
+        if self.m() > 0 {
+            self.setto(s);
+        }
+    }
+
+    /// Step 1ab: plurals and -ed / -ing.
+    fn step1ab(&mut self) {
+        if self.at(self.k) == b's' {
+            if self.ends(b"sses") {
+                self.k -= 2;
+            } else if self.ends(b"ies") {
+                self.setto(b"i");
+            } else if self.at(self.k - 1) != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends(b"eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            self.k = self.j;
+            if self.ends(b"at") {
+                self.setto(b"ate");
+            } else if self.ends(b"bl") {
+                self.setto(b"ble");
+            } else if self.ends(b"iz") {
+                self.setto(b"ize");
+            } else if self.doublec(self.k) {
+                self.k -= 1;
+                if matches!(self.at(self.k), b'l' | b's' | b'z') {
+                    self.k += 1;
+                }
+            } else if self.m() == 1 && self.cvc(self.k) {
+                self.setto(b"e");
+            }
+        }
+    }
+
+    /// Step 1c: terminal y -> i when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k as usize] = b'i';
+        }
+    }
+
+    /// Step 2: double suffices mapped to single ones, when m() > 0.
+    // "ation" and "ator" both map to "ate" but must be tested
+    // separately: `ends` records a different suffix offset j for each.
+    #[allow(clippy::if_same_then_else)]
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.at(self.k - 1) {
+            b'a' => {
+                if self.ends(b"ational") {
+                    self.r(b"ate");
+                } else if self.ends(b"tional") {
+                    self.r(b"tion");
+                }
+            }
+            b'c' => {
+                if self.ends(b"enci") {
+                    self.r(b"ence");
+                } else if self.ends(b"anci") {
+                    self.r(b"ance");
+                }
+            }
+            b'e'
+                if self.ends(b"izer") => {
+                    self.r(b"ize");
+                }
+            b'l' => {
+                if self.ends(b"bli") {
+                    self.r(b"ble"); // departure from Porter 1980 ("abli"->"able")
+                } else if self.ends(b"alli") {
+                    self.r(b"al");
+                } else if self.ends(b"entli") {
+                    self.r(b"ent");
+                } else if self.ends(b"eli") {
+                    self.r(b"e");
+                } else if self.ends(b"ousli") {
+                    self.r(b"ous");
+                }
+            }
+            b'o' => {
+                if self.ends(b"ization") {
+                    self.r(b"ize");
+                } else if self.ends(b"ation") {
+                    self.r(b"ate");
+                } else if self.ends(b"ator") {
+                    self.r(b"ate");
+                }
+            }
+            b's' => {
+                if self.ends(b"alism") {
+                    self.r(b"al");
+                } else if self.ends(b"iveness") {
+                    self.r(b"ive");
+                } else if self.ends(b"fulness") {
+                    self.r(b"ful");
+                } else if self.ends(b"ousness") {
+                    self.r(b"ous");
+                }
+            }
+            b't' => {
+                if self.ends(b"aliti") {
+                    self.r(b"al");
+                } else if self.ends(b"iviti") {
+                    self.r(b"ive");
+                } else if self.ends(b"biliti") {
+                    self.r(b"ble");
+                }
+            }
+            b'g'
+                if self.ends(b"logi") => {
+                    self.r(b"log"); // departure from Porter 1980
+                }
+            _ => {}
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc., when m() > 0.
+    fn step3(&mut self) {
+        match self.at(self.k) {
+            b'e' => {
+                if self.ends(b"icate") {
+                    self.r(b"ic");
+                } else if self.ends(b"ative") {
+                    self.r(b"");
+                } else if self.ends(b"alize") {
+                    self.r(b"al");
+                }
+            }
+            b'i'
+                if self.ends(b"iciti") => {
+                    self.r(b"ic");
+                }
+            b'l' => {
+                if self.ends(b"ical") {
+                    self.r(b"ic");
+                } else if self.ends(b"ful") {
+                    self.r(b"");
+                }
+            }
+            b's'
+                if self.ends(b"ness") => {
+                    self.r(b"");
+                }
+            _ => {}
+        }
+    }
+
+    /// Step 4: -ant, -ence etc. removed when m() > 1.
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.at(self.k - 1) {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion")
+                    && self.j >= 0
+                    && matches!(self.at(self.j), b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j;
+        }
+    }
+
+    /// Step 5: final -e removal and -ll -> -l, under measure conditions.
+    fn step5(&mut self) {
+        self.j = self.k;
+        if self.at(self.k) == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && !self.cvc(self.k - 1)) {
+                self.k -= 1;
+            }
+        }
+        if self.at(self.k) == b'l' && self.doublec(self.k) && self.m() > 1 {
+            self.k -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stem;
+
+    /// Known vectors from Porter's paper and the reference voc/output
+    /// pairs.
+    #[test]
+    fn reference_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(stem(input), want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        for w in ["a", "is", "be", "of"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn non_alpha_unchanged() {
+        for w in ["x86", "ipv6", "p2p", "Word"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        // Not a theorem of the algorithm in general, but holds for these
+        // and guards against buffer-management bugs.
+        for w in ["running", "relational", "generalizations", "oscillators"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "{w} -> {once}");
+        }
+    }
+
+    #[test]
+    fn conflates_inflections_to_same_root() {
+        assert_eq!(stem("connect"), stem("connected"));
+        assert_eq!(stem("connect"), stem("connecting"));
+        assert_eq!(stem("connect"), stem("connection"));
+        assert_eq!(stem("connect"), stem("connections"));
+    }
+
+    #[test]
+    fn never_panics_on_ascii_words() {
+        for len in 1..12 {
+            for seed in 0..200u32 {
+                let w: String = (0..len)
+                    .map(|i| {
+                        let x = seed.wrapping_mul(31).wrapping_add(i * 7) % 26;
+                        (b'a' + x as u8) as char
+                    })
+                    .collect();
+                let s = stem(&w);
+                assert!(!s.is_empty());
+            }
+        }
+    }
+}

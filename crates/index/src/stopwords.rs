@@ -1,0 +1,60 @@
+//! English stop-word list.
+//!
+//! The paper's pre-processing "tries to eliminate frequently used words
+//! like *the*, *of*, etc." (§7.3). This is the classic Van
+//! Rijsbergen-style short list used by SMART-era systems, kept sorted so
+//! membership is a binary search with no allocation.
+
+/// Sorted list of stop words.
+pub static STOPWORDS: &[&str] = &[
+    "about", "above", "after", "again", "against", "all", "am", "an", "and",
+    "any", "are", "as", "at", "be", "because", "been", "before", "being",
+    "below", "between", "both", "but", "by", "can", "cannot", "could", "did",
+    "do", "does", "doing", "down", "during", "each", "etc", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "if", "in", "into",
+    "is", "it", "its", "itself", "me", "more", "most", "my", "myself", "no",
+    "nor", "not", "of", "off", "on", "once", "only", "or", "other", "ought",
+    "our", "ours", "ourselves", "out", "over", "own", "same", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "upon",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// True if `word` (already lower-case) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        assert!(STOPWORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "of", "and", "is", "to", "etc"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["gossip", "bloom", "peer", "filter", "epidemic"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_by_contract() {
+        // Callers must lower-case first (the tokenizer does).
+        assert!(!is_stopword("The"));
+    }
+}

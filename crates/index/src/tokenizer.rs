@@ -1,0 +1,69 @@
+//! Word extraction.
+//!
+//! PlanetP "indexes any text in a published XML document" (§2). The
+//! tokenizer lower-cases and splits on anything that is not an ASCII
+//! letter or digit, keeping alphanumeric runs of length ≥ 2 that contain
+//! at least one letter (pure numbers are rarely useful search keys and
+//! bloat the vocabulary).
+
+/// Tokenize text into lower-case terms.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() {
+            cur.push(ch.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    if tok.len() >= 2 && tok.bytes().any(|b| b.is_ascii_alphabetic()) {
+        out.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("Hello, world! foo-bar_baz"),
+            vec!["hello", "world", "foo", "bar", "baz"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("PlanetP GOSSIP"), vec!["planetp", "gossip"]);
+    }
+
+    #[test]
+    fn drops_single_chars_and_pure_numbers() {
+        assert_eq!(tokenize("a 1 42 b2 2022 x9"), vec!["b2", "x9"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n .,;").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_acts_as_separator() {
+        assert_eq!(tokenize("caf\u{e9}teria naïve"), vec!["caf", "teria", "na", "ve"]);
+    }
+
+    #[test]
+    fn keeps_alphanumeric_mix() {
+        assert_eq!(tokenize("ipv6 x86 p2p"), vec!["ipv6", "x86", "p2p"]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Minimal XML snippet parsing.
+//!
+//! PlanetP's "basic unit of storage is an XML document ... Each published
+//! XML document contains text and possibly links (XPointers) to external
+//! files" (§2). Peers index any text in a snippet; XML tags are
+//! "currently indexed simply as normal terms". We therefore need only a
+//! small, strict-enough parser: elements, attributes, text, comments, and
+//! CDATA — no namespaces, DTDs, or entities beyond the five predefined
+//! ones.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// An XML element: name, attributes, and children.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node in the document tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity-decoded).
+    Text(String),
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XmlDocument {
+    /// The root element.
+    pub root: Element,
+}
+
+impl Element {
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element and its descendants,
+    /// separated by single spaces.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in &self.children {
+            match c {
+                Node::Text(t) => {
+                    if !out.is_empty() && !out.ends_with(' ') {
+                        out.push(' ');
+                    }
+                    out.push_str(t.trim());
+                }
+                Node::Element(e) => e.collect_text(out),
+            }
+        }
+    }
+}
+
+impl XmlDocument {
+    /// Parse a document from a string.
+    pub fn parse(input: &str) -> Result<XmlDocument, XmlError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_prolog();
+        let root = p.parse_element()?;
+        p.skip_misc();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after root element"));
+        }
+        Ok(XmlDocument { root })
+    }
+
+    /// All text content of the document (what PlanetP indexes).
+    pub fn text(&self) -> String {
+        self.root.text()
+    }
+
+    /// All terms PlanetP would index: text content plus tag names
+    /// ("XML tags are indexed simply as normal terms", §2) plus
+    /// attribute values.
+    pub fn indexable_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            out.push_str(&e.name);
+            out.push(' ');
+            for (_, v) in &e.attributes {
+                out.push_str(v);
+                out.push(' ');
+            }
+            for c in &e.children {
+                match c {
+                    Node::Text(t) => {
+                        out.push_str(t);
+                        out.push(' ');
+                    }
+                    Node::Element(child) => walk(child, out),
+                }
+            }
+        }
+        walk(&self.root, &mut out);
+        out.trim().to_string()
+    }
+
+    /// `href` attribute values anywhere in the tree — PlanetP follows
+    /// these links to index external files of known types.
+    pub fn links(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Element, out: &mut Vec<&'a str>) {
+            if let Some(h) = e.attr("href") {
+                out.push(h);
+            }
+            for c in &e.children {
+                if let Node::Element(child) = c {
+                    walk(child, out);
+                }
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError { offset: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip the XML declaration, comments, and whitespace before the root.
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                if let Some(end) = find(self.bytes, self.pos, b"?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with(b"<!--") {
+                if let Some(end) = find(self.bytes, self.pos + 4, b"-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            return;
+        }
+    }
+
+    /// Skip comments and whitespace after the root.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<!--") {
+                if let Some(end) = find(self.bytes, self.pos + 4, b"-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(Element { name, attributes, children: Vec::new() });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(self.err("expected quoted attribute value"));
+                    }
+                    let q = quote.expect("checked above");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != q) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(q) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw =
+                        String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                    self.pos += 1;
+                    attributes.push((aname, decode_entities(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Children until the matching close tag.
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with(b"</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(&format!(
+                        "mismatched close tag: expected </{name}>, got </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(Element { name, attributes, children });
+            }
+            if self.starts_with(b"<!--") {
+                let end = find(self.bytes, self.pos + 4, b"-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos = end + 3;
+                continue;
+            }
+            if self.starts_with(b"<![CDATA[") {
+                let start = self.pos + 9;
+                let end = find(self.bytes, start, b"]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA"))?;
+                let text =
+                    String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+                if !text.is_empty() {
+                    children.push(Node::Text(text));
+                }
+                self.pos = end + 3;
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    children.push(Node::Element(self.parse_element()?));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw =
+                        String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                    let text = decode_entities(&raw);
+                    if !text.trim().is_empty() {
+                        children.push(Node::Text(text));
+                    }
+                }
+                None => {
+                    return Err(self.err("unexpected end of input in element"))
+                }
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Decode the five predefined XML entities (and leave anything else as
+/// literal text — robustness beats strictness for snippets).
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let decoded = [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ]
+        .iter()
+        .find(|(e, _)| rest.starts_with(e));
+        match decoded {
+            Some((e, c)) => {
+                out.push(*c);
+                rest = &rest[e.len()..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = XmlDocument::parse(
+            r#"<doc id="42"><title>Gossip Protocols</title><body>Epidemic algorithms rule.</body></doc>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "doc");
+        assert_eq!(doc.root.attr("id"), Some("42"));
+        assert_eq!(doc.root.child("title").unwrap().text(), "Gossip Protocols");
+        assert_eq!(doc.text(), "Gossip Protocols Epidemic algorithms rule.");
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let doc = XmlDocument::parse(
+            "<a><b/><c><d>deep</d></c></a>",
+        )
+        .unwrap();
+        assert!(doc.root.child("b").unwrap().children.is_empty());
+        assert_eq!(doc.root.child("c").unwrap().child("d").unwrap().text(), "deep");
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let doc = XmlDocument::parse(
+            "<?xml version=\"1.0\"?><!-- hi --><r>x</r><!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(doc.text(), "x");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc =
+            XmlDocument::parse("<r><![CDATA[a < b && c]]></r>").unwrap();
+        assert_eq!(doc.text(), "a < b && c");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let doc = XmlDocument::parse(
+            r#"<r attr="x &amp; y">&lt;tag&gt; &quot;q&quot; &apos;a&apos;</r>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.attr("attr"), Some("x & y"));
+        assert_eq!(doc.text(), "<tag> \"q\" 'a'");
+    }
+
+    #[test]
+    fn unknown_entity_left_literal() {
+        let doc = XmlDocument::parse("<r>&nbsp; x</r>").unwrap();
+        assert_eq!(doc.text(), "&nbsp; x");
+    }
+
+    #[test]
+    fn links_extracted() {
+        let doc = XmlDocument::parse(
+            r#"<doc><file href="http://peer/a.pdf"/><nested><file href="b.ps"/></nested></doc>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.links(), vec!["http://peer/a.pdf", "b.ps"]);
+    }
+
+    #[test]
+    fn indexable_text_includes_tags_and_attrs() {
+        let doc = XmlDocument::parse(r#"<paper year="1987">epidemic</paper>"#)
+            .unwrap();
+        let t = doc.indexable_text();
+        assert!(t.contains("paper") && t.contains("1987") && t.contains("epidemic"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = XmlDocument::parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(XmlDocument::parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn unterminated_input_rejected() {
+        assert!(XmlDocument::parse("<a><b>").is_err());
+        assert!(XmlDocument::parse("<a attr=\"x>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = XmlDocument::parse("<a>  <b>x</b>  </a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn attribute_order_preserved_and_duplicates_kept() {
+        let doc = XmlDocument::parse(r#"<a z="1" y="2"/>"#).unwrap();
+        assert_eq!(
+            doc.root.attributes,
+            vec![("z".into(), "1".into()), ("y".into(), "2".into())]
+        );
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let doc =
+            XmlDocument::parse("<a><k>1</k><j>x</j><k>2</k></a>").unwrap();
+        let ks: Vec<_> = doc.root.children_named("k").map(|e| e.text()).collect();
+        assert_eq!(ks, vec!["1", "2"]);
+    }
+}

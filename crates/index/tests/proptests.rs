@@ -1,0 +1,139 @@
+//! Property-based tests for the text-analysis substrate.
+
+use planetp_index::{stem, tokenize, Analyzer, InvertedIndex, XmlDocument};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer never panics and only emits lowercase alphanumeric
+    /// tokens of length >= 2 containing at least one letter.
+    #[test]
+    fn tokenizer_output_well_formed(text in ".{0,400}") {
+        for tok in tokenize(&text) {
+            prop_assert!(tok.len() >= 2);
+            prop_assert!(tok.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            prop_assert!(tok.bytes().any(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    /// Tokenization is idempotent under re-joining: tokenizing the
+    /// joined tokens yields the same tokens.
+    #[test]
+    fn tokenizer_stable_under_rejoin(text in "[a-zA-Z0-9 ,.!?-]{0,200}") {
+        let once = tokenize(&text);
+        let twice = tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The stemmer never panics, never returns an empty string for a
+    /// non-empty input, and never grows a pure-ascii-lowercase word by
+    /// more than the `e`-restoration cases allow.
+    #[test]
+    fn stemmer_total_and_bounded(word in "[a-z]{1,20}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}");
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// The invariant retrieval depends on: documents and queries are
+    /// analyzed by the same deterministic, case-insensitive pipeline —
+    /// the same text always produces the same terms, regardless of
+    /// capitalization. (Note the pipeline is *not* idempotent on its
+    /// own output: stemming maps "eas" to "ea"; that is fine because
+    /// queries arrive as raw text, never as pre-analyzed terms.)
+    #[test]
+    fn analyzer_deterministic_and_case_insensitive(text in "[a-zA-Z ]{0,200}") {
+        let a = Analyzer::new();
+        let base = a.analyze(&text);
+        prop_assert_eq!(&base, &a.analyze(&text), "non-deterministic");
+        prop_assert_eq!(&base, &a.analyze(&text.to_uppercase()));
+        prop_assert_eq!(&base, &a.analyze(&text.to_lowercase()));
+        // Stop-word removal runs before stemming, so no *input* stop
+        // word survives — but a stem may itself collide with a stop
+        // word ("mys" -> "my"); only emptiness is forbidden.
+        for t in &base {
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    /// Inverted index bookkeeping: after arbitrary adds and removes,
+    /// statistics stay consistent with the surviving documents.
+    #[test]
+    fn index_stats_consistent(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-f]{1,4}", 1..20),
+            1..12,
+        ),
+        remove_mask in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut idx = InvertedIndex::new();
+        for (i, terms) in docs.iter().enumerate() {
+            idx.add_document(i as u64, terms);
+        }
+        let mut survivors = Vec::new();
+        for (i, terms) in docs.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(idx.remove_document(i as u64));
+            } else {
+                survivors.push((i as u64, terms));
+            }
+        }
+        prop_assert_eq!(idx.num_documents(), survivors.len());
+        for (id, terms) in &survivors {
+            prop_assert_eq!(idx.doc_len(*id), Some(terms.len() as u32));
+            for t in terms.iter() {
+                prop_assert!(idx.contains_term(t));
+                prop_assert!(idx.term_freq(t, *id) >= 1);
+            }
+        }
+        // Every vocabulary term must be backed by at least one survivor.
+        for term in idx.vocabulary() {
+            prop_assert!(
+                survivors.iter().any(|(_, ts)| ts.iter().any(|t| t == term)),
+                "dangling vocabulary term {term}"
+            );
+        }
+    }
+
+    /// Conjunction search results contain all query terms.
+    #[test]
+    fn conjunction_is_sound(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,3}", 1..10),
+            1..10,
+        ),
+        query in prop::collection::vec("[a-d]{1,3}", 1..3),
+    ) {
+        let mut idx = InvertedIndex::new();
+        for (i, terms) in docs.iter().enumerate() {
+            idx.add_document(i as u64, terms);
+        }
+        let refs: Vec<&str> = query.iter().map(String::as_str).collect();
+        for doc in idx.search_conjunction(&refs) {
+            for q in &refs {
+                prop_assert!(
+                    docs[doc as usize].iter().any(|t| t == q),
+                    "doc {doc} missing term {q}"
+                );
+            }
+        }
+    }
+
+    /// XML escaping roundtrip: text content embedded with the five
+    /// predefined entities parses back to the original.
+    #[test]
+    fn xml_text_roundtrip(content in "[ -~]{0,100}") {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let xml = format!("<d>{escaped}</d>");
+        let doc = XmlDocument::parse(&xml).expect("escaped content parses");
+        // Whitespace-only content collapses to empty text (dropped).
+        if content.trim().is_empty() {
+            prop_assert_eq!(doc.text(), "");
+        } else {
+            prop_assert_eq!(doc.text(), content.trim());
+        }
+    }
+}

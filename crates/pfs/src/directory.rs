@@ -1,0 +1,73 @@
+//! Query-named directories.
+
+use std::collections::BTreeMap;
+
+/// A link to a shared file, as listed in a PFS directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileLink {
+    /// The file's URL at its owner's file server.
+    pub url: String,
+    /// The owning peer's name.
+    pub owner: String,
+    /// The file's name (last path segment).
+    pub name: String,
+}
+
+/// The contents of a query directory at some point in time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirectoryListing {
+    /// Links keyed by URL (stable, unique).
+    pub entries: BTreeMap<String, FileLink>,
+}
+
+impl DirectoryListing {
+    /// Number of linked files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// File names in sorted-by-URL order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.values().map(|l| l.name.as_str()).collect()
+    }
+}
+
+/// Internal directory state: the query, its listing, and refresh
+/// bookkeeping.
+#[derive(Debug)]
+pub(crate) struct QueryDirectory {
+    pub(crate) query: String,
+    pub(crate) listing: DirectoryListing,
+    /// Logical time of the last full refresh.
+    pub(crate) refreshed_at: u64,
+    /// Set when a persistent-query upcall hints at new matches.
+    pub(crate) dirty: bool,
+    pub(crate) persistent_query_id: planetp::PersistentQueryId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_names_sorted_by_url() {
+        let mut l = DirectoryListing::default();
+        for (url, name) in [("pfs://b/2", "two"), ("pfs://a/1", "one")] {
+            l.entries.insert(
+                url.to_string(),
+                FileLink {
+                    url: url.to_string(),
+                    owner: "x".into(),
+                    name: name.to_string(),
+                },
+            );
+        }
+        assert_eq!(l.names(), vec!["one", "two"]);
+        assert_eq!(l.len(), 2);
+    }
+}

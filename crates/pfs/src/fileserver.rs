@@ -1,0 +1,97 @@
+//! The per-peer file server.
+//!
+//! "The File Server is a very simple web server that provides two
+//! functions: (a) return a URL when given a local pathname, (b) return
+//! the content of the appropriate file in response to a GET operation"
+//! (§6). Files are held in memory here; the paper's deployment served
+//! them off the local file system.
+
+use std::collections::HashMap;
+
+/// A peer's file server: pathname → URL mapping plus content storage.
+#[derive(Debug, Clone, Default)]
+pub struct FileServer {
+    owner: String,
+    files: HashMap<String, String>,
+}
+
+impl FileServer {
+    /// File server for the named peer.
+    pub fn new(owner: &str) -> Self {
+        Self { owner: owner.to_string(), files: HashMap::new() }
+    }
+
+    /// Store a file and return its URL (function (a)).
+    pub fn add(&mut self, path: &str, content: &str) -> String {
+        self.files.insert(path.to_string(), content.to_string());
+        self.url_for(path)
+    }
+
+    /// The URL a path is served under.
+    pub fn url_for(&self, path: &str) -> String {
+        format!("pfs://{}/{}", self.owner, path.trim_start_matches('/'))
+    }
+
+    /// GET by path (function (b)).
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// GET by full URL.
+    pub fn get_url(&self, url: &str) -> Option<&str> {
+        let prefix = format!("pfs://{}/", self.owner);
+        let path = url.strip_prefix(&prefix)?;
+        self.get(path)
+    }
+
+    /// Remove a file. Returns whether it existed.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Number of files served.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are stored.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut fs = FileServer::new("alice");
+        let url = fs.add("papers/gossip.txt", "epidemic algorithms");
+        assert_eq!(url, "pfs://alice/papers/gossip.txt");
+        assert_eq!(fs.get("papers/gossip.txt"), Some("epidemic algorithms"));
+        assert_eq!(fs.get_url(&url), Some("epidemic algorithms"));
+    }
+
+    #[test]
+    fn get_url_rejects_foreign_urls() {
+        let mut fs = FileServer::new("alice");
+        fs.add("a.txt", "x");
+        assert_eq!(fs.get_url("pfs://bob/a.txt"), None);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut fs = FileServer::new("a");
+        fs.add("f", "c");
+        assert!(fs.remove("f"));
+        assert!(!fs.remove("f"));
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn leading_slash_normalized() {
+        let fs = FileServer::new("a");
+        assert_eq!(fs.url_for("/x/y"), "pfs://a/x/y");
+    }
+}

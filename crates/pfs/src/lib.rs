@@ -1,0 +1,26 @@
+//! PFS: a personal semantic file system over PlanetP (§6 of the paper).
+//!
+//! PFS gives each user a *query-named* namespace over the community's
+//! shared files: "a directory is created in PFS whenever the user poses
+//! a query. PFS creates links to files that match the query in the
+//! resulting directory." Files live in each peer's own storage; PFS
+//! publishes them to PlanetP so the whole community can search them by
+//! content.
+//!
+//! The paper's three components map as follows:
+//!
+//! - **File Server** → [`FileServer`]: "a very simple web server" that
+//!   returns a URL for a local pathname and serves file content.
+//! - **PFS Core** → [`PfsNode`]: publication (dual: Bloom filter via
+//!   PlanetP indexing *and* the 10% hottest terms to the brokerage with
+//!   a 10-minute discard time) and query-directory maintenance via
+//!   persistent queries.
+//! - **Explorer** (the GUI) → the examples; this crate is the library.
+
+pub mod directory;
+pub mod fileserver;
+pub mod node;
+
+pub use directory::{DirectoryListing, FileLink};
+pub use fileserver::FileServer;
+pub use node::{PfsNode, SharedCommunity};

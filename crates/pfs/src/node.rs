@@ -1,0 +1,354 @@
+//! PFS Core: publication and directory maintenance.
+
+use parking_lot::Mutex;
+use planetp::{Community, PeerHandle, PlanetPError, PublishOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::directory::{DirectoryListing, FileLink, QueryDirectory};
+use crate::fileserver::FileServer;
+
+/// The community shared by all PFS users in this process.
+pub type SharedCommunity = Arc<Mutex<Community>>;
+
+/// Refresh threshold: reopening a directory whose last refresh is older
+/// than this re-runs its query ("Whenever the user opens a directory,
+/// PFS checks the last time that the directory was updated. If this
+/// time is greater than a fixed threshold, PFS reruns the entire query
+/// to get rid of stale files", §6).
+pub const STALE_THRESHOLD_MS: u64 = 60_000;
+
+/// Hot-term fraction for the dual publication (§6: "the 10% most
+/// frequently appearing terms in the file").
+pub const HOT_TERM_FRACTION: f64 = 0.10;
+
+/// One user's PFS instance.
+pub struct PfsNode {
+    community: SharedCommunity,
+    peer: PeerHandle,
+    user: String,
+    file_server: FileServer,
+    directories: HashMap<String, QueryDirectory>,
+    /// Signals from persistent-query upcalls, keyed like `directories`.
+    hints: Arc<Mutex<HashMap<String, Arc<AtomicBool>>>>,
+}
+
+impl PfsNode {
+    /// Join (or found) a PFS community as `user`.
+    pub fn new(community: SharedCommunity, user: &str) -> Self {
+        let peer = community.lock().add_peer(user);
+        Self {
+            community,
+            peer,
+            user: user.to_string(),
+            file_server: FileServer::new(user),
+            directories: HashMap::new(),
+            hints: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The user's name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The user's file server.
+    pub fn file_server(&self) -> &FileServer {
+        &self.file_server
+    }
+
+    /// Share a file: store it with the file server, then publish an XML
+    /// snippet embedding the URL and content to PlanetP. PlanetP
+    /// indexes the text and publishes the 10% hottest terms to the
+    /// brokerage with a 10-minute discard time (the "dual publication",
+    /// §6).
+    pub fn publish_file(&mut self, path: &str, content: &str) -> Result<String, PlanetPError> {
+        let url = self.file_server.add(path, content);
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let xml = format!(
+            r#"<pfsfile href="{url}" name="{name}" owner="{}">{}</pfsfile>"#,
+            self.user,
+            xml_escape(content),
+        );
+        self.community.lock().publish(
+            self.peer,
+            &xml,
+            PublishOptions { broker_hot_terms: Some(HOT_TERM_FRACTION) },
+        )?;
+        Ok(url)
+    }
+
+    /// Create a query-named directory ("Building a query-based
+    /// subdirectory is equivalent to refining the query of the
+    /// containing directory" — pass the refined query). The directory
+    /// is populated immediately and then kept fresh by a persistent
+    /// query plus staleness-triggered refreshes.
+    pub fn make_directory(&mut self, query: &str) -> Result<(), PlanetPError> {
+        if self.directories.contains_key(query) {
+            return Ok(());
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        self.hints.lock().insert(query.to_string(), Arc::clone(&flag));
+        let pq_id = {
+            let f = Arc::clone(&flag);
+            self.community
+                .lock()
+                .register_persistent_query(self.peer, query, move |_| {
+                    f.store(true, Ordering::SeqCst);
+                })
+        };
+        let mut dir = QueryDirectory {
+            query: query.to_string(),
+            listing: DirectoryListing::default(),
+            refreshed_at: 0,
+            dirty: true,
+            persistent_query_id: pq_id,
+        };
+        self.refresh(&mut dir);
+        self.directories.insert(query.to_string(), dir);
+        Ok(())
+    }
+
+    /// Open a directory: refresh if a persistent query hinted at new
+    /// content or if the listing is stale, then return it.
+    pub fn open_directory(&mut self, query: &str) -> Option<DirectoryListing> {
+        let hint = self
+            .hints
+            .lock()
+            .get(query)
+            .map(|f| f.swap(false, Ordering::SeqCst))
+            .unwrap_or(false);
+        let now = self.community.lock().now_ms();
+        let dir = self.directories.get_mut(query)?;
+        if hint || dir.dirty || now.saturating_sub(dir.refreshed_at) > STALE_THRESHOLD_MS
+        {
+            let mut d = std::mem::replace(
+                dir,
+                QueryDirectory {
+                    query: String::new(),
+                    listing: DirectoryListing::default(),
+                    refreshed_at: 0,
+                    dirty: false,
+                    persistent_query_id: 0,
+                },
+            );
+            self.refresh(&mut d);
+            *self.directories.get_mut(query).expect("present above") = d;
+        }
+        self.directories.get(query).map(|d| d.listing.clone())
+    }
+
+    /// Create a subdirectory of an existing query directory: "Building
+    /// a query-based subdirectory is equivalent to refining the query of
+    /// the containing directory" (§6). The subdirectory's query is the
+    /// parent's query plus the refinement terms; its listing is always a
+    /// subset of the parent's.
+    pub fn make_subdirectory(
+        &mut self,
+        parent_query: &str,
+        refinement: &str,
+    ) -> Result<Option<String>, PlanetPError> {
+        if !self.directories.contains_key(parent_query) {
+            return Ok(None);
+        }
+        let combined = format!("{parent_query} {refinement}");
+        self.make_directory(&combined)?;
+        Ok(Some(combined))
+    }
+
+    /// Remove a directory and its persistent query.
+    pub fn remove_directory(&mut self, query: &str) -> bool {
+        let Some(dir) = self.directories.remove(query) else {
+            return false;
+        };
+        self.hints.lock().remove(query);
+        self.community
+            .lock()
+            .unregister_persistent_query(self.peer, dir.persistent_query_id);
+        true
+    }
+
+    /// Names of the user's directories.
+    pub fn directories(&self) -> Vec<&str> {
+        self.directories.keys().map(String::as_str).collect()
+    }
+
+    /// Re-run the directory's query exhaustively and rebuild its
+    /// listing (handles both additions and removals).
+    fn refresh(&self, dir: &mut QueryDirectory) {
+        let community = self.community.lock();
+        let mut listing = DirectoryListing::default();
+        if let Ok(hits) = community.search_exhaustive(self.peer, &dir.query) {
+            for hit in hits.results.into_iter() {
+                if let Some(link) = parse_pfsfile(&hit.xml) {
+                    listing.entries.insert(link.url.clone(), link);
+                }
+            }
+            for snippet in hits.snippets {
+                if let Some(link) = parse_pfsfile(&snippet) {
+                    listing.entries.insert(link.url.clone(), link);
+                }
+            }
+        }
+        dir.listing = listing;
+        dir.refreshed_at = community.now_ms();
+        dir.dirty = false;
+    }
+}
+
+/// Extract a [`FileLink`] from a published `<pfsfile>` snippet.
+fn parse_pfsfile(xml: &str) -> Option<FileLink> {
+    let doc = planetp_xml_parse(xml)?;
+    Some(FileLink {
+        url: doc.0,
+        owner: doc.1,
+        name: doc.2,
+    })
+}
+
+/// Minimal attribute extraction via the index crate's XML parser.
+fn planetp_xml_parse(xml: &str) -> Option<(String, String, String)> {
+    // planetp re-exports the parser through its dependency; parse here
+    // directly with a lightweight scan to avoid a public dependency on
+    // the index crate: attributes are produced by PFS itself.
+    let href = attr_value(xml, "href")?;
+    let owner = attr_value(xml, "owner")?;
+    let name = attr_value(xml, "name")?;
+    Some((href, owner, name))
+}
+
+fn attr_value(xml: &str, attr: &str) -> Option<String> {
+    let pat = format!("{attr}=\"");
+    let start = xml.find(&pat)? + pat.len();
+    let end = xml[start..].find('"')? + start;
+    Some(xml[start..end].to_string())
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedCommunity {
+        Arc::new(Mutex::new(Community::new()))
+    }
+
+    #[test]
+    fn publish_then_directory_lists_it() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        let mut bob = PfsNode::new(Arc::clone(&community), "bob");
+
+        bob.publish_file("papers/epidemic.txt", "epidemic gossip algorithms for databases")
+            .unwrap();
+        alice.make_directory("gossip algorithms").unwrap();
+        let listing = alice.open_directory("gossip algorithms").unwrap();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing.names(), vec!["epidemic.txt"]);
+        let link = listing.entries.values().next().unwrap();
+        assert_eq!(link.owner, "bob");
+        // The link resolves at the owner's file server.
+        assert!(bob.file_server().get_url(&link.url).unwrap().contains("epidemic"));
+    }
+
+    #[test]
+    fn directory_updates_when_new_files_appear() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        let mut bob = PfsNode::new(Arc::clone(&community), "bob");
+
+        alice.make_directory("quantum").unwrap();
+        assert!(alice.open_directory("quantum").unwrap().is_empty());
+
+        bob.publish_file("q.txt", "quantum computing notes").unwrap();
+        let listing = alice.open_directory("quantum").unwrap();
+        assert_eq!(listing.len(), 1, "persistent query must refresh the dir");
+    }
+
+    #[test]
+    fn removal_reflected_after_stale_refresh() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        let url = alice.publish_file("tmp.txt", "ephemeral topic notes").unwrap();
+        alice.make_directory("ephemeral").unwrap();
+        assert_eq!(alice.open_directory("ephemeral").unwrap().len(), 1);
+
+        // Owner deletes the file (unpublish doc 1, its only doc).
+        {
+            let mut c = community.lock();
+            let peer = c.peer("alice").unwrap();
+            c.unpublish(peer, 1).unwrap();
+            // Make the directory stale.
+            c.advance_time(STALE_THRESHOLD_MS + 1);
+        }
+        let listing = alice.open_directory("ephemeral").unwrap();
+        assert!(listing.is_empty(), "stale refresh must drop removed files");
+        let _ = url;
+    }
+
+    #[test]
+    fn remove_directory_stops_tracking() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        alice.make_directory("x").unwrap();
+        assert!(alice.remove_directory("x"));
+        assert!(!alice.remove_directory("x"));
+        assert!(alice.open_directory("x").is_none());
+    }
+
+    #[test]
+    fn subdirectory_refines_parent_query() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        let mut bob = PfsNode::new(Arc::clone(&community), "bob");
+        bob.publish_file("a.txt", "gossip protocols for databases").unwrap();
+        bob.publish_file("b.txt", "gossip protocols for filesystems").unwrap();
+        alice.make_directory("gossip protocols").unwrap();
+        let sub = alice
+            .make_subdirectory("gossip protocols", "databases")
+            .unwrap()
+            .expect("parent exists");
+        let parent = alice.open_directory("gossip protocols").unwrap();
+        let child = alice.open_directory(&sub).unwrap();
+        assert_eq!(parent.len(), 2);
+        assert_eq!(child.len(), 1);
+        assert_eq!(child.names(), vec!["a.txt"]);
+        // Subdirectory listing is a subset of the parent's.
+        for url in child.entries.keys() {
+            assert!(parent.entries.contains_key(url));
+        }
+    }
+
+    #[test]
+    fn subdirectory_of_missing_parent_refused() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        assert_eq!(alice.make_subdirectory("no such dir", "x").unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_make_directory_is_idempotent() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        alice.make_directory("topic").unwrap();
+        alice.make_directory("topic").unwrap();
+        assert_eq!(alice.directories(), vec!["topic"]);
+    }
+
+    #[test]
+    fn escaped_content_roundtrips() {
+        let community = shared();
+        let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+        let mut bob = PfsNode::new(Arc::clone(&community), "bob");
+        bob.publish_file("odd.txt", "angle <brackets> & ampersands in weirdterm")
+            .unwrap();
+        alice.make_directory("weirdterm").unwrap();
+        assert_eq!(alice.open_directory("weirdterm").unwrap().len(), 1);
+    }
+}

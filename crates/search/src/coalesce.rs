@@ -1,0 +1,179 @@
+//! Filter coalescing: trading accuracy for directory storage.
+//!
+//! "Peers can independently trade-off accuracy for storage. For
+//! example, a peer may choose to combine the filters of several peers
+//! to save space; the trade-off is that \[it\] must now contact this set
+//! of peers whenever a query hits on this combined filter. This ...
+//! is particularly useful for peers running on memory-constrained
+//! devices" (§2, advantage 3).
+//!
+//! A [`CoalescedDirectory`] groups peers and stores one *union* filter
+//! per group. Peer ranking degrades gracefully: a hit on a group filter
+//! ranks the whole group (every member must be contacted), so fewer
+//! groups mean less memory and more wasted contacts.
+
+use crate::ipf::IpfTable;
+use crate::types::PeerNo;
+use planetp_bloom::BloomFilter;
+
+/// A memory-reduced view of the community's filters.
+#[derive(Debug, Clone)]
+pub struct CoalescedDirectory {
+    /// One union filter per group.
+    groups: Vec<(Vec<PeerNo>, BloomFilter)>,
+    num_peers: usize,
+}
+
+impl CoalescedDirectory {
+    /// Coalesce `filters` into groups of at most `group_size` peers
+    /// (consecutive assignment). `group_size = 1` is the full-fidelity
+    /// directory.
+    ///
+    /// # Panics
+    /// Panics if `group_size` is 0 or the filters' parameters differ.
+    pub fn build(filters: &[BloomFilter], group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        let mut groups = Vec::new();
+        for (gi, chunk) in filters.chunks(group_size).enumerate() {
+            let mut merged = chunk[0].clone();
+            for f in &chunk[1..] {
+                merged.union_with(f);
+            }
+            let members: Vec<PeerNo> =
+                (gi * group_size..gi * group_size + chunk.len()).collect();
+            groups.push((members, merged));
+        }
+        Self { groups, num_peers: filters.len() }
+    }
+
+    /// Number of stored filters (memory proxy).
+    pub fn num_filters(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of peers represented.
+    pub fn num_peers(&self) -> usize {
+        self.num_peers
+    }
+
+    /// Memory held by the filters, bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|(_, f)| f.num_bits() / 8)
+            .sum()
+    }
+
+    /// IPF over the coalesced view: `N_t` counts *groups* whose filter
+    /// contains the term, scaled to peer counts by group size — the
+    /// estimate a memory-constrained peer would compute.
+    pub fn ipf(&self, query_terms: &[String]) -> IpfTable {
+        let filters: Vec<BloomFilter> =
+            self.groups.iter().map(|(_, f)| f.clone()).collect();
+        IpfTable::compute(query_terms, &filters)
+    }
+
+    /// Candidate peers for a query: every member of every group whose
+    /// union filter contains all query terms (conjunctive candidacy, as
+    /// for exhaustive search). More coalescing ⇒ more false candidates.
+    pub fn candidates(&self, query_terms: &[String]) -> Vec<PeerNo> {
+        if query_terms.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (members, filter) in &self.groups {
+            if query_terms.iter().all(|t| filter.contains(t)) {
+                out.extend_from_slice(members);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planetp_bloom::BloomParams;
+
+    fn filter_with(terms: &[&str]) -> BloomFilter {
+        let mut f = BloomFilter::new(BloomParams::for_capacity(1000, 1e-6));
+        for t in terms {
+            f.insert(t);
+        }
+        f
+    }
+
+    fn community() -> Vec<BloomFilter> {
+        vec![
+            filter_with(&["gossip"]),
+            filter_with(&["bloom"]),
+            filter_with(&["chord"]),
+            filter_with(&["pastry"]),
+            filter_with(&["tapestry"]),
+            filter_with(&["oceanstore"]),
+        ]
+    }
+
+    #[test]
+    fn group_size_one_is_exact() {
+        let filters = community();
+        let d = CoalescedDirectory::build(&filters, 1);
+        assert_eq!(d.num_filters(), 6);
+        assert_eq!(d.candidates(&["gossip".into()]), vec![0]);
+    }
+
+    #[test]
+    fn coalescing_saves_memory_but_widens_candidates() {
+        let filters = community();
+        let exact = CoalescedDirectory::build(&filters, 1);
+        let halved = CoalescedDirectory::build(&filters, 2);
+        let coarse = CoalescedDirectory::build(&filters, 3);
+        assert!(halved.memory_bytes() < exact.memory_bytes());
+        assert!(coarse.memory_bytes() < halved.memory_bytes());
+        // "must now contact this set of peers whenever a query hits on
+        // this combined filter": group of 2 containing "gossip" means
+        // peers {0, 1} are candidates.
+        assert_eq!(halved.candidates(&["gossip".into()]), vec![0, 1]);
+        assert_eq!(coarse.candidates(&["gossip".into()]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn no_false_negatives_under_coalescing() {
+        let filters = community();
+        for gs in 1..=6 {
+            let d = CoalescedDirectory::build(&filters, gs);
+            for (peer, term) in
+                ["gossip", "bloom", "chord", "pastry", "tapestry", "oceanstore"]
+                    .iter()
+                    .enumerate()
+            {
+                let c = d.candidates(&[term.to_string()]);
+                assert!(
+                    c.contains(&peer),
+                    "group size {gs}: owner {peer} missing for {term}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_final_group_handled() {
+        let filters = community();
+        let d = CoalescedDirectory::build(&filters, 4);
+        assert_eq!(d.num_filters(), 2);
+        assert_eq!(d.num_peers(), 6);
+        assert_eq!(d.candidates(&["oceanstore".into()]), vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_query_no_candidates() {
+        let d = CoalescedDirectory::build(&community(), 2);
+        assert!(d.candidates(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn zero_group_size_rejected() {
+        CoalescedDirectory::build(&community(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! The distributed TFxIPF search driver.
+//!
+//! Orchestrates a full PlanetP query (§5.2): compute IPF from the
+//! gossiped Bloom filters, rank peers (eq. 3), contact them in rank
+//! order, score returned documents with eq. 2 (IPF substituted for
+//! IDF), and stop per the adaptive heuristic (eq. 4).
+
+use crate::ipf::IpfTable;
+use crate::peer_rank::rank_peers;
+use crate::selection::{SelectionConfig, StoppingRule};
+use crate::types::{sort_ranked, DocRef, ScoredDoc};
+use planetp_bloom::BloomFilter;
+use planetp_index::InvertedIndex;
+
+/// One peer's searchable state: its inverted index plus the Bloom filter
+/// it gossips. In a live deployment the index lives remotely and only
+/// the filter is local; this trait is what the query initiator can ask
+/// of a *contacted* peer.
+pub trait PeerStore {
+    /// The peer's gossiped Bloom filter.
+    fn bloom(&self) -> &BloomFilter;
+
+    /// Evaluate the query locally: score every document containing at
+    /// least one query term with eq. 2, using the supplied IPF weights
+    /// in place of IDF. (Peers can compute IPF themselves from their
+    /// own directory copy; passing the initiator's table keeps one
+    /// consistent view per query.)
+    fn local_search(&self, query_terms: &[String], ipf: &IpfTable) -> Vec<(u64, f64)>;
+}
+
+/// The default in-memory peer store.
+#[derive(Debug)]
+pub struct IndexedPeer {
+    /// Local inverted index.
+    pub index: InvertedIndex,
+    /// Bloom filter over the index's vocabulary.
+    pub bloom: BloomFilter,
+}
+
+impl IndexedPeer {
+    /// Build a peer store from an index, summarizing its vocabulary in a
+    /// filter with the given parameters.
+    pub fn new(index: InvertedIndex, params: planetp_bloom::BloomParams) -> Self {
+        let mut bloom = BloomFilter::new(params);
+        for t in index.vocabulary() {
+            bloom.insert(t);
+        }
+        Self { index, bloom }
+    }
+}
+
+impl PeerStore for IndexedPeer {
+    fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
+    fn local_search(&self, query_terms: &[String], ipf: &IpfTable) -> Vec<(u64, f64)> {
+        score_index(&self.index, query_terms, ipf)
+    }
+}
+
+/// Score every document of `index` containing at least one query term
+/// with eq. 2, using IPF weights in place of IDF. This is what a
+/// *contacted* peer computes locally for the query initiator.
+pub fn score_index(
+    index: &InvertedIndex,
+    query_terms: &[String],
+    ipf: &IpfTable,
+) -> Vec<(u64, f64)> {
+    let mut seen: Vec<&str> = Vec::new();
+    let mut scores: std::collections::HashMap<u64, f64> =
+        std::collections::HashMap::new();
+    for t in query_terms {
+        if seen.contains(&t.as_str()) {
+            continue;
+        }
+        seen.push(t);
+        let w_q = ipf.get(t);
+        if w_q == 0.0 {
+            continue;
+        }
+        for p in index.postings(t) {
+            let w_dt = 1.0 + f64::from(p.tf).ln();
+            *scores.entry(p.doc).or_insert(0.0) += w_dt * w_q;
+        }
+    }
+    scores
+        .into_iter()
+        .map(|(doc, s)| {
+            let len = index.doc_len(doc).unwrap_or(1).max(1);
+            (doc, s / f64::from(len).sqrt())
+        })
+        .collect()
+}
+
+/// Result of one distributed query.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Final top-k (at most k) documents, best first.
+    pub results: Vec<ScoredDoc>,
+    /// How many peers were contacted.
+    pub peers_contacted: usize,
+    /// How many peers had a nonzero rank for this query.
+    pub peers_ranked: usize,
+}
+
+/// The distributed search engine: owns nothing, borrows the community.
+pub struct DistributedSearch<'a, S: PeerStore> {
+    peers: &'a [S],
+}
+
+impl<'a, S: PeerStore> DistributedSearch<'a, S> {
+    /// Create a search engine over a community of peers.
+    pub fn new(peers: &'a [S]) -> Self {
+        Self { peers }
+    }
+
+    /// Run a query: TFxIPF ranking with the configured stopping rule.
+    pub fn search(&self, query_terms: &[String], cfg: SelectionConfig) -> SearchOutcome {
+        let filters: Vec<BloomFilter> =
+            self.peers.iter().map(|p| p.bloom().clone()).collect();
+        let ipf = IpfTable::compute(query_terms, &filters);
+        let ranked = rank_peers(query_terms, &filters, &ipf);
+        let n = self.peers.len();
+        let patience = cfg.stopping.patience(n, cfg.k);
+
+        let mut top: Vec<ScoredDoc> = Vec::new();
+        let mut contacted = 0usize;
+        let mut since_last_contribution = 0usize;
+
+        for group in ranked.chunks(cfg.group_size.max(1)) {
+            // Evaluate the whole group (models parallel contact).
+            let mut group_contributed = vec![false; group.len()];
+            for (gi, rp) in group.iter().enumerate() {
+                contacted += 1;
+                let local = self.peers[rp.peer].local_search(query_terms, &ipf);
+                for (doc, score) in local {
+                    let sd = ScoredDoc {
+                        doc: DocRef { peer: rp.peer, doc },
+                        score,
+                    };
+                    if Self::offer(&mut top, sd, cfg.k) {
+                        group_contributed[gi] = true;
+                    }
+                }
+            }
+            match cfg.stopping {
+                StoppingRule::FirstK => {
+                    if top.len() >= cfg.k {
+                        break;
+                    }
+                }
+                StoppingRule::AllRanked => {}
+                StoppingRule::Adaptive | StoppingRule::FixedPatience(_) => {
+                    let p = patience.expect("patience rules have patience");
+                    // Count consecutive non-contributors in arrival order.
+                    for &c in &group_contributed {
+                        if c {
+                            since_last_contribution = 0;
+                        } else {
+                            since_last_contribution += 1;
+                        }
+                    }
+                    // Only stop once an initial top-k exists: "the idea
+                    // is to get an initial set of k documents and then
+                    // keep contacting nodes only if ..." (§5.2).
+                    if top.len() >= cfg.k && since_last_contribution >= p {
+                        break;
+                    }
+                }
+            }
+        }
+        sort_ranked(&mut top);
+        SearchOutcome {
+            results: top,
+            peers_contacted: contacted,
+            peers_ranked: ranked.len(),
+        }
+    }
+
+    /// Insert into a bounded top-k; returns whether the doc made the cut.
+    fn offer(top: &mut Vec<ScoredDoc>, sd: ScoredDoc, k: usize) -> bool {
+        if top.len() < k {
+            top.push(sd);
+            return true;
+        }
+        // Find the current worst.
+        let (worst_i, worst) = top
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| b.ranking_cmp(a))
+            .expect("top is non-empty here");
+        if sd.ranking_cmp(worst) == std::cmp::Ordering::Less {
+            top[worst_i] = sd;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planetp_bloom::BloomParams;
+
+    fn peer(docs: &[(u64, &[&str])]) -> IndexedPeer {
+        let mut idx = InvertedIndex::new();
+        for (id, words) in docs {
+            let terms: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+            idx.add_document(*id, &terms);
+        }
+        IndexedPeer::new(idx, BloomParams::for_capacity(10_000, 0.001))
+    }
+
+    fn q(terms: &[&str]) -> Vec<String> {
+        terms.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn finds_documents_across_peers() {
+        let peers = vec![
+            peer(&[(1, &["gossip", "protocol"])]),
+            peer(&[(1, &["bloom", "filter"])]),
+            peer(&[(1, &["unrelated", "stuff"])]),
+        ];
+        let s = DistributedSearch::new(&peers);
+        let out = s.search(&q(&["gossip", "bloom"]), SelectionConfig::paper(10));
+        let found: Vec<usize> = out.results.iter().map(|r| r.doc.peer).collect();
+        assert!(found.contains(&0) && found.contains(&1));
+        assert!(!found.contains(&2));
+    }
+
+    #[test]
+    fn respects_k() {
+        let peers: Vec<IndexedPeer> = (0..10)
+            .map(|i| peer(&[(i, &["term", "x"]), (i + 100, &["term", "y"])]))
+            .collect();
+        let s = DistributedSearch::new(&peers);
+        let out = s.search(&q(&["term"]), SelectionConfig::paper(5));
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn first_k_contacts_fewer_peers_than_adaptive() {
+        let peers: Vec<IndexedPeer> =
+            (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
+        let s = DistributedSearch::new(&peers);
+        let adaptive = s.search(&q(&["term"]), SelectionConfig::paper(5));
+        let first_k = s.search(
+            &q(&["term"]),
+            SelectionConfig {
+                k: 5,
+                stopping: StoppingRule::FirstK,
+                group_size: 1,
+            },
+        );
+        assert!(first_k.peers_contacted <= adaptive.peers_contacted);
+        assert!(adaptive.peers_contacted < 30, "adaptive must stop early");
+    }
+
+    #[test]
+    fn all_ranked_contacts_everyone_with_the_term() {
+        let peers: Vec<IndexedPeer> =
+            (0..8).map(|i| peer(&[(i, &["term"])])).collect();
+        let s = DistributedSearch::new(&peers);
+        let out = s.search(
+            &q(&["term"]),
+            SelectionConfig {
+                k: 3,
+                stopping: StoppingRule::AllRanked,
+                group_size: 1,
+            },
+        );
+        assert_eq!(out.peers_contacted, out.peers_ranked);
+    }
+
+    #[test]
+    fn group_contact_retrieves_same_top_k() {
+        let peers: Vec<IndexedPeer> = (0..20)
+            .map(|i| peer(&[(i, &["term", if i % 2 == 0 { "even" } else { "odd" }])]))
+            .collect();
+        let s = DistributedSearch::new(&peers);
+        let single = s.search(&q(&["term", "even"]), SelectionConfig::paper(4));
+        let grouped = s.search(
+            &q(&["term", "even"]),
+            SelectionConfig {
+                k: 4,
+                stopping: StoppingRule::Adaptive,
+                group_size: 5,
+            },
+        );
+        let docs = |o: &SearchOutcome| {
+            let mut v: Vec<DocRef> = o.results.iter().map(|r| r.doc).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(docs(&single), docs(&grouped));
+        assert!(grouped.peers_contacted >= single.peers_contacted);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let peers = vec![peer(&[(1, &["a"])])];
+        let s = DistributedSearch::new(&peers);
+        let out = s.search(&q(&[]), SelectionConfig::paper(5));
+        assert!(out.results.is_empty());
+        assert_eq!(out.peers_contacted, 0);
+    }
+
+    #[test]
+    fn results_sorted_best_first() {
+        let peers = vec![
+            peer(&[(1, &["term"]), (2, &["term", "term", "term"])]),
+        ];
+        let s = DistributedSearch::new(&peers);
+        let out = s.search(&q(&["term"]), SelectionConfig::paper(5));
+        assert!(out.results.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

@@ -1,0 +1,99 @@
+//! Retrieval evaluation: recall and precision (§7.3, eqs. 5-6).
+
+use crate::types::DocRef;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Recall and precision of one query's result list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecallPrecision {
+    /// Fraction of relevant documents retrieved (eq. 5).
+    pub recall: f64,
+    /// Fraction of retrieved documents that are relevant (eq. 6).
+    pub precision: f64,
+}
+
+/// Score a result list against a relevance set.
+///
+/// Empty edge cases: with no relevant documents recall is defined as 1
+/// (nothing to find); with no results precision is defined as 0.
+pub fn recall_precision(
+    presented: &[DocRef],
+    relevant: &HashSet<DocRef>,
+) -> RecallPrecision {
+    let hits = presented.iter().filter(|d| relevant.contains(d)).count() as f64;
+    let recall = if relevant.is_empty() {
+        1.0
+    } else {
+        hits / relevant.len() as f64
+    };
+    let precision = if presented.is_empty() {
+        0.0
+    } else {
+        hits / presented.len() as f64
+    };
+    RecallPrecision { recall, precision }
+}
+
+/// Average recall/precision over queries ("average recall and precision
+/// over all provided queries", §7.3). Queries with empty relevance sets
+/// are skipped, matching standard IR evaluation practice.
+pub fn average_recall_precision(per_query: &[RecallPrecision]) -> RecallPrecision {
+    if per_query.is_empty() {
+        return RecallPrecision { recall: 0.0, precision: 0.0 };
+    }
+    let n = per_query.len() as f64;
+    RecallPrecision {
+        recall: per_query.iter().map(|r| r.recall).sum::<f64>() / n,
+        precision: per_query.iter().map(|r| r.precision).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(peer: usize, doc: u64) -> DocRef {
+        DocRef { peer, doc }
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let relevant: HashSet<DocRef> = [d(0, 1), d(0, 2)].into();
+        let rp = recall_precision(&[d(0, 1), d(0, 2)], &relevant);
+        assert_eq!(rp.recall, 1.0);
+        assert_eq!(rp.precision, 1.0);
+    }
+
+    #[test]
+    fn partial_retrieval() {
+        let relevant: HashSet<DocRef> = [d(0, 1), d(0, 2), d(0, 3), d(0, 4)].into();
+        // 2 relevant of 4 presented; 2 of 4 relevant found.
+        let rp = recall_precision(&[d(0, 1), d(0, 2), d(1, 9), d(1, 8)], &relevant);
+        assert_eq!(rp.recall, 0.5);
+        assert_eq!(rp.precision, 0.5);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let none: HashSet<DocRef> = HashSet::new();
+        let rp = recall_precision(&[], &none);
+        assert_eq!(rp.recall, 1.0);
+        assert_eq!(rp.precision, 0.0);
+        let some: HashSet<DocRef> = [d(0, 1)].into();
+        let rp = recall_precision(&[], &some);
+        assert_eq!(rp.recall, 0.0);
+    }
+
+    #[test]
+    fn averaging() {
+        let avg = average_recall_precision(&[
+            RecallPrecision { recall: 1.0, precision: 0.5 },
+            RecallPrecision { recall: 0.0, precision: 1.0 },
+        ]);
+        assert_eq!(avg.recall, 0.5);
+        assert_eq!(avg.precision, 0.75);
+        let empty = average_recall_precision(&[]);
+        assert_eq!(empty.recall, 0.0);
+    }
+}

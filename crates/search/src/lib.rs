@@ -1,0 +1,37 @@
+//! Content search and retrieval for PlanetP (§5 of the paper).
+//!
+//! PlanetP cannot run the vector-space TFxIDF ranking directly — no peer
+//! holds the global inverted index. Instead it approximates it in two
+//! stages using only the gossiped Bloom filters:
+//!
+//! 1. **Peer ranking** ([`peer_rank`]): peers are ranked by
+//!    `R_i(Q) = Σ_{t ∈ Q ∧ t ∈ BF_i} IPF_t`, where the *inverse peer
+//!    frequency* `IPF_t = log(1 + N/N_t)` plays the role IDF plays for
+//!    documents (eq. 3). `N_t` — the number of peers whose filters
+//!    contain `t` — is computable locally from the directory.
+//! 2. **Selection** ([`selection`]): peers are contacted in rank order;
+//!    returned documents are ranked by eq. 2 with IPF substituted for
+//!    IDF; contacting stops when `p` consecutive peers contribute
+//!    nothing to the top-k (eq. 4's adaptive stopping heuristic).
+//!
+//! [`tfidf`] implements the centralized TFxIDF baseline the paper
+//! compares against (a hypothetical peer holding the full inverted
+//! index), and [`eval`] the recall/precision metrics of §7.3.
+
+pub mod coalesce;
+pub mod distributed;
+pub mod eval;
+pub mod ipf;
+pub mod peer_rank;
+pub mod selection;
+pub mod tfidf;
+pub mod types;
+
+pub use coalesce::CoalescedDirectory;
+pub use distributed::{score_index, DistributedSearch, IndexedPeer, PeerStore, SearchOutcome};
+pub use eval::{average_recall_precision, recall_precision, RecallPrecision};
+pub use ipf::IpfTable;
+pub use peer_rank::rank_peers;
+pub use selection::{adaptive_p, SelectionConfig, StoppingRule};
+pub use tfidf::CentralizedIndex;
+pub use types::{DocRef, PeerNo, ScoredDoc};

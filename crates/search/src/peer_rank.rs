@@ -1,0 +1,116 @@
+//! Peer ranking (eq. 3).
+//!
+//! `R_i(Q) = Σ_{t ∈ Q ∧ t ∈ BF_i} IPF_t`: a peer scores the sum of the
+//! IPF weights of the query terms its Bloom filter claims to contain.
+//! "Peers that contain all terms in a query \[get\] the highest ranking;
+//! peers that contain different subsets of terms are ranked according to
+//! the power of these terms for differentiating between peers" (§5.2).
+
+use crate::ipf::IpfTable;
+use crate::types::PeerNo;
+use planetp_bloom::BloomFilter;
+
+/// A peer with its relevance to a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedPeer {
+    /// Peer index within the community.
+    pub peer: PeerNo,
+    /// `R_i(Q)` (eq. 3).
+    pub score: f64,
+}
+
+/// Rank all peers for a query. Peers whose filters contain none of the
+/// query terms are omitted (they cannot contribute documents). Returns
+/// peers sorted best-first, ties broken by peer number for determinism.
+pub fn rank_peers(
+    query_terms: &[String],
+    filters: &[BloomFilter],
+    ipf: &IpfTable,
+) -> Vec<RankedPeer> {
+    let mut ranked: Vec<RankedPeer> = filters
+        .iter()
+        .enumerate()
+        .filter_map(|(peer, f)| {
+            let score: f64 = query_terms
+                .iter()
+                .filter(|t| f.contains(t))
+                .map(|t| ipf.get(t))
+                .sum();
+            (score > 0.0).then_some(RankedPeer { peer, score })
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are never NaN")
+            .then_with(|| a.peer.cmp(&b.peer))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planetp_bloom::BloomParams;
+
+    fn filter_with(terms: &[&str]) -> BloomFilter {
+        let mut f = BloomFilter::new(BloomParams::for_capacity(1000, 0.0001));
+        for t in terms {
+            f.insert(t);
+        }
+        f
+    }
+
+    fn query(terms: &[&str]) -> Vec<String> {
+        terms.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn peer_with_all_terms_ranks_first() {
+        let filters = vec![
+            filter_with(&["gossip"]),
+            filter_with(&["gossip", "bloom"]),
+            filter_with(&["bloom"]),
+            filter_with(&["unrelated"]),
+        ];
+        let q = query(&["gossip", "bloom"]);
+        let ipf = IpfTable::compute(&q, &filters);
+        let ranked = rank_peers(&q, &filters, &ipf);
+        assert_eq!(ranked[0].peer, 1);
+        assert_eq!(ranked.len(), 3, "no-term peer omitted");
+    }
+
+    #[test]
+    fn rarer_term_outranks_common_term() {
+        // "rare" on 1 peer, "common" on 3: holder of only "rare" should
+        // outrank a holder of only "common".
+        let filters = vec![
+            filter_with(&["rare"]),
+            filter_with(&["common"]),
+            filter_with(&["common"]),
+            filter_with(&["common"]),
+        ];
+        let q = query(&["rare", "common"]);
+        let ipf = IpfTable::compute(&q, &filters);
+        let ranked = rank_peers(&q, &filters, &ipf);
+        assert_eq!(ranked[0].peer, 0);
+    }
+
+    #[test]
+    fn empty_query_ranks_nobody() {
+        let filters = vec![filter_with(&["a"])];
+        let q = query(&[]);
+        let ipf = IpfTable::compute(&q, &filters);
+        assert!(rank_peers(&q, &filters, &ipf).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_peer_number() {
+        let filters = vec![filter_with(&["t"]), filter_with(&["t"])];
+        let q = query(&["t"]);
+        let ipf = IpfTable::compute(&q, &filters);
+        let ranked = rank_peers(&q, &filters, &ipf);
+        assert_eq!(ranked[0].peer, 0);
+        assert_eq!(ranked[1].peer, 1);
+    }
+}

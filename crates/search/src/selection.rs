@@ -1,0 +1,99 @@
+//! The selection problem: how many peers to contact (§5.2).
+//!
+//! "Given a relevance ordering of peers, contact them one-by-one from
+//! top to bottom. Maintain a relevance ordering of the documents
+//! returned using equation 2 with IPF substituted for IDF. Stop
+//! contacting peers when the documents returned by a sequence of `p`
+//! peers fail to contribute to the top-k ranked documents", with
+//!
+//! ```text
+//! p = floor(2 + N/300) + 2*floor(k/50)          (eq. 4)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Eq. 4: the adaptive patience parameter.
+pub fn adaptive_p(community_size: usize, k: usize) -> usize {
+    2 + community_size / 300 + 2 * (k / 50)
+}
+
+/// When to stop contacting ranked peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoppingRule {
+    /// The paper's adaptive heuristic: stop after `p` consecutive
+    /// non-contributing peers, `p` from eq. 4.
+    Adaptive,
+    /// Stop after a fixed number of consecutive non-contributing peers
+    /// (ablation).
+    FixedPatience(usize),
+    /// Stop as soon as k documents have been retrieved — the "obvious
+    /// approach \[that\] leads to terrible retrieval performance" (§5.2);
+    /// used as an ablation baseline.
+    FirstK,
+    /// Contact every peer with a nonzero rank (exhaustive upper bound).
+    AllRanked,
+}
+
+impl StoppingRule {
+    /// Patience value for a community of `n` peers and result size `k`;
+    /// `None` means the rule does not use patience.
+    pub fn patience(&self, n: usize, k: usize) -> Option<usize> {
+        match self {
+            StoppingRule::Adaptive => Some(adaptive_p(n, k)),
+            StoppingRule::FixedPatience(p) => Some(*p),
+            StoppingRule::FirstK | StoppingRule::AllRanked => None,
+        }
+    }
+}
+
+/// Knobs for the distributed search driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Number of documents the user wants.
+    pub k: usize,
+    /// Stopping rule.
+    pub stopping: StoppingRule,
+    /// Peers contacted per step ("contact peers in groups of m peers at
+    /// a time ... trades off potentially contacting some peers
+    /// unnecessarily for shorter response time", §5.2).
+    pub group_size: usize,
+}
+
+impl SelectionConfig {
+    /// The paper's configuration for a given k.
+    pub fn paper(k: usize) -> Self {
+        Self { k, stopping: StoppingRule::Adaptive, group_size: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq4_reference_values() {
+        // p = floor(2 + N/300) + 2 floor(k/50)
+        assert_eq!(adaptive_p(0, 0), 2);
+        assert_eq!(adaptive_p(300, 0), 3);
+        assert_eq!(adaptive_p(400, 20), 3);
+        assert_eq!(adaptive_p(400, 50), 5);
+        assert_eq!(adaptive_p(400, 150), 9);
+        assert_eq!(adaptive_p(3000, 100), 16);
+    }
+
+    #[test]
+    fn patience_by_rule() {
+        assert_eq!(StoppingRule::Adaptive.patience(400, 20), Some(3));
+        assert_eq!(StoppingRule::FixedPatience(7).patience(400, 20), Some(7));
+        assert_eq!(StoppingRule::FirstK.patience(400, 20), None);
+        assert_eq!(StoppingRule::AllRanked.patience(400, 20), None);
+    }
+
+    #[test]
+    fn paper_config() {
+        let c = SelectionConfig::paper(20);
+        assert_eq!(c.k, 20);
+        assert_eq!(c.group_size, 1);
+        assert_eq!(c.stopping, StoppingRule::Adaptive);
+    }
+}

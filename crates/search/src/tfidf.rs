@@ -1,0 +1,218 @@
+//! The centralized TFxIDF baseline (§5.2, eq. 2).
+//!
+//! The paper's comparison point: "each peer in the community has the
+//! full inverted index and word count needed to run TFxIDF using ranking
+//! equation 2. For each query, TFxIDF would compute the top k ranking
+//! documents and then contact the exact peers required to retrieve these
+//! documents" (§7.3). Per Witten et al., `IDF_t = ln(1 + N/f_t)` with
+//! `f_t` the number of documents containing `t`, `w_{D,t} = 1 +
+//! ln(f_{D,t})`, and `Sim(Q,D) = Σ_t w_{D,t}·IDF_t / sqrt(|D|)`.
+
+use crate::types::{sort_ranked, DocRef, PeerNo, ScoredDoc};
+use planetp_index::InvertedIndex;
+use std::collections::HashMap;
+
+/// A global view over every peer's inverted index — what a centralized
+/// search engine (or an omniscient peer) would hold.
+#[derive(Debug, Default)]
+pub struct CentralizedIndex {
+    /// term -> (document, term frequency) over all peers.
+    postings: HashMap<String, Vec<(DocRef, u32)>>,
+    /// |D| per document.
+    doc_len: HashMap<DocRef, u32>,
+}
+
+impl CentralizedIndex {
+    /// Build from per-peer indexes (peer number = position).
+    pub fn build(peer_indexes: &[InvertedIndex]) -> Self {
+        let mut g = Self::default();
+        for (peer, idx) in peer_indexes.iter().enumerate() {
+            g.add_peer(peer, idx);
+        }
+        g
+    }
+
+    /// Merge one peer's index into the global view.
+    pub fn add_peer(&mut self, peer: PeerNo, idx: &InvertedIndex) {
+        for term in idx.vocabulary() {
+            let entry = self.postings.entry(term.to_string()).or_default();
+            for p in idx.postings(term) {
+                entry.push((DocRef { peer, doc: p.doc }, p.tf));
+            }
+        }
+        for (doc, len) in idx.documents() {
+            self.doc_len.insert(DocRef { peer, doc }, len);
+        }
+    }
+
+    /// Total number of documents.
+    pub fn num_documents(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Vocabulary size.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// `IDF_t = ln(1 + N / f_t)`, `f_t` = number of documents containing
+    /// the term. Zero for unseen terms (they cannot score any document).
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_documents() as f64;
+        match self.postings.get(term) {
+            None => 0.0,
+            Some(p) if p.is_empty() => 0.0,
+            Some(p) => (1.0 + n / p.len() as f64).ln(),
+        }
+    }
+
+    /// Rank all matching documents for the query (eq. 2), best first.
+    pub fn rank(&self, query_terms: &[String]) -> Vec<ScoredDoc> {
+        let mut scores: HashMap<DocRef, f64> = HashMap::new();
+        // Each distinct query term contributes once (the query weight
+        // w_{Q,t} = IDF_t is per-term; duplicates in the query do not
+        // multiply).
+        let mut seen: Vec<&str> = Vec::new();
+        for t in query_terms {
+            if seen.contains(&t.as_str()) {
+                continue;
+            }
+            seen.push(t);
+            let idf = self.idf(t);
+            if idf == 0.0 {
+                continue;
+            }
+            if let Some(postings) = self.postings.get(t) {
+                for &(doc, tf) in postings {
+                    let w_dt = 1.0 + f64::from(tf).ln();
+                    *scores.entry(doc).or_insert(0.0) += w_dt * idf;
+                }
+            }
+        }
+        let mut ranked: Vec<ScoredDoc> = scores
+            .into_iter()
+            .map(|(doc, s)| {
+                let len = f64::from(self.doc_len[&doc]).max(1.0);
+                ScoredDoc { doc, score: s / len.sqrt() }
+            })
+            .collect();
+        sort_ranked(&mut ranked);
+        ranked
+    }
+
+    /// Top-k documents.
+    pub fn top_k(&self, query_terms: &[String], k: usize) -> Vec<ScoredDoc> {
+        let mut r = self.rank(query_terms);
+        r.truncate(k);
+        r
+    }
+
+    /// The minimum set of peers that must be contacted to retrieve the
+    /// given documents — the paper's "Best" line in Fig 6(c).
+    pub fn peers_required(docs: &[ScoredDoc]) -> usize {
+        let mut peers: Vec<PeerNo> = docs.iter().map(|d| d.doc.peer).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(docs: &[(u64, &[&str])]) -> InvertedIndex {
+        let mut i = InvertedIndex::new();
+        for (id, words) in docs {
+            let terms: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+            i.add_document(*id, &terms);
+        }
+        i
+    }
+
+    fn q(terms: &[&str]) -> Vec<String> {
+        terms.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn document_with_query_term_ranks() {
+        let g = CentralizedIndex::build(&[idx(&[
+            (1, &["gossip", "protocol"]),
+            (2, &["database"]),
+        ])]);
+        let r = g.rank(&q(&["gossip"]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].doc, DocRef { peer: 0, doc: 1 });
+    }
+
+    #[test]
+    fn matching_more_rare_terms_scores_higher() {
+        let g = CentralizedIndex::build(&[idx(&[
+            (1, &["gossip", "bloom"]),
+            (2, &["gossip", "filler"]),
+            (3, &["filler2", "common", "x"]),
+            (4, &["common", "y", "z"]),
+        ])]);
+        let r = g.rank(&q(&["gossip", "bloom"]));
+        assert_eq!(r[0].doc.doc, 1, "two-term match must win");
+    }
+
+    #[test]
+    fn term_frequency_raises_score_sublinearly() {
+        let g = CentralizedIndex::build(&[idx(&[
+            (1, &["t", "t", "t", "t", "pad1", "pad2", "pad3"]),
+            (2, &["t", "pad1", "pad2", "pad3", "pad4", "pad5", "pad6"]),
+        ])]);
+        let r = g.rank(&q(&["t"]));
+        assert_eq!(r[0].doc.doc, 1);
+        // w = 1 + ln(4) vs 1: ratio < 4 (sublinear).
+        assert!(r[0].score / r[1].score < 4.0);
+    }
+
+    #[test]
+    fn longer_documents_are_penalized() {
+        let g = CentralizedIndex::build(&[idx(&[
+            (1, &["t", "a"]),
+            (2, &["t", "a", "b", "c", "d", "e", "f", "g"]),
+        ])]);
+        let r = g.rank(&q(&["t"]));
+        assert_eq!(r[0].doc.doc, 1, "short doc wins at equal tf");
+    }
+
+    #[test]
+    fn idf_zero_for_unseen_terms() {
+        let g = CentralizedIndex::build(&[idx(&[(1, &["a"])])]);
+        assert_eq!(g.idf("zzz"), 0.0);
+        assert!(g.rank(&q(&["zzz"])).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_terms_count_once() {
+        let g = CentralizedIndex::build(&[idx(&[(1, &["t", "u"])])]);
+        let once = g.rank(&q(&["t"]))[0].score;
+        let twice = g.rank(&q(&["t", "t"]))[0].score;
+        assert!((once - twice).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_multiple_peers() {
+        let g = CentralizedIndex::build(&[
+            idx(&[(1, &["gossip"])]),
+            idx(&[(1, &["gossip", "bloom"])]),
+        ]);
+        let r = g.rank(&q(&["gossip", "bloom"]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].doc, DocRef { peer: 1, doc: 1 });
+        assert_eq!(CentralizedIndex::peers_required(&r), 2);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let g = CentralizedIndex::build(&[idx(&[
+            (1, &["t"]),
+            (2, &["t"]),
+            (3, &["t"]),
+        ])]);
+        assert_eq!(g.top_k(&q(&["t"]), 2).len(), 2);
+    }
+}

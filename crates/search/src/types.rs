@@ -1,0 +1,60 @@
+//! Shared search types.
+
+use planetp_index::DocId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a peer within a search community (dense, 0-based).
+pub type PeerNo = usize;
+
+/// A document identified globally: which peer stores it, and its id in
+/// that peer's local data store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DocRef {
+    /// Owning peer.
+    pub peer: PeerNo,
+    /// Document id within the peer's store.
+    pub doc: DocId,
+}
+
+/// A document with its relevance score for some query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredDoc {
+    /// The document.
+    pub doc: DocRef,
+    /// Similarity score (eq. 2); higher is more relevant.
+    pub score: f64,
+}
+
+impl ScoredDoc {
+    /// Total order: score descending, then `DocRef` ascending for
+    /// deterministic ties.
+    pub fn ranking_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are never NaN")
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+/// Sort scored documents into ranking order (best first, deterministic).
+pub fn sort_ranked(docs: &mut [ScoredDoc]) {
+    docs.sort_by(ScoredDoc::ranking_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_sorts_by_score_then_docref() {
+        let d = |peer, doc, score| ScoredDoc { doc: DocRef { peer, doc }, score };
+        let mut v = vec![d(1, 1, 0.5), d(0, 2, 0.9), d(0, 1, 0.5)];
+        sort_ranked(&mut v);
+        assert_eq!(v[0].doc, DocRef { peer: 0, doc: 2 });
+        assert_eq!(v[1].doc, DocRef { peer: 0, doc: 1 });
+        assert_eq!(v[2].doc, DocRef { peer: 1, doc: 1 });
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the ranking engines.
+
+use planetp_bloom::BloomParams;
+use planetp_index::InvertedIndex;
+use planetp_search::{
+    adaptive_p, CentralizedIndex, DistributedSearch, IndexedPeer,
+    IpfTable, SelectionConfig, StoppingRule,
+};
+use proptest::prelude::*;
+
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..12), 1..10)
+}
+
+fn peers_from(doc_sets: &[Vec<Vec<String>>]) -> Vec<IndexedPeer> {
+    doc_sets
+        .iter()
+        .map(|docs| {
+            let mut idx = InvertedIndex::new();
+            for (i, terms) in docs.iter().enumerate() {
+                idx.add_document(i as u64, terms);
+            }
+            IndexedPeer::new(idx, BloomParams::for_capacity(10_000, 1e-6))
+        })
+        .collect()
+}
+
+proptest! {
+    /// Centralized ranking is sound: every returned document contains
+    /// at least one query term, scores are positive and sorted.
+    #[test]
+    fn tfidf_ranking_sound(docs in docs_strategy(), query in prop::collection::vec("[a-e]{1,3}", 1..4)) {
+        let mut idx = InvertedIndex::new();
+        for (i, terms) in docs.iter().enumerate() {
+            idx.add_document(i as u64, terms);
+        }
+        let central = CentralizedIndex::build(&[idx]);
+        let ranked = central.rank(&query);
+        prop_assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        for sd in &ranked {
+            prop_assert!(sd.score > 0.0);
+            let doc_terms = &docs[sd.doc.doc as usize];
+            prop_assert!(
+                query.iter().any(|q| doc_terms.contains(q)),
+                "ranked doc without any query term"
+            );
+        }
+    }
+
+    /// Distributed search with AllRanked equals the centralized oracle's
+    /// candidate set: same documents, same relative order of scores (the
+    /// scoring function is the same eq. 2 with IPF weights).
+    #[test]
+    fn distributed_allranked_finds_all_matching_docs(
+        peer_docs in prop::collection::vec(docs_strategy(), 1..4),
+        query in prop::collection::vec("[a-e]{1,3}", 1..3),
+    ) {
+        let peers = peers_from(&peer_docs);
+        let search = DistributedSearch::new(&peers);
+        let big_k = 10_000;
+        let out = search.search(
+            &query,
+            SelectionConfig { k: big_k, stopping: StoppingRule::AllRanked, group_size: 1 },
+        );
+        // Count matching docs by brute force (near-zero-FPR filters make
+        // bloom candidacy exact here).
+        let mut expected = 0usize;
+        for docs in &peer_docs {
+            for terms in docs {
+                if query.iter().any(|q| terms.contains(q)) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(out.results.len(), expected);
+    }
+
+    /// Stopping rules only shrink the contact set: adaptive never
+    /// contacts more peers than AllRanked, and results are always a
+    /// subset-by-score of the exhaustive ranking's top k.
+    #[test]
+    fn adaptive_contacts_bounded_by_allranked(
+        peer_docs in prop::collection::vec(docs_strategy(), 1..4),
+        query in prop::collection::vec("[a-e]{1,3}", 1..3),
+        k in 1usize..20,
+    ) {
+        let peers = peers_from(&peer_docs);
+        let search = DistributedSearch::new(&peers);
+        let adaptive = search.search(&query, SelectionConfig::paper(k));
+        let all = search.search(
+            &query,
+            SelectionConfig { k, stopping: StoppingRule::AllRanked, group_size: 1 },
+        );
+        prop_assert!(adaptive.peers_contacted <= all.peers_contacted);
+        prop_assert!(adaptive.results.len() <= k);
+    }
+
+    /// IPF is monotone: terms on fewer peers never weigh less.
+    #[test]
+    fn ipf_monotone(n_peers in 1usize..50, a in 0usize..50, b in 0usize..50) {
+        let a = a.min(n_peers);
+        let b = b.min(n_peers);
+        let va = planetp_search::ipf::ipf(n_peers, a);
+        let vb = planetp_search::ipf::ipf(n_peers, b);
+        if a <= b {
+            prop_assert!(va >= vb, "ipf({n_peers},{a})={va} < ipf({n_peers},{b})={vb}");
+        }
+    }
+
+    /// Eq. 4 is monotone in both community size and k.
+    #[test]
+    fn adaptive_p_monotone(n in 0usize..10_000, k in 0usize..500) {
+        prop_assert!(adaptive_p(n + 300, k) >= adaptive_p(n, k));
+        prop_assert!(adaptive_p(n, k + 50) >= adaptive_p(n, k));
+    }
+
+    /// IPF wire roundtrip: to_pairs/from_pairs preserves lookups.
+    #[test]
+    fn ipf_pairs_roundtrip(terms in prop::collection::vec("[a-z]{1,6}", 0..10)) {
+        let filters: Vec<planetp_bloom::BloomFilter> = (0..3)
+            .map(|i| {
+                let mut f = planetp_bloom::BloomFilter::new(
+                    BloomParams::for_capacity(100, 0.001),
+                );
+                if i == 0 {
+                    for t in &terms {
+                        f.insert(t);
+                    }
+                }
+                f
+            })
+            .collect();
+        let t1 = IpfTable::compute(&terms, &filters);
+        let t2 = IpfTable::from_pairs(t1.to_pairs(), t1.num_peers());
+        for t in &terms {
+            prop_assert!((t1.get(t) - t2.get(t)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Drivers for the paper's gossiping experiments (§7.2, Figs 2-5).
+//!
+//! Each driver builds a community, injects the paper's workload, and
+//! returns the measurements the corresponding figure plots. The bench
+//! binaries in `planetp-bench` print the figures from these results;
+//! integration tests run scaled-down versions.
+
+use planetp_gossip::{Algorithm, GossipConfig, SpeedClass, TimeMs};
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::BandwidthSeries;
+use crate::params::{LinkClass, LinkScenario, Table2};
+use crate::sim::{NodeId, SimConfig, Simulator};
+
+/// A named gossip scenario of Fig 2: link assignment + gossip interval +
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label used in the paper ("LAN", "DSL-30", "MIX", ...).
+    pub name: &'static str,
+    /// Link assignment.
+    pub links: LinkScenario,
+    /// Base gossip interval, ms.
+    pub interval_ms: TimeMs,
+    /// Dissemination algorithm.
+    pub algorithm: Algorithm,
+    /// Bandwidth-aware peer selection?
+    pub bandwidth_aware: bool,
+}
+
+impl Scenario {
+    /// The six Fig 2 scenarios.
+    pub fn fig2_all() -> Vec<Scenario> {
+        vec![
+            Scenario { name: "LAN", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+            Scenario { name: "LAN-AE", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::AntiEntropyOnly, bandwidth_aware: false },
+            Scenario { name: "DSL-10", links: LinkScenario::DSL, interval_ms: 10_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+            Scenario { name: "DSL-30", links: LinkScenario::DSL, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+            Scenario { name: "DSL-60", links: LinkScenario::DSL, interval_ms: 60_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+            Scenario { name: "MIX", links: LinkScenario::Mix, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+        ]
+    }
+
+    fn sim_config(&self, seed: u64) -> SimConfig {
+        let mut gossip = GossipConfig::with_interval(self.interval_ms);
+        gossip.algorithm = self.algorithm;
+        gossip.bandwidth_aware = self.bandwidth_aware;
+        SimConfig { gossip, seed, ..SimConfig::default() }
+    }
+
+    fn sample_links(&self, n: usize, sim: &mut Simulator) -> Vec<LinkClass> {
+        let s = self.links;
+        (0..n).map(|_| s.sample(sim.rng())).collect()
+    }
+}
+
+/// Result of one Fig 2 propagation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropagationResult {
+    /// Community size.
+    pub n: usize,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Seconds until every peer knew the new Bloom filter (None =
+    /// deadline hit).
+    pub time_s: Option<f64>,
+    /// Bytes sent during the propagation window.
+    pub total_bytes: u64,
+    /// Average per-peer bandwidth during propagation, bytes/second.
+    pub per_peer_bw_bps: f64,
+}
+
+/// Fig 2: propagate one 1000-key Bloom filter diff through a stable
+/// community of `n` peers.
+pub fn propagation(
+    scenario: Scenario,
+    n: usize,
+    seed: u64,
+    deadline_s: u64,
+) -> PropagationResult {
+    let table2 = Table2::paper();
+    let mut sim = Simulator::new(scenario.sim_config(seed));
+    let links = scenario.sample_links(n, &mut sim);
+    sim.add_stable_community(&links, table2.bf_20000_keys_bytes as u32);
+    // Let tick phases spread out, then inject the update.
+    sim.run_until(5_000);
+    let bytes_at_start = sim.metrics.total_bytes;
+    let rumor = sim.local_update(0, table2.bf_1000_keys_bytes as u32);
+    let tracker = sim.track(rumor);
+    let deadline = sim.now() + deadline_s * 1000;
+    let mut bytes_at_convergence = None;
+    while sim.now() < deadline {
+        sim.run_for(1_000);
+        if sim.metrics.tracked[tracker].converged_at.is_some() {
+            bytes_at_convergence = Some(sim.metrics.total_bytes);
+            break;
+        }
+    }
+    let time_s = sim.metrics.tracked[tracker]
+        .latency_ms()
+        .map(|ms| ms as f64 / 1000.0);
+    let total = bytes_at_convergence.unwrap_or(sim.metrics.total_bytes)
+        - bytes_at_start;
+    let per_peer = match time_s {
+        Some(t) if t > 0.0 => total as f64 / n as f64 / t,
+        _ => 0.0,
+    };
+    PropagationResult {
+        n,
+        scenario: scenario.name,
+        time_s,
+        total_bytes: total,
+        per_peer_bw_bps: per_peer,
+    }
+}
+
+/// Result of one Fig 3 join run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinResult {
+    /// Stable community size before the join wave.
+    pub n_stable: usize,
+    /// Number of simultaneous joiners.
+    pub m_joiners: usize,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Seconds until all directories (old and new members) agree.
+    pub time_s: Option<f64>,
+    /// Bytes sent during the join storm.
+    pub total_bytes: u64,
+}
+
+/// Fig 3: `m` peers join a stable community of `n` peers
+/// simultaneously, each sharing a 20,000-key Bloom filter.
+pub fn join_storm(
+    scenario: Scenario,
+    n_stable: usize,
+    m_joiners: usize,
+    seed: u64,
+    deadline_s: u64,
+) -> JoinResult {
+    let table2 = Table2::paper();
+    let mut sim = Simulator::new(scenario.sim_config(seed));
+    let links = scenario.sample_links(n_stable, &mut sim);
+    sim.add_stable_community(&links, table2.bf_20000_keys_bytes as u32);
+    sim.run_until(5_000);
+    let start = sim.now();
+    let bytes_at_start = sim.metrics.total_bytes;
+    for _ in 0..m_joiners {
+        let link = scenario.links.sample(sim.rng());
+        let bootstrap = sim.rng().random_range(0..n_stable as NodeId);
+        sim.add_joining_node(link, table2.bf_20000_keys_bytes as u32, bootstrap);
+    }
+    let deadline = start + deadline_s * 1000;
+    let converged_at = sim.run_until_converged(5_000, deadline);
+    JoinResult {
+        n_stable,
+        m_joiners,
+        scenario: scenario.name,
+        time_s: converged_at.map(|t| (t - start) as f64 / 1000.0),
+        total_bytes: sim.metrics.total_bytes - bytes_at_start,
+    }
+}
+
+/// Result of the Fig 4(a) interference experiment: per-event
+/// convergence latencies in seconds (unconverged events are reported in
+/// `unconverged`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceResult {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Whether partial anti-entropy was enabled.
+    pub partial_ae: bool,
+    /// Converged event latencies, seconds.
+    pub latencies_s: Vec<f64>,
+    /// Events that missed the deadline.
+    pub unconverged: usize,
+}
+
+/// Fig 4(a): 100 peers join a stable 1000-peer community as a Poisson
+/// process (mean interarrival 90 s); measures per-event convergence,
+/// with or without partial anti-entropy.
+pub fn poisson_join_interference(
+    n_stable: usize,
+    n_joins: usize,
+    mean_interarrival_s: f64,
+    partial_ae: bool,
+    seed: u64,
+    settle_s: u64,
+) -> InterferenceResult {
+    let scenario = Scenario {
+        name: if partial_ae { "LAN" } else { "LAN-NPA" },
+        links: LinkScenario::LAN,
+        interval_ms: 30_000,
+        algorithm: if partial_ae {
+            Algorithm::PlanetP
+        } else {
+            Algorithm::PlanetPNoPartialAE
+        },
+        bandwidth_aware: false,
+    };
+    let table2 = Table2::paper();
+    let mut sim = Simulator::new(scenario.sim_config(seed));
+    let links = scenario.sample_links(n_stable, &mut sim);
+    sim.add_stable_community(&links, table2.bf_20000_keys_bytes as u32);
+    sim.run_until(5_000);
+    let exp = Exp::new(1.0 / mean_interarrival_s).expect("positive rate");
+    let mut trackers = Vec::with_capacity(n_joins);
+    for _ in 0..n_joins {
+        let dt_s: f64 = exp.sample(sim.rng());
+        sim.run_for((dt_s * 1000.0) as TimeMs);
+        let bootstrap = sim.rng().random_range(0..n_stable as NodeId);
+        let (_, rumor) = sim.add_joining_node(
+            LinkClass::Lan45M,
+            table2.bf_1000_keys_bytes as u32,
+            bootstrap,
+        );
+        trackers.push(sim.track(rumor));
+    }
+    sim.run_for(settle_s * 1000);
+    let mut latencies = Vec::new();
+    let mut unconverged = 0;
+    for &t in &trackers {
+        match sim.metrics.tracked[t].latency_ms() {
+            Some(ms) => latencies.push(ms as f64 / 1000.0),
+            None => unconverged += 1,
+        }
+    }
+    InterferenceResult {
+        scenario: scenario.name,
+        partial_ae,
+        latencies_s: latencies,
+        unconverged,
+    }
+}
+
+/// Configuration of the dynamic-community experiments (Figs 4b, 4c, 5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Total community membership (1000 for Fig 4, 2000 for Fig 5).
+    pub total_members: usize,
+    /// Fraction of members online all the time (paper: 0.4).
+    pub always_online_frac: f64,
+    /// Mean online period of cycling members, seconds (paper: 3600).
+    pub mean_online_s: f64,
+    /// Mean offline period of cycling members, seconds (paper: 8400).
+    pub mean_offline_s: f64,
+    /// Probability a rejoin carries 1000 new keys (paper: 0.05).
+    pub new_keys_prob: f64,
+    /// Measurement window, seconds.
+    pub duration_s: u64,
+    /// Extra settling time after the last measured event, seconds.
+    pub tail_s: u64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            total_members: 1000,
+            always_online_frac: 0.4,
+            mean_online_s: 3600.0,
+            mean_offline_s: 8400.0,
+            new_keys_prob: 0.05,
+            duration_s: 4 * 3600,
+            tail_s: 1800,
+        }
+    }
+}
+
+/// One measured rejoin event in a dynamic community.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicEvent {
+    /// Which member rejoined.
+    pub subject: NodeId,
+    /// Whether the member is Fast-class.
+    pub fast_origin: bool,
+    /// Whether the rejoin carried new keys.
+    pub with_new_keys: bool,
+    /// Seconds until all online peers knew (None = never in window).
+    pub latency_s: Option<f64>,
+    /// Seconds until all online *fast* peers knew.
+    pub latency_fast_s: Option<f64>,
+}
+
+/// Result of a dynamic-community run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicResult {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Measured events.
+    pub events: Vec<DynamicEvent>,
+    /// Aggregate bandwidth series over the run.
+    pub bandwidth: BandwidthSeries,
+}
+
+/// Figs 4(b,c) and 5: a community where 40% of members are always
+/// online and 60% cycle (Exp online/offline periods), 5% of rejoins
+/// carrying 1000 new keys.
+pub fn dynamic_community(
+    scenario: Scenario,
+    cfg: DynamicConfig,
+    seed: u64,
+) -> DynamicResult {
+    let table2 = Table2::paper();
+    let mut sim = Simulator::new(scenario.sim_config(seed));
+    let n = cfg.total_members;
+    let links = scenario.sample_links(n, &mut sim);
+    sim.add_stable_community(&links, table2.bf_20000_keys_bytes as u32);
+
+    let n_stable_members = (n as f64 * cfg.always_online_frac).round() as usize;
+    let exp_on = Exp::new(1.0 / cfg.mean_online_s).expect("positive rate");
+    let exp_off = Exp::new(1.0 / cfg.mean_offline_s).expect("positive rate");
+
+    // Cycler transition schedule: (time_ms, node, goes_online).
+    let mut transitions: Vec<(TimeMs, NodeId, bool)> = Vec::new();
+    for id in n_stable_members..n {
+        // Start each cycler in steady state: online with probability
+        // mean_on / (mean_on + mean_off).
+        let p_online =
+            cfg.mean_online_s / (cfg.mean_online_s + cfg.mean_offline_s);
+        let mut online = sim.rng().random_bool(p_online);
+        if !online {
+            sim.set_offline(id as NodeId);
+        }
+        let mut t = 0.0f64;
+        let horizon = (cfg.duration_s + cfg.tail_s) as f64;
+        while t < horizon {
+            let dwell = if online {
+                exp_on.sample(sim.rng())
+            } else {
+                exp_off.sample(sim.rng())
+            };
+            t += dwell;
+            if t >= horizon {
+                break;
+            }
+            online = !online;
+            transitions.push(((t * 1000.0) as TimeMs, id as NodeId, online));
+        }
+    }
+    transitions.sort_unstable();
+
+    let mut events = Vec::new();
+    let mut trackers = Vec::new();
+    for (at, id, goes_online) in transitions {
+        sim.run_until(at);
+        if goes_online {
+            if sim.is_online(id) {
+                continue;
+            }
+            let with_new_keys = sim.rng().random_bool(cfg.new_keys_prob);
+            let rumor = sim.rejoin(
+                id,
+                with_new_keys.then_some(table2.bf_1000_keys_bytes as u32),
+            );
+            // Only measure events inside the window.
+            if at <= cfg.duration_s * 1000 {
+                let t = sim.track(rumor);
+                trackers.push((t, id, with_new_keys));
+            }
+        } else if sim.is_online(id) {
+            sim.set_offline(id);
+        }
+    }
+    sim.run_until((cfg.duration_s + cfg.tail_s) * 1000);
+
+    for (t, id, with_new_keys) in trackers {
+        let tr = &sim.metrics.tracked[t];
+        events.push(DynamicEvent {
+            subject: id,
+            fast_origin: sim.link(id).speed_class() == SpeedClass::Fast,
+            with_new_keys,
+            latency_s: tr.latency_ms().map(|ms| ms as f64 / 1000.0),
+            latency_fast_s: tr.latency_fast_ms().map(|ms| ms as f64 / 1000.0),
+        });
+    }
+    DynamicResult {
+        scenario: scenario.name,
+        events,
+        bandwidth: sim.metrics.bandwidth.clone(),
+    }
+}
+
+/// The LAN and MIX scenarios for the dynamic experiments; MIX uses the
+/// bandwidth-aware algorithm as the paper does for Figs 4-5.
+pub fn dynamic_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "LAN",
+            links: LinkScenario::LAN,
+            interval_ms: 30_000,
+            algorithm: Algorithm::PlanetP,
+            bandwidth_aware: false,
+        },
+        Scenario {
+            name: "MIX",
+            links: LinkScenario::Mix,
+            interval_ms: 30_000,
+            algorithm: Algorithm::PlanetP,
+            bandwidth_aware: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_small_lan() {
+        let s = Scenario::fig2_all()[0];
+        let r = propagation(s, 60, 42, 1200);
+        assert!(r.time_s.is_some(), "no convergence");
+        assert!(r.time_s.unwrap() < 400.0);
+        assert!(r.total_bytes > 0);
+    }
+
+    #[test]
+    fn planetp_beats_anti_entropy_only_on_volume() {
+        let all = Scenario::fig2_all();
+        let planetp = propagation(all[0], 50, 7, 2400);
+        let ae_only = propagation(all[1], 50, 7, 2400);
+        assert!(planetp.time_s.is_some() && ae_only.time_s.is_some());
+        assert!(
+            ae_only.total_bytes > planetp.total_bytes,
+            "AE-only {} !> PlanetP {}",
+            ae_only.total_bytes,
+            planetp.total_bytes
+        );
+    }
+
+    #[test]
+    fn join_storm_converges_small() {
+        let s = Scenario::fig2_all()[0]; // LAN
+        let r = join_storm(s, 40, 10, 11, 3600);
+        assert!(r.time_s.is_some(), "join storm never converged");
+    }
+
+    #[test]
+    fn interference_latencies_collected() {
+        let r = poisson_join_interference(50, 5, 30.0, true, 3, 1800);
+        assert_eq!(r.latencies_s.len() + r.unconverged, 5);
+        assert!(r.latencies_s.len() >= 4, "unconverged {}", r.unconverged);
+    }
+
+    #[test]
+    fn dynamic_community_produces_events() {
+        let cfg = DynamicConfig {
+            total_members: 40,
+            duration_s: 3600,
+            tail_s: 1200,
+            mean_online_s: 600.0,
+            mean_offline_s: 1400.0,
+            ..DynamicConfig::default()
+        };
+        let r = dynamic_community(dynamic_scenarios()[0], cfg, 5);
+        assert!(!r.events.is_empty(), "no rejoin events in an hour");
+        let converged = r.events.iter().filter(|e| e.latency_s.is_some()).count();
+        assert!(
+            converged * 10 >= r.events.len() * 7,
+            "{converged}/{} converged",
+            r.events.len()
+        );
+        assert!(r.bandwidth.total() > 0);
+    }
+}

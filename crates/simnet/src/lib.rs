@@ -1,0 +1,27 @@
+//! Discrete-event simulation of PlanetP communities.
+//!
+//! The paper evaluates gossiping with "a simulator ... parameterized by
+//! measurements of our prototype" (§7.2, Table 2). This crate is that
+//! simulator: a deterministic event-driven kernel that runs one real
+//! [`planetp_gossip::GossipEngine`] per simulated peer over a bandwidth
+//! model.
+//!
+//! - [`params`]: the Table 2 constants, link-speed classes (56 Kbps
+//!   modem through 45 Mbps LAN), and the Saroiu-measurement "MIX"
+//!   distribution.
+//! - [`sim`]: the event loop — per-peer uplink/downlink bandwidth
+//!   queues, store-and-forward transfer times, the 5 ms CPU cost per
+//!   gossip operation, contact-failure detection, and churn.
+//! - [`metrics`]: byte accounting, per-rumor convergence tracking, and
+//!   aggregate bandwidth time series.
+//! - [`experiments`]: drivers for the paper's gossiping experiments
+//!   (Figs 2-5), shared by the bench binaries and the integration tests.
+
+pub mod experiments;
+pub mod metrics;
+pub mod params;
+pub mod sim;
+
+pub use metrics::{BandwidthSeries, Metrics, TrackedRumor};
+pub use params::{LinkClass, LinkScenario, Table2};
+pub use sim::{NodeId, SimConfig, Simulator};

@@ -1,0 +1,235 @@
+//! Measurement machinery: byte accounting, convergence tracking, and
+//! bandwidth time series.
+
+use planetp_gossip::{RumorId, TimeMs};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A rumor whose spread the simulation is timing.
+#[derive(Debug, Clone)]
+pub struct TrackedRumor {
+    /// The news being timed.
+    pub id: RumorId,
+    /// When the event happened.
+    pub born_at: TimeMs,
+    /// When every online peer knew it (set once).
+    pub converged_at: Option<TimeMs>,
+    /// When every online *fast* peer knew it (Fig 5's MIX-F/MIX-S
+    /// convergence condition).
+    pub converged_fast_at: Option<TimeMs>,
+    /// Which peers know it (index = node id).
+    pub known: Vec<bool>,
+    /// Count of set flags in `known`.
+    pub known_count: usize,
+}
+
+impl TrackedRumor {
+    /// Convergence latency, if reached.
+    pub fn latency_ms(&self) -> Option<TimeMs> {
+        self.converged_at.map(|t| t - self.born_at)
+    }
+
+    /// Latency until all online fast peers knew it, if reached.
+    pub fn latency_fast_ms(&self) -> Option<TimeMs> {
+        self.converged_fast_at.map(|t| t - self.born_at)
+    }
+}
+
+/// Aggregate bandwidth over time, bucketed per simulated second.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BandwidthSeries {
+    buckets: HashMap<u64, u64>,
+}
+
+impl BandwidthSeries {
+    /// Charge `bytes` at time `at`.
+    pub fn add(&mut self, at: TimeMs, bytes: usize) {
+        *self.buckets.entry(at / 1000).or_insert(0) += bytes as u64;
+    }
+
+    /// Sorted `(second, bytes)` samples.
+    pub fn samples(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.buckets.iter().map(|(&s, &b)| (s, b)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total bytes across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Mean bytes/second over the closed interval `[from_s, to_s]`
+    /// (zero-filled).
+    pub fn mean_bps(&self, from_s: u64, to_s: u64) -> f64 {
+        if to_s < from_s {
+            return 0.0;
+        }
+        let total: u64 = self
+            .buckets
+            .iter()
+            .filter(|(&s, _)| s >= from_s && s <= to_s)
+            .map(|(_, &b)| b)
+            .sum();
+        total as f64 / (to_s - from_s + 1) as f64
+    }
+}
+
+/// All measurements a simulation run collects.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total bytes put on the wire (all messages, all peers).
+    pub total_bytes: u64,
+    /// Total messages sent.
+    pub total_messages: u64,
+    /// Bytes sent per node (indexed by node id).
+    pub bytes_per_node: Vec<u64>,
+    /// Aggregate bandwidth series.
+    pub bandwidth: BandwidthSeries,
+    /// Bytes by message kind, for diagnosis.
+    pub bytes_by_kind: HashMap<&'static str, u64>,
+    /// Rumors being timed.
+    pub tracked: Vec<TrackedRumor>,
+}
+
+impl Metrics {
+    /// Set up per-node accounting for `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self { bytes_per_node: vec![0; n], ..Self::default() }
+    }
+
+    /// Record a message of `bytes` sent by `from` at `at`.
+    pub fn on_send(
+        &mut self,
+        from: usize,
+        kind: &'static str,
+        bytes: usize,
+        at: TimeMs,
+    ) {
+        self.total_bytes += bytes as u64;
+        self.total_messages += 1;
+        if from < self.bytes_per_node.len() {
+            self.bytes_per_node[from] += bytes as u64;
+        }
+        self.bandwidth.add(at, bytes);
+        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    /// Start timing a rumor across `n` nodes. Returns its tracker index.
+    pub fn track(&mut self, id: RumorId, born_at: TimeMs, n: usize) -> usize {
+        self.tracked.push(TrackedRumor {
+            id,
+            born_at,
+            converged_at: None,
+            converged_fast_at: None,
+            known: vec![false; n],
+            known_count: 0,
+        });
+        self.tracked.len() - 1
+    }
+
+    /// Convergence latencies of all tracked rumors that converged, ms.
+    pub fn latencies(&self) -> Vec<TimeMs> {
+        self.tracked.iter().filter_map(TrackedRumor::latency_ms).collect()
+    }
+}
+
+/// An empirical CDF helper for reporting convergence distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted sample values.
+    pub sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from unsorted samples.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Self { sorted: samples }
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// Fraction of samples ≤ x.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_series_buckets_by_second() {
+        let mut b = BandwidthSeries::default();
+        b.add(500, 100);
+        b.add(999, 50);
+        b.add(1000, 25);
+        assert_eq!(b.samples(), vec![(0, 150), (1, 25)]);
+        assert_eq!(b.total(), 175);
+        assert!((b.mean_bps(0, 1) - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = Metrics::with_nodes(3);
+        m.on_send(0, "rumor", 100, 0);
+        m.on_send(1, "rumor", 50, 1500);
+        m.on_send(0, "ae_summary", 10, 2000);
+        assert_eq!(m.total_bytes, 160);
+        assert_eq!(m.total_messages, 3);
+        assert_eq!(m.bytes_per_node, vec![110, 50, 0]);
+        assert_eq!(m.bytes_by_kind["rumor"], 150);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert!((c.at(2.5) - 0.5).abs() < 1e-9);
+        assert_eq!(c.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn tracked_rumor_latency() {
+        let mut m = Metrics::with_nodes(2);
+        let id = RumorId { subject: 0, status_version: 1, bloom_version: 1 };
+        let t = m.track(id, 1000, 2);
+        assert_eq!(m.tracked[t].latency_ms(), None);
+        m.tracked[t].converged_at = Some(4000);
+        assert_eq!(m.tracked[t].latency_ms(), Some(3000));
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulation constants (Table 2) and link-speed scenarios.
+
+use planetp_gossip::SpeedClass;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The constants of Table 2, verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// CPU time charged per gossip operation (send or receive), ms.
+    pub cpu_gossip_ms: u64,
+    /// Base gossiping interval, ms.
+    pub base_gossip_interval_ms: u64,
+    /// Maximum gossiping interval, ms.
+    pub max_gossip_interval_ms: u64,
+    /// Message header size, bytes.
+    pub message_header_bytes: usize,
+    /// Compressed Bloom filter carrying 1000 keys, bytes.
+    pub bf_1000_keys_bytes: usize,
+    /// Compressed Bloom filter carrying 20,000 keys, bytes.
+    pub bf_20000_keys_bytes: usize,
+    /// Bloom filter summary line in anti-entropy, bytes.
+    pub bf_summary_bytes: usize,
+    /// Peer summary line in anti-entropy, bytes.
+    pub peer_summary_bytes: usize,
+}
+
+impl Table2 {
+    /// The paper's values.
+    pub const fn paper() -> Self {
+        Self {
+            cpu_gossip_ms: 5,
+            base_gossip_interval_ms: 30_000,
+            max_gossip_interval_ms: 60_000,
+            message_header_bytes: 3,
+            bf_1000_keys_bytes: 3000,
+            bf_20000_keys_bytes: 16_000,
+            bf_summary_bytes: 6,
+            peer_summary_bytes: 48,
+        }
+    }
+}
+
+impl Default for Table2 {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A link speed class. The paper's network bandwidths span "56Kb/s to
+/// 45Mb/s" (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// 56 Kbps modem.
+    Modem56k,
+    /// 512 Kbps DSL.
+    Dsl512k,
+    /// 5 Mbps cable.
+    Cable5M,
+    /// 10 Mbps.
+    Eth10M,
+    /// 45 Mbps LAN / T3.
+    Lan45M,
+}
+
+impl LinkClass {
+    /// Link bandwidth in bits per second.
+    pub fn bits_per_sec(self) -> u64 {
+        match self {
+            LinkClass::Modem56k => 56_000,
+            LinkClass::Dsl512k => 512_000,
+            LinkClass::Cable5M => 5_000_000,
+            LinkClass::Eth10M => 10_000_000,
+            LinkClass::Lan45M => 45_000_000,
+        }
+    }
+
+    /// Gossip speed class: "Fast includes peers with 512 Kb/s
+    /// connectivity or better. Slow includes peers connected by modems"
+    /// (§7.2).
+    pub fn speed_class(self) -> SpeedClass {
+        match self {
+            LinkClass::Modem56k => SpeedClass::Slow,
+            _ => SpeedClass::Fast,
+        }
+    }
+
+    /// Milliseconds to transfer `bytes` over this link (ceiling).
+    pub fn transfer_ms(self, bytes: usize) -> u64 {
+        let bits = bytes as u64 * 8;
+        // ceil(bits * 1000 / bps)
+        bits.saturating_mul(1000).div_ceil(self.bits_per_sec())
+    }
+}
+
+/// How link speeds are assigned across a community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkScenario {
+    /// Every peer on the same link class.
+    Uniform(LinkClass),
+    /// The Gnutella/Napster mixture measured by Saroiu et al. and used
+    /// by the paper: 9% 56 Kbps, 21% 512 Kbps, 50% 5 Mbps, 16% 10 Mbps,
+    /// 4% 45 Mbps.
+    Mix,
+}
+
+impl LinkScenario {
+    /// All peers on 45 Mbps links (the paper's "LAN").
+    pub const LAN: LinkScenario = LinkScenario::Uniform(LinkClass::Lan45M);
+    /// All peers on 512 Kbps links (the paper's "DSL").
+    pub const DSL: LinkScenario = LinkScenario::Uniform(LinkClass::Dsl512k);
+
+    /// Sample the link class for one peer.
+    pub fn sample(self, rng: &mut SmallRng) -> LinkClass {
+        match self {
+            LinkScenario::Uniform(c) => c,
+            LinkScenario::Mix => {
+                let x: f64 = rng.random();
+                if x < 0.09 {
+                    LinkClass::Modem56k
+                } else if x < 0.30 {
+                    LinkClass::Dsl512k
+                } else if x < 0.80 {
+                    LinkClass::Cable5M
+                } else if x < 0.96 {
+                    LinkClass::Eth10M
+                } else {
+                    LinkClass::Lan45M
+                }
+            }
+        }
+    }
+}
+
+/// One-way propagation latency added to every transfer, ms.
+pub const LINK_LATENCY_MS: u64 = 50;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transfer_times_match_arithmetic() {
+        // 16 MB over a modem ~ 40 minutes (paper §7.2).
+        let ms = LinkClass::Modem56k.transfer_ms(16_000_000);
+        let minutes = ms as f64 / 60_000.0;
+        assert!((35.0..45.0).contains(&minutes), "{minutes} min");
+    }
+
+    #[test]
+    fn classes_are_ordered_by_speed() {
+        let mut prev = 0;
+        for c in [
+            LinkClass::Modem56k,
+            LinkClass::Dsl512k,
+            LinkClass::Cable5M,
+            LinkClass::Eth10M,
+            LinkClass::Lan45M,
+        ] {
+            assert!(c.bits_per_sec() > prev);
+            prev = c.bits_per_sec();
+        }
+    }
+
+    #[test]
+    fn only_modem_is_slow_class() {
+        assert_eq!(LinkClass::Modem56k.speed_class(), SpeedClass::Slow);
+        assert_eq!(LinkClass::Dsl512k.speed_class(), SpeedClass::Fast);
+        assert_eq!(LinkClass::Lan45M.speed_class(), SpeedClass::Fast);
+    }
+
+    #[test]
+    fn mix_proportions_approximate_saroiu() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(LinkScenario::Mix.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        let frac = |c: LinkClass| f64::from(counts[&c]) / n as f64;
+        assert!((frac(LinkClass::Modem56k) - 0.09).abs() < 0.02);
+        assert!((frac(LinkClass::Dsl512k) - 0.21).abs() < 0.02);
+        assert!((frac(LinkClass::Cable5M) - 0.50).abs() < 0.02);
+        assert!((frac(LinkClass::Eth10M) - 0.16).abs() < 0.02);
+        assert!((frac(LinkClass::Lan45M) - 0.04).abs() < 0.02);
+    }
+
+    #[test]
+    fn table2_paper_values() {
+        let t = Table2::paper();
+        assert_eq!(t.cpu_gossip_ms, 5);
+        assert_eq!(t.bf_1000_keys_bytes, 3000);
+        assert_eq!(t.bf_20000_keys_bytes, 16_000);
+        assert_eq!(t.peer_summary_bytes, 48);
+    }
+}

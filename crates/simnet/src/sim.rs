@@ -1,0 +1,782 @@
+//! The discrete-event simulation kernel.
+//!
+//! One real [`GossipEngine`] runs per simulated peer; the kernel models
+//! the network between them:
+//!
+//! - every transfer occupies the sender's uplink and the receiver's
+//!   downlink for `size / min(up, down)` (store-and-forward queues, FIFO
+//!   per link), plus a fixed propagation latency;
+//! - every gossip operation is charged the Table 2 CPU cost (5 ms);
+//! - contacting an offline peer costs a detection timeout, after which
+//!   the sender marks the target offline (never gossiped);
+//! - all randomness comes from seeded RNGs: identical configs produce
+//!   identical runs, event for event.
+
+use planetp_gossip::{
+    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerStatus,
+    RumorId, SizedPayload, TimeMs,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Metrics;
+use crate::params::{LinkClass, Table2, LINK_LATENCY_MS};
+
+/// Node identifier (same space as `planetp_gossip::PeerId`).
+pub type NodeId = u32;
+
+type Engine = GossipEngine<SizedPayload>;
+type Msg = Message<SizedPayload>;
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Gossip protocol settings shared by all peers.
+    pub gossip: GossipConfig,
+    /// Table 2 constants.
+    pub table2: Table2,
+    /// One-way propagation latency per transfer, ms.
+    pub latency_ms: TimeMs,
+    /// Time to detect that a contact is offline, ms.
+    pub contact_fail_ms: TimeMs,
+    /// Master seed; node seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            gossip: GossipConfig::default(),
+            table2: Table2::paper(),
+            latency_ms: LINK_LATENCY_MS,
+            contact_fail_ms: 1_000,
+            seed: 0x9a7e_57ab,
+        }
+    }
+}
+
+struct Node {
+    engine: Engine,
+    link: LinkClass,
+    online: bool,
+    /// When the uplink finishes its current queue.
+    up_free_at: TimeMs,
+    /// When the downlink finishes its current queue.
+    down_free_at: TimeMs,
+    /// Bumped on every offline/online transition to cancel stale ticks.
+    tick_seq: u64,
+}
+
+enum EventKind {
+    /// Scheduled gossip round for a node.
+    Tick { node: NodeId, seq: u64 },
+    /// Message arrival.
+    Deliver { from: NodeId, to: NodeId, msg: Box<Msg> },
+    /// The sender's contact attempt to an offline peer timed out.
+    ContactFailed { node: NodeId, target: NodeId },
+}
+
+struct Event {
+    at: TimeMs,
+    /// FIFO tie-break for identical times; keeps runs deterministic.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: a community of gossiping peers over a modeled network.
+pub struct Simulator {
+    config: SimConfig,
+    nodes: Vec<Node>,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    now: TimeMs,
+    online_count: usize,
+    /// Indices into `metrics.tracked` still awaiting full convergence.
+    active_trackers: Vec<usize>,
+    /// Online peers in the Fast speed class.
+    online_fast_count: usize,
+    /// Shared RNG for link sampling and tick staggering.
+    rng: SmallRng,
+    /// Collected measurements.
+    pub metrics: Metrics,
+}
+
+impl Simulator {
+    /// New, empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            config,
+            nodes: Vec::new(),
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            online_count: 0,
+            active_trackers: Vec::new(),
+            online_fast_count: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Current simulated time, ms.
+    pub fn now(&self) -> TimeMs {
+        self.now
+    }
+
+    /// Number of nodes (online or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of currently online nodes.
+    pub fn online_count(&self) -> usize {
+        self.online_count
+    }
+
+    /// Shared RNG (experiments sample churn processes from it so a run
+    /// is fully determined by the master seed).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Immutable engine access.
+    pub fn engine(&self, id: NodeId) -> &Engine {
+        &self.nodes[id as usize].engine
+    }
+
+    /// Is the node currently online?
+    pub fn is_online(&self, id: NodeId) -> bool {
+        self.nodes[id as usize].online
+    }
+
+    /// Link class of a node.
+    pub fn link(&self, id: NodeId) -> LinkClass {
+        self.nodes[id as usize].link
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Create a stable community of `n` peers with mutually consistent
+    /// directories (everyone already knows everyone, as after a long
+    /// quiet period). `links[i]` gives each peer's connectivity;
+    /// `payload_bytes` the wire size of each peer's current Bloom
+    /// filter.
+    pub fn add_stable_community(&mut self, links: &[LinkClass], payload_bytes: u32) {
+        assert!(self.nodes.is_empty(), "stable community must come first");
+        let n = links.len() as u32;
+        let mut dir: Directory<SizedPayload> = Directory::new();
+        for (i, &link) in links.iter().enumerate() {
+            dir.insert(
+                i as u32,
+                DirEntry {
+                    status_version: 1,
+                    bloom_version: 1,
+                    payload: Some(SizedPayload { bytes: payload_bytes }),
+                    status: PeerStatus::Online,
+                    speed: link.speed_class(),
+                },
+            );
+        }
+        for (i, &link) in links.iter().enumerate() {
+            let engine = Engine::with_directory(
+                i as u32,
+                link.speed_class(),
+                self.config.gossip,
+                self.config.seed ^ (0xabcd_0000 + i as u64),
+                dir.clone(),
+            );
+            self.nodes.push(Node {
+                engine,
+                link,
+                online: true,
+                up_free_at: 0,
+                down_free_at: 0,
+                tick_seq: 0,
+            });
+            self.online_count += 1;
+            if link.speed_class() == planetp_gossip::SpeedClass::Fast {
+                self.online_fast_count += 1;
+            }
+        }
+        self.metrics = Metrics::with_nodes(n as usize);
+        // Stagger initial ticks uniformly over one interval, as unsynced
+        // real peers would be.
+        for i in 0..n {
+            let stagger =
+                self.rng.random_range(0..self.config.gossip.base_interval_ms.max(1));
+            self.schedule_tick(i, stagger);
+        }
+    }
+
+    /// Add a brand-new member that joins through `bootstrap`, sharing a
+    /// Bloom filter of `payload_bytes`. Returns its id and the Join
+    /// rumor to track.
+    pub fn add_joining_node(
+        &mut self,
+        link: LinkClass,
+        payload_bytes: u32,
+        bootstrap: NodeId,
+    ) -> (NodeId, RumorId) {
+        let id = self.nodes.len() as u32;
+        let engine = Engine::new(
+            id,
+            link.speed_class(),
+            self.config.gossip,
+            self.config.seed ^ (0xbeef_0000 + u64::from(id)),
+            Some(SizedPayload { bytes: payload_bytes }),
+            Some((
+                bootstrap,
+                self.nodes[bootstrap as usize].link.speed_class(),
+            )),
+        );
+        self.nodes.push(Node {
+            engine,
+            link,
+            online: true,
+            up_free_at: self.now,
+            down_free_at: self.now,
+            tick_seq: 0,
+        });
+        self.online_count += 1;
+        if link.speed_class() == planetp_gossip::SpeedClass::Fast {
+            self.online_fast_count += 1;
+        }
+        self.metrics.bytes_per_node.push(0);
+        for t in &mut self.metrics.tracked {
+            t.known.push(false);
+        }
+        // Joiners act promptly (they have news and a download to do).
+        let jitter = self.rng.random_range(0..1_000);
+        self.schedule_tick(id, jitter);
+        let rumor = RumorId { subject: id, status_version: 1, bloom_version: 1 };
+        self.mark_known(id, id);
+        (id, rumor)
+    }
+
+    // ------------------------------------------------------------------
+    // Churn and local events
+    // ------------------------------------------------------------------
+
+    /// Take a node offline (crash/leave: no goodbye messages).
+    pub fn set_offline(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id as usize];
+        if !node.online {
+            return;
+        }
+        node.online = false;
+        node.tick_seq += 1;
+        self.online_count -= 1;
+        if node.link.speed_class() == planetp_gossip::SpeedClass::Fast {
+            self.online_fast_count -= 1;
+        }
+        // A departure can complete convergence of tracked rumors (the
+        // holdouts may have just left).
+        self.recheck_all_tracked();
+    }
+
+    /// Bring a node back online. `new_payload_bytes` carries a changed
+    /// Bloom filter (the paper's "Join" event in Fig 4); `None` is a
+    /// pure "Rejoin". Returns the rumor id announcing the return.
+    pub fn rejoin(&mut self, id: NodeId, new_payload_bytes: Option<u32>) -> RumorId {
+        let node = &mut self.nodes[id as usize];
+        assert!(!node.online, "rejoin requires the node to be offline");
+        node.online = true;
+        node.tick_seq += 1;
+        node.up_free_at = self.now;
+        node.down_free_at = self.now;
+        node.engine
+            .local_rejoin(new_payload_bytes.map(|b| SizedPayload { bytes: b }));
+        self.online_count += 1;
+        if node.link.speed_class() == planetp_gossip::SpeedClass::Fast {
+            self.online_fast_count += 1;
+        }
+        let e = node
+            .engine
+            .directory()
+            .get(id)
+            .expect("self entry always present");
+        let rumor = RumorId {
+            subject: id,
+            status_version: e.status_version,
+            bloom_version: e.bloom_version,
+        };
+        let seq = node.tick_seq;
+        let jitter = self.rng.random_range(0..1_000);
+        self.schedule_tick_seq(id, jitter, seq);
+        self.mark_known(id, id);
+        rumor
+    }
+
+    /// A node's Bloom filter changes (e.g. 1000 new keys published).
+    /// Returns the rumor id of the update.
+    pub fn local_update(&mut self, id: NodeId, payload_bytes: u32) -> RumorId {
+        let node = &mut self.nodes[id as usize];
+        assert!(node.online, "offline nodes cannot publish");
+        node.engine.local_update(SizedPayload { bytes: payload_bytes });
+        let e = node
+            .engine
+            .directory()
+            .get(id)
+            .expect("self entry always present");
+        let rumor = RumorId {
+            subject: id,
+            status_version: e.status_version,
+            bloom_version: e.bloom_version,
+        };
+        self.mark_known(id, id);
+        rumor
+    }
+
+    /// Start timing a rumor; marks peers that already know it.
+    pub fn track(&mut self, id: RumorId) -> usize {
+        let idx = self.metrics.track(id, self.now, self.nodes.len());
+        self.active_trackers.push(idx);
+        for n in 0..self.nodes.len() as u32 {
+            if self.nodes[n as usize].engine.knows(id) {
+                self.mark_known_idx(idx, n);
+            }
+        }
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Running
+    // ------------------------------------------------------------------
+
+    /// Process events until simulated time `t` (inclusive of events at
+    /// `t`). The clock ends at `t`.
+    pub fn run_until(&mut self, t: TimeMs) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > t {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        self.now = t;
+    }
+
+    /// Run for `dt` more milliseconds.
+    pub fn run_for(&mut self, dt: TimeMs) {
+        self.run_until(self.now + dt);
+    }
+
+    /// Are the directory digests of all *online* nodes identical?
+    pub fn converged(&self) -> bool {
+        let mut digest = None;
+        for n in &self.nodes {
+            if !n.online {
+                continue;
+            }
+            let d = n.engine.directory().digest();
+            match digest {
+                None => digest = Some(d),
+                Some(prev) if prev != d => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Run until all online digests match, checking every `poll_ms`;
+    /// gives up at `deadline`. Returns the convergence time if reached.
+    pub fn run_until_converged(
+        &mut self,
+        poll_ms: TimeMs,
+        deadline: TimeMs,
+    ) -> Option<TimeMs> {
+        loop {
+            if self.converged() {
+                return Some(self.now);
+            }
+            if self.now >= deadline {
+                return None;
+            }
+            let next = (self.now + poll_ms).min(deadline);
+            self.run_until(next);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, at: TimeMs, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Event { at, seq: self.event_seq, kind }));
+    }
+
+    fn schedule_tick(&mut self, node: NodeId, delay: TimeMs) {
+        let seq = self.nodes[node as usize].tick_seq;
+        self.schedule_tick_seq(node, delay, seq);
+    }
+
+    fn schedule_tick_seq(&mut self, node: NodeId, delay: TimeMs, seq: u64) {
+        self.schedule(self.now + delay, EventKind::Tick { node, seq });
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Tick { node, seq } => self.on_tick(node, seq),
+            EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, *msg),
+            EventKind::ContactFailed { node, target } => {
+                self.nodes[node as usize]
+                    .engine
+                    .on_contact_failed(target, self.now);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, id: NodeId, seq: u64) {
+        let node = &mut self.nodes[id as usize];
+        if !node.online || node.tick_seq != seq {
+            return;
+        }
+        let outcome = node.engine.tick(self.now);
+        let interval = node.engine.current_interval();
+        if let Some(out) = outcome {
+            self.send(id, out.target, out.message);
+        }
+        self.schedule_tick(id, interval.max(1));
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        debug_assert_ne!(from, to, "engines never self-send");
+        if !self.nodes[to as usize].online {
+            // Connection attempt fails after a timeout.
+            let at = self.now + self.config.contact_fail_ms;
+            self.schedule(at, EventKind::ContactFailed { node: from, target: to });
+            return;
+        }
+        let size = msg.wire_bytes();
+        let kind = msg.kind_name();
+        // CPU cost to produce the message.
+        let ready = self.now + self.config.table2.cpu_gossip_ms;
+        let sender = &self.nodes[from as usize];
+        let receiver = &self.nodes[to as usize];
+        let bw = sender.link.bits_per_sec().min(receiver.link.bits_per_sec());
+        let start = ready
+            .max(sender.up_free_at)
+            .max(receiver.down_free_at);
+        let transfer = (size as u64 * 8).saturating_mul(1000).div_ceil(bw);
+        let end = start + transfer;
+        self.nodes[from as usize].up_free_at = end;
+        self.nodes[to as usize].down_free_at = end;
+        self.metrics.on_send(from as usize, kind, size, start);
+        let arrive = end + self.config.latency_ms;
+        self.schedule(arrive, EventKind::Deliver { from, to, msg: Box::new(msg) });
+    }
+
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        if !self.nodes[to as usize].online {
+            // Receiver died mid-transfer; sender notices.
+            if self.nodes[from as usize].online {
+                let at = self.now + self.config.contact_fail_ms;
+                self.schedule(at, EventKind::ContactFailed { node: from, target: to });
+            }
+            return;
+        }
+        let responses = {
+            let node = &mut self.nodes[to as usize];
+            node.engine.handle_message(from, msg, self.now)
+        };
+        self.mark_known_all(to);
+        for (target, m) in responses {
+            if self.nodes[to as usize].online {
+                self.send(to, target, m);
+            }
+        }
+    }
+
+    /// Update all still-active tracked rumors for a node whose engine
+    /// just changed.
+    fn mark_known_all(&mut self, node: NodeId) {
+        let mut i = 0;
+        while i < self.active_trackers.len() {
+            let idx = self.active_trackers[i];
+            if !self.metrics.tracked[idx].known[node as usize]
+                && self.nodes[node as usize]
+                    .engine
+                    .knows(self.metrics.tracked[idx].id)
+            {
+                self.mark_known_idx(idx, node);
+            }
+            // mark_known_idx may swap-remove index i; only advance when
+            // the slot still holds the same tracker.
+            if self.active_trackers.get(i) == Some(&idx) {
+                i += 1;
+            }
+        }
+    }
+
+    /// Mark that `node` knows the rumor about `subject`'s latest state
+    /// (used for origins, which know their own news).
+    fn mark_known(&mut self, node: NodeId, subject: NodeId) {
+        let mut i = 0;
+        while i < self.active_trackers.len() {
+            let idx = self.active_trackers[i];
+            if self.metrics.tracked[idx].id.subject == subject
+                && !self.metrics.tracked[idx].known[node as usize]
+                && self.nodes[node as usize].engine.knows(self.metrics.tracked[idx].id)
+            {
+                self.mark_known_idx(idx, node);
+            }
+            if self.active_trackers.get(i) == Some(&idx) {
+                i += 1;
+            }
+        }
+    }
+
+    fn mark_known_idx(&mut self, idx: usize, node: NodeId) {
+        let t = &mut self.metrics.tracked[idx];
+        if !t.known[node as usize] {
+            t.known[node as usize] = true;
+            t.known_count += 1;
+        }
+        self.check_convergence(idx);
+    }
+
+    fn recheck_all_tracked(&mut self) {
+        let mut i = 0;
+        while i < self.active_trackers.len() {
+            let idx = self.active_trackers[i];
+            self.check_convergence(idx);
+            if self.active_trackers.get(i) == Some(&idx) {
+                i += 1;
+            }
+        }
+    }
+
+    /// A tracked rumor fully converges when every *online* peer knows
+    /// it; it "fast-converges" when every online Fast-class peer knows
+    /// it (the Fig 5 MIX-F/MIX-S condition).
+    fn check_convergence(&mut self, idx: usize) {
+        let t = &self.metrics.tracked[idx];
+        if t.converged_at.is_some() {
+            return;
+        }
+        let (known_count, fast_pending) =
+            (t.known_count, t.converged_fast_at.is_none());
+        if fast_pending && known_count >= self.online_fast_count {
+            let t = &self.metrics.tracked[idx];
+            let all_fast_know = self.nodes.iter().zip(&t.known).all(|(n, &k)| {
+                !n.online
+                    || n.link.speed_class() != planetp_gossip::SpeedClass::Fast
+                    || k
+            });
+            if all_fast_know {
+                self.metrics.tracked[idx].converged_fast_at = Some(self.now);
+            }
+        }
+        // Cheap bound: known_count >= (online peers that know), so fewer
+        // knowers than online peers means someone online is missing it.
+        if known_count < self.online_count {
+            return;
+        }
+        let t = &self.metrics.tracked[idx];
+        let all_online_know = self
+            .nodes
+            .iter()
+            .zip(&t.known)
+            .all(|(n, &k)| !n.online || k);
+        if all_online_know {
+            let t = &mut self.metrics.tracked[idx];
+            t.converged_at = Some(self.now);
+            if t.converged_fast_at.is_none() {
+                t.converged_fast_at = Some(self.now);
+            }
+            if let Some(pos) =
+                self.active_trackers.iter().position(|&i| i == idx)
+            {
+                self.active_trackers.swap_remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkClass;
+
+    fn lan_sim(n: usize) -> Simulator {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_stable_community(&vec![LinkClass::Lan45M; n], 3000);
+        sim
+    }
+
+    #[test]
+    fn quiescent_community_stays_converged_and_quiet() {
+        let mut sim = lan_sim(20);
+        sim.run_until(600_000);
+        assert!(sim.converged());
+        // Only cheap AE traffic: no summaries, no rumors.
+        assert_eq!(
+            sim.metrics.bytes_by_kind.get("rumor").copied().unwrap_or(0),
+            0
+        );
+        assert_eq!(
+            sim.metrics.bytes_by_kind.get("ae_summary").copied().unwrap_or(0),
+            0
+        );
+        // Adaptive interval bounds quiescent traffic: strictly fewer
+        // message pairs than ticking at the base interval forever, and
+        // every engine should have slowed to the max interval.
+        let base_pairs = 20.0 * 600.0 / 30.0;
+        let msgs = sim.metrics.total_messages as f64;
+        assert!(msgs < base_pairs * 2.0, "{msgs} messages in quiescence");
+        for i in 0..20u32 {
+            assert_eq!(
+                sim.engine(i).current_interval(),
+                SimConfig::default().gossip.max_interval_ms,
+                "peer {i} never slowed down"
+            );
+        }
+    }
+
+    #[test]
+    fn single_update_propagates_everywhere() {
+        let mut sim = lan_sim(50);
+        let rumor = sim.local_update(0, 3000);
+        sim.track(rumor);
+        sim.run_until(1_000_000);
+        let lat = sim.metrics.tracked[0].latency_ms();
+        assert!(lat.is_some(), "did not converge");
+        let secs = lat.unwrap() as f64 / 1000.0;
+        // ~Tg * ln N plus tail; generous bound.
+        assert!(secs < 400.0, "took {secs}s");
+    }
+
+    #[test]
+    fn propagation_time_grows_slowly_with_size() {
+        let mut t_small = 0.0;
+        let mut t_large = 0.0;
+        for (n, out) in [(30usize, &mut t_small), (300, &mut t_large)] {
+            let mut sim = lan_sim(n);
+            let rumor = sim.local_update(0, 3000);
+            sim.track(rumor);
+            sim.run_until(2_000_000);
+            *out = sim.metrics.tracked[0].latency_ms().expect("converges") as f64;
+        }
+        assert!(
+            t_large < t_small * 4.0,
+            "10x nodes cost {t_small} -> {t_large} ms (not log-ish)"
+        );
+    }
+
+    #[test]
+    fn joiner_downloads_directory_and_is_learned() {
+        let mut sim = lan_sim(30);
+        let (id, rumor) = sim.add_joining_node(LinkClass::Lan45M, 16_000, 0);
+        sim.track(rumor);
+        sim.run_until(2_000_000);
+        assert!(
+            sim.metrics.tracked[0].latency_ms().is_some(),
+            "join never converged"
+        );
+        assert_eq!(sim.engine(id).directory().len(), 31);
+    }
+
+    #[test]
+    fn offline_rejoin_cycle_converges() {
+        let mut sim = lan_sim(20);
+        sim.run_until(120_000);
+        sim.set_offline(5);
+        sim.run_until(400_000);
+        let rumor = sim.rejoin(5, Some(3000));
+        sim.track(rumor);
+        sim.run_until(1_500_000);
+        assert!(
+            sim.metrics.tracked[0].latency_ms().is_some(),
+            "rejoin never spread"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = lan_sim(25);
+            let rumor = sim.local_update(3, 3000);
+            sim.track(rumor);
+            sim.run_until(500_000);
+            (
+                sim.metrics.total_bytes,
+                sim.metrics.total_messages,
+                sim.metrics.tracked[0].latency_ms(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slow_links_slow_the_spread() {
+        let mut fast_t = 0;
+        let mut slow_t = 0;
+        for (link, out) in [
+            (LinkClass::Lan45M, &mut fast_t),
+            (LinkClass::Modem56k, &mut slow_t),
+        ] {
+            let mut sim = Simulator::new(SimConfig::default());
+            sim.add_stable_community(&[link; 40], 3000);
+            let rumor = sim.local_update(0, 3000);
+            sim.track(rumor);
+            sim.run_until(3_000_000);
+            *out = sim.metrics.tracked[0].latency_ms().expect("converges");
+        }
+        assert!(slow_t > fast_t, "modem {slow_t} !> lan {fast_t}");
+    }
+
+    #[test]
+    fn contact_failure_marks_offline() {
+        let mut sim = lan_sim(10);
+        sim.set_offline(3);
+        sim.run_until(600_000);
+        let noticed = (0..10u32)
+            .filter(|&i| i != 3)
+            .filter(|&i| {
+                matches!(
+                    sim.engine(i).directory().get(3).map(|e| e.status),
+                    Some(PeerStatus::Offline { .. })
+                )
+            })
+            .count();
+        assert!(noticed >= 5, "only {noticed} noticed the departure");
+    }
+
+    #[test]
+    fn bandwidth_series_nonzero_during_propagation() {
+        let mut sim = lan_sim(40);
+        let rumor = sim.local_update(0, 3000);
+        sim.track(rumor);
+        sim.run_until(600_000);
+        assert!(sim.metrics.bandwidth.total() > 0);
+        assert!(sim.metrics.total_bytes >= sim.metrics.bandwidth.total());
+    }
+}

@@ -1,0 +1,69 @@
+//! A news-wire community: fresh stories must be findable *seconds*
+//! after publication, long before a new Bloom filter could gossip
+//! around. Publishers push each story's hottest terms to the
+//! information brokerage (§4) with a short discard time, and
+//! subscribers use persistent queries (§5.1) for push-style delivery.
+//!
+//! ```sh
+//! cargo run --example news_wire
+//! ```
+
+use planetp::{Community, Notification, PublishOptions};
+use std::sync::{Arc, Mutex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut community = Community::new();
+    let agency = community.add_peer("wire-agency");
+    let blogger = community.add_peer("blogger");
+    let _readers: Vec<_> = (0..6)
+        .map(|i| community.add_peer(&format!("reader-{i}")))
+        .collect();
+    let desk = community.add_peer("news-desk");
+
+    // The news desk subscribes to anything about "volcano".
+    let inbox: Arc<Mutex<Vec<String>>> = Arc::default();
+    let sink = Arc::clone(&inbox);
+    community.register_persistent_query(desk, "volcano eruption", move |n| {
+        if let Notification::Snippet { publisher, xml } = n {
+            sink.lock().unwrap().push(format!("[{publisher}] {xml}"));
+        }
+    });
+
+    // Breaking story: dual-published — indexed locally (Bloom path) and
+    // hottest 10% of terms to the brokers (fresh path).
+    community.publish(
+        agency,
+        "<story><title>Volcano eruption on remote island</title>
+          <body>eruption eruption volcano ash cloud disrupts flights</body></story>",
+        PublishOptions { broker_hot_terms: Some(0.10) },
+    )?;
+    community.publish(
+        blogger,
+        "<post><title>Gardening notes</title><body>tomatoes and basil</body></post>",
+        PublishOptions { broker_hot_terms: Some(0.10) },
+    )?;
+
+    // Immediately findable through the brokerage.
+    let hits = community.search_exhaustive(desk, "volcano eruption")?;
+    println!(
+        "t+0s: exhaustive search found {} indexed doc(s) and {} fresh snippet(s)",
+        hits.results.len(),
+        hits.snippets.len()
+    );
+    println!("news desk inbox ({} pushed):", inbox.lock().unwrap().len());
+    for line in inbox.lock().unwrap().iter() {
+        let shown: String = line.chars().take(72).collect();
+        println!("  {shown}...");
+    }
+
+    // Eleven minutes later the snippet has expired; the Bloom-filter
+    // path (by now gossiped everywhere) still finds the story.
+    community.advance_time(11 * 60 * 1000);
+    let hits = community.search_exhaustive(desk, "volcano eruption")?;
+    println!(
+        "t+11min: {} indexed doc(s), {} snippet(s) (snippets expired, index remains)",
+        hits.results.len(),
+        hits.snippets.len()
+    );
+    Ok(())
+}

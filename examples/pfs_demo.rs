@@ -1,0 +1,59 @@
+//! PFS, the personal semantic file system of §6: query-named
+//! directories over a community's shared files.
+//!
+//! ```sh
+//! cargo run --example pfs_demo
+//! ```
+
+use planetp::Community;
+use planetp_pfs::{PfsNode, SharedCommunity};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let community: SharedCommunity = Arc::new(parking_lot_mutex(Community::new()));
+    let mut alice = PfsNode::new(Arc::clone(&community), "alice");
+    let mut bob = PfsNode::new(Arc::clone(&community), "bob");
+    let mut carol = PfsNode::new(Arc::clone(&community), "carol");
+
+    bob.publish_file(
+        "papers/demers87.txt",
+        "epidemic algorithms for replicated database maintenance gossip anti-entropy",
+    )?;
+    carol.publish_file(
+        "papers/bloom70.txt",
+        "space time trade-offs in hash coding with allowable errors bloom filter",
+    )?;
+    carol.publish_file("misc/shopping.txt", "milk eggs flour")?;
+
+    // Alice names a directory by a query; PFS populates it with links
+    // to every matching shared file, community-wide.
+    alice.make_directory("gossip epidemic")?;
+    alice.make_directory("bloom filter")?;
+
+    for dir in ["gossip epidemic", "bloom filter"] {
+        let listing = alice.open_directory(dir).expect("directory exists");
+        println!("/{dir}/ ({} file(s))", listing.len());
+        for link in listing.entries.values() {
+            println!("  {} -> {} (owner {})", link.name, link.url, link.owner);
+        }
+    }
+
+    // New matching files appear automatically (persistent queries).
+    bob.publish_file(
+        "papers/karp00.txt",
+        "randomized rumor spreading gossip push pull epidemic",
+    )?;
+    let listing = alice.open_directory("gossip epidemic").expect("exists");
+    println!("/gossip epidemic/ after bob shares more: {} file(s)", listing.len());
+
+    // Links resolve at the owner's file server.
+    let link = listing.entries.values().next().unwrap();
+    let owner_fs = if link.owner == "bob" { bob.file_server() } else { carol.file_server() };
+    let content = owner_fs.get_url(&link.url).unwrap();
+    println!("GET {} -> {} bytes", link.url, content.len());
+    Ok(())
+}
+
+fn parking_lot_mutex(c: Community) -> parking_lot::Mutex<Community> {
+    parking_lot::Mutex::new(c)
+}

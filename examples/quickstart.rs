@@ -1,0 +1,73 @@
+//! Quickstart: a three-peer community, publishing and both kinds of
+//! search.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use planetp::{Community, PublishOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut community = Community::new();
+    let alice = community.add_peer("alice");
+    let bob = community.add_peer("bob");
+    let carol = community.add_peer("carol");
+
+    // Each peer publishes XML documents into its local data store;
+    // PlanetP indexes the text and (conceptually) gossips a Bloom
+    // filter summary to everyone.
+    community.publish(
+        alice,
+        r#"<paper year="1987">
+             <title>Epidemic algorithms for replicated database maintenance</title>
+             <abstract>Randomized gossip: anti-entropy and rumor mongering
+             spread updates reliably with modest traffic.</abstract>
+           </paper>"#,
+        PublishOptions::default(),
+    )?;
+    community.publish(
+        bob,
+        r#"<paper year="1970">
+             <title>Space/time trade-offs in hash coding with allowable errors</title>
+             <abstract>Bloom filters answer membership queries compactly,
+             with false positives but never false negatives.</abstract>
+           </paper>"#,
+        PublishOptions::default(),
+    )?;
+    community.publish(
+        carol,
+        r#"<recipe><title>Sourdough</title>
+           <body>flour water salt patience</body></recipe>"#,
+        PublishOptions::default(),
+    )?;
+
+    // Exhaustive search: a conjunction of keys, answered by every peer
+    // whose Bloom filter may match.
+    let hits = community.search_exhaustive(carol, "gossip updates")?;
+    println!("exhaustive 'gossip updates' -> {} hit(s)", hits.results.len());
+    for h in &hits.results {
+        println!("  [{}] doc {}", h.peer, h.doc);
+    }
+
+    // Ranked search: TFxIPF, the distributed approximation of TFxIDF.
+    let hits = community.search_ranked(carol, "bloom filter membership", 5)?;
+    println!(
+        "ranked 'bloom filter membership' -> {} hit(s), {} peer(s) contacted",
+        hits.results.len(),
+        hits.peers_contacted
+    );
+    for h in &hits.results {
+        println!("  {:.3}  [{}] doc {}", h.score, h.peer, h.doc);
+    }
+
+    // Persistent queries: get called back when matching content appears.
+    community.register_persistent_query(alice, "sourdough", |n| {
+        println!("alice's persistent query fired: {n:?}");
+    });
+    community.publish(
+        carol,
+        "<recipe><title>Sourdough II</title><body>more sourdough notes</body></recipe>",
+        PublishOptions::default(),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella for top-level examples and integration tests.

@@ -1,0 +1,110 @@
+//! Scaled-down versions of the paper's gossiping experiments, asserting
+//! the qualitative *shapes* the paper reports. The bench binaries run
+//! the full-size sweeps; these tests keep the shapes from regressing.
+
+use planetp_simnet::experiments::{
+    dynamic_community, dynamic_scenarios, join_storm, poisson_join_interference,
+    propagation, DynamicConfig, Scenario,
+};
+
+#[test]
+fn fig2_shape_planetp_beats_anti_entropy_only() {
+    let scenarios = Scenario::fig2_all();
+    let lan = propagation(scenarios[0], 80, 21, 3600);
+    let lan_ae = propagation(scenarios[1], 80, 21, 3600);
+    assert!(lan.time_s.is_some(), "LAN did not converge");
+    assert!(lan_ae.time_s.is_some(), "LAN-AE did not converge");
+    // The paper: PlanetP outperforms anti-entropy-only on both time and
+    // volume, the volume gap being dramatic (summary size ~ community
+    // size).
+    assert!(
+        lan_ae.total_bytes as f64 > lan.total_bytes as f64 * 3.0,
+        "AE-only volume {} not >> PlanetP {}",
+        lan_ae.total_bytes,
+        lan.total_bytes
+    );
+    assert!(
+        lan_ae.time_s.unwrap() > lan.time_s.unwrap() * 0.9,
+        "AE-only should not be meaningfully faster"
+    );
+}
+
+#[test]
+fn fig2_shape_interval_trades_time_for_bandwidth() {
+    let all = Scenario::fig2_all();
+    let dsl10 = propagation(all[2], 60, 5, 3600);
+    let dsl60 = propagation(all[4], 60, 5, 3600 * 2);
+    let (t10, t60) = (dsl10.time_s.unwrap(), dsl60.time_s.unwrap());
+    assert!(
+        t60 > t10 * 2.0,
+        "6x interval should slow propagation substantially: {t10} vs {t60}"
+    );
+    // Slower gossip also means lower average bandwidth.
+    assert!(dsl60.per_peer_bw_bps < dsl10.per_peer_bw_bps);
+}
+
+#[test]
+fn fig2_shape_time_grows_sublinearly() {
+    let lan = Scenario::fig2_all()[0];
+    let small = propagation(lan, 40, 9, 3600).time_s.unwrap();
+    let large = propagation(lan, 320, 9, 3600).time_s.unwrap();
+    assert!(
+        large < small * 3.0,
+        "8x community size cost {small}s -> {large}s; expected ~log growth"
+    );
+}
+
+#[test]
+fn fig3_shape_join_storm_converges_and_costs_bandwidth() {
+    let lan = Scenario::fig2_all()[0];
+    let r = join_storm(lan, 60, 15, 31, 3600);
+    assert!(r.time_s.is_some(), "join storm never converged");
+    // Joins are bandwidth-intensive: every joiner downloads the full
+    // directory (60 peers x 16 KB), and 15 new filters spread to all.
+    let min_expected = 15 * 60 * 16_000 / 4;
+    assert!(
+        r.total_bytes as usize > min_expected,
+        "volume {} implausibly small for a join storm",
+        r.total_bytes
+    );
+}
+
+#[test]
+fn fig4a_shape_partial_ae_tightens_the_tail() {
+    let with = poisson_join_interference(80, 12, 30.0, true, 77, 2400);
+    let without = poisson_join_interference(80, 12, 30.0, false, 77, 2400);
+    let p90 = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        if v.is_empty() {
+            return f64::INFINITY;
+        }
+        v[((0.9 * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1]
+    };
+    let (p_with, p_without) = (p90(with.latencies_s), p90(without.latencies_s));
+    assert!(
+        p_with <= p_without * 1.25,
+        "partial AE p90 {p_with}s should not exceed no-partial-AE {p_without}s"
+    );
+    assert!(with.unconverged == 0, "events lost with partial AE");
+}
+
+#[test]
+fn fig4b_shape_dynamic_community_mostly_converges() {
+    let cfg = DynamicConfig {
+        total_members: 60,
+        duration_s: 3600,
+        tail_s: 1500,
+        mean_online_s: 900.0,
+        mean_offline_s: 2100.0,
+        ..DynamicConfig::default()
+    };
+    let r = dynamic_community(dynamic_scenarios()[0], cfg, 13);
+    assert!(!r.events.is_empty());
+    let converged = r.events.iter().filter(|e| e.latency_s.is_some()).count();
+    assert!(
+        converged * 10 >= r.events.len() * 6,
+        "only {converged}/{} events converged",
+        r.events.len()
+    );
+    assert!(r.bandwidth.total() > 0);
+}

@@ -1,0 +1,112 @@
+//! End-to-end pipeline through the public API: generate a synthetic
+//! collection, publish it as XML documents into a community, and check
+//! that distributed TFxIPF retrieval through `Community::search_ranked`
+//! finds relevant documents while contacting few peers.
+
+use planetp::{Community, PublishOptions};
+use planetp_corpus::{partition_docs, Collection, CollectionSpec, Partition};
+
+fn small_collection() -> Collection {
+    Collection::generate(CollectionSpec {
+        name: "pipeline".into(),
+        num_docs: 400,
+        num_topics: 10,
+        background_vocab: 3000,
+        topic_vocab: 150,
+        mean_doc_len: 50,
+        topic_fraction: 0.4,
+        secondary_leak: 0.08,
+        num_queries: 10,
+        query_terms: (2, 3),
+        zipf_exponent: 1.0,
+        seed: 77,
+    })
+}
+
+#[test]
+fn publish_and_rank_through_public_api() {
+    let collection = small_collection();
+    let n_peers = 20;
+    let mut community = Community::new();
+    let handles: Vec<_> = (0..n_peers)
+        .map(|i| community.add_peer(&format!("peer-{i}")))
+        .collect();
+    let assignment =
+        partition_docs(collection.docs.len(), n_peers, Partition::paper(), 3);
+
+    // Track where each generated document landed so relevance judgments
+    // can be checked. Documents are published as XML; the community
+    // analyzer tokenizes/stems them, and the generator's terms survive
+    // analysis unchanged (lowercase alphanumeric pseudo-words).
+    let mut placed: Vec<(usize, u64)> = Vec::new();
+    for (doc, &peer) in collection.docs.iter().zip(&assignment) {
+        let xml = format!("<d>{}</d>", doc.text());
+        let id = community
+            .publish(handles[peer], &xml, PublishOptions::default())
+            .expect("publish");
+        placed.push((peer, id));
+    }
+
+    let mut total_recall = 0.0;
+    let mut queries = 0;
+    let mut total_contacted = 0usize;
+    for q in &collection.queries {
+        if q.relevant.is_empty() {
+            continue;
+        }
+        queries += 1;
+        let raw = q.terms.join(" ");
+        let hits = community
+            .search_ranked(handles[0], &raw, 20)
+            .expect("search");
+        total_contacted += hits.peers_contacted;
+        let relevant: std::collections::HashSet<(usize, u64)> = q
+            .relevant
+            .iter()
+            .map(|&d| placed[d])
+            .collect();
+        let found = hits
+            .results
+            .iter()
+            .filter(|h| {
+                let peer_idx: usize = h.peer.strip_prefix("peer-").unwrap().parse().unwrap();
+                relevant.contains(&(peer_idx, h.doc))
+            })
+            .count();
+        total_recall += found as f64 / relevant.len().min(20) as f64;
+    }
+    assert!(queries >= 8, "most queries must have relevance judgments");
+    let recall = total_recall / queries as f64;
+    assert!(recall > 0.5, "end-to-end recall too low: {recall:.3}");
+    let avg_contacted = total_contacted as f64 / queries as f64;
+    assert!(
+        avg_contacted < n_peers as f64 * 0.8,
+        "adaptive stopping not effective: {avg_contacted:.1}/{n_peers}"
+    );
+}
+
+#[test]
+fn offline_owner_documents_resurface_on_rejoin() {
+    let collection = small_collection();
+    let mut community = Community::new();
+    let a = community.add_peer("a");
+    let b = community.add_peer("b");
+    // Peer b owns a unique document.
+    let unique = &collection.docs[0];
+    community
+        .publish(b, &format!("<d>{}</d>", unique.text()), PublishOptions::default())
+        .unwrap();
+    let term = unique.terms[0].clone();
+
+    let hits = community.search_exhaustive(a, &term).unwrap();
+    assert!(!hits.results.is_empty());
+
+    community.set_offline(b);
+    let hits = community.search_exhaustive(a, &term).unwrap();
+    assert!(hits.results.is_empty());
+    assert_eq!(hits.possibly_on_offline_peers, vec!["b"]);
+
+    community.set_online(b);
+    let hits = community.search_exhaustive(a, &term).unwrap();
+    assert!(!hits.results.is_empty(), "rejoin restores availability");
+}
