@@ -95,6 +95,7 @@ fn main() {
         },
         io_timeout: Duration::from_secs(5),
         seed: u64::from(args.id) + 0xC11,
+        ..LiveConfig::default()
     };
     let node = match LiveNode::start(args.id, config, args.bootstrap) {
         Ok(n) => n,
@@ -147,18 +148,20 @@ fn repl(node: &LiveNode) {
                 }
             }
             "search" => match node.search_ranked(rest, 10) {
-                Ok(hits) => {
-                    for h in hits {
+                Ok(r) => {
+                    for h in &r.hits {
                         println!("{:.3}  peer {} doc {}: {}", h.score, h.peer, h.doc, trim(&h.xml));
                     }
+                    warn_coverage(&r.coverage);
                 }
                 Err(e) => println!("search failed: {e}"),
             },
             "grep" => match node.search_exhaustive(rest) {
-                Ok(hits) => {
-                    for h in hits {
+                Ok(r) => {
+                    for h in &r.hits {
                         println!("peer {} doc {}: {}", h.peer, h.doc, trim(&h.xml));
                     }
+                    warn_coverage(&r.coverage);
                 }
                 Err(e) => println!("search failed: {e}"),
             },
@@ -172,8 +175,8 @@ fn repl(node: &LiveNode) {
                 };
                 match pid.parse::<u32>() {
                     Ok(pid) => match node.search_via_proxy(pid, query, 10) {
-                        Ok(hits) => {
-                            for h in hits {
+                        Ok(r) => {
+                            for h in &r.hits {
                                 println!(
                                     "{:.3}  peer {} doc {}: {}",
                                     h.score,
@@ -182,6 +185,7 @@ fn repl(node: &LiveNode) {
                                     trim(&h.xml)
                                 );
                             }
+                            warn_coverage(&r.coverage);
                         }
                         Err(e) => println!("proxy search failed: {e}"),
                     },
@@ -193,6 +197,20 @@ fn repl(node: &LiveNode) {
             }
             other => println!("unknown command {other:?}; try help"),
         }
+    }
+}
+
+/// Tell the user when a result set is missing part of the community.
+fn warn_coverage(c: &planetp::live::SearchCoverage) {
+    if !c.is_complete() {
+        println!(
+            "warning: partial results — {} of {} attempted peers answered \
+             ({} failed, {} skipped as offline)",
+            c.peers_contacted,
+            c.peers_attempted(),
+            c.peers_failed,
+            c.peers_skipped
+        );
     }
 }
 

@@ -1,0 +1,357 @@
+//! Deterministic fault injection for the live TCP runtime.
+//!
+//! The paper evaluates PlanetP under heavy churn (§6.3): peers leave
+//! mid-gossip and offline contacts cost a detection timeout. The
+//! simulator models this directly; the live runtime needs faults
+//! injected at the socket layer. A [`FaultInjector`] sits between
+//! [`crate::live::LiveNode`] and its streams and — driven by a seeded
+//! RNG — refuses connections, delays I/O, drops connections mid-frame,
+//! truncates frames, or corrupts frame bytes, per direction
+//! (outbound = connections this node initiates, inbound = connections
+//! it accepts).
+//!
+//! The injector is compiled into the runtime (not just tests): a node
+//! configured without one pays a single `Option` check per operation.
+//! All probabilistic choices come from one seeded RNG so a given seed
+//! yields a reproducible fault schedule (modulo thread interleaving,
+//! which only reorders draws).
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which side of a connection an operation is on, from the perspective
+/// of the node holding the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Connections this node initiates (gossip sends, search RPCs).
+    Outbound,
+    /// Connections this node accepts on its listener.
+    Inbound,
+}
+
+/// Per-direction fault probabilities. All probabilities are in
+/// `[0, 1]` and are rolled independently per operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultRules {
+    /// Probability a connection attempt (outbound) or accepted
+    /// connection (inbound) is refused outright.
+    pub refuse_connection: f64,
+    /// Probability an operation is delayed by `delay_ms` first.
+    pub delay: f64,
+    /// The injected delay.
+    pub delay_ms: u64,
+    /// Probability a frame write stops halfway and the connection
+    /// errors out (the peer sees a truncated body).
+    pub drop_mid_frame: f64,
+    /// Probability a frame write silently omits its final bytes and
+    /// reports success (a crashed sender: the peer sees a short body,
+    /// this side never learns).
+    pub truncate_frame: f64,
+    /// Probability frame body bytes are flipped before sending (the
+    /// peer sees well-framed garbage).
+    pub corrupt_frame: f64,
+}
+
+/// A full fault plan: one rule set per direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Faults on connections this node initiates.
+    pub outbound: FaultRules,
+    /// Faults on connections this node accepts.
+    pub inbound: FaultRules,
+}
+
+impl FaultPlan {
+    /// The same rules in both directions.
+    pub fn symmetric(rules: FaultRules) -> Self {
+        Self { outbound: rules, inbound: rules }
+    }
+}
+
+/// Counters of faults actually injected (for test assertions).
+#[derive(Debug, Default)]
+struct Counters {
+    refused: AtomicU64,
+    delayed: AtomicU64,
+    dropped_mid_frame: AtomicU64,
+    truncated: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+/// Snapshot of [`FaultInjector`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Connections refused.
+    pub refused: u64,
+    /// Operations delayed.
+    pub delayed: u64,
+    /// Frames dropped mid-write.
+    pub dropped_mid_frame: u64,
+    /// Frames silently truncated.
+    pub truncated: u64,
+    /// Frames corrupted.
+    pub corrupted: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.refused
+            + self.delayed
+            + self.dropped_mid_frame
+            + self.truncated
+            + self.corrupted
+    }
+}
+
+/// The injector. Wraps stream setup and frame I/O; see module docs.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<SmallRng>,
+    counters: Counters,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Build an injector with the given RNG seed and plan.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            counters: Counters::default(),
+        }
+    }
+
+    fn rules(&self, dir: Direction) -> &FaultRules {
+        match dir {
+            Direction::Outbound => &self.plan.outbound,
+            Direction::Inbound => &self.plan.inbound,
+        }
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().random::<f64>() < p
+    }
+
+    /// Counters of injected faults so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+            dropped_mid_frame: self.counters.dropped_mid_frame.load(Ordering::Relaxed),
+            truncated: self.counters.truncated.load(Ordering::Relaxed),
+            corrupted: self.counters.corrupted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gate a connection: refuse with the configured probability (the
+    /// caller treats the error exactly like a real refused connect) and
+    /// otherwise optionally delay it.
+    pub fn admit(&self, dir: Direction) -> io::Result<()> {
+        let rules = *self.rules(dir);
+        if self.roll(rules.refuse_connection) {
+            self.counters.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "injected connection refusal",
+            ));
+        }
+        self.maybe_delay(&rules);
+        Ok(())
+    }
+
+    fn maybe_delay(&self, rules: &FaultRules) {
+        if rules.delay_ms > 0 && self.roll(rules.delay) {
+            self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(rules.delay_ms));
+        }
+    }
+
+    /// Write one frame, possibly dropping mid-frame, truncating, or
+    /// corrupting it. Mirrors [`crate::wire::write_frame`] framing.
+    pub fn write_frame<T: Serialize + ?Sized>(
+        &self,
+        dir: Direction,
+        w: &mut impl Write,
+        value: &T,
+    ) -> io::Result<()> {
+        let rules = *self.rules(dir);
+        let mut body = serde_json::to_vec(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if body.len() > crate::wire::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        self.maybe_delay(&rules);
+        let len = (body.len() as u32).to_be_bytes();
+        if self.roll(rules.drop_mid_frame) {
+            self.counters.dropped_mid_frame.fetch_add(1, Ordering::Relaxed);
+            w.write_all(&len)?;
+            w.write_all(&body[..body.len() / 2])?;
+            let _ = w.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected mid-frame drop",
+            ));
+        }
+        if self.roll(rules.truncate_frame) {
+            self.counters.truncated.fetch_add(1, Ordering::Relaxed);
+            let keep = body.len().saturating_sub(7.min(body.len()));
+            w.write_all(&len)?;
+            w.write_all(&body[..keep])?;
+            w.flush()?;
+            // Report success: a crashed sender never learns either.
+            return Ok(());
+        }
+        if self.roll(rules.corrupt_frame) {
+            self.counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            let n = body.len();
+            if n > 0 {
+                // Flip bytes at deterministic-ish positions; xor with
+                // 0xA5 guarantees the byte changes.
+                let mut rng = self.rng.lock();
+                for _ in 0..3.min(n) {
+                    let i = rng.random_range(0..n);
+                    body[i] ^= 0xA5;
+                }
+            }
+        }
+        w.write_all(&len)?;
+        w.write_all(&body)?;
+        w.flush()
+    }
+
+    /// Read one frame, possibly after an injected delay. (Read-side
+    /// corruption is covered by write-side faults on the other end.)
+    pub fn read_frame<T: DeserializeOwned>(
+        &self,
+        dir: Direction,
+        r: &mut impl Read,
+    ) -> io::Result<Option<T>> {
+        let rules = *self.rules(dir);
+        self.maybe_delay(&rules);
+        crate::wire::read_frame(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refusal_is_a_connection_refused_error() {
+        let inj = FaultInjector::new(
+            1,
+            FaultPlan::symmetric(FaultRules {
+                refuse_connection: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let err = inj.admit(Direction::Outbound).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(inj.stats().refused, 1);
+    }
+
+    #[test]
+    fn clean_injector_roundtrips_frames() {
+        let inj = FaultInjector::new(2, FaultPlan::default());
+        let mut buf = Vec::new();
+        inj.write_frame(Direction::Outbound, &mut buf, &[1u32, 2, 3]).unwrap();
+        let mut r = buf.as_slice();
+        let got: Option<Vec<u32>> = inj.read_frame(Direction::Inbound, &mut r).unwrap();
+        assert_eq!(got, Some(vec![1, 2, 3]));
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn mid_frame_drop_leaves_truncated_bytes_and_errors() {
+        let inj = FaultInjector::new(
+            3,
+            FaultPlan::symmetric(FaultRules {
+                drop_mid_frame: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let mut buf = Vec::new();
+        let err = inj
+            .write_frame(Direction::Outbound, &mut buf, &[9u32; 100])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The receiving side must see a framing error, not a value.
+        let mut r = buf.as_slice();
+        assert!(crate::wire::read_frame::<Vec<u32>>(&mut r).is_err());
+        assert_eq!(inj.stats().dropped_mid_frame, 1);
+    }
+
+    #[test]
+    fn truncation_reports_success_but_receiver_errors() {
+        let inj = FaultInjector::new(
+            4,
+            FaultPlan::symmetric(FaultRules {
+                truncate_frame: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let mut buf = Vec::new();
+        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100]).unwrap();
+        let mut r = buf.as_slice();
+        assert!(crate::wire::read_frame::<Vec<u32>>(&mut r).is_err());
+        assert_eq!(inj.stats().truncated, 1);
+    }
+
+    #[test]
+    fn corruption_keeps_framing_but_breaks_decoding() {
+        let inj = FaultInjector::new(
+            5,
+            FaultPlan::symmetric(FaultRules {
+                corrupt_frame: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let mut buf = Vec::new();
+        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100]).unwrap();
+        let mut r = buf.as_slice();
+        // Well-framed (length matches) but the JSON inside is garbage.
+        let res = crate::wire::read_frame::<Vec<u32>>(&mut r);
+        match res {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+            // An unlucky flip could still parse as different numbers;
+            // either way nothing panics and framing stays intact.
+            Ok(v) => assert!(v.is_some()),
+        }
+        assert_eq!(inj.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = FaultPlan::symmetric(FaultRules {
+            refuse_connection: 0.5,
+            ..FaultRules::default()
+        });
+        let a = FaultInjector::new(99, plan);
+        let b = FaultInjector::new(99, plan);
+        let seq_a: Vec<bool> =
+            (0..64).map(|_| a.admit(Direction::Outbound).is_ok()).collect();
+        let seq_b: Vec<bool> =
+            (0..64).map(|_| b.admit(Direction::Outbound).is_ok()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|ok| *ok) && seq_a.iter().any(|ok| !*ok));
+    }
+}

@@ -57,6 +57,8 @@
 pub mod community;
 pub mod datastore;
 pub mod error;
+pub mod faults;
+pub mod health;
 pub mod live;
 pub mod persistent;
 pub mod query;
@@ -65,5 +67,14 @@ pub mod wire;
 pub use community::{Community, PeerHandle, RankedHits};
 pub use datastore::{DocumentRecord, LocalDataStore, PublishOptions};
 pub use error::PlanetPError;
+pub use faults::{Direction, FaultInjector, FaultPlan, FaultRules, FaultStats};
+pub use health::{
+    HealthConfig, HealthState, HealthTransition, PeerHealth, PeerHealthEntry,
+    RetryPolicy,
+};
+pub use live::{
+    LiveConfig, LiveHit, LiveNode, LiveSearchResult, NodeStatsSnapshot,
+    SearchCoverage,
+};
 pub use persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
 pub use query::{parse_query, QueryTerms};

@@ -11,25 +11,66 @@
 //! [`LivePayload`] carries its socket address next to its compressed
 //! filter, so learning of a peer via gossip also teaches how to reach
 //! it.
+//!
+//! ## Failure model
+//!
+//! The runtime assumes peers fail: connections are refused, frames
+//! arrive truncated or corrupt, replies never come. Three layers deal
+//! with this (see `DESIGN.md` §8):
+//!
+//! - every logical contact (a gossip exchange, a search RPC) retries
+//!   with capped exponential backoff ([`RetryPolicy`]);
+//! - a per-peer [`PeerHealth`] table turns *consecutive* exhausted
+//!   contacts into `Healthy → Suspect → Offline` transitions; only the
+//!   offline transition feeds the gossip directory's offline marking
+//!   (the paper's §3 rule), and offline peers are skipped until their
+//!   backoff expires;
+//! - searches degrade gracefully: dead peers are skipped after bounded
+//!   retries, the rank order keeps draining, and every result carries
+//!   a [`SearchCoverage`] saying how much of the community actually
+//!   answered.
+//!
+//! A [`FaultInjector`] can be plugged into [`LiveConfig`] to exercise
+//! all of it deterministically (`crates/core/tests/live_faults.rs`).
 
 use parking_lot::Mutex;
 use planetp_bloom::CompressedBloom;
 use planetp_gossip::{
-    GossipConfig, GossipEngine, Message, Payload, PeerId, SpeedClass,
+    EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
+    SpeedClass,
 };
 use planetp_search::{adaptive_p, rank_peers, IpfTable};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::datastore::LocalDataStore;
 use crate::error::PlanetPError;
+use crate::faults::{Direction, FaultInjector};
+use crate::health::{
+    splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy,
+};
 use crate::query::parse_query;
+
+/// Is `PLANETP_DEBUG` set? Gates the runtime's debug-level logging of
+/// swallowed protocol errors (stderr; no logging dependency).
+fn debug_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("PLANETP_DEBUG").is_some())
+}
+
+macro_rules! debug_log {
+    ($($arg:tt)*) => {
+        if debug_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
 
 /// What a live peer gossips about itself: its address and its
 /// compressed Bloom filter.
@@ -90,10 +131,13 @@ enum LiveMsg {
         /// Result-list size.
         k: usize,
     },
-    /// Reply to `ProxySearchRequest`: `(peer, doc id, score, xml)`.
+    /// Reply to `ProxySearchRequest`: `(peer, doc id, score, xml)` plus
+    /// the proxy's view of how much of the community answered.
     ProxySearchResponse {
         /// Final ranked hits.
         hits: Vec<(PeerId, u64, f64, String)>,
+        /// Coverage of the proxy's fan-out.
+        coverage: SearchCoverage,
     },
 }
 
@@ -107,6 +151,13 @@ pub struct LiveConfig {
     pub io_timeout: Duration,
     /// RNG seed for the gossip engine.
     pub seed: u64,
+    /// Retry schedule for gossip sends and search RPCs.
+    pub retry: RetryPolicy,
+    /// Suspect/offline thresholds and probe backoff.
+    pub health: HealthConfig,
+    /// Optional fault injector wrapping all socket I/O (tests; chaos
+    /// runs). `None` costs one pointer check per operation.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for LiveConfig {
@@ -115,6 +166,125 @@ impl Default for LiveConfig {
             gossip: GossipConfig::default(),
             io_timeout: Duration::from_secs(5),
             seed: 1,
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+/// How much of the community a search actually reached.
+///
+/// `peers_considered` is every directory entry whose filter made it a
+/// candidate; of those, the adaptive stopping heuristic decides how
+/// many to *attempt*. Every attempt lands in exactly one of
+/// `peers_contacted` (answered), `peers_failed` (transport or protocol
+/// error after retries), or `peers_skipped` (known-offline, inside its
+/// probe backoff — not even tried).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchCoverage {
+    /// Candidate peers for the query (including this node).
+    pub peers_considered: usize,
+    /// Peers that answered (including this node's local store).
+    pub peers_contacted: usize,
+    /// Peers that failed after exhausting the retry budget.
+    pub peers_failed: usize,
+    /// Peers skipped because they were offline and inside backoff.
+    pub peers_skipped: usize,
+}
+
+impl SearchCoverage {
+    /// Peers the search tried (or deliberately skipped as dead).
+    pub fn peers_attempted(&self) -> usize {
+        self.peers_contacted + self.peers_failed + self.peers_skipped
+    }
+
+    /// Fraction of attempted peers that answered, in `[0, 1]`. A
+    /// search that attempted nobody (empty community, empty query)
+    /// counts as fully covered.
+    pub fn coverage_fraction(&self) -> f64 {
+        let attempted = self.peers_attempted();
+        if attempted == 0 {
+            1.0
+        } else {
+            self.peers_contacted as f64 / attempted as f64
+        }
+    }
+
+    /// Did every attempted peer answer?
+    pub fn is_complete(&self) -> bool {
+        self.peers_failed == 0 && self.peers_skipped == 0
+    }
+}
+
+/// A search result plus the coverage it was computed over.
+#[derive(Debug, Clone)]
+pub struct LiveSearchResult {
+    /// Ranked hits (score-descending for ranked search).
+    pub hits: Vec<LiveHit>,
+    /// How much of the community answered.
+    pub coverage: SearchCoverage,
+}
+
+/// Node-level failure counters (atomics; see [`NodeStatsSnapshot`]).
+#[derive(Debug, Default)]
+struct NodeStats {
+    malformed_frames: AtomicU64,
+    reply_failures: AtomicU64,
+    rpc_retries: AtomicU64,
+    rpc_failures: AtomicU64,
+    gossip_retries: AtomicU64,
+    gossip_failures: AtomicU64,
+    contacts_skipped: AtomicU64,
+    unexpected_replies: AtomicU64,
+    peers_marked_offline: AtomicU64,
+    peers_recovered: AtomicU64,
+    searches_degraded: AtomicU64,
+}
+
+/// Point-in-time copy of a node's failure counters — the live-runtime
+/// complement of the gossip engine's
+/// [`EngineStats`](planetp_gossip::EngineStats) protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    /// Inbound frames that failed to parse or arrived truncated.
+    pub malformed_frames: u64,
+    /// Failed attempts to write a reply on an accepted connection.
+    pub reply_failures: u64,
+    /// Search RPC attempts retried after a transport error.
+    pub rpc_retries: u64,
+    /// Search RPCs that exhausted their retry budget.
+    pub rpc_failures: u64,
+    /// Gossip exchanges retried after a transport error.
+    pub gossip_retries: u64,
+    /// Gossip exchanges that exhausted their retry budget.
+    pub gossip_failures: u64,
+    /// Contacts skipped because the peer was offline and in backoff.
+    pub contacts_skipped: u64,
+    /// RPC replies whose type did not match the request.
+    pub unexpected_replies: u64,
+    /// Health transitions into Offline (fed back to the directory).
+    pub peers_marked_offline: u64,
+    /// Suspect/offline peers that answered again.
+    pub peers_recovered: u64,
+    /// Searches that returned with incomplete coverage.
+    pub searches_degraded: u64,
+}
+
+impl NodeStats {
+    fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            reply_failures: self.reply_failures.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            rpc_failures: self.rpc_failures.load(Ordering::Relaxed),
+            gossip_retries: self.gossip_retries.load(Ordering::Relaxed),
+            gossip_failures: self.gossip_failures.load(Ordering::Relaxed),
+            contacts_skipped: self.contacts_skipped.load(Ordering::Relaxed),
+            unexpected_replies: self.unexpected_replies.load(Ordering::Relaxed),
+            peers_marked_offline: self.peers_marked_offline.load(Ordering::Relaxed),
+            peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
+            searches_degraded: self.searches_degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,6 +295,8 @@ struct Inner {
     config: LiveConfig,
     engine: Mutex<GossipEngine<LivePayload>>,
     store: Mutex<LocalDataStore>,
+    health: Mutex<PeerHealth>,
+    stats: NodeStats,
     /// Fallback address book (bootstrap contact before its payload
     /// arrives).
     addr_book: Mutex<HashMap<PeerId, String>>,
@@ -153,10 +325,104 @@ impl Inner {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault-aware socket plumbing
+    // ------------------------------------------------------------------
+
+    /// Open an outbound connection with timeouts set (and outbound
+    /// faults applied).
+    fn connect(&self, addr: &str) -> io::Result<TcpStream> {
+        if let Some(f) = &self.config.faults {
+            f.admit(Direction::Outbound)?;
+        }
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        Ok(stream)
+    }
+
+    fn send(
+        &self,
+        dir: Direction,
+        stream: &mut TcpStream,
+        batch: &[LiveMsg],
+    ) -> io::Result<()> {
+        match &self.config.faults {
+            Some(f) => f.write_frame(dir, stream, batch),
+            None => crate::wire::write_frame(stream, batch),
+        }
+    }
+
+    fn recv(
+        &self,
+        dir: Direction,
+        stream: &mut TcpStream,
+    ) -> io::Result<Option<Vec<LiveMsg>>> {
+        match &self.config.faults {
+            Some(f) => f.read_frame(dir, stream),
+            None => crate::wire::read_frame(stream),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Health bookkeeping
+    // ------------------------------------------------------------------
+
+    /// A logical contact with `peer` succeeded after `latency`.
+    fn note_contact_ok(&self, peer: PeerId, latency: Duration) {
+        let t = {
+            let mut h = self.health.lock();
+            h.record_success(peer, self.now_ms(), latency.as_secs_f64() * 1_000.0)
+        };
+        if t.recovered() {
+            self.stats.peers_recovered.fetch_add(1, Ordering::Relaxed);
+            self.engine.lock().on_contact_recovered(peer);
+        }
+    }
+
+    /// A logical contact with `peer` failed after exhausting retries.
+    /// The suspect phase only counts; crossing the offline threshold
+    /// feeds back into the gossip directory's offline marking so the
+    /// peer stops being gossiped to as reachable (§3).
+    fn note_contact_failed(&self, peer: PeerId, err: &io::Error) {
+        let now = self.now_ms();
+        let t = {
+            let mut h = self.health.lock();
+            h.record_failure(peer, now)
+        };
+        let mut engine = self.engine.lock();
+        if t.became_offline() {
+            self.stats.peers_marked_offline.fetch_add(1, Ordering::Relaxed);
+            engine.on_contact_failed(peer, now);
+        } else {
+            engine.note_contact_suspect(peer);
+        }
+        debug_log!(
+            "planetp[{}]: contact with peer {peer} failed ({err}); state {:?} -> {:?}",
+            self.id,
+            t.from,
+            t.to
+        );
+    }
+
+    /// Is `peer` offline and still inside its probe backoff?
+    fn in_backoff(&self, peer: PeerId) -> bool {
+        self.health.lock().should_skip(peer, self.now_ms())
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip transport
+    // ------------------------------------------------------------------
+
     /// Run one half of a gossip conversation over an open stream:
     /// handle `msg`, write back our responses, and keep alternating
     /// until either side has nothing more to say.
-    fn converse(&self, stream: &mut TcpStream, from: PeerId, msg: Message<LivePayload>) -> io::Result<()> {
+    fn converse(
+        &self,
+        stream: &mut TcpStream,
+        from: PeerId,
+        msg: Message<LivePayload>,
+    ) -> io::Result<()> {
         let mut responses = self.engine.lock().handle_message(from, msg, self.now_ms());
         loop {
             let batch: Vec<LiveMsg> = responses
@@ -164,11 +430,11 @@ impl Inner {
                 .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
                 .collect();
             let done = batch.is_empty();
-            crate::wire::write_frame(stream, &batch)?;
+            self.send(Direction::Inbound, stream, &batch)?;
             if done {
                 return Ok(());
             }
-            let Some(reply): Option<Vec<LiveMsg>> = crate::wire::read_frame(stream)? else {
+            let Some(reply) = self.recv(Direction::Inbound, stream)? else {
                 return Ok(());
             };
             if reply.is_empty() {
@@ -184,60 +450,89 @@ impl Inner {
         }
     }
 
-    /// Initiate a gossip exchange with `target`.
+    /// One attempt at a full gossip exchange with `addr`.
+    fn gossip_attempt(
+        &self,
+        addr: &str,
+        msg: &Message<LivePayload>,
+    ) -> io::Result<()> {
+        let mut stream = self.connect(addr)?;
+        self.send(
+            Direction::Outbound,
+            &mut stream,
+            &[LiveMsg::Gossip { from: self.id, msg: msg.clone() }],
+        )?;
+        // Alternate until both sides go quiet.
+        loop {
+            let Some(batch) = self.recv(Direction::Outbound, &mut stream)? else {
+                return Ok(());
+            };
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let mut responses = Vec::new();
+            for m in batch {
+                if let LiveMsg::Gossip { from, msg } = m {
+                    responses.extend(
+                        self.engine.lock().handle_message(from, msg, self.now_ms()),
+                    );
+                }
+            }
+            let out: Vec<LiveMsg> = responses
+                .into_iter()
+                .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
+                .collect();
+            let done = out.is_empty();
+            self.send(Direction::Outbound, &mut stream, &out)?;
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Initiate a gossip exchange with `target`, retrying transient
+    /// failures with capped exponential backoff before giving up and
+    /// recording the failure.
     fn gossip_to(&self, target: PeerId, msg: Message<LivePayload>) {
         let Some(addr) = self.resolve(target) else {
             return;
         };
-        let attempt = || -> io::Result<()> {
-            let mut stream = TcpStream::connect(&addr)?;
-            stream.set_read_timeout(Some(self.config.io_timeout))?;
-            stream.set_write_timeout(Some(self.config.io_timeout))?;
-            crate::wire::write_frame(
-                &mut stream,
-                &vec![LiveMsg::Gossip { from: self.id, msg: msg.clone() }],
-            )?;
-            // Alternate until both sides go quiet.
-            loop {
-                let Some(batch): Option<Vec<LiveMsg>> =
-                    crate::wire::read_frame(&mut stream)?
-                else {
-                    return Ok(());
-                };
-                if batch.is_empty() {
-                    return Ok(());
-                }
-                let mut responses = Vec::new();
-                for m in batch {
-                    if let LiveMsg::Gossip { from, msg } = m {
-                        responses.extend(
-                            self.engine.lock().handle_message(from, msg, self.now_ms()),
-                        );
-                    }
-                }
-                let out: Vec<LiveMsg> = responses
-                    .into_iter()
-                    .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
-                    .collect();
-                let done = out.is_empty();
-                crate::wire::write_frame(&mut stream, &out)?;
-                if done {
-                    return Ok(());
-                }
+        if self.in_backoff(target) {
+            self.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let salt = splitmix64((u64::from(self.id) << 32) | u64::from(target));
+        let started = Instant::now();
+        let mut result = self.gossip_attempt(&addr, &msg);
+        let mut retry = 0u32;
+        while result.is_err()
+            && retry + 1 < self.config.retry.max_attempts.max(1)
+            && !self.shutdown.load(Ordering::Relaxed)
+        {
+            retry += 1;
+            self.stats.gossip_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.config.retry.delay(retry, salt));
+            result = self.gossip_attempt(&addr, &msg);
+        }
+        match result {
+            Ok(()) => self.note_contact_ok(target, started.elapsed()),
+            Err(e) => {
+                self.stats.gossip_failures.fetch_add(1, Ordering::Relaxed);
+                self.note_contact_failed(target, &e);
             }
-        };
-        if attempt().is_err() {
-            self.engine.lock().on_contact_failed(target, self.now_ms());
         }
     }
 
-    /// One synchronous RPC (search) to a peer.
-    fn rpc(&self, addr: &str, request: &LiveMsg) -> io::Result<LiveMsg> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(self.config.io_timeout))?;
-        stream.set_write_timeout(Some(self.config.io_timeout))?;
-        crate::wire::write_frame(&mut stream, &vec![request])?;
-        let batch: Vec<LiveMsg> = crate::wire::read_frame(&mut stream)?
+    // ------------------------------------------------------------------
+    // Search RPCs
+    // ------------------------------------------------------------------
+
+    /// One synchronous RPC attempt (no retries).
+    fn rpc_once(&self, addr: &str, request: &LiveMsg) -> io::Result<LiveMsg> {
+        let mut stream = self.connect(addr)?;
+        self.send(Direction::Outbound, &mut stream, &[request.clone()])?;
+        let batch = self
+            .recv(Direction::Outbound, &mut stream)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no reply"))?;
         batch
             .into_iter()
@@ -245,13 +540,53 @@ impl Inner {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty reply"))
     }
 
+    /// A search RPC to `peer` with the configured retry schedule;
+    /// records health on the final outcome.
+    fn rpc_with_retry(
+        &self,
+        peer: PeerId,
+        addr: &str,
+        request: &LiveMsg,
+    ) -> io::Result<LiveMsg> {
+        let salt = splitmix64((u64::from(self.id) << 33) ^ u64::from(peer));
+        let started = Instant::now();
+        let mut last_err = None;
+        for retry in 0..self.config.retry.max_attempts.max(1) {
+            if retry > 0 {
+                self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.config.retry.delay(retry, salt));
+            }
+            match self.rpc_once(addr, request) {
+                Ok(reply) => {
+                    self.note_contact_ok(peer, started.elapsed());
+                    return Ok(reply);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let err = last_err.unwrap_or_else(|| io::Error::other("no attempts"));
+        self.stats.rpc_failures.fetch_add(1, Ordering::Relaxed);
+        self.note_contact_failed(peer, &err);
+        Err(err)
+    }
+
     /// Ranked TFxIPF search across the community (shared by the node
-    /// API and the proxy-search handler).
-    fn ranked_search(&self, raw_query: &str, k: usize) -> Result<Vec<LiveHit>, PlanetPError> {
+    /// API and the proxy-search handler). Degrades gracefully: dead
+    /// peers are skipped after bounded retries, the rank order keeps
+    /// draining, and the coverage summary accounts for every peer the
+    /// search attempted.
+    fn ranked_search(
+        &self,
+        raw_query: &str,
+        k: usize,
+    ) -> Result<LiveSearchResult, PlanetPError> {
         let analyzer = self.store.lock().analyzer().clone();
         let q = parse_query(raw_query, &analyzer);
         if q.is_empty() {
-            return Ok(Vec::new());
+            return Ok(LiveSearchResult {
+                hits: Vec::new(),
+                coverage: SearchCoverage::default(),
+            });
         }
         // Decompress every peer's filter from the directory.
         let (filters, owners) = {
@@ -271,18 +606,29 @@ impl Inner {
         let ipf = IpfTable::compute(&q.terms, &filters);
         let ranked = rank_peers(&q.terms, &filters, &ipf);
         let patience = adaptive_p(filters.len(), k);
+        let mut coverage = SearchCoverage {
+            peers_considered: owners.len(),
+            ..SearchCoverage::default()
+        };
         let mut top: Vec<LiveHit> = Vec::new();
         let mut dry = 0usize;
         for rp in ranked {
             let (pid, addr) = &owners[rp.peer];
             let docs = if *pid == self.id {
+                coverage.peers_contacted += 1;
                 let store = self.store.lock();
                 planetp_search::score_index(store.index(), &q.terms, &ipf)
                     .into_iter()
                     .filter_map(|(d, s)| store.get(d).map(|r| (d, s, r.xml.clone())))
                     .collect()
             } else {
-                match self.rpc(
+                if self.in_backoff(*pid) {
+                    coverage.peers_skipped += 1;
+                    self.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match self.rpc_with_retry(
+                    *pid,
                     addr,
                     &LiveMsg::SearchRequest {
                         terms: q.terms.clone(),
@@ -290,15 +636,37 @@ impl Inner {
                         num_peers: filters.len(),
                     },
                 ) {
-                    Ok(LiveMsg::SearchResponse { docs }) => docs,
-                    _ => {
-                        self.engine.lock().on_contact_failed(*pid, self.now_ms());
+                    Ok(LiveMsg::SearchResponse { docs }) => {
+                        coverage.peers_contacted += 1;
+                        docs
+                    }
+                    Ok(other) => {
+                        self.stats.unexpected_replies.fetch_add(1, Ordering::Relaxed);
+                        debug_log!(
+                            "planetp[{}]: unexpected search reply from peer {pid}: {other:?}",
+                            self.id
+                        );
+                        coverage.peers_failed += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        coverage.peers_failed += 1;
                         continue;
                     }
                 }
             };
             let mut contributed = false;
             for (doc, score, xml) in docs {
+                // A corrupt or hostile peer could ship NaN/infinite
+                // scores; drop them instead of letting them poison the
+                // ranking.
+                if !score.is_finite() {
+                    debug_log!(
+                        "planetp[{}]: dropped non-finite score from peer {pid}",
+                        self.id
+                    );
+                    continue;
+                }
                 let hit = LiveHit { peer: *pid, doc, score, xml };
                 if offer_hit(&mut top, hit, k) {
                     contributed = true;
@@ -315,24 +683,43 @@ impl Inner {
         }
         top.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are never NaN")
+                .total_cmp(&a.score)
                 .then_with(|| (a.peer, a.doc).cmp(&(b.peer, b.doc)))
         });
-        Ok(top)
+        if !coverage.is_complete() {
+            self.stats.searches_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(LiveSearchResult { hits: top, coverage })
     }
 
     fn handle_connection(&self, mut stream: TcpStream) {
+        if let Some(f) = &self.config.faults {
+            // Inbound refusal: hang up before reading anything.
+            if f.admit(Direction::Inbound).is_err() {
+                return;
+            }
+        }
         let _ = stream.set_read_timeout(Some(self.config.io_timeout));
         let _ = stream.set_write_timeout(Some(self.config.io_timeout));
-        let Ok(Some(batch)) = crate::wire::read_frame::<Vec<LiveMsg>>(&mut stream)
-        else {
-            return;
+        let batch = match self.recv(Direction::Inbound, &mut stream) {
+            Ok(Some(batch)) => batch,
+            Ok(None) => return,
+            Err(e) => {
+                self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                debug_log!("planetp[{}]: malformed inbound frame: {e}", self.id);
+                return;
+            }
         };
         for m in batch {
             match m {
                 LiveMsg::Gossip { from, msg } => {
-                    let _ = self.converse(&mut stream, from, msg);
+                    if let Err(e) = self.converse(&mut stream, from, msg) {
+                        self.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+                        debug_log!(
+                            "planetp[{}]: gossip conversation with {from} broke: {e}",
+                            self.id
+                        );
+                    }
                 }
                 LiveMsg::SearchRequest { terms, ipf, num_peers } => {
                     let table = IpfTable::from_pairs(ipf, num_peers);
@@ -343,10 +730,8 @@ impl Inner {
                             store.get(doc).map(|r| (doc, score, r.xml.clone()))
                         })
                         .collect();
-                    let _ = crate::wire::write_frame(
-                        &mut stream,
-                        &vec![LiveMsg::SearchResponse { docs }],
-                    );
+                    drop(store);
+                    self.reply(&mut stream, LiveMsg::SearchResponse { docs });
                 }
                 LiveMsg::ExhaustiveRequest { terms } => {
                     let store = self.store.lock();
@@ -355,22 +740,23 @@ impl Inner {
                         .into_iter()
                         .filter_map(|d| store.get(d).map(|r| (d, r.xml.clone())))
                         .collect();
-                    let _ = crate::wire::write_frame(
-                        &mut stream,
-                        &vec![LiveMsg::ExhaustiveResponse { docs }],
-                    );
+                    drop(store);
+                    self.reply(&mut stream, LiveMsg::ExhaustiveResponse { docs });
                 }
                 LiveMsg::ProxySearchRequest { query, k } => {
-                    let hits = match self.ranked_search(&query, k) {
-                        Ok(h) => h
-                            .into_iter()
-                            .map(|h| (h.peer, h.doc, h.score, h.xml))
-                            .collect(),
-                        Err(_) => Vec::new(),
+                    let (hits, coverage) = match self.ranked_search(&query, k) {
+                        Ok(r) => (
+                            r.hits
+                                .into_iter()
+                                .map(|h| (h.peer, h.doc, h.score, h.xml))
+                                .collect(),
+                            r.coverage,
+                        ),
+                        Err(_) => (Vec::new(), SearchCoverage::default()),
                     };
-                    let _ = crate::wire::write_frame(
+                    self.reply(
                         &mut stream,
-                        &vec![LiveMsg::ProxySearchResponse { hits }],
+                        LiveMsg::ProxySearchResponse { hits, coverage },
                     );
                 }
                 LiveMsg::SearchResponse { .. }
@@ -379,9 +765,19 @@ impl Inner {
             }
         }
     }
+
+    /// Write one RPC reply, counting (not swallowing) failures.
+    fn reply(&self, stream: &mut TcpStream, msg: LiveMsg) {
+        if let Err(e) = self.send(Direction::Inbound, stream, &[msg]) {
+            self.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+            debug_log!("planetp[{}]: failed to write reply: {e}", self.id);
+        }
+    }
 }
 
 /// Bounded top-k insertion; returns whether the hit made the cut.
+/// Uses `total_cmp`, so even a NaN score smuggled past validation
+/// cannot panic the query initiator.
 fn offer_hit(top: &mut Vec<LiveHit>, hit: LiveHit, k: usize) -> bool {
     if top.len() < k {
         top.push(hit);
@@ -390,9 +786,7 @@ fn offer_hit(top: &mut Vec<LiveHit>, hit: LiveHit, k: usize) -> bool {
     let (worst_i, _) = top
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.score.partial_cmp(&b.score).expect("scores are never NaN")
-        })
+        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
         .expect("top non-empty");
     if hit.score > top[worst_i].score {
         top[worst_i] = hit;
@@ -448,12 +842,15 @@ impl LiveNode {
         if let Some((b, a)) = bootstrap {
             addr_book.insert(b, a);
         }
+        let health = PeerHealth::new(config.health);
         let inner = Arc::new(Inner {
             id,
             addr,
             config,
             engine: Mutex::new(engine),
             store: Mutex::new(store),
+            health: Mutex::new(health),
+            stats: NodeStats::default(),
             addr_book: Mutex::new(addr_book),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -530,6 +927,21 @@ impl LiveNode {
         self.inner.engine.lock().directory().digest()
     }
 
+    /// Node-level failure counters.
+    pub fn stats(&self) -> NodeStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The gossip engine's protocol counters.
+    pub fn gossip_stats(&self) -> EngineStats {
+        *self.inner.engine.lock().stats()
+    }
+
+    /// Health history for one peer, if it has been contacted.
+    pub fn peer_health(&self, peer: PeerId) -> Option<PeerHealthEntry> {
+        self.inner.health.lock().get(peer)
+    }
+
     /// Publish an XML document: index locally and gossip the new filter.
     pub fn publish(&self, xml: &str) -> Result<u64, PlanetPError> {
         let doc = self.inner.store.lock().publish(xml)?;
@@ -538,43 +950,69 @@ impl LiveNode {
         Ok(doc)
     }
 
-    /// Ranked TFxIPF search across the community.
-    pub fn search_ranked(&self, raw_query: &str, k: usize) -> Result<Vec<LiveHit>, PlanetPError> {
+    /// Ranked TFxIPF search across the community. The result's
+    /// [`SearchCoverage`] says how much of the community answered.
+    pub fn search_ranked(
+        &self,
+        raw_query: &str,
+        k: usize,
+    ) -> Result<LiveSearchResult, PlanetPError> {
         self.inner.ranked_search(raw_query, k)
     }
 
     /// Ask `proxy` to run the ranked search on our behalf — the §7.2
     /// "proxy search" extension for bandwidth-limited peers. The proxy
-    /// does the fan-out; we pay for one request and one reply.
+    /// does the fan-out; we pay for one request and one reply. The
+    /// returned coverage is the proxy's view of its fan-out.
     pub fn search_via_proxy(
         &self,
         proxy: PeerId,
         raw_query: &str,
         k: usize,
-    ) -> Result<Vec<LiveHit>, PlanetPError> {
+    ) -> Result<LiveSearchResult, PlanetPError> {
         let addr = self
             .inner
             .resolve(proxy)
             .ok_or_else(|| PlanetPError::UnknownPeer(format!("peer {proxy}")))?;
-        match self.inner.rpc(
+        match self.inner.rpc_with_retry(
+            proxy,
             &addr,
             &LiveMsg::ProxySearchRequest { query: raw_query.to_string(), k },
         ) {
-            Ok(LiveMsg::ProxySearchResponse { hits }) => Ok(hits
-                .into_iter()
-                .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
-                .collect()),
-            Ok(_) => Err(PlanetPError::Protocol("unexpected proxy reply".into())),
+            Ok(LiveMsg::ProxySearchResponse { hits, coverage }) => {
+                Ok(LiveSearchResult {
+                    hits: hits
+                        .into_iter()
+                        .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
+                        .collect(),
+                    coverage,
+                })
+            }
+            Ok(_) => {
+                self.inner
+                    .stats
+                    .unexpected_replies
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(PlanetPError::Protocol("unexpected proxy reply".into()))
+            }
             Err(e) => Err(PlanetPError::Network(e)),
         }
     }
 
-    /// Exhaustive conjunction search across the community.
-    pub fn search_exhaustive(&self, raw_query: &str) -> Result<Vec<LiveHit>, PlanetPError> {
+    /// Exhaustive conjunction search across the community. Skips dead
+    /// peers after bounded retries; the coverage summary accounts for
+    /// every candidate that did not answer.
+    pub fn search_exhaustive(
+        &self,
+        raw_query: &str,
+    ) -> Result<LiveSearchResult, PlanetPError> {
         let analyzer = self.inner.store.lock().analyzer().clone();
         let q = parse_query(raw_query, &analyzer);
         if q.is_empty() {
-            return Ok(Vec::new());
+            return Ok(LiveSearchResult {
+                hits: Vec::new(),
+                coverage: SearchCoverage::default(),
+            });
         }
         let candidates: Vec<(PeerId, Option<String>)> = {
             let engine = self.inner.engine.lock();
@@ -591,9 +1029,14 @@ impl LiveNode {
                 })
                 .collect()
         };
+        let mut coverage = SearchCoverage {
+            peers_considered: candidates.len(),
+            ..SearchCoverage::default()
+        };
         let mut hits = Vec::new();
         for (pid, addr) in candidates {
             if pid == self.inner.id {
+                coverage.peers_contacted += 1;
                 let store = self.inner.store.lock();
                 for d in store.search_conjunction(&q.terms) {
                     let r = store.get(d).expect("doc exists");
@@ -601,23 +1044,47 @@ impl LiveNode {
                 }
                 continue;
             }
-            let Some(addr) = addr else { continue };
-            if let Ok(LiveMsg::ExhaustiveResponse { docs }) = self
-                .inner
-                .rpc(&addr, &LiveMsg::ExhaustiveRequest { terms: q.terms.clone() })
-            {
-                for (doc, xml) in docs {
-                    hits.push(LiveHit { peer: pid, doc, score: 0.0, xml });
+            let Some(addr) = addr else {
+                coverage.peers_skipped += 1;
+                continue;
+            };
+            if self.inner.in_backoff(pid) {
+                coverage.peers_skipped += 1;
+                self.inner.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match self.inner.rpc_with_retry(
+                pid,
+                &addr,
+                &LiveMsg::ExhaustiveRequest { terms: q.terms.clone() },
+            ) {
+                Ok(LiveMsg::ExhaustiveResponse { docs }) => {
+                    coverage.peers_contacted += 1;
+                    for (doc, xml) in docs {
+                        hits.push(LiveHit { peer: pid, doc, score: 0.0, xml });
+                    }
                 }
-            } else {
-                self.inner
-                    .engine
-                    .lock()
-                    .on_contact_failed(pid, self.inner.now_ms());
+                Ok(other) => {
+                    self.inner
+                        .stats
+                        .unexpected_replies
+                        .fetch_add(1, Ordering::Relaxed);
+                    debug_log!(
+                        "planetp[{}]: unexpected exhaustive reply from {pid}: {other:?}",
+                        self.inner.id
+                    );
+                    coverage.peers_failed += 1;
+                }
+                Err(_) => {
+                    coverage.peers_failed += 1;
+                }
             }
         }
         hits.sort_by_key(|a| (a.peer, a.doc));
-        Ok(hits)
+        if !coverage.is_complete() {
+            self.inner.stats.searches_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(LiveSearchResult { hits, coverage })
     }
 
     /// Stop the node's threads. Called automatically on drop.
@@ -632,5 +1099,52 @@ impl LiveNode {
 impl Drop for LiveNode {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(score: f64) -> LiveHit {
+        LiveHit { peer: 1, doc: 0, score, xml: String::new() }
+    }
+
+    #[test]
+    fn offer_hit_survives_nan_scores() {
+        // A hostile peer ships NaN: insertion and eviction must not
+        // panic (this used to hit `partial_cmp(...).expect(...)`).
+        let mut top = vec![hit(1.0), hit(2.0)];
+        assert!(!offer_hit(&mut top, hit(f64::NAN), 2));
+        let mut top = vec![hit(f64::NAN), hit(2.0)];
+        assert!(offer_hit(&mut top, hit(3.0), 2));
+        assert!(top.iter().any(|h| h.score == 3.0));
+    }
+
+    #[test]
+    fn nan_scores_sort_without_panicking() {
+        let mut hits = vec![hit(f64::NAN), hit(1.0), hit(f64::NAN), hit(0.5)];
+        hits.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| (a.peer, a.doc).cmp(&(b.peer, b.doc)))
+        });
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn coverage_fraction_accounts_every_attempt() {
+        let c = SearchCoverage {
+            peers_considered: 10,
+            peers_contacted: 6,
+            peers_failed: 3,
+            peers_skipped: 1,
+        };
+        assert_eq!(c.peers_attempted(), 10);
+        assert!((c.coverage_fraction() - 0.6).abs() < 1e-9);
+        assert!(!c.is_complete());
+        let empty = SearchCoverage::default();
+        assert_eq!(empty.coverage_fraction(), 1.0);
+        assert!(empty.is_complete());
     }
 }

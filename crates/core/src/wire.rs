@@ -14,8 +14,14 @@ use std::io::{self, Read, Write};
 /// Refuse frames bigger than this (64 MiB) — corrupt or hostile input.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// Initial buffer reservation when reading a frame body. Bounds the
+/// allocation a lying length prefix can force before any body byte
+/// arrives; honest frames larger than this grow the buffer as data
+/// streams in.
+const READ_CHUNK_BYTES: usize = 64 << 10;
+
 /// Write one value as a frame.
-pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
+pub fn write_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::Result<()> {
     let body = serde_json::to_vec(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if body.len() > MAX_FRAME_BYTES {
@@ -44,8 +50,17 @@ pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T
             "frame exceeds maximum size",
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    // The length prefix is untrusted: a peer can claim 64 MiB in one
+    // small packet. Grow the buffer with the bytes that actually
+    // arrive instead of pre-allocating the claimed size.
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK_BYTES));
+    let got = r.take(len as u64).read_to_end(&mut body)?;
+    if got < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated frame body",
+        ));
+    }
     let value = serde_json::from_slice(&body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(Some(value))
@@ -90,6 +105,31 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut r = buf.as_slice();
         assert!(read_frame::<Sample>(&mut r).is_err());
+    }
+
+    #[test]
+    fn lying_length_prefix_fails_without_preallocation() {
+        // A one-packet liar: claims 32 MiB, sends 5 bytes, hangs up.
+        // Must fail with UnexpectedEof after buffering only what
+        // arrived — not allocate the claimed 32 MiB up front (the
+        // incremental read caps the initial reservation).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(32u32 << 20).to_be_bytes());
+        buf.extend_from_slice(b"abcde");
+        let mut r = buf.as_slice();
+        let err = read_frame::<Sample>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn large_honest_frame_roundtrips() {
+        // Bigger than the initial reservation chunk: the buffer must
+        // grow with the arriving bytes.
+        let big = Sample { a: 7, b: vec!["x".repeat(1024); 128] };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &big).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(big));
     }
 
     #[test]

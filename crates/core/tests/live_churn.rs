@@ -16,6 +16,7 @@ fn fast_config(seed: u64) -> LiveConfig {
         },
         io_timeout: Duration::from_millis(500),
         seed,
+        ..LiveConfig::default()
     }
 }
 
@@ -66,15 +67,20 @@ fn community_survives_peer_death() {
     assert!(
         wait_for(
             || {
-                let hits = nodes[2].search_ranked("durable knowledge", 5).unwrap();
-                hits.len() == 1 && hits[0].peer == 1
+                let r = nodes[2].search_ranked("durable knowledge", 5).unwrap();
+                r.hits.len() == 1 && r.hits[0].peer == 1
             },
             Duration::from_secs(30),
         ),
         "search must keep working after a peer death"
     );
-    let hits = nodes[2].search_ranked("volatile host", 5).unwrap();
-    assert!(hits.is_empty(), "dead peer's docs must not be returned");
+    let r = nodes[2].search_ranked("volatile host", 5).unwrap();
+    assert!(r.hits.is_empty(), "dead peer's docs must not be returned");
+    assert!(
+        !r.coverage.is_complete(),
+        "coverage must report the dead peer: {:?}",
+        r.coverage
+    );
 
     // New content published after the death still converges among the
     // survivors.
@@ -82,7 +88,7 @@ fn community_survives_peer_death() {
     assert!(
         wait_for(
             || {
-                let hits = nodes[0].search_exhaustive("post-mortem").unwrap();
+                let hits = nodes[0].search_exhaustive("post-mortem").unwrap().hits;
                 hits.len() == 1
             },
             Duration::from_secs(30),

@@ -17,6 +17,7 @@ fn fast_config(seed: u64) -> LiveConfig {
         },
         io_timeout: Duration::from_secs(2),
         seed,
+        ..LiveConfig::default()
     }
 }
 
@@ -81,14 +82,19 @@ fn five_peers_converge_and_search() {
     );
 
     // Ranked search from a peer that owns none of the matching docs.
-    let hits = nodes[0].search_ranked("gossip", 10).unwrap();
-    let owners: Vec<u32> = hits.iter().map(|h| h.peer).collect();
+    let result = nodes[0].search_ranked("gossip", 10).unwrap();
+    assert!(
+        result.coverage.is_complete(),
+        "healthy community must yield full coverage: {:?}",
+        result.coverage
+    );
+    let owners: Vec<u32> = result.hits.iter().map(|h| h.peer).collect();
     assert!(owners.contains(&1), "missing node 1's doc: {owners:?}");
     assert!(owners.contains(&3), "missing node 3's doc: {owners:?}");
     assert!(!owners.contains(&4), "unrelated doc matched");
 
     // Exhaustive conjunction search.
-    let hits = nodes[0].search_exhaustive("gossip summaries").unwrap();
+    let hits = nodes[0].search_exhaustive("gossip summaries").unwrap().hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].peer, 3);
 }
@@ -126,7 +132,7 @@ fn late_joiner_downloads_directory_and_content_is_findable() {
     );
 
     // The late joiner can find content published before it joined.
-    let hits = nodes[3].search_ranked("replicated directory", 5).unwrap();
+    let hits = nodes[3].search_ranked("replicated directory", 5).unwrap().hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].peer, 2);
 }
@@ -147,9 +153,9 @@ fn search_suppresses_non_candidates() {
         Duration::from_secs(30),
     ));
     // A term on no peer returns nothing (and must not hang).
-    let hits = nodes[0].search_exhaustive("nonexistent-term-xyz").unwrap();
+    let hits = nodes[0].search_exhaustive("nonexistent-term-xyz").unwrap().hits;
     assert!(hits.is_empty());
-    let hits = nodes[2].search_exhaustive("zanzibar").unwrap();
+    let hits = nodes[2].search_exhaustive("zanzibar").unwrap().hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].peer, 1);
 }

@@ -16,6 +16,7 @@ fn fast_config(seed: u64) -> LiveConfig {
         },
         io_timeout: Duration::from_secs(2),
         seed,
+        ..LiveConfig::default()
     }
 }
 
@@ -57,8 +58,14 @@ fn proxy_search_returns_same_hits_as_direct() {
 
     // Node 3 (imagine it is modem-connected) asks node 0 to search on
     // its behalf.
-    let direct = nodes[3].search_ranked("planetary", 10).unwrap();
+    let direct = nodes[3].search_ranked("planetary", 10).unwrap().hits;
     let proxied = nodes[3].search_via_proxy(0, "planetary", 10).unwrap();
+    assert!(
+        proxied.coverage.is_complete(),
+        "proxy fan-out should reach everyone here: {:?}",
+        proxied.coverage
+    );
+    let proxied = proxied.hits;
     assert_eq!(direct.len(), proxied.len());
     let key = |h: &planetp::live::LiveHit| (h.peer, h.doc);
     let mut d: Vec<_> = direct.iter().map(key).collect();

@@ -231,6 +231,23 @@ impl<P: Payload> GossipEngine<P> {
         self.stats.contact_failures += 1;
     }
 
+    /// A contact attempt to `peer` failed, but the caller's failure
+    /// budget for it is not yet exhausted: count the suspicion without
+    /// touching the directory. The live runtime's health layer calls
+    /// this during the suspect phase so one transient transport error
+    /// does not remove a peer from gossip target selection;
+    /// [`Self::on_contact_failed`] remains the offline transition.
+    pub fn note_contact_suspect(&mut self, _peer: PeerId) {
+        self.stats.contact_suspects += 1;
+    }
+
+    /// A peer that had been failing answered again: clear any local
+    /// offline mark (liveness is local-only, §3, so recovery is too).
+    pub fn on_contact_recovered(&mut self, peer: PeerId) {
+        self.dir.mark_online(peer);
+        self.stats.contact_recoveries += 1;
+    }
+
     // ------------------------------------------------------------------
     // The gossip round
     // ------------------------------------------------------------------

@@ -29,4 +29,11 @@ pub struct EngineStats {
     pub interval_resets: u64,
     /// Contact failures observed (target marked offline).
     pub contact_failures: u64,
+    /// Contact failures that did not yet exhaust the caller's failure
+    /// budget for the peer (suspect phase: counted, directory
+    /// untouched).
+    pub contact_suspects: u64,
+    /// Suspect or offline peers that answered again and were marked
+    /// back online.
+    pub contact_recoveries: u64,
 }

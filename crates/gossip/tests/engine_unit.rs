@@ -212,6 +212,26 @@ fn ae_pull_returns_full_state() {
 }
 
 #[test]
+fn suspect_counts_without_touching_directory_and_recovery_clears_offline() {
+    let mut a = engine_of(4, 0);
+    a.note_contact_suspect(2);
+    assert_eq!(a.stats().contact_suspects, 1);
+    assert_eq!(
+        a.directory().get(2).map(|e| e.status),
+        Some(PeerStatus::Online),
+        "a suspect contact must not mark the peer offline"
+    );
+    a.on_contact_failed(2, 100);
+    assert!(matches!(
+        a.directory().get(2).map(|e| e.status),
+        Some(PeerStatus::Offline { .. })
+    ));
+    a.on_contact_recovered(2);
+    assert_eq!(a.directory().get(2).map(|e| e.status), Some(PeerStatus::Online));
+    assert_eq!(a.stats().contact_recoveries, 1);
+}
+
+#[test]
 fn hearing_from_a_peer_marks_it_online() {
     let mut a = engine_of(4, 0);
     a.on_contact_failed(2, 100);

@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         io_timeout: Duration::from_secs(2),
         seed,
+        ..LiveConfig::default()
     };
     let founder = LiveNode::start(0, config(1), None)?;
     println!("founder listening on {}", founder.addr());
@@ -50,12 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("bloom filters converged everywhere");
 
-    let hits = nodes[1].search_ranked("content search with bloom filters", 5)?;
-    println!("node 1 ranked search -> {} hit(s):", hits.len());
-    for h in &hits {
+    let result = nodes[1].search_ranked("content search with bloom filters", 5)?;
+    println!(
+        "node 1 ranked search -> {} hit(s), coverage {:.0}%:",
+        result.hits.len(),
+        result.coverage.coverage_fraction() * 100.0
+    );
+    for h in &result.hits {
         println!("  {:.3} peer {} doc {}", h.score, h.peer, h.doc);
     }
-    let hits = nodes[3].search_exhaustive("consistent hashing")?;
+    let hits = nodes[3].search_exhaustive("consistent hashing")?.hits;
     println!("node 3 exhaustive search -> {} hit(s) (owner {})", hits.len(), hits[0].peer);
     Ok(())
 }
