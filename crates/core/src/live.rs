@@ -527,9 +527,40 @@ impl Inner {
     // Search RPCs
     // ------------------------------------------------------------------
 
-    /// One synchronous RPC attempt (no retries).
-    fn rpc_once(&self, addr: &str, request: &LiveMsg) -> io::Result<LiveMsg> {
+    /// Worst-case wall clock for one logical peer contact under the
+    /// retry schedule: each attempt can burn a connect plus a read
+    /// timeout, with a capped backoff sleep before every retry.
+    fn contact_budget(&self) -> Duration {
+        let r = &self.config.retry;
+        let attempts = u64::from(r.max_attempts.max(1));
+        let per_attempt = 2 * self.config.io_timeout.as_millis() as u64;
+        Duration::from_millis(
+            attempts * per_attempt + (attempts - 1) * r.max_delay_ms,
+        )
+    }
+
+    /// Read deadline for a proxied search. The proxy's fan-out is
+    /// synchronous and sequential, so in the worst case it pays a full
+    /// contact budget per candidate peer before it can reply; a flat
+    /// `io_timeout` would expire exactly when the proxy's fault
+    /// tolerance is absorbing dead peers. Our directory size is the
+    /// best local estimate of the proxy's candidate count.
+    fn proxy_read_timeout(&self) -> Duration {
+        let peers = self.engine.lock().directory().len().max(1) as u32;
+        self.contact_budget() * peers + self.config.io_timeout
+    }
+
+    /// One synchronous RPC attempt (no retries). `read_timeout` sets
+    /// the reply deadline — point RPCs use `io_timeout`, proxied
+    /// searches a fan-out-sized budget.
+    fn rpc_once(
+        &self,
+        addr: &str,
+        request: &LiveMsg,
+        read_timeout: Duration,
+    ) -> io::Result<LiveMsg> {
         let mut stream = self.connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
         self.send(Direction::Outbound, &mut stream, &[request.clone()])?;
         let batch = self
             .recv(Direction::Outbound, &mut stream)?
@@ -547,6 +578,7 @@ impl Inner {
         peer: PeerId,
         addr: &str,
         request: &LiveMsg,
+        read_timeout: Duration,
     ) -> io::Result<LiveMsg> {
         let salt = splitmix64((u64::from(self.id) << 33) ^ u64::from(peer));
         let started = Instant::now();
@@ -556,7 +588,7 @@ impl Inner {
                 self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(self.config.retry.delay(retry, salt));
             }
-            match self.rpc_once(addr, request) {
+            match self.rpc_once(addr, request, read_timeout) {
                 Ok(reply) => {
                     self.note_contact_ok(peer, started.elapsed());
                     return Ok(reply);
@@ -635,6 +667,7 @@ impl Inner {
                         ipf: ipf.to_pairs(),
                         num_peers: filters.len(),
                     },
+                    self.config.io_timeout,
                 ) {
                     Ok(LiveMsg::SearchResponse { docs }) => {
                         coverage.peers_contacted += 1;
@@ -776,19 +809,25 @@ impl Inner {
 }
 
 /// Bounded top-k insertion; returns whether the hit made the cut.
-/// Uses `total_cmp`, so even a NaN score smuggled past validation
-/// cannot panic the query initiator.
+/// Non-finite scores are rejected outright, and a non-finite score
+/// already in `top` (callers filter them, but this path must degrade
+/// sanely anyway) is treated as minimal — evicted first rather than
+/// pinned at rank 1 by `total_cmp`'s NaN-is-greatest ordering.
 fn offer_hit(top: &mut Vec<LiveHit>, hit: LiveHit, k: usize) -> bool {
+    if !hit.score.is_finite() {
+        return false;
+    }
     if top.len() < k {
         top.push(hit);
         return true;
     }
-    let (worst_i, _) = top
+    let key = |s: f64| if s.is_finite() { s } else { f64::NEG_INFINITY };
+    let (worst_i, worst) = top
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+        .min_by(|(_, a), (_, b)| key(a.score).total_cmp(&key(b.score)))
         .expect("top non-empty");
-    if hit.score > top[worst_i].score {
+    if !worst.score.is_finite() || hit.score > worst.score {
         top[worst_i] = hit;
         true
     } else {
@@ -978,15 +1017,36 @@ impl LiveNode {
             proxy,
             &addr,
             &LiveMsg::ProxySearchRequest { query: raw_query.to_string(), k },
+            self.inner.proxy_read_timeout(),
         ) {
             Ok(LiveMsg::ProxySearchResponse { hits, coverage }) => {
-                Ok(LiveSearchResult {
-                    hits: hits
-                        .into_iter()
-                        .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
-                        .collect(),
-                    coverage,
-                })
+                // The proxy is as untrusted as any remote peer: drop
+                // non-finite scores (mirroring ranked_search's guard)
+                // and reject coverage bookkeeping that cannot balance.
+                let hits: Vec<LiveHit> = hits
+                    .into_iter()
+                    .filter(|(_, _, score, _)| {
+                        let ok = score.is_finite();
+                        if !ok {
+                            debug_log!(
+                                "planetp[{}]: dropped non-finite score from proxy {proxy}",
+                                self.inner.id
+                            );
+                        }
+                        ok
+                    })
+                    .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
+                    .collect();
+                if coverage.peers_attempted() > coverage.peers_considered {
+                    self.inner
+                        .stats
+                        .unexpected_replies
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(PlanetPError::Protocol(
+                        "proxy coverage bookkeeping does not balance".into(),
+                    ));
+                }
+                Ok(LiveSearchResult { hits, coverage })
             }
             Ok(_) => {
                 self.inner
@@ -1057,6 +1117,7 @@ impl LiveNode {
                 pid,
                 &addr,
                 &LiveMsg::ExhaustiveRequest { terms: q.terms.clone() },
+                self.inner.config.io_timeout,
             ) {
                 Ok(LiveMsg::ExhaustiveResponse { docs }) => {
                     coverage.peers_contacted += 1;
@@ -1119,6 +1180,15 @@ mod tests {
         let mut top = vec![hit(f64::NAN), hit(2.0)];
         assert!(offer_hit(&mut top, hit(3.0), 2));
         assert!(top.iter().any(|h| h.score == 3.0));
+        // NaN never enters even a non-full list...
+        let mut top = vec![hit(1.0)];
+        assert!(!offer_hit(&mut top, hit(f64::NAN), 2));
+        assert_eq!(top.len(), 1);
+        // ...and a NaN already present counts as minimal: any real
+        // score evicts it, so it cannot pin itself at rank 1.
+        let mut top = vec![hit(f64::NAN), hit(2.0)];
+        assert!(offer_hit(&mut top, hit(1.0), 2));
+        assert!(top.iter().all(|h| h.score.is_finite()));
     }
 
     #[test]

@@ -74,12 +74,20 @@ fn community_survives_peer_death() {
         ),
         "search must keep working after a peer death"
     );
-    let r = nodes[2].search_ranked("volatile host", 5).unwrap();
-    assert!(r.hits.is_empty(), "dead peer's docs must not be returned");
+    // The dead peer's filter still matches, so some search attempt must
+    // reach it, fail, and report that in coverage. A single attempt can
+    // come back complete if adaptive stopping gives up before the dead
+    // peer's rank position, so poll rather than trusting one search.
     assert!(
-        !r.coverage.is_complete(),
-        "coverage must report the dead peer: {:?}",
-        r.coverage
+        wait_for(
+            || {
+                let r = nodes[2].search_ranked("volatile host", 5).unwrap();
+                assert!(r.hits.is_empty(), "dead peer's docs must not be returned");
+                !r.coverage.is_complete()
+            },
+            Duration::from_secs(30),
+        ),
+        "coverage never reported the dead peer"
     );
 
     // New content published after the death still converges among the

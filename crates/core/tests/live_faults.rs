@@ -168,7 +168,7 @@ fn coverage_reports_dead_peers() {
     let mut nodes = vec![founder];
     for id in 1..4u32 {
         nodes.push(
-            LiveNode::start(id, faulty_config(40 + u64::from(id)), Some(bootstrap.clone()))
+            LiveNode::start(id, faulty_config(40 + u64::from(id), None), Some(bootstrap.clone()))
                 .expect("node"),
         );
     }
