@@ -1,5 +1,6 @@
 //! The gossip wire format for Bloom filters.
 
+use planetp_obs::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::filter::{BloomFilter, BloomParams};
@@ -33,6 +34,16 @@ impl CompressedBloom {
             keys_inserted: filter.keys_inserted(),
             payload,
         }
+    }
+
+    /// Compress a filter, recording the resulting serialized size into
+    /// `sizes` (typically a registry's `bloom.wire_bytes` histogram).
+    /// The paper's Table 2 bandwidth model hinges on these sizes, so
+    /// every compression site can feed the observability layer.
+    pub fn compress_observed(filter: &BloomFilter, sizes: &Histogram) -> Self {
+        let compressed = Self::compress(filter);
+        sizes.observe(compressed.wire_bytes() as u64);
+        compressed
     }
 
     /// Decompress back to the exact original filter.
@@ -132,6 +143,14 @@ mod tests {
     fn ratio_below_one_for_sparse() {
         let c = CompressedBloom::compress(&filter_with_keys(1000));
         assert!(c.ratio() < 0.1, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn compress_observed_records_wire_size() {
+        let sizes = Histogram::detached(planetp_obs::SIZE_BYTES_BUCKETS);
+        let c = CompressedBloom::compress_observed(&filter_with_keys(1000), &sizes);
+        assert_eq!(sizes.count(), 1);
+        assert_eq!(sizes.sum(), c.wire_bytes() as u64);
     }
 
     #[test]

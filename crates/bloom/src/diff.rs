@@ -6,6 +6,7 @@
 //! (terms are only added), a diff is the XOR of the old and new bitmaps,
 //! and applying it to the old version ORs the new bits in.
 
+use planetp_obs::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::compressed::CompressedBloom;
@@ -53,6 +54,21 @@ impl BloomDiff {
             new_keys_inserted: new.keys_inserted(),
             payload,
         }
+    }
+
+    /// Compute the delta taking `old` to `new`, recording its wire size
+    /// into `sizes` (see [`CompressedBloom::compress_observed`]).
+    ///
+    /// # Panics
+    /// Panics if the two filters have different parameters.
+    pub fn between_observed(
+        old: &BloomFilter,
+        new: &BloomFilter,
+        sizes: &Histogram,
+    ) -> Self {
+        let diff = Self::between(old, new);
+        sizes.observe(diff.wire_bytes() as u64);
+        diff
     }
 
     /// Apply the delta to `base`, producing the new version.
@@ -121,6 +137,11 @@ impl FilterUpdate {
             FilterUpdate::Full(c) => c.wire_bytes(),
             FilterUpdate::Delta(d) => d.wire_bytes(),
         }
+    }
+
+    /// Record this update's wire size into `sizes`.
+    pub fn observe_size(&self, sizes: &Histogram) {
+        sizes.observe(self.wire_bytes() as u64);
     }
 }
 
@@ -191,6 +212,19 @@ mod tests {
         let new = filter_with(500..1500);
         let d = BloomDiff::between(&old, &new);
         assert_eq!(d.apply(&old).unwrap(), new);
+    }
+
+    #[test]
+    fn observed_diff_and_update_record_sizes() {
+        let sizes = Histogram::detached(planetp_obs::SIZE_BYTES_BUCKETS);
+        let old = filter_with(0..100);
+        let new = filter_with(0..200);
+        let d = BloomDiff::between_observed(&old, &new, &sizes);
+        assert_eq!(sizes.count(), 1);
+        assert_eq!(sizes.sum(), d.wire_bytes() as u64);
+        FilterUpdate::Delta(d.clone()).observe_size(&sizes);
+        assert_eq!(sizes.count(), 2);
+        assert_eq!(sizes.sum(), 2 * d.wire_bytes() as u64);
     }
 
     #[test]

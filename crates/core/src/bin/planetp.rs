@@ -16,7 +16,16 @@
 //! grep <query>         exhaustive conjunctive search
 //! proxy <id> <query>   ranked search via peer <id> (proxy search)
 //! peers                show the local directory copy
+//! stats [json|<id>]    this node's metrics (or scrape peer <id>)
 //! help / quit
+//! ```
+//!
+//! There is also a standalone subcommand that scrapes any running node
+//! without joining the community:
+//!
+//! ```sh
+//! planetp stats 127.0.0.1:40001          # human-readable
+//! planetp stats 127.0.0.1:40001 --json   # MetricsSnapshot JSON
 //! ```
 
 use planetp::live::{LiveConfig, LiveNode};
@@ -76,12 +85,17 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("stats") {
+        std::process::exit(stats_command(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>]"
+                "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>]\n\
+                 \x20      planetp stats <addr> [--json]"
             );
             std::process::exit(2);
         }
@@ -127,7 +141,7 @@ fn repl(node: &LiveNode) {
             "help" => {
                 println!(
                     "publish <xml>|@file  search <query>  grep <query>  \
-                     proxy <id> <query>  peers  quit"
+                     proxy <id> <query>  peers  stats [json|<id>]  quit"
                 );
             }
             "publish" => {
@@ -195,7 +209,55 @@ fn repl(node: &LiveNode) {
             "peers" => {
                 println!("directory: {} peers", node.directory_size());
             }
+            "stats" => match rest.trim() {
+                "" => print!("{}", node.metrics_snapshot().render_human()),
+                "json" => println!("{}", node.metrics_snapshot().to_json()),
+                pid => match pid.parse::<u32>() {
+                    Ok(pid) => match node.fetch_stats(pid) {
+                        Ok(snap) => print!("{}", snap.render_human()),
+                        Err(e) => println!("stats fetch failed: {e}"),
+                    },
+                    Err(_) => println!("usage: stats [json|<peer id>]"),
+                },
+            },
             other => println!("unknown command {other:?}; try help"),
+        }
+    }
+}
+
+/// `planetp stats <addr> [--json]`: scrape a running node's metrics
+/// over the `GetStats` RPC without joining the community.
+fn stats_command(args: &[String]) -> i32 {
+    let mut addr = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if addr.is_none() && !other.starts_with('-') => {
+                addr = Some(other.to_string());
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return 2;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: planetp stats <addr> [--json]");
+        return 2;
+    };
+    match planetp::scrape_stats(&addr, Duration::from_secs(5)) {
+        Ok(snap) => {
+            if json {
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", snap.render_human());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to scrape {addr}: {e}");
+            1
         }
     }
 }

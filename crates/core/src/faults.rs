@@ -183,13 +183,14 @@ impl FaultInjector {
     }
 
     /// Write one frame, possibly dropping mid-frame, truncating, or
-    /// corrupting it. Mirrors [`crate::wire::write_frame`] framing.
+    /// corrupting it. Mirrors [`crate::wire::write_frame`] framing and
+    /// returns the bytes actually put on the wire.
     pub fn write_frame<T: Serialize + ?Sized>(
         &self,
         dir: Direction,
         w: &mut impl Write,
         value: &T,
-    ) -> io::Result<()> {
+    ) -> io::Result<usize> {
         let rules = *self.rules(dir);
         let mut body = serde_json::to_vec(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -218,7 +219,7 @@ impl FaultInjector {
             w.write_all(&body[..keep])?;
             w.flush()?;
             // Report success: a crashed sender never learns either.
-            return Ok(());
+            return Ok(4 + keep);
         }
         if self.roll(rules.corrupt_frame) {
             self.counters.corrupted.fetch_add(1, Ordering::Relaxed);
@@ -235,7 +236,8 @@ impl FaultInjector {
         }
         w.write_all(&len)?;
         w.write_all(&body)?;
-        w.flush()
+        w.flush()?;
+        Ok(4 + body.len())
     }
 
     /// Read one frame, possibly after an injected delay. (Read-side
@@ -245,9 +247,19 @@ impl FaultInjector {
         dir: Direction,
         r: &mut impl Read,
     ) -> io::Result<Option<T>> {
+        Ok(self.read_frame_sized(dir, r)?.map(|(value, _)| value))
+    }
+
+    /// Read one frame plus its wire size, possibly after an injected
+    /// delay.
+    pub fn read_frame_sized<T: DeserializeOwned>(
+        &self,
+        dir: Direction,
+        r: &mut impl Read,
+    ) -> io::Result<Option<(T, usize)>> {
         let rules = *self.rules(dir);
         self.maybe_delay(&rules);
-        crate::wire::read_frame(r)
+        crate::wire::read_frame_sized(r)
     }
 }
 

@@ -73,8 +73,9 @@ pub use health::{
     RetryPolicy,
 };
 pub use live::{
-    LiveConfig, LiveHit, LiveNode, LiveSearchResult, NodeStatsSnapshot,
-    SearchCoverage,
+    scrape_stats, LiveConfig, LiveHit, LiveMsg, LiveNode, LiveSearchResult,
+    NodeStatsSnapshot, SearchCoverage,
 };
+pub use planetp_obs::{MetricsSnapshot, Registry};
 pub use persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
 pub use query::{parse_query, QueryTerms};

@@ -39,12 +39,16 @@ use planetp_gossip::{
     EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
     SpeedClass,
 };
+use planetp_obs::{
+    names, Counter, Gauge, Histogram, MetricsSnapshot, Registry,
+    LATENCY_MS_BUCKETS, SIZE_BYTES_BUCKETS,
+};
 use planetp_search::{adaptive_p, rank_peers, IpfTable};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -90,7 +94,7 @@ impl Payload for LivePayload {
 
 /// Everything that crosses the wire between live peers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum LiveMsg {
+pub enum LiveMsg {
     /// A gossip protocol message.
     Gossip {
         /// Sending peer.
@@ -138,6 +142,15 @@ enum LiveMsg {
         hits: Vec<(PeerId, u64, f64, String)>,
         /// Coverage of the proxy's fan-out.
         coverage: SearchCoverage,
+    },
+    /// `GetStats` RPC: ask a node for its unified metrics snapshot.
+    /// Any client that speaks the framing can scrape any node (see
+    /// [`scrape_stats`] and the `planetp stats` subcommand).
+    StatsRequest,
+    /// Reply to `StatsRequest`.
+    StatsResponse {
+        /// Point-in-time copy of the node's metrics registry.
+        snapshot: MetricsSnapshot,
     },
 }
 
@@ -226,20 +239,79 @@ pub struct LiveSearchResult {
     pub coverage: SearchCoverage,
 }
 
-/// Node-level failure counters (atomics; see [`NodeStatsSnapshot`]).
-#[derive(Debug, Default)]
+/// Node-level counters and histograms. Every field is a handle into the
+/// node's unified [`Registry`] — the same registry the gossip engine
+/// records into once attached — so one [`MetricsSnapshot`] covers the
+/// whole node. [`NodeStatsSnapshot`] remains as a thin compatibility
+/// view over the failure counters.
+#[derive(Debug)]
 struct NodeStats {
-    malformed_frames: AtomicU64,
-    reply_failures: AtomicU64,
-    rpc_retries: AtomicU64,
-    rpc_failures: AtomicU64,
-    gossip_retries: AtomicU64,
-    gossip_failures: AtomicU64,
-    contacts_skipped: AtomicU64,
-    unexpected_replies: AtomicU64,
-    peers_marked_offline: AtomicU64,
-    peers_recovered: AtomicU64,
-    searches_degraded: AtomicU64,
+    registry: Registry,
+    malformed_frames: Counter,
+    reply_failures: Counter,
+    rpc_retries: Counter,
+    rpc_failures: Counter,
+    gossip_retries: Counter,
+    gossip_failures: Counter,
+    contacts_skipped: Counter,
+    unexpected_replies: Counter,
+    peers_marked_offline: Counter,
+    peers_recovered: Counter,
+    searches_degraded: Counter,
+    health_suspects: Counter,
+    bytes_out: Counter,
+    bytes_in: Counter,
+    frames_out: Counter,
+    frames_in: Counter,
+    rpc_latency_ms: Histogram,
+    gossip_exchange_ms: Histogram,
+    search_queries: Counter,
+    search_peers_contacted: Counter,
+    search_stopped_early: Counter,
+    search_exhausted: Counter,
+    bloom_wire_bytes: Histogram,
+    directory_size: Gauge,
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
+}
+
+impl NodeStats {
+    fn in_registry(registry: &Registry) -> Self {
+        Self {
+            registry: registry.clone(),
+            malformed_frames: registry.counter("net.malformed_frames"),
+            reply_failures: registry.counter("net.reply_failures"),
+            rpc_retries: registry.counter(names::RPC_RETRIES),
+            rpc_failures: registry.counter(names::RPC_FAILURES),
+            gossip_retries: registry.counter("gossip.retries"),
+            gossip_failures: registry.counter("gossip.failures"),
+            contacts_skipped: registry.counter("health.contacts_skipped"),
+            unexpected_replies: registry.counter("rpc.unexpected_replies"),
+            peers_marked_offline: registry.counter(names::HEALTH_OFFLINE),
+            peers_recovered: registry.counter(names::HEALTH_RECOVERIES),
+            searches_degraded: registry.counter("search.degraded"),
+            health_suspects: registry.counter(names::HEALTH_SUSPECTS),
+            bytes_out: registry.counter(names::NET_BYTES_OUT),
+            bytes_in: registry.counter(names::NET_BYTES_IN),
+            frames_out: registry.counter(names::NET_FRAMES_OUT),
+            frames_in: registry.counter(names::NET_FRAMES_IN),
+            rpc_latency_ms: registry
+                .histogram(names::RPC_LATENCY_MS, LATENCY_MS_BUCKETS),
+            gossip_exchange_ms: registry
+                .histogram(names::GOSSIP_EXCHANGE_MS, LATENCY_MS_BUCKETS),
+            search_queries: registry.counter(names::SEARCH_QUERIES),
+            search_peers_contacted: registry.counter(names::SEARCH_PEERS_CONTACTED),
+            search_stopped_early: registry.counter(names::SEARCH_STOPPED_EARLY),
+            search_exhausted: registry.counter(names::SEARCH_EXHAUSTED),
+            bloom_wire_bytes: registry
+                .histogram(names::BLOOM_WIRE_BYTES, SIZE_BYTES_BUCKETS),
+            directory_size: registry.gauge("gossip.directory_size"),
+        }
+    }
 }
 
 /// Point-in-time copy of a node's failure counters — the live-runtime
@@ -274,17 +346,17 @@ pub struct NodeStatsSnapshot {
 impl NodeStats {
     fn snapshot(&self) -> NodeStatsSnapshot {
         NodeStatsSnapshot {
-            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
-            reply_failures: self.reply_failures.load(Ordering::Relaxed),
-            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
-            rpc_failures: self.rpc_failures.load(Ordering::Relaxed),
-            gossip_retries: self.gossip_retries.load(Ordering::Relaxed),
-            gossip_failures: self.gossip_failures.load(Ordering::Relaxed),
-            contacts_skipped: self.contacts_skipped.load(Ordering::Relaxed),
-            unexpected_replies: self.unexpected_replies.load(Ordering::Relaxed),
-            peers_marked_offline: self.peers_marked_offline.load(Ordering::Relaxed),
-            peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
-            searches_degraded: self.searches_degraded.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.get(),
+            reply_failures: self.reply_failures.get(),
+            rpc_retries: self.rpc_retries.get(),
+            rpc_failures: self.rpc_failures.get(),
+            gossip_retries: self.gossip_retries.get(),
+            gossip_failures: self.gossip_failures.get(),
+            contacts_skipped: self.contacts_skipped.get(),
+            unexpected_replies: self.unexpected_replies.get(),
+            peers_marked_offline: self.peers_marked_offline.get(),
+            peers_recovered: self.peers_recovered.get(),
+            searches_degraded: self.searches_degraded.get(),
         }
     }
 }
@@ -321,7 +393,10 @@ impl Inner {
     fn my_payload(&self) -> LivePayload {
         LivePayload {
             addr: self.addr.clone(),
-            bloom: CompressedBloom::compress(self.store.lock().bloom()),
+            bloom: CompressedBloom::compress_observed(
+                self.store.lock().bloom(),
+                &self.stats.bloom_wire_bytes,
+            ),
         }
     }
 
@@ -347,10 +422,13 @@ impl Inner {
         stream: &mut TcpStream,
         batch: &[LiveMsg],
     ) -> io::Result<()> {
-        match &self.config.faults {
-            Some(f) => f.write_frame(dir, stream, batch),
-            None => crate::wire::write_frame(stream, batch),
-        }
+        let wire_bytes = match &self.config.faults {
+            Some(f) => f.write_frame(dir, stream, batch)?,
+            None => crate::wire::write_frame(stream, batch)?,
+        };
+        self.stats.bytes_out.add(wire_bytes as u64);
+        self.stats.frames_out.inc();
+        Ok(())
     }
 
     fn recv(
@@ -358,10 +436,15 @@ impl Inner {
         dir: Direction,
         stream: &mut TcpStream,
     ) -> io::Result<Option<Vec<LiveMsg>>> {
-        match &self.config.faults {
-            Some(f) => f.read_frame(dir, stream),
-            None => crate::wire::read_frame(stream),
-        }
+        let got = match &self.config.faults {
+            Some(f) => f.read_frame_sized(dir, stream)?,
+            None => crate::wire::read_frame_sized(stream)?,
+        };
+        Ok(got.map(|(batch, wire_bytes)| {
+            self.stats.bytes_in.add(wire_bytes as u64);
+            self.stats.frames_in.inc();
+            batch
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -375,7 +458,7 @@ impl Inner {
             h.record_success(peer, self.now_ms(), latency.as_secs_f64() * 1_000.0)
         };
         if t.recovered() {
-            self.stats.peers_recovered.fetch_add(1, Ordering::Relaxed);
+            self.stats.peers_recovered.inc();
             self.engine.lock().on_contact_recovered(peer);
         }
     }
@@ -392,9 +475,14 @@ impl Inner {
         };
         let mut engine = self.engine.lock();
         if t.became_offline() {
-            self.stats.peers_marked_offline.fetch_add(1, Ordering::Relaxed);
+            self.stats.peers_marked_offline.inc();
             engine.on_contact_failed(peer, now);
         } else {
+            if t.from != t.to {
+                // A fresh Healthy -> Suspect transition (repeat
+                // failures while already Suspect don't re-count).
+                self.stats.health_suspects.inc();
+            }
             engine.note_contact_suspect(peer);
         }
         debug_log!(
@@ -498,7 +586,7 @@ impl Inner {
             return;
         };
         if self.in_backoff(target) {
-            self.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+            self.stats.contacts_skipped.inc();
             return;
         }
         let salt = splitmix64((u64::from(self.id) << 32) | u64::from(target));
@@ -510,14 +598,19 @@ impl Inner {
             && !self.shutdown.load(Ordering::Relaxed)
         {
             retry += 1;
-            self.stats.gossip_retries.fetch_add(1, Ordering::Relaxed);
+            self.stats.gossip_retries.inc();
             std::thread::sleep(self.config.retry.delay(retry, salt));
             result = self.gossip_attempt(&addr, &msg);
         }
         match result {
-            Ok(()) => self.note_contact_ok(target, started.elapsed()),
+            Ok(()) => {
+                self.stats
+                    .gossip_exchange_ms
+                    .observe(started.elapsed().as_millis() as u64);
+                self.note_contact_ok(target, started.elapsed());
+            }
             Err(e) => {
-                self.stats.gossip_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.gossip_failures.inc();
                 self.note_contact_failed(target, &e);
             }
         }
@@ -585,11 +678,18 @@ impl Inner {
         let mut last_err = None;
         for retry in 0..self.config.retry.max_attempts.max(1) {
             if retry > 0 {
-                self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
+                self.stats.rpc_retries.inc();
                 std::thread::sleep(self.config.retry.delay(retry, salt));
             }
+            let attempt_started = Instant::now();
             match self.rpc_once(addr, request, read_timeout) {
                 Ok(reply) => {
+                    // Latency of the attempt that succeeded, not of
+                    // the whole retry schedule (backoff sleeps would
+                    // swamp the histogram).
+                    self.stats
+                        .rpc_latency_ms
+                        .observe(attempt_started.elapsed().as_millis() as u64);
                     self.note_contact_ok(peer, started.elapsed());
                     return Ok(reply);
                 }
@@ -597,7 +697,7 @@ impl Inner {
             }
         }
         let err = last_err.unwrap_or_else(|| io::Error::other("no attempts"));
-        self.stats.rpc_failures.fetch_add(1, Ordering::Relaxed);
+        self.stats.rpc_failures.inc();
         self.note_contact_failed(peer, &err);
         Err(err)
     }
@@ -620,6 +720,7 @@ impl Inner {
                 coverage: SearchCoverage::default(),
             });
         }
+        self.stats.search_queries.inc();
         // Decompress every peer's filter from the directory.
         let (filters, owners) = {
             let engine = self.engine.lock();
@@ -644,6 +745,7 @@ impl Inner {
         };
         let mut top: Vec<LiveHit> = Vec::new();
         let mut dry = 0usize;
+        let mut stopped_early = false;
         for rp in ranked {
             let (pid, addr) = &owners[rp.peer];
             let docs = if *pid == self.id {
@@ -656,7 +758,7 @@ impl Inner {
             } else {
                 if self.in_backoff(*pid) {
                     coverage.peers_skipped += 1;
-                    self.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+                    self.stats.contacts_skipped.inc();
                     continue;
                 }
                 match self.rpc_with_retry(
@@ -674,7 +776,7 @@ impl Inner {
                         docs
                     }
                     Ok(other) => {
-                        self.stats.unexpected_replies.fetch_add(1, Ordering::Relaxed);
+                        self.stats.unexpected_replies.inc();
                         debug_log!(
                             "planetp[{}]: unexpected search reply from peer {pid}: {other:?}",
                             self.id
@@ -711,6 +813,7 @@ impl Inner {
                 dry += 1;
             }
             if top.len() >= k && dry >= patience {
+                stopped_early = true;
                 break;
             }
         }
@@ -719,8 +822,19 @@ impl Inner {
                 .total_cmp(&a.score)
                 .then_with(|| (a.peer, a.doc).cmp(&(b.peer, b.doc)))
         });
+        // The paper's Fig 6 metric: how many peers the adaptive
+        // stopping heuristic actually contacted, and whether it cut
+        // the rank order short or drained it.
+        self.stats
+            .search_peers_contacted
+            .add(coverage.peers_contacted as u64);
+        if stopped_early {
+            self.stats.search_stopped_early.inc();
+        } else {
+            self.stats.search_exhausted.inc();
+        }
         if !coverage.is_complete() {
-            self.stats.searches_degraded.fetch_add(1, Ordering::Relaxed);
+            self.stats.searches_degraded.inc();
         }
         Ok(LiveSearchResult { hits: top, coverage })
     }
@@ -738,7 +852,7 @@ impl Inner {
             Ok(Some(batch)) => batch,
             Ok(None) => return,
             Err(e) => {
-                self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                self.stats.malformed_frames.inc();
                 debug_log!("planetp[{}]: malformed inbound frame: {e}", self.id);
                 return;
             }
@@ -747,7 +861,7 @@ impl Inner {
             match m {
                 LiveMsg::Gossip { from, msg } => {
                     if let Err(e) = self.converse(&mut stream, from, msg) {
-                        self.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+                        self.stats.reply_failures.inc();
                         debug_log!(
                             "planetp[{}]: gossip conversation with {from} broke: {e}",
                             self.id
@@ -792,9 +906,14 @@ impl Inner {
                         LiveMsg::ProxySearchResponse { hits, coverage },
                     );
                 }
+                LiveMsg::StatsRequest => {
+                    let snapshot = self.metrics_snapshot();
+                    self.reply(&mut stream, LiveMsg::StatsResponse { snapshot });
+                }
                 LiveMsg::SearchResponse { .. }
                 | LiveMsg::ExhaustiveResponse { .. }
-                | LiveMsg::ProxySearchResponse { .. } => {}
+                | LiveMsg::ProxySearchResponse { .. }
+                | LiveMsg::StatsResponse { .. } => {}
             }
         }
     }
@@ -802,9 +921,19 @@ impl Inner {
     /// Write one RPC reply, counting (not swallowing) failures.
     fn reply(&self, stream: &mut TcpStream, msg: LiveMsg) {
         if let Err(e) = self.send(Direction::Inbound, stream, &[msg]) {
-            self.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.reply_failures.inc();
             debug_log!("planetp[{}]: failed to write reply: {e}", self.id);
         }
+    }
+
+    /// Point-in-time snapshot of the node's unified metrics registry
+    /// (gossip engine, transport, search, and health counters), with
+    /// gauges refreshed first.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.stats
+            .directory_size
+            .set(self.engine.lock().directory().len() as i64);
+        self.stats.registry.snapshot()
     }
 }
 
@@ -869,7 +998,7 @@ impl LiveNode {
             addr: addr.clone(),
             bloom: CompressedBloom::compress(store.bloom()),
         };
-        let engine = GossipEngine::new(
+        let mut engine = GossipEngine::new(
             id,
             SpeedClass::Fast,
             config.gossip,
@@ -877,6 +1006,11 @@ impl LiveNode {
             Some(payload),
             bootstrap.as_ref().map(|(b, _)| (*b, SpeedClass::Fast)),
         );
+        // One registry per node: the engine's protocol counters and the
+        // runtime's transport/search/health counters land side by side,
+        // so one snapshot (local call or GetStats RPC) covers it all.
+        let stats = NodeStats::default();
+        engine.attach_metrics(&stats.registry);
         let mut addr_book = HashMap::new();
         if let Some((b, a)) = bootstrap {
             addr_book.insert(b, a);
@@ -889,7 +1023,7 @@ impl LiveNode {
             engine: Mutex::new(engine),
             store: Mutex::new(store),
             health: Mutex::new(health),
-            stats: NodeStats::default(),
+            stats,
             addr_book: Mutex::new(addr_book),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -973,7 +1107,36 @@ impl LiveNode {
 
     /// The gossip engine's protocol counters.
     pub fn gossip_stats(&self) -> EngineStats {
-        *self.inner.engine.lock().stats()
+        self.inner.engine.lock().stats()
+    }
+
+    /// Unified metrics snapshot of this node: gossip, transport,
+    /// search, and health metrics from one registry. Serializable; see
+    /// [`planetp_obs::MetricsSnapshot`] for diffing and rendering.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics_snapshot()
+    }
+
+    /// Fetch `peer`'s metrics over the wire (the `GetStats` RPC), with
+    /// the node's usual retry schedule and health bookkeeping.
+    pub fn fetch_stats(&self, peer: PeerId) -> Result<MetricsSnapshot, PlanetPError> {
+        let addr = self
+            .inner
+            .resolve(peer)
+            .ok_or_else(|| PlanetPError::UnknownPeer(format!("peer {peer}")))?;
+        match self.inner.rpc_with_retry(
+            peer,
+            &addr,
+            &LiveMsg::StatsRequest,
+            self.inner.config.io_timeout,
+        ) {
+            Ok(LiveMsg::StatsResponse { snapshot }) => Ok(snapshot),
+            Ok(_) => {
+                self.inner.stats.unexpected_replies.inc();
+                Err(PlanetPError::Protocol("unexpected stats reply".into()))
+            }
+            Err(e) => Err(PlanetPError::Network(e)),
+        }
     }
 
     /// Health history for one peer, if it has been contacted.
@@ -1041,7 +1204,7 @@ impl LiveNode {
                     self.inner
                         .stats
                         .unexpected_replies
-                        .fetch_add(1, Ordering::Relaxed);
+                        .inc();
                     return Err(PlanetPError::Protocol(
                         "proxy coverage bookkeeping does not balance".into(),
                     ));
@@ -1052,7 +1215,7 @@ impl LiveNode {
                 self.inner
                     .stats
                     .unexpected_replies
-                    .fetch_add(1, Ordering::Relaxed);
+                    .inc();
                 Err(PlanetPError::Protocol("unexpected proxy reply".into()))
             }
             Err(e) => Err(PlanetPError::Network(e)),
@@ -1110,7 +1273,7 @@ impl LiveNode {
             };
             if self.inner.in_backoff(pid) {
                 coverage.peers_skipped += 1;
-                self.inner.stats.contacts_skipped.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.contacts_skipped.inc();
                 continue;
             }
             match self.inner.rpc_with_retry(
@@ -1129,7 +1292,7 @@ impl LiveNode {
                     self.inner
                         .stats
                         .unexpected_replies
-                        .fetch_add(1, Ordering::Relaxed);
+                        .inc();
                     debug_log!(
                         "planetp[{}]: unexpected exhaustive reply from {pid}: {other:?}",
                         self.inner.id
@@ -1143,7 +1306,7 @@ impl LiveNode {
         }
         hits.sort_by_key(|a| (a.peer, a.doc));
         if !coverage.is_complete() {
-            self.inner.stats.searches_degraded.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.searches_degraded.inc();
         }
         Ok(LiveSearchResult { hits, coverage })
     }
@@ -1160,6 +1323,26 @@ impl LiveNode {
 impl Drop for LiveNode {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Scrape a node's metrics without being a community member: connect
+/// to `addr`, send a [`LiveMsg::StatsRequest`], and return the
+/// snapshot. This is what `planetp stats <addr>` uses — any process
+/// that speaks the framing can interrogate any live node.
+pub fn scrape_stats(addr: &str, timeout: Duration) -> io::Result<MetricsSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    crate::wire::write_frame(&mut stream, &[LiveMsg::StatsRequest])?;
+    let batch: Vec<LiveMsg> = crate::wire::read_frame(&mut stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no reply"))?;
+    match batch.into_iter().next() {
+        Some(LiveMsg::StatsResponse { snapshot }) => Ok(snapshot),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected stats reply",
+        )),
     }
 }
 

@@ -20,8 +20,9 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// streams in.
 const READ_CHUNK_BYTES: usize = 64 << 10;
 
-/// Write one value as a frame.
-pub fn write_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::Result<()> {
+/// Write one value as a frame. Returns the total bytes written
+/// (length prefix + body), so callers can account wire traffic.
+pub fn write_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::Result<usize> {
     let body = serde_json::to_vec(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if body.len() > MAX_FRAME_BYTES {
@@ -32,16 +33,37 @@ pub fn write_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::
     }
     w.write_all(&(body.len() as u32).to_be_bytes())?;
     w.write_all(&body)?;
-    w.flush()
+    w.flush()?;
+    Ok(4 + body.len())
 }
 
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
 pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T>> {
+    Ok(read_frame_sized(r)?.map(|(value, _)| value))
+}
+
+/// Read one frame, also returning the total bytes consumed (length
+/// prefix + body). `Ok(None)` on clean EOF at a frame boundary; a
+/// connection that dies *inside* the length prefix is an error, not a
+/// clean EOF.
+pub fn read_frame_sized<T: DeserializeOwned>(
+    r: &mut impl Read,
+) -> io::Result<Option<(T, usize)>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
@@ -63,7 +85,7 @@ pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T
     }
     let value = serde_json::from_slice(&body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    Ok(Some(value))
+    Ok(Some((value, 4 + len)))
 }
 
 #[cfg(test)]

@@ -1,0 +1,156 @@
+//! Property-based tests of the `core::health` state machine: arbitrary
+//! interleavings of contact outcomes across peers must never panic,
+//! never jump straight from Healthy to Offline, and always return to a
+//! fully reset Healthy entry on success.
+
+use planetp::health::{HealthConfig, HealthState, PeerHealth};
+use proptest::prelude::*;
+
+/// One recorded contact outcome in a generated schedule.
+#[derive(Debug, Clone)]
+enum Contact {
+    /// (peer, latency_ms)
+    Success(u8, u16),
+    /// (peer)
+    Failure(u8),
+    /// Advance the local clock by this many ms.
+    Tick(u16),
+}
+
+fn contact_strategy() -> impl Strategy<Value = Contact> {
+    prop_oneof![
+        2 => (any::<u8>(), any::<u16>()).prop_map(|(p, l)| Contact::Success(p, l)),
+        3 => any::<u8>().prop_map(Contact::Failure),
+        1 => any::<u16>().prop_map(Contact::Tick),
+    ]
+}
+
+/// Configs where the suspect phase is a real intermediate stop
+/// (suspect_after < offline_after), as the live runtime always uses.
+fn config_strategy() -> impl Strategy<Value = HealthConfig> {
+    (1u32..4, 1u32..5, 1u64..2_000, 1u64..60_000, 0.01f64..1.0).prop_map(
+        |(suspect_after, extra, base_backoff_ms, max_backoff_ms, ewma_alpha)| {
+            HealthConfig {
+                suspect_after,
+                offline_after: suspect_after + extra,
+                base_backoff_ms,
+                max_backoff_ms,
+                ewma_alpha,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Replay arbitrary schedules over few peers and check every
+    /// invariant after every step. The replay itself is the no-panic
+    /// property.
+    #[test]
+    fn state_machine_invariants_hold(
+        config in config_strategy(),
+        schedule in prop::collection::vec(contact_strategy(), 0..200),
+    ) {
+        let mut health = PeerHealth::new(config);
+        let mut now: u64 = 0;
+        for contact in &schedule {
+            match *contact {
+                Contact::Tick(dt) => now += u64::from(dt),
+                Contact::Success(peer, latency) => {
+                    let peer = u32::from(peer % 5);
+                    let t = health.record_success(peer, now, f64::from(latency));
+                    // Success always lands in Healthy with everything
+                    // reset: no stale failure count, no backoff gate.
+                    prop_assert_eq!(t.to, HealthState::Healthy);
+                    let e = health.get(peer).expect("recorded peer exists");
+                    prop_assert_eq!(e.state, HealthState::Healthy);
+                    prop_assert_eq!(e.consecutive_failures, 0);
+                    prop_assert_eq!(e.retry_at_ms, 0);
+                    prop_assert!(!health.should_skip(peer, now));
+                    prop_assert!(e.ewma_latency_ms.is_some());
+                    // recovered() fires exactly on non-Healthy -> Healthy.
+                    prop_assert_eq!(t.recovered(), t.from != HealthState::Healthy);
+                }
+                Contact::Failure(peer) => {
+                    let peer = u32::from(peer % 5);
+                    let before = health.state(peer);
+                    let t = health.record_failure(peer, now);
+                    prop_assert_eq!(t.from, before);
+                    // Offline is only reachable through Suspect: a
+                    // Healthy peer may become Suspect on this failure,
+                    // never Offline in one step.
+                    if t.to == HealthState::Offline {
+                        prop_assert_ne!(
+                            t.from, HealthState::Healthy,
+                            "Healthy jumped straight to Offline"
+                        );
+                    }
+                    let e = health.get(peer).expect("recorded peer exists");
+                    // State agrees with the failure count thresholds.
+                    let expect = if e.consecutive_failures >= config.offline_after {
+                        HealthState::Offline
+                    } else if e.consecutive_failures >= config.suspect_after {
+                        HealthState::Suspect
+                    } else {
+                        HealthState::Healthy
+                    };
+                    prop_assert_eq!(e.state, expect);
+                    // Backoff stays inside [now, now + cap] and only
+                    // gates offline peers; suspects keep being probed.
+                    if e.state == HealthState::Offline {
+                        prop_assert!(e.retry_at_ms >= now);
+                        prop_assert!(
+                            e.retry_at_ms <= now + config.max_backoff_ms.max(1),
+                            "retry_at {} beyond cap", e.retry_at_ms
+                        );
+                        prop_assert!(!health.should_skip(peer, e.retry_at_ms));
+                    } else {
+                        prop_assert!(!health.should_skip(peer, now));
+                    }
+                }
+            }
+        }
+        // offline_count agrees with a full scan of the table.
+        let scanned = health
+            .iter()
+            .filter(|(_, e)| e.state == HealthState::Offline)
+            .count();
+        prop_assert_eq!(health.offline_count(), scanned);
+    }
+
+    /// Every path to Offline passes through Suspect: collect the edge
+    /// list of one peer's transitions and check the walk is gradual.
+    #[test]
+    fn offline_requires_a_suspect_phase(
+        config in config_strategy(),
+        outcomes in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut health = PeerHealth::new(config);
+        let mut seen_suspect_since_healthy = false;
+        for (i, &ok) in outcomes.iter().enumerate() {
+            let now = i as u64 * 10;
+            let t = if ok {
+                health.record_success(7, now, 5.0)
+            } else {
+                health.record_failure(7, now)
+            };
+            match t.to {
+                HealthState::Healthy => seen_suspect_since_healthy = false,
+                HealthState::Suspect => seen_suspect_since_healthy = true,
+                HealthState::Offline => prop_assert!(
+                    seen_suspect_since_healthy || t.from == HealthState::Offline,
+                    "reached Offline without a Suspect phase (from {:?})",
+                    t.from
+                ),
+            }
+        }
+    }
+
+    /// Peers never observed are Healthy and never skipped, at any time.
+    #[test]
+    fn unknown_peers_are_healthy(peer in any::<u32>(), now in any::<u64>()) {
+        let health = PeerHealth::new(HealthConfig::default());
+        prop_assert_eq!(health.state(peer), HealthState::Healthy);
+        prop_assert!(!health.should_skip(peer, now));
+        prop_assert!(health.get(peer).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Metrics-driven live integration tests.
+//!
+//! These tests interrogate the live TCP runtime exclusively through
+//! [`MetricsSnapshot`] diffs — the same unified schema `planetp stats`
+//! prints and the `GetStats` RPC serves — rather than reaching into
+//! runtime internals. If the observability layer lies, these fail.
+
+use planetp::live::{LiveConfig, LiveNode};
+use planetp::{scrape_stats, MetricsSnapshot};
+use planetp_gossip::GossipConfig;
+use planetp_obs::names;
+use std::time::{Duration, Instant};
+
+fn fast_config(seed: u64) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 120,
+            slowdown_ms: 20,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(2),
+        seed,
+        ..LiveConfig::default()
+    }
+}
+
+/// Spin until `cond` holds or the deadline passes.
+fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+fn start_community(n: u32) -> Vec<LiveNode> {
+    let founder = LiveNode::start(0, fast_config(700), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..n {
+        nodes.push(
+            LiveNode::start(id, fast_config(700 + u64::from(id)), Some(bootstrap.clone()))
+                .expect("node starts"),
+        );
+    }
+    nodes
+}
+
+fn converged(nodes: &[LiveNode]) -> bool {
+    let d0 = nodes[0].directory_digest();
+    nodes.iter().all(|n| n.directory_digest() == d0)
+}
+
+/// Persist a snapshot as JSON under `target/metrics/` so CI can upload
+/// it as a build artifact.
+fn save_artifact(name: &str, snap: &MetricsSnapshot) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/metrics");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), snap.to_json());
+    }
+}
+
+#[test]
+fn six_peer_metrics_balance_and_latency() {
+    let nodes = start_community(6);
+    assert!(
+        wait_for(
+            || nodes.iter().all(|n| n.directory_size() == 6),
+            Duration::from_secs(30),
+        ),
+        "directories never reached size 6: {:?}",
+        nodes.iter().map(|n| n.directory_size()).collect::<Vec<_>>()
+    );
+
+    // Baseline after the join storm settles; everything below is
+    // asserted on diffs against this point.
+    let before: Vec<MetricsSnapshot> =
+        nodes.iter().map(|n| n.metrics_snapshot()).collect();
+
+    nodes[1]
+        .publish("<doc><title>Epidemic algorithms</title><body>gossip spreads updates</body></doc>")
+        .unwrap();
+    nodes[4]
+        .publish("<doc><title>Bloom filters</title><body>compact summaries for gossip</body></doc>")
+        .unwrap();
+    assert!(
+        wait_for(|| converged(&nodes), Duration::from_secs(30)),
+        "directories never converged after publishes"
+    );
+
+    // One ranked search from a peer owning none of the matches: it must
+    // cross the wire to at least one remote peer.
+    let result = nodes[0].search_ranked("gossip", 10).unwrap();
+    assert!(!result.hits.is_empty(), "search found nothing");
+
+    let after: Vec<MetricsSnapshot> =
+        nodes.iter().map(|n| n.metrics_snapshot()).collect();
+    let diffs: Vec<MetricsSnapshot> =
+        after.iter().zip(&before).map(|(a, b)| a.diff(b)).collect();
+
+    // (1) Rumor balance. Each publish is one new rumor the other five
+    // peers must each learn exactly once (push, partial AE, or full AE):
+    // community-wide, learns land at exactly 2 * 5 = 10, and rumors
+    // learned via push cannot exceed rumor messages put on the wire.
+    let rumors_sent: u64 =
+        diffs.iter().map(|d| d.counter("gossip.msgs_out.rumor")).sum();
+    let learned_push: u64 =
+        diffs.iter().map(|d| d.counter(names::GOSSIP_LEARNED_PUSH)).sum();
+    let learned_total: u64 = diffs
+        .iter()
+        .map(|d| {
+            d.counter(names::GOSSIP_LEARNED_PUSH)
+                + d.counter(names::GOSSIP_LEARNED_PARTIAL_AE)
+                + d.counter(names::GOSSIP_LEARNED_AE)
+        })
+        .sum();
+    assert_eq!(learned_total, 10, "diffs: {diffs:#?}");
+    assert!(rumors_sent > 0, "publishes spread without rumor messages?");
+    assert!(
+        learned_push <= rumors_sent,
+        "learned {learned_push} rumors from only {rumors_sent} rumor messages"
+    );
+
+    // (2) RPC latency histogram populated by the remote search hops.
+    let d0 = &diffs[0];
+    let rpc = d0.histogram(names::RPC_LATENCY_MS).expect("rpc.latency_ms registered");
+    assert!(rpc.count >= 1, "ranked search made no remote RPCs: {rpc:?}");
+    assert_eq!(rpc.counts.iter().sum::<u64>(), rpc.count, "bucket counts disagree");
+    assert_eq!(d0.counter(names::SEARCH_QUERIES), 1);
+    assert!(d0.counter(names::SEARCH_PEERS_CONTACTED) >= 1);
+
+    // (3) Bytes on the wire: nonzero everywhere, bounded by sanity (two
+    // small publishes cannot cost megabytes per node).
+    for (i, d) in diffs.iter().enumerate() {
+        let out = d.counter(names::NET_BYTES_OUT);
+        let inb = d.counter(names::NET_BYTES_IN);
+        assert!(out > 0, "node {i} sent no bytes");
+        assert!(inb > 0, "node {i} received no bytes");
+        assert!(out < 8 << 20, "node {i} sent {out} bytes for two tiny publishes");
+        assert_eq!(
+            d.counter(names::NET_FRAMES_OUT) > 0,
+            out > 0,
+            "frames/bytes accounting disagree on node {i}"
+        );
+    }
+
+    save_artifact("live_six_peer_node0.json", &after[0]);
+}
+
+#[test]
+fn get_stats_rpc_scrapes_remote_nodes() {
+    let nodes = start_community(3);
+    assert!(
+        wait_for(
+            || nodes.iter().all(|n| n.directory_size() == 3),
+            Duration::from_secs(30),
+        ),
+        "community never formed"
+    );
+
+    // Member-to-member: the GetStats RPC through the node API.
+    let remote = nodes[0].fetch_stats(1).expect("fetch_stats");
+    assert!(remote.counter(names::GOSSIP_ROUNDS) > 0, "no gossip rounds: {remote:#?}");
+    assert!(remote.counter(names::NET_BYTES_OUT) > 0);
+    assert!(remote.gauge("gossip.directory_size") >= 3);
+
+    // Outsider scrape: any process that speaks the framing, no
+    // membership required (this is what `planetp stats <addr>` does).
+    let scraped = scrape_stats(nodes[2].addr(), Duration::from_secs(5))
+        .expect("scrape_stats");
+    assert!(scraped.counter(names::GOSSIP_ROUNDS) > 0);
+    // The snapshot covers every layer under one schema.
+    for prefix in ["gossip.", "net.", "rpc.", "search."] {
+        assert!(
+            scraped.metrics.keys().any(|k| k.starts_with(prefix)),
+            "snapshot missing {prefix}* metrics: {:?}",
+            scraped.metrics.keys().collect::<Vec<_>>()
+        );
+    }
+
+    // Snapshots survive the JSON round-trip the RPC rides on.
+    let reparsed = MetricsSnapshot::from_json(&scraped.to_json()).unwrap();
+    assert_eq!(reparsed, scraped);
+}
+
+#[test]
+fn snapshot_diff_isolates_search_traffic() {
+    let nodes = start_community(3);
+    assert!(
+        wait_for(
+            || nodes.iter().all(|n| n.directory_size() == 3),
+            Duration::from_secs(30),
+        ),
+        "community never formed"
+    );
+    nodes[2].publish("<d>zanzibar archipelago</d>").unwrap();
+    assert!(
+        wait_for(|| converged(&nodes), Duration::from_secs(30)),
+        "publish never converged"
+    );
+
+    let before = nodes[0].metrics_snapshot();
+    let hits = nodes[0].search_exhaustive("zanzibar").unwrap().hits;
+    assert_eq!(hits.len(), 1);
+    let diff = nodes[0].metrics_snapshot().diff(&before);
+
+    // The diff shows the one RPC round-trip (plus any concurrent
+    // gossip), not the whole session history.
+    assert!(diff.counter(names::RPC_FAILURES) == 0, "diff: {diff:#?}");
+    let rpc = diff.histogram(names::RPC_LATENCY_MS).expect("registered");
+    assert!(rpc.count >= 1, "exhaustive search made no RPC");
+    assert!(
+        diff.counter(names::NET_BYTES_OUT) < before.counter(names::NET_BYTES_OUT),
+        "diff should be small against the session total"
+    );
+}

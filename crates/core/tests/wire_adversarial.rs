@@ -1,0 +1,144 @@
+//! Adversarial tests of the live wire framing: hostile length
+//! prefixes, connections dying mid-frame, pathological readers — and
+//! the `GetStats` messages riding that framing intact.
+
+use planetp::wire::{read_frame, read_frame_sized, write_frame, MAX_FRAME_BYTES};
+use planetp::{LiveMsg, MetricsSnapshot, Registry};
+use planetp_obs::names;
+use std::io::{self, Read};
+
+/// A reader that doles out at most one byte per call and reports
+/// `Interrupted` before every other byte — the worst legal behaviour a
+/// socket can exhibit short of failing.
+struct TricklingReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    interrupt_next: bool,
+}
+
+impl<'a> TricklingReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, interrupt_next: true }
+    }
+}
+
+impl Read for TricklingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.interrupt_next && self.pos < self.data.len() {
+            self.interrupt_next = false;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+        }
+        self.interrupt_next = true;
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.data[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn prefix_beyond_max_is_invalid_data() {
+    for claimed in [MAX_FRAME_BYTES as u32 + 1, u32::MAX] {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&claimed.to_be_bytes());
+        // Follow the lying prefix with some bytes so the failure cannot
+        // be blamed on EOF.
+        buf.extend_from_slice(&[0u8; 32]);
+        let err = read_frame::<Vec<u32>>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "claimed {claimed}");
+    }
+}
+
+#[test]
+fn huge_prefix_with_tiny_body_fails_at_eof_not_at_alloc() {
+    // Claims 63 MiB (inside the limit, so the size check passes), sends
+    // three bytes, hangs up. The incremental reader must buffer only
+    // the arrived bytes and then report the truncation; pre-allocating
+    // the claimed size up front would make this test OOM-prone rather
+    // than fast.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&((63u32) << 20).to_be_bytes());
+    buf.extend_from_slice(b"[1,");
+    let err = read_frame::<Vec<u32>>(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn zero_length_frame_is_rejected_not_eof() {
+    // A 0-length frame is a complete frame whose body fails to parse:
+    // InvalidData, not a clean EOF and not a truncation.
+    let buf = 0u32.to_be_bytes();
+    let err = read_frame::<Vec<u32>>(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn death_inside_the_length_prefix_is_an_error() {
+    // Clean EOF at a frame boundary is None...
+    assert!(read_frame::<Vec<u32>>(&mut io::empty()).unwrap().is_none());
+    // ...but dying after 1-3 prefix bytes is a truncation.
+    for cut in 1..4usize {
+        let buf = 8u32.to_be_bytes();
+        let err = read_frame::<Vec<u32>>(&mut &buf[..cut]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+    }
+}
+
+#[test]
+fn trickling_interrupted_reads_still_deliver_the_frame() {
+    let mut wire = Vec::new();
+    let written = write_frame(&mut wire, &[1u32, 2, 3]).unwrap();
+    let mut r = TricklingReader::new(&wire);
+    let (value, consumed) =
+        read_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("one frame");
+    assert_eq!(value, vec![1, 2, 3]);
+    assert_eq!(consumed, written, "reader and writer disagree on wire bytes");
+    assert!(read_frame::<Vec<u32>>(&mut r).unwrap().is_none(), "clean EOF");
+}
+
+#[test]
+fn get_stats_messages_round_trip() {
+    // Build a snapshot with one of each metric kind, exactly as a node
+    // would serve it over the GetStats RPC.
+    let registry = Registry::new();
+    registry.counter(names::GOSSIP_ROUNDS).add(42);
+    registry.gauge("gossip.directory_size").set(6);
+    let h = registry.histogram(names::RPC_LATENCY_MS, planetp_obs::LATENCY_MS_BUCKETS);
+    h.observe(3);
+    h.observe(480);
+    let snapshot = registry.snapshot();
+
+    // The runtime frames message *batches*; a stats exchange is a
+    // request batch one way and a response batch back.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[LiveMsg::StatsRequest]).unwrap();
+    write_frame(&mut wire, &[LiveMsg::StatsResponse { snapshot: snapshot.clone() }])
+        .unwrap();
+
+    let mut r = wire.as_slice();
+    let request: Vec<LiveMsg> = read_frame(&mut r).unwrap().expect("request batch");
+    assert!(
+        matches!(request.as_slice(), [LiveMsg::StatsRequest]),
+        "request decoded as {request:?}"
+    );
+    let response: Vec<LiveMsg> = read_frame(&mut r).unwrap().expect("response batch");
+    match response.as_slice() {
+        [LiveMsg::StatsResponse { snapshot: got }] => {
+            assert_eq!(got, &snapshot, "snapshot changed on the wire");
+            assert_eq!(got.counter(names::GOSSIP_ROUNDS), 42);
+            assert_eq!(got.gauge("gossip.directory_size"), 6);
+            let h = got.histogram(names::RPC_LATENCY_MS).expect("histogram kept");
+            assert_eq!(h.count, 2);
+            assert_eq!(h.sum, 483);
+        }
+        other => panic!("response decoded as {other:?}"),
+    }
+    assert!(read_frame::<Vec<LiveMsg>>(&mut r).unwrap().is_none());
+
+    // And the snapshot itself survives its own JSON pretty-print cycle
+    // (what `planetp stats --json` emits).
+    let reparsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+    assert_eq!(reparsed, snapshot);
+}

@@ -16,7 +16,8 @@ use crate::directory::{DirEntry, Directory, PeerStatus, SpeedClass};
 use crate::messages::{Message, PeerState, PeerSummary};
 use crate::rumor::{Payload, Rumor, RumorId, RumorKind};
 use crate::selector::{pick_target, SelectionPurpose};
-use crate::stats::EngineStats;
+use crate::stats::{EngineCounters, EngineStats};
+use planetp_obs::Registry;
 use crate::{PeerId, TimeMs};
 
 /// A rumor this peer is actively spreading.
@@ -60,7 +61,7 @@ pub struct GossipEngine<P: Payload> {
     /// join/rejoin so the peer downloads the directory immediately).
     force_ae: bool,
     rng: SmallRng,
-    stats: EngineStats,
+    stats: EngineCounters,
 }
 
 impl<P: Payload> GossipEngine<P> {
@@ -102,7 +103,7 @@ impl<P: Payload> GossipEngine<P> {
             gossipless: 0,
             force_ae: false,
             rng: SmallRng::seed_from_u64(seed),
-            stats: EngineStats::default(),
+            stats: EngineCounters::default(),
         };
         if let Some((contact, contact_speed)) = bootstrap {
             engine.dir.insert(
@@ -145,7 +146,7 @@ impl<P: Payload> GossipEngine<P> {
             gossipless: 0,
             force_ae: false,
             rng: SmallRng::seed_from_u64(seed),
-            stats: EngineStats::default(),
+            stats: EngineCounters::default(),
         }
     }
 
@@ -170,9 +171,23 @@ impl<P: Payload> GossipEngine<P> {
         &mut self.dir
     }
 
-    /// Protocol counters.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Protocol counters, frozen at this instant.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.view()
+    }
+
+    /// The metrics registry this engine records into. Private to the
+    /// engine unless a driver re-homed it via
+    /// [`Self::attach_metrics`].
+    pub fn metrics(&self) -> &Registry {
+        self.stats.registry()
+    }
+
+    /// Record this engine's metrics in `registry` (carrying over
+    /// anything already counted), so one registry can cover gossip,
+    /// transport, and search at once.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.stats.attach(registry);
     }
 
     /// Milliseconds until the next tick should run (the adaptive
@@ -228,7 +243,7 @@ impl<P: Payload> GossipEngine<P> {
     pub fn on_contact_failed(&mut self, peer: PeerId, now: TimeMs) {
         self.dir.mark_offline(peer, now);
         self.pending_acks.remove(&peer);
-        self.stats.contact_failures += 1;
+        self.stats.contact_failures.inc();
     }
 
     /// A contact attempt to `peer` failed, but the caller's failure
@@ -238,14 +253,14 @@ impl<P: Payload> GossipEngine<P> {
     /// does not remove a peer from gossip target selection;
     /// [`Self::on_contact_failed`] remains the offline transition.
     pub fn note_contact_suspect(&mut self, _peer: PeerId) {
-        self.stats.contact_suspects += 1;
+        self.stats.contact_suspects.inc();
     }
 
     /// A peer that had been failing answered again: clear any local
     /// offline mark (liveness is local-only, §3, so recovery is too).
     pub fn on_contact_recovered(&mut self, peer: PeerId) {
         self.dir.mark_online(peer);
-        self.stats.contact_recoveries += 1;
+        self.stats.contact_recoveries.inc();
     }
 
     // ------------------------------------------------------------------
@@ -288,12 +303,11 @@ impl<P: Payload> GossipEngine<P> {
                 self.config.fast_to_slow_prob,
                 &mut self.rng,
             )?;
-            self.stats.rounds += 1;
-            self.stats.ae_msgs_sent += 1;
-            return Some(TickOutcome {
-                target,
-                message: Message::AeRequest { digest: self.dir.digest() },
-            });
+            self.stats.rounds.inc();
+            self.stats.ae_msgs_sent.inc();
+            let message = Message::AeRequest { digest: self.dir.digest() };
+            self.stats.on_message_out(&message);
+            return Some(TickOutcome { target, message });
         }
         if self.active.is_empty() {
             let target = pick_target(
@@ -305,12 +319,11 @@ impl<P: Payload> GossipEngine<P> {
                 self.config.fast_to_slow_prob,
                 &mut self.rng,
             )?;
-            self.stats.rounds += 1;
-            self.stats.ae_msgs_sent += 1;
-            return Some(TickOutcome {
-                target,
-                message: Message::AePing { digest: self.dir.digest() },
-            });
+            self.stats.rounds.inc();
+            self.stats.ae_msgs_sent.inc();
+            let message = Message::AePing { digest: self.dir.digest() };
+            self.stats.on_message_out(&message);
+            return Some(TickOutcome { target, message });
         }
 
         // Rumor round: push all active rumors.
@@ -335,9 +348,12 @@ impl<P: Payload> GossipEngine<P> {
             .collect();
         self.pending_acks
             .insert(target, rumors.iter().map(|r| r.id).collect());
-        self.stats.rounds += 1;
-        self.stats.rumor_msgs_sent += 1;
-        Some(TickOutcome { target, message: Message::Rumor { rumors } })
+        self.stats.rounds.inc();
+        // `on_message_out` counts the rumor class, which IS
+        // `rumor_msgs_sent` — no separate increment.
+        let message = Message::Rumor { rumors };
+        self.stats.on_message_out(&message);
+        Some(TickOutcome { target, message })
     }
 
     fn push_ae_tick(&mut self) -> Option<TickOutcome<P>> {
@@ -350,15 +366,14 @@ impl<P: Payload> GossipEngine<P> {
             self.config.fast_to_slow_prob,
             &mut self.rng,
         )?;
-        self.stats.rounds += 1;
-        self.stats.ae_msgs_sent += 1;
-        Some(TickOutcome {
-            target,
-            message: Message::AePush {
-                entries: self.summaries(),
-                digest: self.dir.digest(),
-            },
-        })
+        self.stats.rounds.inc();
+        self.stats.ae_msgs_sent.inc();
+        let message = Message::AePush {
+            entries: self.summaries(),
+            digest: self.dir.digest(),
+        };
+        self.stats.on_message_out(&message);
+        Some(TickOutcome { target, message })
     }
 
     /// Handle a message from `from`; returns responses to send.
@@ -371,9 +386,10 @@ impl<P: Payload> GossipEngine<P> {
         // `now` is only needed for T_Dead expiry, which tick() drives;
         // the parameter keeps drivers passing a consistent clock.
         let _ = now;
+        self.stats.on_message_in(&msg);
         // Hearing from a peer proves it is online.
         self.dir.mark_online(from);
-        match msg {
+        let responses = match msg {
             Message::Rumor { rumors } => self.on_rumor(from, rumors),
             Message::RumorAck { already_knew, recent_ids } => {
                 self.on_rumor_ack(from, &already_knew, &recent_ids)
@@ -384,7 +400,7 @@ impl<P: Payload> GossipEngine<P> {
             }
             Message::PullReply { entries } => {
                 let learned = self.absorb(&entries, true);
-                self.stats.rumors_learned_partial_ae += learned;
+                self.stats.rumors_learned_partial_ae.add(learned);
                 Vec::new()
             }
             Message::AePing { digest } => {
@@ -433,21 +449,26 @@ impl<P: Payload> GossipEngine<P> {
             }
             Message::AeReply { entries } => {
                 let learned = self.absorb(&entries, false);
-                self.stats.rumors_learned_ae += learned;
+                self.stats.rumors_learned_ae.add(learned);
                 Vec::new()
             }
             Message::AePush { entries, digest } => {
                 if digest == self.dir.digest() {
-                    return vec![(from, Message::AeEqual)];
-                }
-                let needed = self.stale_subjects(&entries);
-                if needed.is_empty() {
-                    Vec::new()
+                    vec![(from, Message::AeEqual)]
                 } else {
-                    vec![(from, Message::AePull { subjects: needed })]
+                    let needed = self.stale_subjects(&entries);
+                    if needed.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![(from, Message::AePull { subjects: needed })]
+                    }
                 }
             }
+        };
+        for (_, m) in &responses {
+            self.stats.on_message_out(m);
         }
+        responses
     }
 
     // ------------------------------------------------------------------
@@ -468,7 +489,7 @@ impl<P: Payload> GossipEngine<P> {
             already_knew.push(knew);
             if !knew {
                 self.apply_news(&r);
-                self.stats.rumors_learned_push += 1;
+                self.stats.rumors_learned_push.inc();
             }
         }
         let recent_ids = if self.config.algorithm.partial_ae() {
@@ -623,7 +644,7 @@ impl<P: Payload> GossipEngine<P> {
             bloom_version: e.bloom_version,
         };
         self.activate(id, kind);
-        self.stats.rumors_originated += 1;
+        self.stats.rumors_originated.inc();
     }
 
     /// Retire an active rumor (death counter reached n); remember its id
@@ -635,7 +656,7 @@ impl<P: Payload> GossipEngine<P> {
             while self.recent.len() > cap {
                 self.recent.pop_front();
             }
-            self.stats.rumors_retired += 1;
+            self.stats.rumors_retired.inc();
         }
     }
 
@@ -713,7 +734,7 @@ impl<P: Payload> GossipEngine<P> {
             self.interval_ms = (self.interval_ms + self.config.slowdown_ms)
                 .min(self.config.max_interval_ms);
             self.gossipless = 0;
-            self.stats.slowdowns += 1;
+            self.stats.slowdowns.inc();
         }
     }
 
@@ -725,7 +746,7 @@ impl<P: Payload> GossipEngine<P> {
 
     fn reset_interval(&mut self) {
         if self.interval_ms != self.config.base_interval_ms {
-            self.stats.interval_resets += 1;
+            self.stats.interval_resets.inc();
         }
         self.interval_ms = self.config.base_interval_ms;
     }

@@ -45,7 +45,7 @@ pub use directory::{DirEntry, Directory, PeerStatus, SpeedClass};
 pub use engine::{GossipEngine, TickOutcome};
 pub use messages::Message;
 pub use rumor::{Payload, Rumor, RumorId, RumorKind, SizedPayload};
-pub use stats::EngineStats;
+pub use stats::{EngineCounters, EngineStats};
 
 /// Peer identifier. Dense small integers keep the simulator's state
 /// arrays flat; the live runtime maps socket addresses to ids.

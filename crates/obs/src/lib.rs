@@ -1,0 +1,28 @@
+//! # planetp-obs — unified observability for PlanetP
+//!
+//! One metrics substrate for every layer of the stack: the gossip
+//! engine, the live TCP runtime, distributed search, and the
+//! discrete-event simulator all record into a [`Registry`] of atomic
+//! [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s, and every
+//! layer is interrogated the same way: take a [`MetricsSnapshot`],
+//! `diff` it against an earlier one, and read numbers.
+//!
+//! Design constraints, in order:
+//! 1. **Recording is cheap.** A counter bump is one relaxed atomic add;
+//!    no locks on the hot path, so gossip ticks and RPC handlers can
+//!    record unconditionally.
+//! 2. **One schema.** Metric names live in [`names`]; the simulator
+//!    and the live runtime use the same ones, so tests written against
+//!    a simulated snapshot hold for a scraped live node (the paper's
+//!    Fig 2 / Fig 6 measurements become assertions either way).
+//! 3. **Zero heavyweight deps.** `serde`/`serde_json` for the snapshot
+//!    wire format; everything else is `std`.
+
+pub mod names;
+pub mod registry;
+pub mod snapshot;
+
+pub use registry::{
+    Counter, CounterFamily, Gauge, Histogram, Registry, LATENCY_MS_BUCKETS, SIZE_BYTES_BUCKETS,
+};
+pub use snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};

@@ -1,0 +1,88 @@
+//! Shared metric names.
+//!
+//! The simulator and the live TCP runtime record under the *same*
+//! names so a snapshot from either answers the same questions (the
+//! simulator's byte counts come from the paper's Table 2 wire model,
+//! the live runtime's from real serialized frames). Per-message-class
+//! families append the `Message::kind_name()` label, e.g.
+//! `gossip.msgs_out.rumor`.
+
+/// Gossip rounds executed (one per `tick` that acted).
+pub const GOSSIP_ROUNDS: &str = "gossip.rounds";
+/// Rumors this node originated.
+pub const GOSSIP_RUMORS_ORIGINATED: &str = "gossip.rumors.originated";
+/// Rumors learned from a push.
+pub const GOSSIP_LEARNED_PUSH: &str = "gossip.rumors.learned.push";
+/// Rumors learned via partial anti-entropy ids.
+pub const GOSSIP_LEARNED_PARTIAL_AE: &str = "gossip.rumors.learned.partial_ae";
+/// Rumors learned via full anti-entropy.
+pub const GOSSIP_LEARNED_AE: &str = "gossip.rumors.learned.ae";
+/// Rumors retired by the death counter.
+pub const GOSSIP_RUMORS_RETIRED: &str = "gossip.rumors.retired";
+/// Adaptive interval slow-downs.
+pub const GOSSIP_SLOWDOWNS: &str = "gossip.interval.slowdowns";
+/// Adaptive interval resets to the base interval.
+pub const GOSSIP_INTERVAL_RESETS: &str = "gossip.interval.resets";
+/// Failed gossip contacts.
+pub const GOSSIP_CONTACT_FAILURES: &str = "gossip.contact.failures";
+/// Contacts that crossed the suspect threshold.
+pub const GOSSIP_CONTACT_SUSPECTS: &str = "gossip.contact.suspects";
+/// Contacts that recovered a previously failing peer.
+pub const GOSSIP_CONTACT_RECOVERIES: &str = "gossip.contact.recoveries";
+/// Family prefix: gossip messages sent, by message class.
+pub const GOSSIP_MSGS_OUT: &str = "gossip.msgs_out";
+/// Family prefix: gossip messages received, by message class.
+pub const GOSSIP_MSGS_IN: &str = "gossip.msgs_in";
+/// Family prefix: gossip bytes sent (Table 2 wire model), by class.
+pub const GOSSIP_BYTES_OUT: &str = "gossip.bytes_out";
+/// Family prefix: gossip bytes received (Table 2 wire model), by class.
+pub const GOSSIP_BYTES_IN: &str = "gossip.bytes_in";
+
+/// Bytes written to the transport (live: serialized frames including
+/// the length prefix; sim: Table 2 model).
+pub const NET_BYTES_OUT: &str = "net.bytes_out";
+/// Bytes read from the transport.
+pub const NET_BYTES_IN: &str = "net.bytes_in";
+/// Frames written to the transport.
+pub const NET_FRAMES_OUT: &str = "net.frames_out";
+/// Frames read from the transport.
+pub const NET_FRAMES_IN: &str = "net.frames_in";
+
+/// Histogram: wall-clock latency of one RPC attempt (ms).
+pub const RPC_LATENCY_MS: &str = "rpc.latency_ms";
+/// RPC attempts that were retried.
+pub const RPC_RETRIES: &str = "rpc.retries";
+/// RPCs that exhausted their retry budget.
+pub const RPC_FAILURES: &str = "rpc.failures";
+/// Histogram: wall-clock duration of one full gossip exchange (ms).
+pub const GOSSIP_EXCHANGE_MS: &str = "gossip.exchange_ms";
+
+/// Peers newly marked Suspect.
+pub const HEALTH_SUSPECTS: &str = "health.suspects";
+/// Peers newly marked Offline.
+pub const HEALTH_OFFLINE: &str = "health.offline";
+/// Peers that recovered to Healthy.
+pub const HEALTH_RECOVERIES: &str = "health.recoveries";
+
+/// Ranked/exhaustive searches issued.
+pub const SEARCH_QUERIES: &str = "search.queries";
+/// Peers actually contacted while searching.
+pub const SEARCH_PEERS_CONTACTED: &str = "search.peers_contacted";
+/// Candidate groups dispatched.
+pub const SEARCH_GROUPS: &str = "search.groups";
+/// Searches cut short by the adaptive stopping heuristic.
+pub const SEARCH_STOPPED_EARLY: &str = "search.stopped_early";
+/// Searches that ran the full candidate list.
+pub const SEARCH_EXHAUSTED: &str = "search.exhausted";
+/// Histogram: per-group dispatch duration (ms).
+pub const SEARCH_GROUP_MS: &str = "search.group_ms";
+
+/// Histogram: serialized Bloom filter size on the wire (bytes).
+pub const BLOOM_WIRE_BYTES: &str = "bloom.wire_bytes";
+
+/// Tracked-rumor mark events (simulator: a peer learned a tracked id).
+pub const SIM_TRACKED_KNOWN: &str = "sim.tracked.known_peers";
+/// Tracked rumors that reached every peer.
+pub const SIM_RUMORS_CONVERGED: &str = "sim.rumors.converged";
+/// Histogram: birth-to-everywhere latency of tracked rumors (ms).
+pub const SIM_CONVERGENCE_MS: &str = "sim.convergence_ms";

@@ -1,0 +1,341 @@
+//! Lock-cheap metrics registry.
+//!
+//! A [`Registry`] is a named collection of [`Counter`]s, [`Gauge`]s and
+//! fixed-bucket [`Histogram`]s. Handles are `Arc`s around atomics:
+//! recording a sample is one or two relaxed atomic ops and never takes
+//! the registry lock. The registry lock (a `std::sync::RwLock` around a
+//! `BTreeMap`) is touched only on registration and on
+//! [`Registry::snapshot`], both of which are cold paths.
+//!
+//! Cloning a `Registry` or any handle shares the underlying storage, so
+//! subsystems can keep their own handles while one snapshot sees
+//! everything.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Default upper bounds (milliseconds) for latency histograms.
+pub const LATENCY_MS_BUCKETS: &[u64] =
+    &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000];
+
+/// Default upper bounds (bytes) for size histograms.
+pub const SIZE_BYTES_BUCKETS: &[u64] = &[
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere (e.g. before a registry is
+    /// attached). Recording into it is valid; it just won't appear in
+    /// any snapshot.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage for a fixed-bucket histogram.
+///
+/// `bounds[i]` is the inclusive upper bound of bucket `i`; the final
+/// bucket (index `bounds.len()`) is the overflow bucket.
+#[derive(Debug)]
+pub struct HistogramCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: sorted,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (latencies, sizes).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not registered anywhere.
+    pub fn detached(bounds: &[u64]) -> Self {
+        Self(Arc::new(HistogramCore::new(bounds)))
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.0.observe(v);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples recorded.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Cloning shares the storage.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    slots: Arc<RwLock<BTreeMap<String, Slot>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.write().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Counter::default()))
+        {
+            Slot::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge registered under `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.write().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Gauge::default()))
+        {
+            Slot::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram registered under `name`. `bounds` is
+    /// used only on first registration; later callers share the
+    /// existing buckets.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut slots = self.slots.write().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Histogram::detached(bounds)))
+        {
+            Slot::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A family of counters sharing a prefix: `family.inc("rumor")`
+    /// records into the counter named `<prefix>.rumor`. Labels must be
+    /// `&'static str` so lookups after the first are a small-map read.
+    pub fn counter_family(&self, prefix: &str) -> CounterFamily {
+        CounterFamily {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+            cache: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Materialize every registered metric into a serializable
+    /// snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.read().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in slots.iter() {
+            let value = match slot {
+                Slot::Counter(c) => MetricValue::Counter { value: c.get() },
+                Slot::Gauge(g) => MetricValue::Gauge { value: g.get() },
+                Slot::Histogram(h) => MetricValue::Histogram { hist: h.0.snapshot() },
+            };
+            snap.metrics.insert(name.clone(), value);
+        }
+        snap
+    }
+}
+
+/// Counters keyed by a `&'static str` label under a shared prefix.
+#[derive(Debug, Clone)]
+pub struct CounterFamily {
+    registry: Registry,
+    prefix: String,
+    cache: Arc<RwLock<BTreeMap<&'static str, Counter>>>,
+}
+
+impl CounterFamily {
+    /// Handle for the counter labeled `label` (registered as
+    /// `<prefix>.<label>`).
+    pub fn get(&self, label: &'static str) -> Counter {
+        if let Some(c) = self.cache.read().unwrap().get(label) {
+            return c.clone();
+        }
+        let c = self.registry.counter(&format!("{}.{}", self.prefix, label));
+        self.cache.write().unwrap().insert(label, c.clone());
+        c
+    }
+
+    /// Increment `<prefix>.<label>` by one.
+    pub fn inc(&self, label: &'static str) {
+        self.get(label).inc();
+    }
+
+    /// Increment `<prefix>.<label>` by `n`.
+    pub fn add(&self, label: &'static str, n: u64) {
+        self.get(label).add(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_storage_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("x"), 4);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+        assert_eq!(reg.snapshot().gauge("depth"), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::detached(&[10, 100]);
+        h.observe(5); // bucket 0 (<= 10)
+        h.observe(10); // bucket 0 (inclusive upper bound)
+        h.observe(50); // bucket 1
+        h.observe(1_000); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_065);
+        let reg = Registry::new();
+        let rh = reg.histogram("sizes", &[10, 100]);
+        rh.observe(7);
+        let snap = reg.snapshot();
+        let hist = snap.histogram("sizes").expect("registered");
+        assert_eq!(hist.bounds, vec![10, 100]);
+        assert_eq!(hist.counts, vec![1, 0, 0]);
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn family_registers_prefixed_counters() {
+        let reg = Registry::new();
+        let fam = reg.counter_family("msgs");
+        fam.inc("rumor");
+        fam.add("rumor", 2);
+        fam.inc("ae_ping");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("msgs.rumor"), 3);
+        assert_eq!(snap.counter("msgs.ae_ping"), 1);
+        assert_eq!(snap.sum_counters("msgs."), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

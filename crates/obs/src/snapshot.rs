@@ -1,0 +1,267 @@
+//! Serializable point-in-time views of a [`crate::Registry`].
+//!
+//! A [`MetricsSnapshot`] is the exchange format of the observability
+//! layer: the `planetp stats` CLI prints one, the `GetStats` wire RPC
+//! ships one, integration tests diff two of them. The schema is
+//! deliberately simple JSON — a map from dotted metric name to a tagged
+//! value — so it survives version skew and is trivially greppable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Frozen state of one histogram: `counts[i]` is the number of samples
+/// `<= bounds[i]`, with `counts[bounds.len()]` the overflow bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of all recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn diff(&self, earlier: &Self) -> Self {
+        if self.bounds != earlier.bounds || self.counts.len() != earlier.counts.len() {
+            return self.clone();
+        }
+        Self {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
+    fn merge(&self, other: &Self) -> Self {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return self.clone();
+        }
+        Self {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            sum: self.sum + other.sum,
+            count: self.count + other.count,
+        }
+    }
+}
+
+/// One metric's frozen value, tagged with its kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MetricValue {
+    Counter { value: u64 },
+    Gauge { value: i64 },
+    Histogram { hist: HistogramSnapshot },
+}
+
+/// A point-in-time view of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter { value }) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value, or 0 when absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge { value }) => *value,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot, or `None` when absent or not a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram { hist }) => Some(hist),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — the
+    /// natural way to total a [`crate::CounterFamily`] (use a prefix
+    /// ending in `.`).
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| match v {
+                MetricValue::Counter { value } => *value,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (saturating, so restarts don't underflow);
+    /// gauges keep their current value. Metrics present only in
+    /// `earlier` are dropped; metrics new in `self` pass through.
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let mut out = Self::default();
+        for (name, value) in &self.metrics {
+            let diffed = match (value, earlier.metrics.get(name)) {
+                (MetricValue::Counter { value: now }, Some(MetricValue::Counter { value: was })) => {
+                    MetricValue::Counter { value: now.saturating_sub(*was) }
+                }
+                (MetricValue::Histogram { hist: now }, Some(MetricValue::Histogram { hist: was })) => {
+                    MetricValue::Histogram { hist: now.diff(was) }
+                }
+                _ => value.clone(),
+            };
+            out.metrics.insert(name.clone(), diffed);
+        }
+        out
+    }
+
+    /// Pointwise sum with `other` — used to aggregate per-node
+    /// snapshots into one community-wide view. Counters and histograms
+    /// add; gauges add (a merged gauge is a total, e.g. total directory
+    /// entries across peers).
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (name, value) in &other.metrics {
+            let merged = match (out.metrics.get(name), value) {
+                (Some(MetricValue::Counter { value: a }), MetricValue::Counter { value: b }) => {
+                    MetricValue::Counter { value: a + b }
+                }
+                (Some(MetricValue::Gauge { value: a }), MetricValue::Gauge { value: b }) => {
+                    MetricValue::Gauge { value: a + b }
+                }
+                (Some(MetricValue::Histogram { hist: a }), MetricValue::Histogram { hist: b }) => {
+                    MetricValue::Histogram { hist: a.merge(b) }
+                }
+                _ => value.clone(),
+            };
+            out.metrics.insert(name.clone(), merged);
+        }
+        out
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parse a snapshot from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Compact single-metric-per-line rendering for humans.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter { value } => {
+                    let _ = writeln!(out, "{name:<40} {value}");
+                }
+                MetricValue::Gauge { value } => {
+                    let _ = writeln!(out, "{name:<40} {value} (gauge)");
+                }
+                MetricValue::Histogram { hist } => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<40} count={} sum={} mean={:.1}",
+                        hist.count,
+                        hist.sum,
+                        hist.mean()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Registry {
+        let reg = Registry::new();
+        reg.counter("a").add(10);
+        reg.gauge("g").set(-2);
+        reg.histogram("h", &[5, 50]).observe(3);
+        reg
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = sample().snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parses");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_keeps_gauges() {
+        let reg = sample();
+        let before = reg.snapshot();
+        reg.counter("a").add(5);
+        reg.gauge("g").set(7);
+        reg.histogram("h", &[5, 50]).observe(40);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("a"), 5);
+        assert_eq!(d.gauge("g"), 7);
+        let h = d.histogram("h").expect("present");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.counts, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let a = sample().snapshot();
+        let b = sample().snapshot();
+        let m = a.merge(&b);
+        assert_eq!(m.counter("a"), 20);
+        assert_eq!(m.gauge("g"), -4);
+        assert_eq!(m.histogram("h").expect("present").count, 2);
+    }
+
+    #[test]
+    fn diff_is_saturating_after_restart() {
+        let big = sample().snapshot();
+        let reg = Registry::new();
+        reg.counter("a").add(1); // fresh process, counter restarted
+        let small = reg.snapshot();
+        assert_eq!(small.diff(&big).counter("a"), 0);
+    }
+
+    #[test]
+    fn human_rendering_names_every_metric() {
+        let text = sample().snapshot().render_human();
+        assert!(text.contains("a"));
+        assert!(text.contains("(gauge)"));
+        assert!(text.contains("count=1"));
+    }
+}

@@ -11,6 +11,8 @@ use crate::selection::{SelectionConfig, StoppingRule};
 use crate::types::{sort_ranked, DocRef, ScoredDoc};
 use planetp_bloom::BloomFilter;
 use planetp_index::InvertedIndex;
+use planetp_obs::{names, Counter, Histogram, Registry, LATENCY_MS_BUCKETS};
+use std::time::Instant;
 
 /// One peer's searchable state: its inverted index plus the Bloom filter
 /// it gossips. In a live deployment the index lives remotely and only
@@ -93,6 +95,33 @@ pub fn score_index(
         .collect()
 }
 
+/// Metrics recorder for the distributed search driver. Handles into a
+/// [`Registry`], under the same `search.*` names the live runtime uses,
+/// so in-process and live searches are interrogated identically.
+#[derive(Debug, Clone)]
+pub struct SearchMetrics {
+    queries: Counter,
+    peers_contacted: Counter,
+    groups: Counter,
+    group_ms: Histogram,
+    stopped_early: Counter,
+    exhausted: Counter,
+}
+
+impl SearchMetrics {
+    /// A recorder whose counters live in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            queries: registry.counter(names::SEARCH_QUERIES),
+            peers_contacted: registry.counter(names::SEARCH_PEERS_CONTACTED),
+            groups: registry.counter(names::SEARCH_GROUPS),
+            group_ms: registry.histogram(names::SEARCH_GROUP_MS, LATENCY_MS_BUCKETS),
+            stopped_early: registry.counter(names::SEARCH_STOPPED_EARLY),
+            exhausted: registry.counter(names::SEARCH_EXHAUSTED),
+        }
+    }
+}
+
 /// Result of one distributed query.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -107,16 +136,27 @@ pub struct SearchOutcome {
 /// The distributed search engine: owns nothing, borrows the community.
 pub struct DistributedSearch<'a, S: PeerStore> {
     peers: &'a [S],
+    metrics: Option<SearchMetrics>,
 }
 
 impl<'a, S: PeerStore> DistributedSearch<'a, S> {
     /// Create a search engine over a community of peers.
     pub fn new(peers: &'a [S]) -> Self {
-        Self { peers }
+        Self { peers, metrics: None }
+    }
+
+    /// Record per-query metrics (queries, peers contacted, group
+    /// timings, stopping decisions) through `metrics`.
+    pub fn with_metrics(mut self, metrics: SearchMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Run a query: TFxIPF ranking with the configured stopping rule.
     pub fn search(&self, query_terms: &[String], cfg: SelectionConfig) -> SearchOutcome {
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+        }
         let filters: Vec<BloomFilter> =
             self.peers.iter().map(|p| p.bloom().clone()).collect();
         let ipf = IpfTable::compute(query_terms, &filters);
@@ -127,9 +167,11 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
         let mut top: Vec<ScoredDoc> = Vec::new();
         let mut contacted = 0usize;
         let mut since_last_contribution = 0usize;
+        let mut stopped_early = false;
 
         for group in ranked.chunks(cfg.group_size.max(1)) {
             // Evaluate the whole group (models parallel contact).
+            let group_started = Instant::now();
             let mut group_contributed = vec![false; group.len()];
             for (gi, rp) in group.iter().enumerate() {
                 contacted += 1;
@@ -144,9 +186,14 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
                     }
                 }
             }
+            if let Some(m) = &self.metrics {
+                m.groups.inc();
+                m.group_ms.observe(group_started.elapsed().as_millis() as u64);
+            }
             match cfg.stopping {
                 StoppingRule::FirstK => {
                     if top.len() >= cfg.k {
+                        stopped_early = true;
                         break;
                     }
                 }
@@ -165,9 +212,18 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
                     // is to get an initial set of k documents and then
                     // keep contacting nodes only if ..." (§5.2).
                     if top.len() >= cfg.k && since_last_contribution >= p {
+                        stopped_early = true;
                         break;
                     }
                 }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.peers_contacted.add(contacted as u64);
+            if stopped_early {
+                m.stopped_early.inc();
+            } else {
+                m.exhausted.inc();
             }
         }
         sort_ranked(&mut top);
@@ -306,6 +362,32 @@ mod tests {
         let out = s.search(&q(&[]), SelectionConfig::paper(5));
         assert!(out.results.is_empty());
         assert_eq!(out.peers_contacted, 0);
+    }
+
+    #[test]
+    fn metrics_record_stopping_decisions() {
+        let registry = Registry::new();
+        let peers: Vec<IndexedPeer> =
+            (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
+        let s = DistributedSearch::new(&peers)
+            .with_metrics(SearchMetrics::in_registry(&registry));
+        let adaptive = s.search(&q(&["term"]), SelectionConfig::paper(5));
+        let _ = s.search(
+            &q(&["term"]),
+            SelectionConfig {
+                k: 3,
+                stopping: StoppingRule::AllRanked,
+                group_size: 1,
+            },
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::SEARCH_QUERIES), 2);
+        assert_eq!(snap.counter(names::SEARCH_STOPPED_EARLY), 1);
+        assert_eq!(snap.counter(names::SEARCH_EXHAUSTED), 1);
+        assert!(snap.counter(names::SEARCH_PEERS_CONTACTED) >= adaptive.peers_contacted as u64);
+        assert!(snap.counter(names::SEARCH_GROUPS) >= adaptive.peers_contacted as u64);
+        let h = snap.histogram(names::SEARCH_GROUP_MS).expect("registered");
+        assert_eq!(h.count, snap.counter(names::SEARCH_GROUPS));
     }
 
     #[test]

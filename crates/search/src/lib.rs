@@ -28,7 +28,10 @@ pub mod tfidf;
 pub mod types;
 
 pub use coalesce::CoalescedDirectory;
-pub use distributed::{score_index, DistributedSearch, IndexedPeer, PeerStore, SearchOutcome};
+pub use distributed::{
+    score_index, DistributedSearch, IndexedPeer, PeerStore, SearchMetrics,
+    SearchOutcome,
+};
 pub use eval::{average_recall_precision, recall_precision, RecallPrecision};
 pub use ipf::IpfTable;
 pub use peer_rank::rank_peers;

@@ -2,6 +2,7 @@
 //! bandwidth time series.
 
 use planetp_gossip::{RumorId, TimeMs};
+use planetp_obs::{names, Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -76,7 +77,14 @@ impl BandwidthSeries {
 }
 
 /// All measurements a simulation run collects.
-#[derive(Debug, Clone, Default)]
+///
+/// The public fields are the original ad-hoc accumulators (kept so
+/// experiment drivers and reports compile unchanged); every recording
+/// path *also* feeds a `planetp-obs` [`Registry`] under the same names
+/// the live runtime uses, so a simulated run can be interrogated with
+/// the same [`planetp_obs::MetricsSnapshot`] queries as a scraped live
+/// node.
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Total bytes put on the wire (all messages, all peers).
     pub total_bytes: u64,
@@ -90,12 +98,50 @@ pub struct Metrics {
     pub bytes_by_kind: HashMap<&'static str, u64>,
     /// Rumors being timed.
     pub tracked: Vec<TrackedRumor>,
+    registry: Registry,
+    bytes_out: Counter,
+    frames_out: Counter,
+    tracked_known: Counter,
+    rumors_converged: Counter,
+    convergence_ms: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
 }
 
 impl Metrics {
+    /// Accounting whose unified metrics land in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            total_bytes: 0,
+            total_messages: 0,
+            bytes_per_node: Vec::new(),
+            bandwidth: BandwidthSeries::default(),
+            bytes_by_kind: HashMap::new(),
+            tracked: Vec::new(),
+            registry: registry.clone(),
+            bytes_out: registry.counter(names::NET_BYTES_OUT),
+            frames_out: registry.counter(names::NET_FRAMES_OUT),
+            tracked_known: registry.counter(names::SIM_TRACKED_KNOWN),
+            rumors_converged: registry.counter(names::SIM_RUMORS_CONVERGED),
+            convergence_ms: registry.histogram(
+                names::SIM_CONVERGENCE_MS,
+                &[1_000, 5_000, 15_000, 30_000, 60_000, 120_000, 300_000, 600_000, 1_800_000],
+            ),
+        }
+    }
+
     /// Set up per-node accounting for `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
         Self { bytes_per_node: vec![0; n], ..Self::default() }
+    }
+
+    /// The unified registry this run records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Record a message of `bytes` sent by `from` at `at`.
@@ -113,6 +159,19 @@ impl Metrics {
         }
         self.bandwidth.add(at, bytes);
         *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        self.bytes_out.add(bytes as u64);
+        self.frames_out.inc();
+    }
+
+    /// A peer was newly marked as knowing a tracked rumor.
+    pub fn on_tracker_mark(&self) {
+        self.tracked_known.inc();
+    }
+
+    /// A tracked rumor reached every online peer after `latency_ms`.
+    pub fn on_converged(&self, latency_ms: TimeMs) {
+        self.rumors_converged.inc();
+        self.convergence_ms.observe(latency_ms);
     }
 
     /// Start timing a rumor across `n` nodes. Returns its tracker index.
@@ -203,6 +262,23 @@ mod tests {
         assert_eq!(m.total_messages, 3);
         assert_eq!(m.bytes_per_node, vec![110, 50, 0]);
         assert_eq!(m.bytes_by_kind["rumor"], 150);
+    }
+
+    #[test]
+    fn recording_mirrors_into_unified_registry() {
+        let mut m = Metrics::with_nodes(2);
+        m.on_send(0, "rumor", 100, 0);
+        m.on_send(1, "ae_equal", 3, 10);
+        m.on_tracker_mark();
+        m.on_converged(12_000);
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter(names::NET_BYTES_OUT), 103);
+        assert_eq!(snap.counter(names::NET_FRAMES_OUT), 2);
+        assert_eq!(snap.counter(names::SIM_TRACKED_KNOWN), 1);
+        assert_eq!(snap.counter(names::SIM_RUMORS_CONVERGED), 1);
+        let h = snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 12_000);
     }
 
     #[test]

@@ -388,6 +388,19 @@ impl Simulator {
         self.run_until(self.now + dt);
     }
 
+    /// Community-wide unified metrics: the run's own accounting
+    /// (`net.*`, `sim.*`) merged with every engine's protocol counters
+    /// (`gossip.*`), under the same names a live node reports — so
+    /// tests and reports can ask a simulation the questions they would
+    /// ask a scraped deployment.
+    pub fn snapshot(&self) -> planetp_obs::MetricsSnapshot {
+        let mut snap = self.metrics.registry().snapshot();
+        for node in &self.nodes {
+            snap = snap.merge(&node.engine.metrics().snapshot());
+        }
+        snap
+    }
+
     /// Are the directory digests of all *online* nodes identical?
     pub fn converged(&self) -> bool {
         let mut digest = None;
@@ -559,6 +572,7 @@ impl Simulator {
         if !t.known[node as usize] {
             t.known[node as usize] = true;
             t.known_count += 1;
+            self.metrics.on_tracker_mark();
         }
         self.check_convergence(idx);
     }
@@ -607,11 +621,15 @@ impl Simulator {
             .zip(&t.known)
             .all(|(n, &k)| !n.online || k);
         if all_online_know {
-            let t = &mut self.metrics.tracked[idx];
-            t.converged_at = Some(self.now);
-            if t.converged_fast_at.is_none() {
-                t.converged_fast_at = Some(self.now);
-            }
+            let born_at = {
+                let t = &mut self.metrics.tracked[idx];
+                t.converged_at = Some(self.now);
+                if t.converged_fast_at.is_none() {
+                    t.converged_fast_at = Some(self.now);
+                }
+                t.born_at
+            };
+            self.metrics.on_converged(self.now.saturating_sub(born_at));
             if let Some(pos) =
                 self.active_trackers.iter().position(|&i| i == idx)
             {
@@ -768,6 +786,24 @@ mod tests {
             })
             .count();
         assert!(noticed >= 5, "only {noticed} noticed the departure");
+    }
+
+    #[test]
+    fn unified_snapshot_merges_engines_and_network() {
+        use planetp_obs::names;
+        let mut sim = lan_sim(10);
+        let rumor = sim.local_update(0, 3000);
+        sim.track(rumor);
+        sim.run_until(600_000);
+        let snap = sim.snapshot();
+        assert_eq!(
+            snap.counter(names::NET_BYTES_OUT),
+            sim.metrics.total_bytes,
+            "unified net bytes must equal the legacy accumulator"
+        );
+        assert!(snap.counter(names::GOSSIP_ROUNDS) > 0, "engine counters merged");
+        assert_eq!(snap.counter(names::SIM_RUMORS_CONVERGED), 1);
+        assert!(snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered").count == 1);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! the qualitative *shapes* the paper reports. The bench binaries run
 //! the full-size sweeps; these tests keep the shapes from regressing.
 
+use planetp_obs::names;
 use planetp_simnet::experiments::{
     dynamic_community, dynamic_scenarios, join_storm, poisson_join_interference,
     propagation, DynamicConfig, Scenario,
 };
+use planetp_simnet::{LinkClass, SimConfig, Simulator};
 
 #[test]
 fn fig2_shape_planetp_beats_anti_entropy_only() {
@@ -51,6 +53,59 @@ fn fig2_shape_time_grows_sublinearly() {
     assert!(
         large < small * 3.0,
         "8x community size cost {small}s -> {large}s; expected ~log growth"
+    );
+}
+
+/// Convergence-bound regression at N=200, asserted entirely through the
+/// unified [`planetp_obs::MetricsSnapshot`] rather than simulator
+/// internals — the same schema `planetp stats` serves for live nodes.
+///
+/// The paper's claim (§7.2, Fig 2): rumor propagation completes in
+/// O(log N) gossip rounds. We grant a generous constant — 6 × log2(N)
+/// base intervals — so the bound catches regressions to linear-time
+/// spreading without flaking on scheduling noise.
+#[test]
+fn n200_propagation_within_log_round_envelope() {
+    const N: usize = 200;
+    let config = SimConfig::default();
+    let interval_ms = config.gossip.base_interval_ms;
+    let envelope_ms =
+        (6.0 * (N as f64).log2() * interval_ms as f64).ceil() as u64;
+
+    let mut sim = Simulator::new(config);
+    sim.add_stable_community(&[LinkClass::Lan45M; N], 3000);
+    let rumor = sim.local_update(0, 3000);
+    sim.track(rumor);
+    sim.run_until(envelope_ms);
+
+    let snap = sim.snapshot();
+    assert_eq!(
+        snap.counter(names::SIM_RUMORS_CONVERGED),
+        1,
+        "rumor did not reach all {N} peers within {envelope_ms} ms \
+         ({} of {N} know it)",
+        snap.counter(names::SIM_TRACKED_KNOWN)
+    );
+    // Every peer learned it exactly once (the origin counts too).
+    assert_eq!(snap.counter(names::SIM_TRACKED_KNOWN), N as u64);
+    // The recorded latency itself sits inside the envelope.
+    let conv = snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered");
+    assert_eq!(conv.count, 1);
+    assert!(
+        conv.sum <= envelope_ms,
+        "convergence took {} ms, envelope is {envelope_ms} ms",
+        conv.sum
+    );
+    // The engines' own counters rode along in the same snapshot: rounds
+    // ran community-wide, and propagation cost real simulated bytes.
+    assert!(snap.counter(names::GOSSIP_ROUNDS) >= N as u64);
+    assert!(snap.counter(names::NET_BYTES_OUT) > 0);
+    assert!(
+        snap.counter(names::GOSSIP_LEARNED_PUSH)
+            + snap.counter(names::GOSSIP_LEARNED_PARTIAL_AE)
+            + snap.counter(names::GOSSIP_LEARNED_AE)
+            >= (N - 1) as u64,
+        "fewer rumor learns than peers: {snap:#?}"
     );
 }
 
