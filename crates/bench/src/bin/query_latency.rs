@@ -1,0 +1,328 @@
+//! Query latency: sequential rank-order walk vs. grouped fan-out
+//! (§5.2's "groups of m"), cold vs. warm query cache, over live TCP
+//! nodes with an injected per-operation network delay so the
+//! parallelism is measured against a realistic (and deterministic) RTT
+//! rather than loopback noise.
+//!
+//! Every remote peer delays each inbound operation by a fixed amount;
+//! one search RPC crosses three delayed operations on the target
+//! (accept admission, request read, reply write), so a contact costs
+//! ~3× the knob. A sequential walk pays that per peer; the grouped walk
+//! pays it per group.
+//!
+//! Also times `QueryCache::plan` in-process (no sockets) to show the
+//! directory-versioned cache's cold/warm cost, and dumps the searcher's
+//! `search.cache.*` / `pool.*` counters.
+//!
+//! Emits `BENCH_query_latency.json` when `PLANETP_JSON_DIR` is set.
+
+use planetp::faults::{FaultInjector, FaultPlan, FaultRules};
+use planetp::live::{FanoutConfig, LiveConfig, LiveNode};
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_gossip::GossipConfig;
+use planetp_obs::names;
+use planetp_search::{PeerFilterRef, QueryCache};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Injected delay per inbound operation on every remote peer (ms); a
+/// full contact crosses three such operations.
+const DELAY_MS: u64 = 15;
+/// Grouped fan-out width for the parallel series.
+const GROUP_SIZE: usize = 5;
+
+#[derive(Serialize)]
+struct SeriesRow {
+    series: String,
+    group_size: usize,
+    cache: String,
+    runs: usize,
+    median_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Serialize)]
+struct PlanMicro {
+    peers: usize,
+    terms_per_filter: usize,
+    cold_us: f64,
+    warm_us: f64,
+}
+
+#[derive(Serialize)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    peer_refreshes: u64,
+    rebuilds: u64,
+    pool_jobs: u64,
+    search_groups: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    peers: usize,
+    delay_ms: u64,
+    group_size: usize,
+    converged: bool,
+    rows: Vec<SeriesRow>,
+    parallel_speedup_warm: f64,
+    plan_micro: PlanMicro,
+    searcher_counters: CacheCounters,
+}
+
+fn node_config(seed: u64, faults: Option<Arc<FaultInjector>>) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 150,
+            slowdown_ms: 25,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(2),
+        seed,
+        fanout: FanoutConfig {
+            // Per-call group size overrides this; size the pool so one
+            // full group overlaps completely.
+            pool_threads: GROUP_SIZE + 1,
+            ..FanoutConfig::default()
+        },
+        faults,
+        ..LiveConfig::default()
+    }
+}
+
+fn delayed(seed: u64) -> Option<Arc<FaultInjector>> {
+    Some(Arc::new(FaultInjector::new(
+        seed,
+        FaultPlan {
+            inbound: FaultRules { delay: 1.0, delay_ms: DELAY_MS, ..FaultRules::default() },
+            outbound: FaultRules::default(),
+        },
+    )))
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[samples.len() / 2]
+}
+
+/// Time `runs` executions of a ranked query; the query string differs
+/// per run for cold series (fresh cache terms) and repeats for warm.
+fn time_series(
+    node: &LiveNode,
+    queries: &[String],
+    k: usize,
+    group: usize,
+) -> (Vec<f64>, usize) {
+    let mut ms = Vec::with_capacity(queries.len());
+    let mut hits = usize::MAX;
+    for q in queries {
+        let t = Instant::now();
+        let r = node.search_ranked_grouped(q, k, group).expect("search");
+        ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        hits = hits.min(r.hits.len());
+    }
+    (ms, hits)
+}
+
+/// In-process `QueryCache::plan` timing over synthetic filters: cold
+/// (first plan, probes every filter) vs. warm (same terms, same
+/// directory versions — pure cache read).
+fn plan_micro(peers: usize) -> PlanMicro {
+    const TERMS: usize = 2_000;
+    let filters: Vec<BloomFilter> = (0..peers)
+        .map(|p| {
+            let mut f = BloomFilter::new(BloomParams::for_capacity(TERMS, 1e-4));
+            for t in 0..TERMS {
+                f.insert(&format!("w{}", (p * 131 + t * 7) % (TERMS * 2)));
+            }
+            f
+        })
+        .collect();
+    let view: Vec<PeerFilterRef<'_>> = filters
+        .iter()
+        .enumerate()
+        .map(|(i, f)| PeerFilterRef { id: i as u64 + 1, version: 0, filter: f })
+        .collect();
+    let q: Vec<String> = (0..4).map(|i| format!("w{}", i * 31)).collect();
+
+    let reps = 50;
+    let mut cold = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut cache = QueryCache::new();
+        let t = Instant::now();
+        std::hint::black_box(cache.plan(&q, &view));
+        cold.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let mut cache = QueryCache::new();
+    cache.plan(&q, &view);
+    let mut warm = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(cache.plan(&q, &view));
+        warm.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    PlanMicro {
+        peers,
+        terms_per_filter: TERMS,
+        cold_us: median(&mut cold),
+        warm_us: median(&mut warm),
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (peers, runs) = match scale {
+        Scale::Quick => (8usize, 3usize),
+        Scale::Full | Scale::Default => (20, 5),
+    };
+
+    // Community: node 0 searches (no injector), everyone else answers
+    // through a delayed link.
+    let founder = LiveNode::start(0, node_config(1_000, None), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..peers as u32 {
+        let seed = 1_000 + u64::from(id);
+        nodes.push(
+            LiveNode::start(id, node_config(seed, delayed(seed)), Some(bootstrap.clone()))
+                .expect("node"),
+        );
+    }
+
+    // Every document carries the shared term plus one fresh token per
+    // planned cold run, so cold queries miss the cache while still
+    // matching every peer.
+    let cold_tokens: Vec<String> = (0..2 * runs).map(|i| format!("cold{i}")).collect();
+    let body_suffix = cold_tokens.join(" ");
+    for (i, n) in nodes.iter().enumerate() {
+        n.publish(&format!("<doc><body>fanout entry{i} warmrun {body_suffix}</body></doc>"))
+            .expect("publish");
+    }
+    let deadline = Instant::now()
+        + if matches!(scale, Scale::Quick) {
+            Duration::from_secs(60)
+        } else {
+            Duration::from_secs(120)
+        };
+    let converged = loop {
+        let d = nodes[0].directory_digest();
+        if nodes.iter().all(|n| n.directory_size() == peers && n.directory_digest() == d) {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    if !converged {
+        eprintln!("warning: community not fully converged; timings may undercount peers");
+    }
+
+    let searcher = &nodes[0];
+    let k = peers; // never satisfied early: every peer must be walked
+    let warm_q: Vec<String> = (0..runs).map(|_| "fanout warmrun".to_string()).collect();
+
+    // Prime the cache and the health table once before any timed run.
+    let _ = searcher.search_ranked_grouped("fanout warmrun", k, GROUP_SIZE);
+
+    let mut rows = Vec::new();
+    let mut push = |series: &str, group: usize, cache: &str, ms: &mut Vec<f64>, hits: usize| {
+        eprintln!("{series}: min hits {hits}/{peers}");
+        rows.push(SeriesRow {
+            series: series.to_string(),
+            group_size: group,
+            cache: cache.to_string(),
+            runs: ms.len(),
+            median_ms: median(ms),
+            min_ms: ms.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_ms: ms.iter().cloned().fold(0.0, f64::max),
+        });
+    };
+
+    let cold_seq: Vec<String> =
+        (0..runs).map(|i| format!("fanout {}", cold_tokens[i])).collect();
+    let (mut ms, hits) = time_series(searcher, &cold_seq, k, 1);
+    push("sequential", 1, "cold", &mut ms, hits);
+    let (mut ms, hits) = time_series(searcher, &warm_q, k, 1);
+    let seq_warm = median(&mut ms.clone());
+    push("sequential", 1, "warm", &mut ms, hits);
+
+    let cold_par: Vec<String> =
+        (0..runs).map(|i| format!("fanout {}", cold_tokens[runs + i])).collect();
+    let (mut ms, hits) = time_series(searcher, &cold_par, k, GROUP_SIZE);
+    push("parallel", GROUP_SIZE, "cold", &mut ms, hits);
+    let (mut ms, hits) = time_series(searcher, &warm_q, k, GROUP_SIZE);
+    let par_warm = median(&mut ms.clone());
+    push("parallel", GROUP_SIZE, "warm", &mut ms, hits);
+
+    let snap = searcher.metrics_snapshot();
+    let counters = CacheCounters {
+        hits: snap.counter(names::SEARCH_CACHE_HITS),
+        misses: snap.counter(names::SEARCH_CACHE_MISSES),
+        peer_refreshes: snap.counter(names::SEARCH_CACHE_PEER_REFRESHES),
+        rebuilds: snap.counter(names::SEARCH_CACHE_REBUILDS),
+        pool_jobs: snap.counter(names::POOL_JOBS),
+        search_groups: snap.counter(names::SEARCH_GROUPS),
+    };
+    let micro = plan_micro(peers);
+
+    println!(
+        "Query latency, {peers} live peers, {DELAY_MS} ms injected delay per \
+         inbound op (~{} ms per contact):",
+        3 * DELAY_MS
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.series.clone(),
+                r.group_size.to_string(),
+                r.cache.clone(),
+                format!("{:.1}", r.median_ms),
+                format!("{:.1}", r.min_ms),
+                format!("{:.1}", r.max_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &["series", "group", "cache", "median(ms)", "min(ms)", "max(ms)"],
+        &table,
+    );
+    let speedup = if par_warm > 0.0 { seq_warm / par_warm } else { 0.0 };
+    println!(
+        "\ngrouped fan-out speedup (warm, group {GROUP_SIZE} vs 1): {speedup:.2}x"
+    );
+    println!(
+        "QueryCache::plan over {} synthetic filters: cold {:.1} us, warm {:.1} us",
+        micro.peers, micro.cold_us, micro.warm_us
+    );
+    println!(
+        "searcher counters: cache {}h/{}m, {} refreshes, {} rebuilds, {} pool \
+         jobs, {} groups",
+        counters.hits,
+        counters.misses,
+        counters.peer_refreshes,
+        counters.rebuilds,
+        counters.pool_jobs,
+        counters.search_groups
+    );
+
+    write_json(
+        "BENCH_query_latency",
+        &Report {
+            peers,
+            delay_ms: DELAY_MS,
+            group_size: GROUP_SIZE,
+            converged,
+            rows,
+            parallel_speedup_warm: speedup,
+            plan_micro: micro,
+            searcher_counters: counters,
+        },
+    );
+}

@@ -4,6 +4,80 @@ use serde::{Deserialize, Serialize};
 
 use crate::hashing::DoubleHasher;
 
+/// A query key hashed exactly once, reusable across any number of
+/// filters.
+///
+/// On the query hot path every term is probed against all `N` directory
+/// filters; hashing the term inside [`BloomFilter::contains`] would
+/// repeat the two base hashes `N` times. A `HashedKey` front-loads that
+/// work so probing a filter costs only `num_hashes` word reads.
+#[derive(Debug, Clone, Copy)]
+pub struct HashedKey {
+    hasher: DoubleHasher,
+}
+
+impl HashedKey {
+    /// Hash `key` once.
+    #[inline]
+    pub fn new(key: &str) -> Self {
+        Self { hasher: DoubleHasher::new(key) }
+    }
+
+    /// The underlying double-hashing index generator.
+    #[inline]
+    pub fn hasher(&self) -> &DoubleHasher {
+        &self.hasher
+    }
+}
+
+/// Probe one pre-hashed key against every filter in `filters`.
+///
+/// Returns `(presence, count)` where `presence` is a little-endian
+/// bitset (bit `i` set ⇔ `filters[i]` reports the key present) and
+/// `count` is its popcount.
+///
+/// When all filters share the same parameters — the common case, since a
+/// PlanetP community gossips constant-size filters (§7.1) — the bit
+/// indices are resolved to `(word, mask)` probes once, and each filter
+/// is tested word-wise against those probes: `N` filters cost
+/// `N · num_hashes` word reads with zero re-hashing. Heterogeneous
+/// parameter sets fall back to per-filter probing.
+pub fn probe_row<F: std::borrow::Borrow<BloomFilter>>(
+    key: &HashedKey,
+    filters: &[F],
+) -> (Vec<u64>, usize) {
+    let mut presence = vec![0u64; filters.len().div_ceil(64)];
+    let mut count = 0usize;
+    let shared = filters.first().map(|f| f.borrow().params);
+    let homogeneous = shared
+        .map(|p| filters.iter().all(|f| f.borrow().params == p))
+        .unwrap_or(false);
+    if homogeneous {
+        let params = shared.expect("checked non-empty");
+        let probes: Vec<(usize, u64)> = (0..params.num_hashes)
+            .map(|i| {
+                let idx = key.hasher.index(i, params.num_bits);
+                (idx / 64, 1u64 << (idx % 64))
+            })
+            .collect();
+        for (i, f) in filters.iter().enumerate() {
+            let words = f.borrow().words();
+            if probes.iter().all(|&(w, m)| words[w] & m != 0) {
+                presence[i / 64] |= 1u64 << (i % 64);
+                count += 1;
+            }
+        }
+    } else {
+        for (i, f) in filters.iter().enumerate() {
+            if f.borrow().contains_hashed(key) {
+                presence[i / 64] |= 1u64 << (i % 64);
+                count += 1;
+            }
+        }
+    }
+    (presence, count)
+}
+
 /// Sizing parameters for a [`BloomFilter`].
 ///
 /// The paper uses constant-size 50 KB filters with two hash functions,
@@ -117,9 +191,15 @@ impl BloomFilter {
     /// Membership test: `false` means *definitely absent*; `true` means
     /// present with probability `1 - estimated_fpr()`.
     pub fn contains(&self, key: &str) -> bool {
-        let h = DoubleHasher::new(key);
+        self.contains_hashed(&HashedKey::new(key))
+    }
+
+    /// Membership test against a pre-hashed key — use when the same key
+    /// is probed against many filters (see [`HashedKey`]).
+    #[inline]
+    pub fn contains_hashed(&self, key: &HashedKey) -> bool {
         for i in 0..self.params.num_hashes {
-            let idx = h.index(i, self.params.num_bits);
+            let idx = key.hasher.index(i, self.params.num_bits);
             if self.bits[idx / 64] & (1 << (idx % 64)) == 0 {
                 return false;
             }
@@ -195,7 +275,16 @@ impl BloomFilter {
 
     /// Count of query keys the filter reports as present.
     pub fn count_hits<'a, I: IntoIterator<Item = &'a str>>(&self, keys: I) -> usize {
-        keys.into_iter().filter(|k| self.contains(k)).count()
+        keys.into_iter()
+            .filter(|k| self.contains_hashed(&HashedKey::new(k)))
+            .count()
+    }
+
+    /// Count of pre-hashed query keys the filter reports as present.
+    /// The hashed counterpart of [`Self::count_hits`]: hash the query
+    /// once, then count against each candidate filter.
+    pub fn count_hits_hashed(&self, keys: &[HashedKey]) -> usize {
+        keys.iter().filter(|k| self.contains_hashed(k)).count()
     }
 
     /// Sorted positions of all set bits (the representation Golomb coding
@@ -370,5 +459,76 @@ mod tests {
         f.insert("b");
         let hits = f.count_hits(["a", "b", "absent-term-xyz"]);
         assert!(hits >= 2);
+    }
+
+    #[test]
+    fn hashed_probe_agrees_with_contains() {
+        let mut f = BloomFilter::with_paper_defaults();
+        for i in 0..5_000 {
+            f.insert(&format!("term-{i}"));
+        }
+        for key in ["term-0", "term-4999", "absent-a", "absent-b", ""] {
+            assert_eq!(f.contains(key), f.contains_hashed(&HashedKey::new(key)));
+        }
+    }
+
+    #[test]
+    fn count_hits_hashed_agrees_with_count_hits() {
+        let mut f = BloomFilter::with_paper_defaults();
+        f.insert("x");
+        f.insert("y");
+        let keys = ["x", "y", "z-absent"];
+        let hashed: Vec<HashedKey> = keys.iter().map(|k| HashedKey::new(k)).collect();
+        assert_eq!(f.count_hits_hashed(&hashed), f.count_hits(keys));
+    }
+
+    #[test]
+    fn probe_row_matches_per_filter_contains() {
+        // Homogeneous filters exercise the word-wise fast path.
+        let filters: Vec<BloomFilter> = (0..70)
+            .map(|i| {
+                let mut f = BloomFilter::with_paper_defaults();
+                if i % 2 == 0 {
+                    f.insert("even");
+                }
+                f.insert(&format!("only-{i}"));
+                f
+            })
+            .collect();
+        for key in ["even", "only-3", "absent"] {
+            let hashed = HashedKey::new(key);
+            let (presence, count) = probe_row(&hashed, &filters);
+            let mut expect = 0usize;
+            for (i, f) in filters.iter().enumerate() {
+                let hit = f.contains(key);
+                assert_eq!(
+                    presence[i / 64] & (1u64 << (i % 64)) != 0,
+                    hit,
+                    "bit {i} for {key}"
+                );
+                expect += usize::from(hit);
+            }
+            assert_eq!(count, expect, "count for {key}");
+        }
+    }
+
+    #[test]
+    fn probe_row_heterogeneous_fallback() {
+        let mut small = BloomFilter::new(BloomParams { num_bits: 256, num_hashes: 3 });
+        let mut big = BloomFilter::with_paper_defaults();
+        small.insert("k");
+        big.insert("k");
+        let refs: Vec<&BloomFilter> = vec![&small, &big];
+        let (presence, count) = probe_row(&HashedKey::new("k"), &refs);
+        assert_eq!(count, 2);
+        assert_eq!(presence[0] & 0b11, 0b11);
+    }
+
+    #[test]
+    fn probe_row_empty_filter_set() {
+        let filters: Vec<BloomFilter> = Vec::new();
+        let (presence, count) = probe_row(&HashedKey::new("k"), &filters);
+        assert!(presence.is_empty());
+        assert_eq!(count, 0);
     }
 }

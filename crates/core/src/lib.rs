@@ -61,6 +61,7 @@ pub mod faults;
 pub mod health;
 pub mod live;
 pub mod persistent;
+pub mod pool;
 pub mod query;
 pub mod wire;
 
@@ -73,9 +74,10 @@ pub use health::{
     RetryPolicy,
 };
 pub use live::{
-    scrape_stats, LiveConfig, LiveHit, LiveMsg, LiveNode, LiveSearchResult,
-    NodeStatsSnapshot, SearchCoverage,
+    scrape_stats, FanoutConfig, LiveConfig, LiveHit, LiveMsg, LiveNode,
+    LiveSearchResult, NodeStatsSnapshot, SearchCoverage,
 };
 pub use planetp_obs::{MetricsSnapshot, Registry};
+pub use pool::{ScopedJob, WorkerPool};
 pub use persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
 pub use query::{parse_query, QueryTerms};

@@ -33,8 +33,8 @@
 //! A [`FaultInjector`] can be plugged into [`LiveConfig`] to exercise
 //! all of it deterministically (`crates/core/tests/live_faults.rs`).
 
-use parking_lot::Mutex;
-use planetp_bloom::CompressedBloom;
+use parking_lot::{Mutex, MutexGuard};
+use planetp_bloom::{BloomFilter, CompressedBloom, HashedKey};
 use planetp_gossip::{
     EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
     SpeedClass,
@@ -43,7 +43,9 @@ use planetp_obs::{
     names, Counter, Gauge, Histogram, MetricsSnapshot, Registry,
     LATENCY_MS_BUCKETS, SIZE_BYTES_BUCKETS,
 };
-use planetp_search::{adaptive_p, rank_peers, IpfTable};
+use planetp_search::{
+    adaptive_p, IpfTable, PeerFilterRef, QueryCache, QueryCacheMetrics,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
@@ -59,6 +61,7 @@ use crate::faults::{Direction, FaultInjector};
 use crate::health::{
     splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy,
 };
+use crate::pool::{ScopedJob, WorkerPool};
 use crate::query::parse_query;
 
 /// Is `PLANETP_DEBUG` set? Gates the runtime's debug-level logging of
@@ -154,6 +157,31 @@ pub enum LiveMsg {
     },
 }
 
+/// Parallel fan-out settings for the search path — the paper's §5.2
+/// rule of contacting the ranked candidates "in groups of m peers
+/// simultaneously".
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutConfig {
+    /// Peers contacted concurrently per group (the paper's `m`). 1
+    /// reproduces the strictly sequential rank-order walk.
+    pub group_size: usize,
+    /// Hard wall-clock budget for one peer contact, retries included,
+    /// so one straggler cannot hold its whole group hostage. `None`
+    /// derives the budget from the retry schedule (worst-case connect
+    /// + read per attempt plus backoff sleeps), which never gives up
+    /// on a peer earlier than the sequential path would have.
+    pub contact_deadline: Option<Duration>,
+    /// Worker threads in the node's shared search pool. 0 runs every
+    /// group on the calling thread (sequential but deterministic).
+    pub pool_threads: usize,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        Self { group_size: 4, contact_deadline: None, pool_threads: 4 }
+    }
+}
+
 /// Configuration of a live node.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
@@ -168,6 +196,8 @@ pub struct LiveConfig {
     pub retry: RetryPolicy,
     /// Suspect/offline thresholds and probe backoff.
     pub health: HealthConfig,
+    /// Parallel group fan-out for search contacts.
+    pub fanout: FanoutConfig,
     /// Optional fault injector wrapping all socket I/O (tests; chaos
     /// runs). `None` costs one pointer check per operation.
     pub faults: Option<Arc<FaultInjector>>,
@@ -181,6 +211,7 @@ impl Default for LiveConfig {
             seed: 1,
             retry: RetryPolicy::default(),
             health: HealthConfig::default(),
+            fanout: FanoutConfig::default(),
             faults: None,
         }
     }
@@ -269,6 +300,8 @@ struct NodeStats {
     search_peers_contacted: Counter,
     search_stopped_early: Counter,
     search_exhausted: Counter,
+    search_groups: Counter,
+    search_fanout_ms: Histogram,
     bloom_wire_bytes: Histogram,
     directory_size: Gauge,
 }
@@ -307,6 +340,9 @@ impl NodeStats {
             search_peers_contacted: registry.counter(names::SEARCH_PEERS_CONTACTED),
             search_stopped_early: registry.counter(names::SEARCH_STOPPED_EARLY),
             search_exhausted: registry.counter(names::SEARCH_EXHAUSTED),
+            search_groups: registry.counter(names::SEARCH_GROUPS),
+            search_fanout_ms: registry
+                .histogram(names::SEARCH_FANOUT_MS, LATENCY_MS_BUCKETS),
             bloom_wire_bytes: registry
                 .histogram(names::BLOOM_WIRE_BYTES, SIZE_BYTES_BUCKETS),
             directory_size: registry.gauge("gossip.directory_size"),
@@ -361,6 +397,33 @@ impl NodeStats {
     }
 }
 
+/// One peer's decompressed filter plus the directory version it was
+/// decompressed at.
+struct VersionedFilter {
+    version: u64,
+    filter: BloomFilter,
+}
+
+/// Query-side mirror of the directory: decompressed filters (the
+/// gossip directory only holds compressed ones) and the ranking cache
+/// built over them. Both are versioned by the directory, so a query
+/// pays decompression and IPF work only for peers whose gossiped state
+/// actually changed since the last query.
+struct QueryState {
+    filters: HashMap<PeerId, VersionedFilter>,
+    cache: QueryCache,
+}
+
+/// Where one fan-out slot's documents come from during the merge.
+enum GroupSlot {
+    /// This node's own store (answered inline, never dispatched).
+    Local,
+    /// Known-offline peer inside its probe backoff; never dispatched.
+    Skipped,
+    /// Index into the dispatched jobs / replies of this group.
+    Remote(usize),
+}
+
 struct Inner {
     id: PeerId,
     addr: String,
@@ -372,6 +435,10 @@ struct Inner {
     /// Fallback address book (bootstrap contact before its payload
     /// arrives).
     addr_book: Mutex<HashMap<PeerId, String>>,
+    /// Decompressed-filter mirror + query cache (see [`QueryState`]).
+    query_state: Mutex<QueryState>,
+    /// Shared search worker pool, spun up on the first query.
+    pool: OnceLock<WorkerPool>,
     epoch: Instant,
     shutdown: AtomicBool,
 }
@@ -633,9 +700,9 @@ impl Inner {
     }
 
     /// Read deadline for a proxied search. The proxy's fan-out is
-    /// synchronous and sequential, so in the worst case it pays a full
-    /// contact budget per candidate peer before it can reply; a flat
-    /// `io_timeout` would expire exactly when the proxy's fault
+    /// grouped but still bounded by a full contact budget per
+    /// candidate peer in the worst case (parallelism only shrinks it);
+    /// a flat `io_timeout` would expire exactly when the proxy's fault
     /// tolerance is absorbing dead peers. Our directory size is the
     /// best local estimate of the proxy's candidate count.
     fn proxy_read_timeout(&self) -> Duration {
@@ -702,15 +769,201 @@ impl Inner {
         Err(err)
     }
 
+    /// A search RPC to `peer` that must conclude — retries included —
+    /// within `deadline`. The schedule is the configured retry policy,
+    /// but a retry runs only if its backoff sleep still fits inside
+    /// the deadline, and each attempt's read timeout is clipped to the
+    /// time remaining. Health and stats are recorded on the final
+    /// outcome exactly as in [`Self::rpc_with_retry`].
+    fn rpc_with_deadline(
+        &self,
+        peer: PeerId,
+        addr: &str,
+        request: &LiveMsg,
+        deadline: Duration,
+    ) -> io::Result<LiveMsg> {
+        let salt = splitmix64((u64::from(self.id) << 33) ^ u64::from(peer));
+        let started = Instant::now();
+        let mut last_err = None;
+        for retry in 0..self.config.retry.max_attempts.max(1) {
+            if retry > 0 {
+                let delay = self.config.retry.delay(retry, salt);
+                if started.elapsed() + delay >= deadline {
+                    break;
+                }
+                self.stats.rpc_retries.inc();
+                std::thread::sleep(delay);
+            }
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            let attempt_started = Instant::now();
+            match self.rpc_once(
+                addr,
+                request,
+                remaining.min(self.config.io_timeout),
+            ) {
+                Ok(reply) => {
+                    self.stats
+                        .rpc_latency_ms
+                        .observe(attempt_started.elapsed().as_millis() as u64);
+                    self.note_contact_ok(peer, started.elapsed());
+                    return Ok(reply);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let err = last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "contact deadline exhausted")
+        });
+        self.stats.rpc_failures.inc();
+        self.note_contact_failed(peer, &err);
+        Err(err)
+    }
+
+    /// The shared search worker pool, spun up on first use so nodes
+    /// that never search never pay for the threads.
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| {
+            WorkerPool::in_registry(
+                self.config.fanout.pool_threads,
+                &self.stats.registry,
+            )
+        })
+    }
+
+    /// Per-contact wall-clock budget for fan-out dispatches.
+    fn fanout_deadline(&self) -> Duration {
+        self.config
+            .fanout
+            .contact_deadline
+            .unwrap_or_else(|| self.contact_budget())
+    }
+
+    /// Lock the query-side mirror, bring it up to date with the gossip
+    /// directory, and return the guard plus the candidate list in
+    /// stable ascending-peer-id order as `(peer, addr, version)`.
+    ///
+    /// A peer's filter is decompressed only when its directory version
+    /// — status incarnation combined with bloom version — advanced
+    /// since the last query; everyone else's 50 KB stays untouched.
+    /// Departed peers are evicted so the mirror cannot grow stale
+    /// entries, and the version list is exactly what the query cache
+    /// keys its invalidation on.
+    fn synced_query_state(
+        &self,
+    ) -> (MutexGuard<'_, QueryState>, Vec<(PeerId, String, u64)>) {
+        let mut qs = self.query_state.lock();
+        // Snapshot the directory under a short engine lock; the
+        // decompression work happens after it is released.
+        let mut snapshot: Vec<(PeerId, String, u64, Option<CompressedBloom>)> = {
+            let engine = self.engine.lock();
+            let mut snap = Vec::new();
+            for (pid, e) in engine.directory().iter() {
+                if let Some(p) = &e.payload {
+                    let version =
+                        (e.status_version << 32) ^ u64::from(e.bloom_version);
+                    let stale = match qs.filters.get(&pid) {
+                        Some(v) => v.version != version,
+                        None => true,
+                    };
+                    let bloom = if stale { Some(p.bloom.clone()) } else { None };
+                    snap.push((pid, p.addr.clone(), version, bloom));
+                }
+            }
+            snap
+        };
+        snapshot.sort_by_key(|(pid, _, _, _)| *pid);
+        for (pid, _, version, bloom) in &snapshot {
+            if let Some(b) = bloom {
+                match b.decompress() {
+                    Some(filter) => {
+                        qs.filters.insert(
+                            *pid,
+                            VersionedFilter { version: *version, filter },
+                        );
+                    }
+                    // Corrupt filter: drop the peer from the query view
+                    // rather than ranking it on stale data.
+                    None => {
+                        qs.filters.remove(pid);
+                    }
+                }
+            }
+        }
+        qs.filters.retain(|pid, _| {
+            snapshot.binary_search_by_key(pid, |(p, _, _, _)| *p).is_ok()
+        });
+        let owners: Vec<(PeerId, String, u64)> = snapshot
+            .into_iter()
+            .filter(|(pid, _, _, _)| qs.filters.contains_key(pid))
+            .map(|(pid, addr, version, _)| (pid, addr, version))
+            .collect();
+        (qs, owners)
+    }
+
+    /// Dispatch one group of search contacts: every remote member goes
+    /// to the worker pool concurrently under the fan-out deadline,
+    /// while local / backed-off members are classified for the caller
+    /// to merge. Returns per-member slots plus the replies indexed by
+    /// [`GroupSlot::Remote`].
+    fn dispatch_group(
+        &self,
+        members: &[(PeerId, &str)],
+        request: &LiveMsg,
+        deadline: Duration,
+    ) -> (Vec<GroupSlot>, Vec<Option<io::Result<LiveMsg>>>) {
+        let mut slots = Vec::with_capacity(members.len());
+        let mut jobs: Vec<ScopedJob<'_, io::Result<LiveMsg>>> = Vec::new();
+        for &(pid, addr) in members {
+            if pid == self.id {
+                slots.push(GroupSlot::Local);
+            } else if self.in_backoff(pid) {
+                slots.push(GroupSlot::Skipped);
+            } else {
+                let addr = addr.to_string();
+                slots.push(GroupSlot::Remote(jobs.len()));
+                jobs.push(Box::new(move || {
+                    self.rpc_with_deadline(pid, &addr, request, deadline)
+                }));
+            }
+        }
+        let started = Instant::now();
+        let replies = self.pool().run_all(jobs);
+        self.stats.search_groups.inc();
+        self.stats
+            .search_fanout_ms
+            .observe(started.elapsed().as_millis() as u64);
+        (slots, replies)
+    }
+
     /// Ranked TFxIPF search across the community (shared by the node
-    /// API and the proxy-search handler). Degrades gracefully: dead
-    /// peers are skipped after bounded retries, the rank order keeps
-    /// draining, and the coverage summary accounts for every peer the
-    /// search attempted.
+    /// API and the proxy-search handler) with the configured group
+    /// size. Degrades gracefully: dead peers are skipped or cut off at
+    /// the deadline, the rank order keeps draining, and the coverage
+    /// summary accounts for every peer the search attempted.
     fn ranked_search(
         &self,
         raw_query: &str,
         k: usize,
+    ) -> Result<LiveSearchResult, PlanetPError> {
+        self.ranked_search_with(raw_query, k, self.config.fanout.group_size)
+    }
+
+    /// [`Self::ranked_search`] with an explicit group size `m`: each
+    /// group of the ranked candidate order is contacted simultaneously
+    /// on the worker pool, replies are merged back in rank order, and
+    /// §5.2's adaptive stopping is evaluated per peer exactly as in
+    /// the sequential walk (`m = 1` reproduces it contact for
+    /// contact). Stopping mid-group abandons only the not-yet-merged
+    /// replies of that group — coverage counts attempts, and every
+    /// attempt was already in flight.
+    fn ranked_search_with(
+        &self,
+        raw_query: &str,
+        k: usize,
+        group_size: usize,
     ) -> Result<LiveSearchResult, PlanetPError> {
         let analyzer = self.store.lock().analyzer().clone();
         let q = parse_query(raw_query, &analyzer);
@@ -721,100 +974,118 @@ impl Inner {
             });
         }
         self.stats.search_queries.inc();
-        // Decompress every peer's filter from the directory.
-        let (filters, owners) = {
-            let engine = self.engine.lock();
-            let mut filters = Vec::new();
-            let mut owners = Vec::new();
-            for (pid, e) in engine.directory().iter() {
-                if let Some(p) = &e.payload {
-                    if let Some(f) = p.bloom.decompress() {
-                        filters.push(f);
-                        owners.push((pid, p.addr.clone()));
-                    }
-                }
-            }
-            (filters, owners)
+        // Plan against the versioned mirror: decompression and IPF /
+        // ranking work is paid only for peers whose gossiped state
+        // changed since the last query, and every filter is borrowed —
+        // nothing on this path clones a Bloom filter.
+        let (plan, owners) = {
+            let (mut qs, owners) = self.synced_query_state();
+            let QueryState { filters, cache } = &mut *qs;
+            let view: Vec<PeerFilterRef<'_>> = owners
+                .iter()
+                .map(|(pid, _, version)| PeerFilterRef {
+                    id: u64::from(*pid),
+                    version: *version,
+                    filter: &filters[pid].filter,
+                })
+                .collect();
+            (cache.plan(&q.terms, &view), owners)
         };
-        let ipf = IpfTable::compute(&q.terms, &filters);
-        let ranked = rank_peers(&q.terms, &filters, &ipf);
-        let patience = adaptive_p(filters.len(), k);
+        let n = owners.len();
+        let patience = adaptive_p(n, k);
         let mut coverage = SearchCoverage {
-            peers_considered: owners.len(),
+            peers_considered: n,
             ..SearchCoverage::default()
         };
+        let request = LiveMsg::SearchRequest {
+            terms: q.terms.clone(),
+            ipf: plan.ipf.to_pairs(),
+            num_peers: n,
+        };
+        let deadline = self.fanout_deadline();
         let mut top: Vec<LiveHit> = Vec::new();
         let mut dry = 0usize;
         let mut stopped_early = false;
-        for rp in ranked {
-            let (pid, addr) = &owners[rp.peer];
-            let docs = if *pid == self.id {
-                coverage.peers_contacted += 1;
-                let store = self.store.lock();
-                planetp_search::score_index(store.index(), &q.terms, &ipf)
-                    .into_iter()
-                    .filter_map(|(d, s)| store.get(d).map(|r| (d, s, r.xml.clone())))
-                    .collect()
-            } else {
-                if self.in_backoff(*pid) {
-                    coverage.peers_skipped += 1;
-                    self.stats.contacts_skipped.inc();
-                    continue;
-                }
-                match self.rpc_with_retry(
-                    *pid,
-                    addr,
-                    &LiveMsg::SearchRequest {
-                        terms: q.terms.clone(),
-                        ipf: ipf.to_pairs(),
-                        num_peers: filters.len(),
-                    },
-                    self.config.io_timeout,
-                ) {
-                    Ok(LiveMsg::SearchResponse { docs }) => {
+        'groups: for group in plan.ranked.chunks(group_size.max(1)) {
+            let members: Vec<(PeerId, &str)> = group
+                .iter()
+                .map(|rp| {
+                    let (pid, addr, _) = &owners[rp.peer];
+                    (*pid, addr.as_str())
+                })
+                .collect();
+            let (slots, mut replies) =
+                self.dispatch_group(&members, &request, deadline);
+            // Merge in rank order, with the same bookkeeping the
+            // sequential walk kept per contact.
+            for (rp, slot) in group.iter().zip(slots) {
+                let (pid, _, _) = &owners[rp.peer];
+                let docs: Vec<(u64, f64, String)> = match slot {
+                    GroupSlot::Local => {
                         coverage.peers_contacted += 1;
-                        docs
+                        let store = self.store.lock();
+                        planetp_search::score_index(
+                            store.index(),
+                            &q.terms,
+                            &plan.ipf,
+                        )
+                        .into_iter()
+                        .filter_map(|(d, s)| {
+                            store.get(d).map(|r| (d, s, r.xml.clone()))
+                        })
+                        .collect()
                     }
-                    Ok(other) => {
-                        self.stats.unexpected_replies.inc();
+                    GroupSlot::Skipped => {
+                        coverage.peers_skipped += 1;
+                        self.stats.contacts_skipped.inc();
+                        continue;
+                    }
+                    GroupSlot::Remote(i) => match replies[i].take() {
+                        Some(Ok(LiveMsg::SearchResponse { docs })) => {
+                            coverage.peers_contacted += 1;
+                            docs
+                        }
+                        Some(Ok(other)) => {
+                            self.stats.unexpected_replies.inc();
+                            debug_log!(
+                                "planetp[{}]: unexpected search reply from peer {pid}: {other:?}",
+                                self.id
+                            );
+                            coverage.peers_failed += 1;
+                            continue;
+                        }
+                        Some(Err(_)) | None => {
+                            coverage.peers_failed += 1;
+                            continue;
+                        }
+                    },
+                };
+                let mut contributed = false;
+                for (doc, score, xml) in docs {
+                    // A corrupt or hostile peer could ship NaN/infinite
+                    // scores; drop them instead of letting them poison
+                    // the ranking.
+                    if !score.is_finite() {
                         debug_log!(
-                            "planetp[{}]: unexpected search reply from peer {pid}: {other:?}",
+                            "planetp[{}]: dropped non-finite score from peer {pid}",
                             self.id
                         );
-                        coverage.peers_failed += 1;
                         continue;
                     }
-                    Err(_) => {
-                        coverage.peers_failed += 1;
-                        continue;
+                    let hit = LiveHit { peer: *pid, doc, score, xml };
+                    if offer_hit(&mut top, hit, k) {
+                        contributed = true;
                     }
                 }
-            };
-            let mut contributed = false;
-            for (doc, score, xml) in docs {
-                // A corrupt or hostile peer could ship NaN/infinite
-                // scores; drop them instead of letting them poison the
-                // ranking.
-                if !score.is_finite() {
-                    debug_log!(
-                        "planetp[{}]: dropped non-finite score from peer {pid}",
-                        self.id
-                    );
-                    continue;
+                if contributed {
+                    dry = 0;
+                } else {
+                    dry += 1;
                 }
-                let hit = LiveHit { peer: *pid, doc, score, xml };
-                if offer_hit(&mut top, hit, k) {
-                    contributed = true;
+                if top.len() >= k && dry >= patience {
+                    stopped_early = true;
+                    break 'groups;
                 }
-            }
-            if contributed {
-                dry = 0;
-            } else {
-                dry += 1;
-            }
-            if top.len() >= k && dry >= patience {
-                stopped_early = true;
-                break;
             }
         }
         top.sort_by(|a, b| {
@@ -837,6 +1108,99 @@ impl Inner {
             self.stats.searches_degraded.inc();
         }
         Ok(LiveSearchResult { hits: top, coverage })
+    }
+
+    /// Exhaustive conjunction search (§5.1). Candidates come from the
+    /// same versioned filter mirror as ranked search (hashing each
+    /// query term once and probing every filter by precomputed hash),
+    /// and all remote candidates are contacted in one parallel batch
+    /// on the worker pool under the fan-out deadline.
+    fn exhaustive_search(
+        &self,
+        raw_query: &str,
+    ) -> Result<LiveSearchResult, PlanetPError> {
+        let analyzer = self.store.lock().analyzer().clone();
+        let q = parse_query(raw_query, &analyzer);
+        if q.is_empty() {
+            return Ok(LiveSearchResult {
+                hits: Vec::new(),
+                coverage: SearchCoverage::default(),
+            });
+        }
+        let keys: Vec<HashedKey> =
+            q.terms.iter().map(|t| HashedKey::new(t)).collect();
+        let candidates: Vec<(PeerId, String)> = {
+            let (qs, owners) = self.synced_query_state();
+            owners
+                .into_iter()
+                .filter(|(pid, _, _)| {
+                    qs.filters[pid].filter.count_hits_hashed(&keys) == keys.len()
+                })
+                .map(|(pid, addr, _)| (pid, addr))
+                .collect()
+        };
+        let mut coverage = SearchCoverage {
+            peers_considered: candidates.len(),
+            ..SearchCoverage::default()
+        };
+        let request = LiveMsg::ExhaustiveRequest { terms: q.terms.clone() };
+        let members: Vec<(PeerId, &str)> = candidates
+            .iter()
+            .map(|(pid, addr)| (*pid, addr.as_str()))
+            .collect();
+        let (slots, mut replies) =
+            self.dispatch_group(&members, &request, self.fanout_deadline());
+        let mut hits = Vec::new();
+        for ((pid, _), slot) in candidates.iter().zip(slots) {
+            match slot {
+                GroupSlot::Local => {
+                    coverage.peers_contacted += 1;
+                    let store = self.store.lock();
+                    for d in store.search_conjunction(&q.terms) {
+                        let r = store.get(d).expect("doc exists");
+                        hits.push(LiveHit {
+                            peer: *pid,
+                            doc: d,
+                            score: 0.0,
+                            xml: r.xml.clone(),
+                        });
+                    }
+                }
+                GroupSlot::Skipped => {
+                    coverage.peers_skipped += 1;
+                    self.stats.contacts_skipped.inc();
+                }
+                GroupSlot::Remote(i) => match replies[i].take() {
+                    Some(Ok(LiveMsg::ExhaustiveResponse { docs })) => {
+                        coverage.peers_contacted += 1;
+                        for (doc, xml) in docs {
+                            hits.push(LiveHit {
+                                peer: *pid,
+                                doc,
+                                score: 0.0,
+                                xml,
+                            });
+                        }
+                    }
+                    Some(Ok(other)) => {
+                        self.stats.unexpected_replies.inc();
+                        debug_log!(
+                            "planetp[{}]: unexpected exhaustive reply from {pid}: {other:?}",
+                            self.id
+                        );
+                        coverage.peers_failed += 1;
+                    }
+                    Some(Err(_)) | None => {
+                        coverage.peers_failed += 1;
+                    }
+                },
+            }
+        }
+        hits.sort_by_key(|a| (a.peer, a.doc));
+        if !coverage.is_complete() {
+            self.stats.searches_degraded.inc();
+        }
+        Ok(LiveSearchResult { hits, coverage })
     }
 
     fn handle_connection(&self, mut stream: TcpStream) {
@@ -1016,6 +1380,11 @@ impl LiveNode {
             addr_book.insert(b, a);
         }
         let health = PeerHealth::new(config.health);
+        let query_state = QueryState {
+            filters: HashMap::new(),
+            cache: QueryCache::new()
+                .with_metrics(QueryCacheMetrics::in_registry(&stats.registry)),
+        };
         let inner = Arc::new(Inner {
             id,
             addr,
@@ -1025,6 +1394,8 @@ impl LiveNode {
             health: Mutex::new(health),
             stats,
             addr_book: Mutex::new(addr_book),
+            query_state: Mutex::new(query_state),
+            pool: OnceLock::new(),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         });
@@ -1162,6 +1533,19 @@ impl LiveNode {
         self.inner.ranked_search(raw_query, k)
     }
 
+    /// Ranked search with an explicit fan-out group size, overriding
+    /// `config.fanout.group_size` for this one query. `1` reproduces
+    /// the strictly sequential rank-order walk — benches and tests use
+    /// this to compare group sizes on the same node.
+    pub fn search_ranked_grouped(
+        &self,
+        raw_query: &str,
+        k: usize,
+        group_size: usize,
+    ) -> Result<LiveSearchResult, PlanetPError> {
+        self.inner.ranked_search_with(raw_query, k, group_size)
+    }
+
     /// Ask `proxy` to run the ranked search on our behalf — the §7.2
     /// "proxy search" extension for bandwidth-limited peers. The proxy
     /// does the fan-out; we pay for one request and one reply. The
@@ -1222,93 +1606,15 @@ impl LiveNode {
         }
     }
 
-    /// Exhaustive conjunction search across the community. Skips dead
-    /// peers after bounded retries; the coverage summary accounts for
-    /// every candidate that did not answer.
+    /// Exhaustive conjunction search across the community. Candidates
+    /// are contacted in one parallel batch; dead peers are skipped or
+    /// cut off at the fan-out deadline, and the coverage summary
+    /// accounts for every candidate that did not answer.
     pub fn search_exhaustive(
         &self,
         raw_query: &str,
     ) -> Result<LiveSearchResult, PlanetPError> {
-        let analyzer = self.inner.store.lock().analyzer().clone();
-        let q = parse_query(raw_query, &analyzer);
-        if q.is_empty() {
-            return Ok(LiveSearchResult {
-                hits: Vec::new(),
-                coverage: SearchCoverage::default(),
-            });
-        }
-        let candidates: Vec<(PeerId, Option<String>)> = {
-            let engine = self.inner.engine.lock();
-            engine
-                .directory()
-                .iter()
-                .filter_map(|(pid, e)| {
-                    let p = e.payload.as_ref()?;
-                    let f = p.bloom.decompress()?;
-                    q.terms
-                        .iter()
-                        .all(|t| f.contains(t))
-                        .then(|| (pid, Some(p.addr.clone())))
-                })
-                .collect()
-        };
-        let mut coverage = SearchCoverage {
-            peers_considered: candidates.len(),
-            ..SearchCoverage::default()
-        };
-        let mut hits = Vec::new();
-        for (pid, addr) in candidates {
-            if pid == self.inner.id {
-                coverage.peers_contacted += 1;
-                let store = self.inner.store.lock();
-                for d in store.search_conjunction(&q.terms) {
-                    let r = store.get(d).expect("doc exists");
-                    hits.push(LiveHit { peer: pid, doc: d, score: 0.0, xml: r.xml.clone() });
-                }
-                continue;
-            }
-            let Some(addr) = addr else {
-                coverage.peers_skipped += 1;
-                continue;
-            };
-            if self.inner.in_backoff(pid) {
-                coverage.peers_skipped += 1;
-                self.inner.stats.contacts_skipped.inc();
-                continue;
-            }
-            match self.inner.rpc_with_retry(
-                pid,
-                &addr,
-                &LiveMsg::ExhaustiveRequest { terms: q.terms.clone() },
-                self.inner.config.io_timeout,
-            ) {
-                Ok(LiveMsg::ExhaustiveResponse { docs }) => {
-                    coverage.peers_contacted += 1;
-                    for (doc, xml) in docs {
-                        hits.push(LiveHit { peer: pid, doc, score: 0.0, xml });
-                    }
-                }
-                Ok(other) => {
-                    self.inner
-                        .stats
-                        .unexpected_replies
-                        .inc();
-                    debug_log!(
-                        "planetp[{}]: unexpected exhaustive reply from {pid}: {other:?}",
-                        self.inner.id
-                    );
-                    coverage.peers_failed += 1;
-                }
-                Err(_) => {
-                    coverage.peers_failed += 1;
-                }
-            }
-        }
-        hits.sort_by_key(|a| (a.peer, a.doc));
-        if !coverage.is_complete() {
-            self.inner.stats.searches_degraded.inc();
-        }
-        Ok(LiveSearchResult { hits, coverage })
+        self.inner.exhaustive_search(raw_query)
     }
 
     /// Stop the node's threads. Called automatically on drop.

@@ -36,6 +36,7 @@ fn faulty_config(seed: u64, faults: Option<Arc<FaultInjector>>) -> LiveConfig {
             max_backoff_ms: 2_000,
             ..HealthConfig::default()
         },
+        fanout: planetp::FanoutConfig::default(),
         faults,
     }
 }

@@ -76,6 +76,21 @@ pub const SEARCH_STOPPED_EARLY: &str = "search.stopped_early";
 pub const SEARCH_EXHAUSTED: &str = "search.exhausted";
 /// Histogram: per-group dispatch duration (ms).
 pub const SEARCH_GROUP_MS: &str = "search.group_ms";
+/// Histogram: wall-clock of one parallel group fan-out (ms).
+pub const SEARCH_FANOUT_MS: &str = "search.fanout_ms";
+/// Query-cache term lookups served from the cache.
+pub const SEARCH_CACHE_HITS: &str = "search.cache.hits";
+/// Query-cache term lookups that had to probe the directory filters.
+pub const SEARCH_CACHE_MISSES: &str = "search.cache.misses";
+/// Cached peer columns re-probed because that peer's version advanced.
+pub const SEARCH_CACHE_PEER_REFRESHES: &str = "search.cache.peer_refreshes";
+/// Query-cache rebuilds from scratch (directory membership changed).
+pub const SEARCH_CACHE_REBUILDS: &str = "search.cache.rebuilds";
+
+/// Gauge: jobs waiting in the shared search worker pool.
+pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
+/// Jobs executed by the shared search worker pool.
+pub const POOL_JOBS: &str = "pool.jobs_executed";
 
 /// Histogram: serialized Bloom filter size on the wire (bytes).
 pub const BLOOM_WIRE_BYTES: &str = "bloom.wire_bytes";

@@ -14,7 +14,7 @@
 
 use crate::ipf::IpfTable;
 use crate::types::PeerNo;
-use planetp_bloom::BloomFilter;
+use planetp_bloom::{BloomFilter, HashedKey};
 
 /// A memory-reduced view of the community's filters.
 #[derive(Debug, Clone)]
@@ -68,8 +68,8 @@ impl CoalescedDirectory {
     /// contains the term, scaled to peer counts by group size — the
     /// estimate a memory-constrained peer would compute.
     pub fn ipf(&self, query_terms: &[String]) -> IpfTable {
-        let filters: Vec<BloomFilter> =
-            self.groups.iter().map(|(_, f)| f.clone()).collect();
+        let filters: Vec<&BloomFilter> =
+            self.groups.iter().map(|(_, f)| f).collect();
         IpfTable::compute(query_terms, &filters)
     }
 
@@ -80,9 +80,11 @@ impl CoalescedDirectory {
         if query_terms.is_empty() {
             return Vec::new();
         }
+        let keys: Vec<HashedKey> =
+            query_terms.iter().map(|t| HashedKey::new(t)).collect();
         let mut out = Vec::new();
         for (members, filter) in &self.groups {
-            if query_terms.iter().all(|t| filter.contains(t)) {
+            if filter.count_hits_hashed(&keys) == keys.len() {
                 out.extend_from_slice(members);
             }
         }

@@ -157,8 +157,9 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
         if let Some(m) = &self.metrics {
             m.queries.inc();
         }
-        let filters: Vec<BloomFilter> =
-            self.peers.iter().map(|p| p.bloom().clone()).collect();
+        // Borrow every filter — ranking N peers must not copy N×50 KB.
+        let filters: Vec<&BloomFilter> =
+            self.peers.iter().map(|p| p.bloom()).collect();
         let ipf = IpfTable::compute(query_terms, &filters);
         let ranked = rank_peers(query_terms, &filters, &ipf);
         let n = self.peers.len();

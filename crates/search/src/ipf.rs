@@ -10,7 +10,8 @@
 //! Bloom false positives inflate `N_t` slightly, deflating IPF — part of
 //! the accuracy PlanetP trades for its compact summaries.
 
-use planetp_bloom::BloomFilter;
+use planetp_bloom::{BloomFilter, HashedKey};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// IPF values for a query's terms, computed against a set of peer Bloom
@@ -23,14 +24,26 @@ pub struct IpfTable {
 
 impl IpfTable {
     /// Compute IPF for each query term against the community's filters.
-    pub fn compute(query_terms: &[String], filters: &[BloomFilter]) -> Self {
+    ///
+    /// Filters are borrowed (`&[BloomFilter]` and `&[&BloomFilter]` both
+    /// work) — callers holding a directory of filters should pass
+    /// references rather than cloning. Each term is hashed once, not
+    /// once per filter.
+    pub fn compute<F: Borrow<BloomFilter>>(
+        query_terms: &[String],
+        filters: &[F],
+    ) -> Self {
         let n = filters.len();
         let mut values = HashMap::with_capacity(query_terms.len());
         for t in query_terms {
             if values.contains_key(t) {
                 continue;
             }
-            let n_t = filters.iter().filter(|f| f.contains(t)).count();
+            let key = HashedKey::new(t);
+            let n_t = filters
+                .iter()
+                .filter(|f| f.borrow().contains_hashed(&key))
+                .count();
             values.insert(t.clone(), ipf(n, n_t));
         }
         Self { values, num_peers: n }
@@ -118,8 +131,20 @@ mod tests {
 
     #[test]
     fn unknown_term_reads_zero() {
-        let t = IpfTable::compute(&[], &[]);
+        let filters: Vec<BloomFilter> = Vec::new();
+        let t = IpfTable::compute(&[], &filters);
         assert_eq!(t.get("anything"), 0.0);
+    }
+
+    #[test]
+    fn borrowed_filters_compute_identically() {
+        let filters =
+            vec![filter_with(&["a", "b"]), filter_with(&["b"]), filter_with(&["c"])];
+        let refs: Vec<&BloomFilter> = filters.iter().collect();
+        let q: Vec<String> = vec!["a".into(), "b".into(), "missing".into()];
+        let owned = IpfTable::compute(&q, &filters);
+        let borrowed = IpfTable::compute(&q, &refs);
+        assert_eq!(owned.to_pairs(), borrowed.to_pairs());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod distributed;
 pub mod eval;
 pub mod ipf;
 pub mod peer_rank;
+pub mod query_cache;
 pub mod selection;
 pub mod tfidf;
 pub mod types;
@@ -34,7 +35,10 @@ pub use distributed::{
 };
 pub use eval::{average_recall_precision, recall_precision, RecallPrecision};
 pub use ipf::IpfTable;
-pub use peer_rank::rank_peers;
+pub use peer_rank::{rank_peers, RankedPeer};
+pub use query_cache::{
+    PeerFilterRef, QueryCache, QueryCacheMetrics, QueryCacheStats, QueryPlan,
+};
 pub use selection::{adaptive_p, SelectionConfig, StoppingRule};
 pub use tfidf::CentralizedIndex;
 pub use types::{DocRef, PeerNo, ScoredDoc};

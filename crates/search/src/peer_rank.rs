@@ -8,7 +8,8 @@
 
 use crate::ipf::IpfTable;
 use crate::types::PeerNo;
-use planetp_bloom::BloomFilter;
+use planetp_bloom::{BloomFilter, HashedKey};
+use std::borrow::Borrow;
 
 /// A peer with its relevance to a query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,19 +23,30 @@ pub struct RankedPeer {
 /// Rank all peers for a query. Peers whose filters contain none of the
 /// query terms are omitted (they cannot contribute documents). Returns
 /// peers sorted best-first, ties broken by peer number for determinism.
-pub fn rank_peers(
+///
+/// Filters are borrowed (owned slices and slices of references both
+/// work); each query term is hashed once up front rather than once per
+/// peer filter.
+pub fn rank_peers<F: Borrow<BloomFilter>>(
     query_terms: &[String],
-    filters: &[BloomFilter],
+    filters: &[F],
     ipf: &IpfTable,
 ) -> Vec<RankedPeer> {
+    // Hash every term occurrence once; duplicates keep their duplicate
+    // weight (eq. 3 sums over the query term sequence as given).
+    let weighted: Vec<(HashedKey, f64)> = query_terms
+        .iter()
+        .map(|t| (HashedKey::new(t), ipf.get(t)))
+        .collect();
     let mut ranked: Vec<RankedPeer> = filters
         .iter()
         .enumerate()
         .filter_map(|(peer, f)| {
-            let score: f64 = query_terms
+            let f = f.borrow();
+            let score: f64 = weighted
                 .iter()
-                .filter(|t| f.contains(t))
-                .map(|t| ipf.get(t))
+                .filter(|(key, _)| f.contains_hashed(key))
+                .map(|(_, w)| w)
                 .sum();
             (score > 0.0).then_some(RankedPeer { peer, score })
         })

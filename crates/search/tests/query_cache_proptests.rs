@@ -1,0 +1,208 @@
+//! Property-based tests of the directory-versioned `QueryCache`:
+//! arbitrary interleavings of queries, republishes (version bumps),
+//! joins, and leaves must always produce plans identical to an uncached
+//! recomputation, and the hit/miss/refresh/rebuild counters must track
+//! a simple reference model exactly — in particular, a republish must
+//! invalidate only that peer's column (terms stay cached), while any
+//! membership change must rebuild from scratch (a stale cache never
+//! survives a directory change).
+
+use std::collections::HashSet;
+
+use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_search::{
+    rank_peers, IpfTable, PeerFilterRef, QueryCache, QueryCacheStats,
+};
+use proptest::prelude::*;
+
+/// One step of a generated schedule over a small community.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Query these vocabulary indices (duplicates allowed).
+    Query(Vec<u8>),
+    /// (peer selector, new term set): bump the peer's version and
+    /// replace its filter.
+    Republish(u8, Vec<u8>),
+    /// A new peer joins with this term set.
+    Join(Vec<u8>),
+    /// (peer selector): a peer leaves.
+    Leave(u8),
+}
+
+fn termset() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..8, 0..5)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop::collection::vec(0u8..8, 1..4).prop_map(Op::Query),
+        2 => (any::<u8>(), termset()).prop_map(|(p, t)| Op::Republish(p, t)),
+        1 => termset().prop_map(Op::Join),
+        1 => any::<u8>().prop_map(Op::Leave),
+    ]
+}
+
+fn term(i: u8) -> String {
+    format!("term-{i}")
+}
+
+fn filter_of(terms: &[u8]) -> BloomFilter {
+    let mut f = BloomFilter::new(BloomParams::for_capacity(64, 1e-9));
+    for &t in terms {
+        f.insert(&term(t));
+    }
+    f
+}
+
+struct ModelPeer {
+    id: u64,
+    version: u64,
+    filter: BloomFilter,
+}
+
+proptest! {
+    /// Replay arbitrary schedules; after every query the cached plan
+    /// must equal the oracle (`IpfTable::compute` + `rank_peers` over
+    /// the same borrowed filters) and the counters must equal the
+    /// reference model's prediction.
+    #[test]
+    fn cached_plans_match_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut peers: Vec<ModelPeer> = (0..3u64)
+            .map(|i| ModelPeer {
+                id: i + 1,
+                version: 0,
+                filter: filter_of(&[i as u8, (i as u8 + 1) % 8]),
+            })
+            .collect();
+        let mut next_id = 4u64;
+        let mut cache = QueryCache::new();
+        // Reference model: which terms the cache should still hold, and
+        // the (id, version) list it last synced against.
+        let mut cached: HashSet<String> = HashSet::new();
+        let mut synced: Vec<(u64, u64)> = Vec::new();
+        let mut expect = QueryCacheStats::default();
+
+        for op in &ops {
+            match op {
+                Op::Republish(p, terms) => {
+                    if peers.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % peers.len();
+                    peers[i].version += 1;
+                    peers[i].filter = filter_of(terms);
+                }
+                Op::Join(terms) => {
+                    peers.push(ModelPeer {
+                        id: next_id,
+                        version: 0,
+                        filter: filter_of(terms),
+                    });
+                    next_id += 1;
+                }
+                Op::Leave(p) => {
+                    if peers.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % peers.len();
+                    peers.remove(i);
+                }
+                Op::Query(idxs) => {
+                    let q: Vec<String> =
+                        idxs.iter().map(|&i| term(i)).collect();
+                    let cur: Vec<(u64, u64)> =
+                        peers.iter().map(|m| (m.id, m.version)).collect();
+                    // Predict the counter movement for this query.
+                    let same_membership = synced.len() == cur.len()
+                        && synced.iter().zip(&cur).all(|(a, b)| a.0 == b.0);
+                    if same_membership {
+                        expect.peer_refreshes += synced
+                            .iter()
+                            .zip(&cur)
+                            .filter(|(a, b)| a.1 != b.1)
+                            .count() as u64;
+                    } else {
+                        expect.rebuilds += 1;
+                        cached.clear();
+                    }
+                    synced = cur;
+                    let mut seen = HashSet::new();
+                    for t in &q {
+                        if !seen.insert(t.clone()) {
+                            continue; // duplicate within one query
+                        }
+                        if cached.insert(t.clone()) {
+                            expect.misses += 1;
+                        } else {
+                            expect.hits += 1;
+                        }
+                    }
+
+                    // Run through the cache and against the oracle.
+                    let view: Vec<PeerFilterRef<'_>> = peers
+                        .iter()
+                        .map(|m| PeerFilterRef {
+                            id: m.id,
+                            version: m.version,
+                            filter: &m.filter,
+                        })
+                        .collect();
+                    let plan = cache.plan(&q, &view);
+                    let filters: Vec<&BloomFilter> =
+                        peers.iter().map(|m| &m.filter).collect();
+                    let ipf = IpfTable::compute(&q, &filters);
+                    let ranked = rank_peers(&q, &filters, &ipf);
+                    prop_assert_eq!(plan.ipf.to_pairs(), ipf.to_pairs());
+                    prop_assert_eq!(plan.ipf.num_peers(), peers.len());
+                    prop_assert_eq!(plan.ranked, ranked);
+                    prop_assert_eq!(cache.stats(), expect);
+                }
+            }
+        }
+    }
+
+    /// A republish alone never costs a re-probe of unrelated peers or
+    /// any cached-term miss: misses stay flat across version bumps.
+    #[test]
+    fn republish_keeps_terms_cached(
+        bumps in prop::collection::vec((0u8..4, termset()), 1..6),
+    ) {
+        let mut peers: Vec<ModelPeer> = (0..4u64)
+            .map(|i| ModelPeer {
+                id: i + 1,
+                version: 0,
+                filter: filter_of(&[i as u8]),
+            })
+            .collect();
+        let q: Vec<String> = (0..4u8).map(term).collect();
+        let mut cache = QueryCache::new();
+        let view: Vec<PeerFilterRef<'_>> = peers
+            .iter()
+            .map(|m| PeerFilterRef { id: m.id, version: m.version, filter: &m.filter })
+            .collect();
+        cache.plan(&q, &view);
+        drop(view);
+        let misses_after_cold = cache.stats().misses;
+        for (p, terms) in &bumps {
+            let i = *p as usize;
+            peers[i].version += 1;
+            peers[i].filter = filter_of(terms);
+            let view: Vec<PeerFilterRef<'_>> = peers
+                .iter()
+                .map(|m| PeerFilterRef { id: m.id, version: m.version, filter: &m.filter })
+                .collect();
+            let plan = cache.plan(&q, &view);
+            let filters: Vec<&BloomFilter> =
+                peers.iter().map(|m| &m.filter).collect();
+            let ipf = IpfTable::compute(&q, &filters);
+            prop_assert_eq!(plan.ipf.to_pairs(), ipf.to_pairs());
+            prop_assert_eq!(plan.ranked, rank_peers(&q, &filters, &ipf));
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.misses, misses_after_cold, "bumps caused probes");
+        prop_assert_eq!(s.rebuilds, 1, "no membership change happened");
+        prop_assert_eq!(s.peer_refreshes, bumps.len() as u64);
+    }
+}
