@@ -146,7 +146,7 @@ fn plan_micro(peers: usize) -> PlanMicro {
     let view: Vec<PeerFilterRef<'_>> = filters
         .iter()
         .enumerate()
-        .map(|(i, f)| PeerFilterRef { id: i as u64 + 1, version: 0, filter: f })
+        .map(|(i, f)| PeerFilterRef { id: i as u64 + 1, version: (0, 0), filter: f })
         .collect();
     let q: Vec<String> = (0..4).map(|i| format!("w{}", i * 31)).collect();
 

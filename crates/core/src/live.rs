@@ -44,7 +44,8 @@ use planetp_obs::{
     LATENCY_MS_BUCKETS, SIZE_BYTES_BUCKETS,
 };
 use planetp_search::{
-    adaptive_p, IpfTable, PeerFilterRef, QueryCache, QueryCacheMetrics,
+    adaptive_p, IpfTable, PeerFilterRef, PeerVersion, QueryCache,
+    QueryCacheMetrics,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -397,10 +398,11 @@ impl NodeStats {
     }
 }
 
-/// One peer's decompressed filter plus the directory version it was
-/// decompressed at.
+/// One peer's decompressed filter plus the directory version —
+/// `(status_version, bloom_version)`, compared as a pair so no bits
+/// are folded away — it was decompressed at.
 struct VersionedFilter {
-    version: u64,
+    version: PeerVersion,
     filter: BloomFilter,
 }
 
@@ -846,24 +848,28 @@ impl Inner {
     /// stable ascending-peer-id order as `(peer, addr, version)`.
     ///
     /// A peer's filter is decompressed only when its directory version
-    /// — status incarnation combined with bloom version — advanced
-    /// since the last query; everyone else's 50 KB stays untouched.
+    /// — the `(status_version, bloom_version)` pair — advanced since
+    /// the last query; everyone else's 50 KB stays untouched.
     /// Departed peers are evicted so the mirror cannot grow stale
     /// entries, and the version list is exactly what the query cache
     /// keys its invalidation on.
     fn synced_query_state(
         &self,
-    ) -> (MutexGuard<'_, QueryState>, Vec<(PeerId, String, u64)>) {
+    ) -> (MutexGuard<'_, QueryState>, Vec<(PeerId, String, PeerVersion)>) {
         let mut qs = self.query_state.lock();
         // Snapshot the directory under a short engine lock; the
         // decompression work happens after it is released.
-        let mut snapshot: Vec<(PeerId, String, u64, Option<CompressedBloom>)> = {
+        let mut snapshot: Vec<(
+            PeerId,
+            String,
+            PeerVersion,
+            Option<CompressedBloom>,
+        )> = {
             let engine = self.engine.lock();
             let mut snap = Vec::new();
             for (pid, e) in engine.directory().iter() {
                 if let Some(p) = &e.payload {
-                    let version =
-                        (e.status_version << 32) ^ u64::from(e.bloom_version);
+                    let version = (e.status_version, e.bloom_version);
                     let stale = match qs.filters.get(&pid) {
                         Some(v) => v.version != version,
                         None => true,
@@ -895,7 +901,7 @@ impl Inner {
         qs.filters.retain(|pid, _| {
             snapshot.binary_search_by_key(pid, |(p, _, _, _)| *p).is_ok()
         });
-        let owners: Vec<(PeerId, String, u64)> = snapshot
+        let owners: Vec<(PeerId, String, PeerVersion)> = snapshot
             .into_iter()
             .filter(|(pid, _, _, _)| qs.filters.contains_key(pid))
             .map(|(pid, addr, version, _)| (pid, addr, version))
@@ -928,6 +934,12 @@ impl Inner {
                     self.rpc_with_deadline(pid, &addr, request, deadline)
                 }));
             }
+        }
+        if jobs.is_empty() {
+            // Nothing was dispatched (all local or skipped): a ~0 ms
+            // sample here would skew the fan-out histogram and the
+            // group counter the bench figures read.
+            return (slots, Vec::new());
         }
         let started = Instant::now();
         let replies = self.pool().run_all(jobs);

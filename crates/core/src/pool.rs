@@ -160,7 +160,8 @@ impl WorkerPool {
                 // guard, panic included), and a queued-but-never-run
                 // wrapper is impossible while we wait — the pool cannot
                 // be dropped mid-call (`&self` is borrowed) and the
-                // caller-help loop below drains the queue itself. This
+                // caller-help loop below keeps draining the queue for
+                // as long as this scope's jobs are outstanding. This
                 // is the same erasure crossbeam's scoped threads rely
                 // on.
                 let raw = unsafe {
@@ -175,9 +176,19 @@ impl WorkerPool {
             self.shared.available.notify_all();
         }
         // Help while waiting: run queued jobs (ours or other scopes')
-        // on this thread until the queue is dry.
-        while let Some(job) = self.shared.try_pop() {
-            self.shared.run_job(job);
+        // on this thread, but only for as long as this scope's own
+        // jobs are outstanding. Helping exists so queued jobs of this
+        // call cannot deadlock behind busy workers — once our latch is
+        // full, draining other searches' RPCs here would only tie this
+        // search's wall-clock to theirs.
+        loop {
+            if *latch.done.lock() >= n {
+                break;
+            }
+            match self.shared.try_pop() {
+                Some(job) => self.shared.run_job(job),
+                None => break,
+            }
         }
         // Wait for stragglers still running on workers.
         let mut done = latch.done.lock();
@@ -309,6 +320,48 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<Option<()>> = pool.run_all(Vec::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn helper_stops_stealing_once_own_scope_is_done() {
+        use std::sync::mpsc;
+        use std::thread::ThreadId;
+
+        // No workers: each run_all caller is its own only executor, so
+        // any cross-scope execution can only come from the help loop.
+        let pool = Arc::new(WorkerPool::new(0));
+        let (start_tx, start_rx) = mpsc::channel::<()>();
+        let (queued_tx, queued_rx) = mpsc::channel::<()>();
+        let pool_b = Arc::clone(&pool);
+        let b = std::thread::spawn(move || {
+            let b_id = std::thread::current().id();
+            start_rx.recv().expect("scope A started its job");
+            let jobs: Vec<ScopedJob<'_, ThreadId>> = vec![
+                Box::new(move || {
+                    // Both of this scope's jobs were enqueued before
+                    // this one ran; tell scope A, then keep this thread
+                    // busy so the second job stays queued.
+                    queued_tx.send(()).expect("A is waiting");
+                    std::thread::sleep(Duration::from_millis(200));
+                    std::thread::current().id()
+                }),
+                Box::new(|| std::thread::current().id()),
+            ];
+            let out = pool_b.run_all(jobs);
+            (b_id, out[1].expect("no panic"))
+        });
+        // Scope A: its one job finishes while scope B's second job is
+        // still queued. A's help loop must then exit, not steal it.
+        let jobs: Vec<ScopedJob<'_, ()>> = vec![Box::new(move || {
+            start_tx.send(()).expect("B is waiting");
+            queued_rx.recv().expect("B enqueued its jobs");
+        })];
+        pool.run_all(jobs);
+        let (b_id, second_ran_on) = b.join().expect("no panic");
+        assert_eq!(
+            second_ran_on, b_id,
+            "helper stole a foreign job after its own scope completed"
+        );
     }
 
     #[test]

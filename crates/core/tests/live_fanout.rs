@@ -192,9 +192,14 @@ fn straggler_delays_its_slot_not_the_query() {
     // The fan-out showed up in the unified metrics: groups dispatched,
     // jobs through the shared pool, per-group latency recorded.
     let snap = nodes[0].metrics_snapshot();
+    // Only groups that actually dispatched a remote contact count (a
+    // group of purely local / skipped members records no sample). Of
+    // the 10 sequential + 4 parallel groups, the local singleton never
+    // counts and the straggler's singleton may be skipped once it is
+    // backed off, as may the last parallel chunk: ≥ 8 + 3.
     assert!(
-        snap.counter(names::SEARCH_GROUPS) >= 14,
-        "10 sequential + 4 parallel groups expected, saw {}",
+        snap.counter(names::SEARCH_GROUPS) >= 11,
+        "at least 8 sequential + 3 parallel dispatched groups expected, saw {}",
         snap.counter(names::SEARCH_GROUPS)
     );
     assert!(

@@ -37,7 +37,8 @@ pub use eval::{average_recall_precision, recall_precision, RecallPrecision};
 pub use ipf::IpfTable;
 pub use peer_rank::{rank_peers, RankedPeer};
 pub use query_cache::{
-    PeerFilterRef, QueryCache, QueryCacheMetrics, QueryCacheStats, QueryPlan,
+    PeerFilterRef, PeerVersion, QueryCache, QueryCacheMetrics, QueryCacheStats,
+    QueryPlan,
 };
 pub use selection::{adaptive_p, SelectionConfig, StoppingRule};
 pub use tfidf::CentralizedIndex;

@@ -32,6 +32,12 @@ use crate::peer_rank::RankedPeer;
 /// Default cap on distinct cached terms before FIFO eviction.
 pub const DEFAULT_MAX_TERMS: usize = 4096;
 
+/// Two-part version of one peer's published summary. The live runtime
+/// passes `(status_version, bloom_version)` straight from the gossip
+/// directory; the cache only ever compares versions for equality, so
+/// no information is folded away.
+pub type PeerVersion = (u64, u32);
+
 /// A borrowed view of one peer's gossiped summary, as the cache sees it
 /// for one query.
 #[derive(Debug, Clone, Copy)]
@@ -39,9 +45,9 @@ pub struct PeerFilterRef<'a> {
     /// Stable peer identity (the live runtime passes the gossip peer
     /// id). Identity changes are membership changes.
     pub id: u64,
-    /// Monotonic version of this peer's published summary; any change
-    /// means the filter may differ from what the cache probed.
-    pub version: u64,
+    /// Version of this peer's published summary; any change means the
+    /// filter may differ from what the cache probed.
+    pub version: PeerVersion,
     /// The peer's (decompressed) Bloom filter, borrowed for the query.
     pub filter: &'a BloomFilter,
 }
@@ -114,7 +120,7 @@ struct TermEntry {
 #[derive(Debug)]
 pub struct QueryCache {
     /// `(id, version)` per slot, in the order of the last synced view.
-    peers: Vec<(u64, u64)>,
+    peers: Vec<(u64, PeerVersion)>,
     terms: HashMap<String, TermEntry>,
     /// Insertion order of `terms`, for FIFO eviction.
     order: VecDeque<String>,
@@ -228,6 +234,11 @@ impl QueryCache {
                 .expect("scores are never NaN")
                 .then_with(|| a.peer.cmp(&b.peer))
         });
+        // Evict only now that the plan no longer needs its rows: a
+        // query with more unique terms than the cap may overfill the
+        // cache for the duration of this call, but never loses a row
+        // it is still scoring against.
+        self.enforce_cap();
         QueryPlan { ipf: table, ranked }
     }
 
@@ -269,6 +280,12 @@ impl QueryCache {
     }
 
     /// Presence count for `t`, probing the filters only on a miss.
+    ///
+    /// Never evicts: FIFO eviction here could drop a row probed
+    /// earlier in the same in-flight query (any query with more
+    /// unique terms than `max_terms`, e.g. from a remote proxy-search
+    /// peer), which the plan's scoring loop still needs. [`Self::plan`]
+    /// calls [`Self::enforce_cap`] once the plan is complete.
     fn ensure_term(&mut self, t: &str, filters: &[&BloomFilter]) -> usize {
         if let Some(e) = self.terms.get(t) {
             self.metrics.hits.inc();
@@ -277,7 +294,14 @@ impl QueryCache {
         self.metrics.misses.inc();
         let key = HashedKey::new(t);
         let (presence, count) = probe_row(&key, filters);
-        while self.terms.len() >= self.max_terms {
+        self.terms.insert(t.to_string(), TermEntry { key, presence, count });
+        self.order.push_back(t.to_string());
+        count
+    }
+
+    /// FIFO-evict down to the term cap.
+    fn enforce_cap(&mut self) {
+        while self.terms.len() > self.max_terms {
             match self.order.pop_front() {
                 Some(old) => {
                     self.terms.remove(&old);
@@ -285,9 +309,6 @@ impl QueryCache {
                 None => break,
             }
         }
-        self.terms.insert(t.to_string(), TermEntry { key, presence, count });
-        self.order.push_back(t.to_string());
-        count
     }
 }
 
@@ -310,7 +331,7 @@ mod tests {
     }
 
     fn view<'a>(
-        peers: &'a [(u64, u64, BloomFilter)],
+        peers: &'a [(u64, PeerVersion, BloomFilter)],
     ) -> Vec<PeerFilterRef<'a>> {
         peers
             .iter()
@@ -339,9 +360,9 @@ mod tests {
     #[test]
     fn warm_query_matches_oracle_and_hits_cache() {
         let peers = vec![
-            (1, 0, filter_with(&["gossip", "bloom"])),
-            (2, 0, filter_with(&["gossip"])),
-            (3, 0, filter_with(&["chord"])),
+            (1, (0, 0), filter_with(&["gossip", "bloom"])),
+            (2, (0, 0), filter_with(&["gossip"])),
+            (3, (0, 0), filter_with(&["chord"])),
         ];
         let v = view(&peers);
         let q = query(&["gossip", "bloom", "gossip"]);
@@ -360,8 +381,8 @@ mod tests {
     #[test]
     fn version_bump_refreshes_exactly_that_peer() {
         let mut peers = vec![
-            (1, 0, filter_with(&["alpha"])),
-            (2, 0, filter_with(&["beta"])),
+            (1, (0, 0), filter_with(&["alpha"])),
+            (2, (0, 0), filter_with(&["beta"])),
         ];
         let q = query(&["alpha", "beta"]);
         let mut cache = QueryCache::new();
@@ -369,7 +390,7 @@ mod tests {
         assert_plan_eq(&before, &oracle(&q, &view(&peers)));
 
         // Peer 2 republishes: now also holds "alpha".
-        peers[1].1 = 1;
+        peers[1].1 = (0, 1);
         peers[1].2 = filter_with(&["beta", "alpha"]);
         let after = cache.plan(&q, &view(&peers));
         assert_plan_eq(&after, &oracle(&q, &view(&peers)));
@@ -384,16 +405,16 @@ mod tests {
     #[test]
     fn membership_change_rebuilds() {
         let peers = vec![
-            (1, 0, filter_with(&["x"])),
-            (2, 0, filter_with(&["y"])),
+            (1, (0, 0), filter_with(&["x"])),
+            (2, (0, 0), filter_with(&["y"])),
         ];
         let q = query(&["x", "y"]);
         let mut cache = QueryCache::new();
         cache.plan(&q, &view(&peers));
         let joined = vec![
-            (1, 0, filter_with(&["x"])),
-            (2, 0, filter_with(&["y"])),
-            (3, 0, filter_with(&["x", "y"])),
+            (1, (0, 0), filter_with(&["x"])),
+            (2, (0, 0), filter_with(&["y"])),
+            (3, (0, 0), filter_with(&["x", "y"])),
         ];
         let v = view(&joined);
         let plan = cache.plan(&q, &v);
@@ -405,7 +426,7 @@ mod tests {
 
     #[test]
     fn eviction_honors_term_cap() {
-        let peers = vec![(1, 0, filter_with(&["a", "b", "c"]))];
+        let peers = vec![(1, (0, 0), filter_with(&["a", "b", "c"]))];
         let v = view(&peers);
         let mut cache = QueryCache::new().with_max_terms(2);
         cache.plan(&query(&["a"]), &v);
@@ -420,12 +441,57 @@ mod tests {
     }
 
     #[test]
+    fn query_with_more_unique_terms_than_cap_plans_without_panic() {
+        // Regression: mid-plan FIFO eviction used to drop a term probed
+        // earlier in the same query, and the scoring loop then panicked
+        // on the missing row. A remote proxy-search peer controls the
+        // query, so this must degrade (overfill then trim), not panic.
+        let all: Vec<String> = (0..8).map(|i| format!("term-{i}")).collect();
+        let strs: Vec<&str> = all.iter().map(String::as_str).collect();
+        let peers = vec![
+            (1, (0, 0), filter_with(&strs)),
+            (2, (0, 0), filter_with(&strs[..3])),
+        ];
+        let v = view(&peers);
+        let mut cache = QueryCache::new().with_max_terms(3);
+        let plan = cache.plan(&all, &v);
+        assert_plan_eq(&plan, &oracle(&all, &v));
+        assert_eq!(
+            cache.cached_terms(),
+            3,
+            "cache trimmed back to the cap after the plan"
+        );
+        // The survivors are the FIFO tail; the evicted head re-probes.
+        let misses_before = cache.stats().misses;
+        cache.plan(&query(&["term-7"]), &v);
+        assert_eq!(cache.stats().misses, misses_before, "tail term cached");
+        cache.plan(&query(&["term-0"]), &v);
+        assert_eq!(cache.stats().misses, misses_before + 1, "head term evicted");
+    }
+
+    #[test]
+    fn status_version_high_bits_invalidate() {
+        // Versions differing only above bit 32 of status_version must
+        // still read as a change (the old single-u64 folding truncated
+        // them away and served a stale filter).
+        let mut peers = vec![(1, (0, 0), filter_with(&["old"]))];
+        let q = query(&["old", "new"]);
+        let mut cache = QueryCache::new();
+        cache.plan(&q, &view(&peers));
+        peers[0].1 = (1u64 << 32, 0);
+        peers[0].2 = filter_with(&["new"]);
+        let plan = cache.plan(&q, &view(&peers));
+        assert_plan_eq(&plan, &oracle(&q, &view(&peers)));
+        assert_eq!(cache.stats().peer_refreshes, 1);
+    }
+
+    #[test]
     fn empty_view_and_empty_query() {
         let mut cache = QueryCache::new();
         let plan = cache.plan(&[], &[]);
         assert!(plan.ranked.is_empty());
         assert_eq!(plan.ipf.num_peers(), 0);
-        let peers = vec![(7, 0, filter_with(&["t"]))];
+        let peers = vec![(7, (0, 0), filter_with(&["t"]))];
         let v = view(&peers);
         let plan = cache.plan(&[], &v);
         assert!(plan.ranked.is_empty());

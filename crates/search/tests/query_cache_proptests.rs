@@ -145,7 +145,7 @@ proptest! {
                         .iter()
                         .map(|m| PeerFilterRef {
                             id: m.id,
-                            version: m.version,
+                            version: (m.version, 0),
                             filter: &m.filter,
                         })
                         .collect();
@@ -180,7 +180,7 @@ proptest! {
         let mut cache = QueryCache::new();
         let view: Vec<PeerFilterRef<'_>> = peers
             .iter()
-            .map(|m| PeerFilterRef { id: m.id, version: m.version, filter: &m.filter })
+            .map(|m| PeerFilterRef { id: m.id, version: (m.version, 0), filter: &m.filter })
             .collect();
         cache.plan(&q, &view);
         drop(view);
@@ -191,7 +191,7 @@ proptest! {
             peers[i].filter = filter_of(terms);
             let view: Vec<PeerFilterRef<'_>> = peers
                 .iter()
-                .map(|m| PeerFilterRef { id: m.id, version: m.version, filter: &m.filter })
+                .map(|m| PeerFilterRef { id: m.id, version: (m.version, 0), filter: &m.filter })
                 .collect();
             let plan = cache.plan(&q, &view);
             let filters: Vec<&BloomFilter> =
