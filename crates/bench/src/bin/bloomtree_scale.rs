@@ -1,0 +1,291 @@
+//! Bloofi tree vs. flat directory scan at community scale.
+//!
+//! PlanetP's cold query path probes every peer's Bloom filter — O(N)
+//! probes per uncached term. The `planetp-bloomtree` front end walks a
+//! B-tree of union filters instead, pruning subtrees whose union
+//! rejects the key. This bench sweeps community sizes N and measures
+//! both layers:
+//!
+//! - **raw index**: `probe_row` over all N filters vs.
+//!   `BloomTree::candidates`, counting union-filter probes
+//!   (`nodes_visited`) against the flat scan's N — the acceptance bar
+//!   is `nodes_visited < N` at the top of the sweep;
+//! - **integrated cache**: `QueryCache::plan` cold and warm, flat vs.
+//!   tree-fronted, on identical views — the end-to-end cost a searcher
+//!   actually pays.
+//!
+//! The synthetic community mirrors the paper's workload shape: each
+//! peer announces [`TERMS_PER_PEER`] terms from a shared vocabulary
+//! sized so a typical term has ~8 publishers (selective queries, where
+//! pruning matters; a term every peer holds defeats any summary index).
+//!
+//! Emits `BENCH_bloomtree.json` when `PLANETP_JSON_DIR` is set.
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::{probe_row, BloomFilter, BloomParams, HashedKey};
+use planetp_bloomtree::{BloomTree, PeerEntry, TreeConfig, TreeMetrics};
+use planetp_obs::{names, Registry};
+use planetp_search::{PeerFilterRef, QueryCache};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Vocabulary size per peer (the paper's filters summarize a peer's
+/// whole term set; 64 keeps fill realistic for the bit budget below).
+const TERMS_PER_PEER: usize = 64;
+/// One fixed bit space for the whole community: 25,600 bits / 2 hashes
+/// holds 64 keys at ~0.4% FPR.
+const PARAMS: BloomParams = BloomParams { num_bits: 25_600, num_hashes: 2 };
+/// Tree fan-out: 16 children per interior node.
+const FANOUT: usize = 16;
+/// Distinct single-term lookups per measurement pass.
+const LOOKUPS: usize = 64;
+
+#[derive(Serialize)]
+struct Row {
+    peers: usize,
+    /// Flat scan cost: one filter probe per tracked peer per lookup.
+    flat_probes: usize,
+    /// Union-filter probes per tree lookup (mean over the pass).
+    nodes_visited_mean: f64,
+    /// Peers surviving pruning per lookup (mean).
+    candidates_mean: f64,
+    /// Flat probes avoided per lookup (mean).
+    probes_saved_mean: f64,
+    height: usize,
+    bulk_build_ms: f64,
+    /// Raw index lookup cost, microseconds per key.
+    flat_scan_us: f64,
+    tree_scan_us: f64,
+    /// `QueryCache::plan` medians (4-term query), microseconds.
+    cache_flat_cold_us: f64,
+    cache_flat_warm_us: f64,
+    cache_tree_cold_us: f64,
+    cache_tree_warm_us: f64,
+    /// The acceptance bar: the tree probed strictly fewer filters than
+    /// the flat scan.
+    pruning_wins: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    terms_per_peer: usize,
+    num_bits: usize,
+    num_hashes: u32,
+    fanout: usize,
+    lookups_per_pass: usize,
+    rows: Vec<Row>,
+}
+
+/// Peer `i`'s term set: `TERMS_PER_PEER` words strided through a
+/// vocabulary of `8 * n / TERMS_PER_PEER` words per peer-slot, so each
+/// word has ~8 publishers regardless of N.
+fn community(n: usize) -> Vec<BloomFilter> {
+    let vocab = (n * TERMS_PER_PEER) / 8;
+    (0..n)
+        .map(|i| {
+            let mut f = BloomFilter::new(PARAMS);
+            for j in 0..TERMS_PER_PEER {
+                f.insert(&word((i * TERMS_PER_PEER + j * 13 + 7) % vocab));
+            }
+            f
+        })
+        .collect()
+}
+
+fn word(w: usize) -> String {
+    format!("w{w}")
+}
+
+/// The lookup keys: spread across the vocabulary so most are held by a
+/// handful of peers, plus a guaranteed miss.
+fn lookup_keys(n: usize) -> Vec<String> {
+    let vocab = (n * TERMS_PER_PEER) / 8;
+    let mut keys: Vec<String> =
+        (0..LOOKUPS - 1).map(|q| word((q * 97 + 3) % vocab)).collect();
+    keys.push("nobody-has-this-term".to_string());
+    keys
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[samples.len() / 2]
+}
+
+/// Median microseconds for `plan` on a fresh cache (cold: every term
+/// probes the directory) and a primed one (warm: pure cache read).
+fn cache_micro(
+    make: impl Fn() -> QueryCache,
+    view: &[PeerFilterRef<'_>],
+    reps: usize,
+) -> (f64, f64) {
+    let q: Vec<String> = (0..4).map(|i| word(i * 31 + 3)).collect();
+    let mut cold = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut cache = make();
+        let t = Instant::now();
+        std::hint::black_box(cache.plan(&q, view));
+        cold.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let mut cache = make();
+    cache.plan(&q, view);
+    let mut warm = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(cache.plan(&q, view));
+        warm.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (median(&mut cold), median(&mut warm))
+}
+
+fn bench_community(n: usize, reps: usize) -> Row {
+    let filters = community(n);
+    let keys: Vec<HashedKey> =
+        lookup_keys(n).iter().map(|k| HashedKey::new(k)).collect();
+
+    // Raw flat scan: N probes per key, by construction.
+    let t = Instant::now();
+    let mut flat_hits = 0usize;
+    for key in &keys {
+        let (_, count) = probe_row(key, &filters);
+        flat_hits += count;
+    }
+    let flat_scan_us = t.elapsed().as_secs_f64() * 1e6 / keys.len() as f64;
+
+    // Raw tree: bulk-build once (the shape a membership rebuild takes),
+    // then the same lookups, with the pruning counters recording.
+    let entries: Vec<PeerEntry<'_>> = filters
+        .iter()
+        .enumerate()
+        .map(|(i, f)| PeerEntry { id: i as u64, version: (1, 1), filter: f })
+        .collect();
+    let registry = Registry::new();
+    let t = Instant::now();
+    let tree = BloomTree::bulk_build(TreeConfig::new(FANOUT, PARAMS), &entries)
+        .with_metrics(TreeMetrics::in_registry(&registry));
+    let bulk_build_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let t = Instant::now();
+    let mut tree_hits = 0usize;
+    for key in &keys {
+        tree_hits += tree.candidates(key).count();
+    }
+    let tree_scan_us = t.elapsed().as_secs_f64() * 1e6 / keys.len() as f64;
+    assert!(
+        tree_hits >= flat_hits,
+        "tree lost a flat hit: {tree_hits} < {flat_hits}"
+    );
+
+    let snap = registry.snapshot();
+    let lookups = snap.counter(names::BLOOMTREE_LOOKUPS) as f64;
+    let nodes_visited_mean =
+        snap.counter(names::BLOOMTREE_NODES_VISITED) as f64 / lookups;
+    let candidates_mean = snap.counter(names::BLOOMTREE_CANDIDATES) as f64 / lookups;
+    let probes_saved_mean =
+        snap.counter(names::BLOOMTREE_PROBES_SAVED) as f64 / lookups;
+
+    // Integrated: the query cache's cold path with and without the
+    // tree front end, over the same borrowed view.
+    let view: Vec<PeerFilterRef<'_>> = filters
+        .iter()
+        .enumerate()
+        .map(|(i, f)| PeerFilterRef { id: i as u64, version: (1, 0), filter: f })
+        .collect();
+    let (cache_flat_cold_us, cache_flat_warm_us) =
+        cache_micro(QueryCache::new, &view, reps);
+    let (cache_tree_cold_us, cache_tree_warm_us) = cache_micro(
+        || {
+            QueryCache::new()
+                .with_tree(TreeConfig::new(FANOUT, PARAMS), TreeMetrics::detached())
+        },
+        &view,
+        reps,
+    );
+
+    Row {
+        peers: n,
+        flat_probes: n,
+        nodes_visited_mean,
+        candidates_mean,
+        probes_saved_mean,
+        height: tree.height(),
+        bulk_build_ms,
+        flat_scan_us,
+        tree_scan_us,
+        cache_flat_cold_us,
+        cache_flat_warm_us,
+        cache_tree_cold_us,
+        cache_tree_warm_us,
+        pruning_wins: nodes_visited_mean < n as f64,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (sizes, reps): (&[usize], usize) = match scale {
+        Scale::Quick => (&[100, 1_000], 10),
+        Scale::Full | Scale::Default => (&[100, 1_000, 10_000], 20),
+    };
+
+    let rows: Vec<Row> = sizes.iter().map(|&n| bench_community(n, reps)).collect();
+
+    println!(
+        "Bloofi tree vs flat scan: {TERMS_PER_PEER} terms/peer, \
+         {} bits / {} hashes, fan-out {FANOUT}, {LOOKUPS} lookups/pass:",
+        PARAMS.num_bits, PARAMS.num_hashes
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.peers.to_string(),
+                r.flat_probes.to_string(),
+                format!("{:.0}", r.nodes_visited_mean),
+                format!("{:.1}", r.candidates_mean),
+                r.height.to_string(),
+                format!("{:.1}", r.flat_scan_us),
+                format!("{:.1}", r.tree_scan_us),
+                format!("{:.0}", r.cache_flat_cold_us),
+                format!("{:.0}", r.cache_tree_cold_us),
+                format!("{:.1}", r.cache_tree_warm_us),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "peers",
+            "flat probes",
+            "tree visits",
+            "candidates",
+            "height",
+            "flat(us)",
+            "tree(us)",
+            "plan cold flat(us)",
+            "plan cold tree(us)",
+            "plan warm(us)",
+        ],
+        &table,
+    );
+    for r in &rows {
+        println!(
+            "N={}: tree probes {:.0} union filters vs {} flat ({}), saving \
+             {:.0} per-peer probes per lookup",
+            r.peers,
+            r.nodes_visited_mean,
+            r.flat_probes,
+            if r.pruning_wins { "pruning wins" } else { "pruning LOSES" },
+            r.probes_saved_mean,
+        );
+    }
+
+    write_json(
+        "BENCH_bloomtree",
+        &Report {
+            terms_per_peer: TERMS_PER_PEER,
+            num_bits: PARAMS.num_bits,
+            num_hashes: PARAMS.num_hashes,
+            fanout: FANOUT,
+            lookups_per_pass: LOOKUPS,
+            rows,
+        },
+    );
+}

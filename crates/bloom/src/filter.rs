@@ -122,6 +122,36 @@ impl Default for BloomParams {
     }
 }
 
+/// Error from [`BloomFilter::try_union_with`]: the operands hash into
+/// different bit spaces, so their words cannot be OR-merged.
+///
+/// Filters that arrive off the wire carry whatever parameters the
+/// remote peer chose, so any union over remote-controlled filters must
+/// go through the fallible path and treat this as data, not a bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamMismatch {
+    /// Parameters of the filter being merged into.
+    pub ours: BloomParams,
+    /// Parameters of the foreign filter.
+    pub theirs: BloomParams,
+}
+
+impl std::fmt::Display for ParamMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot union Bloom filters with different parameters: \
+             {}x{} vs {}x{}",
+            self.ours.num_bits,
+            self.ours.num_hashes,
+            self.theirs.num_bits,
+            self.theirs.num_hashes
+        )
+    }
+}
+
+impl std::error::Error for ParamMismatch {}
+
 /// A Bloom filter over strings.
 ///
 /// Supports membership queries with no false negatives, plus the
@@ -252,18 +282,34 @@ impl BloomFilter {
 
     /// In-place union. Any key in either filter is in the result.
     ///
+    /// Use this only when both filters are locally constructed and
+    /// known to share parameters; for filters that arrived off the
+    /// wire, use [`Self::try_union_with`].
+    ///
     /// # Panics
     /// Panics if the parameters differ — filters hash into different bit
     /// spaces and cannot be merged.
     pub fn union_with(&mut self, other: &BloomFilter) {
-        assert_eq!(
-            self.params, other.params,
-            "cannot union Bloom filters with different parameters"
-        );
+        if let Err(e) = self.try_union_with(other) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible in-place union: merges iff the parameters match,
+    /// otherwise returns [`ParamMismatch`] and leaves `self` untouched.
+    ///
+    /// This is the required path for remote-controlled filters (peer
+    /// summaries off the wire), where a parameter mismatch is input,
+    /// not a programming error.
+    pub fn try_union_with(&mut self, other: &BloomFilter) -> Result<(), ParamMismatch> {
+        if self.params != other.params {
+            return Err(ParamMismatch { ours: self.params, theirs: other.params });
+        }
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
         self.keys_inserted += other.keys_inserted;
+        Ok(())
     }
 
     /// True if every bit set in `self` is also set in `other`; i.e. every
@@ -407,6 +453,30 @@ mod tests {
         let mut a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
         let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
         a.union_with(&b);
+    }
+
+    #[test]
+    fn try_union_reports_mismatch_without_mutating() {
+        let mut a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
+        a.insert("x");
+        let snapshot = a.clone();
+        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let err = a.try_union_with(&b).unwrap_err();
+        assert_eq!(err.ours, snapshot.params());
+        assert_eq!(err.theirs, b.params());
+        assert_eq!(a, snapshot, "failed union must leave the filter untouched");
+        assert!(err.to_string().contains("different parameters"));
+    }
+
+    #[test]
+    fn try_union_merges_matching_params() {
+        let mut a = BloomFilter::with_paper_defaults();
+        let mut b = BloomFilter::with_paper_defaults();
+        a.insert("left");
+        b.insert("right");
+        a.try_union_with(&b).expect("same params");
+        assert!(a.contains("left") && a.contains("right"));
+        assert_eq!(a.keys_inserted(), 2);
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod hashing;
 
 pub use compressed::CompressedBloom;
 pub use diff::BloomDiff;
-pub use filter::{probe_row, BloomFilter, BloomParams, HashedKey};
+pub use filter::{probe_row, BloomFilter, BloomParams, HashedKey, ParamMismatch};
 pub use hashing::DoubleHasher;

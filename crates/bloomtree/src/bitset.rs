@@ -1,0 +1,123 @@
+//! Positional bitset over the tree's tracked peers.
+
+/// A fixed-width bitset whose bit `i` refers to the `i`-th tracked
+/// peer in ascending-id order (the tree's [`members`] order). This is
+/// the answer shape of [`BloomTree::candidates`]: the same
+/// `(words, popcount)` layout [`probe_row`] produces, so callers can
+/// intersect or iterate either interchangeably.
+///
+/// [`members`]: crate::BloomTree::members
+/// [`BloomTree::candidates`]: crate::BloomTree::candidates
+/// [`probe_row`]: planetp_bloom::probe_row
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerBitset {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl PeerBitset {
+    /// All-zero bitset over `len` positions.
+    pub fn with_len(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+    }
+
+    /// Number of addressable positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no positions exist (not "no bits set").
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// Set bit `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        let (w, mask) = (idx / 64, 1u64 << (idx % 64));
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.ones += 1;
+        }
+    }
+
+    /// True if bit `idx` is set (out-of-range reads as unset).
+    pub fn contains(&self, idx: usize) -> bool {
+        idx < self.len && self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Raw little-endian words, `probe_row`-compatible.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Iterator over set-bit positions of a [`PeerBitset`].
+#[derive(Debug)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let b = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_count() {
+        let mut s = PeerBitset::with_len(130);
+        assert_eq!(s.count(), 0);
+        for i in [0, 63, 64, 129] {
+            s.set(i);
+        }
+        s.set(64); // idempotent
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let s = PeerBitset::with_len(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter_ones().count(), 0);
+        assert!(s.words().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        PeerBitset::with_len(10).set(10);
+    }
+}

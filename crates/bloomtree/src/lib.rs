@@ -1,0 +1,48 @@
+//! Hierarchical Bloom index over the gossiped directory (Bloofi).
+//!
+//! PlanetP answers "which peers' filters contain term `t`?" by probing
+//! every filter in the global directory — O(N) probes per cold term,
+//! which caps the community size the query path can sustain. Bloofi
+//! (Crainiceanu & Lemire, "Bloofi: Multidimensional Bloom filters")
+//! arranges the N filters as the leaves of a B-tree whose interior
+//! nodes store the *union* of their children: a query key absent from
+//! an interior filter is absent from every leaf below it, so whole
+//! subtrees are pruned and a lookup costs O(fanout · height) probes
+//! when the key is rare.
+//!
+//! [`BloomTree`] is that structure, keyed by peer id:
+//!
+//! - **bulk-loadable**: [`BloomTree::bulk_build`] packs sorted leaves
+//!   bottom-up in one pass (the shape a membership-change rebuild
+//!   takes);
+//! - **incrementally maintained**: [`BloomTree::insert_peer`],
+//!   [`BloomTree::remove_peer`] and [`BloomTree::update_peer`] keep the
+//!   tree consistent with gossiped `(status_version, bloom_version)`
+//!   bumps, with B-tree split/merge rebalancing and *exact* interior
+//!   unions (ancestors are recomputed, never left stale-superset);
+//! - **no false negatives**: [`BloomTree::candidates`] returns a
+//!   [`PeerBitset`] that is always a superset of the flat
+//!   [`probe_row`](planetp_bloom::probe_row) answer over the same
+//!   filters.
+//!
+//! Peers may gossip filters with heterogeneous [`BloomParams`]; the
+//! tree stores every node in one fixed bit space
+//! ([`TreeConfig::params`]). A peer whose filter matches those params
+//! becomes a leaf by bit-copy — probing the leaf *is* probing the
+//! peer's filter, so pruning is exact at the leaf level. A mismatched
+//! peer either re-hashes its key set into tree space
+//! ([`BloomTree::insert_peer_keys`]) or is kept on a *fallback list*
+//! that is unconditionally included in every candidate set and probed
+//! through the existing `probe_row` path. Mismatched filters are never
+//! forced into all-ones leaves: that would saturate every ancestor
+//! union and destroy pruning for the whole tree.
+//!
+//! [`BloomParams`]: planetp_bloom::BloomParams
+
+pub mod bitset;
+pub mod metrics;
+pub mod tree;
+
+pub use bitset::PeerBitset;
+pub use metrics::TreeMetrics;
+pub use tree::{BloomTree, PeerEntry, PeerVersion, TreeConfig, TreeStats};

@@ -1,0 +1,67 @@
+//! `bloomtree.*` instrumentation handles.
+
+use planetp_obs::{names, Counter, Gauge, Registry};
+
+/// Metric handles for one [`BloomTree`](crate::BloomTree); attach to a
+/// node's [`Registry`] so snapshots expose pruning effectiveness, or
+/// leave detached for standalone use.
+#[derive(Debug, Clone)]
+pub struct TreeMetrics {
+    pub(crate) probes_saved: Counter,
+    pub(crate) nodes_visited: Counter,
+    pub(crate) rebuilds: Counter,
+    pub(crate) lookups: Counter,
+    pub(crate) candidates: Counter,
+    pub(crate) height: Gauge,
+}
+
+impl TreeMetrics {
+    /// Handles registered under the shared `bloomtree.*` names.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            probes_saved: registry.counter(names::BLOOMTREE_PROBES_SAVED),
+            nodes_visited: registry.counter(names::BLOOMTREE_NODES_VISITED),
+            rebuilds: registry.counter(names::BLOOMTREE_REBUILDS),
+            lookups: registry.counter(names::BLOOMTREE_LOOKUPS),
+            candidates: registry.counter(names::BLOOMTREE_CANDIDATES),
+            height: registry.gauge(names::BLOOMTREE_HEIGHT),
+        }
+    }
+
+    /// Handles not visible in any snapshot.
+    pub fn detached() -> Self {
+        Self {
+            probes_saved: Counter::detached(),
+            nodes_visited: Counter::detached(),
+            rebuilds: Counter::detached(),
+            lookups: Counter::detached(),
+            candidates: Counter::detached(),
+            height: Gauge::detached(),
+        }
+    }
+
+    /// Per-peer filter probes avoided by pruning, cumulative.
+    pub fn probes_saved(&self) -> u64 {
+        self.probes_saved.get()
+    }
+
+    /// Tree nodes probed during candidate lookups, cumulative.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_visited.get()
+    }
+
+    /// Full bulk rebuilds.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.get()
+    }
+
+    /// Candidate lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Candidate peers that survived pruning, cumulative.
+    pub fn candidates(&self) -> u64 {
+        self.candidates.get()
+    }
+}

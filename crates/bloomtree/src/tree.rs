@@ -1,0 +1,1091 @@
+//! The Bloofi B-tree itself.
+
+use std::collections::HashMap;
+
+use planetp_bloom::{BloomFilter, BloomParams, HashedKey};
+
+use crate::bitset::PeerBitset;
+use crate::metrics::TreeMetrics;
+
+/// Two-part `(status_version, bloom_version)` of one peer's gossiped
+/// summary — structurally identical to `planetp_search::PeerVersion`,
+/// redeclared here so the tree does not depend on the search crate.
+pub type PeerVersion = (u64, u32);
+
+/// Default maximum children per interior node.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// Shape and bit-space parameters of a [`BloomTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum children per interior node (≥ 2). Interior nodes other
+    /// than the root keep at least `ceil(fanout / 2)` children.
+    pub fanout: usize,
+    /// Bit space of every tree node. Peers gossiping filters with
+    /// exactly these parameters become leaves by bit-copy; others fall
+    /// back to flat probing (or re-hash their key sets).
+    pub params: BloomParams,
+}
+
+impl TreeConfig {
+    /// Config with an explicit fan-out.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn new(fanout: usize, params: BloomParams) -> Self {
+        assert!(fanout >= 2, "tree fan-out must be at least 2");
+        Self { fanout, params }
+    }
+
+    /// Default fan-out over the given bit space.
+    pub fn for_params(params: BloomParams) -> Self {
+        Self::new(DEFAULT_FANOUT, params)
+    }
+}
+
+impl Default for TreeConfig {
+    /// Default fan-out over the paper's 50 KB / 2-hash bit space (the
+    /// parameters every live community filter uses).
+    fn default() -> Self {
+        Self::for_params(BloomParams::paper())
+    }
+}
+
+/// One peer's summary as handed to [`BloomTree::bulk_build`] /
+/// [`BloomTree::rebuild`].
+#[derive(Debug, Clone, Copy)]
+pub struct PeerEntry<'a> {
+    /// Stable peer identity (gossip peer id).
+    pub id: u64,
+    /// Version of the published summary.
+    pub version: PeerVersion,
+    /// The peer's (decompressed) Bloom filter.
+    pub filter: &'a BloomFilter,
+}
+
+/// Structural snapshot from [`BloomTree::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    /// Peers tracked (leaves + fallback list).
+    pub peers: usize,
+    /// Peers on the flat-probed fallback list (mismatched params).
+    pub fallback_peers: usize,
+    /// Levels including the leaf level (0 = empty).
+    pub height: usize,
+    /// Live arena nodes (interior + leaf).
+    pub nodes: usize,
+    /// Interior nodes only.
+    pub interior_nodes: usize,
+    /// Mean fill ratio of interior union filters.
+    pub avg_interior_fill: f64,
+    /// Highest fill ratio among interior union filters.
+    pub max_interior_fill: f64,
+    /// Mean estimated FPR of interior union filters
+    /// (`fill ^ num_hashes`).
+    pub avg_interior_fpr: f64,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { id: u64, version: PeerVersion },
+    Interior { children: Vec<u32> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    filter: BloomFilter,
+    parent: Option<u32>,
+    /// Largest peer id in this subtree (== the peer id for leaves);
+    /// interior children are kept sorted by it, so descent is a scan
+    /// for the first child with `max_id >= id`.
+    max_id: u64,
+    kind: NodeKind,
+}
+
+/// A Bloofi tree over the directory's per-peer Bloom filters. See the
+/// [crate docs](crate) for the structure and its invariants.
+#[derive(Debug)]
+pub struct BloomTree {
+    config: TreeConfig,
+    nodes: Vec<Option<Node>>,
+    free: Vec<u32>,
+    root: Option<u32>,
+    /// Peer id → leaf arena index (arena indices are stable across
+    /// rebalancing; only parent links move).
+    leaf_of: HashMap<u64, u32>,
+    /// Peers whose filters don't fit the tree bit space: always
+    /// candidates, probed through the flat `probe_row` path.
+    fallback: HashMap<u64, PeerVersion>,
+    /// Every tracked peer id, ascending — the positional universe of
+    /// [`Self::candidates`].
+    members: Vec<u64>,
+    metrics: TreeMetrics,
+}
+
+impl BloomTree {
+    /// Empty tree with detached metrics.
+    pub fn new(config: TreeConfig) -> Self {
+        Self {
+            config,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            leaf_of: HashMap::new(),
+            fallback: HashMap::new(),
+            members: Vec::new(),
+            metrics: TreeMetrics::detached(),
+        }
+    }
+
+    /// Record tree activity through `metrics`.
+    pub fn with_metrics(mut self, metrics: TreeMetrics) -> Self {
+        self.metrics = metrics;
+        self.metrics.height.set(self.height() as i64);
+        self
+    }
+
+    /// Bulk-load a tree from a set of peers (ids deduplicated, first
+    /// occurrence wins). Equivalent to `new` + [`Self::rebuild`].
+    pub fn bulk_build(config: TreeConfig, peers: &[PeerEntry<'_>]) -> Self {
+        let mut t = Self::new(config);
+        t.rebuild(peers);
+        t
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+
+    /// Tracked peer ids, ascending. Bit `i` of a [`Self::candidates`]
+    /// answer refers to `members()[i]`.
+    pub fn members(&self) -> &[u64] {
+        &self.members
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `id` is tracked (as a leaf or on the fallback list).
+    pub fn contains_peer(&self, id: u64) -> bool {
+        self.leaf_of.contains_key(&id) || self.fallback.contains_key(&id)
+    }
+
+    /// Position of `id` in [`Self::members`], if tracked.
+    pub fn rank_of(&self, id: u64) -> Option<usize> {
+        self.members.binary_search(&id).ok()
+    }
+
+    /// Last version recorded for `id`, if tracked.
+    pub fn version_of(&self, id: u64) -> Option<PeerVersion> {
+        if let Some(&leaf) = self.leaf_of.get(&id) {
+            match self.node(leaf).kind {
+                NodeKind::Leaf { version, .. } => return Some(version),
+                NodeKind::Interior { .. } => unreachable!("leaf_of points at a leaf"),
+            }
+        }
+        self.fallback.get(&id).copied()
+    }
+
+    /// Levels including the leaf level (0 = empty tree; fallback-only
+    /// populations have height 0).
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            h += 1;
+            cur = match &self.node(i).kind {
+                NodeKind::Interior { children } => Some(children[0]),
+                NodeKind::Leaf { .. } => None,
+            };
+        }
+        h
+    }
+
+    /// Throw away the structure and bulk-load `peers` bottom-up:
+    /// leaves in ascending id order are packed into maximal interior
+    /// nodes level by level (the last two nodes of a level share
+    /// children evenly when the tail would underflow). Counts as one
+    /// `bloomtree.rebuilds`.
+    pub fn rebuild(&mut self, peers: &[PeerEntry<'_>]) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = None;
+        self.leaf_of.clear();
+        self.fallback.clear();
+        self.members.clear();
+
+        let mut sorted: Vec<PeerEntry<'_>> = peers.to_vec();
+        sorted.sort_by_key(|p| p.id);
+        sorted.dedup_by_key(|p| p.id);
+        self.members = sorted.iter().map(|p| p.id).collect();
+
+        let mut level: Vec<u32> = Vec::new();
+        for p in &sorted {
+            if p.filter.params() == self.config.params {
+                let leaf = self.alloc(Node {
+                    filter: p.filter.clone(),
+                    parent: None,
+                    max_id: p.id,
+                    kind: NodeKind::Leaf { id: p.id, version: p.version },
+                });
+                self.leaf_of.insert(p.id, leaf);
+                level.push(leaf);
+            } else {
+                self.fallback.insert(p.id, p.version);
+            }
+        }
+        while level.len() > 1 {
+            level = self.build_level(level);
+        }
+        self.root = level.pop();
+        self.metrics.rebuilds.inc();
+        self.metrics.height.set(self.height() as i64);
+    }
+
+    /// Track a new peer (or replace an existing one wholesale). The
+    /// filter becomes a leaf iff its parameters match the tree's;
+    /// otherwise the peer joins the fallback list.
+    pub fn insert_peer(&mut self, id: u64, version: PeerVersion, filter: &BloomFilter) {
+        if self.contains_peer(id) {
+            self.remove_peer(id);
+        }
+        let rank = self.members.binary_search(&id).unwrap_err();
+        self.members.insert(rank, id);
+        if filter.params() == self.config.params {
+            self.attach_leaf(id, version, filter.clone());
+        } else {
+            self.fallback.insert(id, version);
+        }
+        self.metrics.height.set(self.height() as i64);
+    }
+
+    /// Track a peer by re-hashing its key set into the tree bit space.
+    /// The resulting leaf is exact with respect to `keys` (no false
+    /// negatives for any inserted key) regardless of what parameters
+    /// the peer's own gossiped filter uses — but it cannot reproduce
+    /// that filter's false positives, so candidate sets built this way
+    /// match *key* membership, not the remote filter's answers.
+    pub fn insert_peer_keys<I, S>(&mut self, id: u64, version: PeerVersion, keys: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        if self.contains_peer(id) {
+            self.remove_peer(id);
+        }
+        let rank = self.members.binary_search(&id).unwrap_err();
+        self.members.insert(rank, id);
+        let mut filter = BloomFilter::new(self.config.params);
+        for k in keys {
+            filter.insert(k.as_ref());
+        }
+        self.attach_leaf(id, version, filter);
+        self.metrics.height.set(self.height() as i64);
+    }
+
+    /// Stop tracking `id`. Returns false if it was never tracked.
+    pub fn remove_peer(&mut self, id: u64) -> bool {
+        let present = if let Some(leaf) = self.leaf_of.remove(&id) {
+            self.remove_leaf_structural(leaf);
+            true
+        } else {
+            self.fallback.remove(&id).is_some()
+        };
+        if present {
+            let rank = self.members.binary_search(&id).expect("tracked peer in members");
+            self.members.remove(rank);
+            self.metrics.height.set(self.height() as i64);
+        }
+        present
+    }
+
+    /// Replace the summary of an already-tracked peer after a gossiped
+    /// version bump; ancestors are recomputed exactly. A peer may
+    /// migrate between the tree and the fallback list if its filter
+    /// parameters changed. Returns false (and does nothing) if `id` is
+    /// not tracked.
+    pub fn update_peer(&mut self, id: u64, version: PeerVersion, filter: &BloomFilter) -> bool {
+        if let Some(&leaf) = self.leaf_of.get(&id) {
+            if filter.params() == self.config.params {
+                let node = self.node_mut(leaf);
+                node.filter = filter.clone();
+                node.kind = NodeKind::Leaf { id, version };
+                if let Some(p) = self.node(leaf).parent {
+                    self.recompute_path(p);
+                }
+            } else {
+                self.leaf_of.remove(&id);
+                self.remove_leaf_structural(leaf);
+                self.fallback.insert(id, version);
+            }
+            self.metrics.height.set(self.height() as i64);
+            true
+        } else if self.fallback.contains_key(&id) {
+            if filter.params() == self.config.params {
+                self.fallback.remove(&id);
+                self.attach_leaf(id, version, filter.clone());
+            } else {
+                self.fallback.insert(id, version);
+            }
+            self.metrics.height.set(self.height() as i64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Which tracked peers may contain `key`: walks the tree pruning
+    /// subtrees whose union filter rejects the key, then adds every
+    /// fallback peer unconditionally. Bit `i` of the answer refers to
+    /// `members()[i]`.
+    ///
+    /// Guarantee: a superset of the flat per-peer probe — if a leaf
+    /// peer's *tree* filter reports the key present, the peer is in
+    /// the set (leaves that are bit-copies make this exactly the flat
+    /// scan's answer for those peers).
+    pub fn candidates(&self, key: &HashedKey) -> PeerBitset {
+        let mut set = PeerBitset::with_len(self.members.len());
+        for &id in self.fallback.keys() {
+            let rank = self.members.binary_search(&id).expect("fallback peer in members");
+            set.set(rank);
+        }
+        let mut visited = 0u64;
+        if let Some(root) = self.root {
+            let mut stack = vec![root];
+            while let Some(i) = stack.pop() {
+                visited += 1;
+                let node = self.node(i);
+                if !node.filter.contains_hashed(key) {
+                    continue;
+                }
+                match &node.kind {
+                    NodeKind::Leaf { id, .. } => {
+                        let rank =
+                            self.members.binary_search(id).expect("leaf peer in members");
+                        set.set(rank);
+                    }
+                    NodeKind::Interior { children } => stack.extend_from_slice(children),
+                }
+            }
+        }
+        self.metrics.lookups.inc();
+        self.metrics.nodes_visited.add(visited);
+        self.metrics.candidates.add(set.count() as u64);
+        self.metrics.probes_saved.add((self.members.len() - set.count()) as u64);
+        set
+    }
+
+    /// Structural snapshot (height, node count, interior fill/FPR).
+    pub fn stats(&self) -> TreeStats {
+        let mut nodes = 0usize;
+        let mut interior = 0usize;
+        let mut fill_sum = 0.0;
+        let mut fill_max = 0.0f64;
+        let mut fpr_sum = 0.0;
+        for node in self.nodes.iter().flatten() {
+            nodes += 1;
+            if let NodeKind::Interior { .. } = node.kind {
+                interior += 1;
+                let fill = node.filter.fill_ratio();
+                fill_sum += fill;
+                fill_max = fill_max.max(fill);
+                fpr_sum += node.filter.estimated_fpr();
+            }
+        }
+        TreeStats {
+            peers: self.members.len(),
+            fallback_peers: self.fallback.len(),
+            height: self.height(),
+            nodes,
+            interior_nodes: interior,
+            avg_interior_fill: if interior > 0 { fill_sum / interior as f64 } else { 0.0 },
+            max_interior_fill: fill_max,
+            avg_interior_fpr: if interior > 0 { fpr_sum / interior as f64 } else { 0.0 },
+        }
+    }
+
+    /// Check every structural invariant, panicking on violation. Test
+    /// support; not part of the stable API.
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        let live: usize = self.nodes.iter().flatten().count();
+        assert_eq!(
+            live + self.free.len(),
+            self.nodes.len(),
+            "arena slots are either live or on the free list"
+        );
+        for w in self.members.windows(2) {
+            assert!(w[0] < w[1], "members sorted strictly ascending");
+        }
+        assert_eq!(
+            self.members.len(),
+            self.leaf_of.len() + self.fallback.len(),
+            "members = leaves + fallback"
+        );
+        for id in self.fallback.keys() {
+            assert!(self.members.binary_search(id).is_ok(), "fallback id {id} in members");
+        }
+        let Some(root) = self.root else {
+            assert!(self.leaf_of.is_empty(), "no root but leaves exist");
+            assert_eq!(live, 0, "no root but live arena nodes exist");
+            return;
+        };
+        assert!(self.node(root).parent.is_none(), "root has no parent");
+        // Walk the whole tree, collecting leaves in order.
+        let mut leaf_ids = Vec::new();
+        let mut seen = 0usize;
+        let mut depths = Vec::new();
+        self.validate_node(root, true, 0, &mut leaf_ids, &mut depths, &mut seen);
+        assert_eq!(seen, live, "every live node reachable from the root");
+        let first_depth = depths[0];
+        assert!(depths.iter().all(|&d| d == first_depth), "uniform leaf depth");
+        for w in leaf_ids.windows(2) {
+            assert!(w[0] < w[1], "in-order leaf ids strictly ascending");
+        }
+        let mut expect: Vec<u64> = self.leaf_of.keys().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(leaf_ids, expect, "in-order leaves = leaf_of keys");
+    }
+
+    fn validate_node(
+        &self,
+        idx: u32,
+        is_root: bool,
+        depth: usize,
+        leaf_ids: &mut Vec<u64>,
+        depths: &mut Vec<usize>,
+        seen: &mut usize,
+    ) {
+        *seen += 1;
+        let node = self.node(idx);
+        assert_eq!(
+            node.filter.params(),
+            self.config.params,
+            "every tree node lives in the tree bit space"
+        );
+        match &node.kind {
+            NodeKind::Leaf { id, .. } => {
+                assert_eq!(node.max_id, *id, "leaf max_id is its peer id");
+                assert_eq!(self.leaf_of.get(id), Some(&idx), "leaf_of points back at leaf");
+                leaf_ids.push(*id);
+                depths.push(depth);
+            }
+            NodeKind::Interior { children } => {
+                assert!(!children.is_empty(), "interior node has children");
+                assert!(children.len() <= self.config.fanout, "fan-out bound");
+                if !is_root {
+                    assert!(
+                        children.len() >= self.min_children(),
+                        "non-root interior at least half full: {} < {}",
+                        children.len(),
+                        self.min_children()
+                    );
+                }
+                let mut union = BloomFilter::new(self.config.params);
+                let mut prev_max = None;
+                for &c in children {
+                    let child = self.node(c);
+                    assert_eq!(child.parent, Some(idx), "child parent link");
+                    if let Some(p) = prev_max {
+                        assert!(p < child.max_id, "children sorted by max_id");
+                    }
+                    prev_max = Some(child.max_id);
+                    union
+                        .try_union_with(&child.filter)
+                        .expect("tree nodes share parameters");
+                    self.validate_node(c, false, depth + 1, leaf_ids, depths, seen);
+                }
+                assert_eq!(node.max_id, prev_max.unwrap(), "interior max_id = last child's");
+                assert_eq!(
+                    node.filter.words(),
+                    union.words(),
+                    "interior filter is the exact union of its children"
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn min_children(&self) -> usize {
+        self.config.fanout.div_ceil(2)
+    }
+
+    fn node(&self, idx: u32) -> &Node {
+        self.nodes[idx as usize].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, idx: u32) -> &mut Node {
+        self.nodes[idx as usize].as_mut().expect("live node")
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Some(node);
+                i
+            }
+            None => {
+                self.nodes.push(Some(node));
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_node(&mut self, idx: u32) {
+        self.nodes[idx as usize] = None;
+        self.free.push(idx);
+    }
+
+    fn children(&self, idx: u32) -> &[u32] {
+        match &self.node(idx).kind {
+            NodeKind::Interior { children } => children,
+            NodeKind::Leaf { .. } => unreachable!("interior expected"),
+        }
+    }
+
+    fn children_mut(&mut self, idx: u32) -> &mut Vec<u32> {
+        match &mut self.node_mut(idx).kind {
+            NodeKind::Interior { children } => children,
+            NodeKind::Leaf { .. } => unreachable!("interior expected"),
+        }
+    }
+
+    /// Exact union of the given nodes' filters.
+    fn union_of(&self, nodes: &[u32]) -> BloomFilter {
+        let mut f = BloomFilter::new(self.config.params);
+        for &c in nodes {
+            f.try_union_with(&self.node(c).filter).expect("tree nodes share parameters");
+        }
+        f
+    }
+
+    /// Group one finished level under fresh parents, returning the new
+    /// level. The tail group is rebalanced with its left neighbor when
+    /// it would fall below `min_children`.
+    fn build_level(&mut self, level: Vec<u32>) -> Vec<u32> {
+        let fanout = self.config.fanout;
+        let mut groups: Vec<Vec<u32>> =
+            level.chunks(fanout).map(|c| c.to_vec()).collect();
+        if groups.len() > 1 {
+            let last = groups.len() - 1;
+            if groups[last].len() < self.min_children() {
+                let mut combined = groups.remove(last - 1);
+                combined.extend(groups.pop().expect("tail group"));
+                let split = combined.len().div_ceil(2);
+                let right = combined.split_off(split);
+                groups.push(combined);
+                groups.push(right);
+            }
+        }
+        let mut parents = Vec::with_capacity(groups.len());
+        for group in groups {
+            let filter = self.union_of(&group);
+            let max_id = self.node(*group.last().expect("non-empty group")).max_id;
+            let kids = group.clone();
+            let parent = self.alloc(Node {
+                filter,
+                parent: None,
+                max_id,
+                kind: NodeKind::Interior { children: group },
+            });
+            for &c in &kids {
+                self.node_mut(c).parent = Some(parent);
+            }
+            parents.push(parent);
+        }
+        parents
+    }
+
+    /// Allocate a leaf for `(id, version, filter)` and hook it into the
+    /// structure (members must already contain `id`).
+    fn attach_leaf(&mut self, id: u64, version: PeerVersion, filter: BloomFilter) {
+        let leaf = self.alloc(Node {
+            filter,
+            parent: None,
+            max_id: id,
+            kind: NodeKind::Leaf { id, version },
+        });
+        self.leaf_of.insert(id, leaf);
+        match self.root {
+            None => self.root = Some(leaf),
+            Some(root) if matches!(self.node(root).kind, NodeKind::Leaf { .. }) => {
+                let mut kids = vec![root, leaf];
+                kids.sort_by_key(|&c| self.node(c).max_id);
+                let filter = self.union_of(&kids);
+                let max_id = self.node(kids[1]).max_id;
+                let new_root = self.alloc(Node {
+                    filter,
+                    parent: None,
+                    max_id,
+                    kind: NodeKind::Interior { children: kids.clone() },
+                });
+                for &c in &kids {
+                    self.node_mut(c).parent = Some(new_root);
+                }
+                self.root = Some(new_root);
+            }
+            Some(_) => {
+                let parent = self.leaf_parent_for(id);
+                let pos = self
+                    .children(parent)
+                    .partition_point(|&c| self.node(c).max_id < id);
+                self.children_mut(parent).insert(pos, leaf);
+                self.node_mut(leaf).parent = Some(parent);
+                // OR the new leaf into every ancestor (exact: ancestors
+                // were exact unions and only gained this leaf).
+                let leaf_filter = self.node(leaf).filter.clone();
+                let mut cur = Some(parent);
+                while let Some(i) = cur {
+                    let node = self.node_mut(i);
+                    node.max_id = node.max_id.max(id);
+                    cur = node.parent;
+                    self.node_mut(i)
+                        .filter
+                        .try_union_with(&leaf_filter)
+                        .expect("tree nodes share parameters");
+                }
+                self.split_up(parent);
+            }
+        }
+    }
+
+    /// The interior node whose children are leaves and whose id range
+    /// should receive `id`. Only valid when the root is interior.
+    fn leaf_parent_for(&self, id: u64) -> u32 {
+        let mut cur = self.root.expect("non-empty tree");
+        loop {
+            let children = self.children(cur);
+            if matches!(self.node(children[0]).kind, NodeKind::Leaf { .. }) {
+                return cur;
+            }
+            cur = children
+                .iter()
+                .copied()
+                .find(|&c| self.node(c).max_id >= id)
+                .unwrap_or(*children.last().expect("interior has children"));
+        }
+    }
+
+    /// Split overfull nodes from `v` upward, growing the root if needed.
+    fn split_up(&mut self, mut v: u32) {
+        loop {
+            let count = match &self.node(v).kind {
+                NodeKind::Interior { children } => children.len(),
+                NodeKind::Leaf { .. } => return,
+            };
+            if count <= self.config.fanout {
+                return;
+            }
+            let split = count.div_ceil(2);
+            let right: Vec<u32> = self.children_mut(v).split_off(split);
+            let right_filter = self.union_of(&right);
+            let right_max = self.node(*right.last().expect("right half")).max_id;
+            let parent = self.node(v).parent;
+            let w = self.alloc(Node {
+                filter: right_filter,
+                parent,
+                max_id: right_max,
+                kind: NodeKind::Interior { children: right.clone() },
+            });
+            for &c in &right {
+                self.node_mut(c).parent = Some(w);
+            }
+            let left = self.children(v).to_vec();
+            let left_filter = self.union_of(&left);
+            let left_max = self.node(*left.last().expect("left half")).max_id;
+            {
+                let node = self.node_mut(v);
+                node.filter = left_filter;
+                node.max_id = left_max;
+            }
+            match parent {
+                None => {
+                    let filter = self.union_of(&[v, w]);
+                    let new_root = self.alloc(Node {
+                        filter,
+                        parent: None,
+                        max_id: right_max,
+                        kind: NodeKind::Interior { children: vec![v, w] },
+                    });
+                    self.node_mut(v).parent = Some(new_root);
+                    self.node_mut(w).parent = Some(new_root);
+                    self.root = Some(new_root);
+                    return;
+                }
+                Some(p) => {
+                    let pos = self
+                        .children(p)
+                        .iter()
+                        .position(|&c| c == v)
+                        .expect("v under its parent");
+                    self.children_mut(p).insert(pos + 1, w);
+                    v = p;
+                }
+            }
+        }
+    }
+
+    /// Unhook a leaf node (leaf_of already updated by the caller) and
+    /// repair ancestors: exact recompute, then underflow rebalancing.
+    fn remove_leaf_structural(&mut self, leaf: u32) {
+        let parent = self.node(leaf).parent;
+        self.free_node(leaf);
+        match parent {
+            None => self.root = None,
+            Some(p) => {
+                self.children_mut(p).retain(|&c| c != leaf);
+                self.recompute_path(p);
+                self.underflow_up(p);
+            }
+        }
+    }
+
+    /// Recompute filters and max_ids exactly from `from` to the root.
+    fn recompute_path(&mut self, from: u32) {
+        let mut cur = Some(from);
+        while let Some(i) = cur {
+            let kids = self.children(i).to_vec();
+            let filter = self.union_of(&kids);
+            let max_id = kids.last().map(|&c| self.node(c).max_id).unwrap_or(0);
+            let node = self.node_mut(i);
+            node.filter = filter;
+            node.max_id = max_id;
+            cur = node.parent;
+        }
+    }
+
+    /// Repair underfull interior nodes from `v` upward: borrow an edge
+    /// child from an adjacent sibling when it can spare one, else merge
+    /// with it (which may cascade the underflow to the parent). The
+    /// root instead collapses when it is an interior node with a single
+    /// child.
+    fn underflow_up(&mut self, mut v: u32) {
+        loop {
+            let count = match &self.node(v).kind {
+                NodeKind::Interior { children } => children.len(),
+                NodeKind::Leaf { .. } => return,
+            };
+            let Some(p) = self.node(v).parent else {
+                // v is the root.
+                if count == 1 {
+                    let only = self.children(v)[0];
+                    self.node_mut(only).parent = None;
+                    self.free_node(v);
+                    self.root = Some(only);
+                } else if count == 0 {
+                    self.free_node(v);
+                    self.root = None;
+                }
+                return;
+            };
+            if count >= self.min_children() {
+                return;
+            }
+            let pos = self
+                .children(p)
+                .iter()
+                .position(|&c| c == v)
+                .expect("v under its parent");
+            let siblings = self.children(p);
+            let left = (pos > 0).then(|| siblings[pos - 1]);
+            let right = siblings.get(pos + 1).copied();
+            let can_spare =
+                |t: &Self, s: Option<u32>| s.filter(|&s| t.children(s).len() > t.min_children());
+            if let Some(s) = can_spare(self, left) {
+                // Borrow the left sibling's last child onto v's front.
+                let moved = self.children_mut(s).pop().expect("sibling child");
+                self.children_mut(v).insert(0, moved);
+                self.node_mut(moved).parent = Some(v);
+                self.rebuild_node(s);
+                self.rebuild_node(v);
+                return;
+            }
+            if let Some(s) = can_spare(self, right) {
+                // Borrow the right sibling's first child onto v's back.
+                let moved = self.children_mut(s).remove(0);
+                self.children_mut(v).push(moved);
+                self.node_mut(moved).parent = Some(v);
+                self.rebuild_node(s);
+                self.rebuild_node(v);
+                return;
+            }
+            // Merge with a neighbor: append the right node of the pair
+            // into the left to preserve id order.
+            let (target, source) = match left {
+                Some(l) => (l, v),
+                None => (v, right.expect("non-root node has a sibling")),
+            };
+            let moved = std::mem::take(self.children_mut(source));
+            for &c in &moved {
+                self.node_mut(c).parent = Some(target);
+            }
+            self.children_mut(target).extend_from_slice(&moved);
+            self.free_node(source);
+            self.children_mut(p).retain(|&c| c != source);
+            self.rebuild_node(target);
+            v = p;
+        }
+    }
+
+    /// Exact single-node recompute (filter + max_id) after its child
+    /// list changed in a way that left the subtree's leaf set intact
+    /// for every *ancestor* (borrow/merge between siblings).
+    fn rebuild_node(&mut self, idx: u32) {
+        let kids = self.children(idx).to_vec();
+        let filter = self.union_of(&kids);
+        let max_id = kids.last().map(|&c| self.node(c).max_id).unwrap_or(0);
+        let node = self.node_mut(idx);
+        node.filter = filter;
+        node.max_id = max_id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planetp_bloom::probe_row;
+
+    /// Roomy test bit space: negative assertions below rely on sparse
+    /// single-key leaves not colliding, so keep the FPR far below any
+    /// plausible flake threshold.
+    fn params() -> BloomParams {
+        BloomParams { num_bits: 4096, num_hashes: 2 }
+    }
+
+    fn filter_with(terms: &[&str]) -> BloomFilter {
+        let mut f = BloomFilter::new(params());
+        for t in terms {
+            f.insert(t);
+        }
+        f
+    }
+
+    fn cfg(fanout: usize) -> TreeConfig {
+        TreeConfig::new(fanout, params())
+    }
+
+    /// Flat oracle: ranks (members order) whose filter reports `key`.
+    fn flat_hits(tree: &BloomTree, filters: &[(u64, BloomFilter)], key: &HashedKey) -> Vec<usize> {
+        let mut by_id: Vec<&(u64, BloomFilter)> = filters.iter().collect();
+        by_id.sort_by_key(|(id, _)| *id);
+        let refs: Vec<&BloomFilter> = by_id.iter().map(|(_, f)| f).collect();
+        let (presence, _) = probe_row(key, &refs);
+        (0..refs.len())
+            .filter(|&i| presence[i / 64] & (1u64 << (i % 64)) != 0)
+            .inspect(|&i| assert_eq!(tree.members()[i], by_id[i].0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BloomTree::new(cfg(4));
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        let c = t.candidates(&HashedKey::new("x"));
+        assert_eq!(c.count(), 0);
+        t.validate();
+    }
+
+    #[test]
+    fn single_leaf_root() {
+        let mut t = BloomTree::new(cfg(4));
+        t.insert_peer(7, (1, 0), &filter_with(&["alpha"]));
+        assert_eq!(t.height(), 1);
+        t.validate();
+        assert!(t.candidates(&HashedKey::new("alpha")).contains(0));
+        assert!(t.remove_peer(7));
+        assert!(t.is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn inserts_grow_and_match_flat_scan() {
+        let mut t = BloomTree::new(cfg(4));
+        let mut flat: Vec<(u64, BloomFilter)> = Vec::new();
+        // Out-of-order ids force mid-node inserts and splits.
+        for i in [5u64, 50, 25, 1, 99, 42, 66, 13, 77, 30, 8, 61, 2, 88, 17, 54, 70, 3] {
+            let f = filter_with(&[&format!("only-{i}"), "shared"]);
+            t.insert_peer(i, (i, 0), &f);
+            flat.push((i, f));
+            t.validate();
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        for term in ["shared", "only-42", "only-3", "absent"] {
+            let key = HashedKey::new(term);
+            let cands = t.candidates(&key);
+            let hits = flat_hits(&t, &flat, &key);
+            // Bit-copy leaves: candidates == flat answer exactly.
+            assert_eq!(cands.iter_ones().collect::<Vec<_>>(), hits, "term {term}");
+        }
+    }
+
+    #[test]
+    fn removals_rebalance_down_to_empty() {
+        let mut t = BloomTree::new(cfg(4));
+        let ids: Vec<u64> = (0..40).collect();
+        for &i in &ids {
+            t.insert_peer(i, (0, 0), &filter_with(&[&format!("k{i}")]));
+        }
+        t.validate();
+        // Remove in an order that exercises borrows and merges.
+        for &i in ids.iter().step_by(2).chain(ids.iter().skip(1).step_by(2)) {
+            assert!(t.remove_peer(i));
+            t.validate();
+            let key = HashedKey::new(&format!("k{i}"));
+            let c = t.candidates(&key);
+            assert!(
+                t.rank_of(i).is_none() && c.len() == t.len(),
+                "removed peer no longer tracked"
+            );
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn update_changes_answers_and_stays_exact() {
+        let mut t = BloomTree::new(cfg(4));
+        for i in 0..20u64 {
+            t.insert_peer(i, (0, 0), &filter_with(&[&format!("k{i}")]));
+        }
+        let old = HashedKey::new("k7");
+        let new = HashedKey::new("fresh");
+        assert!(t.candidates(&old).contains(7));
+        assert!(!t.candidates(&new).contains(7));
+        assert!(t.update_peer(7, (1, 1), &filter_with(&["fresh"])));
+        t.validate();
+        assert!(t.candidates(&new).contains(7));
+        // Exact maintenance: ancestors forgot "k7" unless another leaf
+        // coincidentally sets the same bits (none does here).
+        assert!(!t.candidates(&old).contains(7));
+        assert_eq!(t.version_of(7), Some((1, 1)));
+        assert!(!t.update_peer(999, (0, 0), &filter_with(&["x"])), "unknown id");
+    }
+
+    #[test]
+    fn mismatched_params_go_to_fallback_and_back() {
+        let mut t = BloomTree::new(cfg(4));
+        let foreign = {
+            let mut f =
+                BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 3 });
+            f.insert("theirs");
+            f
+        };
+        for i in 0..10u64 {
+            t.insert_peer(i, (0, 0), &filter_with(&[&format!("k{i}")]));
+        }
+        t.insert_peer(100, (0, 0), &foreign);
+        t.validate();
+        assert_eq!(t.stats().fallback_peers, 1);
+        // Fallback peers are unconditional candidates.
+        let c = t.candidates(&HashedKey::new("absent"));
+        assert!(c.contains(t.rank_of(100).unwrap()));
+        assert_eq!(c.count(), 1);
+        // A republish with conforming params migrates it into the tree.
+        assert!(t.update_peer(100, (1, 1), &filter_with(&["theirs"])));
+        t.validate();
+        assert_eq!(t.stats().fallback_peers, 0);
+        assert!(!t.candidates(&HashedKey::new("absent")).contains(t.rank_of(100).unwrap()));
+        assert!(t.candidates(&HashedKey::new("theirs")).contains(t.rank_of(100).unwrap()));
+        // And a mismatched republish migrates it back out.
+        assert!(t.update_peer(100, (2, 2), &foreign));
+        t.validate();
+        assert_eq!(t.stats().fallback_peers, 1);
+    }
+
+    #[test]
+    fn keys_mode_has_no_false_negatives_for_keys() {
+        let mut t = BloomTree::new(cfg(4));
+        t.insert_peer_keys(3, (0, 0), ["apple", "pear"]);
+        t.insert_peer_keys(9, (0, 0), ["plum"]);
+        t.validate();
+        assert!(t.candidates(&HashedKey::new("pear")).contains(0));
+        assert!(t.candidates(&HashedKey::new("plum")).contains(1));
+        assert!(!t.candidates(&HashedKey::new("pear")).contains(1));
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental_answers() {
+        let flat: Vec<(u64, BloomFilter)> = (0..100u64)
+            .map(|i| (i * 3 % 101, filter_with(&[&format!("t{i}"), "common"])))
+            .collect();
+        let entries: Vec<PeerEntry<'_>> = flat
+            .iter()
+            .map(|(id, f)| PeerEntry { id: *id, version: (0, 0), filter: f })
+            .collect();
+        let bulk = BloomTree::bulk_build(cfg(8), &entries);
+        bulk.validate();
+        let mut incr = BloomTree::new(cfg(8));
+        for e in &entries {
+            incr.insert_peer(e.id, e.version, e.filter);
+        }
+        incr.validate();
+        assert_eq!(bulk.members(), incr.members());
+        for term in ["common", "t5", "t77", "none"] {
+            let key = HashedKey::new(term);
+            assert_eq!(
+                bulk.candidates(&key).iter_ones().collect::<Vec<_>>(),
+                incr.candidates(&key).iter_ones().collect::<Vec<_>>(),
+                "term {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let mut t = BloomTree::new(cfg(4));
+        t.insert_peer(1, (0, 0), &filter_with(&["old"]));
+        t.insert_peer(1, (1, 0), &filter_with(&["new"]));
+        t.validate();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.version_of(1), Some((1, 0)));
+        assert!(!t.candidates(&HashedKey::new("old")).contains(0));
+        assert!(t.candidates(&HashedKey::new("new")).contains(0));
+    }
+
+    #[test]
+    fn stats_and_metrics_track_lookups() {
+        let mut t = BloomTree::new(cfg(4));
+        for i in 0..50u64 {
+            t.insert_peer(i, (0, 0), &filter_with(&[&format!("k{i}")]));
+        }
+        let s = t.stats();
+        assert_eq!(s.peers, 50);
+        assert!(s.height >= 3);
+        assert!(s.interior_nodes > 0);
+        assert!(s.nodes > 50);
+        assert!(s.avg_interior_fill > 0.0 && s.max_interior_fill <= 1.0);
+
+        let m = TreeMetrics::detached();
+        let t = {
+            let mut rebuilt = BloomTree::new(cfg(4)).with_metrics(m.clone());
+            let flat: Vec<(u64, BloomFilter)> =
+                (0..50u64).map(|i| (i, filter_with(&[&format!("k{i}")]))).collect();
+            let entries: Vec<PeerEntry<'_>> = flat
+                .iter()
+                .map(|(id, f)| PeerEntry { id: *id, version: (0, 0), filter: f })
+                .collect();
+            rebuilt.rebuild(&entries);
+            rebuilt
+        };
+        assert_eq!(m.rebuilds(), 1);
+        let c = t.candidates(&HashedKey::new("k10"));
+        assert_eq!(m.lookups(), 1);
+        assert!(m.nodes_visited() > 0);
+        assert_eq!(m.candidates(), c.count() as u64);
+        assert_eq!(m.probes_saved(), (50 - c.count()) as u64);
+        // A term on one peer must prune: strictly fewer than N nodes
+        // probed at the leaf level.
+        assert!(c.count() < 50);
+    }
+}

@@ -1,0 +1,264 @@
+//! Property tests pitting [`BloomTree`] against the flat probe oracle.
+//!
+//! The tree exists to *prune* the O(N) per-peer probe, never to change
+//! its answer. These tests generate insert/update/remove/query
+//! schedules (up to ~500 peers) and check, after every query, that
+//! [`BloomTree::candidates`] is
+//!
+//! - a **superset** of the flat per-filter probe (zero false
+//!   negatives), always — including for fallback peers whose filter
+//!   parameters don't match the tree's; and
+//! - **exactly equal** to the flat probe for every peer stored as a
+//!   bit-copy leaf: probing the leaf *is* probing the peer's filter,
+//!   so interior-node false positives cost node visits, not wrong
+//!   candidates.
+//!
+//! Structural invariants ([`BloomTree::validate`]) are re-checked after
+//! every mutation, so any schedule that corrupts fill factors, parent
+//! links, or interior unions shrinks to a minimal repro.
+
+use planetp_bloom::{BloomFilter, BloomParams, HashedKey};
+use planetp_bloomtree::{BloomTree, PeerEntry, PeerVersion, TreeConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Tree bit space: roomy enough that leaf filters stay sparse, small
+/// enough that unions climb toward saturation and exercise pruning
+/// failure modes on interior nodes.
+fn tree_params() -> BloomParams {
+    BloomParams { num_bits: 4096, num_hashes: 2 }
+}
+
+/// Deliberately incompatible parameters: peers gossiping these land on
+/// the fallback list instead of becoming leaves.
+fn foreign_params() -> BloomParams {
+    BloomParams { num_bits: 1024, num_hashes: 3 }
+}
+
+/// Shared 16-word vocabulary so queries hit overlapping peer subsets.
+fn term(n: u8) -> String {
+    format!("w{n}")
+}
+
+fn filter_of(params: BloomParams, terms: &[u8]) -> BloomFilter {
+    let mut f = BloomFilter::new(params);
+    for &t in terms {
+        f.insert(&term(t));
+    }
+    f
+}
+
+/// One tracked peer mirrored outside the tree: the oracle probes
+/// `filter` directly, exactly as the flat directory scan would.
+#[derive(Debug, Clone)]
+struct ModelPeer {
+    id: u64,
+    version: PeerVersion,
+    filter: BloomFilter,
+    foreign: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Join with a tree-compatible filter (becomes a leaf).
+    Insert(Vec<u8>),
+    /// Join with mismatched filter parameters (fallback list).
+    InsertForeign(Vec<u8>),
+    /// Republish with tree-compatible parameters — a foreign peer
+    /// picked here migrates fallback → leaf.
+    Update(u16, Vec<u8>),
+    /// Republish with mismatched parameters — a leaf peer picked here
+    /// migrates leaf → fallback.
+    UpdateForeign(u16, Vec<u8>),
+    /// Leave the community.
+    Remove(u16),
+    /// Probe one vocabulary word and diff against the oracle.
+    Query(u8),
+}
+
+fn termset() -> impl Strategy<Value = Vec<u8>> {
+    vec(0u8..16, 0..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => termset().prop_map(Op::Insert),
+        1 => termset().prop_map(Op::InsertForeign),
+        2 => (any::<u16>(), termset()).prop_map(|(s, t)| Op::Update(s, t)),
+        1 => (any::<u16>(), termset()).prop_map(|(s, t)| Op::UpdateForeign(s, t)),
+        2 => any::<u16>().prop_map(Op::Remove),
+        4 => (0u8..16).prop_map(Op::Query),
+    ]
+}
+
+/// Check one query against the flat oracle. Every flat hit must be a
+/// candidate (no false negatives); leaf-backed peers must match the
+/// flat probe exactly; fallback peers are unconditional candidates.
+fn check_query(tree: &BloomTree, model: &[ModelPeer], t: u8) {
+    let key = HashedKey::new(&term(t));
+    let candidates = tree.candidates(&key);
+    assert_eq!(candidates.len(), model.len());
+    for peer in model {
+        let rank = tree.rank_of(peer.id).expect("model peer is tracked");
+        let flat = peer.filter.contains_hashed(&key);
+        let candidate = candidates.contains(rank);
+        if peer.foreign {
+            assert!(
+                candidate,
+                "fallback peer {} must always be a candidate",
+                peer.id
+            );
+        } else {
+            // Bit-copy leaf: the tree's answer for this peer IS the
+            // flat probe of its filter.
+            assert_eq!(
+                candidate, flat,
+                "leaf peer {} diverged from flat probe for {:?}",
+                peer.id,
+                term(t)
+            );
+        }
+        if flat {
+            assert!(candidate, "false negative for peer {}", peer.id);
+        }
+    }
+}
+
+/// Mutations must leave the tree structurally sound and in agreement
+/// with the model about membership and versions.
+fn check_consistency(tree: &BloomTree, model: &[ModelPeer]) {
+    tree.validate();
+    assert_eq!(tree.len(), model.len());
+    for peer in model {
+        assert_eq!(
+            tree.version_of(peer.id),
+            Some(peer.version),
+            "version drift for peer {}",
+            peer.id
+        );
+    }
+}
+
+fn apply_ops(tree: &mut BloomTree, model: &mut Vec<ModelPeer>, next_id: &mut u64, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Insert(terms) | Op::InsertForeign(terms) => {
+                let foreign = matches!(op, Op::InsertForeign(_));
+                let params = if foreign { foreign_params() } else { tree_params() };
+                let id = *next_id;
+                *next_id += 1;
+                let filter = filter_of(params, terms);
+                tree.insert_peer(id, (1, 1), &filter);
+                model.push(ModelPeer { id, version: (1, 1), filter, foreign });
+                check_consistency(tree, model);
+            }
+            Op::Update(sel, terms) | Op::UpdateForeign(sel, terms) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let foreign = matches!(op, Op::UpdateForeign(..));
+                let params = if foreign { foreign_params() } else { tree_params() };
+                let peer = &mut model[*sel as usize % model.len()];
+                peer.version = (peer.version.0, peer.version.1 + 1);
+                peer.filter = filter_of(params, terms);
+                peer.foreign = foreign;
+                assert!(tree.update_peer(peer.id, peer.version, &peer.filter));
+                check_consistency(tree, model);
+            }
+            Op::Remove(sel) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let peer = model.remove(*sel as usize % model.len());
+                assert!(tree.remove_peer(peer.id));
+                assert!(tree.rank_of(peer.id).is_none());
+                check_consistency(tree, model);
+            }
+            Op::Query(t) => check_query(tree, model, *t),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mixed-parameter schedules over a small community with fan-out 3
+    /// (deep trees, frequent split/merge): candidates() never loses a
+    /// flat hit and stays exact for every bit-copy leaf.
+    #[test]
+    fn mixed_schedules_match_flat_oracle(ops in vec(op_strategy(), 1..60)) {
+        let mut tree = BloomTree::new(TreeConfig::new(3, tree_params()));
+        let mut model: Vec<ModelPeer> = Vec::new();
+        let mut next_id = 0u64;
+
+        // Seed a few leaves so early Update/Remove selectors bite.
+        apply_ops(
+            &mut tree,
+            &mut model,
+            &mut next_id,
+            &[Op::Insert(vec![0, 1]), Op::Insert(vec![2]), Op::Insert(vec![3, 4, 5])],
+        );
+        apply_ops(&mut tree, &mut model, &mut next_id, &ops);
+
+        // Sweep the whole vocabulary once at the end.
+        for t in 0..16 {
+            check_query(&tree, &model, t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A ~500-peer homogeneous community built with bulk_build, then
+    /// churned: with every peer a bit-copy leaf, the candidate set is
+    /// *identical* to the flat scan's presence row on every query.
+    #[test]
+    fn bulk_built_500_peer_community_is_exact_under_churn(
+        churn in vec(
+            prop_oneof![
+                2 => (any::<u16>(), termset())
+                    .prop_map(|(s, t)| Op::Update(s, t)),
+                2 => any::<u16>().prop_map(Op::Remove),
+                1 => termset().prop_map(Op::Insert),
+                3 => (0u8..16).prop_map(Op::Query),
+            ],
+            0..40,
+        ),
+    ) {
+        // Peer i announces 4 words from the shared vocabulary, strided
+        // so every word has ~125 publishers.
+        let filters: Vec<BloomFilter> = (0..500u64)
+            .map(|i| {
+                let terms: Vec<u8> =
+                    (0..4).map(|j| ((i + 3 * j) % 16) as u8).collect();
+                filter_of(tree_params(), &terms)
+            })
+            .collect();
+        let entries: Vec<PeerEntry<'_>> = filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| PeerEntry { id: i as u64, version: (1, 1), filter: f })
+            .collect();
+        let mut tree = BloomTree::bulk_build(TreeConfig::new(8, tree_params()), &entries);
+        let mut model: Vec<ModelPeer> = filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| ModelPeer {
+                id: i as u64,
+                version: (1, 1),
+                filter: f.clone(),
+                foreign: false,
+            })
+            .collect();
+        let mut next_id = 500u64;
+        check_consistency(&tree, &model);
+        assert!(tree.height() >= 3, "500 leaves at fan-out 8 must stack levels");
+
+        apply_ops(&mut tree, &mut model, &mut next_id, &churn);
+
+        for t in 0..16 {
+            check_query(&tree, &model, t);
+        }
+    }
+}

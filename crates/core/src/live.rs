@@ -35,6 +35,7 @@
 
 use parking_lot::{Mutex, MutexGuard};
 use planetp_bloom::{BloomFilter, CompressedBloom, HashedKey};
+use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_gossip::{
     EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
     SpeedClass,
@@ -199,6 +200,13 @@ pub struct LiveConfig {
     pub health: HealthConfig,
     /// Parallel group fan-out for search contacts.
     pub fanout: FanoutConfig,
+    /// Bloofi front end for the query cache: on a term-cache miss only
+    /// tree-surviving candidate filters are probed instead of every
+    /// peer's. `None` restores the flat scan. The default tree lives in
+    /// the paper's filter bit space, which every live peer publishes
+    /// in, so all peers become bit-copy leaves and plans are unchanged
+    /// bit for bit.
+    pub bloom_tree: Option<TreeConfig>,
     /// Optional fault injector wrapping all socket I/O (tests; chaos
     /// runs). `None` costs one pointer check per operation.
     pub faults: Option<Arc<FaultInjector>>,
@@ -213,6 +221,7 @@ impl Default for LiveConfig {
             retry: RetryPolicy::default(),
             health: HealthConfig::default(),
             fanout: FanoutConfig::default(),
+            bloom_tree: Some(TreeConfig::default()),
             faults: None,
         }
     }
@@ -1392,11 +1401,13 @@ impl LiveNode {
             addr_book.insert(b, a);
         }
         let health = PeerHealth::new(config.health);
-        let query_state = QueryState {
-            filters: HashMap::new(),
-            cache: QueryCache::new()
-                .with_metrics(QueryCacheMetrics::in_registry(&stats.registry)),
-        };
+        let mut cache = QueryCache::new()
+            .with_metrics(QueryCacheMetrics::in_registry(&stats.registry));
+        if let Some(tree_config) = config.bloom_tree {
+            cache = cache
+                .with_tree(tree_config, TreeMetrics::in_registry(&stats.registry));
+        }
+        let query_state = QueryState { filters: HashMap::new(), cache };
         let inner = Arc::new(Inner {
             id,
             addr,

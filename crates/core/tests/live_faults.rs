@@ -38,6 +38,7 @@ fn faulty_config(seed: u64, faults: Option<Arc<FaultInjector>>) -> LiveConfig {
         },
         fanout: planetp::FanoutConfig::default(),
         faults,
+        ..LiveConfig::default()
     }
 }
 

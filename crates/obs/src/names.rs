@@ -87,6 +87,23 @@ pub const SEARCH_CACHE_PEER_REFRESHES: &str = "search.cache.peer_refreshes";
 /// Query-cache rebuilds from scratch (directory membership changed).
 pub const SEARCH_CACHE_REBUILDS: &str = "search.cache.rebuilds";
 
+/// Bloom-tree: per-peer filter probes avoided by candidate pruning
+/// (tracked peers minus surviving candidates, per cold-term lookup).
+pub const BLOOMTREE_PROBES_SAVED: &str = "bloomtree.probes_saved";
+/// Bloom-tree: tree nodes (interior + leaf) whose union filter was
+/// probed during candidate lookups.
+pub const BLOOMTREE_NODES_VISITED: &str = "bloomtree.nodes_visited";
+/// Bloom-tree: full bulk rebuilds (directory membership changed).
+pub const BLOOMTREE_REBUILDS: &str = "bloomtree.rebuilds";
+/// Gauge: current bloom-tree height in levels, leaves included
+/// (0 = empty tree).
+pub const BLOOMTREE_HEIGHT: &str = "bloomtree.height";
+/// Bloom-tree: candidate lookups (one per cold-term tree walk).
+pub const BLOOMTREE_LOOKUPS: &str = "bloomtree.lookups";
+/// Bloom-tree: candidate peers that survived pruning (their real
+/// filters are still probed).
+pub const BLOOMTREE_CANDIDATES: &str = "bloomtree.candidates";
+
 /// Gauge: jobs waiting in the shared search worker pool.
 pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
 /// Jobs executed by the shared search worker pool.

@@ -197,6 +197,25 @@ impl MetricsSnapshot {
                 }
             }
         }
+        // Derived summary: how much probing the Bloofi tree saved, if
+        // the node ran one.
+        let lookups = self.counter(crate::names::BLOOMTREE_LOOKUPS);
+        if lookups > 0 {
+            let saved = self.counter(crate::names::BLOOMTREE_PROBES_SAVED);
+            let kept = self.counter(crate::names::BLOOMTREE_CANDIDATES);
+            let total = saved + kept;
+            let pct = if total > 0 {
+                100.0 * saved as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "bloom tree: pruned {pct:.1}% of per-peer filter probes \
+                 ({lookups} lookups, height {})",
+                self.gauge(crate::names::BLOOMTREE_HEIGHT)
+            );
+        }
         out
     }
 }
@@ -263,5 +282,21 @@ mod tests {
         assert!(text.contains("a"));
         assert!(text.contains("(gauge)"));
         assert!(text.contains("count=1"));
+        assert!(
+            !text.contains("bloom tree:"),
+            "no tree summary without tree lookups"
+        );
+    }
+
+    #[test]
+    fn render_human_summarizes_tree_pruning() {
+        let reg = Registry::new();
+        reg.counter(crate::names::BLOOMTREE_LOOKUPS).add(4);
+        reg.counter(crate::names::BLOOMTREE_PROBES_SAVED).add(75);
+        reg.counter(crate::names::BLOOMTREE_CANDIDATES).add(25);
+        reg.gauge(crate::names::BLOOMTREE_HEIGHT).set(3);
+        let text = reg.snapshot().render_human();
+        assert!(text.contains("bloom tree: pruned 75.0%"), "{text}");
+        assert!(text.contains("4 lookups, height 3"), "{text}");
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::ipf::IpfTable;
 use crate::types::PeerNo;
-use planetp_bloom::{BloomFilter, HashedKey};
+use planetp_bloom::{BloomFilter, HashedKey, ParamMismatch};
 
 /// A memory-reduced view of the community's filters.
 #[derive(Debug, Clone)]
@@ -32,18 +32,34 @@ impl CoalescedDirectory {
     /// # Panics
     /// Panics if `group_size` is 0 or the filters' parameters differ.
     pub fn build(filters: &[BloomFilter], group_size: usize) -> Self {
+        match Self::try_build(filters, group_size) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::build`]: directory filters arrive from remote
+    /// peers, so mismatched parameters are an input condition, not a
+    /// bug. Groups built before the offending filter are discarded.
+    ///
+    /// # Panics
+    /// Panics if `group_size` is 0 (a local configuration error).
+    pub fn try_build(
+        filters: &[BloomFilter],
+        group_size: usize,
+    ) -> Result<Self, ParamMismatch> {
         assert!(group_size > 0, "group size must be positive");
         let mut groups = Vec::new();
         for (gi, chunk) in filters.chunks(group_size).enumerate() {
             let mut merged = chunk[0].clone();
             for f in &chunk[1..] {
-                merged.union_with(f);
+                merged.try_union_with(f)?;
             }
             let members: Vec<PeerNo> =
                 (gi * group_size..gi * group_size + chunk.len()).collect();
             groups.push((members, merged));
         }
-        Self { groups, num_peers: filters.len() }
+        Ok(Self { groups, num_peers: filters.len() })
     }
 
     /// Number of stored filters (memory proxy).
@@ -177,5 +193,30 @@ mod tests {
     #[should_panic(expected = "group size must be positive")]
     fn zero_group_size_rejected() {
         CoalescedDirectory::build(&community(), 0);
+    }
+
+    #[test]
+    fn try_build_reports_mismatched_params() {
+        let mut filters = community();
+        filters.push(BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 3,
+        }));
+        let err = CoalescedDirectory::try_build(&filters, 4)
+            .expect_err("mismatched params must not merge");
+        assert!(err.to_string().contains("different parameters"));
+        // The matching prefix still coalesces fine.
+        assert!(CoalescedDirectory::try_build(&filters[..6], 4).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn build_panics_on_mismatched_params() {
+        let mut filters = community();
+        filters.push(BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 3,
+        }));
+        CoalescedDirectory::build(&filters, 7);
     }
 }

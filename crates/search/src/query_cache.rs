@@ -20,10 +20,25 @@
 //! Plans produced through the cache are bit-for-bit identical to
 //! [`IpfTable::compute`] + [`rank_peers`](crate::rank_peers) over the
 //! same view: same hash path, same float-addition order, same sort.
+//!
+//! # Tree-pruned probing
+//!
+//! With [`QueryCache::with_tree`], a cache miss no longer probes every
+//! peer's filter: a [`BloomTree`] (Bloofi) over the view is walked
+//! first, and only the surviving candidate columns are probed. Peers
+//! whose filters share the tree's parameters become bit-copy leaves, so
+//! probing the leaf *is* probing the peer's filter and the candidate
+//! set restricted to them equals the flat scan's answer exactly; peers
+//! with other parameters stay on the tree's fallback list and are
+//! probed unconditionally. Either way the presence row — and therefore
+//! the plan — is bit-identical to the flat path's. The tree follows the
+//! same invalidation rules as the rows: membership change rebuilds it,
+//! a version bump updates exactly that peer's leaf.
 
 use std::collections::{HashMap, VecDeque};
 
 use planetp_bloom::{probe_row, BloomFilter, HashedKey};
+use planetp_bloomtree::{BloomTree, PeerEntry, TreeConfig, TreeMetrics};
 use planetp_obs::{names, Counter, Registry};
 
 use crate::ipf::{ipf, IpfTable};
@@ -116,6 +131,56 @@ struct TermEntry {
     count: usize,
 }
 
+/// The Bloofi front end: the tree plus the rank → view-slot map that
+/// translates its ascending-id candidate bits back into the view's
+/// positional presence layout.
+#[derive(Debug)]
+struct TreeIndex {
+    tree: BloomTree,
+    /// `view_pos[rank]` = index into the synced view of the peer at
+    /// that rank of [`BloomTree::members`].
+    view_pos: Vec<u32>,
+    /// True when the view's ids were not unique, so ranks cannot map
+    /// one-to-one onto view slots. The cache then bypasses the tree
+    /// (flat probes) until a membership change restores uniqueness.
+    degraded: bool,
+}
+
+impl TreeIndex {
+    /// Rebuild the tree and the rank map from a freshly-synced view.
+    fn rebuild(&mut self, view: &[PeerFilterRef<'_>]) {
+        let entries: Vec<PeerEntry<'_>> = view
+            .iter()
+            .map(|p| PeerEntry { id: p.id, version: p.version, filter: p.filter })
+            .collect();
+        self.tree.rebuild(&entries);
+        self.degraded = self.tree.len() != view.len();
+        self.view_pos = vec![0; self.tree.len()];
+        if !self.degraded {
+            for (i, p) in view.iter().enumerate() {
+                let rank = self.tree.rank_of(p.id).expect("view peer is tracked");
+                self.view_pos[rank] = i as u32;
+            }
+        }
+    }
+
+    /// Tree-pruned equivalent of [`probe_row`] over the view's filters:
+    /// same bits, same count, fewer filters touched.
+    fn probe(&self, key: &HashedKey, filters: &[&BloomFilter]) -> (Vec<u64>, usize) {
+        let candidates = self.tree.candidates(key);
+        let mut presence = vec![0u64; filters.len().div_ceil(64)];
+        let mut count = 0usize;
+        for rank in candidates.iter_ones() {
+            let i = self.view_pos[rank] as usize;
+            if filters[i].contains_hashed(key) {
+                presence[i / 64] |= 1u64 << (i % 64);
+                count += 1;
+            }
+        }
+        (presence, count)
+    }
+}
+
 /// See the [module docs](self) for the invalidation rules.
 #[derive(Debug)]
 pub struct QueryCache {
@@ -126,6 +191,8 @@ pub struct QueryCache {
     order: VecDeque<String>,
     max_terms: usize,
     metrics: QueryCacheMetrics,
+    /// Optional Bloofi front end pruning the miss path's probes.
+    tree: Option<TreeIndex>,
 }
 
 impl Default for QueryCache {
@@ -143,6 +210,7 @@ impl QueryCache {
             order: VecDeque::new(),
             max_terms: DEFAULT_MAX_TERMS,
             metrics: QueryCacheMetrics::detached(),
+            tree: None,
         }
     }
 
@@ -150,6 +218,29 @@ impl QueryCache {
     pub fn with_metrics(mut self, metrics: QueryCacheMetrics) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Prune cache-miss probes through a [`BloomTree`] built over each
+    /// synced view. Peers gossiping filters with exactly
+    /// `config.params` become bit-copy leaves; others are probed flat
+    /// via the tree's fallback list — plans stay bit-identical either
+    /// way (see the [module docs](self)). Any previously cached state
+    /// is dropped, so configure at construction time.
+    pub fn with_tree(mut self, config: TreeConfig, metrics: TreeMetrics) -> Self {
+        self.peers.clear();
+        self.terms.clear();
+        self.order.clear();
+        self.tree = Some(TreeIndex {
+            tree: BloomTree::new(config).with_metrics(metrics),
+            view_pos: Vec::new(),
+            degraded: false,
+        });
+        self
+    }
+
+    /// True when a usable tree front end is pruning miss-path probes.
+    pub fn tree_enabled(&self) -> bool {
+        self.tree.as_ref().is_some_and(|idx| !idx.degraded)
     }
 
     /// Cap the number of distinct cached terms (FIFO eviction beyond).
@@ -253,6 +344,9 @@ impl QueryCache {
             self.terms.clear();
             self.order.clear();
             self.peers = view.iter().map(|p| (p.id, p.version)).collect();
+            if let Some(idx) = &mut self.tree {
+                idx.rebuild(view);
+            }
             return;
         }
         for (i, p) in view.iter().enumerate() {
@@ -260,6 +354,13 @@ impl QueryCache {
                 continue;
             }
             self.metrics.peer_refreshes.inc();
+            // Keep the tree's leaf in step: a stale leaf could prune a
+            // peer whose republished filter now matches.
+            if let Some(idx) = &mut self.tree {
+                if !idx.degraded {
+                    idx.tree.update_peer(p.id, p.version, p.filter);
+                }
+            }
             let (w, mask) = (i / 64, 1u64 << (i % 64));
             for entry in self.terms.values_mut() {
                 let was = entry.presence[w] & mask != 0;
@@ -293,7 +394,10 @@ impl QueryCache {
         }
         self.metrics.misses.inc();
         let key = HashedKey::new(t);
-        let (presence, count) = probe_row(&key, filters);
+        let (presence, count) = match &self.tree {
+            Some(idx) if !idx.degraded => idx.probe(&key, filters),
+            _ => probe_row(&key, filters),
+        };
         self.terms.insert(t.to_string(), TermEntry { key, presence, count });
         self.order.push_back(t.to_string());
         count
@@ -495,5 +599,93 @@ mod tests {
         let v = view(&peers);
         let plan = cache.plan(&[], &v);
         assert!(plan.ranked.is_empty());
+    }
+
+    /// Cache whose tree bit space matches `filter_with`, so every test
+    /// peer becomes a bit-copy leaf.
+    fn tree_cache() -> QueryCache {
+        QueryCache::new().with_tree(
+            TreeConfig::new(4, BloomParams::for_capacity(1000, 1e-6)),
+            TreeMetrics::detached(),
+        )
+    }
+
+    #[test]
+    fn tree_front_end_is_bit_identical_across_lifecycle() {
+        // Twin caches over the same schedule: the tree must never
+        // change a plan or a counter.
+        let mut flat = QueryCache::new();
+        let mut tree = tree_cache();
+        let q = query(&["gossip", "bloom", "chord"]);
+
+        let mut peers = vec![
+            (1, (0, 0), filter_with(&["gossip", "bloom"])),
+            (2, (0, 0), filter_with(&["gossip"])),
+            (5, (0, 0), filter_with(&["chord"])),
+        ];
+        for _ in 0..2 {
+            let v = view(&peers);
+            assert_plan_eq(&tree.plan(&q, &v), &flat.plan(&q, &v));
+        }
+        // Version bump.
+        peers[1].1 = (0, 1);
+        peers[1].2 = filter_with(&["gossip", "chord"]);
+        let v = view(&peers);
+        assert_plan_eq(&tree.plan(&q, &v), &flat.plan(&q, &v));
+        // Join (out of id order in the middle of the range).
+        peers.push((3, (0, 0), filter_with(&["bloom"])));
+        peers.sort_by_key(|p| p.0);
+        let v = view(&peers);
+        assert_plan_eq(&tree.plan(&q, &v), &flat.plan(&q, &v));
+        // Leave.
+        peers.remove(0);
+        let v = view(&peers);
+        assert_plan_eq(&tree.plan(&q, &v), &flat.plan(&q, &v));
+        assert_plan_eq(&tree.plan(&q, &v), &oracle(&q, &v));
+        assert_eq!(tree.stats(), flat.stats(), "identical hit/miss/refresh path");
+        assert!(tree.tree_enabled());
+    }
+
+    #[test]
+    fn tree_front_end_handles_mismatched_params_via_fallback() {
+        let foreign = {
+            let mut f = BloomFilter::new(BloomParams::for_capacity(50, 1e-3));
+            f.insert("gossip");
+            f
+        };
+        let peers = vec![
+            (1, (0, 0), filter_with(&["gossip"])),
+            (2, (0, 0), foreign),
+            (3, (0, 0), filter_with(&["bloom"])),
+        ];
+        let v = view(&peers);
+        let q = query(&["gossip", "bloom", "absent"]);
+        let mut cache = tree_cache();
+        assert_plan_eq(&cache.plan(&q, &v), &oracle(&q, &v));
+        assert!(cache.tree_enabled(), "fallback peers don't disable the tree");
+    }
+
+    #[test]
+    fn duplicate_view_ids_degrade_to_flat_probing() {
+        // The tree dedups ids; the positional cache does not. Ranks
+        // then can't map onto view slots, so the cache must bypass the
+        // tree rather than drop a column.
+        let peers = vec![
+            (1, (0, 0), filter_with(&["x"])),
+            (1, (0, 0), filter_with(&["y"])),
+        ];
+        let v = view(&peers);
+        let q = query(&["x", "y"]);
+        let mut cache = tree_cache();
+        assert_plan_eq(&cache.plan(&q, &v), &oracle(&q, &v));
+        assert!(!cache.tree_enabled());
+        // A later unique view re-enables pruning.
+        let unique = vec![
+            (1, (0, 0), filter_with(&["x"])),
+            (2, (0, 0), filter_with(&["y"])),
+        ];
+        let v = view(&unique);
+        assert_plan_eq(&cache.plan(&q, &v), &oracle(&q, &v));
+        assert!(cache.tree_enabled());
     }
 }

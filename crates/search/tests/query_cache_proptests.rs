@@ -6,10 +6,17 @@
 //! invalidate only that peer's column (terms stay cached), while any
 //! membership change must rebuild from scratch (a stale cache never
 //! survives a directory change).
+//!
+//! The Bloofi front end (`QueryCache::with_tree`) is held to the same
+//! standard by running every schedule through a flat cache and a
+//! tree-fronted cache in lockstep: plans and counters must be
+//! bit-identical, including for peers whose filter parameters don't
+//! match the tree's (the fallback path).
 
 use std::collections::HashSet;
 
 use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_search::{
     rank_peers, IpfTable, PeerFilterRef, QueryCache, QueryCacheStats,
 };
@@ -25,6 +32,10 @@ enum Op {
     Republish(u8, Vec<u8>),
     /// A new peer joins with this term set.
     Join(Vec<u8>),
+    /// A new peer joins gossiping a filter with *different* Bloom
+    /// parameters — exercising the per-filter probe fallback (and the
+    /// tree front end's fallback list).
+    JoinForeign(Vec<u8>),
     /// (peer selector): a peer leaves.
     Leave(u8),
 }
@@ -38,6 +49,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         4 => prop::collection::vec(0u8..8, 1..4).prop_map(Op::Query),
         2 => (any::<u8>(), termset()).prop_map(|(p, t)| Op::Republish(p, t)),
         1 => termset().prop_map(Op::Join),
+        1 => termset().prop_map(Op::JoinForeign),
         1 => any::<u8>().prop_map(Op::Leave),
     ]
 }
@@ -48,6 +60,15 @@ fn term(i: u8) -> String {
 
 fn filter_of(terms: &[u8]) -> BloomFilter {
     let mut f = BloomFilter::new(BloomParams::for_capacity(64, 1e-9));
+    for &t in terms {
+        f.insert(&term(t));
+    }
+    f
+}
+
+/// Same vocabulary, deliberately incompatible Bloom parameters.
+fn foreign_filter_of(terms: &[u8]) -> BloomFilter {
+    let mut f = BloomFilter::new(BloomParams::for_capacity(50, 1e-3));
     for &t in terms {
         f.insert(&term(t));
     }
@@ -94,12 +115,13 @@ proptest! {
                     peers[i].version += 1;
                     peers[i].filter = filter_of(terms);
                 }
-                Op::Join(terms) => {
-                    peers.push(ModelPeer {
-                        id: next_id,
-                        version: 0,
-                        filter: filter_of(terms),
-                    });
+                Op::Join(terms) | Op::JoinForeign(terms) => {
+                    let filter = if matches!(op, Op::Join(_)) {
+                        filter_of(terms)
+                    } else {
+                        foreign_filter_of(terms)
+                    };
+                    peers.push(ModelPeer { id: next_id, version: 0, filter });
                     next_id += 1;
                 }
                 Op::Leave(p) => {
@@ -204,5 +226,80 @@ proptest! {
         prop_assert_eq!(s.misses, misses_after_cold, "bumps caused probes");
         prop_assert_eq!(s.rebuilds, 1, "no membership change happened");
         prop_assert_eq!(s.peer_refreshes, bumps.len() as u64);
+    }
+
+    /// The Bloofi front end is an invisible optimization: a flat cache
+    /// and a tree-fronted cache replaying the same schedule produce
+    /// bit-identical plans and identical counters on every query, even
+    /// with foreign-parameter peers riding the fallback path.
+    #[test]
+    fn tree_front_end_is_bit_identical_to_flat_cache(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut peers: Vec<ModelPeer> = (0..3u64)
+            .map(|i| ModelPeer {
+                id: i + 1,
+                version: 0,
+                filter: filter_of(&[i as u8, (i as u8 + 1) % 8]),
+            })
+            .collect();
+        let mut next_id = 4u64;
+        let mut flat = QueryCache::new();
+        // Same bit space as filter_of, so resident peers are bit-copy
+        // leaves; fan-out 3 keeps the tree deep at this community size.
+        let mut tree = QueryCache::new().with_tree(
+            TreeConfig::new(3, BloomParams::for_capacity(64, 1e-9)),
+            TreeMetrics::detached(),
+        );
+
+        for op in &ops {
+            match op {
+                Op::Republish(p, terms) => {
+                    if peers.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % peers.len();
+                    peers[i].version += 1;
+                    peers[i].filter = filter_of(terms);
+                }
+                Op::Join(terms) | Op::JoinForeign(terms) => {
+                    let filter = if matches!(op, Op::Join(_)) {
+                        filter_of(terms)
+                    } else {
+                        foreign_filter_of(terms)
+                    };
+                    peers.push(ModelPeer { id: next_id, version: 0, filter });
+                    next_id += 1;
+                }
+                Op::Leave(p) => {
+                    if peers.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % peers.len();
+                    peers.remove(i);
+                }
+                Op::Query(idxs) => {
+                    let q: Vec<String> =
+                        idxs.iter().map(|&i| term(i)).collect();
+                    let view: Vec<PeerFilterRef<'_>> = peers
+                        .iter()
+                        .map(|m| PeerFilterRef {
+                            id: m.id,
+                            version: (m.version, 0),
+                            filter: &m.filter,
+                        })
+                        .collect();
+                    let a = flat.plan(&q, &view);
+                    let b = tree.plan(&q, &view);
+                    prop_assert_eq!(a.ipf.to_pairs(), b.ipf.to_pairs());
+                    prop_assert_eq!(a.ranked, b.ranked);
+                    prop_assert_eq!(flat.stats(), tree.stats());
+                    prop_assert!(
+                        tree.tree_enabled(),
+                        "unique view ids must never degrade the tree"
+                    );
+                }
+            }
+        }
     }
 }

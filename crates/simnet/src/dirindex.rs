@@ -1,0 +1,236 @@
+//! Bloofi index over a simulated peer's gossip directory.
+//!
+//! The live runtime drives a [`BloomTree`] from gossiped
+//! `(status_version, bloom_version)` bumps (the query cache's tree
+//! front end); this model drives the *same* state machine from the
+//! simulator's directory, so churn experiments exercise the tree's
+//! insert/update/remove paths at community scale. The simulator only
+//! gossips sized stubs ([`SizedPayload`](planetp_gossip::SizedPayload)),
+//! so the model synthesizes each peer's filter deterministically from
+//! `(id, bloom_version)` — exactly the pair invalidation keys on.
+//! Two models synced from converged directories therefore agree bit
+//! for bit, which tests use as a convergence check on the index layer.
+
+use std::collections::HashSet;
+
+use planetp_bloom::BloomFilter;
+use planetp_bloomtree::{BloomTree, TreeConfig, TreeMetrics};
+use planetp_gossip::{Directory, Payload, PeerStatus};
+
+use crate::sim::{NodeId, Simulator};
+
+/// Synthetic vocabulary size per simulated peer.
+pub const DEFAULT_TERMS_PER_PEER: usize = 32;
+
+/// What one [`DirectoryIndexModel::sync`] changed in the tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncDelta {
+    /// Peers newly tracked (joined, or first sync).
+    pub inserted: usize,
+    /// Peers whose version advanced and whose leaf was replaced.
+    pub updated: usize,
+    /// Peers dropped (marked offline or expired from the directory).
+    pub removed: usize,
+}
+
+impl SyncDelta {
+    /// Did this sync change the tree at all?
+    pub fn is_noop(&self) -> bool {
+        self.inserted == 0 && self.updated == 0 && self.removed == 0
+    }
+}
+
+/// A [`BloomTree`] kept in step with one peer's directory view.
+#[derive(Debug)]
+pub struct DirectoryIndexModel {
+    tree: BloomTree,
+    terms_per_peer: usize,
+}
+
+impl DirectoryIndexModel {
+    /// Empty model over the given tree shape.
+    pub fn new(config: TreeConfig) -> Self {
+        Self { tree: BloomTree::new(config), terms_per_peer: DEFAULT_TERMS_PER_PEER }
+    }
+
+    /// Record tree activity through `metrics`.
+    pub fn with_metrics(mut self, metrics: TreeMetrics) -> Self {
+        self.tree = self.tree.with_metrics(metrics);
+        self
+    }
+
+    /// Override the synthetic vocabulary size.
+    pub fn with_terms_per_peer(mut self, terms: usize) -> Self {
+        self.terms_per_peer = terms;
+        self
+    }
+
+    /// The maintained tree (query it with
+    /// [`candidates`](BloomTree::candidates), check it with
+    /// [`stats`](BloomTree::stats)).
+    pub fn tree(&self) -> &BloomTree {
+        &self.tree
+    }
+
+    /// The `j`-th synthetic term of peer `id` at `bloom_version` —
+    /// shared with tests so they can probe for terms a peer "has".
+    pub fn synthetic_term(id: u64, bloom_version: u32, j: usize) -> String {
+        format!("p{id}.v{bloom_version}.t{j}")
+    }
+
+    fn synthetic_filter(&self, id: u64, bloom_version: u32) -> BloomFilter {
+        let mut f = BloomFilter::new(self.tree.config().params);
+        for j in 0..self.terms_per_peer {
+            f.insert(&Self::synthetic_term(id, bloom_version, j));
+        }
+        f
+    }
+
+    /// Bring the tree in line with `directory`: online peers carrying a
+    /// payload are tracked, version bumps replace that peer's leaf, and
+    /// everyone else is dropped — the same transitions the live query
+    /// cache feeds its tree.
+    pub fn sync<P: Payload>(&mut self, directory: &Directory<P>) -> SyncDelta {
+        let mut delta = SyncDelta::default();
+        let mut desired: HashSet<u64> = HashSet::new();
+        for (pid, e) in directory.iter() {
+            if !matches!(e.status, PeerStatus::Online) || e.payload.is_none() {
+                continue;
+            }
+            let id = u64::from(pid);
+            desired.insert(id);
+            let version = (e.status_version, e.bloom_version);
+            match self.tree.version_of(id) {
+                None => {
+                    let f = self.synthetic_filter(id, e.bloom_version);
+                    self.tree.insert_peer(id, version, &f);
+                    delta.inserted += 1;
+                }
+                Some(v) if v != version => {
+                    let f = self.synthetic_filter(id, e.bloom_version);
+                    self.tree.update_peer(id, version, &f);
+                    delta.updated += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        let stale: Vec<u64> = self
+            .tree
+            .members()
+            .iter()
+            .copied()
+            .filter(|id| !desired.contains(id))
+            .collect();
+        for id in stale {
+            self.tree.remove_peer(id);
+            delta.removed += 1;
+        }
+        delta
+    }
+}
+
+impl Simulator {
+    /// Sync `model` against node `id`'s current directory view.
+    pub fn sync_directory_index(
+        &self,
+        id: NodeId,
+        model: &mut DirectoryIndexModel,
+    ) -> SyncDelta {
+        model.sync(self.engine(id).directory())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LinkClass;
+    use crate::sim::SimConfig;
+    use planetp_bloom::{BloomParams, HashedKey};
+    use planetp_gossip::{DirEntry, SizedPayload, SpeedClass};
+
+    fn config() -> TreeConfig {
+        TreeConfig::new(4, BloomParams { num_bits: 4096, num_hashes: 2 })
+    }
+
+    fn entry(sv: u64, bv: u32) -> DirEntry<SizedPayload> {
+        DirEntry {
+            status_version: sv,
+            bloom_version: bv,
+            payload: Some(SizedPayload { bytes: 100 }),
+            status: PeerStatus::Online,
+            speed: SpeedClass::Fast,
+        }
+    }
+
+    #[test]
+    fn sync_tracks_directory_lifecycle() {
+        let mut dir: Directory<SizedPayload> = Directory::new();
+        for i in 0..20u32 {
+            dir.insert(i, entry(1, 1));
+        }
+        let mut model = DirectoryIndexModel::new(config()).with_terms_per_peer(4);
+        let d = model.sync(&dir);
+        assert_eq!(d, SyncDelta { inserted: 20, updated: 0, removed: 0 });
+        model.tree().validate();
+        assert!(model.sync(&dir).is_noop(), "converged view syncs to a no-op");
+
+        // The tree answers for synthetic vocabulary.
+        let term = DirectoryIndexModel::synthetic_term(5, 1, 0);
+        let c = model.tree().candidates(&HashedKey::new(&term));
+        assert!(c.contains(model.tree().rank_of(5).unwrap()));
+
+        // A republish bumps the bloom version: exactly one update, and
+        // the old vocabulary stops answering.
+        dir.get_mut(5).unwrap().bloom_version = 2;
+        let d = model.sync(&dir);
+        assert_eq!(d, SyncDelta { inserted: 0, updated: 1, removed: 0 });
+        model.tree().validate();
+        let rank5 = model.tree().rank_of(5).unwrap();
+        assert!(!model
+            .tree()
+            .candidates(&HashedKey::new(&term))
+            .contains(rank5));
+        let new_term = DirectoryIndexModel::synthetic_term(5, 2, 0);
+        assert!(model
+            .tree()
+            .candidates(&HashedKey::new(&new_term))
+            .contains(rank5));
+
+        // Offline marking and outright expiry both drop the peer.
+        dir.get_mut(7).unwrap().status = PeerStatus::Offline { since: 0 };
+        dir.remove(11);
+        let d = model.sync(&dir);
+        assert_eq!(d, SyncDelta { inserted: 0, updated: 0, removed: 2 });
+        model.tree().validate();
+        assert_eq!(model.tree().len(), 18);
+        assert!(model.tree().rank_of(7).is_none());
+    }
+
+    #[test]
+    fn models_from_converged_directories_agree() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_stable_community(&[LinkClass::Lan45M; 10], 100);
+        let mut a = DirectoryIndexModel::new(config()).with_terms_per_peer(4);
+        let mut b = DirectoryIndexModel::new(config()).with_terms_per_peer(4);
+        assert_eq!(sim.sync_directory_index(0, &mut a).inserted, 10);
+        assert_eq!(sim.sync_directory_index(9, &mut b).inserted, 10);
+        a.tree().validate();
+        assert_eq!(a.tree().members(), b.tree().members());
+        for peer in 0..10u64 {
+            let term = DirectoryIndexModel::synthetic_term(peer, 1, 1);
+            let key = HashedKey::new(&term);
+            assert_eq!(
+                a.tree().candidates(&key).iter_ones().collect::<Vec<_>>(),
+                b.tree().candidates(&key).iter_ones().collect::<Vec<_>>(),
+                "converged models answer identically for peer {peer}"
+            );
+        }
+
+        // A local publish bumps the publisher's own directory entry;
+        // the model synced from that node sees exactly one update.
+        sim.local_update(3, 120);
+        let d = sim.sync_directory_index(3, &mut a);
+        assert_eq!(d, SyncDelta { inserted: 0, updated: 1, removed: 0 });
+        a.tree().validate();
+    }
+}

@@ -16,12 +16,17 @@
 //!   aggregate bandwidth time series.
 //! - [`experiments`]: drivers for the paper's gossiping experiments
 //!   (Figs 2-5), shared by the bench binaries and the integration tests.
+//! - [`dirindex`]: a Bloofi [`planetp_bloomtree::BloomTree`] kept in
+//!   step with a simulated peer's directory, driving the same
+//!   insert/update/remove state machine the live query cache drives.
 
+pub mod dirindex;
 pub mod experiments;
 pub mod metrics;
 pub mod params;
 pub mod sim;
 
+pub use dirindex::{DirectoryIndexModel, SyncDelta};
 pub use metrics::{BandwidthSeries, Metrics, TrackedRumor};
 pub use params::{LinkClass, LinkScenario, Table2};
 pub use sim::{NodeId, SimConfig, Simulator};
