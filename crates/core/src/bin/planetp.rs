@@ -8,6 +8,12 @@
 //! planetp --id 1 --bootstrap 0@127.0.0.1:40001      # joiner
 //! ```
 //!
+//! With `--data-dir <dir>` the peer persists its identity, documents,
+//! version pair, and learned directory to a snapshot + WAL store in
+//! `<dir>`; kill it and restart with the same flag and it recovers its
+//! state, re-announces above its previous versions, and catches up via
+//! anti-entropy instead of rejoining cold.
+//!
 //! Commands on stdin:
 //!
 //! ```text
@@ -29,6 +35,7 @@
 //! ```
 
 use planetp::live::{LiveConfig, LiveNode};
+use planetp::DurableConfig;
 use planetp_gossip::GossipConfig;
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -37,12 +44,14 @@ struct Args {
     id: u32,
     bootstrap: Option<(u32, String)>,
     interval_ms: u64,
+    data_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut id = None;
     let mut bootstrap = None;
     let mut interval_ms = 30_000u64;
+    let mut data_dir = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -74,6 +83,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad interval: {e}"))?;
                 i += 2;
             }
+            "--data-dir" => {
+                data_dir = Some(
+                    argv.get(i + 1).ok_or("--data-dir needs a path")?.to_string(),
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -81,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         id: id.ok_or("--id is required")?,
         bootstrap,
         interval_ms,
+        data_dir,
     })
 }
 
@@ -94,7 +110,8 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>]\n\
+                "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>] \
+                 [--data-dir <dir>]\n\
                  \x20      planetp stats <addr> [--json]"
             );
             std::process::exit(2);
@@ -109,6 +126,7 @@ fn main() {
         },
         io_timeout: Duration::from_secs(5),
         seed: u64::from(args.id) + 0xC11,
+        durable: args.data_dir.as_deref().map(DurableConfig::at),
         ..LiveConfig::default()
     };
     let node = match LiveNode::start(args.id, config, args.bootstrap) {
@@ -118,6 +136,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(info) = node.recovery_info() {
+        if info.recovered {
+            println!(
+                "recovered from {} (snapshot: {}, wal records: {}{}); \
+                 announcing versions {:?}",
+                args.data_dir.as_deref().unwrap_or("?"),
+                if info.snapshot_loaded { "yes" } else { "no" },
+                info.wal_replays,
+                if info.truncated_tail { ", torn tail truncated" } else { "" },
+                node.announced_versions(),
+            );
+        }
+    }
     println!("peer {} listening on {}", node.id(), node.addr());
     println!("bootstrap others with: --bootstrap {}@{}", node.id(), node.addr());
     repl(&node);

@@ -89,6 +89,37 @@ impl LocalDataStore {
         Ok(id)
     }
 
+    /// Rehydrate one document under its *original* id (crash-restart
+    /// recovery: ids must survive a restart because remote peers hold
+    /// `(peer, doc)` references from earlier searches). Re-parses and
+    /// re-indexes exactly like [`Self::publish`]; `next_id` advances
+    /// past the restored id so later publishes never collide. Replay is
+    /// idempotent — restoring an id that is already present replaces it
+    /// (the WAL may replay records already folded into a snapshot).
+    pub fn restore_document(
+        &mut self,
+        id: DocId,
+        xml: &str,
+    ) -> Result<(), PlanetPError> {
+        if self.docs.contains_key(&id) {
+            return Ok(());
+        }
+        let doc = XmlDocument::parse(xml)?;
+        let terms = self.analyzer.analyze(&doc.indexable_text());
+        let links = doc.links().into_iter().map(String::from).collect();
+        self.index.add_document(id, &terms);
+        for t in &terms {
+            self.bloom.insert(t);
+        }
+        self.bloom_version += 1;
+        self.next_id = self.next_id.max(id + 1);
+        self.docs.insert(
+            id,
+            DocumentRecord { id, xml: xml.to_string(), terms, links },
+        );
+        Ok(())
+    }
+
     /// Remove a document. The Bloom filter is rebuilt from the index
     /// (filters cannot delete in place).
     pub fn unpublish(&mut self, id: DocId) -> Result<(), PlanetPError> {
@@ -256,6 +287,20 @@ mod tests {
     fn links_extracted_on_publish() {
         let s = store_with(&[r#"<d><file href="http://x/a.pdf"/>text</d>"#]);
         assert_eq!(s.get(1).unwrap().links, vec!["http://x/a.pdf"]);
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_advances_next_id() {
+        let mut s = LocalDataStore::new();
+        s.restore_document(7, "<a>restored gossip text</a>").unwrap();
+        s.restore_document(3, "<b>earlier document</b>").unwrap();
+        // Idempotent replay: restoring an existing id is a no-op.
+        s.restore_document(7, "<a>restored gossip text</a>").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.index().contains_term("gossip"));
+        assert!(s.bloom().contains("gossip"));
+        let id = s.publish("<c>new after restore</c>").unwrap();
+        assert_eq!(id, 8, "next_id advances past the highest restored id");
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! All probabilistic choices come from one seeded RNG so a given seed
 //! yields a reproducible fault schedule (modulo thread interleaving,
 //! which only reorders draws).
+//!
+//! Beyond the socket layer, the injector also covers the durable
+//! store's write path ([`crate::durable`]): every snapshot/WAL
+//! operation passes named [`CrashPoint`]s (between serialize, write,
+//! fsync, and rename), and the injector can simulate a process death
+//! at any of them — the operation stops exactly there, leaving the
+//! torn on-disk state a real crash would, and the store refuses
+//! further writes as a dead process would. Helpers to truncate or
+//! bit-flip a file tail complete the torn-write matrix for recovery
+//! tests that mangle logs *between* process lifetimes.
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -75,6 +85,65 @@ impl FaultPlan {
     }
 }
 
+/// A named point in the durable store's write path where a process can
+/// die. The store calls [`FaultInjector::crash_check`] at each one; an
+/// injected crash aborts the operation exactly there, leaving on-disk
+/// state as a real kill would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before any byte of a WAL record reaches the file.
+    WalBeforeWrite,
+    /// After the first half of a WAL record's frame is written (a torn
+    /// record: the tail of the log fails its checksum on recovery).
+    WalMidWrite,
+    /// After the full record is written but before `fsync` (the bytes
+    /// may or may not survive; on a real kill the page cache decides).
+    WalBeforeSync,
+    /// Before any byte of a snapshot reaches its temp file.
+    SnapshotBeforeWrite,
+    /// After half the snapshot's temp file is written (an invalid temp
+    /// file that recovery must ignore).
+    SnapshotMidWrite,
+    /// After the temp file is complete but before it is fsynced.
+    SnapshotBeforeSync,
+    /// After fsync but before the atomic rename (old snapshot + full
+    /// WAL still authoritative).
+    SnapshotBeforeRename,
+    /// After the rename but before the WAL is truncated (recovery sees
+    /// the new snapshot plus records already folded into it — replay
+    /// must be idempotent).
+    WalBeforeTruncate,
+}
+
+impl CrashPoint {
+    /// Every crash point, in write-path order (the crash-loop harness
+    /// iterates these to cover the whole matrix).
+    pub const ALL: [CrashPoint; 8] = [
+        CrashPoint::WalBeforeWrite,
+        CrashPoint::WalMidWrite,
+        CrashPoint::WalBeforeSync,
+        CrashPoint::SnapshotBeforeWrite,
+        CrashPoint::SnapshotMidWrite,
+        CrashPoint::SnapshotBeforeSync,
+        CrashPoint::SnapshotBeforeRename,
+        CrashPoint::WalBeforeTruncate,
+    ];
+}
+
+/// Store-path fault rules: a probability that any given crash point
+/// fires, checked independently per store operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreFaultRules {
+    /// Probability a [`CrashPoint`] check simulates a process death.
+    pub crash: f64,
+}
+
+/// One-shot armed crash state (deterministic harness control).
+#[derive(Debug, Default)]
+struct ArmedCrash {
+    at: Mutex<Option<CrashPoint>>,
+}
+
 /// Counters of faults actually injected (for test assertions).
 #[derive(Debug, Default)]
 struct Counters {
@@ -83,6 +152,7 @@ struct Counters {
     dropped_mid_frame: AtomicU64,
     truncated: AtomicU64,
     corrupted: AtomicU64,
+    crashes: AtomicU64,
 }
 
 /// Snapshot of [`FaultInjector`] counters.
@@ -98,6 +168,8 @@ pub struct FaultStats {
     pub truncated: u64,
     /// Frames corrupted.
     pub corrupted: u64,
+    /// Store-path crashes simulated.
+    pub crashes: u64,
 }
 
 impl FaultStats {
@@ -108,12 +180,15 @@ impl FaultStats {
             + self.dropped_mid_frame
             + self.truncated
             + self.corrupted
+            + self.crashes
     }
 }
 
 /// The injector. Wraps stream setup and frame I/O; see module docs.
 pub struct FaultInjector {
     plan: FaultPlan,
+    store: StoreFaultRules,
+    armed: ArmedCrash,
     rng: Mutex<SmallRng>,
     counters: Counters,
 }
@@ -132,9 +207,51 @@ impl FaultInjector {
     pub fn new(seed: u64, plan: FaultPlan) -> Self {
         Self {
             plan,
+            store: StoreFaultRules::default(),
+            armed: ArmedCrash::default(),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             counters: Counters::default(),
         }
+    }
+
+    /// Add store-path fault rules (probabilistic crash points).
+    pub fn with_store_rules(mut self, rules: StoreFaultRules) -> Self {
+        self.store = rules;
+        self
+    }
+
+    /// Arm a one-shot crash: the next [`Self::crash_check`] for exactly
+    /// this point fires, once. Deterministic control for crash-loop
+    /// harnesses that want to hit a *chosen* point.
+    pub fn arm_crash(&self, point: CrashPoint) {
+        *self.armed.at.lock() = Some(point);
+    }
+
+    /// Is a one-shot crash still armed (i.e. not yet consumed)?
+    pub fn crash_armed(&self) -> bool {
+        self.armed.at.lock().is_some()
+    }
+
+    /// The durable store calls this at every [`CrashPoint`]. `Err`
+    /// means "the process just died here": the store aborts the
+    /// operation mid-flight and poisons itself.
+    pub fn crash_check(&self, point: CrashPoint) -> io::Result<()> {
+        let armed = {
+            let mut a = self.armed.at.lock();
+            if *a == Some(point) {
+                *a = None;
+                true
+            } else {
+                false
+            }
+        };
+        if armed || self.roll(self.store.crash) {
+            self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected crash at {point:?}"
+            )));
+        }
+        Ok(())
     }
 
     fn rules(&self, dir: Direction) -> &FaultRules {
@@ -156,6 +273,7 @@ impl FaultInjector {
             dropped_mid_frame: self.counters.dropped_mid_frame.load(Ordering::Relaxed),
             truncated: self.counters.truncated.load(Ordering::Relaxed),
             corrupted: self.counters.corrupted.load(Ordering::Relaxed),
+            crashes: self.counters.crashes.load(Ordering::Relaxed),
         }
     }
 
@@ -263,6 +381,40 @@ impl FaultInjector {
     }
 }
 
+// ----------------------------------------------------------------------
+// Torn-write helpers (mangling files *between* process lifetimes)
+// ----------------------------------------------------------------------
+
+/// Truncate the last `n` bytes of a file (a crashed kernel or disk that
+/// never persisted the tail). No-op on an empty file; truncating more
+/// than the file holds empties it.
+pub fn truncate_tail(path: &std::path::Path, n: u64) -> io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len.saturating_sub(n))?;
+    f.sync_all()
+}
+
+/// Flip one bit `offset_from_end` bytes before the end of a file (bit
+/// rot in the tail — the most recently written, least re-read region).
+/// No-op if the file is shorter than the offset.
+pub fn flip_tail_bit(path: &std::path::Path, offset_from_end: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    let len = std::fs::metadata(path)?.len();
+    if len <= offset_from_end {
+        return Ok(());
+    }
+    let pos = len - 1 - offset_from_end;
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    f.seek(SeekFrom::Start(pos))?;
+    let mut byte = [0u8; 1];
+    f.read_exact(&mut byte)?;
+    byte[0] ^= 0x40;
+    f.seek(SeekFrom::Start(pos))?;
+    f.write_all(&byte)?;
+    f.sync_all()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +501,58 @@ mod tests {
             Ok(v) => assert!(v.is_some()),
         }
         assert_eq!(inj.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn armed_crash_fires_once_at_its_point_only() {
+        let inj = FaultInjector::new(11, FaultPlan::default());
+        inj.arm_crash(CrashPoint::SnapshotBeforeRename);
+        // Other points pass untouched.
+        assert!(inj.crash_check(CrashPoint::WalBeforeWrite).is_ok());
+        assert!(inj.crash_armed());
+        // The armed point fires exactly once.
+        assert!(inj.crash_check(CrashPoint::SnapshotBeforeRename).is_err());
+        assert!(!inj.crash_armed());
+        assert!(inj.crash_check(CrashPoint::SnapshotBeforeRename).is_ok());
+        assert_eq!(inj.stats().crashes, 1);
+    }
+
+    #[test]
+    fn probabilistic_crashes_are_seeded() {
+        let rules = StoreFaultRules { crash: 0.5 };
+        let a = FaultInjector::new(42, FaultPlan::default()).with_store_rules(rules);
+        let b = FaultInjector::new(42, FaultPlan::default()).with_store_rules(rules);
+        let seq_a: Vec<bool> = (0..64)
+            .map(|_| a.crash_check(CrashPoint::WalBeforeSync).is_ok())
+            .collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| b.crash_check(CrashPoint::WalBeforeSync).is_ok())
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|ok| *ok) && seq_a.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn tail_manglers_truncate_and_flip() {
+        let dir = std::env::temp_dir().join(format!(
+            "planetp-faults-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.bin");
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        truncate_tail(&path, 6).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 10);
+        flip_tail_bit(&path, 0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[9], 0x40, "last byte flipped");
+        assert!(bytes[..9].iter().all(|&b| b == 0));
+        // Over-truncation empties; flipping an empty file is a no-op.
+        truncate_tail(&path, 1_000).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        flip_tail_bit(&path, 0).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

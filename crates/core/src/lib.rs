@@ -56,6 +56,7 @@
 
 pub mod community;
 pub mod datastore;
+pub mod durable;
 pub mod error;
 pub mod faults;
 pub mod health;
@@ -67,8 +68,15 @@ pub mod wire;
 
 pub use community::{Community, PeerHandle, RankedHits};
 pub use datastore::{DocumentRecord, LocalDataStore, PublishOptions};
+pub use durable::{
+    DurableConfig, DurableStore, NodeState, PersistedPeer, RecoveryInfo,
+    StoreMetrics, WalRecord,
+};
 pub use error::PlanetPError;
-pub use faults::{Direction, FaultInjector, FaultPlan, FaultRules, FaultStats};
+pub use faults::{
+    flip_tail_bit, truncate_tail, CrashPoint, Direction, FaultInjector,
+    FaultPlan, FaultRules, FaultStats, StoreFaultRules,
+};
 pub use health::{
     HealthConfig, HealthState, HealthTransition, PeerHealth, PeerHealthEntry,
     RetryPolicy,

@@ -37,8 +37,8 @@ use parking_lot::{Mutex, MutexGuard};
 use planetp_bloom::{BloomFilter, CompressedBloom, HashedKey};
 use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_gossip::{
-    EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
-    SpeedClass,
+    DirEntry, Directory, EngineStats, GossipConfig, GossipEngine, Message,
+    Payload, PeerId, PeerStatus, SpeedClass,
 };
 use planetp_obs::{
     names, Counter, Gauge, Histogram, MetricsSnapshot, Registry,
@@ -58,6 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::datastore::LocalDataStore;
+use crate::durable::{DurableConfig, DurableStore, StoreMetrics, WalRecord};
 use crate::error::PlanetPError;
 use crate::faults::{Direction, FaultInjector};
 use crate::health::{
@@ -210,6 +211,12 @@ pub struct LiveConfig {
     /// Optional fault injector wrapping all socket I/O (tests; chaos
     /// runs). `None` costs one pointer check per operation.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Durable snapshot + WAL store for crash-restart recovery. `None`
+    /// keeps the node fully in-memory (a crash loses everything, as
+    /// before). With a data directory set, identity, documents, the
+    /// node's own version pair, and the learned directory survive a
+    /// kill, and startup runs recovery + an anti-entropy catch-up.
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for LiveConfig {
@@ -223,6 +230,7 @@ impl Default for LiveConfig {
             fanout: FanoutConfig::default(),
             bloom_tree: Some(TreeConfig::default()),
             faults: None,
+            durable: None,
         }
     }
 }
@@ -245,6 +253,12 @@ pub struct SearchCoverage {
     pub peers_failed: usize,
     /// Peers skipped because they were offline and inside backoff.
     pub peers_skipped: usize,
+    /// Was this node still catching up after a crash-restart when it
+    /// answered? A recovering node plans against its *persisted*
+    /// directory, which may trail the community until the first
+    /// anti-entropy exchange completes.
+    #[serde(default)]
+    pub recovering: bool,
 }
 
 impl SearchCoverage {
@@ -314,6 +328,10 @@ struct NodeStats {
     search_fanout_ms: Histogram,
     bloom_wire_bytes: Histogram,
     directory_size: Gauge,
+    recovery_restarts: Counter,
+    recovery_docs_restored: Counter,
+    recovery_peers_restored: Counter,
+    recovery_catchup_ms: Histogram,
 }
 
 impl Default for NodeStats {
@@ -356,6 +374,13 @@ impl NodeStats {
             bloom_wire_bytes: registry
                 .histogram(names::BLOOM_WIRE_BYTES, SIZE_BYTES_BUCKETS),
             directory_size: registry.gauge("gossip.directory_size"),
+            recovery_restarts: registry.counter(names::RECOVERY_RESTARTS),
+            recovery_docs_restored: registry
+                .counter(names::RECOVERY_DOCS_RESTORED),
+            recovery_peers_restored: registry
+                .counter(names::RECOVERY_PEERS_RESTORED),
+            recovery_catchup_ms: registry
+                .histogram(names::RECOVERY_CATCHUP_MS, LATENCY_MS_BUCKETS),
         }
     }
 }
@@ -387,11 +412,15 @@ pub struct NodeStatsSnapshot {
     pub peers_recovered: u64,
     /// Searches that returned with incomplete coverage.
     pub searches_degraded: u64,
+    /// Is the node still catching up after a crash-restart (recovered
+    /// state loaded, first anti-entropy exchange not yet completed)?
+    pub recovering: bool,
 }
 
 impl NodeStats {
-    fn snapshot(&self) -> NodeStatsSnapshot {
+    fn snapshot(&self, recovering: bool) -> NodeStatsSnapshot {
         NodeStatsSnapshot {
+            recovering,
             malformed_frames: self.malformed_frames.get(),
             reply_failures: self.reply_failures.get(),
             rpc_retries: self.rpc_retries.get(),
@@ -450,6 +479,14 @@ struct Inner {
     query_state: Mutex<QueryState>,
     /// Shared search worker pool, spun up on the first query.
     pool: OnceLock<WorkerPool>,
+    /// Snapshot + WAL store (crash-restart durability), when enabled.
+    durable: Option<Mutex<DurableStore>>,
+    /// Recovered from disk and not yet through the first successful
+    /// anti-entropy exchange with the community.
+    recovering: AtomicBool,
+    /// When recovery finished loading state (feeds the catch-up
+    /// histogram once the first exchange completes).
+    recovered_at: Mutex<Option<Instant>>,
     epoch: Instant,
     shutdown: AtomicBool,
 }
@@ -475,6 +512,84 @@ impl Inner {
                 self.store.lock().bloom(),
                 &self.stats.bloom_wire_bytes,
             ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::Relaxed)
+    }
+
+    /// Append one record to the durable store, if enabled. The error is
+    /// surfaced so the publish path can report an (injected or real)
+    /// crash; the store poisons itself on failure, so later appends are
+    /// refused like writes from a dead process.
+    fn durable_append(&self, rec: WalRecord) -> io::Result<()> {
+        match &self.durable {
+            Some(d) => d.lock().append(rec),
+            None => Ok(()),
+        }
+    }
+
+    /// Persist the node's own `(status_version, bloom_version)` pair as
+    /// currently announced by the gossip engine.
+    fn persist_own_versions(&self) -> io::Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let (sv, bv) = {
+            let engine = self.engine.lock();
+            let e = engine.directory().get(self.id).expect("self entry");
+            (e.status_version, e.bloom_version)
+        };
+        self.durable_append(WalRecord::OwnVersions {
+            status_version: sv,
+            bloom_version: bv,
+        })
+    }
+
+    /// Persist directory deltas: peers whose gossiped versions advanced
+    /// past the stored copy, and peers that departed. Runs on the
+    /// gossip loop after each tick; errors poison the store and are
+    /// logged, not propagated (the loop must keep gossiping).
+    fn persist_directory(&self) {
+        let Some(d) = &self.durable else { return };
+        let snapshot: Vec<(PeerId, u64, u32, Option<LivePayload>)> = {
+            let engine = self.engine.lock();
+            engine
+                .directory()
+                .iter()
+                .map(|(pid, e)| {
+                    (pid, e.status_version, e.bloom_version, e.payload.clone())
+                })
+                .collect()
+        };
+        let mut store = d.lock();
+        if store.poisoned() {
+            return;
+        }
+        if let Err(e) = store.sync_directory(&snapshot) {
+            debug_log!(
+                "planetp[{}]: failed to persist directory delta: {e}",
+                self.id
+            );
+        }
+    }
+
+    /// The first successful gossip exchange after a recovered startup
+    /// completes the anti-entropy catch-up: leave the recovering state
+    /// and record how long the node served with a possibly-trailing
+    /// directory.
+    fn note_catchup_complete(&self) {
+        if self.recovering.swap(false, Ordering::Relaxed) {
+            if let Some(at) = self.recovered_at.lock().take() {
+                self.stats
+                    .recovery_catchup_ms
+                    .observe(at.elapsed().as_millis() as u64);
+            }
         }
     }
 
@@ -686,6 +801,7 @@ impl Inner {
                     .gossip_exchange_ms
                     .observe(started.elapsed().as_millis() as u64);
                 self.note_contact_ok(target, started.elapsed());
+                self.note_catchup_complete();
             }
             Err(e) => {
                 self.stats.gossip_failures.inc();
@@ -1016,6 +1132,7 @@ impl Inner {
         let patience = adaptive_p(n, k);
         let mut coverage = SearchCoverage {
             peers_considered: n,
+            recovering: self.is_recovering(),
             ..SearchCoverage::default()
         };
         let request = LiveMsg::SearchRequest {
@@ -1162,6 +1279,7 @@ impl Inner {
         };
         let mut coverage = SearchCoverage {
             peers_considered: candidates.len(),
+            recovering: self.is_recovering(),
             ..SearchCoverage::default()
         };
         let request = LiveMsg::ExhaustiveRequest { terms: q.terms.clone() };
@@ -1378,24 +1496,137 @@ impl LiveNode {
     ) -> Result<Self, PlanetPError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?.to_string();
-        let store = LocalDataStore::new();
-        let payload = LivePayload {
-            addr: addr.clone(),
-            bloom: CompressedBloom::compress(store.bloom()),
-        };
-        let mut engine = GossipEngine::new(
-            id,
-            SpeedClass::Fast,
-            config.gossip,
-            config.seed ^ u64::from(id),
-            Some(payload),
-            bootstrap.as_ref().map(|(b, _)| (*b, SpeedClass::Fast)),
-        );
         // One registry per node: the engine's protocol counters and the
         // runtime's transport/search/health counters land side by side,
         // so one snapshot (local call or GetStats RPC) covers it all.
         let stats = NodeStats::default();
+        let mut store = LocalDataStore::new();
+
+        // Durability: open the snapshot + WAL store (running recovery)
+        // before the gossip engine exists, because what recovery finds
+        // decides how the engine starts.
+        let mut durable = match &config.durable {
+            Some(dc) => Some(DurableStore::open(
+                dc.clone(),
+                StoreMetrics::in_registry(&stats.registry),
+                config.faults.clone(),
+            )?),
+            None => None,
+        };
+        let mut recovering = false;
+        if let Some(d) = &mut durable {
+            if let Some(owner) = d.state().id {
+                if owner != id {
+                    return Err(PlanetPError::Protocol(format!(
+                        "data dir belongs to peer {owner}, not peer {id}"
+                    )));
+                }
+            }
+            // Rehydrate the local data store under the original doc ids
+            // (remote peers hold `(peer, doc)` references from earlier
+            // searches). WAL frames are checksummed, so the XML parses;
+            // a failure here is a bug, not bad input.
+            for (doc, xml) in d.state().docs.clone() {
+                store.restore_document(doc, &xml)?;
+                stats.recovery_docs_restored.inc();
+            }
+        }
+        let payload = LivePayload {
+            addr: addr.clone(),
+            bloom: CompressedBloom::compress(store.bloom()),
+        };
+
+        let mut engine = match durable
+            .as_ref()
+            .filter(|d| d.recovery().recovered)
+            .map(|d| d.state().clone())
+        {
+            Some(state) => {
+                // Crash-restart: rebuild the engine around the persisted
+                // directory and re-announce with a version pair strictly
+                // above the persisted high-water mark — even if a torn
+                // tail lost recent bloom bumps, `(sv+1, _)` supersedes
+                // anything the community gossiped for the old
+                // incarnation (the status version only changes here, and
+                // it is persisted synchronously below before serving).
+                let mut dir: Directory<LivePayload> = Directory::new();
+                dir.insert(
+                    id,
+                    DirEntry {
+                        status_version: state.status_version.max(1),
+                        bloom_version: state.bloom_version,
+                        payload: Some(payload.clone()),
+                        status: PeerStatus::Online,
+                        speed: SpeedClass::Fast,
+                    },
+                );
+                for (pid, p) in &state.peers {
+                    dir.insert(
+                        *pid,
+                        DirEntry {
+                            status_version: p.status_version,
+                            bloom_version: p.bloom_version,
+                            payload: p.payload.clone(),
+                            status: PeerStatus::Online,
+                            speed: SpeedClass::Fast,
+                        },
+                    );
+                    stats.recovery_peers_restored.inc();
+                }
+                if let Some((b, _)) = &bootstrap {
+                    if dir.get(*b).is_none() {
+                        dir.insert(
+                            *b,
+                            DirEntry {
+                                status_version: 0,
+                                bloom_version: 0,
+                                payload: None,
+                                status: PeerStatus::Online,
+                                speed: SpeedClass::Fast,
+                            },
+                        );
+                    }
+                }
+                let mut engine = GossipEngine::with_directory(
+                    id,
+                    SpeedClass::Fast,
+                    config.gossip,
+                    config.seed ^ u64::from(id),
+                    dir,
+                );
+                engine.local_recover(
+                    payload.clone(),
+                    (state.status_version, state.bloom_version),
+                );
+                stats.recovery_restarts.inc();
+                // Catch-up phase: there is someone to catch up with.
+                recovering = !state.peers.is_empty() || bootstrap.is_some();
+                engine
+            }
+            None => GossipEngine::new(
+                id,
+                SpeedClass::Fast,
+                config.gossip,
+                config.seed ^ u64::from(id),
+                Some(payload),
+                bootstrap.as_ref().map(|(b, _)| (*b, SpeedClass::Fast)),
+            ),
+        };
         engine.attach_metrics(&stats.registry);
+        if let Some(d) = &mut durable {
+            // Persist identity and the (possibly bumped) announced
+            // version pair *synchronously before serving anything* —
+            // the high-water-mark rule above depends on it.
+            if d.state().id != Some(id) {
+                d.append(WalRecord::Identity { id })?;
+            }
+            let e = engine.directory().get(id).expect("self entry");
+            d.append(WalRecord::OwnVersions {
+                status_version: e.status_version,
+                bloom_version: e.bloom_version,
+            })?;
+            d.write_snapshot()?;
+        }
         let mut addr_book = HashMap::new();
         if let Some((b, a)) = bootstrap {
             addr_book.insert(b, a);
@@ -1419,6 +1650,9 @@ impl LiveNode {
             addr_book: Mutex::new(addr_book),
             query_state: Mutex::new(query_state),
             pool: OnceLock::new(),
+            durable: durable.map(Mutex::new),
+            recovering: AtomicBool::new(recovering),
+            recovered_at: Mutex::new(recovering.then(Instant::now)),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
         });
@@ -1468,6 +1702,9 @@ impl LiveNode {
                     if let Some(out) = outcome {
                         inner.gossip_to(out.target, out.message);
                     }
+                    // Fold whatever this tick (and any inbound gossip
+                    // since the last one) taught us into the WAL.
+                    inner.persist_directory();
                 }
             }));
         }
@@ -1496,7 +1733,63 @@ impl LiveNode {
 
     /// Node-level failure counters.
     pub fn stats(&self) -> NodeStatsSnapshot {
-        self.inner.stats.snapshot()
+        self.inner.stats.snapshot(self.inner.is_recovering())
+    }
+
+    /// Is the node still in its post-restart catch-up phase (recovered
+    /// state loaded from disk, first anti-entropy exchange with the
+    /// community not yet completed)? Searches still run during it —
+    /// their [`SearchCoverage::recovering`] flag is set — but they plan
+    /// against the persisted directory, which may trail the community.
+    pub fn is_recovering(&self) -> bool {
+        self.inner.is_recovering()
+    }
+
+    /// Block until the catch-up phase ends (or `timeout` elapses);
+    /// returns whether the node is ready. A node that never recovered
+    /// is ready immediately.
+    pub fn await_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.inner.is_recovering() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// The `(status_version, bloom_version)` pair this node currently
+    /// announces for itself. After a crash-restart both components are
+    /// strictly above everything the previous incarnation announced.
+    pub fn announced_versions(&self) -> (u64, u32) {
+        let engine = self.inner.engine.lock();
+        let e = engine.directory().get(self.inner.id).expect("self entry");
+        (e.status_version, e.bloom_version)
+    }
+
+    /// What recovery found on disk at startup, if durability is on.
+    pub fn recovery_info(&self) -> Option<crate::durable::RecoveryInfo> {
+        self.inner.durable.as_ref().map(|d| d.lock().recovery())
+    }
+
+    /// Validate the durable store's materialized state (`Ok(())` when
+    /// durability is off).
+    pub fn validate_durable(&self) -> Result<(), String> {
+        match &self.inner.durable {
+            Some(d) => d.lock().validate(),
+            None => Ok(()),
+        }
+    }
+
+    /// Did an (injected or real) crash poison the durable store? A
+    /// poisoned node keeps serving from memory but persists nothing
+    /// more — the harness treats it as dead and restarts it.
+    pub fn store_poisoned(&self) -> bool {
+        self.inner
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.lock().poisoned())
     }
 
     /// The gossip engine's protocol counters.
@@ -1538,11 +1831,19 @@ impl LiveNode {
         self.inner.health.lock().get(peer)
     }
 
-    /// Publish an XML document: index locally and gossip the new filter.
+    /// Publish an XML document: index locally, gossip the new filter,
+    /// and (with durability on) WAL the document and the bumped bloom
+    /// version. A persistence failure — which includes an injected
+    /// crash — is surfaced as an error: the document is indexed in this
+    /// process's memory but will not survive a restart, exactly like a
+    /// publish that raced a real crash.
     pub fn publish(&self, xml: &str) -> Result<u64, PlanetPError> {
         let doc = self.inner.store.lock().publish(xml)?;
         let payload = self.inner.my_payload();
         self.inner.engine.lock().local_update(payload);
+        self.inner
+            .durable_append(WalRecord::Publish { doc, xml: xml.to_string() })?;
+        self.inner.persist_own_versions()?;
         Ok(doc)
     }
 
@@ -1721,6 +2022,7 @@ mod tests {
             peers_contacted: 6,
             peers_failed: 3,
             peers_skipped: 1,
+            recovering: false,
         };
         assert_eq!(c.peers_attempted(), 10);
         assert!((c.coverage_fraction() - 0.6).abs() < 1e-9);

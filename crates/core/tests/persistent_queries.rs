@@ -1,0 +1,157 @@
+//! Persistent queries (§5.1) exercised through the crate's public API:
+//! the registry driven by Bloom filters produced by real publishes
+//! (stemming and all), and the full community path where a publish
+//! fans upcalls out to every member — including the brokered-snippet
+//! variant behind `PublishOptions::broker_hot_terms`.
+
+use planetp::persistent::{Notification, PersistentQueryRegistry};
+use planetp::{parse_query, Community, LocalDataStore, PublishOptions};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Log = Arc<Mutex<Vec<Notification>>>;
+
+fn recorder(log: &Log) -> impl Fn(&Notification) + Send + Sync + 'static {
+    let log = Arc::clone(log);
+    move |n| log.lock().unwrap().push(n.clone())
+}
+
+/// The registry against a real data store: registered queries go
+/// through the analyzer, so "gossiping protocols" must fire when a
+/// document publishes "gossip protocol" — the stems, not the surface
+/// words, are what the Bloom filter holds.
+#[test]
+fn bloom_matching_goes_through_the_analyzer() {
+    let mut store = LocalDataStore::new();
+    let mut reg = PersistentQueryRegistry::new();
+    let log: Log = Log::default();
+    let q = parse_query("gossiping protocols", store.analyzer());
+    reg.register(q.terms, recorder(&log));
+
+    store.publish("<d>a gossip protocol for directories</d>").unwrap();
+    reg.on_bloom_update("alice", store.bloom());
+    assert_eq!(
+        log.lock().unwrap().as_slice(),
+        &[Notification::PeerMayMatch { peer: "alice".into() }],
+        "stemmed query terms must hit the published stems"
+    );
+
+    // A filter that covers only part of the conjunction stays silent.
+    let mut other = LocalDataStore::new();
+    other.publish("<d>gossip without the other term</d>").unwrap();
+    reg.on_bloom_update("bob", other.bloom());
+    assert_eq!(log.lock().unwrap().len(), 1, "partial match fired");
+}
+
+/// Register/unregister lifecycle: ids are distinct, removal is exact,
+/// double-removal reports false, and a removed query never fires again
+/// while its sibling keeps working.
+#[test]
+fn lifecycle_is_per_query_not_per_registry() {
+    let mut store = LocalDataStore::new();
+    let mut reg = PersistentQueryRegistry::new();
+    let a_hits = Arc::new(AtomicUsize::new(0));
+    let b_hits = Arc::new(AtomicUsize::new(0));
+    let (a, b) = (Arc::clone(&a_hits), Arc::clone(&b_hits));
+    let qa = reg.register(
+        parse_query("epidemic", store.analyzer()).terms,
+        move |_| {
+            a.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    let qb = reg.register(
+        parse_query("epidemic", store.analyzer()).terms,
+        move |_| {
+            b.fetch_add(1, Ordering::SeqCst);
+        },
+    );
+    assert_ne!(qa, qb);
+    assert_eq!(reg.len(), 2);
+
+    store.publish("<d>epidemic spread of updates</d>").unwrap();
+    reg.on_bloom_update("p", store.bloom());
+    assert_eq!((a_hits.load(Ordering::SeqCst), b_hits.load(Ordering::SeqCst)), (1, 1));
+
+    assert!(reg.unregister(qa));
+    assert!(!reg.unregister(qa), "double unregister must report false");
+    assert!(!reg.is_empty());
+    reg.on_bloom_update("p", store.bloom());
+    assert_eq!(a_hits.load(Ordering::SeqCst), 1, "removed query fired");
+    assert_eq!(b_hits.load(Ordering::SeqCst), 2, "surviving query silenced");
+}
+
+/// The community fan-out: one peer's publish notifies every member
+/// whose registered query the new filter satisfies, carrying the
+/// publisher's name.
+#[test]
+fn community_publish_notifies_all_matching_members() {
+    let mut c = Community::new();
+    let alice = c.add_peer("alice");
+    let bob = c.add_peer("bob");
+    let carol = c.add_peer("carol");
+
+    let bob_log: Log = Log::default();
+    let carol_log: Log = Log::default();
+    c.register_persistent_query(bob, "bloom filters", recorder(&bob_log));
+    c.register_persistent_query(carol, "unrelated topic", recorder(&carol_log));
+
+    c.publish(
+        alice,
+        "<d>compact bloom filter summaries</d>",
+        PublishOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(
+        bob_log.lock().unwrap().as_slice(),
+        &[Notification::PeerMayMatch { peer: "alice".into() }]
+    );
+    assert!(
+        carol_log.lock().unwrap().is_empty(),
+        "carol's query shares no terms with the publish"
+    );
+}
+
+/// Brokered snippets (§6): hot-term publication fires `Snippet`
+/// upcalls, but only for queries whose terms all sit inside the
+/// snippet's key set — a query the document merely *contains* still
+/// only gets the Bloom-side notification.
+#[test]
+fn snippet_upcalls_require_hot_key_overlap() {
+    let mut c = Community::new();
+    let alice = c.add_peer("alice");
+    let bob = c.add_peer("bob");
+
+    let hot_log: Log = Log::default();
+    let cold_log: Log = Log::default();
+    // "alert" dominates the document, so it lands in the hot keys;
+    // "siren" appears once and should not.
+    c.register_persistent_query(bob, "alert", recorder(&hot_log));
+    c.register_persistent_query(bob, "siren", recorder(&cold_log));
+
+    let xml = "<d>alert alert alert alert siren</d>";
+    c.publish(alice, xml, PublishOptions { broker_hot_terms: Some(0.25) }).unwrap();
+
+    let hot = hot_log.lock().unwrap();
+    assert!(
+        hot.contains(&Notification::Snippet {
+            publisher: "alice".into(),
+            xml: xml.into(),
+        }),
+        "hot-key query never saw the snippet: {hot:?}"
+    );
+    assert!(
+        hot.contains(&Notification::PeerMayMatch { peer: "alice".into() }),
+        "snippet delivery must not replace the filter-side upcall"
+    );
+
+    let cold = cold_log.lock().unwrap();
+    assert!(
+        !cold.iter().any(|n| matches!(n, Notification::Snippet { .. })),
+        "cold-key query got a snippet: {cold:?}"
+    );
+    assert!(
+        cold.contains(&Notification::PeerMayMatch { peer: "alice".into() }),
+        "the document does contain 'siren'; the filter upcall is due"
+    );
+}

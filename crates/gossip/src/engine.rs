@@ -238,6 +238,28 @@ impl<P: Payload> GossipEngine<P> {
         self.learned_news();
     }
 
+    /// The local peer restarted from persisted state. `floor` is the
+    /// persisted `(status_version, bloom_version)` high-water mark;
+    /// both versions are bumped *past* it so whatever the community
+    /// already gossiped about this peer — including versions a torn
+    /// write may have lost from the local log — is strictly superseded
+    /// and the versioned-record invariant holds. Emits the rejoin
+    /// rumor (a `BloomUpdate` carrying the fresh payload, §3's Fig 4
+    /// "Join" event) and forces an anti-entropy catch-up on the next
+    /// tick. Returns the new version pair.
+    pub fn local_recover(&mut self, payload: P, floor: (u64, u32)) -> (u64, u32) {
+        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        e.status_version = e.status_version.max(floor.0) + 1;
+        e.bloom_version = e.bloom_version.max(floor.1) + 1;
+        e.payload = Some(payload);
+        e.status = PeerStatus::Online;
+        let versions = (e.status_version, e.bloom_version);
+        self.activate_self_rumor(RumorKind::BloomUpdate);
+        self.force_ae = true;
+        self.learned_news();
+        versions
+    }
+
     /// A communication attempt to `peer` failed: mark it offline
     /// locally. Never gossiped (§3).
     pub fn on_contact_failed(&mut self, peer: PeerId, now: TimeMs) {

@@ -112,6 +112,32 @@ pub const POOL_JOBS: &str = "pool.jobs_executed";
 /// Histogram: serialized Bloom filter size on the wire (bytes).
 pub const BLOOM_WIRE_BYTES: &str = "bloom.wire_bytes";
 
+/// Durable store: WAL records appended (and fsynced) this lifetime.
+pub const STORE_WAL_RECORDS: &str = "store.wal_records";
+/// Durable store: WAL records replayed during recovery.
+pub const STORE_WAL_REPLAYS: &str = "store.wal_replays";
+/// Durable store: corrupt/torn WAL tails truncated during recovery.
+pub const STORE_TRUNCATED_TAILS: &str = "store.truncated_tails";
+/// Durable store: snapshots written (startup persist + compactions).
+pub const STORE_SNAPSHOTS: &str = "store.snapshots";
+/// Durable store: WAL compactions (snapshot + log truncate).
+pub const STORE_COMPACTIONS: &str = "store.compactions";
+/// Durable store: bytes appended to the WAL.
+pub const STORE_WAL_BYTES: &str = "store.wal_bytes";
+/// Durable store: writes refused because the store was poisoned by an
+/// earlier (possibly injected) crash.
+pub const STORE_POISONED_WRITES: &str = "store.poisoned_writes";
+
+/// Recoveries performed (state found on disk at startup).
+pub const RECOVERY_RESTARTS: &str = "recovery.restarts";
+/// Documents rehydrated into the local store during recovery.
+pub const RECOVERY_DOCS_RESTORED: &str = "recovery.docs_restored";
+/// Directory entries rehydrated from the persisted directory.
+pub const RECOVERY_PEERS_RESTORED: &str = "recovery.peers_restored";
+/// Histogram: wall-clock from recovered startup to the first completed
+/// anti-entropy catch-up exchange (ms).
+pub const RECOVERY_CATCHUP_MS: &str = "recovery.catchup_ms";
+
 /// Tracked-rumor mark events (simulator: a peer learned a tracked id).
 pub const SIM_TRACKED_KNOWN: &str = "sim.tracked.known_peers";
 /// Tracked rumors that reached every peer.

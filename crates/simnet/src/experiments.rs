@@ -350,10 +350,13 @@ pub fn dynamic_community(
                 continue;
             }
             let with_new_keys = sim.rng().random_bool(cfg.new_keys_prob);
-            let rumor = sim.rejoin(
+            let Ok(rumor) = sim.rejoin(
                 id,
                 with_new_keys.then_some(table2.bf_1000_keys_bytes as u32),
-            );
+            ) else {
+                // A generated schedule can double-book a node; skip it.
+                continue;
+            };
             // Only measure events inside the window.
             if at <= cfg.duration_s * 1000 {
                 let t = sim.track(rumor);

@@ -29,4 +29,4 @@ pub mod sim;
 pub use dirindex::{DirectoryIndexModel, SyncDelta};
 pub use metrics::{BandwidthSeries, Metrics, TrackedRumor};
 pub use params::{LinkClass, LinkScenario, Table2};
-pub use sim::{NodeId, SimConfig, Simulator};
+pub use sim::{ChurnError, NodeId, SimConfig, Simulator};

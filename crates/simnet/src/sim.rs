@@ -27,6 +27,30 @@ use crate::params::{LinkClass, Table2, LINK_LATENCY_MS};
 /// Node identifier (same space as `planetp_gossip::PeerId`).
 pub type NodeId = u32;
 
+/// A churn operation was asked of a node in the wrong state.
+///
+/// Churn schedules are often generated (dwell-time samplers, replayed
+/// traces) and can legitimately produce back-to-back transitions for
+/// one node; drivers should get an error they can skip or surface, not
+/// a panic that kills the whole experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnError {
+    /// `rejoin` was called on a node that is already online.
+    AlreadyOnline(NodeId),
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::AlreadyOnline(id) => {
+                write!(f, "node {id} is already online; rejoin requires it offline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
 type Engine = GossipEngine<SizedPayload>;
 type Msg = Message<SizedPayload>;
 
@@ -302,10 +326,17 @@ impl Simulator {
 
     /// Bring a node back online. `new_payload_bytes` carries a changed
     /// Bloom filter (the paper's "Join" event in Fig 4); `None` is a
-    /// pure "Rejoin". Returns the rumor id announcing the return.
-    pub fn rejoin(&mut self, id: NodeId, new_payload_bytes: Option<u32>) -> RumorId {
+    /// pure "Rejoin". Returns the rumor id announcing the return, or
+    /// [`ChurnError::AlreadyOnline`] if the node never went down.
+    pub fn rejoin(
+        &mut self,
+        id: NodeId,
+        new_payload_bytes: Option<u32>,
+    ) -> Result<RumorId, ChurnError> {
         let node = &mut self.nodes[id as usize];
-        assert!(!node.online, "rejoin requires the node to be offline");
+        if node.online {
+            return Err(ChurnError::AlreadyOnline(id));
+        }
         node.online = true;
         node.tick_seq += 1;
         node.up_free_at = self.now;
@@ -330,7 +361,7 @@ impl Simulator {
         let jitter = self.rng.random_range(0..1_000);
         self.schedule_tick_seq(id, jitter, seq);
         self.mark_known(id, id);
-        rumor
+        Ok(rumor)
     }
 
     /// A node's Bloom filter changes (e.g. 1000 new keys published).
@@ -728,13 +759,28 @@ mod tests {
         sim.run_until(120_000);
         sim.set_offline(5);
         sim.run_until(400_000);
-        let rumor = sim.rejoin(5, Some(3000));
+        let rumor = sim.rejoin(5, Some(3000)).expect("node 5 went offline above");
         sim.track(rumor);
         sim.run_until(1_500_000);
         assert!(
             sim.metrics.tracked[0].latency_ms().is_some(),
             "rejoin never spread"
         );
+    }
+
+    #[test]
+    fn rejoining_an_online_node_is_an_error_not_a_panic() {
+        let mut sim = lan_sim(4);
+        sim.run_until(60_000);
+        assert_eq!(sim.rejoin(2, None), Err(ChurnError::AlreadyOnline(2)));
+        // The refused rejoin changed nothing: the node keeps gossiping
+        // and a real offline/rejoin cycle still works.
+        sim.set_offline(2);
+        sim.run_until(120_000);
+        let rumor = sim.rejoin(2, None).expect("offline now");
+        sim.track(rumor);
+        sim.run_until(1_000_000);
+        assert!(sim.metrics.tracked[0].latency_ms().is_some());
     }
 
     #[test]
