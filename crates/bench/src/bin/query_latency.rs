@@ -18,6 +18,7 @@
 
 use planetp::faults::{FaultInjector, FaultPlan, FaultRules};
 use planetp::live::{FanoutConfig, LiveConfig, LiveNode};
+use planetp::ConnConfig;
 use planetp_bench::{print_table, scale_from_args, write_json, Scale};
 use planetp_bloom::{BloomFilter, BloomParams};
 use planetp_gossip::GossipConfig;
@@ -60,6 +61,29 @@ struct CacheCounters {
     rebuilds: u64,
     pool_jobs: u64,
     search_groups: u64,
+}
+
+#[derive(Serialize)]
+struct ConnSeries {
+    cold_ms: f64,
+    warm_median_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ConnCounters {
+    opened: u64,
+    reused: u64,
+    stale_reconnects: u64,
+}
+
+#[derive(Serialize)]
+struct ConnReport {
+    peers: usize,
+    delay_ms: u64,
+    runs: usize,
+    pooled: ConnSeries,
+    per_rpc: ConnSeries,
+    pooled_searcher_conn: ConnCounters,
 }
 
 #[derive(Serialize)]
@@ -323,6 +347,83 @@ fn main() {
             parallel_speedup_warm: speedup,
             plan_micro: micro,
             searcher_counters: counters,
+        },
+    );
+
+    // Pooled vs. connect-per-RPC: two fresh searchers join the same
+    // community — one keeping the default connection pool, one forced
+    // to open a new TCP connection for every RPC. A warm pooled
+    // contact crosses two injected delay operations on the target
+    // (request read + reply write); a connect-per-RPC contact crosses
+    // three (admission + read + write), so the pool's warm win is
+    // structural, not scheduler luck. Both searchers run the identical
+    // protocol: one connection-cold search, then `runs` warm repeats.
+    let pooled = LiveNode::start(
+        peers as u32,
+        node_config(2_000, None),
+        Some(bootstrap.clone()),
+    )
+    .expect("pooled searcher");
+    let mut per_rpc_cfg = node_config(2_001, None);
+    per_rpc_cfg.conn = ConnConfig { enabled: false, ..ConnConfig::default() };
+    let per_rpc = LiveNode::start(peers as u32 + 1, per_rpc_cfg, Some(bootstrap.clone()))
+        .expect("per-rpc searcher");
+    let total = peers + 2;
+    let join_deadline = Instant::now() + Duration::from_secs(60);
+    while (pooled.directory_size() < total || per_rpc.directory_size() < total)
+        && Instant::now() < join_deadline
+    {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let measure = |node: &LiveNode, label: &str| -> ConnSeries {
+        let t = Instant::now();
+        let r = node.search_ranked_grouped("fanout warmrun", k, GROUP_SIZE).expect("search");
+        let cold_ms = t.elapsed().as_secs_f64() * 1000.0;
+        eprintln!("{label}: cold hits {}/{peers}", r.hits.len());
+        let (mut ms, hits) = time_series(node, &warm_q, k, GROUP_SIZE);
+        eprintln!("{label}: warm min hits {hits}/{peers}");
+        ConnSeries { cold_ms, warm_median_ms: median(&mut ms) }
+    };
+    let pooled_series = measure(&pooled, "pooled");
+    let per_rpc_series = measure(&per_rpc, "per-rpc");
+    let psnap = pooled.metrics_snapshot();
+    let conn_counters = ConnCounters {
+        opened: psnap.counter(names::CONN_OPENED),
+        reused: psnap.counter(names::CONN_REUSED),
+        stale_reconnects: psnap.counter(names::CONN_STALE_RECONNECTS),
+    };
+
+    println!("\nConnection pool vs. connect-per-RPC (same community, warm cache):");
+    print_table(
+        &["transport", "cold(ms)", "warm median(ms)"],
+        &[
+            vec![
+                "pooled".to_string(),
+                format!("{:.1}", pooled_series.cold_ms),
+                format!("{:.1}", pooled_series.warm_median_ms),
+            ],
+            vec![
+                "connect-per-rpc".to_string(),
+                format!("{:.1}", per_rpc_series.cold_ms),
+                format!("{:.1}", per_rpc_series.warm_median_ms),
+            ],
+        ],
+    );
+    println!(
+        "pooled searcher conn counters: {} opened, {} reused, {} stale reconnects",
+        conn_counters.opened, conn_counters.reused, conn_counters.stale_reconnects
+    );
+
+    write_json(
+        "BENCH_conn",
+        &ConnReport {
+            peers,
+            delay_ms: DELAY_MS,
+            runs,
+            pooled: pooled_series,
+            per_rpc: per_rpc_series,
+            pooled_searcher_conn: conn_counters,
         },
     );
 }

@@ -35,7 +35,7 @@
 //! ```
 
 use planetp::live::{LiveConfig, LiveNode};
-use planetp::DurableConfig;
+use planetp::{ConnConfig, DurableConfig};
 use planetp_gossip::GossipConfig;
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -45,6 +45,8 @@ struct Args {
     bootstrap: Option<(u32, String)>,
     interval_ms: u64,
     data_dir: Option<String>,
+    no_conn_pool: bool,
+    conn_idle_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +54,8 @@ fn parse_args() -> Result<Args, String> {
     let mut bootstrap = None;
     let mut interval_ms = 30_000u64;
     let mut data_dir = None;
+    let mut no_conn_pool = false;
+    let mut conn_idle_ms = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -89,6 +93,19 @@ fn parse_args() -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--no-conn-pool" => {
+                no_conn_pool = true;
+                i += 1;
+            }
+            "--conn-idle-ms" => {
+                conn_idle_ms = Some(
+                    argv.get(i + 1)
+                        .ok_or("--conn-idle-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --conn-idle-ms: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -97,6 +114,8 @@ fn parse_args() -> Result<Args, String> {
         bootstrap,
         interval_ms,
         data_dir,
+        no_conn_pool,
+        conn_idle_ms,
     })
 }
 
@@ -111,7 +130,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>] \
-                 [--data-dir <dir>]\n\
+                 [--data-dir <dir>] [--no-conn-pool] [--conn-idle-ms <ms>]\n\
                  \x20      planetp stats <addr> [--json]"
             );
             std::process::exit(2);
@@ -127,6 +146,13 @@ fn main() {
         io_timeout: Duration::from_secs(5),
         seed: u64::from(args.id) + 0xC11,
         durable: args.data_dir.as_deref().map(DurableConfig::at),
+        conn: {
+            let mut c = ConnConfig { enabled: !args.no_conn_pool, ..ConnConfig::default() };
+            if let Some(ms) = args.conn_idle_ms {
+                c.idle_timeout = Duration::from_millis(ms);
+            }
+            c
+        },
         ..LiveConfig::default()
     };
     let node = match LiveNode::start(args.id, config, args.bootstrap) {

@@ -1,0 +1,801 @@
+//! Persistent, health-aware connections for the live runtime.
+//!
+//! Every gossip round and every search-group contact used to pay a
+//! fresh `TcpStream::connect`; at the community sizes the paper's §6
+//! evaluation targets (and the million-user north star beyond it) the
+//! wire setup cost dominates the per-query budget once Bloofi pruning
+//! has cut the probe cost. This module keeps connections alive instead:
+//!
+//! * **Exclusive keep-alive streams** ([`ConnPool::checkout`] /
+//!   [`ConnPool::check_in`]) for conversational exchanges — gossip
+//!   alternates whole batches in strict order, and a conversation ends
+//!   at a clean frame boundary, so the stream can be returned to the
+//!   pool and reused by the next round. At most
+//!   [`ConnConfig::max_idle_per_peer`] idle streams are kept per peer;
+//!   older ones are dropped on check-in and idle ones are reaped after
+//!   [`ConnConfig::idle_timeout`].
+//! * **One multiplexed stream per peer** ([`ConnPool::rpc`]) for
+//!   request/reply RPCs. Requests carry correlation ids
+//!   ([`crate::wire::write_correlated_frame`]) so the concurrent
+//!   fan-out RPCs of a grouped search share a single stream and replies
+//!   may arrive in any order. There is no dedicated reader thread:
+//!   whichever waiter gets there first takes a short *reader lease*,
+//!   polls the socket, and delivers whatever frame arrives — to itself
+//!   or to whichever other waiter it belongs to.
+//!
+//! **Staleness.** A keep-alive stream can die while idle (the peer
+//! restarted, reaped its end, or a middlebox dropped the mapping). That
+//! says nothing about the peer's liveness, so a connection-level
+//! failure ([`is_connection_level`]) on a stream that worked before is
+//! absorbed *inside* the pool: one transparent reconnect, counted in
+//! `conn.stale_reconnects`, never charged against the caller's retry
+//! budget or the peer's health state. Failures on fresh connections and
+//! genuine timeouts propagate unchanged.
+
+use parking_lot::{Condvar, Mutex};
+use planetp_obs::{names, Counter, Gauge, Registry};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::faults::{Direction, FaultInjector};
+use crate::wire::{self, Frame};
+
+/// How long a reader lease polls the socket before handing the lease
+/// back (and how long non-readers wait between checks of their slot).
+const MUX_POLL: Duration = Duration::from_millis(10);
+
+/// Knobs for the persistent connection layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnConfig {
+    /// Pool connections at all. `false` restores the original
+    /// connect-per-contact behaviour (every RPC and gossip exchange
+    /// opens and drops its own stream) — the bench baseline.
+    pub enabled: bool,
+    /// Idle exclusive (gossip) streams kept per peer; surplus check-ins
+    /// are dropped.
+    pub max_idle_per_peer: usize,
+    /// Idle exclusive streams older than this are reaped.
+    pub idle_timeout: Duration,
+    /// Concurrent correlated RPCs allowed on one multiplexed stream;
+    /// callers beyond the cap fail fast (`WouldBlock`) instead of
+    /// queueing unboundedly behind a slow peer.
+    pub max_inflight_per_conn: usize,
+    /// Set `TCP_NODELAY` on pooled streams (small frames must not eat
+    /// Nagle delay).
+    pub nodelay: bool,
+    /// Worker threads serving accepted connections (the bounded server
+    /// model replacing thread-per-connection; clamped to at least 1).
+    pub server_threads: usize,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_idle_per_peer: 2,
+            idle_timeout: Duration::from_secs(30),
+            max_inflight_per_conn: 64,
+            nodelay: true,
+            server_threads: 4,
+        }
+    }
+}
+
+/// Handles for the `conn.*` metrics family. Cloning shares the
+/// underlying storage (same counters), like all registry handles.
+#[derive(Debug, Clone)]
+pub struct ConnMetrics {
+    /// Real TCP connects performed.
+    pub opened: Counter,
+    /// Contacts served off an established stream.
+    pub reused: Counter,
+    /// Idle streams retired by the reaper.
+    pub reaped: Counter,
+    /// Stale streams transparently replaced.
+    pub stale_reconnects: Counter,
+    /// Correlated replies with no waiting request.
+    pub unknown_corr: Counter,
+    /// Gauge: correlated RPCs currently in flight.
+    pub inflight: Gauge,
+}
+
+impl ConnMetrics {
+    /// Handles recording into `registry` under the shared `conn.*`
+    /// names.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            opened: registry.counter(names::CONN_OPENED),
+            reused: registry.counter(names::CONN_REUSED),
+            reaped: registry.counter(names::CONN_REAPED),
+            stale_reconnects: registry.counter(names::CONN_STALE_RECONNECTS),
+            unknown_corr: registry.counter(names::CONN_UNKNOWN_CORR),
+            inflight: registry.gauge(names::CONN_INFLIGHT),
+        }
+    }
+
+    /// Detached handles (counted but invisible) for standalone pools.
+    pub fn detached() -> Self {
+        Self {
+            opened: Counter::detached(),
+            reused: Counter::detached(),
+            reaped: Counter::detached(),
+            stale_reconnects: Counter::detached(),
+            unknown_corr: Counter::detached(),
+            inflight: Gauge::detached(),
+        }
+    }
+}
+
+/// How a pooled RPC travelled, for the caller's accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RpcConnInfo {
+    /// The request went out on an already-established stream.
+    pub reused: bool,
+    /// A stale pooled stream was detected and transparently replaced;
+    /// the caller must not charge this against retries or health.
+    pub stale_reconnect: bool,
+    /// Wire bytes written for the request frame.
+    pub bytes_out: u64,
+    /// Wire bytes read for the reply frame.
+    pub bytes_in: u64,
+}
+
+/// Is this error the *connection* failing (as an idle keep-alive stream
+/// does when the far end quietly went away), as opposed to the peer
+/// refusing, timing out, or talking garbage?
+pub fn is_connection_level(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
+/// State shared by every waiter on one multiplexed stream.
+struct MuxState<T> {
+    /// Waiting (`None`) or delivered-but-not-collected (`Some`) RPC
+    /// slots, keyed by correlation id. A delivered slot holds the reply
+    /// value plus its wire size.
+    pending: HashMap<u64, Option<io::Result<(T, usize)>>>,
+    /// Someone currently holds the reader lease.
+    reader_active: bool,
+}
+
+/// One multiplexed stream shared by concurrent correlated RPCs.
+struct MuxConn<T> {
+    /// Socket for reads (`Read` is implemented for `&TcpStream`) and
+    /// lifecycle control.
+    stream: TcpStream,
+    /// `try_clone` of the same socket for writes, under its own lock so
+    /// a blocked reader never delays a sender.
+    writer: Mutex<TcpStream>,
+    state: Mutex<MuxState<T>>,
+    reply_ready: Condvar,
+    /// Once set, the stream is unusable; the pool replaces it.
+    broken: AtomicBool,
+    /// Did any RPC ever complete on this stream? A failure can only be
+    /// blamed on *staleness* if the stream demonstrably worked before.
+    used: AtomicBool,
+    next_corr: AtomicU64,
+    io_timeout: Duration,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: ConnMetrics,
+}
+
+impl<T: Serialize + DeserializeOwned> MuxConn<T> {
+    fn new(
+        stream: TcpStream,
+        writer: TcpStream,
+        io_timeout: Duration,
+        faults: Option<Arc<FaultInjector>>,
+        metrics: ConnMetrics,
+    ) -> Self {
+        Self {
+            stream,
+            writer: Mutex::new(writer),
+            state: Mutex::new(MuxState { pending: HashMap::new(), reader_active: false }),
+            reply_ready: Condvar::new(),
+            broken: AtomicBool::new(false),
+            used: AtomicBool::new(false),
+            next_corr: AtomicU64::new(1),
+            io_timeout,
+            faults,
+            metrics,
+        }
+    }
+
+    fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::SeqCst)
+    }
+
+    fn was_used(&self) -> bool {
+        self.used.load(Ordering::SeqCst)
+    }
+
+    /// Mark the stream dead: fail every undelivered slot, unblock any
+    /// reader stuck in the socket, wake all waiters. Idempotent.
+    fn poison(&self, kind: io::ErrorKind, msg: &str) {
+        self.broken.store(true, Ordering::SeqCst);
+        {
+            let mut st = self.state.lock();
+            for slot in st.pending.values_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err(io::Error::new(kind, msg.to_string())));
+                }
+            }
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.reply_ready.notify_all();
+    }
+
+    /// One correlated RPC: send the request, then wait for the matching
+    /// reply — reading the stream ourselves whenever no other waiter
+    /// holds the reader lease. Returns the reply with its request/reply
+    /// wire sizes.
+    fn rpc(
+        &self,
+        request: &T,
+        read_timeout: Duration,
+        max_inflight: usize,
+    ) -> io::Result<(T, usize, usize)> {
+        if self.is_broken() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "pooled stream already failed",
+            ));
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock();
+            if st.pending.len() >= max_inflight {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "multiplexed stream at its in-flight cap",
+                ));
+            }
+            st.pending.insert(corr, None);
+        }
+        self.metrics.inflight.add(1);
+        let res = self.rpc_inner(corr, request, read_timeout);
+        self.metrics.inflight.add(-1);
+        // Clear our slot on every exit path (timeout, error); a reply
+        // that arrives after this is counted as unknown and dropped.
+        self.state.lock().pending.remove(&corr);
+        if res.is_ok() {
+            self.used.store(true, Ordering::SeqCst);
+        }
+        res
+    }
+
+    fn rpc_inner(
+        &self,
+        corr: u64,
+        request: &T,
+        read_timeout: Duration,
+    ) -> io::Result<(T, usize, usize)> {
+        let bytes_out = {
+            let mut w = self.writer.lock();
+            let written = match &self.faults {
+                Some(f) => {
+                    f.write_correlated_frame(Direction::Outbound, &mut *w, corr, request)
+                }
+                None => wire::write_correlated_frame(&mut *w, corr, request),
+            };
+            match written {
+                Ok(n) => n,
+                Err(e) => {
+                    let kind = e.kind();
+                    drop(w);
+                    self.poison(kind, "multiplexed write failed");
+                    return Err(e);
+                }
+            }
+        };
+        let deadline = Instant::now() + read_timeout;
+        loop {
+            let take_lease = {
+                let mut st = self.state.lock();
+                if let Some(slot) = st.pending.get_mut(&corr) {
+                    if slot.is_some() {
+                        let got = slot.take().expect("just checked");
+                        st.pending.remove(&corr);
+                        return got.map(|(v, bytes_in)| (v, bytes_out, bytes_in));
+                    }
+                } else {
+                    return Err(io::Error::other("rpc slot vanished"));
+                }
+                if self.is_broken() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "pooled stream failed",
+                    ));
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no reply within the read timeout",
+                    ));
+                }
+                if st.reader_active {
+                    // Someone else is draining the stream; nap until a
+                    // delivery (or the poll interval) and re-check.
+                    let wait = MUX_POLL.min(deadline.saturating_duration_since(Instant::now()));
+                    let _ = self.reply_ready.wait_for(&mut st, wait);
+                    false
+                } else {
+                    st.reader_active = true;
+                    true
+                }
+            };
+            if take_lease {
+                let read = self.read_one();
+                self.state.lock().reader_active = false;
+                if let Err(e) = read {
+                    // Fills our own slot too; the next iteration
+                    // collects it.
+                    self.poison(e.kind(), "multiplexed read failed");
+                }
+                self.reply_ready.notify_all();
+            }
+        }
+    }
+
+    /// One reader pass: poll for data with a short timeout (`peek` does
+    /// not consume, so releasing the lease never strands half-read
+    /// bytes), then read exactly one frame and deliver it to whichever
+    /// waiter it belongs to. `Ok(())` covers both "nothing arrived" and
+    /// "one frame delivered"; `Err` means the stream is unusable.
+    fn read_one(&self) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(MUX_POLL))?;
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed pooled stream",
+                ));
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        // A frame is arriving: switch to the full IO timeout so a
+        // trickling sender is bounded but not starved mid-frame.
+        self.stream.set_read_timeout(Some(self.io_timeout))?;
+        let got = match &self.faults {
+            Some(f) => {
+                f.read_any_frame_sized::<T>(Direction::Outbound, &mut &self.stream)?
+            }
+            None => wire::read_any_frame_sized::<T>(&mut &self.stream)?,
+        };
+        let Some((frame, wire_bytes)) = got else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed pooled stream",
+            ));
+        };
+        match frame {
+            Frame::Correlated(id, value) => {
+                let mut st = self.state.lock();
+                match st.pending.get_mut(&id) {
+                    Some(slot) if slot.is_none() => {
+                        *slot = Some(Ok((value, wire_bytes)));
+                    }
+                    // Unknown id (late after a timeout, injected-stale)
+                    // or a duplicate of a delivered reply: count it and
+                    // keep draining — the framing itself is intact.
+                    _ => self.metrics.unknown_corr.inc(),
+                }
+            }
+            Frame::Legacy(_) => {
+                // An uncorrelated frame on a mux stream cannot be
+                // routed to any waiter; drop it, same accounting.
+                self.metrics.unknown_corr.inc();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-peer pooled connections.
+struct PeerConns<T> {
+    /// The shared multiplexed RPC stream, if one is established.
+    mux: Option<Arc<MuxConn<T>>>,
+    /// Idle exclusive streams awaiting the next conversational
+    /// checkout, most recently used last.
+    idle: Vec<IdleConn>,
+}
+
+impl<T> Default for PeerConns<T> {
+    fn default() -> Self {
+        Self { mux: None, idle: Vec::new() }
+    }
+}
+
+struct IdleConn {
+    stream: TcpStream,
+    since: Instant,
+}
+
+/// The per-peer connection pool. See the [module docs](self).
+pub struct ConnPool<T> {
+    config: ConnConfig,
+    io_timeout: Duration,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: ConnMetrics,
+    peers: Mutex<HashMap<String, PeerConns<T>>>,
+}
+
+impl<T: Serialize + DeserializeOwned> ConnPool<T> {
+    /// A pool connecting with `io_timeout` read/write deadlines,
+    /// running outbound connects through `faults` when present.
+    pub fn new(
+        config: ConnConfig,
+        io_timeout: Duration,
+        faults: Option<Arc<FaultInjector>>,
+        metrics: ConnMetrics,
+    ) -> Self {
+        Self { config, io_timeout, faults, metrics, peers: Mutex::new(HashMap::new()) }
+    }
+
+    /// The pool's metric handles (shared storage with any registry
+    /// handles they were created from).
+    pub fn metrics(&self) -> &ConnMetrics {
+        &self.metrics
+    }
+
+    fn connect_raw(&self, addr: &str) -> io::Result<TcpStream> {
+        if let Some(f) = &self.faults {
+            f.admit(Direction::Outbound)?;
+        }
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        if self.config.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        self.metrics.opened.inc();
+        Ok(stream)
+    }
+
+    /// Check out an exclusive stream for a conversational exchange
+    /// (gossip alternates legacy frames in strict order, so the stream
+    /// cannot be shared while the conversation runs). Returns the
+    /// stream plus whether it was reused from the pool; return it with
+    /// [`Self::check_in`] after a clean exchange, drop it on failure.
+    pub fn checkout(&self, addr: &str) -> io::Result<(TcpStream, bool)> {
+        let reusable = {
+            let mut peers = self.peers.lock();
+            peers.get_mut(addr).and_then(|p| p.idle.pop())
+        };
+        if let Some(idle) = reusable {
+            self.metrics.reused.inc();
+            return Ok((idle.stream, true));
+        }
+        Ok((self.connect_raw(addr)?, false))
+    }
+
+    /// Open a fresh exclusive stream, bypassing the pool (the
+    /// transparent stale-reconnect path after a reused checkout
+    /// failed).
+    pub fn checkout_fresh(&self, addr: &str) -> io::Result<TcpStream> {
+        self.connect_raw(addr)
+    }
+
+    /// Return a checked-out stream after a clean exchange. Dropped
+    /// instead when the peer already holds `max_idle_per_peer` idle
+    /// streams.
+    pub fn check_in(&self, addr: &str, stream: TcpStream) {
+        let mut peers = self.peers.lock();
+        let p = peers.entry(addr.to_string()).or_default();
+        if p.idle.len() < self.config.max_idle_per_peer {
+            p.idle.push(IdleConn { stream, since: Instant::now() });
+        }
+    }
+
+    /// Count a stale-stream replacement (exclusive-stream callers do
+    /// the reconnect themselves via [`Self::checkout_fresh`]).
+    pub fn note_stale_reconnect(&self) {
+        self.metrics.stale_reconnects.inc();
+    }
+
+    /// The shared multiplexed stream for `addr`, creating or replacing
+    /// a broken one. Second return: whether the stream pre-existed
+    /// this call.
+    fn mux(&self, addr: &str) -> io::Result<(Arc<MuxConn<T>>, bool)> {
+        {
+            let mut peers = self.peers.lock();
+            if let Some(p) = peers.get_mut(addr) {
+                if let Some(m) = &p.mux {
+                    if !m.is_broken() {
+                        return Ok((Arc::clone(m), true));
+                    }
+                    p.mux = None;
+                }
+            }
+        }
+        // Slow path: connect without holding the map lock (an injected
+        // admit delay must not stall contacts to other peers). If two
+        // first-RPCs race, the one that lands in the map first wins and
+        // the loser's socket is simply dropped.
+        let stream = self.connect_raw(addr)?;
+        let writer = stream.try_clone()?;
+        let conn = Arc::new(MuxConn::new(
+            stream,
+            writer,
+            self.io_timeout,
+            self.faults.clone(),
+            self.metrics.clone(),
+        ));
+        let mut peers = self.peers.lock();
+        let p = peers.entry(addr.to_string()).or_default();
+        match &p.mux {
+            Some(existing) if !existing.is_broken() => Ok((Arc::clone(existing), true)),
+            _ => {
+                p.mux = Some(Arc::clone(&conn));
+                Ok((conn, false))
+            }
+        }
+    }
+
+    /// One correlated RPC over the shared per-peer stream, with stale
+    /// detection: a connection-level failure on a stream that worked
+    /// before is absorbed by one transparent reconnect — the retry the
+    /// pool takes here is it paying for its own keep-alive gamble, not
+    /// a peer failure, so it is never charged to the caller's retry or
+    /// health budgets.
+    pub fn rpc(
+        &self,
+        addr: &str,
+        request: &T,
+        read_timeout: Duration,
+    ) -> io::Result<(T, RpcConnInfo)> {
+        let (conn, pre_existing) = self.mux(addr)?;
+        let stale_eligible = pre_existing && conn.was_used();
+        match conn.rpc(request, read_timeout, self.config.max_inflight_per_conn) {
+            Ok((reply, bytes_out, bytes_in)) => Ok((
+                reply,
+                RpcConnInfo {
+                    reused: pre_existing,
+                    stale_reconnect: false,
+                    bytes_out: bytes_out as u64,
+                    bytes_in: bytes_in as u64,
+                },
+            )),
+            Err(e) if stale_eligible && is_connection_level(&e) => {
+                self.metrics.stale_reconnects.inc();
+                self.drop_mux(addr, &conn);
+                let (fresh, _) = self.mux(addr)?;
+                let (reply, bytes_out, bytes_in) =
+                    fresh.rpc(request, read_timeout, self.config.max_inflight_per_conn)?;
+                Ok((
+                    reply,
+                    RpcConnInfo {
+                        reused: false,
+                        stale_reconnect: true,
+                        bytes_out: bytes_out as u64,
+                        bytes_in: bytes_in as u64,
+                    },
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove `conn` from the pool if it is still the mapped mux for
+    /// `addr` (another thread may already have replaced it).
+    fn drop_mux(&self, addr: &str, conn: &Arc<MuxConn<T>>) {
+        let mut peers = self.peers.lock();
+        if let Some(p) = peers.get_mut(addr) {
+            if let Some(m) = &p.mux {
+                if Arc::ptr_eq(m, conn) {
+                    p.mux = None;
+                }
+            }
+        }
+    }
+
+    /// Retire idle exclusive streams past the idle timeout and forget
+    /// broken mux streams. Cheap; the gossip loop calls it every tick.
+    pub fn reap(&self) {
+        let now = Instant::now();
+        let mut peers = self.peers.lock();
+        peers.retain(|_, p| {
+            let before = p.idle.len();
+            p.idle
+                .retain(|c| now.duration_since(c.since) < self.config.idle_timeout);
+            let reaped = before - p.idle.len();
+            if reaped > 0 {
+                self.metrics.reaped.add(reaped as u64);
+            }
+            if p.mux.as_ref().is_some_and(|m| m.is_broken()) {
+                p.mux = None;
+            }
+            p.mux.is_some() || !p.idle.is_empty()
+        });
+    }
+
+    /// Test hook: break every pooled stream to `addr` at the socket
+    /// level *without removing it from the pool*, simulating a peer
+    /// that silently dropped its keep-alives — the next use sees a
+    /// stale stream. Returns how many streams were broken.
+    pub fn debug_break(&self, addr: &str) -> usize {
+        let peers = self.peers.lock();
+        let Some(p) = peers.get(addr) else {
+            return 0;
+        };
+        let mut broken = 0;
+        for c in &p.idle {
+            let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            broken += 1;
+        }
+        if let Some(m) = &p.mux {
+            let _ = m.stream.shutdown(std::net::Shutdown::Both);
+            broken += 1;
+        }
+        broken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A single-threaded echo server: accepts one connection at a time,
+    /// echoes every correlated frame under its own id, and goes back to
+    /// accepting when the connection dies.
+    fn echo_server(listener: TcpListener) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                loop {
+                    match wire::read_any_frame_sized::<Vec<u32>>(&mut s) {
+                        Ok(Some((Frame::Correlated(id, v), _))) => {
+                            if wire::write_correlated_frame(&mut s, id, &v).is_err() {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        })
+    }
+
+    fn pool(config: ConnConfig) -> (ConnPool<Vec<u32>>, ConnMetrics) {
+        let metrics = ConnMetrics::detached();
+        let p = ConnPool::new(config, Duration::from_secs(2), None, metrics.clone());
+        (p, metrics)
+    }
+
+    #[test]
+    fn checkout_reuses_checked_in_streams() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept and hold connections open so check-ins stay usable.
+        let held = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            while conns.len() < 2 {
+                if let Ok((s, _)) = listener.accept() {
+                    conns.push(s);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let (p, m) = pool(ConnConfig::default());
+        let (s1, reused) = p.checkout(&addr).unwrap();
+        assert!(!reused);
+        assert_eq!(m.opened.get(), 1);
+        p.check_in(&addr, s1);
+        let (s2, reused) = p.checkout(&addr).unwrap();
+        assert!(reused, "checked-in stream must be reused");
+        assert_eq!(m.opened.get(), 1, "reuse must not connect");
+        assert_eq!(m.reused.get(), 1);
+        p.check_in(&addr, s2);
+        // A second fresh checkout while the first idles.
+        let (s3, reused) = p.checkout(&addr).unwrap();
+        assert!(reused);
+        drop(s3);
+        held.join().unwrap();
+    }
+
+    #[test]
+    fn reap_retires_idle_streams() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let held = std::thread::spawn(move || {
+            let _conn = listener.accept();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (p, m) = pool(ConnConfig {
+            idle_timeout: Duration::ZERO,
+            ..ConnConfig::default()
+        });
+        let (s, _) = p.checkout(&addr).unwrap();
+        p.check_in(&addr, s);
+        p.reap();
+        assert_eq!(m.reaped.get(), 1);
+        held.join().unwrap();
+    }
+
+    #[test]
+    fn mux_rpc_roundtrips_and_reuses_one_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = echo_server(listener);
+        let (p, m) = pool(ConnConfig::default());
+        let (reply, info) = p.rpc(&addr, &vec![1, 2, 3], Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, vec![1, 2, 3]);
+        assert!(!info.reused, "first RPC opens the stream");
+        let (reply, info) = p.rpc(&addr, &vec![9], Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, vec![9]);
+        assert!(info.reused, "second RPC shares the stream");
+        assert_eq!(m.opened.get(), 1, "exactly one connect for both RPCs");
+        drop(p); // closes the stream; the server loop exits its accept
+        drop(server);
+    }
+
+    #[test]
+    fn stale_mux_stream_reconnects_transparently_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = echo_server(listener);
+        let (p, m) = pool(ConnConfig::default());
+        let (reply, _) = p.rpc(&addr, &vec![5], Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, vec![5]);
+        assert_eq!(p.debug_break(&addr), 1, "one mux stream to break");
+        let (reply, info) = p.rpc(&addr, &vec![6], Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, vec![6], "RPC must survive the stale stream");
+        assert!(info.stale_reconnect, "the pool must own up to the reconnect");
+        assert_eq!(m.stale_reconnects.get(), 1);
+        assert_eq!(m.opened.get(), 2, "exactly one extra connect");
+        drop(p);
+        drop(server);
+    }
+
+    #[test]
+    fn inflight_cap_fails_fast() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // A server that reads but never replies: the first RPC parks in
+        // flight until its timeout.
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = wire::read_any_frame_sized::<Vec<u32>>(&mut s);
+            std::thread::sleep(Duration::from_millis(600));
+        });
+        let (p, _) = pool(ConnConfig {
+            max_inflight_per_conn: 1,
+            ..ConnConfig::default()
+        });
+        let p = Arc::new(p);
+        let p2 = Arc::clone(&p);
+        let addr2 = addr.clone();
+        let first = std::thread::spawn(move || {
+            p2.rpc(&addr2, &vec![1], Duration::from_millis(400))
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let err = p.rpc(&addr, &vec![2], Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "cap must fail fast");
+        let err = first.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        server.join().unwrap();
+    }
+}

@@ -67,6 +67,14 @@ pub struct FaultRules {
     /// Probability frame body bytes are flipped before sending (the
     /// peer sees well-framed garbage).
     pub corrupt_frame: f64,
+    /// Probability a correlated reply is silently never written (the
+    /// server did the work, the client waits out its timeout on an
+    /// otherwise healthy stream — a half-open exchange).
+    pub drop_reply: f64,
+    /// Probability a correlated reply goes out under a perturbed
+    /// correlation id (a stale or misrouted reply: the receiving mux
+    /// discards it as unknown and the real waiter times out).
+    pub stale_corr_id: f64,
 }
 
 /// A full fault plan: one rule set per direction.
@@ -152,6 +160,8 @@ struct Counters {
     dropped_mid_frame: AtomicU64,
     truncated: AtomicU64,
     corrupted: AtomicU64,
+    dropped_replies: AtomicU64,
+    stale_corr_ids: AtomicU64,
     crashes: AtomicU64,
 }
 
@@ -168,6 +178,10 @@ pub struct FaultStats {
     pub truncated: u64,
     /// Frames corrupted.
     pub corrupted: u64,
+    /// Correlated replies silently never written.
+    pub dropped_replies: u64,
+    /// Correlated replies sent under a perturbed id.
+    pub stale_corr_ids: u64,
     /// Store-path crashes simulated.
     pub crashes: u64,
 }
@@ -180,6 +194,8 @@ impl FaultStats {
             + self.dropped_mid_frame
             + self.truncated
             + self.corrupted
+            + self.dropped_replies
+            + self.stale_corr_ids
             + self.crashes
     }
 }
@@ -273,6 +289,8 @@ impl FaultInjector {
             dropped_mid_frame: self.counters.dropped_mid_frame.load(Ordering::Relaxed),
             truncated: self.counters.truncated.load(Ordering::Relaxed),
             corrupted: self.counters.corrupted.load(Ordering::Relaxed),
+            dropped_replies: self.counters.dropped_replies.load(Ordering::Relaxed),
+            stale_corr_ids: self.counters.stale_corr_ids.load(Ordering::Relaxed),
             crashes: self.counters.crashes.load(Ordering::Relaxed),
         }
     }
@@ -356,6 +374,94 @@ impl FaultInjector {
         w.write_all(&body)?;
         w.flush()?;
         Ok(4 + body.len())
+    }
+
+    /// Write one *correlated* frame (see
+    /// [`crate::wire::write_correlated_frame`]) through the same fault
+    /// ladder as [`Self::write_frame`], plus the reply-path rules:
+    /// `drop_reply` writes nothing and reports success (the processing
+    /// side already did its work — only the reply vanishes), and
+    /// `stale_corr_id` perturbs the correlation id so the receiving mux
+    /// cannot route the reply.
+    pub fn write_correlated_frame<T: Serialize + ?Sized>(
+        &self,
+        dir: Direction,
+        w: &mut impl Write,
+        corr_id: u64,
+        value: &T,
+    ) -> io::Result<usize> {
+        let rules = *self.rules(dir);
+        let mut body = serde_json::to_vec(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if body.len() > crate::wire::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        self.maybe_delay(&rules);
+        if self.roll(rules.drop_reply) {
+            self.counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            return Ok(0);
+        }
+        let corr_id = if self.roll(rules.stale_corr_id) {
+            self.counters.stale_corr_ids.fetch_add(1, Ordering::Relaxed);
+            corr_id ^ 0x5A5A_5A5A_5A5A_5A5A
+        } else {
+            corr_id
+        };
+        let len = ((body.len() as u32) | crate::wire::CORRELATED_FLAG).to_be_bytes();
+        let id = corr_id.to_be_bytes();
+        if self.roll(rules.drop_mid_frame) {
+            self.counters.dropped_mid_frame.fetch_add(1, Ordering::Relaxed);
+            w.write_all(&len)?;
+            w.write_all(&id)?;
+            w.write_all(&body[..body.len() / 2])?;
+            let _ = w.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected mid-frame drop",
+            ));
+        }
+        if self.roll(rules.truncate_frame) {
+            self.counters.truncated.fetch_add(1, Ordering::Relaxed);
+            let keep = body.len().saturating_sub(7.min(body.len()));
+            w.write_all(&len)?;
+            w.write_all(&id)?;
+            w.write_all(&body[..keep])?;
+            w.flush()?;
+            // Report success: a crashed sender never learns either.
+            return Ok(4 + 8 + keep);
+        }
+        if self.roll(rules.corrupt_frame) {
+            self.counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            let n = body.len();
+            if n > 0 {
+                let mut rng = self.rng.lock();
+                for _ in 0..3.min(n) {
+                    let i = rng.random_range(0..n);
+                    body[i] ^= 0xA5;
+                }
+            }
+        }
+        w.write_all(&len)?;
+        w.write_all(&id)?;
+        w.write_all(&body)?;
+        w.flush()?;
+        Ok(4 + 8 + body.len())
+    }
+
+    /// Read one frame of either framing generation plus its wire size,
+    /// possibly after an injected delay. (Read-side corruption is
+    /// covered by write-side faults on the other end.)
+    pub fn read_any_frame_sized<T: DeserializeOwned>(
+        &self,
+        dir: Direction,
+        r: &mut impl Read,
+    ) -> io::Result<Option<(crate::wire::Frame<T>, usize)>> {
+        let rules = *self.rules(dir);
+        self.maybe_delay(&rules);
+        crate::wire::read_any_frame_sized(r)
     }
 
     /// Read one frame, possibly after an injected delay. (Read-side
@@ -501,6 +607,62 @@ mod tests {
             Ok(v) => assert!(v.is_some()),
         }
         assert_eq!(inj.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn dropped_reply_reports_success_but_writes_nothing() {
+        let inj = FaultInjector::new(
+            6,
+            FaultPlan::symmetric(FaultRules {
+                drop_reply: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let mut buf = Vec::new();
+        let n = inj
+            .write_correlated_frame(Direction::Inbound, &mut buf, 9, &[1u32])
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(buf.is_empty(), "dropped reply left bytes on the wire");
+        assert_eq!(inj.stats().dropped_replies, 1);
+    }
+
+    #[test]
+    fn stale_corr_id_changes_the_id_but_keeps_the_frame_valid() {
+        let inj = FaultInjector::new(
+            7,
+            FaultPlan::symmetric(FaultRules {
+                stale_corr_id: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let mut buf = Vec::new();
+        inj.write_correlated_frame(Direction::Inbound, &mut buf, 1234, &[5u32])
+            .unwrap();
+        let mut r = buf.as_slice();
+        match crate::wire::read_any_frame_sized::<Vec<u32>>(&mut r).unwrap() {
+            Some((crate::wire::Frame::Correlated(id, v), _)) => {
+                assert_ne!(id, 1234, "id must be perturbed");
+                assert_eq!(v, vec![5], "payload must survive intact");
+            }
+            other => panic!("expected a correlated frame, got {other:?}"),
+        }
+        assert_eq!(inj.stats().stale_corr_ids, 1);
+    }
+
+    #[test]
+    fn clean_injector_roundtrips_correlated_frames() {
+        let inj = FaultInjector::new(8, FaultPlan::default());
+        let mut buf = Vec::new();
+        inj.write_correlated_frame(Direction::Outbound, &mut buf, 77, &[1u32, 2])
+            .unwrap();
+        let mut r = buf.as_slice();
+        let got = inj
+            .read_any_frame_sized::<Vec<u32>>(Direction::Inbound, &mut r)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(got.0, crate::wire::Frame::Correlated(77, vec![1, 2]));
+        assert_eq!(inj.stats().total(), 0);
     }
 
     #[test]

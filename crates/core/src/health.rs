@@ -111,6 +111,11 @@ pub struct PeerHealthEntry {
     pub state: HealthState,
     /// While offline: do not probe again before this local time (ms).
     pub retry_at_ms: u64,
+    /// Keep-alive connections to this peer that went stale and were
+    /// transparently replaced. Diagnostic only: a reaped idle stream
+    /// says nothing about the peer's liveness, so these never feed the
+    /// consecutive-failure state machine.
+    pub stale_reconnects: u32,
 }
 
 impl PeerHealthEntry {
@@ -122,6 +127,7 @@ impl PeerHealthEntry {
             ewma_latency_ms: None,
             state: HealthState::Healthy,
             retry_at_ms: 0,
+            stale_reconnects: 0,
         }
     }
 }
@@ -212,6 +218,15 @@ impl PeerHealth {
             e.retry_at_ms = now_ms + half + jitter;
         }
         HealthTransition { from, to: e.state }
+    }
+
+    /// Record that a pooled connection to `peer` was found stale and
+    /// transparently replaced. Deliberately *not* a failure: the peer
+    /// was never proven unreachable (its end of an idle stream merely
+    /// went away), so state, failure count, and backoff are untouched.
+    pub fn record_stale_reconnect(&mut self, peer: PeerId) {
+        let e = self.entries.entry(peer).or_insert_with(PeerHealthEntry::fresh);
+        e.stale_reconnects = e.stale_reconnects.saturating_add(1);
     }
 
     /// Current belief about a peer (Healthy when never contacted).
@@ -329,6 +344,19 @@ mod tests {
         h.record_success(2, 1, 200.0);
         let e = h.get(2).unwrap().ewma_latency_ms.unwrap();
         assert!(e > 100.0 && e < 200.0, "ewma moved toward new sample: {e}");
+    }
+
+    #[test]
+    fn stale_reconnects_count_without_touching_liveness() {
+        let mut h = table();
+        h.record_success(5, 0, 10.0);
+        h.record_stale_reconnect(5);
+        h.record_stale_reconnect(5);
+        let e = h.get(5).unwrap();
+        assert_eq!(e.stale_reconnects, 2);
+        assert_eq!(e.consecutive_failures, 0, "staleness is not a failure");
+        assert_eq!(e.state, HealthState::Healthy);
+        assert!(!h.should_skip(5, 1));
     }
 
     #[test]

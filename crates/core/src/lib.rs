@@ -55,6 +55,7 @@
 //!   simulator.
 
 pub mod community;
+pub mod conn;
 pub mod datastore;
 pub mod durable;
 pub mod error;
@@ -67,6 +68,7 @@ pub mod query;
 pub mod wire;
 
 pub use community::{Community, PeerHandle, RankedHits};
+pub use conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
 pub use datastore::{DocumentRecord, LocalDataStore, PublishOptions};
 pub use durable::{
     DurableConfig, DurableStore, NodeState, PersistedPeer, RecoveryInfo,

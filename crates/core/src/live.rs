@@ -53,14 +53,16 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
 use crate::datastore::LocalDataStore;
 use crate::durable::{DurableConfig, DurableStore, StoreMetrics, WalRecord};
 use crate::error::PlanetPError;
 use crate::faults::{Direction, FaultInjector};
+use crate::wire::Frame;
 use crate::health::{
     splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy,
 };
@@ -217,6 +219,10 @@ pub struct LiveConfig {
     /// node's own version pair, and the learned directory survive a
     /// kill, and startup runs recovery + an anti-entropy catch-up.
     pub durable: Option<DurableConfig>,
+    /// Persistent connection pool (keep-alive gossip streams, one
+    /// multiplexed RPC stream per peer, `TCP_NODELAY`, bounded server
+    /// workers). `conn.enabled = false` restores connect-per-contact.
+    pub conn: ConnConfig,
 }
 
 impl Default for LiveConfig {
@@ -231,6 +237,7 @@ impl Default for LiveConfig {
             bloom_tree: Some(TreeConfig::default()),
             faults: None,
             durable: None,
+            conn: ConnConfig::default(),
         }
     }
 }
@@ -464,6 +471,16 @@ enum GroupSlot {
     Remote(usize),
 }
 
+/// One accepted connection as it cycles through the bounded server
+/// worker pool (see [`Inner::serve_step`]).
+struct ServerConn {
+    stream: TcpStream,
+    /// When to give up on an idle connection instead of requeueing it.
+    idle_deadline: Instant,
+    /// Inbound fault admission ran (it runs once, on first service).
+    admitted: bool,
+}
+
 struct Inner {
     id: PeerId,
     addr: String,
@@ -479,6 +496,14 @@ struct Inner {
     query_state: Mutex<QueryState>,
     /// Shared search worker pool, spun up on the first query.
     pool: OnceLock<WorkerPool>,
+    /// Persistent outbound connections (keep-alive gossip streams plus
+    /// one multiplexed RPC stream per peer). `None` when pooling is
+    /// disabled — every contact then connects and hangs up, as before.
+    conns: Option<ConnPool<Vec<LiveMsg>>>,
+    /// Bounded workers serving accepted connections (replaces the old
+    /// thread-per-connection accept loop). Detached metrics: its queue
+    /// gauge must not fight the search pool's `pool.queue_depth`.
+    server_pool: WorkerPool,
     /// Snapshot + WAL store (crash-restart durability), when enabled.
     durable: Option<Mutex<DurableStore>>,
     /// Recovered from disk and not yet through the first successful
@@ -598,7 +623,8 @@ impl Inner {
     // ------------------------------------------------------------------
 
     /// Open an outbound connection with timeouts set (and outbound
-    /// faults applied).
+    /// faults applied). Used by the connect-per-contact path when
+    /// pooling is disabled; the pooled path connects via [`ConnPool`].
     fn connect(&self, addr: &str) -> io::Result<TcpStream> {
         if let Some(f) = &self.config.faults {
             f.admit(Direction::Outbound)?;
@@ -606,6 +632,9 @@ impl Inner {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(self.config.io_timeout))?;
         stream.set_write_timeout(Some(self.config.io_timeout))?;
+        if self.config.conn.nodelay {
+            let _ = stream.set_nodelay(true);
+        }
         Ok(stream)
     }
 
@@ -731,23 +760,41 @@ impl Inner {
         }
     }
 
-    /// One attempt at a full gossip exchange with `addr`.
-    fn gossip_attempt(
+    /// The initiator's half of a gossip conversation over an open
+    /// stream. A conversation ends at a clean frame boundary (one side
+    /// sends an empty batch and the other reads it), which is what
+    /// makes the stream reusable for the next round.
+    ///
+    /// `reused` marks a keep-alive stream from the pool: end-of-stream
+    /// before the first reply then means the peer silently dropped its
+    /// end while the stream idled, and is reported as a
+    /// connection-level error so the caller can reconnect
+    /// transparently. On a fresh stream it keeps its historical
+    /// peer-hung-up-is-not-our-problem semantics.
+    fn gossip_conversation(
         &self,
-        addr: &str,
+        stream: &mut TcpStream,
         msg: &Message<LivePayload>,
+        reused: bool,
     ) -> io::Result<()> {
-        let mut stream = self.connect(addr)?;
         self.send(
             Direction::Outbound,
-            &mut stream,
+            stream,
             &[LiveMsg::Gossip { from: self.id, msg: msg.clone() }],
         )?;
+        let mut first_reply = true;
         // Alternate until both sides go quiet.
         loop {
-            let Some(batch) = self.recv(Direction::Outbound, &mut stream)? else {
+            let Some(batch) = self.recv(Direction::Outbound, stream)? else {
+                if reused && first_reply {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "pooled stream closed before the first reply",
+                    ));
+                }
                 return Ok(());
             };
+            first_reply = false;
             if batch.is_empty() {
                 return Ok(());
             }
@@ -764,10 +811,44 @@ impl Inner {
                 .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
                 .collect();
             let done = out.is_empty();
-            self.send(Direction::Outbound, &mut stream, &out)?;
+            self.send(Direction::Outbound, stream, &out)?;
             if done {
                 return Ok(());
             }
+        }
+    }
+
+    /// One attempt at a full gossip exchange with `addr`. With pooling
+    /// on, the stream comes from the keep-alive pool and goes back
+    /// after a clean exchange; a connection-level failure on a reused
+    /// stream is absorbed by one transparent fresh reconnect (counted
+    /// as `conn.stale_reconnects`, never charged as a gossip retry).
+    fn gossip_attempt(
+        &self,
+        addr: &str,
+        msg: &Message<LivePayload>,
+    ) -> io::Result<()> {
+        let Some(pool) = &self.conns else {
+            let mut stream = self.connect(addr)?;
+            return self.gossip_conversation(&mut stream, msg, false);
+        };
+        let (mut stream, reused) = pool.checkout(addr)?;
+        match self.gossip_conversation(&mut stream, msg, reused) {
+            Ok(()) => {
+                pool.check_in(addr, stream);
+                Ok(())
+            }
+            Err(e) if reused && is_connection_level(&e) => {
+                drop(stream);
+                pool.note_stale_reconnect();
+                let mut fresh = pool.checkout_fresh(addr)?;
+                let res = self.gossip_conversation(&mut fresh, msg, false);
+                if res.is_ok() {
+                    pool.check_in(addr, fresh);
+                }
+                res
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -840,12 +921,31 @@ impl Inner {
     /// One synchronous RPC attempt (no retries). `read_timeout` sets
     /// the reply deadline — point RPCs use `io_timeout`, proxied
     /// searches a fan-out-sized budget.
+    ///
+    /// With pooling on, the request rides the peer's shared
+    /// multiplexed stream under a correlation id; a stale pooled
+    /// stream is replaced transparently inside the pool and reported
+    /// via [`RpcConnInfo::stale_reconnect`] — the attempt still counts
+    /// as a single success. Without pooling this is the original
+    /// connect-send-read-hangup exchange.
     fn rpc_once(
         &self,
         addr: &str,
         request: &LiveMsg,
         read_timeout: Duration,
-    ) -> io::Result<LiveMsg> {
+    ) -> io::Result<(LiveMsg, RpcConnInfo)> {
+        if let Some(pool) = &self.conns {
+            let batch = vec![request.clone()];
+            let (reply, info) = pool.rpc(addr, &batch, read_timeout)?;
+            self.stats.bytes_out.add(info.bytes_out);
+            self.stats.frames_out.inc();
+            self.stats.bytes_in.add(info.bytes_in);
+            self.stats.frames_in.inc();
+            let msg = reply.into_iter().next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "empty reply")
+            })?;
+            return Ok((msg, info));
+        }
         let mut stream = self.connect(addr)?;
         stream.set_read_timeout(Some(read_timeout))?;
         self.send(Direction::Outbound, &mut stream, &[request.clone()])?;
@@ -856,6 +956,7 @@ impl Inner {
             .into_iter()
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty reply"))
+            .map(|m| (m, RpcConnInfo::default()))
     }
 
     /// A search RPC to `peer` with the configured retry schedule;
@@ -877,13 +978,18 @@ impl Inner {
             }
             let attempt_started = Instant::now();
             match self.rpc_once(addr, request, read_timeout) {
-                Ok(reply) => {
+                Ok((reply, info)) => {
                     // Latency of the attempt that succeeded, not of
                     // the whole retry schedule (backoff sleeps would
                     // swamp the histogram).
                     self.stats
                         .rpc_latency_ms
                         .observe(attempt_started.elapsed().as_millis() as u64);
+                    if info.stale_reconnect {
+                        // The pool replaced a stale keep-alive stream
+                        // under us: diagnostic only, never a failure.
+                        self.health.lock().record_stale_reconnect(peer);
+                    }
                     self.note_contact_ok(peer, started.elapsed());
                     return Ok(reply);
                 }
@@ -931,10 +1037,13 @@ impl Inner {
                 request,
                 remaining.min(self.config.io_timeout),
             ) {
-                Ok(reply) => {
+                Ok((reply, info)) => {
                     self.stats
                         .rpc_latency_ms
                         .observe(attempt_started.elapsed().as_millis() as u64);
+                    if info.stale_reconnect {
+                        self.health.lock().record_stale_reconnect(peer);
+                    }
                     self.note_contact_ok(peer, started.elapsed());
                     return Ok(reply);
                 }
@@ -1342,33 +1451,113 @@ impl Inner {
         Ok(LiveSearchResult { hits, coverage })
     }
 
-    fn handle_connection(&self, mut stream: TcpStream) {
-        if let Some(f) = &self.config.faults {
-            // Inbound refusal: hang up before reading anything.
-            if f.admit(Direction::Inbound).is_err() {
-                return;
-            }
+    /// How long the server keeps an idle accepted connection alive. A
+    /// little longer than the clients' idle reaping horizon, so the
+    /// server is never the one to hang up on a stream a client still
+    /// considers poolable.
+    fn server_keepalive(&self) -> Duration {
+        self.config.conn.idle_timeout * 2
+    }
+
+    /// Park `conn` on the bounded server worker pool for its next
+    /// serve step. Jobs hold only a `Weak` back-reference: a connection
+    /// must not keep the node alive, and the job chain dies with it.
+    fn enqueue_conn(self: &Arc<Self>, conn: ServerConn) {
+        let weak = Arc::downgrade(self);
+        self.server_pool.execute(move || Inner::serve_step(&weak, conn));
+    }
+
+    /// One cooperative scheduling turn for an accepted connection:
+    /// admit it (once, on a worker — not on the listener thread), poll
+    /// briefly for data, serve exactly one frame if one arrived, and
+    /// requeue. Returning without requeueing drops the connection.
+    /// Bounded workers multiplex all accepted connections this way —
+    /// an idle keep-alive stream costs a poll per turn, not a parked
+    /// thread.
+    fn serve_step(weak: &Weak<Inner>, mut conn: ServerConn) {
+        const SERVER_POLL: Duration = Duration::from_millis(5);
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
         }
-        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
-        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
-        let batch = match self.recv(Direction::Inbound, &mut stream) {
-            Ok(Some(batch)) => batch,
-            Ok(None) => return,
+        if !conn.admitted {
+            if let Some(f) = &inner.config.faults {
+                // Inbound refusal: hang up before reading anything.
+                if f.admit(Direction::Inbound).is_err() {
+                    return;
+                }
+            }
+            conn.admitted = true;
+        }
+        let mut probe = [0u8; 1];
+        if conn.stream.set_read_timeout(Some(SERVER_POLL)).is_err() {
+            return;
+        }
+        match conn.stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                let _ = conn
+                    .stream
+                    .set_read_timeout(Some(inner.config.io_timeout));
+                if !inner.serve_one_frame(&mut conn.stream) {
+                    return;
+                }
+                conn.idle_deadline = Instant::now() + inner.server_keepalive();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= conn.idle_deadline {
+                    return; // idled out
+                }
+            }
+            Err(_) => return,
+        }
+        inner.enqueue_conn(conn);
+    }
+
+    /// Read and dispatch one inbound frame — legacy or correlated; a
+    /// correlated request gets its replies written back under the same
+    /// correlation id, so the client's multiplexer can route them.
+    /// Returns whether the connection is still healthy enough to keep.
+    fn serve_one_frame(&self, stream: &mut TcpStream) -> bool {
+        let got = match &self.config.faults {
+            Some(f) => {
+                f.read_any_frame_sized::<Vec<LiveMsg>>(Direction::Inbound, stream)
+            }
+            None => crate::wire::read_any_frame_sized::<Vec<LiveMsg>>(stream),
+        };
+        let (frame, wire_bytes) = match got {
+            Ok(Some(x)) => x,
+            Ok(None) => return false,
             Err(e) => {
                 self.stats.malformed_frames.inc();
                 debug_log!("planetp[{}]: malformed inbound frame: {e}", self.id);
-                return;
+                return false;
             }
+        };
+        self.stats.bytes_in.add(wire_bytes as u64);
+        self.stats.frames_in.inc();
+        let (corr, batch) = match frame {
+            Frame::Correlated(id, batch) => (Some(id), batch),
+            Frame::Legacy(batch) => (None, batch),
         };
         for m in batch {
             match m {
                 LiveMsg::Gossip { from, msg } => {
-                    if let Err(e) = self.converse(&mut stream, from, msg) {
+                    // Gossip alternates legacy frames inline on this
+                    // stream; the conversation ends at a clean frame
+                    // boundary, so the stream stays reusable.
+                    if let Err(e) = self.converse(stream, from, msg) {
                         self.stats.reply_failures.inc();
                         debug_log!(
                             "planetp[{}]: gossip conversation with {from} broke: {e}",
                             self.id
                         );
+                        return false;
                     }
                 }
                 LiveMsg::SearchRequest { terms, ipf, num_peers } => {
@@ -1381,7 +1570,7 @@ impl Inner {
                         })
                         .collect();
                     drop(store);
-                    self.reply(&mut stream, LiveMsg::SearchResponse { docs });
+                    self.reply_framed(stream, corr, LiveMsg::SearchResponse { docs });
                 }
                 LiveMsg::ExhaustiveRequest { terms } => {
                     let store = self.store.lock();
@@ -1391,7 +1580,11 @@ impl Inner {
                         .filter_map(|d| store.get(d).map(|r| (d, r.xml.clone())))
                         .collect();
                     drop(store);
-                    self.reply(&mut stream, LiveMsg::ExhaustiveResponse { docs });
+                    self.reply_framed(
+                        stream,
+                        corr,
+                        LiveMsg::ExhaustiveResponse { docs },
+                    );
                 }
                 LiveMsg::ProxySearchRequest { query, k } => {
                     let (hits, coverage) = match self.ranked_search(&query, k) {
@@ -1404,14 +1597,19 @@ impl Inner {
                         ),
                         Err(_) => (Vec::new(), SearchCoverage::default()),
                     };
-                    self.reply(
-                        &mut stream,
+                    self.reply_framed(
+                        stream,
+                        corr,
                         LiveMsg::ProxySearchResponse { hits, coverage },
                     );
                 }
                 LiveMsg::StatsRequest => {
                     let snapshot = self.metrics_snapshot();
-                    self.reply(&mut stream, LiveMsg::StatsResponse { snapshot });
+                    self.reply_framed(
+                        stream,
+                        corr,
+                        LiveMsg::StatsResponse { snapshot },
+                    );
                 }
                 LiveMsg::SearchResponse { .. }
                 | LiveMsg::ExhaustiveResponse { .. }
@@ -1419,13 +1617,43 @@ impl Inner {
                 | LiveMsg::StatsResponse { .. } => {}
             }
         }
+        true
     }
 
-    /// Write one RPC reply, counting (not swallowing) failures.
-    fn reply(&self, stream: &mut TcpStream, msg: LiveMsg) {
-        if let Err(e) = self.send(Direction::Inbound, stream, &[msg]) {
-            self.stats.reply_failures.inc();
-            debug_log!("planetp[{}]: failed to write reply: {e}", self.id);
+    /// Write one RPC reply, counting (not swallowing) failures. A
+    /// `corr` id echoes the request's correlation id so the client's
+    /// multiplexer can route the reply; `None` writes a legacy frame
+    /// for old-style one-shot clients.
+    fn reply_framed(&self, stream: &mut TcpStream, corr: Option<u64>, msg: LiveMsg) {
+        let batch = vec![msg];
+        let res = match corr {
+            Some(id) => match &self.config.faults {
+                Some(f) => f.write_correlated_frame(
+                    Direction::Inbound,
+                    stream,
+                    id,
+                    &batch,
+                ),
+                None => crate::wire::write_correlated_frame(stream, id, &batch),
+            },
+            None => match &self.config.faults {
+                Some(f) => f.write_frame(Direction::Inbound, stream, &batch),
+                None => crate::wire::write_frame(stream, &batch),
+            },
+        };
+        match res {
+            Ok(n) => {
+                // An injected dropped reply reports 0 bytes written —
+                // nothing actually left this node.
+                if n > 0 {
+                    self.stats.bytes_out.add(n as u64);
+                    self.stats.frames_out.inc();
+                }
+            }
+            Err(e) => {
+                self.stats.reply_failures.inc();
+                debug_log!("planetp[{}]: failed to write reply: {e}", self.id);
+            }
         }
     }
 
@@ -1639,6 +1867,15 @@ impl LiveNode {
                 .with_tree(tree_config, TreeMetrics::in_registry(&stats.registry));
         }
         let query_state = QueryState { filters: HashMap::new(), cache };
+        let conns = config.conn.enabled.then(|| {
+            ConnPool::new(
+                config.conn,
+                config.io_timeout,
+                config.faults.clone(),
+                ConnMetrics::in_registry(&stats.registry),
+            )
+        });
+        let server_pool = WorkerPool::new(config.conn.server_threads.max(1));
         let inner = Arc::new(Inner {
             id,
             addr,
@@ -1650,6 +1887,8 @@ impl LiveNode {
             addr_book: Mutex::new(addr_book),
             query_state: Mutex::new(query_state),
             pool: OnceLock::new(),
+            conns,
+            server_pool,
             durable: durable.map(Mutex::new),
             recovering: AtomicBool::new(recovering),
             recovered_at: Mutex::new(recovering.then(Instant::now)),
@@ -1658,8 +1897,9 @@ impl LiveNode {
         });
 
         let mut threads = Vec::new();
-        // Listener thread: one handler thread per connection (peer
-        // counts here are test-scale).
+        // Listener thread: accepted connections go to the bounded
+        // server worker pool (no thread-per-connection), which also
+        // lets clients keep streams alive between requests.
         {
             let inner = Arc::clone(&inner);
             listener.set_nonblocking(true)?;
@@ -1668,9 +1908,16 @@ impl LiveNode {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let _ = stream.set_nonblocking(false);
-                            let inner = Arc::clone(&inner);
-                            std::thread::spawn(move || {
-                                inner.handle_connection(stream);
+                            let _ = stream
+                                .set_write_timeout(Some(inner.config.io_timeout));
+                            if inner.config.conn.nodelay {
+                                let _ = stream.set_nodelay(true);
+                            }
+                            inner.enqueue_conn(ServerConn {
+                                stream,
+                                idle_deadline: Instant::now()
+                                    + inner.server_keepalive(),
+                                admitted: false,
                             });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -1705,6 +1952,10 @@ impl LiveNode {
                     // Fold whatever this tick (and any inbound gossip
                     // since the last one) taught us into the WAL.
                     inner.persist_directory();
+                    // Retire idle pooled streams past their timeout.
+                    if let Some(p) = &inner.conns {
+                        p.reap();
+                    }
                 }
             }));
         }
@@ -1829,6 +2080,22 @@ impl LiveNode {
     /// Health history for one peer, if it has been contacted.
     pub fn peer_health(&self, peer: PeerId) -> Option<PeerHealthEntry> {
         self.inner.health.lock().get(peer)
+    }
+
+    /// Test hook: break every pooled stream to `peer` at the socket
+    /// level without telling the pool, simulating a peer that silently
+    /// dropped its keep-alives (restart, NAT timeout). The next pooled
+    /// contact sees a stale stream and must recover transparently.
+    /// Returns how many streams were broken (0 when pooling is off or
+    /// no stream to that peer exists).
+    pub fn debug_break_pooled_conns(&self, peer: PeerId) -> usize {
+        let Some(addr) = self.inner.resolve(peer) else {
+            return 0;
+        };
+        self.inner
+            .conns
+            .as_ref()
+            .map_or(0, |p| p.debug_break(&addr))
     }
 
     /// Publish an XML document: index locally, gossip the new filter,
@@ -1964,6 +2231,7 @@ pub fn scrape_stats(addr: &str, timeout: Duration) -> io::Result<MetricsSnapshot
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    let _ = stream.set_nodelay(true);
     crate::wire::write_frame(&mut stream, &[LiveMsg::StatsRequest])?;
     let batch: Vec<LiveMsg> = crate::wire::read_frame(&mut stream)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no reply"))?;

@@ -21,6 +21,15 @@ use std::io::{self, Read, Write};
 /// Refuse frames bigger than this (64 MiB) — corrupt or hostile input.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// Bit 31 of the length prefix marks a *correlated* frame:
+/// `[len|FLAG u32 BE][corr_id u64 BE][body]`. The flag bit is far above
+/// [`MAX_FRAME_BYTES`], so a legacy reader that receives a correlated
+/// frame rejects it loudly as oversized instead of parsing garbage,
+/// while new readers ([`read_any_frame_sized`]) accept both shapes on
+/// one stream — that asymmetry is the whole compat story: old frames
+/// keep working everywhere, new frames fail safe on old nodes.
+pub const CORRELATED_FLAG: u32 = 1 << 31;
+
 /// Initial buffer reservation when reading a frame body. Bounds the
 /// allocation a lying length prefix can force before any body byte
 /// arrives; honest frames larger than this grow the buffer as data
@@ -52,25 +61,15 @@ pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T
 /// Read one frame, also returning the total bytes consumed (length
 /// prefix + body). `Ok(None)` on clean EOF at a frame boundary; a
 /// connection that dies *inside* the length prefix is an error, not a
-/// clean EOF.
+/// clean EOF. Correlated frames are rejected here (their flagged prefix
+/// reads as oversized) — use [`read_any_frame_sized`] on streams that
+/// may carry both.
 pub fn read_frame_sized<T: DeserializeOwned>(
     r: &mut impl Read,
 ) -> io::Result<Option<(T, usize)>> {
     let mut len_buf = [0u8; 4];
-    let mut filled = 0usize;
-    while filled < len_buf.len() {
-        match r.read(&mut len_buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "truncated length prefix",
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+    if !fill_exact(r, &mut len_buf, "truncated length prefix")? {
+        return Ok(None);
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
@@ -79,9 +78,34 @@ pub fn read_frame_sized<T: DeserializeOwned>(
             "frame exceeds maximum size",
         ));
     }
-    // The length prefix is untrusted: a peer can claim 64 MiB in one
-    // small packet. Grow the buffer with the bytes that actually
-    // arrive instead of pre-allocating the claimed size.
+    let value = read_body(r, len)?;
+    Ok(Some((value, 4 + len)))
+}
+
+/// Fill `buf` completely from `r`, retrying `Interrupted`. Returns
+/// `false` on a clean EOF before the first byte; EOF after partial
+/// progress is an `UnexpectedEof` labeled `what`.
+fn fill_exact(r: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string()))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read and parse a frame body of trusted-checked length `len`. The
+/// length prefix is untrusted: a peer can claim 64 MiB in one small
+/// packet, so the buffer grows with the bytes that actually arrive
+/// instead of pre-allocating the claimed size.
+fn read_body<T: DeserializeOwned>(r: &mut impl Read, len: usize) -> io::Result<T> {
     let mut body = Vec::with_capacity(len.min(READ_CHUNK_BYTES));
     let got = r.take(len as u64).read_to_end(&mut body)?;
     if got < len {
@@ -90,9 +114,102 @@ pub fn read_frame_sized<T: DeserializeOwned>(
             "truncated frame body",
         ));
     }
-    let value = serde_json::from_slice(&body)
+    serde_json::from_slice(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+// ----------------------------------------------------------------------
+// Correlated frames (multiplexed RPC streams)
+// ----------------------------------------------------------------------
+
+/// One frame off a stream that may carry both framing generations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<T> {
+    /// An uncorrelated frame from the original protocol (gossip
+    /// conversations, old nodes).
+    Legacy(T),
+    /// A correlated frame: the id ties a reply back to the concurrent
+    /// request that asked for it, so many in-flight RPCs can share one
+    /// stream and replies may arrive in any order.
+    Correlated(u64, T),
+}
+
+impl<T> Frame<T> {
+    /// The payload, discarding any correlation id.
+    pub fn into_value(self) -> T {
+        match self {
+            Frame::Legacy(v) | Frame::Correlated(_, v) => v,
+        }
+    }
+
+    /// The correlation id, if this frame carried one.
+    pub fn corr_id(&self) -> Option<u64> {
+        match self {
+            Frame::Legacy(_) => None,
+            Frame::Correlated(id, _) => Some(*id),
+        }
+    }
+}
+
+/// Write one value as a correlated frame:
+/// `[len|CORRELATED_FLAG u32 BE][corr_id u64 BE][body]`. Returns the
+/// total bytes written (12 + body).
+pub fn write_correlated_frame<T: Serialize + ?Sized>(
+    w: &mut impl Write,
+    corr_id: u64,
+    value: &T,
+) -> io::Result<usize> {
+    let body = serde_json::to_vec(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    Ok(Some((value, 4 + len)))
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds maximum size",
+        ));
+    }
+    w.write_all(&((body.len() as u32) | CORRELATED_FLAG).to_be_bytes())?;
+    w.write_all(&corr_id.to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(4 + 8 + body.len())
+}
+
+/// Read one frame of either generation. `Ok(None)` on clean EOF at a
+/// frame boundary; dying inside the prefix, the correlation id, or the
+/// body is an error. The size check applies to the *masked* length, so
+/// correlated frames get the same 64 MiB bound as legacy ones.
+pub fn read_any_frame_sized<T: DeserializeOwned>(
+    r: &mut impl Read,
+) -> io::Result<Option<(Frame<T>, usize)>> {
+    let mut len_buf = [0u8; 4];
+    if !fill_exact(r, &mut len_buf, "truncated length prefix")? {
+        return Ok(None);
+    }
+    let raw = u32::from_be_bytes(len_buf);
+    let correlated = raw & CORRELATED_FLAG != 0;
+    let len = (raw & !CORRELATED_FLAG) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds maximum size",
+        ));
+    }
+    let corr_id = if correlated {
+        let mut id_buf = [0u8; 8];
+        if !fill_exact(r, &mut id_buf, "truncated correlation id")? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated correlation id",
+            ));
+        }
+        Some(u64::from_be_bytes(id_buf))
+    } else {
+        None
+    };
+    let value = read_body(r, len)?;
+    Ok(Some(match corr_id {
+        Some(id) => (Frame::Correlated(id, value), 4 + 8 + len),
+        None => (Frame::Legacy(value), 4 + len),
+    }))
 }
 
 // ----------------------------------------------------------------------
@@ -291,6 +408,77 @@ mod tests {
         write_frame(&mut buf, &big).unwrap();
         let mut r = buf.as_slice();
         assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(big));
+    }
+
+    #[test]
+    fn correlated_frame_roundtrips_with_id() {
+        let mut buf = Vec::new();
+        let x = Sample { a: 3, b: vec!["mux".into()] };
+        let n = write_correlated_frame(&mut buf, 0xDEAD_BEEF_u64, &x).unwrap();
+        assert_eq!(n, buf.len());
+        let mut r = buf.as_slice();
+        let (frame, consumed) =
+            read_any_frame_sized::<Sample>(&mut r).unwrap().expect("one frame");
+        assert_eq!(frame, Frame::Correlated(0xDEAD_BEEF, x));
+        assert_eq!(consumed, n);
+        assert!(read_any_frame_sized::<Sample>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn mixed_generations_share_one_stream() {
+        let mut buf = Vec::new();
+        let old = Sample { a: 1, b: vec![] };
+        let new = Sample { a: 2, b: vec!["corr".into()] };
+        write_frame(&mut buf, &old).unwrap();
+        write_correlated_frame(&mut buf, 7, &new).unwrap();
+        write_frame(&mut buf, &old).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_any_frame_sized::<Sample>(&mut r).unwrap().unwrap().0,
+            Frame::Legacy(Sample { a: 1, b: vec![] })
+        );
+        assert_eq!(
+            read_any_frame_sized::<Sample>(&mut r).unwrap().unwrap().0,
+            Frame::Correlated(7, new)
+        );
+        assert_eq!(
+            read_any_frame_sized::<Sample>(&mut r).unwrap().unwrap().0,
+            Frame::Legacy(old)
+        );
+        assert!(read_any_frame_sized::<Sample>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn legacy_reader_rejects_correlated_frames_loudly() {
+        // The flag bit makes the prefix read as oversized on an old
+        // node: a hard InvalidData, never a silently-misparsed body.
+        let mut buf = Vec::new();
+        write_correlated_frame(&mut buf, 1, &Sample { a: 1, b: vec![] }).unwrap();
+        let err = read_frame::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_correlation_id_is_an_error() {
+        let mut buf = Vec::new();
+        write_correlated_frame(&mut buf, 42, &Sample { a: 1, b: vec![] }).unwrap();
+        // Cut inside the 8-byte correlation id (after the 4-byte prefix).
+        for cut in 4..12 {
+            let err =
+                read_any_frame_sized::<Sample>(&mut &buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn correlated_oversized_masked_length_rejected() {
+        // Flagged prefix whose *masked* length still exceeds the cap.
+        let mut buf = Vec::new();
+        let claimed = (MAX_FRAME_BYTES as u32 + 1) | CORRELATED_FLAG;
+        buf.extend_from_slice(&claimed.to_be_bytes());
+        buf.extend_from_slice(&7u64.to_be_bytes());
+        let err = read_any_frame_sized::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Connection-pool behaviour under real sockets: the zero-connect
+//! warm path, the uncharged stale-reconnect contract, and a soak that
+//! mixes gossip and search load with ~20% connection faults while
+//! watching process-level resource bounds.
+//!
+//! The acceptance claim for the pooled live wire lives here: a warm
+//! repeated ranked search performs **zero** new TCP connects, proven
+//! on the `conn.opened` counter — not inferred from latency.
+
+use planetp::faults::{FaultInjector, FaultPlan, FaultRules};
+use planetp::health::{HealthState, RetryPolicy};
+use planetp::live::{FanoutConfig, LiveConfig, LiveNode};
+use planetp::ConnConfig;
+use planetp_gossip::GossipConfig;
+use planetp_obs::names;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn base_config(seed: u64, faults: Option<Arc<FaultInjector>>, conn: ConnConfig) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 120,
+            slowdown_ms: 20,
+            ..GossipConfig::default()
+        },
+        io_timeout: Duration::from_secs(2),
+        seed,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_delay_ms: 20,
+            max_delay_ms: 100,
+        },
+        fanout: FanoutConfig {
+            group_size: 3,
+            contact_deadline: None,
+            pool_threads: 4,
+        },
+        faults,
+        conn,
+        ..LiveConfig::default()
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+/// Start `n` nodes, converge the directory, publish one corpus doc per
+/// node, and converge again. Panics with diagnostics on failure.
+fn community(n: u32, config: impl Fn(u32) -> LiveConfig) -> Vec<LiveNode> {
+    let founder = LiveNode::start(0, config(0), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..n {
+        nodes.push(
+            LiveNode::start(id, config(id), Some(bootstrap.clone())).expect("node"),
+        );
+    }
+    assert!(
+        wait_for(
+            || nodes.iter().all(|nd| nd.directory_size() == n as usize),
+            Duration::from_secs(60),
+        ),
+        "directories never reached size {n}: {:?}",
+        nodes.iter().map(|nd| nd.directory_size()).collect::<Vec<_>>()
+    );
+    for (i, nd) in nodes.iter().enumerate() {
+        nd.publish(&format!("<doc><body>soak corpus entry {i}</body></doc>"))
+            .unwrap();
+    }
+    assert!(
+        wait_for(
+            || {
+                let d = nodes[0].directory_digest();
+                nodes.iter().all(|nd| nd.directory_digest() == d)
+            },
+            Duration::from_secs(60),
+        ),
+        "directories never converged after publishes"
+    );
+    nodes
+}
+
+/// Live threads in this process, from `/proc/self/status` (Linux only;
+/// `None` elsewhere, which skips the resource assertions).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Open file descriptors in this process, from `/proc/self/fd`.
+fn fd_count() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count())
+}
+
+/// The acceptance criterion: once the pool reaches steady state, a
+/// repeated ranked search opens **zero** new TCP connections — every
+/// contact rides an existing multiplexed stream — while returning the
+/// complete, correct result set every time.
+#[test]
+fn warm_ranked_search_opens_zero_connections() {
+    const N: u32 = 8;
+    // Idle timeout far beyond the test so the reaper cannot retire a
+    // stream mid-measurement and force a reconnect we did not cause.
+    let conn = ConnConfig {
+        idle_timeout: Duration::from_secs(120),
+        ..ConnConfig::default()
+    };
+    let nodes = community(N, |id| base_config(700 + u64::from(id), None, conn));
+    let searcher = &nodes[0];
+    let opened = |n: &LiveNode| n.metrics_snapshot().counter(names::CONN_OPENED);
+
+    // Stabilize: background gossip and the first few searches are
+    // allowed to populate the pool. Steady state = the opened counter
+    // flat across three consecutive full searches.
+    let mut last = opened(searcher);
+    let mut flat = 0;
+    let start = Instant::now();
+    while flat < 3 && start.elapsed() < Duration::from_secs(30) {
+        searcher.search_ranked("soak corpus", 50).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let now = opened(searcher);
+        if now == last {
+            flat += 1;
+        } else {
+            flat = 0;
+            last = now;
+        }
+    }
+    assert!(flat >= 3, "connection pool never reached steady state");
+
+    // Measure: five warm searches, zero connects, full correct results.
+    let before = searcher.metrics_snapshot();
+    let (base_opened, base_reused) =
+        (before.counter(names::CONN_OPENED), before.counter(names::CONN_REUSED));
+    for round in 0..5 {
+        let r = searcher.search_ranked("soak corpus", 50).unwrap();
+        assert_eq!(
+            r.hits.len(),
+            N as usize,
+            "round {round}: expected one doc per peer: {:?}",
+            r.coverage
+        );
+        assert!(r.coverage.is_complete(), "round {round}: {:?}", r.coverage);
+        for h in &r.hits {
+            assert!(
+                h.xml.contains(&format!("soak corpus entry {}", h.peer)),
+                "round {round}: hit from peer {} carries wrong doc: {}",
+                h.peer,
+                h.xml
+            );
+        }
+    }
+    let after = searcher.metrics_snapshot();
+    assert_eq!(
+        after.counter(names::CONN_OPENED),
+        base_opened,
+        "warm repeated ranked search opened new TCP connections"
+    );
+    assert!(
+        after.counter(names::CONN_REUSED) > base_reused,
+        "warm searches must ride reused pooled streams"
+    );
+}
+
+/// Satellite (b), uncharged path: a pooled stream that went stale
+/// behind the pool's back (peer-side socket teardown) is replaced by
+/// one transparent reconnect. No retry is charged, no health failure
+/// is recorded — the peer stays Healthy — but the stale reconnect is
+/// visible in both the conn metrics and the peer's health entry.
+#[test]
+fn rpc_stale_pooled_connection_reconnects_uncharged() {
+    let a = LiveNode::start(0, base_config(710, None, ConnConfig::default()), None)
+        .expect("founder");
+    let bootstrap = (0u32, a.addr().to_string());
+    let b = LiveNode::start(1, base_config(711, None, ConnConfig::default()), Some(bootstrap))
+        .expect("joiner");
+    assert!(wait_for(
+        || a.directory_size() == 2 && b.directory_size() == 2,
+        Duration::from_secs(30),
+    ));
+
+    // Establish a pooled multiplexed stream to b, then note the charged
+    // counters at that point.
+    a.fetch_stats(1).expect("first stats fetch");
+    let charged_before = a.stats();
+
+    // Break every pooled stream to b at the socket level — the pool
+    // still believes they are good.
+    let broken = a.debug_break_pooled_conns(1);
+    assert!(broken > 0, "expected at least one pooled stream to break");
+
+    // The next RPC must succeed anyway: one transparent reconnect.
+    a.fetch_stats(1).expect("stats fetch over a stale pooled stream");
+
+    let snap = a.metrics_snapshot();
+    assert!(
+        snap.counter(names::CONN_STALE_RECONNECTS) >= 1,
+        "transparent reconnect must be visible in conn.stale_reconnects"
+    );
+    let charged = a.stats();
+    assert_eq!(
+        charged.rpc_retries, charged_before.rpc_retries,
+        "stale pooled stream must not charge an RPC retry"
+    );
+    assert_eq!(
+        charged.rpc_failures, charged_before.rpc_failures,
+        "stale pooled stream must not charge an RPC failure"
+    );
+    let health = a.peer_health(1).expect("peer 1 has health history");
+    assert_eq!(
+        health.state,
+        HealthState::Healthy,
+        "stale pooled stream must not make the peer Suspect"
+    );
+    assert_eq!(
+        health.consecutive_failures, 0,
+        "stale pooled stream must not count as a contact failure"
+    );
+    assert!(
+        health.stale_reconnects >= 1,
+        "the reconnect should be recorded diagnostically on the peer"
+    );
+}
+
+/// Satellite (b), charged path: a peer that is actually gone still
+/// costs retries and walks health toward Suspect/Offline — the stale
+/// grace applies to the *stream*, never to the peer.
+#[test]
+fn rpc_dead_peer_charges_retries_and_health() {
+    let retry = RetryPolicy { max_attempts: 2, base_delay_ms: 10, max_delay_ms: 40 };
+    let mk = |seed| LiveConfig {
+        retry,
+        ..base_config(seed, None, ConnConfig::default())
+    };
+    let a = LiveNode::start(0, mk(720), None).expect("founder");
+    let bootstrap = (0u32, a.addr().to_string());
+    let mut b = LiveNode::start(1, mk(721), Some(bootstrap)).expect("joiner");
+    assert!(wait_for(
+        || a.directory_size() == 2 && b.directory_size() == 2,
+        Duration::from_secs(30),
+    ));
+    a.fetch_stats(1).expect("first stats fetch");
+    let before = a.stats();
+
+    // Kill b for real: its listener closes and its pooled streams die.
+    b.shutdown();
+    drop(b);
+
+    a.fetch_stats(1).expect_err("dead peer cannot answer");
+    let after = a.stats();
+    assert!(
+        after.rpc_retries > before.rpc_retries,
+        "a dead peer must charge retries: {after:?}"
+    );
+    assert!(
+        after.rpc_failures > before.rpc_failures,
+        "a dead peer must charge an RPC failure: {after:?}"
+    );
+    let health = a.peer_health(1).expect("peer 1 has health history");
+    assert_ne!(
+        health.state,
+        HealthState::Healthy,
+        "a dead peer must not stay Healthy"
+    );
+    assert!(health.consecutive_failures >= 1, "failures must be counted");
+}
+
+/// Satellite (d): an 8-peer community under mixed gossip + search +
+/// publish load with ~20% connection-level faults on every peer's
+/// inbound path. For the soak window (default ~6 s locally,
+/// `PLANETP_SOAK_SECS=30` in CI's release chaos job) the process must
+/// keep threads and file descriptors bounded, keep opening connections
+/// only in response to faults (reuse dominates), return corpus-correct
+/// results, and release its descriptors at shutdown.
+#[test]
+fn soak_under_connection_faults_stays_bounded() {
+    const N: u32 = 8;
+    const SERVER_THREADS: usize = 2;
+    const POOL_THREADS: usize = 4;
+    let soak_secs: u64 = std::env::var("PLANETP_SOAK_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+
+    let base_threads = thread_count();
+    let base_fds = fd_count();
+
+    let conn = ConnConfig {
+        server_threads: SERVER_THREADS,
+        ..ConnConfig::default()
+    };
+    let faulty = |seed: u64| {
+        Some(Arc::new(FaultInjector::new(
+            seed,
+            FaultPlan {
+                inbound: FaultRules {
+                    refuse_connection: 0.15,
+                    drop_mid_frame: 0.05,
+                    drop_reply: 0.05,
+                    stale_corr_id: 0.05,
+                    ..FaultRules::default()
+                },
+                outbound: FaultRules::default(),
+            },
+        )))
+    };
+    let mut nodes = community(N, |id| {
+        let mut c = base_config(730 + u64::from(id), faulty(930 + u64::from(id)), conn);
+        c.io_timeout = Duration::from_secs(1);
+        c.fanout.contact_deadline = Some(Duration::from_millis(700));
+        c.fanout.pool_threads = POOL_THREADS;
+        c
+    });
+
+    // Pre-soak pool counters: the soak asserts on deltas, so the cold
+    // connects of bootstrap and convergence don't dilute the reuse
+    // fraction we are actually claiming.
+    let sum = |name: &str, nodes: &[LiveNode]| -> u64 {
+        nodes.iter().map(|n| n.metrics_snapshot().counter(name)).sum()
+    };
+    let opened_before = sum(names::CONN_OPENED, &nodes);
+    let reused_before = sum(names::CONN_REUSED, &nodes);
+
+    // Every live thread this harness is entitled to: listener + gossip
+    // loop, the bounded server worker pool, and the search fan-out pool
+    // per node, plus slack for threads mid-spawn/mid-exit.
+    let thread_bound = base_threads
+        .map(|b| b + N as usize * (2 + SERVER_THREADS + POOL_THREADS) + 8);
+    // Descriptor ceiling: listener + a bounded pool per peer pair, both
+    // directions, with generous slack — the point is that a leak grows
+    // past any constant, not the exact constant.
+    let fd_bound = base_fds.map(|b| b + N as usize * 64);
+
+    let deadline = Instant::now() + Duration::from_secs(soak_secs);
+    let mut successes = 0usize;
+    let mut iter = 0usize;
+    let mut max_threads = 0usize;
+    let mut max_fds = 0usize;
+    while Instant::now() < deadline {
+        let n = &nodes[iter % nodes.len()];
+        if iter % 7 == 3 {
+            // Publishes keep gossip busy with real filter updates; a
+            // fault may sink one, which is fine.
+            let _ = n.publish(&format!(
+                "<doc><body>soak corpus extra {} {}</body></doc>",
+                n.id(),
+                iter
+            ));
+        }
+        if let Ok(r) = n.search_ranked("soak corpus", 64) {
+            if !r.hits.is_empty() {
+                successes += 1;
+            }
+            for h in &r.hits {
+                assert!(
+                    (h.peer as usize) < nodes.len(),
+                    "hit from unknown peer {}",
+                    h.peer
+                );
+                assert!(
+                    h.xml.contains("soak corpus"),
+                    "corrupt hit survived framing faults: {}",
+                    h.xml
+                );
+            }
+        }
+        if let Some(t) = thread_count() {
+            max_threads = max_threads.max(t);
+        }
+        if let Some(f) = fd_count() {
+            max_fds = max_fds.max(f);
+        }
+        iter += 1;
+    }
+
+    assert!(
+        successes >= (soak_secs as usize / 2).max(3),
+        "only {successes} searches returned hits over {soak_secs}s of soak"
+    );
+    if let Some(bound) = thread_bound {
+        assert!(
+            max_threads <= bound,
+            "thread count leaked under faults: peak {max_threads}, bound {bound}"
+        );
+    }
+    if let Some(bound) = fd_bound {
+        assert!(
+            max_fds <= bound,
+            "file descriptors leaked under faults: peak {max_fds}, bound {bound}"
+        );
+    }
+
+    // Reuse must dominate: connects during the soak happen only when a
+    // fault killed a stream, while every healthy contact rides the
+    // pool.
+    let opened_delta = sum(names::CONN_OPENED, &nodes) - opened_before;
+    let reused_delta = sum(names::CONN_REUSED, &nodes) - reused_before;
+    assert!(reused_delta > 0, "soak never reused a pooled stream");
+    let frac = reused_delta as f64 / (opened_delta + reused_delta) as f64;
+    assert!(
+        frac >= 0.5,
+        "connection churn under faults: {opened_delta} opened vs {reused_delta} \
+         reused ({frac:.2} reuse fraction)"
+    );
+
+    // Shutdown releases everything: descriptors return to (near) the
+    // pre-community baseline — the ultimate no-leak check.
+    for n in nodes.iter_mut() {
+        n.shutdown();
+    }
+    drop(nodes);
+    if let (Some(base), Some(_)) = (base_fds, fd_count()) {
+        assert!(
+            wait_for(
+                || fd_count().is_some_and(|f| f <= base + 16),
+                Duration::from_secs(10),
+            ),
+            "file descriptors not released after shutdown: {} now, {} at start",
+            fd_count().unwrap_or(0),
+            base
+        );
+    }
+}

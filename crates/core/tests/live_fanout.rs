@@ -213,6 +213,66 @@ fn straggler_delays_its_slot_not_the_query() {
     assert!(fanout.count >= 4, "per-group timings recorded: {}", fanout.count);
 }
 
+/// Warm pooled searches must be Nagle-free: every live-runtime stream
+/// sets `TCP_NODELAY`, so a small request frame goes out immediately
+/// instead of waiting ~40 ms for a delayed-ACK/Nagle handshake on each
+/// contact. With four fault-free peers a warm ranked search is a
+/// handful of localhost round trips on already-open multiplexed
+/// streams — single-digit milliseconds. The 150 ms median bound leaves
+/// two orders of magnitude of scheduler slack while still failing hard
+/// if Nagle's ~40 ms per contact ever sneaks back into the pooled
+/// path.
+#[test]
+fn pooled_warm_search_latency_is_nagle_free() {
+    let founder = LiveNode::start(0, fanout_config(160, None), None).expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut nodes = vec![founder];
+    for id in 1..4u32 {
+        nodes.push(
+            LiveNode::start(id, fanout_config(160 + u64::from(id), None), Some(bootstrap.clone()))
+                .expect("node"),
+        );
+    }
+    assert!(wait_for(
+        || nodes.iter().all(|n| n.directory_size() == 4),
+        Duration::from_secs(30),
+    ));
+    for (i, n) in nodes.iter().enumerate() {
+        n.publish(&format!("<doc><body>nodelay probe subject {i}</body></doc>"))
+            .unwrap();
+    }
+    assert!(wait_for(
+        || {
+            let d = nodes[0].directory_digest();
+            nodes.iter().all(|n| n.directory_digest() == d)
+        },
+        Duration::from_secs(30),
+    ));
+
+    // Warm the pool and the query cache; these rounds may connect.
+    for _ in 0..3 {
+        let r = nodes[0].search_ranked("nodelay probe", 10).unwrap();
+        assert_eq!(r.hits.len(), 4, "warm-up search incomplete: {:?}", r.coverage);
+    }
+
+    // Measure: ten warm searches over pooled streams.
+    let mut samples: Vec<Duration> = (0..10)
+        .map(|_| {
+            let started = Instant::now();
+            let r = nodes[0].search_ranked("nodelay probe", 10).unwrap();
+            assert!(r.coverage.is_complete(), "warm search lost a peer: {:?}", r.coverage);
+            started.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    assert!(
+        median < Duration::from_millis(150),
+        "warm pooled search median {median:?} — Nagle-scale latency is back \
+         (samples: {samples:?})"
+    );
+}
+
 /// The query cache across real gossip: a repeated query must not
 /// re-probe any filter (misses flat, hits up — the IPF table comes out
 /// of the cache), and a republish must invalidate exactly the bumped

@@ -1,11 +1,18 @@
 //! Adversarial tests of the live wire framing: hostile length
-//! prefixes, connections dying mid-frame, pathological readers — and
-//! the `GetStats` messages riding that framing intact.
+//! prefixes, connections dying mid-frame, pathological readers, the
+//! multiplexed correlated framing under out-of-order and misrouted
+//! replies — and the `GetStats` messages riding that framing intact.
 
-use planetp::wire::{read_frame, read_frame_sized, write_frame, MAX_FRAME_BYTES};
-use planetp::{LiveMsg, MetricsSnapshot, Registry};
+use planetp::wire::{
+    read_any_frame_sized, read_frame, read_frame_sized, write_frame,
+    write_correlated_frame, Frame, MAX_FRAME_BYTES,
+};
+use planetp::{ConnConfig, ConnMetrics, ConnPool, LiveMsg, MetricsSnapshot, Registry};
 use planetp_obs::names;
 use std::io::{self, Read};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A reader that doles out at most one byte per call and reports
 /// `Interrupted` before every other byte — the worst legal behaviour a
@@ -141,4 +148,143 @@ fn get_stats_messages_round_trip() {
     // (what `planetp stats --json` emits).
     let reparsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
     assert_eq!(reparsed, snapshot);
+}
+
+#[test]
+fn trickled_correlated_frames_on_a_reused_stream() {
+    // Two back-to-back correlated frames arriving one byte at a time
+    // with an Interrupted before every byte — the reader must deliver
+    // both, with the right ids, and agree with the writer on sizes.
+    let mut wire = Vec::new();
+    let w1 = write_correlated_frame(&mut wire, 7, &vec![10u32, 20]).unwrap();
+    let w2 = write_correlated_frame(&mut wire, 8, &vec![30u32]).unwrap();
+    let mut r = TricklingReader::new(&wire);
+    let (frame, consumed) =
+        read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("first frame");
+    assert_eq!(frame, Frame::Correlated(7, vec![10, 20]));
+    assert_eq!(consumed, w1);
+    let (frame, consumed) =
+        read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("second frame");
+    assert_eq!(frame, Frame::Correlated(8, vec![30]));
+    assert_eq!(consumed, w2);
+    assert!(
+        read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().is_none(),
+        "clean EOF after both frames"
+    );
+}
+
+/// A pool over a scripted server for the multiplexing tests; returns
+/// the pool, shared metric handles, and the target address.
+fn mux_pool(
+    listener: &TcpListener,
+) -> (Arc<ConnPool<Vec<u32>>>, ConnMetrics, String) {
+    let addr = listener.local_addr().unwrap().to_string();
+    let metrics = ConnMetrics::detached();
+    let pool = Arc::new(ConnPool::new(
+        ConnConfig::default(),
+        Duration::from_secs(2),
+        None,
+        metrics.clone(),
+    ));
+    (pool, metrics, addr)
+}
+
+#[test]
+fn mux_delivers_out_of_order_replies_to_the_right_callers() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (pool, metrics, addr) = mux_pool(&listener);
+    let server = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Priming RPC: echo it, so the clients' shared stream exists
+        // before the concurrent callers start.
+        let Some((Frame::Correlated(id, v), _)) =
+            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        else {
+            panic!("expected the priming request")
+        };
+        write_correlated_frame(&mut s, id, &v).unwrap();
+        // Read both concurrent requests, then answer them in REVERSE
+        // arrival order: the second caller's reply lands first.
+        let mut reqs = Vec::new();
+        for _ in 0..2 {
+            let Some((Frame::Correlated(id, v), _)) =
+                read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+            else {
+                panic!("expected a correlated request")
+            };
+            reqs.push((id, v));
+        }
+        for (id, v) in reqs.into_iter().rev() {
+            write_correlated_frame(&mut s, id, &v).unwrap();
+        }
+        // Hold the connection open until the clients are done.
+        std::thread::sleep(Duration::from_millis(300));
+    });
+    let (reply, _) = pool.rpc(&addr, &vec![0], Duration::from_secs(2)).unwrap();
+    assert_eq!(reply, vec![0], "priming echo");
+    let mut callers = Vec::new();
+    for payload in [1u32, 2] {
+        let pool = Arc::clone(&pool);
+        let addr = addr.clone();
+        callers.push(std::thread::spawn(move || {
+            let (reply, info) =
+                pool.rpc(&addr, &vec![payload], Duration::from_secs(2)).unwrap();
+            (payload, reply, info.reused)
+        }));
+    }
+    for c in callers {
+        let (payload, reply, reused) = c.join().unwrap();
+        assert_eq!(
+            reply,
+            vec![payload],
+            "caller {payload} must get its own reply despite reversal"
+        );
+        assert!(reused, "both callers share the primed stream");
+    }
+    assert_eq!(metrics.opened.get(), 1, "three RPCs, one TCP connect");
+    assert_eq!(metrics.unknown_corr.get(), 0, "every reply found its waiter");
+    drop(pool);
+    server.join().unwrap();
+}
+
+#[test]
+fn mux_skips_unknown_duplicate_and_legacy_frames() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (pool, metrics, addr) = mux_pool(&listener);
+    let server = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let Some((Frame::Correlated(id, v), _)) =
+            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        else {
+            panic!("expected first request")
+        };
+        // A reply under a bogus id, a legacy (uncorrelated) frame, the
+        // real reply, then a duplicate of it.
+        write_correlated_frame(&mut s, id ^ 0xdead_beef, &v).unwrap();
+        write_frame(&mut s, &vec![99u32]).unwrap();
+        write_correlated_frame(&mut s, id, &v).unwrap();
+        write_correlated_frame(&mut s, id, &v).unwrap();
+        // Second RPC served straight so the client drains the garbage.
+        let Some((Frame::Correlated(id, v), _)) =
+            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        else {
+            panic!("expected second request")
+        };
+        write_correlated_frame(&mut s, id, &v).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+    });
+    let (reply, _) = pool.rpc(&addr, &vec![5], Duration::from_secs(2)).unwrap();
+    assert_eq!(reply, vec![5], "real reply survives the garbage around it");
+    let (reply, info) = pool.rpc(&addr, &vec![6], Duration::from_secs(2)).unwrap();
+    assert_eq!(reply, vec![6]);
+    assert!(info.reused, "misrouted frames must not burn the stream");
+    // Bogus id + legacy frame (during rpc 1) + duplicate (drained
+    // during rpc 2, whose slot was already gone): all counted, none
+    // fatal.
+    assert_eq!(metrics.unknown_corr.get(), 3);
+    assert_eq!(metrics.opened.get(), 1);
+    drop(pool);
+    server.join().unwrap();
 }

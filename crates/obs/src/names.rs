@@ -104,6 +104,23 @@ pub const BLOOMTREE_LOOKUPS: &str = "bloomtree.lookups";
 /// filters are still probed).
 pub const BLOOMTREE_CANDIDATES: &str = "bloomtree.candidates";
 
+/// Outbound connections newly opened (real TCP connects) by the
+/// persistent connection pool.
+pub const CONN_OPENED: &str = "conn.opened";
+/// Contacts served by reusing an already-established pooled stream
+/// (keep-alive hit — no TCP connect paid).
+pub const CONN_REUSED: &str = "conn.reused";
+/// Idle pooled streams retired by the reaper after their idle timeout.
+pub const CONN_REAPED: &str = "conn.reaped";
+/// Stale keep-alive streams detected in use and transparently replaced
+/// by one fresh connect — never charged as a retry or health failure.
+pub const CONN_STALE_RECONNECTS: &str = "conn.stale_reconnects";
+/// Gauge: correlated RPCs currently in flight on pooled streams.
+pub const CONN_INFLIGHT: &str = "conn.inflight";
+/// Correlated replies whose id matched no waiting request (late after a
+/// timeout, duplicated, or deliberately injected as stale).
+pub const CONN_UNKNOWN_CORR: &str = "conn.unknown_corr";
+
 /// Gauge: jobs waiting in the shared search worker pool.
 pub const POOL_QUEUE_DEPTH: &str = "pool.queue_depth";
 /// Jobs executed by the shared search worker pool.

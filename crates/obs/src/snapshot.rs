@@ -216,6 +216,20 @@ impl MetricsSnapshot {
                 self.gauge(crate::names::BLOOMTREE_HEIGHT)
             );
         }
+        // Derived summary: how often the connection pool avoided a TCP
+        // connect, if the node ran one.
+        let opened = self.counter(crate::names::CONN_OPENED);
+        let reused = self.counter(crate::names::CONN_REUSED);
+        if opened + reused > 0 {
+            let pct = 100.0 * reused as f64 / (opened + reused) as f64;
+            let _ = writeln!(
+                out,
+                "conn pool: reused {pct:.1}% of contacts ({opened} opened, \
+                 {} stale reconnects, {} reaped)",
+                self.counter(crate::names::CONN_STALE_RECONNECTS),
+                self.counter(crate::names::CONN_REAPED)
+            );
+        }
         out
     }
 }
@@ -286,6 +300,22 @@ mod tests {
             !text.contains("bloom tree:"),
             "no tree summary without tree lookups"
         );
+        assert!(
+            !text.contains("conn pool:"),
+            "no pool summary without pooled contacts"
+        );
+    }
+
+    #[test]
+    fn render_human_summarizes_conn_reuse() {
+        let reg = Registry::new();
+        reg.counter(crate::names::CONN_OPENED).add(5);
+        reg.counter(crate::names::CONN_REUSED).add(15);
+        reg.counter(crate::names::CONN_STALE_RECONNECTS).add(2);
+        reg.counter(crate::names::CONN_REAPED).add(3);
+        let text = reg.snapshot().render_human();
+        assert!(text.contains("conn pool: reused 75.0%"), "{text}");
+        assert!(text.contains("5 opened, 2 stale reconnects, 3 reaped"), "{text}");
     }
 
     #[test]
