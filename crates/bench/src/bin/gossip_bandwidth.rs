@@ -1,0 +1,260 @@
+//! Delta-gossip bandwidth: the §7.2 "PlanetP sends diffs of the Bloom
+//! filters" claim, measured.
+//!
+//! An N-peer DSL community runs a churn schedule — a fixed set of
+//! publishers each pushing a 1000-key update per round — twice: once
+//! with delta rumoring on (Table 2's 3000-byte diff on the wire, the
+//! 16 KB filter only on fallback paths) and once with it off (every
+//! update re-ships the full filter). Per round we record rumor-class
+//! bytes and gossip rounds to convergence; the delta run must move at
+//! least 3x fewer rumor bytes while converging in the same rounds.
+//!
+//! A micro-section times the receiver's per-hop CPU cost on *real*
+//! filters: re-decompressing a full 20k-key filter versus toggling a
+//! 1000-key diff into the already-decompressed mirror — the
+//! "stop re-paying full (de)compression on every hop" half of the
+//! optimization.
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_bloom::{BloomDiff, BloomFilter, CompressedBloom};
+use planetp_gossip::GossipConfig;
+use planetp_obs::names;
+use planetp_simnet::{LinkClass, NodeId, SimConfig, Simulator, Table2};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Round {
+    round: usize,
+    rumor_bytes: u64,
+    total_bytes: u64,
+    /// Gossip rounds from injection to community-wide convergence.
+    rounds_to_converge: u64,
+}
+
+#[derive(Serialize)]
+struct Run {
+    label: String,
+    rounds: Vec<Round>,
+    rumor_bytes_total: u64,
+    total_bytes: u64,
+    deltas_sent: u64,
+    deltas_applied: u64,
+    delta_bytes_saved: u64,
+}
+
+fn rumor_bytes(sim: &Simulator) -> u64 {
+    sim.metrics.bytes_by_kind.get("rumor").copied().unwrap_or(0)
+}
+
+fn run(label: &str, delta_updates: bool, n: usize, churn_rounds: usize) -> Run {
+    let t2 = Table2::paper();
+    let gossip = GossipConfig { delta_updates, ..GossipConfig::default() };
+    let interval = u64::from(gossip.base_interval_ms);
+    let cfg = SimConfig { gossip, seed: 0xD17A, ..SimConfig::default() };
+    let mut sim = Simulator::new(cfg);
+    sim.add_stable_community(
+        &vec![LinkClass::Dsl512k; n],
+        t2.bf_20000_keys_bytes as u32,
+    );
+    sim.run_until(5_000);
+
+    // Small-churn schedule: the same ~5% of peers republish every
+    // round, so their updates chain version-to-version — the common
+    // case the delta wire form exists for.
+    let publishers: Vec<NodeId> = {
+        let k = (n / 20).max(1);
+        (0..k).map(|i| (i * n / k) as NodeId).collect()
+    };
+
+    let mut rounds = Vec::with_capacity(churn_rounds);
+    for round in 0..churn_rounds {
+        let rumor_before = rumor_bytes(&sim);
+        let total_before = sim.metrics.total_bytes;
+        let start = sim.now();
+        let trackers: Vec<usize> = publishers
+            .iter()
+            .map(|&id| {
+                let rumor = if delta_updates {
+                    sim.local_update_delta(
+                        id,
+                        t2.bf_20000_keys_bytes as u32,
+                        t2.bf_1000_keys_bytes as u32,
+                    )
+                } else {
+                    sim.local_update(id, t2.bf_20000_keys_bytes as u32)
+                };
+                sim.track(rumor)
+            })
+            .collect();
+        let deadline = sim.now() + 2 * 3600 * 1000;
+        while sim.now() < deadline
+            && !trackers
+                .iter()
+                .all(|&t| sim.metrics.tracked[t].converged_at.is_some())
+        {
+            sim.run_for(500);
+        }
+        let latency = trackers
+            .iter()
+            .filter_map(|&t| sim.metrics.tracked[t].converged_at)
+            .map(|at| at - start)
+            .max()
+            .expect("churn round never converged");
+        rounds.push(Round {
+            round,
+            rumor_bytes: rumor_bytes(&sim) - rumor_before,
+            total_bytes: sim.metrics.total_bytes - total_before,
+            rounds_to_converge: latency.div_ceil(interval),
+        });
+    }
+
+    let snap = sim.snapshot();
+    Run {
+        label: label.to_string(),
+        rumor_bytes_total: rounds.iter().map(|r| r.rumor_bytes).sum(),
+        total_bytes: sim.metrics.total_bytes,
+        deltas_sent: snap.counter(names::GOSSIP_DELTA_SENT),
+        deltas_applied: snap.counter(names::GOSSIP_DELTA_APPLIED),
+        delta_bytes_saved: snap.counter(names::GOSSIP_DELTA_BYTES_SAVED),
+        rounds,
+    }
+}
+
+/// Receiver-side per-hop CPU on real filters: full re-decompression of
+/// a 20k-key filter vs toggling a 1000-key diff into the mirror.
+#[derive(Serialize)]
+struct CpuMicro {
+    full_decompress_us: f64,
+    delta_apply_us: f64,
+    speedup: f64,
+}
+
+fn cpu_micro(iters: u32) -> CpuMicro {
+    let mut old = BloomFilter::with_paper_defaults();
+    for i in 0..20_000 {
+        old.insert(&format!("term-{i}"));
+    }
+    let mut new = old.clone();
+    for i in 20_000..21_000 {
+        new.insert(&format!("term-{i}"));
+    }
+    let full = CompressedBloom::compress(&new);
+    let diff = BloomDiff::between(&old, &new);
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(full.decompress().unwrap());
+    }
+    let full_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+
+    // XOR diffs are self-inverting, so applying the same diff
+    // repeatedly keeps the mirror valid while timing the hot path.
+    let mut mirror = old.clone();
+    let t = Instant::now();
+    for _ in 0..iters {
+        assert!(diff.apply_in_place(std::hint::black_box(&mut mirror)));
+    }
+    let delta_us = t.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+
+    CpuMicro {
+        full_decompress_us: full_us,
+        delta_apply_us: delta_us,
+        speedup: full_us / delta_us,
+    }
+}
+
+#[derive(Serialize)]
+struct Report {
+    n: usize,
+    churn_rounds: usize,
+    delta: Run,
+    full: Run,
+    rumor_bytes_reduction: f64,
+    cpu: CpuMicro,
+}
+
+fn main() {
+    let (n, churn_rounds, iters) = match scale_from_args() {
+        Scale::Quick => (50, 5, 20),
+        Scale::Full => (500, 20, 200),
+        Scale::Default => (200, 10, 100),
+    };
+
+    let delta = run("deltas on", true, n, churn_rounds);
+    let full = run("deltas off", false, n, churn_rounds);
+    let cpu = cpu_micro(iters);
+
+    println!(
+        "Delta gossip bandwidth: {} publishers x {churn_rounds} rounds of \
+         1000-key updates through {n} DSL peers",
+        (n / 20).max(1),
+    );
+    let rows: Vec<Vec<String>> = [&delta, &full]
+        .iter()
+        .map(|r| {
+            let mean_rounds = r
+                .rounds
+                .iter()
+                .map(|x| x.rounds_to_converge as f64)
+                .sum::<f64>()
+                / r.rounds.len() as f64;
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.rumor_bytes_total as f64 / 1e3 / churn_rounds as f64),
+                format!("{:.2}", r.total_bytes as f64 / 1e6),
+                format!("{mean_rounds:.1}"),
+                r.deltas_sent.to_string(),
+                r.deltas_applied.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "configuration",
+            "rumor KB/round",
+            "total MB",
+            "rounds to converge",
+            "deltas sent",
+            "deltas applied",
+        ],
+        &rows,
+    );
+
+    let reduction =
+        full.rumor_bytes_total as f64 / delta.rumor_bytes_total.max(1) as f64;
+    println!(
+        "\nrumor bytes: {reduction:.1}x less with deltas; per-hop CPU: \
+         decompress {:.0}us vs diff-apply {:.0}us ({:.1}x)",
+        cpu.full_decompress_us, cpu.delta_apply_us, cpu.speedup,
+    );
+
+    // Acceptance: small-churn updates ship >=3x fewer rumor bytes and
+    // converge in the same gossip rounds.
+    assert!(
+        reduction >= 3.0,
+        "delta rumoring saved only {reduction:.2}x rumor bytes"
+    );
+    for (d, f) in delta.rounds.iter().zip(&full.rounds) {
+        assert!(
+            d.rounds_to_converge <= f.rounds_to_converge,
+            "round {}: deltas converged slower ({} vs {} rounds)",
+            d.round,
+            d.rounds_to_converge,
+            f.rounds_to_converge,
+        );
+    }
+    assert!(delta.deltas_applied > 0, "delta run never applied a delta");
+
+    write_json(
+        "BENCH_gossip_bw",
+        &Report {
+            n,
+            churn_rounds,
+            rumor_bytes_reduction: reduction,
+            delta,
+            full,
+            cpu,
+        },
+    );
+}

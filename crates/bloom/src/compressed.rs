@@ -66,6 +66,61 @@ impl CompressedBloom {
         ))
     }
 
+    /// Apply a [`crate::BloomDiff`] without ever materializing the raw
+    /// bitmap: decode both sorted position lists, take their symmetric
+    /// difference with one merge pass, and re-encode. This is how a
+    /// directory holding compressed filters consumes delta gossip —
+    /// O(set bits) work instead of O(filter bits) decompress + rebuild +
+    /// recompress.
+    ///
+    /// Returns `None` — leaving `self` untouched — on parameter mismatch
+    /// or a corrupt payload (ours or the diff's); callers treat that as
+    /// a broken chain and fall back to requesting the full filter.
+    pub fn apply_diff(&self, diff: &crate::BloomDiff) -> Option<CompressedBloom> {
+        if self.params != diff.params() {
+            return None;
+        }
+        let base = golomb::decode_positions(
+            &self.payload,
+            self.golomb_parameter,
+            self.num_set_bits as usize,
+        )?;
+        if base.iter().any(|&p| p as usize >= self.params.num_bits) {
+            return None;
+        }
+        let toggles = diff.positions()?;
+        // Sorted symmetric difference: positions in exactly one list.
+        let mut merged = Vec::with_capacity(base.len() + toggles.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() && j < toggles.len() {
+            match base[i].cmp(&toggles[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(base[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(toggles[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&base[i..]);
+        merged.extend_from_slice(&toggles[j..]);
+        let (m, payload) =
+            golomb::encode_positions(&merged, self.params.num_bits as u32);
+        Some(Self {
+            params: self.params,
+            golomb_parameter: m,
+            num_set_bits: merged.len() as u32,
+            keys_inserted: diff.new_keys_inserted(),
+            payload,
+        })
+    }
+
     /// Size of the compressed payload in bytes (excludes the small fixed
     /// header counted separately by the simulator's message model).
     pub fn payload_bytes(&self) -> usize {
@@ -151,6 +206,36 @@ mod tests {
         let c = CompressedBloom::compress_observed(&filter_with_keys(1000), &sizes);
         assert_eq!(sizes.count(), 1);
         assert_eq!(sizes.sum(), c.wire_bytes() as u64);
+    }
+
+    #[test]
+    fn apply_diff_matches_decompress_apply_recompress() {
+        let old = filter_with_keys(5000);
+        let mut new = old.clone();
+        for i in 5000..5200 {
+            new.insert(&format!("term-{i}"));
+        }
+        let diff = crate::BloomDiff::between(&old, &new);
+        let merged = CompressedBloom::compress(&old)
+            .apply_diff(&diff)
+            .expect("matching params");
+        assert_eq!(merged, CompressedBloom::compress(&new));
+        assert_eq!(merged.decompress().unwrap(), new);
+    }
+
+    #[test]
+    fn apply_diff_rejects_param_mismatch_and_corruption() {
+        let old = filter_with_keys(100);
+        let new = filter_with_keys(200);
+        let diff = crate::BloomDiff::between(&old, &new);
+        let other = BloomFilter::new(crate::BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
+        assert!(CompressedBloom::compress(&other).apply_diff(&diff).is_none());
+        let mut bad = CompressedBloom::compress(&old);
+        bad.payload.truncate(bad.payload.len() / 2);
+        assert!(bad.apply_diff(&diff).is_none());
     }
 
     #[test]

@@ -79,14 +79,7 @@ impl BloomDiff {
         if base.params() != self.params {
             return None;
         }
-        let positions = golomb::decode_positions(
-            &self.payload,
-            self.golomb_parameter,
-            self.num_changed_bits as usize,
-        )?;
-        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
-            return None;
-        }
+        let positions = self.positions()?;
         let mut bits = base.set_bit_positions();
         // XOR semantics: toggle each changed position.
         for p in positions {
@@ -102,6 +95,51 @@ impl BloomDiff {
             &bits,
             self.new_keys_inserted,
         ))
+    }
+
+    /// Apply the delta directly to a decompressed `base`, in place.
+    ///
+    /// This is the query-mirror hot path: when a peer's `bloom_version`
+    /// advances by a small diff, toggling the few changed bits in the
+    /// already-decompressed mirror filter is far cheaper than
+    /// re-decompressing the full 50 KB filter from scratch.
+    ///
+    /// Returns `false` — leaving `base` untouched — if the parameters
+    /// mismatch or the payload is corrupt.
+    pub fn apply_in_place(&self, base: &mut BloomFilter) -> bool {
+        if base.params() != self.params {
+            return false;
+        }
+        let Some(positions) = self.positions() else {
+            return false;
+        };
+        base.toggle_bits(&positions, self.new_keys_inserted);
+        true
+    }
+
+    /// The filter parameters both versions share.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// `keys_inserted` of the new (post-apply) version.
+    pub fn new_keys_inserted(&self) -> u64 {
+        self.new_keys_inserted
+    }
+
+    /// Decode the changed bit positions (sorted ascending). Returns
+    /// `None` if the payload is truncated or positions fall outside the
+    /// filter's bit space.
+    pub fn positions(&self) -> Option<Vec<u32>> {
+        let positions = golomb::decode_positions(
+            &self.payload,
+            self.golomb_parameter,
+            self.num_changed_bits as usize,
+        )?;
+        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
+            return None;
+        }
+        Some(positions)
     }
 
     /// Number of bit positions that differ.
@@ -225,6 +263,29 @@ mod tests {
         FilterUpdate::Delta(d.clone()).observe_size(&sizes);
         assert_eq!(sizes.count(), 2);
         assert_eq!(sizes.sum(), 2 * d.wire_bytes() as u64);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let old = filter_with(0..2000);
+        let new = filter_with(0..2500);
+        let d = BloomDiff::between(&old, &new);
+        let mut mirror = old.clone();
+        assert!(d.apply_in_place(&mut mirror));
+        assert_eq!(mirror, new);
+        assert_eq!(mirror.keys_inserted(), new.keys_inserted());
+    }
+
+    #[test]
+    fn apply_in_place_rejects_bad_base_without_mutating() {
+        let old = filter_with(0..10);
+        let new = filter_with(0..20);
+        let d = BloomDiff::between(&old, &new);
+        let mut wrong =
+            BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let snapshot = wrong.clone();
+        assert!(!d.apply_in_place(&mut wrong));
+        assert_eq!(wrong, snapshot);
     }
 
     #[test]

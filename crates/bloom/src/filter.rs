@@ -348,6 +348,20 @@ impl BloomFilter {
         out
     }
 
+    /// Toggle (XOR) each position in `positions` and overwrite the
+    /// insert counter — the primitive behind
+    /// [`crate::BloomDiff::apply_in_place`]. Positions must already be
+    /// validated against `num_bits`; the caller (the diff decoder) does
+    /// this before mutating so a corrupt diff never half-applies.
+    pub(crate) fn toggle_bits(&mut self, positions: &[u32], keys_inserted: u64) {
+        for &p in positions {
+            let p = p as usize;
+            debug_assert!(p < self.params.num_bits, "bit position {p} out of range");
+            self.bits[p / 64] ^= 1 << (p % 64);
+        }
+        self.keys_inserted = keys_inserted;
+    }
+
     /// Rebuild a filter from set-bit positions (inverse of
     /// [`Self::set_bit_positions`]).
     ///

@@ -37,6 +37,6 @@ pub mod golomb;
 pub mod hashing;
 
 pub use compressed::CompressedBloom;
-pub use diff::BloomDiff;
+pub use diff::{BloomDiff, FilterUpdate};
 pub use filter::{probe_row, BloomFilter, BloomParams, HashedKey, ParamMismatch};
 pub use hashing::DoubleHasher;

@@ -89,6 +89,121 @@ proptest! {
         prop_assert_eq!(g, f);
     }
 
+    /// A delta chain (the wire form gossip forwards) applied step by
+    /// step equals the final filter exactly — the oracle being the
+    /// filter built directly from all the keys. Both the allocating
+    /// `apply` and the query-mirror `apply_in_place` must agree.
+    #[test]
+    fn delta_chain_equals_final_filter(
+        params in small_params(),
+        batches in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,12}", 0..60),
+            1..5,
+        ),
+    ) {
+        let mut versions = vec![BloomFilter::new(params)];
+        for batch in &batches {
+            let mut next = versions.last().unwrap().clone();
+            for k in batch {
+                next.insert(k);
+            }
+            versions.push(next);
+        }
+        let chain: Vec<BloomDiff> = versions
+            .windows(2)
+            .map(|w| BloomDiff::between(&w[0], &w[1]))
+            .collect();
+
+        let mut rebuilt = versions[0].clone();
+        let mut mirror = versions[0].clone();
+        for d in &chain {
+            rebuilt = d.apply(&rebuilt).unwrap();
+            prop_assert!(d.apply_in_place(&mut mirror));
+        }
+        prop_assert_eq!(&rebuilt, versions.last().unwrap());
+        prop_assert_eq!(&mirror, versions.last().unwrap());
+        prop_assert_eq!(
+            mirror.keys_inserted(),
+            versions.last().unwrap().keys_inserted()
+        );
+    }
+
+    /// A receiver already at an intermediate version applies only the
+    /// chain suffix (what the gossip engine does) and still lands on
+    /// the final filter, bit for bit.
+    #[test]
+    fn chain_suffix_lands_on_final_filter(
+        params in small_params(),
+        batches in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,12}", 0..60),
+            2..5,
+        ),
+        skip_frac in 0.0f64..1.0,
+    ) {
+        let mut versions = vec![BloomFilter::new(params)];
+        for batch in &batches {
+            let mut next = versions.last().unwrap().clone();
+            for k in batch {
+                next.insert(k);
+            }
+            versions.push(next);
+        }
+        let chain: Vec<BloomDiff> = versions
+            .windows(2)
+            .map(|w| BloomDiff::between(&w[0], &w[1]))
+            .collect();
+        let skip = ((chain.len() as f64) * skip_frac) as usize;
+
+        let mut mirror = versions[skip].clone();
+        for d in &chain[skip..] {
+            prop_assert!(d.apply_in_place(&mut mirror));
+        }
+        prop_assert_eq!(&mirror, versions.last().unwrap());
+    }
+
+    /// A chain built for one filter geometry can never corrupt a base
+    /// with different parameters: every step is rejected and the base
+    /// comes through bit-identical. This is the "fall back to the full
+    /// filter, never apply a wrong one" guarantee the gossip fallback
+    /// path relies on.
+    #[test]
+    fn mismatched_params_chain_rejected_without_mutation(
+        params in small_params(),
+        batches in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,12}", 1..60),
+            1..4,
+        ),
+        other_keys in key_set(),
+    ) {
+        let mut versions = vec![BloomFilter::new(params)];
+        for batch in &batches {
+            let mut next = versions.last().unwrap().clone();
+            for k in batch {
+                next.insert(k);
+            }
+            versions.push(next);
+        }
+        let chain: Vec<BloomDiff> = versions
+            .windows(2)
+            .map(|w| BloomDiff::between(&w[0], &w[1]))
+            .collect();
+
+        let other_params = BloomParams {
+            num_bits: params.num_bits * 2,
+            num_hashes: params.num_hashes,
+        };
+        let mut other = BloomFilter::new(other_params);
+        for k in &other_keys {
+            other.insert(k);
+        }
+        let snapshot = other.clone();
+        for d in &chain {
+            prop_assert!(d.apply(&other).is_none());
+            prop_assert!(!d.apply_in_place(&mut other));
+        }
+        prop_assert_eq!(other, snapshot);
+    }
+
     /// Golomb value coding round-trips for arbitrary values and parameters.
     #[test]
     fn golomb_value_roundtrip(values in prop::collection::vec(0u32..1_000_000, 0..100), m in 1u32..5000) {

@@ -34,7 +34,7 @@
 //! all of it deterministically (`crates/core/tests/live_faults.rs`).
 
 use parking_lot::{Mutex, MutexGuard};
-use planetp_bloom::{BloomFilter, CompressedBloom, HashedKey};
+use planetp_bloom::{BloomDiff, BloomFilter, CompressedBloom, HashedKey};
 use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_gossip::{
     DirEntry, Directory, EngineStats, GossipConfig, GossipEngine, Message,
@@ -95,8 +95,22 @@ pub struct LivePayload {
 }
 
 impl Payload for LivePayload {
+    /// A [`BloomDiff`] between consecutive filter versions. The peer's
+    /// address rides only in the full form — a receiver applying a
+    /// delta already knows the address from its stored entry.
+    type Delta = BloomDiff;
+
     fn wire_bytes(&self) -> usize {
         6 + self.addr.len() + self.bloom.wire_bytes()
+    }
+
+    fn delta_wire_bytes(delta: &BloomDiff) -> usize {
+        delta.wire_bytes()
+    }
+
+    fn apply_delta(&self, delta: &BloomDiff) -> Option<Self> {
+        let bloom = self.bloom.apply_diff(delta)?;
+        Some(LivePayload { addr: self.addr.clone(), bloom })
     }
 }
 
@@ -461,6 +475,19 @@ struct QueryState {
     cache: QueryCache,
 }
 
+/// How one peer's mirrored filter gets brought up to date during a
+/// [`Inner::synced_query_state`] sync.
+enum SyncWork {
+    /// Mirror already matches the directory version.
+    Current,
+    /// Toggle these diff steps into the mirrored filter in place —
+    /// the delta-gossip fast path that skips re-decompressing the
+    /// full 50 KB payload on every version bump.
+    Delta(Vec<BloomDiff>),
+    /// Decompress the full payload from scratch.
+    Full(CompressedBloom),
+}
+
 /// Where one fan-out slot's documents come from during the merge.
 enum GroupSlot {
     /// This node's own store (answered inline, never dispatched).
@@ -494,6 +521,9 @@ struct Inner {
     addr_book: Mutex<HashMap<PeerId, String>>,
     /// Decompressed-filter mirror + query cache (see [`QueryState`]).
     query_state: Mutex<QueryState>,
+    /// The uncompressed local filter as of the last *gossiped*
+    /// `bloom_version` — the diff base for delta publishes (§7.2).
+    prev_bloom: Mutex<BloomFilter>,
     /// Shared search worker pool, spun up on the first query.
     pool: OnceLock<WorkerPool>,
     /// Persistent outbound connections (keep-alive gossip streams plus
@@ -530,14 +560,36 @@ impl Inner {
         self.addr_book.lock().get(&peer).cloned()
     }
 
-    fn my_payload(&self) -> LivePayload {
-        LivePayload {
+    /// Announce a new version of the local filter to the community:
+    /// the directory entry gets the full compressed payload (what
+    /// anti-entropy and chain-break fallbacks ship), while the rumor
+    /// path gets the diff from the previously gossiped version so the
+    /// update travels as a delta chain ("PlanetP sends diffs of the
+    /// Bloom filters to save bandwidth", §7.2).
+    fn gossip_own_update(&self) {
+        let new_filter = self.store.lock().bloom().clone();
+        let payload = LivePayload {
             addr: self.addr.clone(),
             bloom: CompressedBloom::compress_observed(
-                self.store.lock().bloom(),
+                &new_filter,
                 &self.stats.bloom_wire_bytes,
             ),
+        };
+        let mut prev = self.prev_bloom.lock();
+        let mut engine = self.engine.lock();
+        if prev.params() == new_filter.params() {
+            let diff = BloomDiff::between_observed(
+                &prev,
+                &new_filter,
+                &self.stats.bloom_wire_bytes,
+            );
+            engine.local_update_delta(payload, diff);
+        } else {
+            // A filter rebuild changed the parameters: no meaningful
+            // diff exists, gossip the full payload.
+            engine.local_update(payload);
         }
+        *prev = new_filter;
     }
 
     // ------------------------------------------------------------------
@@ -1083,7 +1135,11 @@ impl Inner {
     ///
     /// A peer's filter is decompressed only when its directory version
     /// — the `(status_version, bloom_version)` pair — advanced since
-    /// the last query; everyone else's 50 KB stays untouched.
+    /// the last query; everyone else's 50 KB stays untouched. When the
+    /// version advanced *and* the gossip engine still holds the delta
+    /// chain that carried the update, the diff steps are toggled into
+    /// the already-decompressed mirror in place instead of paying a
+    /// full decompression — the delta wire form applied end to end.
     /// Departed peers are evicted so the mirror cannot grow stale
     /// entries, and the version list is exactly what the query cache
     /// keys its invalidation on.
@@ -1092,32 +1148,64 @@ impl Inner {
     ) -> (MutexGuard<'_, QueryState>, Vec<(PeerId, String, PeerVersion)>) {
         let mut qs = self.query_state.lock();
         // Snapshot the directory under a short engine lock; the
-        // decompression work happens after it is released.
-        let mut snapshot: Vec<(
-            PeerId,
-            String,
-            PeerVersion,
-            Option<CompressedBloom>,
-        )> = {
+        // decompression / delta-apply work happens after it is released.
+        let mut snapshot: Vec<(PeerId, String, PeerVersion, SyncWork)> = {
             let engine = self.engine.lock();
             let mut snap = Vec::new();
             for (pid, e) in engine.directory().iter() {
                 if let Some(p) = &e.payload {
                     let version = (e.status_version, e.bloom_version);
-                    let stale = match qs.filters.get(&pid) {
-                        Some(v) => v.version != version,
-                        None => true,
+                    let work = match qs.filters.get(&pid) {
+                        Some(v) if v.version == version => SyncWork::Current,
+                        // Same incarnation, strictly behind: the stored
+                        // chain may cover exactly our gap.
+                        Some(v)
+                            if v.version.0 == e.status_version
+                                && v.version.1 < e.bloom_version =>
+                        {
+                            match engine.delta_steps(
+                                pid,
+                                e.status_version,
+                                v.version.1,
+                                e.bloom_version,
+                            ) {
+                                Some(steps) => SyncWork::Delta(steps),
+                                None => SyncWork::Full(p.bloom.clone()),
+                            }
+                        }
+                        _ => SyncWork::Full(p.bloom.clone()),
                     };
-                    let bloom = if stale { Some(p.bloom.clone()) } else { None };
-                    snap.push((pid, p.addr.clone(), version, bloom));
+                    snap.push((pid, p.addr.clone(), version, work));
                 }
             }
             snap
         };
         snapshot.sort_by_key(|(pid, _, _, _)| *pid);
-        for (pid, _, version, bloom) in &snapshot {
-            if let Some(b) = bloom {
-                match b.decompress() {
+        for (pid, _, version, work) in &snapshot {
+            match work {
+                SyncWork::Current => {}
+                SyncWork::Delta(steps) => {
+                    // Toggle the changed bits into the mirrored filter.
+                    // A corrupt step drops the peer from the query view
+                    // (never rank on half-applied data); the next sync
+                    // re-decompresses the full payload from scratch.
+                    let applied = match qs.filters.get_mut(pid) {
+                        Some(v) => {
+                            let ok = steps
+                                .iter()
+                                .all(|d| d.apply_in_place(&mut v.filter));
+                            if ok {
+                                v.version = *version;
+                            }
+                            ok
+                        }
+                        None => false,
+                    };
+                    if !applied {
+                        qs.filters.remove(pid);
+                    }
+                }
+                SyncWork::Full(b) => match b.decompress() {
                     Some(filter) => {
                         qs.filters.insert(
                             *pid,
@@ -1129,7 +1217,7 @@ impl Inner {
                     None => {
                         qs.filters.remove(pid);
                     }
-                }
+                },
             }
         }
         qs.filters.retain(|pid, _| {
@@ -1876,6 +1964,9 @@ impl LiveNode {
             )
         });
         let server_pool = WorkerPool::new(config.conn.server_threads.max(1));
+        // The announced payload above was compressed from this exact
+        // filter, so it is the correct base for the first publish diff.
+        let prev_bloom = store.bloom().clone();
         let inner = Arc::new(Inner {
             id,
             addr,
@@ -1886,6 +1977,7 @@ impl LiveNode {
             stats,
             addr_book: Mutex::new(addr_book),
             query_state: Mutex::new(query_state),
+            prev_bloom: Mutex::new(prev_bloom),
             pool: OnceLock::new(),
             conns,
             server_pool,
@@ -2106,8 +2198,7 @@ impl LiveNode {
     /// publish that raced a real crash.
     pub fn publish(&self, xml: &str) -> Result<u64, PlanetPError> {
         let doc = self.inner.store.lock().publish(xml)?;
-        let payload = self.inner.my_payload();
-        self.inner.engine.lock().local_update(payload);
+        self.inner.gossip_own_update();
         self.inner
             .durable_append(WalRecord::Publish { doc, xml: xml.to_string() })?;
         self.inner.persist_own_versions()?;

@@ -36,21 +36,59 @@ pub const CORRELATED_FLAG: u32 = 1 << 31;
 /// streams in.
 const READ_CHUNK_BYTES: usize = 64 << 10;
 
+/// Largest serialization scratch buffer a thread keeps between frames.
+/// An occasional outsized frame (a big anti-entropy reply) still
+/// serializes fine; its buffer just is not retained.
+const SCRATCH_RETAIN_BYTES: usize = 1 << 20;
+
+thread_local! {
+    /// Per-thread scratch for frame bodies, reused across writes so the
+    /// hot senders — the gossip loop batching a whole exchange into one
+    /// frame, the server workers answering it — stop allocating and
+    /// freeing a body vector for every message.
+    static SCRATCH: std::cell::RefCell<Vec<u8>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Serialize `value` into the thread's reused scratch buffer and hand
+/// the body bytes to `f`. Falls back to a one-off allocation if the
+/// scratch is already borrowed (a serializer that itself writes frames).
+fn with_serialized<T: Serialize + ?Sized, R>(
+    value: &T,
+    f: impl FnOnce(&[u8]) -> io::Result<R>,
+) -> io::Result<R> {
+    SCRATCH.with(|cell| {
+        let Ok(mut buf) = cell.try_borrow_mut() else {
+            let body = serde_json::to_vec(value)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            return f(&body);
+        };
+        buf.clear();
+        serde_json::to_writer(&mut *buf, value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let result = f(&buf);
+        if buf.capacity() > SCRATCH_RETAIN_BYTES {
+            *buf = Vec::new();
+        }
+        result
+    })
+}
+
 /// Write one value as a frame. Returns the total bytes written
 /// (length prefix + body), so callers can account wire traffic.
 pub fn write_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::Result<usize> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if body.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds maximum size",
-        ));
-    }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(&body)?;
-    w.flush()?;
-    Ok(4 + body.len())
+    with_serialized(value, |body| {
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        w.write_all(&(body.len() as u32).to_be_bytes())?;
+        w.write_all(body)?;
+        w.flush()?;
+        Ok(4 + body.len())
+    })
 }
 
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
@@ -158,19 +196,19 @@ pub fn write_correlated_frame<T: Serialize + ?Sized>(
     corr_id: u64,
     value: &T,
 ) -> io::Result<usize> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if body.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds maximum size",
-        ));
-    }
-    w.write_all(&((body.len() as u32) | CORRELATED_FLAG).to_be_bytes())?;
-    w.write_all(&corr_id.to_be_bytes())?;
-    w.write_all(&body)?;
-    w.flush()?;
-    Ok(4 + 8 + body.len())
+    with_serialized(value, |body| {
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        w.write_all(&((body.len() as u32) | CORRELATED_FLAG).to_be_bytes())?;
+        w.write_all(&corr_id.to_be_bytes())?;
+        w.write_all(body)?;
+        w.flush()?;
+        Ok(4 + 8 + body.len())
+    })
 }
 
 /// Read one frame of either generation. `Ok(None)` on clean EOF at a
@@ -275,18 +313,18 @@ pub fn write_crc_frame<T: Serialize + ?Sized>(
     w: &mut impl Write,
     value: &T,
 ) -> io::Result<usize> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if body.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "frame exceeds maximum size",
-        ));
-    }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(&crc32(&body).to_be_bytes())?;
-    w.write_all(&body)?;
-    Ok(8 + body.len())
+    with_serialized(value, |body| {
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        w.write_all(&(body.len() as u32).to_be_bytes())?;
+        w.write_all(&crc32(body).to_be_bytes())?;
+        w.write_all(body)?;
+        Ok(8 + body.len())
+    })
 }
 
 /// Serialize one value into CRC-frame bytes (for callers that need the
@@ -366,6 +404,21 @@ mod tests {
         assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(x));
         assert_eq!(read_frame::<Sample>(&mut r).unwrap(), Some(y));
         assert_eq!(read_frame::<Sample>(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn scratch_reuse_never_leaks_between_frames() {
+        let x = Sample { a: 1, b: vec!["one".into()] };
+        let mut a = Vec::new();
+        write_frame(&mut a, &x).unwrap();
+        // A larger intervening frame reuses (and grows) the same
+        // scratch; the next small frame must come out byte-identical.
+        let big = Sample { a: 2, b: vec!["y".repeat(256); 8] };
+        let mut tmp = Vec::new();
+        write_frame(&mut tmp, &big).unwrap();
+        let mut b = Vec::new();
+        write_frame(&mut b, &x).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -60,6 +60,17 @@ pub struct GossipConfig {
     /// Probability that a fast peer rumors to a slow peer when
     /// bandwidth-aware (paper: 1%).
     pub fast_to_slow_prob: f64,
+    /// Gossip Bloom filter *diffs* instead of full filters whenever a
+    /// delta chain is available ("PlanetP sends diffs of the Bloom
+    /// filters to save bandwidth", §7.2). Receivers that cannot apply a
+    /// chain pull the full filter, so turning this off only changes
+    /// wire cost, never convergence.
+    pub delta_updates: bool,
+    /// Longest delta chain kept per subject (and therefore sent in one
+    /// rumor). A receiver more than this many versions behind falls
+    /// back to the full filter — which is cheaper anyway once the
+    /// summed steps approach the full size.
+    pub max_delta_chain: usize,
 }
 
 impl Default for GossipConfig {
@@ -76,6 +87,8 @@ impl Default for GossipConfig {
             t_dead_ms: 7 * 24 * 3600 * 1000,
             bandwidth_aware: false,
             fast_to_slow_prob: 0.01,
+            delta_updates: true,
+            max_delta_chain: 8,
         }
     }
 }
@@ -104,6 +117,8 @@ mod tests {
         assert_eq!(c.gossipless_threshold, 2);
         assert_eq!(c.anti_entropy_every, 10);
         assert_eq!(c.algorithm, Algorithm::PlanetP);
+        assert!(c.delta_updates, "diffs are the default wire form (§7.2)");
+        assert_eq!(c.max_delta_chain, 8);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::collections::VecDeque;
 use crate::config::{Algorithm, GossipConfig};
 use crate::dethash::DetHashMap;
 use crate::directory::{DirEntry, Directory, PeerStatus, SpeedClass};
-use crate::messages::{Message, PeerState, PeerSummary};
-use crate::rumor::{Payload, Rumor, RumorId, RumorKind};
+use crate::messages::{Message, PeerState, PeerSummary, PEER_SUMMARY_BYTES, RUMOR_ID_BYTES};
+use crate::rumor::{DeltaChain, Payload, Rumor, RumorId, RumorKind, RumorPayload};
 use crate::selector::{pick_target, SelectionPurpose};
 use crate::stats::{EngineCounters, EngineStats};
 use planetp_obs::Registry;
@@ -28,6 +28,28 @@ struct ActiveRumor {
     /// Consecutive contacts that already knew this rumor; retire at
     /// `config.rumor_death_n`.
     consecutive_known: u32,
+}
+
+/// A stored run of consecutive single-step deltas for one subject,
+/// covering `base_bloom_version .. base_bloom_version + steps.len()`
+/// within `status_version`. Kept alongside the directory (which always
+/// stores the *full* payload) so outgoing bloom-update rumors can carry
+/// the compact chain; receivers that applied a chain keep it too, which
+/// lets them forward deltas instead of re-expanding to full filters.
+#[derive(Debug, Clone)]
+struct StoredChain<P: Payload> {
+    status_version: u64,
+    /// `bloom_version` the first step applies to.
+    base_bloom_version: u32,
+    /// One delta per version bump, oldest first.
+    steps: VecDeque<P::Delta>,
+}
+
+impl<P: Payload> StoredChain<P> {
+    /// The `bloom_version` the chain's last step produces.
+    fn end_version(&self) -> u32 {
+        self.base_bloom_version + self.steps.len() as u32
+    }
 }
 
 /// What a tick produced: one message to send to one target.
@@ -49,6 +71,9 @@ pub struct GossipEngine<P: Payload> {
     /// Active rumors keyed by subject (at most one per subject — fresher
     /// news supersedes).
     active: DetHashMap<PeerId, ActiveRumor>,
+    /// Delta chains keyed by subject, each ending exactly at that
+    /// subject's current directory versions (see [`StoredChain`]).
+    chains: DetHashMap<PeerId, StoredChain<P>>,
     /// Recently retired rumor ids, newest last (partial anti-entropy).
     recent: VecDeque<RumorId>,
     /// Rumor ids last pushed to each target, awaiting a `RumorAck`.
@@ -96,6 +121,7 @@ impl<P: Payload> GossipEngine<P> {
             config,
             dir,
             active: DetHashMap::default(),
+            chains: DetHashMap::default(),
             recent: VecDeque::new(),
             pending_acks: DetHashMap::default(),
             round: 0,
@@ -139,6 +165,7 @@ impl<P: Payload> GossipEngine<P> {
             config,
             dir,
             active: DetHashMap::default(),
+            chains: DetHashMap::default(),
             recent: VecDeque::new(),
             pending_acks: DetHashMap::default(),
             round: 0,
@@ -206,12 +233,59 @@ impl<P: Payload> GossipEngine<P> {
         !self.dir.is_news(id.subject, id.status_version, id.bloom_version)
     }
 
+    /// The delta steps taking `subject` from `(status_version, from_bv)`
+    /// to `to_bv`, if this peer's stored chain covers that exact range.
+    /// The live runtime's query mirror uses this to advance an
+    /// already-decompressed filter in place instead of re-decompressing
+    /// the full payload on every version bump.
+    pub fn delta_steps(
+        &self,
+        subject: PeerId,
+        status_version: u64,
+        from_bv: u32,
+        to_bv: u32,
+    ) -> Option<Vec<P::Delta>> {
+        let c = self.chains.get(&subject)?;
+        if c.status_version != status_version
+            || from_bv < c.base_bloom_version
+            || to_bv > c.end_version()
+            || from_bv >= to_bv
+        {
+            return None;
+        }
+        let skip = (from_bv - c.base_bloom_version) as usize;
+        let take = (to_bv - from_bv) as usize;
+        Some(c.steps.iter().skip(skip).take(take).cloned().collect())
+    }
+
     // ------------------------------------------------------------------
     // Local events
     // ------------------------------------------------------------------
 
-    /// The local peer's Bloom filter changed (new terms published).
+    /// The local peer's Bloom filter changed (new terms published),
+    /// with no delta available: subsequent rumors carry the full
+    /// payload. Prefer [`Self::local_update_delta`] when the caller can
+    /// compute the diff from the previous version.
     pub fn local_update(&mut self, payload: P) {
+        self.chains.remove(&self.id);
+        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        e.bloom_version += 1;
+        e.payload = Some(payload);
+        self.activate_self_rumor(RumorKind::BloomUpdate);
+        self.learned_news();
+    }
+
+    /// The local peer's Bloom filter changed, and `delta` is the
+    /// single-step diff from the previous version to `payload`. The
+    /// directory stores the full payload (anti-entropy always ships
+    /// full state); the delta extends this peer's own chain so rumor
+    /// pushes carry diffs — the §7.2 bandwidth optimization.
+    pub fn local_update_delta(&mut self, payload: P, delta: P::Delta) {
+        let (status_version, old_bv) = {
+            let e = self.dir.get(self.id).expect("self entry always present");
+            (e.status_version, e.bloom_version)
+        };
+        self.push_chain_step(self.id, status_version, old_bv, delta);
         let e = self.dir.get_mut(self.id).expect("self entry always present");
         e.bloom_version += 1;
         e.payload = Some(payload);
@@ -223,6 +297,8 @@ impl<P: Payload> GossipEngine<P> {
     /// carries a changed Bloom filter, if any (the paper's "Join" event
     /// in Fig 4; `None` is the "Rejoin" event).
     pub fn local_rejoin(&mut self, new_payload: Option<P>) {
+        // A new incarnation invalidates any chain built in the old one.
+        self.chains.remove(&self.id);
         let e = self.dir.get_mut(self.id).expect("self entry always present");
         e.status_version += 1;
         e.status = PeerStatus::Online;
@@ -248,6 +324,7 @@ impl<P: Payload> GossipEngine<P> {
     /// "Join" event) and forces an anti-entropy catch-up on the next
     /// tick. Returns the new version pair.
     pub fn local_recover(&mut self, payload: P, floor: (u64, u32)) -> (u64, u32) {
+        self.chains.remove(&self.id);
         let e = self.dir.get_mut(self.id).expect("self entry always present");
         e.status_version = e.status_version.max(floor.0) + 1;
         e.bloom_version = e.bloom_version.max(floor.1) + 1;
@@ -296,6 +373,7 @@ impl<P: Payload> GossipEngine<P> {
         let dropped = self.dir.expire_dead(now, self.config.t_dead_ms);
         for d in dropped {
             self.active.remove(&d);
+            self.chains.remove(&d);
         }
 
         if self.config.algorithm == Algorithm::AntiEntropyOnly {
@@ -506,12 +584,20 @@ impl<P: Payload> GossipEngine<P> {
         // its gossiping interval to the default" (§3).
         self.reset_interval();
         let mut already_knew = Vec::with_capacity(rumors.len());
+        // Delta rumors whose chain we could not apply: pull the full
+        // state from the sender (it has it — it just rumored the news).
+        let mut broken: Vec<RumorId> = Vec::new();
         for r in rumors {
             let knew = self.knows(r.id);
             already_knew.push(knew);
-            if !knew {
-                self.apply_news(&r);
+            if knew {
+                continue;
+            }
+            if self.apply_news(&r) {
                 self.stats.rumors_learned_push.inc();
+            } else {
+                self.stats.delta_chain_breaks.inc();
+                broken.push(r.id);
             }
         }
         let recent_ids = if self.config.algorithm.partial_ae() {
@@ -520,7 +606,14 @@ impl<P: Payload> GossipEngine<P> {
         } else {
             Vec::new()
         };
-        vec![(from, Message::RumorAck { already_knew, recent_ids })]
+        // The ack and the fallback pull travel back in one batched
+        // exchange (the live transport writes them as one frame).
+        let mut out =
+            vec![(from, Message::RumorAck { already_knew, recent_ids })];
+        if !broken.is_empty() {
+            out.push((from, Message::Pull { ids: broken }));
+        }
+        out
     }
 
     fn on_rumor_ack(
@@ -562,17 +655,73 @@ impl<P: Payload> GossipEngine<P> {
     }
 
     /// Apply news carried by a rumor and start spreading it ourselves.
-    fn apply_news(&mut self, r: &Rumor<P>) {
+    ///
+    /// Returns `false` — leaving the directory untouched — when the
+    /// rumor carried a delta chain this peer cannot apply (missing
+    /// base version, status mismatch, corrupt step): the caller pulls
+    /// the full state instead. Every other form always applies.
+    fn apply_news(&mut self, r: &Rumor<P>) -> bool {
+        let payload = match &r.payload {
+            None => None,
+            Some(RumorPayload::Full(p)) => Some(p.clone()),
+            Some(RumorPayload::Delta(chain)) => {
+                match self.apply_chain(r.id, chain) {
+                    Some(p) => Some(p),
+                    None => return false,
+                }
+            }
+        };
         self.update_entry(
             r.id.subject,
             r.id.status_version,
             r.id.bloom_version,
-            r.payload.clone(),
+            payload,
         );
         if r.id.subject != self.id {
             self.activate(r.id, r.kind);
         }
         self.learned_news();
+        true
+    }
+
+    /// Apply the suffix of `chain` that takes our directory entry for
+    /// the subject from its current `bloom_version` to `id.bloom_version`.
+    /// On success the received chain replaces our stored chain for the
+    /// subject (so we can forward deltas too). `None` = cannot apply.
+    fn apply_chain(&mut self, id: RumorId, chain: &DeltaChain<P>) -> Option<P> {
+        // A chain is only meaningful within one incarnation and must
+        // land exactly on the version the rumor announces.
+        if chain.steps.is_empty()
+            || chain.base_bloom_version + chain.steps.len() as u32
+                != id.bloom_version
+        {
+            return None;
+        }
+        let e = self.dir.get(id.subject)?;
+        if e.status_version != id.status_version
+            || e.bloom_version < chain.base_bloom_version
+            || e.bloom_version >= id.bloom_version
+        {
+            return None;
+        }
+        let skip = (e.bloom_version - chain.base_bloom_version) as usize;
+        let mut current = e.payload.clone()?;
+        for step in &chain.steps[skip..] {
+            current = current.apply_delta(step)?;
+        }
+        // Remember the chain for forwarding; update_entry validates it
+        // against the entry's new versions and keeps it.
+        self.chains.insert(
+            id.subject,
+            StoredChain {
+                status_version: id.status_version,
+                base_bloom_version: chain.base_bloom_version,
+                steps: chain.steps.iter().cloned().collect(),
+            },
+        );
+        self.trim_chain(id.subject);
+        self.stats.delta_applied.inc();
+        Some(current)
     }
 
     /// Absorb full peer states from a pull or anti-entropy reply.
@@ -648,6 +797,16 @@ impl<P: Payload> GossipEngine<P> {
                 );
             }
         }
+        // A stored delta chain stays only if it still lands exactly on
+        // the entry's new versions (the delta-apply path re-inserts the
+        // received chain just before calling here; every other path —
+        // full payloads, rejoins, anti-entropy — invalidates it).
+        let stale = self.chains.get(&subject).is_some_and(|c| {
+            c.status_version != status_version || c.end_version() != bloom_version
+        });
+        if stale {
+            self.chains.remove(&subject);
+        }
     }
 
     /// Start (or refresh) spreading news about a subject.
@@ -684,16 +843,102 @@ impl<P: Payload> GossipEngine<P> {
 
     /// Build the rumor message entry for an active rumor from the
     /// *current* directory state (which may be fresher than when the
-    /// rumor started).
+    /// rumor started). Bloom updates go out as a delta chain whenever a
+    /// stored chain covers the rumor's version and is actually smaller
+    /// than the full payload; joins (the receiver has no base) and
+    /// chainless updates fall back to the full form.
     fn build_rumor(&self, a: &ActiveRumor) -> Rumor<P> {
         let e = self.dir.get(a.id.subject);
         let payload = match a.kind {
             RumorKind::Rejoin => None,
-            RumorKind::Join | RumorKind::BloomUpdate => {
-                e.and_then(|e| e.payload.clone())
+            RumorKind::Join => {
+                e.and_then(|e| e.payload.clone()).map(RumorPayload::Full)
             }
+            RumorKind::BloomUpdate => e.and_then(|e| {
+                let full = e.payload.clone()?;
+                if let Some(chain) = self.chain_for(a.id) {
+                    let full_bytes = PEER_SUMMARY_BYTES + full.wire_bytes();
+                    let delta_bytes = RUMOR_ID_BYTES + chain.wire_bytes();
+                    if delta_bytes < full_bytes {
+                        self.stats.delta_sent.inc();
+                        self.stats
+                            .delta_bytes_saved
+                            .add((full_bytes - delta_bytes) as u64);
+                        return Some(RumorPayload::Delta(chain));
+                    }
+                }
+                if self.config.delta_updates {
+                    self.stats.delta_full_fallbacks.inc();
+                }
+                Some(RumorPayload::Full(full))
+            }),
         };
         Rumor { id: a.id, kind: a.kind, payload }
+    }
+
+    /// The stored chain for a rumor, if it exactly covers the rumor's
+    /// announced version within the same incarnation.
+    fn chain_for(&self, id: RumorId) -> Option<DeltaChain<P>> {
+        if !self.config.delta_updates {
+            return None;
+        }
+        let c = self.chains.get(&id.subject)?;
+        if c.steps.is_empty()
+            || c.status_version != id.status_version
+            || c.end_version() != id.bloom_version
+        {
+            return None;
+        }
+        Some(DeltaChain {
+            base_bloom_version: c.base_bloom_version,
+            steps: c.steps.iter().cloned().collect(),
+        })
+    }
+
+    /// Append one delta step taking `(status_version, old_bv)` to
+    /// `old_bv + 1` onto the subject's chain, starting a fresh chain if
+    /// the stored one does not end at `old_bv`. Oldest steps fall off
+    /// past `config.max_delta_chain`.
+    fn push_chain_step(
+        &mut self,
+        subject: PeerId,
+        status_version: u64,
+        old_bv: u32,
+        delta: P::Delta,
+    ) {
+        if !self.config.delta_updates {
+            return;
+        }
+        let max = self.config.max_delta_chain.max(1);
+        let c = self.chains.entry(subject).or_insert_with(|| StoredChain {
+            status_version,
+            base_bloom_version: old_bv,
+            steps: VecDeque::new(),
+        });
+        if c.status_version != status_version || c.end_version() != old_bv {
+            *c = StoredChain {
+                status_version,
+                base_bloom_version: old_bv,
+                steps: VecDeque::new(),
+            };
+        }
+        c.steps.push_back(delta);
+        while c.steps.len() > max {
+            c.steps.pop_front();
+            c.base_bloom_version += 1;
+        }
+    }
+
+    /// Drop oldest steps until the subject's chain fits
+    /// `config.max_delta_chain`.
+    fn trim_chain(&mut self, subject: PeerId) {
+        let max = self.config.max_delta_chain.max(1);
+        if let Some(c) = self.chains.get_mut(&subject) {
+            while c.steps.len() > max {
+                c.steps.pop_front();
+                c.base_bloom_version += 1;
+            }
+        }
     }
 
     /// Ids this peer would advertise in a cheap anti-entropy exchange:

@@ -18,6 +18,12 @@
 //!    retired, letting the initiator pull recent news it missed at the
 //!    cost of tens of bytes.
 //!
+//! Bloom-filter updates travel as **delta chains** by default — the
+//! compressed diff steps between consecutive `bloom_version`s, with the
+//! full filter as the fallback whenever a receiver's base is missing
+//! ("PlanetP sends diffs of the Bloom filters to save bandwidth", §7.2).
+//! See [`rumor::RumorPayload`] and `GossipConfig::delta_updates`.
+//!
 //! The gossip interval adapts: it stretches by `slowdown` every time the
 //! peer sees `gossipless_threshold` consecutive identical-directory
 //! contacts while holding no rumors, and snaps back to the base interval
@@ -44,7 +50,10 @@ pub use dethash::{DetHashMap, DetState};
 pub use directory::{DirEntry, Directory, PeerStatus, SpeedClass};
 pub use engine::{GossipEngine, TickOutcome};
 pub use messages::Message;
-pub use rumor::{Payload, Rumor, RumorId, RumorKind, SizedPayload};
+pub use rumor::{
+    DeltaChain, Payload, Rumor, RumorId, RumorKind, RumorPayload, SizedDelta,
+    SizedPayload,
+};
 pub use stats::{EngineCounters, EngineStats};
 
 /// Peer identifier. Dense small integers keep the simulator's state

@@ -178,13 +178,13 @@ impl<P: Payload> Message<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rumor::{RumorKind, SizedPayload};
+    use crate::rumor::{RumorKind, RumorPayload, SizedPayload};
 
     fn rumor(bytes: usize) -> Rumor<SizedPayload> {
         Rumor {
             id: RumorId { subject: 1, status_version: 1, bloom_version: 1 },
             kind: RumorKind::BloomUpdate,
-            payload: Some(SizedPayload { bytes: bytes as u32 }),
+            payload: Some(RumorPayload::Full(SizedPayload { bytes: bytes as u32 })),
         }
     }
 

@@ -48,6 +48,16 @@ pub struct EngineStats {
     /// Suspect or offline peers that answered again and were marked
     /// back online.
     pub contact_recoveries: u64,
+    /// Bloom-update rumors sent as delta chains.
+    pub deltas_sent: u64,
+    /// Delta chains applied to this peer's directory.
+    pub deltas_applied: u64,
+    /// Delta chains that could not be applied (full filter pulled).
+    pub delta_chain_breaks: u64,
+    /// Bloom-update rumors sent full because no usable chain existed.
+    pub delta_full_fallbacks: u64,
+    /// Wire bytes saved by delta rumors versus their full form.
+    pub delta_bytes_saved: u64,
 }
 
 /// Live metric handles the engine records into. Cloning shares the
@@ -69,6 +79,11 @@ pub struct EngineCounters {
     pub(crate) contact_failures: Counter,
     pub(crate) contact_suspects: Counter,
     pub(crate) contact_recoveries: Counter,
+    pub(crate) delta_sent: Counter,
+    pub(crate) delta_applied: Counter,
+    pub(crate) delta_chain_breaks: Counter,
+    pub(crate) delta_full_fallbacks: Counter,
+    pub(crate) delta_bytes_saved: Counter,
     msgs_out: CounterFamily,
     msgs_in: CounterFamily,
     bytes_out: CounterFamily,
@@ -99,6 +114,12 @@ impl EngineCounters {
             contact_failures: registry.counter(names::GOSSIP_CONTACT_FAILURES),
             contact_suspects: registry.counter(names::GOSSIP_CONTACT_SUSPECTS),
             contact_recoveries: registry.counter(names::GOSSIP_CONTACT_RECOVERIES),
+            delta_sent: registry.counter(names::GOSSIP_DELTA_SENT),
+            delta_applied: registry.counter(names::GOSSIP_DELTA_APPLIED),
+            delta_chain_breaks: registry.counter(names::GOSSIP_DELTA_CHAIN_BREAKS),
+            delta_full_fallbacks: registry
+                .counter(names::GOSSIP_DELTA_FULL_FALLBACKS),
+            delta_bytes_saved: registry.counter(names::GOSSIP_DELTA_BYTES_SAVED),
             msgs_out: registry.counter_family(names::GOSSIP_MSGS_OUT),
             msgs_in: registry.counter_family(names::GOSSIP_MSGS_IN),
             bytes_out: registry.counter_family(names::GOSSIP_BYTES_OUT),
@@ -126,6 +147,11 @@ impl EngineCounters {
         fresh.contact_failures.add(self.contact_failures.get());
         fresh.contact_suspects.add(self.contact_suspects.get());
         fresh.contact_recoveries.add(self.contact_recoveries.get());
+        fresh.delta_sent.add(self.delta_sent.get());
+        fresh.delta_applied.add(self.delta_applied.get());
+        fresh.delta_chain_breaks.add(self.delta_chain_breaks.get());
+        fresh.delta_full_fallbacks.add(self.delta_full_fallbacks.get());
+        fresh.delta_bytes_saved.add(self.delta_bytes_saved.get());
         *self = fresh;
     }
 
@@ -150,6 +176,11 @@ impl EngineCounters {
             contact_failures: self.contact_failures.get(),
             contact_suspects: self.contact_suspects.get(),
             contact_recoveries: self.contact_recoveries.get(),
+            deltas_sent: self.delta_sent.get(),
+            deltas_applied: self.delta_applied.get(),
+            delta_chain_breaks: self.delta_chain_breaks.get(),
+            delta_full_fallbacks: self.delta_full_fallbacks.get(),
+            delta_bytes_saved: self.delta_bytes_saved.get(),
         }
     }
 

@@ -2,8 +2,9 @@
 //! the state machine one message at a time, without a driver loop.
 
 use planetp_gossip::{
-    Algorithm, DirEntry, Directory, GossipConfig, GossipEngine, Message,
-    PeerStatus, RumorId, RumorKind, SizedPayload, SpeedClass,
+    Algorithm, DeltaChain, DirEntry, Directory, GossipConfig, GossipEngine,
+    Message, PeerStatus, RumorId, RumorKind, RumorPayload, SizedDelta,
+    SizedPayload, SpeedClass,
 };
 
 type Engine = GossipEngine<SizedPayload>;
@@ -31,8 +32,36 @@ fn rumor(subject: u32, sv: u64, bv: u32, bytes: u32) -> planetp_gossip::Rumor<Si
     planetp_gossip::Rumor {
         id: RumorId { subject, status_version: sv, bloom_version: bv },
         kind: RumorKind::BloomUpdate,
-        payload: Some(SizedPayload { bytes }),
+        payload: Some(RumorPayload::Full(SizedPayload { bytes })),
     }
+}
+
+fn delta_rumor(
+    subject: u32,
+    sv: u64,
+    base: u32,
+    steps: Vec<SizedDelta>,
+) -> planetp_gossip::Rumor<SizedPayload> {
+    let end = base + steps.len() as u32;
+    planetp_gossip::Rumor {
+        id: RumorId { subject, status_version: sv, bloom_version: end },
+        kind: RumorKind::BloomUpdate,
+        payload: Some(RumorPayload::Delta(DeltaChain {
+            base_bloom_version: base,
+            steps,
+        })),
+    }
+}
+
+fn tick_until_rumor(e: &mut Engine) -> Msg {
+    for round in 1..100 {
+        if let Some(out) = e.tick(round * 30_000) {
+            if matches!(out.message, Msg::Rumor { .. }) {
+                return out.message;
+            }
+        }
+    }
+    panic!("no rumor round within 100 ticks");
 }
 
 #[test]
@@ -320,6 +349,228 @@ fn tick_with_no_known_peers_does_nothing() {
         None,
     );
     assert!(solo.tick(30_000).is_none());
+}
+
+#[test]
+fn delta_rumor_applies_against_stored_base() {
+    let mut e = engine_of(5, 0); // everyone at (sv 1, bv 1, 3000 bytes)
+    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    let responses = e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
+    assert_eq!(responses.len(), 1, "no fallback pull for an applicable chain");
+    match &responses[0].1 {
+        Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[false]),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    let entry = e.directory().get(2).expect("entry exists");
+    assert_eq!(entry.bloom_version, 2);
+    assert_eq!(entry.payload, Some(SizedPayload { bytes: 3100 }));
+    assert_eq!(e.stats().deltas_applied, 1);
+    // The applied chain is kept (for forwarding and for the live
+    // runtime's in-place query-mirror updates).
+    assert_eq!(
+        e.delta_steps(2, 1, 1, 2),
+        Some(vec![SizedDelta { bytes: 120, full_bytes: 3100 }])
+    );
+}
+
+#[test]
+fn receiver_applies_matching_suffix_of_longer_chain() {
+    let mut e = engine_of(5, 0); // entry at bv 1
+    // Chain covers 0 -> 3; we sit at 1, so only steps 1->2 and 2->3 apply.
+    let steps = vec![
+        SizedDelta { bytes: 100, full_bytes: 3050 },
+        SizedDelta { bytes: 110, full_bytes: 3150 },
+        SizedDelta { bytes: 130, full_bytes: 3250 },
+    ];
+    e.handle_message(1, Msg::Rumor { rumors: vec![delta_rumor(2, 1, 0, steps)] }, 0);
+    let entry = e.directory().get(2).expect("entry exists");
+    assert_eq!(entry.bloom_version, 3);
+    assert_eq!(entry.payload, Some(SizedPayload { bytes: 3250 }));
+}
+
+#[test]
+fn broken_delta_chain_pulls_full_state_and_leaves_directory_untouched() {
+    let mut e = engine_of(5, 0); // entry at bv 1
+    // Chain base 3 needs a bv-3 entry we do not have.
+    let r = delta_rumor(2, 1, 3, vec![SizedDelta { bytes: 90, full_bytes: 3400 }]);
+    let id = r.id;
+    let responses = e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
+    // Directory untouched...
+    let entry = e.directory().get(2).expect("entry exists");
+    assert_eq!(entry.bloom_version, 1);
+    assert_eq!(entry.payload, Some(SizedPayload { bytes: 3000 }));
+    assert_eq!(e.stats().delta_chain_breaks, 1);
+    // ...ack says "did not know", and the same batched exchange pulls
+    // the full state from the sender.
+    assert_eq!(responses.len(), 2);
+    match &responses[0].1 {
+        Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[false]),
+        other => panic!("expected ack, got {other:?}"),
+    }
+    match &responses[1].1 {
+        Msg::Pull { ids } => assert_eq!(ids, &[id]),
+        other => panic!("expected fallback pull, got {other:?}"),
+    }
+    // The sender's PullReply completes the recovery.
+    let state = planetp_gossip::messages::PeerState {
+        subject: 2,
+        status_version: 1,
+        bloom_version: 4,
+        payload: Some(SizedPayload { bytes: 3400 }),
+    };
+    e.handle_message(1, Msg::PullReply { entries: vec![state] }, 0);
+    assert!(e.knows(id));
+    assert_eq!(
+        e.directory().get(2).expect("entry exists").payload,
+        Some(SizedPayload { bytes: 3400 })
+    );
+}
+
+#[test]
+fn local_update_delta_rumors_the_diff_not_the_filter() {
+    let mut e = engine_of(6, 0);
+    e.local_update_delta(
+        SizedPayload { bytes: 3100 },
+        SizedDelta { bytes: 150, full_bytes: 3100 },
+    );
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    assert_eq!(rumors.len(), 1);
+    match &rumors[0].payload {
+        Some(RumorPayload::Delta(chain)) => {
+            assert_eq!(chain.base_bloom_version, 1);
+            assert_eq!(
+                chain.steps,
+                vec![SizedDelta { bytes: 150, full_bytes: 3100 }]
+            );
+        }
+        other => panic!("expected delta payload, got {other:?}"),
+    }
+    // rumor id + chain header + step, far below the 48 + 3100 full form.
+    assert_eq!(rumors[0].wire_bytes(), 16 + 8 + 150);
+    let s = e.stats();
+    assert_eq!(s.deltas_sent, 1);
+    assert_eq!(s.delta_full_fallbacks, 0);
+    assert_eq!(s.delta_bytes_saved, (48 + 3100 - (16 + 8 + 150)) as u64);
+}
+
+#[test]
+fn plain_local_update_falls_back_to_full_payload() {
+    let mut e = engine_of(6, 0);
+    e.local_update(SizedPayload { bytes: 3100 });
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    assert!(matches!(
+        rumors[0].payload,
+        Some(RumorPayload::Full(SizedPayload { bytes: 3100 }))
+    ));
+    let s = e.stats();
+    assert_eq!(s.deltas_sent, 0);
+    assert_eq!(s.delta_full_fallbacks, 1);
+}
+
+#[test]
+fn oversized_delta_chain_falls_back_to_full_form() {
+    let mut e = engine_of(6, 0);
+    // A "diff" bigger than the full filter: sending it would waste bytes.
+    e.local_update_delta(
+        SizedPayload { bytes: 3100 },
+        SizedDelta { bytes: 50_000, full_bytes: 3100 },
+    );
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    assert!(matches!(rumors[0].payload, Some(RumorPayload::Full(_))));
+    assert_eq!(e.stats().deltas_sent, 0);
+    assert_eq!(e.stats().delta_full_fallbacks, 1);
+}
+
+#[test]
+fn delta_updates_off_always_sends_full() {
+    let cfg = GossipConfig { delta_updates: false, ..GossipConfig::default() };
+    let mut dir = Directory::new();
+    for id in 0..6 {
+        dir.insert(id, entry(1, 1, 3000));
+    }
+    let mut e = Engine::with_directory(0, SpeedClass::Fast, cfg, 7, dir);
+    e.local_update_delta(
+        SizedPayload { bytes: 3100 },
+        SizedDelta { bytes: 150, full_bytes: 3100 },
+    );
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    assert!(matches!(rumors[0].payload, Some(RumorPayload::Full(_))));
+    let s = e.stats();
+    assert_eq!(s.deltas_sent, 0);
+    assert_eq!(
+        s.delta_full_fallbacks, 0,
+        "fallbacks are only counted when delta mode is on"
+    );
+}
+
+#[test]
+fn applied_chain_is_forwarded_as_a_delta() {
+    let mut e = engine_of(6, 0);
+    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    assert_eq!(rumors.len(), 1);
+    assert!(
+        matches!(
+            &rumors[0].payload,
+            Some(RumorPayload::Delta(c)) if c.base_bloom_version == 1
+        ),
+        "a receiver that applied a chain forwards the chain, not the full filter"
+    );
+}
+
+#[test]
+fn consecutive_local_deltas_chain_up_and_cover_stragglers() {
+    let mut e = engine_of(5, 0);
+    for i in 0..3u32 {
+        e.local_update_delta(
+            SizedPayload { bytes: 3000 + 100 * (i + 1) },
+            SizedDelta { bytes: 100, full_bytes: 3000 + 100 * (i + 1) },
+        );
+    }
+    // Chain now covers 1 -> 4; stragglers at any covered version are served.
+    assert_eq!(e.delta_steps(0, 1, 1, 4).map(|s| s.len()), Some(3));
+    assert_eq!(e.delta_steps(0, 1, 3, 4).map(|s| s.len()), Some(1));
+    assert_eq!(e.delta_steps(0, 1, 0, 4), None, "below the chain base");
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    match &rumors[0].payload {
+        Some(RumorPayload::Delta(c)) => {
+            assert_eq!(c.base_bloom_version, 1);
+            assert_eq!(c.steps.len(), 3);
+        }
+        other => panic!("expected 3-step chain, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_payload_news_invalidates_stored_chain() {
+    let mut e = engine_of(5, 0);
+    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
+    assert!(e.delta_steps(2, 1, 1, 2).is_some());
+    // A full-payload rumor jumps the subject to bv 5: the chain no
+    // longer ends at the entry's version and must be dropped.
+    e.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 5, 3500)] }, 0);
+    assert_eq!(e.delta_steps(2, 1, 1, 2), None);
+}
+
+#[test]
+fn chain_length_is_capped_and_base_advances() {
+    let cfg = GossipConfig { max_delta_chain: 2, ..GossipConfig::default() };
+    let mut dir = Directory::new();
+    for id in 0..4 {
+        dir.insert(id, entry(1, 1, 3000));
+    }
+    let mut e = Engine::with_directory(0, SpeedClass::Fast, cfg, 7, dir);
+    for _ in 0..5 {
+        e.local_update_delta(
+            SizedPayload { bytes: 3100 },
+            SizedDelta { bytes: 100, full_bytes: 3100 },
+        );
+    }
+    // bv is now 6; only the last two steps (4->5, 5->6) are kept.
+    assert_eq!(e.delta_steps(0, 1, 4, 6).map(|s| s.len()), Some(2));
+    assert_eq!(e.delta_steps(0, 1, 3, 6), None);
 }
 
 #[test]

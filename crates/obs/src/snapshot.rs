@@ -216,6 +216,22 @@ impl MetricsSnapshot {
                 self.gauge(crate::names::BLOOMTREE_HEIGHT)
             );
         }
+        // Derived summary: what delta gossip saved versus shipping full
+        // filters, if any bloom updates went out as diffs.
+        let delta_sent = self.counter(crate::names::GOSSIP_DELTA_SENT);
+        let full_fallbacks =
+            self.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS);
+        if delta_sent + full_fallbacks > 0 {
+            let saved = self.counter(crate::names::GOSSIP_DELTA_BYTES_SAVED);
+            let _ = writeln!(
+                out,
+                "delta gossip: {delta_sent} delta rumors saved {:.1} KB \
+                 ({} applied, {} chain breaks, {full_fallbacks} full fallbacks)",
+                saved as f64 / 1024.0,
+                self.counter(crate::names::GOSSIP_DELTA_APPLIED),
+                self.counter(crate::names::GOSSIP_DELTA_CHAIN_BREAKS)
+            );
+        }
         // Derived summary: how often the connection pool avoided a TCP
         // connect, if the node ran one.
         let opened = self.counter(crate::names::CONN_OPENED);
@@ -303,6 +319,29 @@ mod tests {
         assert!(
             !text.contains("conn pool:"),
             "no pool summary without pooled contacts"
+        );
+        assert!(
+            !text.contains("delta gossip:"),
+            "no delta summary without delta activity"
+        );
+    }
+
+    #[test]
+    fn render_human_summarizes_delta_savings() {
+        let reg = Registry::new();
+        reg.counter(crate::names::GOSSIP_DELTA_SENT).add(40);
+        reg.counter(crate::names::GOSSIP_DELTA_APPLIED).add(38);
+        reg.counter(crate::names::GOSSIP_DELTA_CHAIN_BREAKS).add(2);
+        reg.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS).add(3);
+        reg.counter(crate::names::GOSSIP_DELTA_BYTES_SAVED).add(10 * 1024);
+        let text = reg.snapshot().render_human();
+        assert!(
+            text.contains("delta gossip: 40 delta rumors saved 10.0 KB"),
+            "{text}"
+        );
+        assert!(
+            text.contains("38 applied, 2 chain breaks, 3 full fallbacks"),
+            "{text}"
         );
     }
 

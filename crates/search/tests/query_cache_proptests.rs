@@ -15,7 +15,7 @@
 
 use std::collections::HashSet;
 
-use planetp_bloom::{BloomFilter, BloomParams};
+use planetp_bloom::{BloomDiff, BloomFilter, BloomParams, CompressedBloom};
 use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_search::{
     rank_peers, IpfTable, PeerFilterRef, QueryCache, QueryCacheStats,
@@ -226,6 +226,106 @@ proptest! {
         prop_assert_eq!(s.misses, misses_after_cold, "bumps caused probes");
         prop_assert_eq!(s.rebuilds, 1, "no membership change happened");
         prop_assert_eq!(s.peer_refreshes, bumps.len() as u64);
+    }
+
+    /// Delta gossip is invisible to search: one twin maintains its peer
+    /// mirrors the full-filter way (decompress the gossiped filter on
+    /// every republish), the other the delta way (toggle the diff's
+    /// bits into the existing mirror, as `synced_query_state` does).
+    /// Replaying the same schedule, the mirrors must stay bit-identical
+    /// and both caches must produce bit-identical plans and counters.
+    #[test]
+    fn delta_applied_mirrors_match_full_replacement(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let seed = |i: u64| ModelPeer {
+            id: i + 1,
+            version: 0,
+            filter: filter_of(&[i as u8, (i as u8 + 1) % 8]),
+        };
+        let mut full: Vec<ModelPeer> = (0..3u64).map(seed).collect();
+        let mut delta: Vec<ModelPeer> = (0..3u64).map(seed).collect();
+        let mut next_id = 4u64;
+        let mut full_cache = QueryCache::new();
+        let mut delta_cache = QueryCache::new();
+
+        for op in &ops {
+            match op {
+                Op::Republish(p, terms) => {
+                    if full.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % full.len();
+                    let new = filter_of(terms);
+                    // Full twin: the wire carried the whole compressed
+                    // filter; the mirror is replaced by a decompression.
+                    full[i].version += 1;
+                    full[i].filter =
+                        CompressedBloom::compress(&new).decompress().unwrap();
+                    // Delta twin: the wire carried a diff against the
+                    // previous gossiped version; the mirror is patched
+                    // in place.
+                    let d = BloomDiff::between(&delta[i].filter, &new);
+                    prop_assert!(d.apply_in_place(&mut delta[i].filter));
+                    delta[i].version += 1;
+                }
+                Op::Join(terms) | Op::JoinForeign(terms) => {
+                    // Joins always gossip the full filter.
+                    for peers in [&mut full, &mut delta] {
+                        let filter = if matches!(op, Op::Join(_)) {
+                            filter_of(terms)
+                        } else {
+                            foreign_filter_of(terms)
+                        };
+                        peers.push(ModelPeer { id: next_id, version: 0, filter });
+                    }
+                    next_id += 1;
+                }
+                Op::Leave(p) => {
+                    if full.is_empty() {
+                        continue;
+                    }
+                    let i = *p as usize % full.len();
+                    full.remove(i);
+                    delta.remove(i);
+                }
+                Op::Query(idxs) => {
+                    let q: Vec<String> =
+                        idxs.iter().map(|&i| term(i)).collect();
+                    // The mirrors themselves must be bit-identical…
+                    for (a, b) in full.iter().zip(&delta) {
+                        prop_assert_eq!(a.id, b.id);
+                        prop_assert_eq!(&a.filter, &b.filter);
+                        prop_assert_eq!(
+                            a.filter.keys_inserted(),
+                            b.filter.keys_inserted()
+                        );
+                    }
+                    // …and so must everything computed from them.
+                    let view_a: Vec<PeerFilterRef<'_>> = full
+                        .iter()
+                        .map(|m| PeerFilterRef {
+                            id: m.id,
+                            version: (m.version, 0),
+                            filter: &m.filter,
+                        })
+                        .collect();
+                    let view_b: Vec<PeerFilterRef<'_>> = delta
+                        .iter()
+                        .map(|m| PeerFilterRef {
+                            id: m.id,
+                            version: (m.version, 0),
+                            filter: &m.filter,
+                        })
+                        .collect();
+                    let a = full_cache.plan(&q, &view_a);
+                    let b = delta_cache.plan(&q, &view_b);
+                    prop_assert_eq!(a.ipf.to_pairs(), b.ipf.to_pairs());
+                    prop_assert_eq!(a.ranked, b.ranked);
+                    prop_assert_eq!(full_cache.stats(), delta_cache.stats());
+                }
+            }
+        }
     }
 
     /// The Bloofi front end is an invisible optimization: a flat cache

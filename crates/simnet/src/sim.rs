@@ -384,6 +384,40 @@ impl Simulator {
         rumor
     }
 
+    /// A node's Bloom filter changes *and the diff is known*: the update
+    /// gossips as a delta of `delta_bytes` while the full filter (what
+    /// anti-entropy and chain-break fallbacks ship) weighs
+    /// `payload_bytes` (§7.2's "diffs of the Bloom filters"). Returns
+    /// the rumor id of the update.
+    pub fn local_update_delta(
+        &mut self,
+        id: NodeId,
+        payload_bytes: u32,
+        delta_bytes: u32,
+    ) -> RumorId {
+        let node = &mut self.nodes[id as usize];
+        assert!(node.online, "offline nodes cannot publish");
+        node.engine.local_update_delta(
+            SizedPayload { bytes: payload_bytes },
+            planetp_gossip::SizedDelta {
+                bytes: delta_bytes,
+                full_bytes: payload_bytes,
+            },
+        );
+        let e = node
+            .engine
+            .directory()
+            .get(id)
+            .expect("self entry always present");
+        let rumor = RumorId {
+            subject: id,
+            status_version: e.status_version,
+            bloom_version: e.bloom_version,
+        };
+        self.mark_known(id, id);
+        rumor
+    }
+
     /// Start timing a rumor; marks peers that already know it.
     pub fn track(&mut self, id: RumorId) -> usize {
         let idx = self.metrics.track(id, self.now, self.nodes.len());
@@ -850,6 +884,36 @@ mod tests {
         assert!(snap.counter(names::GOSSIP_ROUNDS) > 0, "engine counters merged");
         assert_eq!(snap.counter(names::SIM_RUMORS_CONVERGED), 1);
         assert!(snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered").count == 1);
+    }
+
+    #[test]
+    fn delta_update_converges_like_full_but_cheaper() {
+        use planetp_obs::names;
+        // Table 2: a 1000-key diff ≈ 3000 bytes; the full 20k-key
+        // filter ≈ 16000 bytes.
+        let run = |delta: bool| {
+            let mut sim = lan_sim(40);
+            let rumor = if delta {
+                sim.local_update_delta(0, 16_000, 3_000)
+            } else {
+                sim.local_update(0, 16_000)
+            };
+            sim.track(rumor);
+            sim.run_until(2_000_000);
+            (
+                sim.metrics.tracked[0].latency_ms().expect("converges"),
+                sim.metrics.bytes_by_kind.get("rumor").copied().unwrap_or(0),
+                sim.snapshot().counter(names::GOSSIP_DELTA_APPLIED),
+            )
+        };
+        let (_full_t, full_bytes, full_applied) = run(false);
+        let (_delta_t, delta_bytes, delta_applied) = run(true);
+        assert_eq!(full_applied, 0);
+        assert!(delta_applied > 0, "no peer applied a delta chain");
+        assert!(
+            delta_bytes * 3 < full_bytes,
+            "delta rumor bytes {delta_bytes} not <1/3 of full {full_bytes}"
+        );
     }
 
     #[test]
