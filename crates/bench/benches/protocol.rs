@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use planetp_gossip::{
-    DirEntry, Directory, GossipConfig, GossipEngine, PeerStatus, SizedPayload,
-    SpeedClass,
+    DirEntry, Directory, GossipConfig, GossipEngine, PeerStatus, SizedPayload, SpeedClass,
 };
 use planetp_simnet::{LinkClass, SimConfig, Simulator};
 use std::hint::black_box;

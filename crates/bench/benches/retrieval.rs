@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use planetp_bench::retrieval::build_setup;
 use planetp_bloom::{BloomFilter, BloomParams};
 use planetp_corpus::{ap89_like_scaled, Collection, Partition};
-use planetp_search::{
-    rank_peers, DistributedSearch, IpfTable, SelectionConfig,
-};
+use planetp_search::{rank_peers, DistributedSearch, IpfTable, SelectionConfig};
 use std::hint::black_box;
 
 fn filters(n: usize) -> Vec<BloomFilter> {
@@ -50,13 +48,7 @@ fn bench_distributed_query(c: &mut Criterion) {
     let mut g = c.benchmark_group("distributed_query");
     g.sample_size(10);
     let collection = Collection::generate(ap89_like_scaled(40));
-    let setup = build_setup(
-        collection,
-        200,
-        Partition::paper(),
-        BloomParams::paper(),
-        7,
-    );
+    let setup = build_setup(collection, 200, Partition::paper(), BloomParams::paper(), 7);
     let search = DistributedSearch::new(&setup.peers);
     let queries: Vec<&Vec<String>> = setup
         .collection

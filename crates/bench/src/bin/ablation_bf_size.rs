@@ -32,9 +32,17 @@ fn main() {
 
     let mut runs = Vec::new();
     for kb in [1usize, 4, 12, 50, 200] {
-        let params = BloomParams { num_bits: kb * 1024 * 8, num_hashes: 2 };
-        let setup =
-            build_setup(collection.clone(), num_peers, Partition::paper(), params, 0xAB3);
+        let params = BloomParams {
+            num_bits: kb * 1024 * 8,
+            num_hashes: 2,
+        };
+        let setup = build_setup(
+            collection.clone(),
+            num_peers,
+            Partition::paper(),
+            params,
+            0xAB3,
+        );
         let p = eval_tfxipf(&setup, k, StoppingRule::Adaptive, 1);
         let mean_fpr = setup
             .peers
@@ -76,7 +84,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["filter", "mean FPR", "max wire bytes", "recall", "precision", "contacted"],
+        &[
+            "filter",
+            "mean FPR",
+            "max wire bytes",
+            "recall",
+            "precision",
+            "contacted",
+        ],
         &rows,
     );
     println!(

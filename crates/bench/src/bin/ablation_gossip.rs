@@ -20,7 +20,11 @@ struct Run {
 }
 
 fn run(label: &str, gossip: GossipConfig, n: usize) -> Run {
-    let cfg = SimConfig { gossip, seed: 0xAB2, ..SimConfig::default() };
+    let cfg = SimConfig {
+        gossip,
+        seed: 0xAB2,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(cfg);
     sim.add_stable_community(
         &vec![LinkClass::Dsl512k; n],
@@ -38,14 +42,15 @@ fn run(label: &str, gossip: GossipConfig, n: usize) -> Run {
             break;
         }
     }
-    let time_s = sim.metrics.tracked[t].latency_ms().map(|ms| ms as f64 / 1000.0);
+    let time_s = sim.metrics.tracked[t]
+        .latency_ms()
+        .map(|ms| ms as f64 / 1000.0);
     let total = bytes_at_conv.unwrap_or(sim.metrics.total_bytes);
     // Quiescent bandwidth: run another 30 sim-minutes after convergence.
     let before = sim.metrics.total_bytes;
     let q_start = sim.now();
     sim.run_for(30 * 60 * 1000);
-    let q_bps = (sim.metrics.total_bytes - before) as f64
-        / ((sim.now() - q_start) as f64 / 1000.0);
+    let q_bps = (sim.metrics.total_bytes - before) as f64 / ((sim.now() - q_start) as f64 / 1000.0);
     Run {
         label: label.to_string(),
         time_s,
@@ -65,25 +70,37 @@ fn main() {
     for death_n in [1u32, 2, 4] {
         runs.push(run(
             &format!("rumor death n={death_n}"),
-            GossipConfig { rumor_death_n: death_n, ..base },
+            GossipConfig {
+                rumor_death_n: death_n,
+                ..base
+            },
             n,
         ));
     }
     for ae_every in [2u32, 5, 10, 20] {
         runs.push(run(
             &format!("full AE every {ae_every} rounds"),
-            GossipConfig { anti_entropy_every: ae_every, ..base },
+            GossipConfig {
+                anti_entropy_every: ae_every,
+                ..base
+            },
             n,
         ));
     }
     runs.push(run(
         "no partial anti-entropy",
-        GossipConfig { algorithm: Algorithm::PlanetPNoPartialAE, ..base },
+        GossipConfig {
+            algorithm: Algorithm::PlanetPNoPartialAE,
+            ..base
+        },
         n,
     ));
     runs.push(run(
         "no adaptive interval (slowdown=0)",
-        GossipConfig { slowdown_ms: 0, ..base },
+        GossipConfig {
+            slowdown_ms: 0,
+            ..base
+        },
         n,
     ));
     runs.push(run("paper defaults", base, n));
@@ -101,7 +118,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["configuration", "time (s)", "volume (MB)", "quiescent B/s (aggregate)"],
+        &[
+            "configuration",
+            "time (s)",
+            "volume (MB)",
+            "quiescent B/s (aggregate)",
+        ],
         &rows,
     );
     write_json("ablation_gossip", &runs);

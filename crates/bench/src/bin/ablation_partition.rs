@@ -33,9 +33,10 @@ fn main() {
     let collection = Collection::generate(spec);
 
     let mut runs = Vec::new();
-    for (name, partition) in
-        [("Weibull", Partition::paper()), ("Uniform", Partition::Uniform)]
-    {
+    for (name, partition) in [
+        ("Weibull", Partition::paper()),
+        ("Uniform", Partition::Uniform),
+    ] {
         let setup = build_setup(
             collection.clone(),
             num_peers,

@@ -47,7 +47,10 @@ fn main() {
         }
     }
     println!("Ablation: stopping rules for the selection problem ({num_peers} peers)");
-    print_table(&["k", "rule", "recall", "precision", "peers contacted"], &rows);
+    print_table(
+        &["k", "rule", "recall", "precision", "peers contacted"],
+        &rows,
+    );
     println!(
         "\nExpected: first-k recalls worst; adaptive within a whisker of \
          all-ranked at a fraction of the contacts."

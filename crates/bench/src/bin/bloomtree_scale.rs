@@ -34,7 +34,10 @@ use std::time::Instant;
 const TERMS_PER_PEER: usize = 64;
 /// One fixed bit space for the whole community: 25,600 bits / 2 hashes
 /// holds 64 keys at ~0.4% FPR.
-const PARAMS: BloomParams = BloomParams { num_bits: 25_600, num_hashes: 2 };
+const PARAMS: BloomParams = BloomParams {
+    num_bits: 25_600,
+    num_hashes: 2,
+};
 /// Tree fan-out: 16 children per interior node.
 const FANOUT: usize = 16;
 /// Distinct single-term lookups per measurement pass.
@@ -100,8 +103,9 @@ fn word(w: usize) -> String {
 /// handful of peers, plus a guaranteed miss.
 fn lookup_keys(n: usize) -> Vec<String> {
     let vocab = (n * TERMS_PER_PEER) / 8;
-    let mut keys: Vec<String> =
-        (0..LOOKUPS - 1).map(|q| word((q * 97 + 3) % vocab)).collect();
+    let mut keys: Vec<String> = (0..LOOKUPS - 1)
+        .map(|q| word((q * 97 + 3) % vocab))
+        .collect();
     keys.push("nobody-has-this-term".to_string());
     keys
 }
@@ -139,8 +143,7 @@ fn cache_micro(
 
 fn bench_community(n: usize, reps: usize) -> Row {
     let filters = community(n);
-    let keys: Vec<HashedKey> =
-        lookup_keys(n).iter().map(|k| HashedKey::new(k)).collect();
+    let keys: Vec<HashedKey> = lookup_keys(n).iter().map(|k| HashedKey::new(k)).collect();
 
     // Raw flat scan: N probes per key, by construction.
     let t = Instant::now();
@@ -156,7 +159,11 @@ fn bench_community(n: usize, reps: usize) -> Row {
     let entries: Vec<PeerEntry<'_>> = filters
         .iter()
         .enumerate()
-        .map(|(i, f)| PeerEntry { id: i as u64, version: (1, 1), filter: f })
+        .map(|(i, f)| PeerEntry {
+            id: i as u64,
+            version: (1, 1),
+            filter: f,
+        })
         .collect();
     let registry = Registry::new();
     let t = Instant::now();
@@ -177,26 +184,24 @@ fn bench_community(n: usize, reps: usize) -> Row {
 
     let snap = registry.snapshot();
     let lookups = snap.counter(names::BLOOMTREE_LOOKUPS) as f64;
-    let nodes_visited_mean =
-        snap.counter(names::BLOOMTREE_NODES_VISITED) as f64 / lookups;
+    let nodes_visited_mean = snap.counter(names::BLOOMTREE_NODES_VISITED) as f64 / lookups;
     let candidates_mean = snap.counter(names::BLOOMTREE_CANDIDATES) as f64 / lookups;
-    let probes_saved_mean =
-        snap.counter(names::BLOOMTREE_PROBES_SAVED) as f64 / lookups;
+    let probes_saved_mean = snap.counter(names::BLOOMTREE_PROBES_SAVED) as f64 / lookups;
 
     // Integrated: the query cache's cold path with and without the
     // tree front end, over the same borrowed view.
     let view: Vec<PeerFilterRef<'_>> = filters
         .iter()
         .enumerate()
-        .map(|(i, f)| PeerFilterRef { id: i as u64, version: (1, 0), filter: f })
+        .map(|(i, f)| PeerFilterRef {
+            id: i as u64,
+            version: (1, 0),
+            filter: f,
+        })
         .collect();
-    let (cache_flat_cold_us, cache_flat_warm_us) =
-        cache_micro(QueryCache::new, &view, reps);
+    let (cache_flat_cold_us, cache_flat_warm_us) = cache_micro(QueryCache::new, &view, reps);
     let (cache_tree_cold_us, cache_tree_warm_us) = cache_micro(
-        || {
-            QueryCache::new()
-                .with_tree(TreeConfig::new(FANOUT, PARAMS), TreeMetrics::detached())
-        },
+        || QueryCache::new().with_tree(TreeConfig::new(FANOUT, PARAMS), TreeMetrics::detached()),
         &view,
         reps,
     );
@@ -272,7 +277,11 @@ fn main() {
             r.peers,
             r.nodes_visited_mean,
             r.flat_probes,
-            if r.pruning_wins { "pruning wins" } else { "pruning LOSES" },
+            if r.pruning_wins {
+                "pruning wins"
+            } else {
+                "pruning LOSES"
+            },
             r.probes_saved_mean,
         );
     }

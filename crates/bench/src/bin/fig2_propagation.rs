@@ -50,7 +50,10 @@ fn main() {
     write_json("fig2_propagation", &results);
 }
 
-fn by_scenario(results: &[planetp_simnet::experiments::PropagationResult], f: impl Fn(&PropagationResult) -> String) {
+fn by_scenario(
+    results: &[planetp_simnet::experiments::PropagationResult],
+    f: impl Fn(&PropagationResult) -> String,
+) {
     let mut sizes: Vec<usize> = results.iter().map(|r| r.n).collect();
     sizes.sort_unstable();
     sizes.dedup();

@@ -15,9 +15,27 @@ fn main() {
         Scale::Full => (1000, vec![50, 100, 150, 200, 250]),
     };
     let scenarios = [
-        Scenario { name: "LAN", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-        Scenario { name: "DSL", links: LinkScenario::DSL, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-        Scenario { name: "MIX", links: LinkScenario::Mix, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: true },
+        Scenario {
+            name: "LAN",
+            links: LinkScenario::LAN,
+            interval_ms: 30_000,
+            algorithm: Algorithm::PlanetP,
+            bandwidth_aware: false,
+        },
+        Scenario {
+            name: "DSL",
+            links: LinkScenario::DSL,
+            interval_ms: 30_000,
+            algorithm: Algorithm::PlanetP,
+            bandwidth_aware: false,
+        },
+        Scenario {
+            name: "MIX",
+            links: LinkScenario::Mix,
+            interval_ms: 30_000,
+            algorithm: Algorithm::PlanetP,
+            bandwidth_aware: true,
+        },
     ];
     let mut results: Vec<JoinResult> = Vec::new();
     for scenario in scenarios {
@@ -35,9 +53,7 @@ fn main() {
         }
     }
 
-    println!(
-        "\nFigure 3: seconds for m peers (20k keys each) to join {n_stable} stable peers"
-    );
+    println!("\nFigure 3: seconds for m peers (20k keys each) to join {n_stable} stable peers");
     let mut headers: Vec<String> = vec!["scenario".into()];
     headers.extend(joiner_counts.iter().map(|m| format!("m={m}")));
     let headers: Vec<&str> = headers.iter().map(String::as_str).collect();

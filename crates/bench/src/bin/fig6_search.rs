@@ -49,7 +49,13 @@ fn main() {
     let params = BloomParams::paper();
 
     eprintln!("distributing over {num_peers} peers (Weibull)...");
-    let setup = build_setup(collection.clone(), num_peers, Partition::paper(), params, 0x00F6);
+    let setup = build_setup(
+        collection.clone(),
+        num_peers,
+        Partition::paper(),
+        params,
+        0x00F6,
+    );
 
     let mut idf_points = Vec::new();
     let mut ipf_points = Vec::new();
@@ -64,7 +70,10 @@ fn main() {
         ipf_points.push(ipf);
     }
 
-    println!("\nFigure 6(a): average recall/precision vs k ({} over {num_peers} peers)", collection.spec.name);
+    println!(
+        "\nFigure 6(a): average recall/precision vs k ({} over {num_peers} peers)",
+        collection.spec.name
+    );
     let rows: Vec<Vec<String>> = ks
         .iter()
         .enumerate()

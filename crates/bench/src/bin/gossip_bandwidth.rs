@@ -49,14 +49,18 @@ fn rumor_bytes(sim: &Simulator) -> u64 {
 
 fn run(label: &str, delta_updates: bool, n: usize, churn_rounds: usize) -> Run {
     let t2 = Table2::paper();
-    let gossip = GossipConfig { delta_updates, ..GossipConfig::default() };
+    let gossip = GossipConfig {
+        delta_updates,
+        ..GossipConfig::default()
+    };
     let interval = u64::from(gossip.base_interval_ms);
-    let cfg = SimConfig { gossip, seed: 0xD17A, ..SimConfig::default() };
+    let cfg = SimConfig {
+        gossip,
+        seed: 0xD17A,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(cfg);
-    sim.add_stable_community(
-        &vec![LinkClass::Dsl512k; n],
-        t2.bf_20000_keys_bytes as u32,
-    );
+    sim.add_stable_community(&vec![LinkClass::Dsl512k; n], t2.bf_20000_keys_bytes as u32);
     sim.run_until(5_000);
 
     // Small-churn schedule: the same ~5% of peers republish every
@@ -201,7 +205,10 @@ fn main() {
                 / r.rounds.len() as f64;
             vec![
                 r.label.clone(),
-                format!("{:.1}", r.rumor_bytes_total as f64 / 1e3 / churn_rounds as f64),
+                format!(
+                    "{:.1}",
+                    r.rumor_bytes_total as f64 / 1e3 / churn_rounds as f64
+                ),
                 format!("{:.2}", r.total_bytes as f64 / 1e6),
                 format!("{mean_rounds:.1}"),
                 r.deltas_sent.to_string(),
@@ -221,8 +228,7 @@ fn main() {
         &rows,
     );
 
-    let reduction =
-        full.rumor_bytes_total as f64 / delta.rumor_bytes_total.max(1) as f64;
+    let reduction = full.rumor_bytes_total as f64 / delta.rumor_bytes_total.max(1) as f64;
     println!(
         "\nrumor bytes: {reduction:.1}x less with deltas; per-hop CPU: \
          decompress {:.0}us vs diff-apply {:.0}us ({:.1}x)",

@@ -123,7 +123,11 @@ fn delayed(seed: u64) -> Option<Arc<FaultInjector>> {
     Some(Arc::new(FaultInjector::new(
         seed,
         FaultPlan {
-            inbound: FaultRules { delay: 1.0, delay_ms: DELAY_MS, ..FaultRules::default() },
+            inbound: FaultRules {
+                delay: 1.0,
+                delay_ms: DELAY_MS,
+                ..FaultRules::default()
+            },
             outbound: FaultRules::default(),
         },
     )))
@@ -136,12 +140,7 @@ fn median(samples: &mut [f64]) -> f64 {
 
 /// Time `runs` executions of a ranked query; the query string differs
 /// per run for cold series (fresh cache terms) and repeats for warm.
-fn time_series(
-    node: &LiveNode,
-    queries: &[String],
-    k: usize,
-    group: usize,
-) -> (Vec<f64>, usize) {
+fn time_series(node: &LiveNode, queries: &[String], k: usize, group: usize) -> (Vec<f64>, usize) {
     let mut ms = Vec::with_capacity(queries.len());
     let mut hits = usize::MAX;
     for q in queries {
@@ -170,7 +169,11 @@ fn plan_micro(peers: usize) -> PlanMicro {
     let view: Vec<PeerFilterRef<'_>> = filters
         .iter()
         .enumerate()
-        .map(|(i, f)| PeerFilterRef { id: i as u64 + 1, version: (0, 0), filter: f })
+        .map(|(i, f)| PeerFilterRef {
+            id: i as u64 + 1,
+            version: (0, 0),
+            filter: f,
+        })
         .collect();
     let q: Vec<String> = (0..4).map(|i| format!("w{}", i * 31)).collect();
 
@@ -213,8 +216,12 @@ fn main() {
     for id in 1..peers as u32 {
         let seed = 1_000 + u64::from(id);
         nodes.push(
-            LiveNode::start(id, node_config(seed, delayed(seed)), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                node_config(seed, delayed(seed)),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
 
@@ -224,8 +231,10 @@ fn main() {
     let cold_tokens: Vec<String> = (0..2 * runs).map(|i| format!("cold{i}")).collect();
     let body_suffix = cold_tokens.join(" ");
     for (i, n) in nodes.iter().enumerate() {
-        n.publish(&format!("<doc><body>fanout entry{i} warmrun {body_suffix}</body></doc>"))
-            .expect("publish");
+        n.publish(&format!(
+            "<doc><body>fanout entry{i} warmrun {body_suffix}</body></doc>"
+        ))
+        .expect("publish");
     }
     let deadline = Instant::now()
         + if matches!(scale, Scale::Quick) {
@@ -235,7 +244,10 @@ fn main() {
         };
     let converged = loop {
         let d = nodes[0].directory_digest();
-        if nodes.iter().all(|n| n.directory_size() == peers && n.directory_digest() == d) {
+        if nodes
+            .iter()
+            .all(|n| n.directory_size() == peers && n.directory_digest() == d)
+        {
             break true;
         }
         if Instant::now() >= deadline {
@@ -268,16 +280,18 @@ fn main() {
         });
     };
 
-    let cold_seq: Vec<String> =
-        (0..runs).map(|i| format!("fanout {}", cold_tokens[i])).collect();
+    let cold_seq: Vec<String> = (0..runs)
+        .map(|i| format!("fanout {}", cold_tokens[i]))
+        .collect();
     let (mut ms, hits) = time_series(searcher, &cold_seq, k, 1);
     push("sequential", 1, "cold", &mut ms, hits);
     let (mut ms, hits) = time_series(searcher, &warm_q, k, 1);
     let seq_warm = median(&mut ms.clone());
     push("sequential", 1, "warm", &mut ms, hits);
 
-    let cold_par: Vec<String> =
-        (0..runs).map(|i| format!("fanout {}", cold_tokens[runs + i])).collect();
+    let cold_par: Vec<String> = (0..runs)
+        .map(|i| format!("fanout {}", cold_tokens[runs + i]))
+        .collect();
     let (mut ms, hits) = time_series(searcher, &cold_par, k, GROUP_SIZE);
     push("parallel", GROUP_SIZE, "cold", &mut ms, hits);
     let (mut ms, hits) = time_series(searcher, &warm_q, k, GROUP_SIZE);
@@ -314,13 +328,22 @@ fn main() {
         })
         .collect();
     print_table(
-        &["series", "group", "cache", "median(ms)", "min(ms)", "max(ms)"],
+        &[
+            "series",
+            "group",
+            "cache",
+            "median(ms)",
+            "min(ms)",
+            "max(ms)",
+        ],
         &table,
     );
-    let speedup = if par_warm > 0.0 { seq_warm / par_warm } else { 0.0 };
-    println!(
-        "\ngrouped fan-out speedup (warm, group {GROUP_SIZE} vs 1): {speedup:.2}x"
-    );
+    let speedup = if par_warm > 0.0 {
+        seq_warm / par_warm
+    } else {
+        0.0
+    };
+    println!("\ngrouped fan-out speedup (warm, group {GROUP_SIZE} vs 1): {speedup:.2}x");
     println!(
         "QueryCache::plan over {} synthetic filters: cold {:.1} us, warm {:.1} us",
         micro.peers, micro.cold_us, micro.warm_us
@@ -365,7 +388,10 @@ fn main() {
     )
     .expect("pooled searcher");
     let mut per_rpc_cfg = node_config(2_001, None);
-    per_rpc_cfg.conn = ConnConfig { enabled: false, ..ConnConfig::default() };
+    per_rpc_cfg.conn = ConnConfig {
+        enabled: false,
+        ..ConnConfig::default()
+    };
     let per_rpc = LiveNode::start(peers as u32 + 1, per_rpc_cfg, Some(bootstrap.clone()))
         .expect("per-rpc searcher");
     let total = peers + 2;
@@ -378,12 +404,17 @@ fn main() {
 
     let measure = |node: &LiveNode, label: &str| -> ConnSeries {
         let t = Instant::now();
-        let r = node.search_ranked_grouped("fanout warmrun", k, GROUP_SIZE).expect("search");
+        let r = node
+            .search_ranked_grouped("fanout warmrun", k, GROUP_SIZE)
+            .expect("search");
         let cold_ms = t.elapsed().as_secs_f64() * 1000.0;
         eprintln!("{label}: cold hits {}/{peers}", r.hits.len());
         let (mut ms, hits) = time_series(node, &warm_q, k, GROUP_SIZE);
         eprintln!("{label}: warm min hits {hits}/{peers}");
-        ConnSeries { cold_ms, warm_median_ms: median(&mut ms) }
+        ConnSeries {
+            cold_ms,
+            warm_median_ms: median(&mut ms),
+        }
     };
     let pooled_series = measure(&pooled, "pooled");
     let per_rpc_series = measure(&per_rpc, "per-rpc");

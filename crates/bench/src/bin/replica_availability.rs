@@ -1,0 +1,131 @@
+//! Replication availability vs storage: does autonomous replication
+//! (DESIGN.md §15) actually buy reachability under the §7 churn model,
+//! and at what cost?
+//!
+//! The same community — 40% of members always online, the rest cycling
+//! through exponential online/offline periods — runs twice: once with
+//! replication off (the paper's baseline, where a document is
+//! reachable only while its home peer is online) and once with the
+//! availability-aware engine pushing copies of hot, under-replicated
+//! documents to the best-available peers. A third, capacity-starved
+//! run shows the eviction policy holding storage flat under pressure.
+//! The replicas-on run must beat the baseline hit rate while staying
+//! under 3x total storage.
+
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_replica::ReplicaConfig;
+use planetp_simnet::{run_replica_sim, ReplicaSimConfig, ReplicaSimReport};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Run {
+    label: String,
+    #[serde(flatten)]
+    report: ReplicaSimReport,
+}
+
+#[derive(Serialize)]
+struct Report {
+    peers: usize,
+    duration_s: u64,
+    runs: Vec<Run>,
+}
+
+fn row(label: &str, r: &ReplicaSimReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.3}", r.hit_rate),
+        format!("{:.3}", r.min_hit_rate),
+        format!("{:.2}x", r.storage_overhead),
+        r.replicas_placed.to_string(),
+        r.evictions.to_string(),
+        r.samples.to_string(),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (peers, duration_s) = match scale {
+        Scale::Quick => (24, 4 * 3600),
+        Scale::Default => (40, 12 * 3600),
+        Scale::Full => (100, 24 * 3600),
+    };
+    let base = ReplicaSimConfig {
+        peers,
+        duration_s,
+        ..ReplicaSimConfig::default()
+    };
+
+    let off = run_replica_sim(&ReplicaSimConfig {
+        replication: None,
+        ..base.clone()
+    });
+    let on = run_replica_sim(&ReplicaSimConfig {
+        replication: Some(ReplicaConfig::enabled()),
+        ..base.clone()
+    });
+    let starved = run_replica_sim(&ReplicaSimConfig {
+        replication: Some(ReplicaConfig {
+            // Room for two replica copies per peer: admission has to
+            // evict cold copies to make room for hot ones.
+            capacity_bytes: 2 * base.doc_bytes,
+            ..ReplicaConfig::enabled()
+        }),
+        ..base.clone()
+    });
+
+    print_table(
+        &[
+            "scenario",
+            "hit_rate",
+            "min_hit_rate",
+            "storage",
+            "replicas",
+            "evictions",
+            "queries",
+        ],
+        &[
+            row("replicas-off", &off),
+            row("replicas-on", &on),
+            row("replicas-on (starved)", &starved),
+        ],
+    );
+    println!(
+        "\nreplication lifts hit rate {:.3} -> {:.3} at {:.2}x storage",
+        off.hit_rate, on.hit_rate, on.storage_overhead
+    );
+
+    write_json(
+        "BENCH_replica",
+        &Report {
+            peers,
+            duration_s,
+            runs: vec![
+                Run {
+                    label: "replicas-off".into(),
+                    report: off.clone(),
+                },
+                Run {
+                    label: "replicas-on".into(),
+                    report: on.clone(),
+                },
+                Run {
+                    label: "replicas-on-starved".into(),
+                    report: starved,
+                },
+            ],
+        },
+    );
+
+    assert!(
+        on.hit_rate > off.hit_rate,
+        "replication must beat the no-replica baseline: {} vs {}",
+        on.hit_rate,
+        off.hit_rate
+    );
+    assert!(
+        on.storage_overhead < 3.0,
+        "storage overhead {}x exceeds the 3x budget",
+        on.storage_overhead
+    );
+}

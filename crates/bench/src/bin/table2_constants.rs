@@ -21,7 +21,10 @@ fn main() {
     print_table(
         &["Parameter", "Value"],
         &[
-            vec!["CPU gossiping time".into(), format!("{} ms", t.cpu_gossip_ms)],
+            vec![
+                "CPU gossiping time".into(),
+                format!("{} ms", t.cpu_gossip_ms),
+            ],
             vec![
                 "Base gossiping interval".into(),
                 format!("{} s", t.base_gossip_interval_ms / 1000),

@@ -56,7 +56,13 @@ fn main() {
     }
     println!("Table 3: characteristics of the synthetic evaluation collections");
     print_table(
-        &["Trace", "Queries", "Documents", "Number of words", "Size (MB)"],
+        &[
+            "Trace",
+            "Queries",
+            "Documents",
+            "Number of words",
+            "Size (MB)",
+        ],
         &rows,
     );
     write_json("table3_collections", &json);

@@ -97,7 +97,16 @@ pub fn cdf_row(label: &str, samples: &[f64], unconverged: usize) -> Vec<String> 
 
 /// Headers matching [`cdf_row`].
 pub fn cdf_headers() -> Vec<&'static str> {
-    vec!["series", "events", "p10(s)", "p50(s)", "p90(s)", "p99(s)", "max(s)", "unconverged"]
+    vec![
+        "series",
+        "events",
+        "p10(s)",
+        "p50(s)",
+        "p90(s)",
+        "p99(s)",
+        "max(s)",
+        "unconverged",
+    ]
 }
 
 pub mod retrieval;

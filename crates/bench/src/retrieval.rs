@@ -6,9 +6,8 @@ use planetp_bloom::BloomParams;
 use planetp_corpus::{partition_docs, Collection, Partition};
 use planetp_index::InvertedIndex;
 use planetp_search::{
-    average_recall_precision, recall_precision, CentralizedIndex,
-    DistributedSearch, DocRef, IndexedPeer, RecallPrecision, SelectionConfig,
-    StoppingRule,
+    average_recall_precision, recall_precision, CentralizedIndex, DistributedSearch, DocRef,
+    IndexedPeer, RecallPrecision, SelectionConfig, StoppingRule,
 };
 use serde::Serialize;
 use std::collections::HashSet;
@@ -33,10 +32,8 @@ pub fn build_setup(
     bloom_params: BloomParams,
     seed: u64,
 ) -> RetrievalSetup {
-    let assignment =
-        partition_docs(collection.docs.len(), num_peers, partition, seed);
-    let mut indexes: Vec<InvertedIndex> =
-        (0..num_peers).map(|_| InvertedIndex::new()).collect();
+    let assignment = partition_docs(collection.docs.len(), num_peers, partition, seed);
+    let mut indexes: Vec<InvertedIndex> = (0..num_peers).map(|_| InvertedIndex::new()).collect();
     let mut refs = Vec::with_capacity(collection.docs.len());
     let mut next_local = vec![0u64; num_peers];
     for (doc_id, doc) in collection.docs.iter().enumerate() {
@@ -54,7 +51,12 @@ pub fn build_setup(
         .into_iter()
         .map(|idx| IndexedPeer::new(idx, bloom_params))
         .collect();
-    RetrievalSetup { peers, refs, central, collection }
+    RetrievalSetup {
+        peers,
+        refs,
+        central,
+        collection,
+    }
 }
 
 /// Measured quality of one ranking strategy at one k.
@@ -81,8 +83,7 @@ pub fn eval_tfidf(setup: &RetrievalSetup, k: usize) -> QualityPoint {
             continue;
         }
         queries += 1;
-        let relevant: HashSet<DocRef> =
-            q.relevant.iter().map(|&d| setup.refs[d]).collect();
+        let relevant: HashSet<DocRef> = q.relevant.iter().map(|&d| setup.refs[d]).collect();
         let top = setup.central.top_k(&q.terms, k);
         contacted += CentralizedIndex::peers_required(&top);
         let docs: Vec<DocRef> = top.iter().map(|s| s.doc).collect();
@@ -113,9 +114,15 @@ pub fn eval_tfxipf(
             continue;
         }
         queries += 1;
-        let relevant: HashSet<DocRef> =
-            q.relevant.iter().map(|&d| setup.refs[d]).collect();
-        let out = search.search(&q.terms, SelectionConfig { k, stopping, group_size });
+        let relevant: HashSet<DocRef> = q.relevant.iter().map(|&d| setup.refs[d]).collect();
+        let out = search.search(
+            &q.terms,
+            SelectionConfig {
+                k,
+                stopping,
+                group_size,
+            },
+        );
         contacted += out.peers_contacted;
         let docs: Vec<DocRef> = out.results.iter().map(|s| s.doc).collect();
         scores.push(recall_precision(&docs, &relevant));

@@ -25,8 +25,7 @@ impl CompressedBloom {
     /// Compress a filter.
     pub fn compress(filter: &BloomFilter) -> Self {
         let positions = filter.set_bit_positions();
-        let (m, payload) =
-            golomb::encode_positions(&positions, filter.num_bits() as u32);
+        let (m, payload) = golomb::encode_positions(&positions, filter.num_bits() as u32);
         Self {
             params: filter.params(),
             golomb_parameter: m,
@@ -56,7 +55,10 @@ impl CompressedBloom {
             self.golomb_parameter,
             self.num_set_bits as usize,
         )?;
-        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
+        if positions
+            .iter()
+            .any(|&p| p as usize >= self.params.num_bits)
+        {
             return None;
         }
         Some(BloomFilter::from_set_bits(
@@ -110,8 +112,7 @@ impl CompressedBloom {
         }
         merged.extend_from_slice(&base[i..]);
         merged.extend_from_slice(&toggles[j..]);
-        let (m, payload) =
-            golomb::encode_positions(&merged, self.params.num_bits as u32);
+        let (m, payload) = golomb::encode_positions(&merged, self.params.num_bits as u32);
         Some(Self {
             params: self.params,
             golomb_parameter: m,
@@ -232,7 +233,9 @@ mod tests {
             num_bits: 128,
             num_hashes: 2,
         });
-        assert!(CompressedBloom::compress(&other).apply_diff(&diff).is_none());
+        assert!(CompressedBloom::compress(&other)
+            .apply_diff(&diff)
+            .is_none());
         let mut bad = CompressedBloom::compress(&old);
         bad.payload.truncate(bad.payload.len() / 2);
         assert!(bad.apply_diff(&diff).is_none());

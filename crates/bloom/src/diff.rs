@@ -45,8 +45,7 @@ impl BloomDiff {
                 delta &= delta - 1;
             }
         }
-        let (m, payload) =
-            golomb::encode_positions(&changed, old.params().num_bits as u32);
+        let (m, payload) = golomb::encode_positions(&changed, old.params().num_bits as u32);
         Self {
             params: old.params(),
             golomb_parameter: m,
@@ -61,11 +60,7 @@ impl BloomDiff {
     ///
     /// # Panics
     /// Panics if the two filters have different parameters.
-    pub fn between_observed(
-        old: &BloomFilter,
-        new: &BloomFilter,
-        sizes: &Histogram,
-    ) -> Self {
+    pub fn between_observed(old: &BloomFilter, new: &BloomFilter, sizes: &Histogram) -> Self {
         let diff = Self::between(old, new);
         sizes.observe(diff.wire_bytes() as u64);
         diff
@@ -136,7 +131,10 @@ impl BloomDiff {
             self.golomb_parameter,
             self.num_changed_bits as usize,
         )?;
-        if positions.iter().any(|&p| p as usize >= self.params.num_bits) {
+        if positions
+            .iter()
+            .any(|&p| p as usize >= self.params.num_bits)
+        {
             return None;
         }
         Some(positions)
@@ -281,8 +279,10 @@ mod tests {
         let old = filter_with(0..10);
         let new = filter_with(0..20);
         let d = BloomDiff::between(&old, &new);
-        let mut wrong =
-            BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let mut wrong = BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
         let snapshot = wrong.clone();
         assert!(!d.apply_in_place(&mut wrong));
         assert_eq!(wrong, snapshot);
@@ -293,16 +293,24 @@ mod tests {
         let old = filter_with(0..10);
         let new = filter_with(0..20);
         let d = BloomDiff::between(&old, &new);
-        let wrong_base =
-            BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let wrong_base = BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
         assert!(d.apply(&wrong_base).is_none());
     }
 
     #[test]
     #[should_panic(expected = "different parameters")]
     fn between_rejects_mismatched_params() {
-        let a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
-        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let a = BloomFilter::new(BloomParams {
+            num_bits: 64,
+            num_hashes: 2,
+        });
+        let b = BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
         let _ = BloomDiff::between(&a, &b);
     }
 }

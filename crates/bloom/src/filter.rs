@@ -20,7 +20,9 @@ impl HashedKey {
     /// Hash `key` once.
     #[inline]
     pub fn new(key: &str) -> Self {
-        Self { hasher: DoubleHasher::new(key) }
+        Self {
+            hasher: DoubleHasher::new(key),
+        }
     }
 
     /// The underlying double-hashing index generator.
@@ -96,7 +98,10 @@ pub struct BloomParams {
 impl BloomParams {
     /// The paper's constants: 50 KB (409,600 bits), two hash functions.
     pub const fn paper() -> Self {
-        Self { num_bits: 50 * 1024 * 8, num_hashes: 2 }
+        Self {
+            num_bits: 50 * 1024 * 8,
+            num_hashes: 2,
+        }
     }
 
     /// Pick parameters for an expected number of keys and a target
@@ -112,7 +117,10 @@ impl BloomParams {
         let ln2 = std::f64::consts::LN_2;
         let m = (-n * target_fpr.ln() / (ln2 * ln2)).ceil().max(64.0);
         let k = ((m / n) * ln2).round().max(1.0);
-        Self { num_bits: m as usize, num_hashes: k as u32 }
+        Self {
+            num_bits: m as usize,
+            num_hashes: k as u32,
+        }
     }
 }
 
@@ -142,10 +150,7 @@ impl std::fmt::Display for ParamMismatch {
             f,
             "cannot union Bloom filters with different parameters: \
              {}x{} vs {}x{}",
-            self.ours.num_bits,
-            self.ours.num_hashes,
-            self.theirs.num_bits,
-            self.theirs.num_hashes
+            self.ours.num_bits, self.ours.num_hashes, self.theirs.num_bits, self.theirs.num_hashes
         )
     }
 }
@@ -170,7 +175,11 @@ impl BloomFilter {
     /// Empty filter with the given parameters.
     pub fn new(params: BloomParams) -> Self {
         let words = params.num_bits.div_ceil(64);
-        Self { params, bits: vec![0; words], keys_inserted: 0 }
+        Self {
+            params,
+            bits: vec![0; words],
+            keys_inserted: 0,
+        }
     }
 
     /// Empty filter with the paper's 50 KB / 2-hash parameters.
@@ -303,7 +312,10 @@ impl BloomFilter {
     /// not a programming error.
     pub fn try_union_with(&mut self, other: &BloomFilter) -> Result<(), ParamMismatch> {
         if self.params != other.params {
-            return Err(ParamMismatch { ours: self.params, theirs: other.params });
+            return Err(ParamMismatch {
+                ours: self.params,
+                theirs: other.params,
+            });
         }
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
@@ -315,8 +327,7 @@ impl BloomFilter {
     /// True if every bit set in `self` is also set in `other`; i.e. every
     /// key in `self` would also be reported present by `other`.
     pub fn is_subset_of(&self, other: &BloomFilter) -> bool {
-        self.params == other.params
-            && self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+        self.params == other.params && self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
     }
 
     /// Count of query keys the filter reports as present.
@@ -367,11 +378,7 @@ impl BloomFilter {
     ///
     /// `keys_inserted` is restored from the caller since positions alone
     /// cannot recover it; pass 0 if unknown.
-    pub fn from_set_bits(
-        params: BloomParams,
-        positions: &[u32],
-        keys_inserted: u64,
-    ) -> Self {
+    pub fn from_set_bits(params: BloomParams, positions: &[u32], keys_inserted: u64) -> Self {
         let mut f = Self::new(params);
         for &p in positions {
             let p = p as usize;
@@ -433,9 +440,7 @@ mod tests {
         for i in 0..10_000 {
             f.insert(&format!("k{i}"));
         }
-        let fp = (0..20_000)
-            .filter(|i| f.contains(&format!("a{i}")))
-            .count();
+        let fp = (0..20_000).filter(|i| f.contains(&format!("a{i}"))).count();
         assert!((fp as f64 / 20_000.0) < 0.02);
     }
 
@@ -464,17 +469,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "different parameters")]
     fn union_rejects_mismatched_params() {
-        let mut a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
-        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let mut a = BloomFilter::new(BloomParams {
+            num_bits: 64,
+            num_hashes: 2,
+        });
+        let b = BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
         a.union_with(&b);
     }
 
     #[test]
     fn try_union_reports_mismatch_without_mutating() {
-        let mut a = BloomFilter::new(BloomParams { num_bits: 64, num_hashes: 2 });
+        let mut a = BloomFilter::new(BloomParams {
+            num_bits: 64,
+            num_hashes: 2,
+        });
         a.insert("x");
         let snapshot = a.clone();
-        let b = BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 2 });
+        let b = BloomFilter::new(BloomParams {
+            num_bits: 128,
+            num_hashes: 2,
+        });
         let err = a.try_union_with(&b).unwrap_err();
         assert_eq!(err.ours, snapshot.params());
         assert_eq!(err.theirs, b.params());
@@ -598,7 +615,10 @@ mod tests {
 
     #[test]
     fn probe_row_heterogeneous_fallback() {
-        let mut small = BloomFilter::new(BloomParams { num_bits: 256, num_hashes: 3 });
+        let mut small = BloomFilter::new(BloomParams {
+            num_bits: 256,
+            num_hashes: 3,
+        });
         let mut big = BloomFilter::with_paper_defaults();
         small.insert("k");
         big.insert("k");

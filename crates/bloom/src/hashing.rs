@@ -73,11 +73,7 @@ impl DoubleHasher {
     }
 
     /// Iterator over the first `num_hashes` indices.
-    pub fn indices(
-        &self,
-        num_hashes: u32,
-        num_bits: usize,
-    ) -> impl Iterator<Item = usize> + '_ {
+    pub fn indices(&self, num_hashes: u32, num_bits: usize) -> impl Iterator<Item = usize> + '_ {
         (0..num_hashes).map(move |i| self.index(i, num_bits))
     }
 }

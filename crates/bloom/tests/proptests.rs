@@ -4,8 +4,10 @@ use planetp_bloom::{BloomDiff, BloomFilter, BloomParams, CompressedBloom};
 use proptest::prelude::*;
 
 fn small_params() -> impl Strategy<Value = BloomParams> {
-    (256usize..8192, 1u32..6)
-        .prop_map(|(num_bits, num_hashes)| BloomParams { num_bits, num_hashes })
+    (256usize..8192, 1u32..6).prop_map(|(num_bits, num_hashes)| BloomParams {
+        num_bits,
+        num_hashes,
+    })
 }
 
 fn key_set() -> impl Strategy<Value = Vec<String>> {

@@ -19,7 +19,11 @@ pub struct PeerBitset {
 impl PeerBitset {
     /// All-zero bitset over `len` positions.
     pub fn with_len(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
     }
 
     /// Number of addressable positions.
@@ -62,7 +66,11 @@ impl PeerBitset {
 
     /// Indices of set bits, ascending.
     pub fn iter_ones(&self) -> Ones<'_> {
-        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 

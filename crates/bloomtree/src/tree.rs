@@ -234,7 +234,10 @@ impl BloomTree {
                     filter: p.filter.clone(),
                     parent: None,
                     max_id: p.id,
-                    kind: NodeKind::Leaf { id: p.id, version: p.version },
+                    kind: NodeKind::Leaf {
+                        id: p.id,
+                        version: p.version,
+                    },
                 });
                 self.leaf_of.insert(p.id, leaf);
                 level.push(leaf);
@@ -300,7 +303,10 @@ impl BloomTree {
             self.fallback.remove(&id).is_some()
         };
         if present {
-            let rank = self.members.binary_search(&id).expect("tracked peer in members");
+            let rank = self
+                .members
+                .binary_search(&id)
+                .expect("tracked peer in members");
             self.members.remove(rank);
             self.metrics.height.set(self.height() as i64);
         }
@@ -354,7 +360,10 @@ impl BloomTree {
     pub fn candidates(&self, key: &HashedKey) -> PeerBitset {
         let mut set = PeerBitset::with_len(self.members.len());
         for &id in self.fallback.keys() {
-            let rank = self.members.binary_search(&id).expect("fallback peer in members");
+            let rank = self
+                .members
+                .binary_search(&id)
+                .expect("fallback peer in members");
             set.set(rank);
         }
         let mut visited = 0u64;
@@ -368,8 +377,10 @@ impl BloomTree {
                 }
                 match &node.kind {
                     NodeKind::Leaf { id, .. } => {
-                        let rank =
-                            self.members.binary_search(id).expect("leaf peer in members");
+                        let rank = self
+                            .members
+                            .binary_search(id)
+                            .expect("leaf peer in members");
                         set.set(rank);
                     }
                     NodeKind::Interior { children } => stack.extend_from_slice(children),
@@ -379,7 +390,9 @@ impl BloomTree {
         self.metrics.lookups.inc();
         self.metrics.nodes_visited.add(visited);
         self.metrics.candidates.add(set.count() as u64);
-        self.metrics.probes_saved.add((self.members.len() - set.count()) as u64);
+        self.metrics
+            .probes_saved
+            .add((self.members.len() - set.count()) as u64);
         set
     }
 
@@ -406,9 +419,17 @@ impl BloomTree {
             height: self.height(),
             nodes,
             interior_nodes: interior,
-            avg_interior_fill: if interior > 0 { fill_sum / interior as f64 } else { 0.0 },
+            avg_interior_fill: if interior > 0 {
+                fill_sum / interior as f64
+            } else {
+                0.0
+            },
             max_interior_fill: fill_max,
-            avg_interior_fpr: if interior > 0 { fpr_sum / interior as f64 } else { 0.0 },
+            avg_interior_fpr: if interior > 0 {
+                fpr_sum / interior as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -431,7 +452,10 @@ impl BloomTree {
             "members = leaves + fallback"
         );
         for id in self.fallback.keys() {
-            assert!(self.members.binary_search(id).is_ok(), "fallback id {id} in members");
+            assert!(
+                self.members.binary_search(id).is_ok(),
+                "fallback id {id} in members"
+            );
         }
         let Some(root) = self.root else {
             assert!(self.leaf_of.is_empty(), "no root but leaves exist");
@@ -446,7 +470,10 @@ impl BloomTree {
         self.validate_node(root, true, 0, &mut leaf_ids, &mut depths, &mut seen);
         assert_eq!(seen, live, "every live node reachable from the root");
         let first_depth = depths[0];
-        assert!(depths.iter().all(|&d| d == first_depth), "uniform leaf depth");
+        assert!(
+            depths.iter().all(|&d| d == first_depth),
+            "uniform leaf depth"
+        );
         for w in leaf_ids.windows(2) {
             assert!(w[0] < w[1], "in-order leaf ids strictly ascending");
         }
@@ -474,7 +501,11 @@ impl BloomTree {
         match &node.kind {
             NodeKind::Leaf { id, .. } => {
                 assert_eq!(node.max_id, *id, "leaf max_id is its peer id");
-                assert_eq!(self.leaf_of.get(id), Some(&idx), "leaf_of points back at leaf");
+                assert_eq!(
+                    self.leaf_of.get(id),
+                    Some(&idx),
+                    "leaf_of points back at leaf"
+                );
                 leaf_ids.push(*id);
                 depths.push(depth);
             }
@@ -503,7 +534,11 @@ impl BloomTree {
                         .expect("tree nodes share parameters");
                     self.validate_node(c, false, depth + 1, leaf_ids, depths, seen);
                 }
-                assert_eq!(node.max_id, prev_max.unwrap(), "interior max_id = last child's");
+                assert_eq!(
+                    node.max_id,
+                    prev_max.unwrap(),
+                    "interior max_id = last child's"
+                );
                 assert_eq!(
                     node.filter.words(),
                     union.words(),
@@ -564,7 +599,8 @@ impl BloomTree {
     fn union_of(&self, nodes: &[u32]) -> BloomFilter {
         let mut f = BloomFilter::new(self.config.params);
         for &c in nodes {
-            f.try_union_with(&self.node(c).filter).expect("tree nodes share parameters");
+            f.try_union_with(&self.node(c).filter)
+                .expect("tree nodes share parameters");
         }
         f
     }
@@ -574,8 +610,7 @@ impl BloomTree {
     /// it would fall below `min_children`.
     fn build_level(&mut self, level: Vec<u32>) -> Vec<u32> {
         let fanout = self.config.fanout;
-        let mut groups: Vec<Vec<u32>> =
-            level.chunks(fanout).map(|c| c.to_vec()).collect();
+        let mut groups: Vec<Vec<u32>> = level.chunks(fanout).map(|c| c.to_vec()).collect();
         if groups.len() > 1 {
             let last = groups.len() - 1;
             if groups[last].len() < self.min_children() {
@@ -627,7 +662,9 @@ impl BloomTree {
                     filter,
                     parent: None,
                     max_id,
-                    kind: NodeKind::Interior { children: kids.clone() },
+                    kind: NodeKind::Interior {
+                        children: kids.clone(),
+                    },
                 });
                 for &c in &kids {
                     self.node_mut(c).parent = Some(new_root);
@@ -695,7 +732,9 @@ impl BloomTree {
                 filter: right_filter,
                 parent,
                 max_id: right_max,
-                kind: NodeKind::Interior { children: right.clone() },
+                kind: NodeKind::Interior {
+                    children: right.clone(),
+                },
             });
             for &c in &right {
                 self.node_mut(c).parent = Some(w);
@@ -715,7 +754,9 @@ impl BloomTree {
                         filter,
                         parent: None,
                         max_id: right_max,
-                        kind: NodeKind::Interior { children: vec![v, w] },
+                        kind: NodeKind::Interior {
+                            children: vec![v, w],
+                        },
                     });
                     self.node_mut(v).parent = Some(new_root);
                     self.node_mut(w).parent = Some(new_root);
@@ -859,7 +900,10 @@ mod tests {
     /// single-key leaves not colliding, so keep the FPR far below any
     /// plausible flake threshold.
     fn params() -> BloomParams {
-        BloomParams { num_bits: 4096, num_hashes: 2 }
+        BloomParams {
+            num_bits: 4096,
+            num_hashes: 2,
+        }
     }
 
     fn filter_with(terms: &[&str]) -> BloomFilter {
@@ -913,7 +957,9 @@ mod tests {
         let mut t = BloomTree::new(cfg(4));
         let mut flat: Vec<(u64, BloomFilter)> = Vec::new();
         // Out-of-order ids force mid-node inserts and splits.
-        for i in [5u64, 50, 25, 1, 99, 42, 66, 13, 77, 30, 8, 61, 2, 88, 17, 54, 70, 3] {
+        for i in [
+            5u64, 50, 25, 1, 99, 42, 66, 13, 77, 30, 8, 61, 2, 88, 17, 54, 70, 3,
+        ] {
             let f = filter_with(&[&format!("only-{i}"), "shared"]);
             t.insert_peer(i, (i, 0), &f);
             flat.push((i, f));
@@ -969,15 +1015,20 @@ mod tests {
         // coincidentally sets the same bits (none does here).
         assert!(!t.candidates(&old).contains(7));
         assert_eq!(t.version_of(7), Some((1, 1)));
-        assert!(!t.update_peer(999, (0, 0), &filter_with(&["x"])), "unknown id");
+        assert!(
+            !t.update_peer(999, (0, 0), &filter_with(&["x"])),
+            "unknown id"
+        );
     }
 
     #[test]
     fn mismatched_params_go_to_fallback_and_back() {
         let mut t = BloomTree::new(cfg(4));
         let foreign = {
-            let mut f =
-                BloomFilter::new(BloomParams { num_bits: 128, num_hashes: 3 });
+            let mut f = BloomFilter::new(BloomParams {
+                num_bits: 128,
+                num_hashes: 3,
+            });
             f.insert("theirs");
             f
         };
@@ -995,8 +1046,12 @@ mod tests {
         assert!(t.update_peer(100, (1, 1), &filter_with(&["theirs"])));
         t.validate();
         assert_eq!(t.stats().fallback_peers, 0);
-        assert!(!t.candidates(&HashedKey::new("absent")).contains(t.rank_of(100).unwrap()));
-        assert!(t.candidates(&HashedKey::new("theirs")).contains(t.rank_of(100).unwrap()));
+        assert!(!t
+            .candidates(&HashedKey::new("absent"))
+            .contains(t.rank_of(100).unwrap()));
+        assert!(t
+            .candidates(&HashedKey::new("theirs"))
+            .contains(t.rank_of(100).unwrap()));
         // And a mismatched republish migrates it back out.
         assert!(t.update_peer(100, (2, 2), &foreign));
         t.validate();
@@ -1021,7 +1076,11 @@ mod tests {
             .collect();
         let entries: Vec<PeerEntry<'_>> = flat
             .iter()
-            .map(|(id, f)| PeerEntry { id: *id, version: (0, 0), filter: f })
+            .map(|(id, f)| PeerEntry {
+                id: *id,
+                version: (0, 0),
+                filter: f,
+            })
             .collect();
         let bulk = BloomTree::bulk_build(cfg(8), &entries);
         bulk.validate();
@@ -1069,11 +1128,16 @@ mod tests {
         let m = TreeMetrics::detached();
         let t = {
             let mut rebuilt = BloomTree::new(cfg(4)).with_metrics(m.clone());
-            let flat: Vec<(u64, BloomFilter)> =
-                (0..50u64).map(|i| (i, filter_with(&[&format!("k{i}")]))).collect();
+            let flat: Vec<(u64, BloomFilter)> = (0..50u64)
+                .map(|i| (i, filter_with(&[&format!("k{i}")])))
+                .collect();
             let entries: Vec<PeerEntry<'_>> = flat
                 .iter()
-                .map(|(id, f)| PeerEntry { id: *id, version: (0, 0), filter: f })
+                .map(|(id, f)| PeerEntry {
+                    id: *id,
+                    version: (0, 0),
+                    filter: f,
+                })
                 .collect();
             rebuilt.rebuild(&entries);
             rebuilt

@@ -26,13 +26,19 @@ use proptest::prelude::*;
 /// enough that unions climb toward saturation and exercise pruning
 /// failure modes on interior nodes.
 fn tree_params() -> BloomParams {
-    BloomParams { num_bits: 4096, num_hashes: 2 }
+    BloomParams {
+        num_bits: 4096,
+        num_hashes: 2,
+    }
 }
 
 /// Deliberately incompatible parameters: peers gossiping these land on
 /// the fallback list instead of becoming leaves.
 fn foreign_params() -> BloomParams {
-    BloomParams { num_bits: 1024, num_hashes: 3 }
+    BloomParams {
+        num_bits: 1024,
+        num_hashes: 3,
+    }
 }
 
 /// Shared 16-word vocabulary so queries hit overlapping peer subsets.
@@ -112,7 +118,8 @@ fn check_query(tree: &BloomTree, model: &[ModelPeer], t: u8) {
             // Bit-copy leaf: the tree's answer for this peer IS the
             // flat probe of its filter.
             assert_eq!(
-                candidate, flat,
+                candidate,
+                flat,
                 "leaf peer {} diverged from flat probe for {:?}",
                 peer.id,
                 term(t)
@@ -144,12 +151,21 @@ fn apply_ops(tree: &mut BloomTree, model: &mut Vec<ModelPeer>, next_id: &mut u64
         match op {
             Op::Insert(terms) | Op::InsertForeign(terms) => {
                 let foreign = matches!(op, Op::InsertForeign(_));
-                let params = if foreign { foreign_params() } else { tree_params() };
+                let params = if foreign {
+                    foreign_params()
+                } else {
+                    tree_params()
+                };
                 let id = *next_id;
                 *next_id += 1;
                 let filter = filter_of(params, terms);
                 tree.insert_peer(id, (1, 1), &filter);
-                model.push(ModelPeer { id, version: (1, 1), filter, foreign });
+                model.push(ModelPeer {
+                    id,
+                    version: (1, 1),
+                    filter,
+                    foreign,
+                });
                 check_consistency(tree, model);
             }
             Op::Update(sel, terms) | Op::UpdateForeign(sel, terms) => {
@@ -157,7 +173,11 @@ fn apply_ops(tree: &mut BloomTree, model: &mut Vec<ModelPeer>, next_id: &mut u64
                     continue;
                 }
                 let foreign = matches!(op, Op::UpdateForeign(..));
-                let params = if foreign { foreign_params() } else { tree_params() };
+                let params = if foreign {
+                    foreign_params()
+                } else {
+                    tree_params()
+                };
                 let peer = &mut model[*sel as usize % model.len()];
                 peer.version = (peer.version.0, peer.version.1 + 1);
                 peer.filter = filter_of(params, terms);

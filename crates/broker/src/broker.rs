@@ -56,11 +56,7 @@ impl BrokerNode {
     /// Extract the filings whose key positions fall in the half-open
     /// ring interval `(from, to]` (wrapping) — the handoff when a new
     /// broker joins and takes over part of this broker's range.
-    pub fn split_range(
-        &mut self,
-        from: u64,
-        to: u64,
-    ) -> Vec<(String, Arc<Snippet>)> {
+    pub fn split_range(&mut self, from: u64, to: u64) -> Vec<(String, Arc<Snippet>)> {
         let in_range = |pos: u64| {
             if from < to {
                 pos > from && pos <= to

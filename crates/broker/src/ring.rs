@@ -89,7 +89,10 @@ impl ConsistentRing {
 
     /// The broker's position, if it is a member.
     pub fn position_of(&self, id: BrokerId) -> Option<u64> {
-        self.members.iter().find(|&&(_, m)| m == id).map(|&(p, _)| p)
+        self.members
+            .iter()
+            .find(|&&(_, m)| m == id)
+            .map(|&(p, _)| p)
     }
 
     /// Iterate `(position, id)` pairs in ring order.

@@ -81,8 +81,7 @@ impl BrokerageService {
             return;
         };
         if let Some(succ) = successor {
-            let succ_store =
-                self.stores.get_mut(&succ).expect("successor has a store");
+            let succ_store = self.stores.get_mut(&succ).expect("successor has a store");
             for (key, s) in store.drain_all() {
                 succ_store.publish(&key, s);
             }

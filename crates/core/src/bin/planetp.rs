@@ -35,7 +35,7 @@
 //! ```
 
 use planetp::live::{LiveConfig, LiveNode};
-use planetp::{ConnConfig, DurableConfig};
+use planetp::{ConnConfig, DurableConfig, ReplicaConfig};
 use planetp_gossip::GossipConfig;
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -47,6 +47,8 @@ struct Args {
     data_dir: Option<String>,
     no_conn_pool: bool,
     conn_idle_ms: Option<u64>,
+    replicate: bool,
+    replica_capacity_mb: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
     let mut data_dir = None;
     let mut no_conn_pool = false;
     let mut conn_idle_ms = None;
+    let mut replicate = false;
+    let mut replica_capacity_mb = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -71,10 +75,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bootstrap" => {
                 let v = argv.get(i + 1).ok_or("--bootstrap needs id@addr")?;
-                let (pid, addr) =
-                    v.split_once('@').ok_or("--bootstrap format: <id>@<addr>")?;
+                let (pid, addr) = v.split_once('@').ok_or("--bootstrap format: <id>@<addr>")?;
                 bootstrap = Some((
-                    pid.parse::<u32>().map_err(|e| format!("bad peer id: {e}"))?,
+                    pid.parse::<u32>()
+                        .map_err(|e| format!("bad peer id: {e}"))?,
                     addr.to_string(),
                 ));
                 i += 2;
@@ -89,13 +93,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--data-dir" => {
                 data_dir = Some(
-                    argv.get(i + 1).ok_or("--data-dir needs a path")?.to_string(),
+                    argv.get(i + 1)
+                        .ok_or("--data-dir needs a path")?
+                        .to_string(),
                 );
                 i += 2;
             }
             "--no-conn-pool" => {
                 no_conn_pool = true;
                 i += 1;
+            }
+            "--replicate" => {
+                replicate = true;
+                i += 1;
+            }
+            "--replica-capacity-mb" => {
+                replica_capacity_mb = Some(
+                    argv.get(i + 1)
+                        .ok_or("--replica-capacity-mb needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --replica-capacity-mb: {e}"))?,
+                );
+                i += 2;
             }
             "--conn-idle-ms" => {
                 conn_idle_ms = Some(
@@ -116,6 +135,8 @@ fn parse_args() -> Result<Args, String> {
         data_dir,
         no_conn_pool,
         conn_idle_ms,
+        replicate,
+        replica_capacity_mb,
     })
 }
 
@@ -130,7 +151,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>] \
-                 [--data-dir <dir>] [--no-conn-pool] [--conn-idle-ms <ms>]\n\
+                 [--data-dir <dir>] [--no-conn-pool] [--conn-idle-ms <ms>] \
+                 [--replicate] [--replica-capacity-mb <mb>]\n\
                  \x20      planetp stats <addr> [--json]"
             );
             std::process::exit(2);
@@ -147,11 +169,25 @@ fn main() {
         seed: u64::from(args.id) + 0xC11,
         durable: args.data_dir.as_deref().map(DurableConfig::at),
         conn: {
-            let mut c = ConnConfig { enabled: !args.no_conn_pool, ..ConnConfig::default() };
+            let mut c = ConnConfig {
+                enabled: !args.no_conn_pool,
+                ..ConnConfig::default()
+            };
             if let Some(ms) = args.conn_idle_ms {
                 c.idle_timeout = Duration::from_millis(ms);
             }
             c
+        },
+        replica: {
+            let mut r = if args.replicate {
+                ReplicaConfig::enabled()
+            } else {
+                ReplicaConfig::default()
+            };
+            if let Some(mb) = args.replica_capacity_mb {
+                r.capacity_bytes = mb << 20;
+            }
+            r
         },
         ..LiveConfig::default()
     };
@@ -170,13 +206,21 @@ fn main() {
                 args.data_dir.as_deref().unwrap_or("?"),
                 if info.snapshot_loaded { "yes" } else { "no" },
                 info.wal_replays,
-                if info.truncated_tail { ", torn tail truncated" } else { "" },
+                if info.truncated_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
                 node.announced_versions(),
             );
         }
     }
     println!("peer {} listening on {}", node.id(), node.addr());
-    println!("bootstrap others with: --bootstrap {}@{}", node.id(), node.addr());
+    println!(
+        "bootstrap others with: --bootstrap {}@{}",
+        node.id(),
+        node.addr()
+    );
     repl(&node);
 }
 
@@ -221,7 +265,13 @@ fn repl(node: &LiveNode) {
             "search" => match node.search_ranked(rest, 10) {
                 Ok(r) => {
                     for h in &r.hits {
-                        println!("{:.3}  peer {} doc {}: {}", h.score, h.peer, h.doc, trim(&h.xml));
+                        println!(
+                            "{:.3}  peer {} doc {}: {}",
+                            h.score,
+                            h.peer,
+                            h.doc,
+                            trim(&h.xml)
+                        );
                     }
                     warn_coverage(&r.coverage);
                 }
@@ -321,6 +371,12 @@ fn stats_command(args: &[String]) -> i32 {
 
 /// Tell the user when a result set is missing part of the community.
 fn warn_coverage(c: &planetp::live::SearchCoverage) {
+    if c.recovered_via_replicas > 0 {
+        println!(
+            "note: {} hit(s) served from replicas of offline peers",
+            c.recovered_via_replicas
+        );
+    }
     if !c.is_complete() {
         println!(
             "warning: partial results — {} of {} attempted peers answered \

@@ -9,9 +9,7 @@
 
 use planetp_broker::{BrokerageService, Snippet};
 use planetp_index::DocId;
-use planetp_search::{
-    DistributedSearch, IpfTable, PeerStore, SelectionConfig,
-};
+use planetp_search::{DistributedSearch, IpfTable, PeerStore, SelectionConfig};
 use std::collections::HashMap;
 
 use crate::datastore::{LocalDataStore, PublishOptions};
@@ -276,14 +274,14 @@ impl Community {
         let mut seen = std::collections::HashSet::new();
         for t in &q.terms {
             for s in self.brokerage.lookup(t, self.now_ms) {
-                if q.terms.iter().all(|qt| s.keys.contains(qt))
-                    && seen.insert((s.publisher, s.id))
+                if q.terms.iter().all(|qt| s.keys.contains(qt)) && seen.insert((s.publisher, s.id))
                 {
                     hits.snippets.push(s.xml.clone());
                 }
             }
         }
-        hits.results.sort_by(|a, b| (&a.peer, a.doc).cmp(&(&b.peer, b.doc)));
+        hits.results
+            .sort_by(|a, b| (&a.peer, a.doc).cmp(&(&b.peer, b.doc)));
         Ok(hits)
     }
 
@@ -298,14 +296,19 @@ impl Community {
         let analyzer = self.members[peer.0].store.analyzer().clone();
         let q = parse_query(raw_query, &analyzer);
         if q.is_empty() {
-            return Ok(RankedHits { results: Vec::new(), peers_contacted: 0 });
+            return Ok(RankedHits {
+                results: Vec::new(),
+                peers_contacted: 0,
+            });
         }
         let online: Vec<usize> = (0..self.members.len())
             .filter(|&i| self.members[i].online)
             .collect();
         let stores: Vec<StoreAdapter<'_>> = online
             .iter()
-            .map(|&i| StoreAdapter { store: &self.members[i].store })
+            .map(|&i| StoreAdapter {
+                store: &self.members[i].store,
+            })
             .collect();
         let search = DistributedSearch::new(&stores);
         let out = search.search(&q.terms, SelectionConfig::paper(k));
@@ -323,7 +326,10 @@ impl Community {
                 }
             })
             .collect();
-        Ok(RankedHits { results, peers_contacted: out.peers_contacted })
+        Ok(RankedHits {
+            results,
+            peers_contacted: out.peers_contacted,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -344,11 +350,7 @@ impl Community {
     }
 
     /// Remove a persistent query.
-    pub fn unregister_persistent_query(
-        &mut self,
-        peer: PeerHandle,
-        id: PersistentQueryId,
-    ) -> bool {
+    pub fn unregister_persistent_query(&mut self, peer: PeerHandle, id: PersistentQueryId) -> bool {
         self.members[peer.0].registry.unregister(id)
     }
 }
@@ -389,8 +391,12 @@ mod tests {
     #[test]
     fn publish_then_exhaustive_search() {
         let (mut c, h) = community_of(&["alice", "bob", "carol"]);
-        c.publish(h[0], "<d>gossip protocols everywhere</d>", PublishOptions::default())
-            .unwrap();
+        c.publish(
+            h[0],
+            "<d>gossip protocols everywhere</d>",
+            PublishOptions::default(),
+        )
+        .unwrap();
         c.publish(h[1], "<d>gossip networks</d>", PublishOptions::default())
             .unwrap();
         c.publish(h[2], "<d>unrelated content</d>", PublishOptions::default())
@@ -405,10 +411,18 @@ mod tests {
     #[test]
     fn ranked_search_orders_by_relevance() {
         let (mut c, h) = community_of(&["a", "b"]);
-        c.publish(h[0], "<d>bloom bloom bloom filters</d>", PublishOptions::default())
-            .unwrap();
-        c.publish(h[1], "<d>bloom mentioned once here among many other words</d>", PublishOptions::default())
-            .unwrap();
+        c.publish(
+            h[0],
+            "<d>bloom bloom bloom filters</d>",
+            PublishOptions::default(),
+        )
+        .unwrap();
+        c.publish(
+            h[1],
+            "<d>bloom mentioned once here among many other words</d>",
+            PublishOptions::default(),
+        )
+        .unwrap();
         let hits = c.search_ranked(h[0], "bloom", 10).unwrap();
         assert_eq!(hits.results.len(), 2);
         assert_eq!(hits.results[0].peer, "a", "tf-heavy doc first");
@@ -435,7 +449,9 @@ mod tests {
         c.publish(
             h[0],
             "<d>breaking breaking news</d>",
-            PublishOptions { broker_hot_terms: Some(1.0) },
+            PublishOptions {
+                broker_hot_terms: Some(1.0),
+            },
         )
         .unwrap();
         let hits = c.search_exhaustive(h[3], "breaking news").unwrap();
@@ -455,8 +471,12 @@ mod tests {
         c.register_persistent_query(h[0], "epidemic", move |_| {
             cc.fetch_add(1, Ordering::SeqCst);
         });
-        c.publish(h[1], "<d>epidemic algorithms</d>", PublishOptions::default())
-            .unwrap();
+        c.publish(
+            h[1],
+            "<d>epidemic algorithms</d>",
+            PublishOptions::default(),
+        )
+        .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 1);
         // Bloom filters are cumulative: a later publish re-delivers a
         // filter that still matches, so the upcall fires again (the
@@ -476,15 +496,21 @@ mod tests {
             cc.fetch_add(1, Ordering::SeqCst);
         });
         assert!(c.unregister_persistent_query(h[0], id));
-        c.publish(h[1], "<d>topic</d>", PublishOptions::default()).unwrap();
+        c.publish(h[1], "<d>topic</d>", PublishOptions::default())
+            .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 0);
     }
 
     #[test]
     fn empty_query_returns_empty() {
         let (mut c, h) = community_of(&["a"]);
-        c.publish(h[0], "<d>content</d>", PublishOptions::default()).unwrap();
-        assert!(c.search_exhaustive(h[0], "the of").unwrap().results.is_empty());
+        c.publish(h[0], "<d>content</d>", PublishOptions::default())
+            .unwrap();
+        assert!(c
+            .search_exhaustive(h[0], "the of")
+            .unwrap()
+            .results
+            .is_empty());
         assert!(c.search_ranked(h[0], "", 5).unwrap().results.is_empty());
     }
 
@@ -507,9 +533,21 @@ mod tests {
     #[test]
     fn unpublish_removes_from_search() {
         let (mut c, h) = community_of(&["a"]);
-        let d = c.publish(h[0], "<d>temporary</d>", PublishOptions::default()).unwrap();
-        assert_eq!(c.search_exhaustive(h[0], "temporary").unwrap().results.len(), 1);
+        let d = c
+            .publish(h[0], "<d>temporary</d>", PublishOptions::default())
+            .unwrap();
+        assert_eq!(
+            c.search_exhaustive(h[0], "temporary")
+                .unwrap()
+                .results
+                .len(),
+            1
+        );
         c.unpublish(h[0], d).unwrap();
-        assert!(c.search_exhaustive(h[0], "temporary").unwrap().results.is_empty());
+        assert!(c
+            .search_exhaustive(h[0], "temporary")
+            .unwrap()
+            .results
+            .is_empty());
     }
 }

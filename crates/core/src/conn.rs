@@ -202,7 +202,10 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
         Self {
             stream,
             writer: Mutex::new(writer),
-            state: Mutex::new(MuxState { pending: HashMap::new(), reader_active: false }),
+            state: Mutex::new(MuxState {
+                pending: HashMap::new(),
+                reader_active: false,
+            }),
             reply_ready: Condvar::new(),
             broken: AtomicBool::new(false),
             used: AtomicBool::new(false),
@@ -285,9 +288,7 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
         let bytes_out = {
             let mut w = self.writer.lock();
             let written = match &self.faults {
-                Some(f) => {
-                    f.write_correlated_frame(Direction::Outbound, &mut *w, corr, request)
-                }
+                Some(f) => f.write_correlated_frame(Direction::Outbound, &mut *w, corr, request),
                 None => wire::write_correlated_frame(&mut *w, corr, request),
             };
             match written {
@@ -379,9 +380,7 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
         // trickling sender is bounded but not starved mid-frame.
         self.stream.set_read_timeout(Some(self.io_timeout))?;
         let got = match &self.faults {
-            Some(f) => {
-                f.read_any_frame_sized::<T>(Direction::Outbound, &mut &self.stream)?
-            }
+            Some(f) => f.read_any_frame_sized::<T>(Direction::Outbound, &mut &self.stream)?,
             None => wire::read_any_frame_sized::<T>(&mut &self.stream)?,
         };
         let Some((frame, wire_bytes)) = got else {
@@ -424,7 +423,10 @@ struct PeerConns<T> {
 
 impl<T> Default for PeerConns<T> {
     fn default() -> Self {
-        Self { mux: None, idle: Vec::new() }
+        Self {
+            mux: None,
+            idle: Vec::new(),
+        }
     }
 }
 
@@ -451,7 +453,13 @@ impl<T: Serialize + DeserializeOwned> ConnPool<T> {
         faults: Option<Arc<FaultInjector>>,
         metrics: ConnMetrics,
     ) -> Self {
-        Self { config, io_timeout, faults, metrics, peers: Mutex::new(HashMap::new()) }
+        Self {
+            config,
+            io_timeout,
+            faults,
+            metrics,
+            peers: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The pool's metric handles (shared storage with any registry
@@ -505,7 +513,10 @@ impl<T: Serialize + DeserializeOwned> ConnPool<T> {
         let mut peers = self.peers.lock();
         let p = peers.entry(addr.to_string()).or_default();
         if p.idle.len() < self.config.max_idle_per_peer {
-            p.idle.push(IdleConn { stream, since: Instant::now() });
+            p.idle.push(IdleConn {
+                stream,
+                since: Instant::now(),
+            });
         }
     }
 
@@ -741,7 +752,9 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = echo_server(listener);
         let (p, m) = pool(ConnConfig::default());
-        let (reply, info) = p.rpc(&addr, &vec![1, 2, 3], Duration::from_secs(2)).unwrap();
+        let (reply, info) = p
+            .rpc(&addr, &vec![1, 2, 3], Duration::from_secs(2))
+            .unwrap();
         assert_eq!(reply, vec![1, 2, 3]);
         assert!(!info.reused, "first RPC opens the stream");
         let (reply, info) = p.rpc(&addr, &vec![9], Duration::from_secs(2)).unwrap();
@@ -763,7 +776,10 @@ mod tests {
         assert_eq!(p.debug_break(&addr), 1, "one mux stream to break");
         let (reply, info) = p.rpc(&addr, &vec![6], Duration::from_secs(2)).unwrap();
         assert_eq!(reply, vec![6], "RPC must survive the stale stream");
-        assert!(info.stale_reconnect, "the pool must own up to the reconnect");
+        assert!(
+            info.stale_reconnect,
+            "the pool must own up to the reconnect"
+        );
         assert_eq!(m.stale_reconnects.get(), 1);
         assert_eq!(m.opened.get(), 2, "exactly one extra connect");
         drop(p);
@@ -788,9 +804,8 @@ mod tests {
         let p = Arc::new(p);
         let p2 = Arc::clone(&p);
         let addr2 = addr.clone();
-        let first = std::thread::spawn(move || {
-            p2.rpc(&addr2, &vec![1], Duration::from_millis(400))
-        });
+        let first =
+            std::thread::spawn(move || p2.rpc(&addr2, &vec![1], Duration::from_millis(400)));
         std::thread::sleep(Duration::from_millis(100));
         let err = p.rpc(&addr, &vec![2], Duration::from_secs(1)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "cap must fail fast");

@@ -34,6 +34,25 @@ pub struct DocumentRecord {
     pub terms: Vec<String>,
     /// External links referenced by the document.
     pub links: Vec<String>,
+    /// Stable content hash of the raw XML ([`content_hash`]). Equal
+    /// across every copy of the document, on every peer, across
+    /// restarts — replicated search results dedup on it.
+    pub hash: u64,
+}
+
+/// FNV-1a (64-bit) over the raw XML bytes. Deterministic — unlike
+/// `std`'s `DefaultHasher`, whose output may change between runs and
+/// Rust versions — so the same document hashes identically on every
+/// peer, which is what makes replica deduplication work on the wire.
+pub fn content_hash(xml: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in xml.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 /// One peer's document store, inverted index, and filter summary.
@@ -82,9 +101,16 @@ impl LocalDataStore {
             self.bloom.insert(t);
         }
         self.bloom_version += 1;
+        let hash = content_hash(xml);
         self.docs.insert(
             id,
-            DocumentRecord { id, xml: xml.to_string(), terms, links },
+            DocumentRecord {
+                id,
+                xml: xml.to_string(),
+                terms,
+                links,
+                hash,
+            },
         );
         Ok(id)
     }
@@ -96,11 +122,7 @@ impl LocalDataStore {
     /// past the restored id so later publishes never collide. Replay is
     /// idempotent — restoring an id that is already present replaces it
     /// (the WAL may replay records already folded into a snapshot).
-    pub fn restore_document(
-        &mut self,
-        id: DocId,
-        xml: &str,
-    ) -> Result<(), PlanetPError> {
+    pub fn restore_document(&mut self, id: DocId, xml: &str) -> Result<(), PlanetPError> {
         if self.docs.contains_key(&id) {
             return Ok(());
         }
@@ -113,9 +135,16 @@ impl LocalDataStore {
         }
         self.bloom_version += 1;
         self.next_id = self.next_id.max(id + 1);
+        let hash = content_hash(xml);
         self.docs.insert(
             id,
-            DocumentRecord { id, xml: xml.to_string(), terms, links },
+            DocumentRecord {
+                id,
+                xml: xml.to_string(),
+                terms,
+                links,
+                hash,
+            },
         );
         Ok(())
     }
@@ -243,10 +272,7 @@ mod tests {
 
     #[test]
     fn unpublish_rebuilds_filter() {
-        let mut s = store_with(&[
-            "<a>unique-alpha-term</a>",
-            "<b>shared common words</b>",
-        ]);
+        let mut s = store_with(&["<a>unique-alpha-term</a>", "<b>shared common words</b>"]);
         assert!(s.bloom().contains("alpha"));
         s.unpublish(1).unwrap();
         assert!(!s.index().contains_term("alpha"));
@@ -274,9 +300,7 @@ mod tests {
 
     #[test]
     fn hot_terms_pick_most_frequent() {
-        let s = store_with(&[
-            "<d>bloom bloom bloom filter filter gossip</d>",
-        ]);
+        let s = store_with(&["<d>bloom bloom bloom filter filter gossip</d>"]);
         let hot = s.hot_terms(1, 0.34);
         assert_eq!(hot[0], "bloom");
         assert!(!hot.is_empty() && hot.len() <= 2);
@@ -292,15 +316,37 @@ mod tests {
     #[test]
     fn restore_preserves_ids_and_advances_next_id() {
         let mut s = LocalDataStore::new();
-        s.restore_document(7, "<a>restored gossip text</a>").unwrap();
+        s.restore_document(7, "<a>restored gossip text</a>")
+            .unwrap();
         s.restore_document(3, "<b>earlier document</b>").unwrap();
         // Idempotent replay: restoring an existing id is a no-op.
-        s.restore_document(7, "<a>restored gossip text</a>").unwrap();
+        s.restore_document(7, "<a>restored gossip text</a>")
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert!(s.index().contains_term("gossip"));
         assert!(s.bloom().contains("gossip"));
         let id = s.publish("<c>new after restore</c>").unwrap();
         assert_eq!(id, 8, "next_id advances past the highest restored id");
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_addressed() {
+        let xml = "<doc>same bytes, same hash</doc>";
+        let mut a = LocalDataStore::new();
+        let mut b = LocalDataStore::new();
+        let ia = a.publish(xml).unwrap();
+        // Different local id on b, identical content hash.
+        b.publish("<other>padding</other>").unwrap();
+        let ib = b.publish(xml).unwrap();
+        assert_ne!(ia, ib);
+        assert_eq!(a.get(ia).unwrap().hash, b.get(ib).unwrap().hash);
+        assert_eq!(a.get(ia).unwrap().hash, content_hash(xml));
+        // Restore under the original id keeps the hash.
+        let mut c = LocalDataStore::new();
+        c.restore_document(ia, xml).unwrap();
+        assert_eq!(c.get(ia).unwrap().hash, content_hash(xml));
+        // Different content, different hash.
+        assert_ne!(content_hash("<a>x</a>"), content_hash("<a>y</a>"));
     }
 
     #[test]

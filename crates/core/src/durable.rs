@@ -67,7 +67,10 @@ pub struct DurableConfig {
 impl DurableConfig {
     /// Store state under `dir` with the default compaction threshold.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), compact_after_records: 256 }
+        Self {
+            dir: dir.into(),
+            compact_after_records: 256,
+        }
     }
 }
 
@@ -134,6 +137,25 @@ pub struct NodeState {
     pub docs: BTreeMap<u64, String>,
     /// The learned global directory (never includes the node itself).
     pub peers: BTreeMap<PeerId, PersistedPeer>,
+    /// Replicas hosted for other peers, keyed by *local* doc id. The
+    /// XML itself lives in `docs` like any published document; this map
+    /// carries the replication metadata so a restarted node resumes
+    /// hosting (and advertising) exactly what it held before the crash.
+    /// Absent in pre-replication stores (serde default keeps old
+    /// snapshots readable).
+    #[serde(default)]
+    pub replicas: BTreeMap<u64, PersistedReplica>,
+}
+
+/// Replication metadata for one hosted replica ([`NodeState::replicas`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedReplica {
+    /// The document's home peer.
+    pub home: PeerId,
+    /// The document's id at the home peer.
+    pub home_doc: u64,
+    /// Content hash, identical across every copy.
+    pub hash: u64,
 }
 
 impl NodeState {
@@ -145,7 +167,10 @@ impl NodeState {
             WalRecord::Identity { id } => {
                 self.id = Some(*id);
             }
-            WalRecord::OwnVersions { status_version, bloom_version } => {
+            WalRecord::OwnVersions {
+                status_version,
+                bloom_version,
+            } => {
                 self.status_version = self.status_version.max(*status_version);
                 self.bloom_version = self.bloom_version.max(*bloom_version);
             }
@@ -155,14 +180,43 @@ impl NodeState {
             }
             WalRecord::Unpublish { doc } => {
                 self.docs.remove(doc);
+                self.replicas.remove(doc);
             }
-            WalRecord::PeerLearned { peer, status_version, bloom_version, payload } => {
+            WalRecord::ReplicaStored {
+                doc,
+                home,
+                home_doc,
+                hash,
+                xml,
+            } => {
+                self.docs.insert(*doc, xml.clone());
+                self.next_doc_id = self.next_doc_id.max(doc + 1);
+                self.replicas.insert(
+                    *doc,
+                    PersistedReplica {
+                        home: *home,
+                        home_doc: *home_doc,
+                        hash: *hash,
+                    },
+                );
+            }
+            WalRecord::ReplicaDropped { doc } => {
+                self.docs.remove(doc);
+                self.replicas.remove(doc);
+            }
+            WalRecord::PeerLearned {
+                peer,
+                status_version,
+                bloom_version,
+                payload,
+            } => {
                 if Some(*peer) == self.id {
                     return;
                 }
                 let newer = match self.peers.get(peer) {
-                    Some(p) => (*status_version, *bloom_version)
-                        >= (p.status_version, p.bloom_version),
+                    Some(p) => {
+                        (*status_version, *bloom_version) >= (p.status_version, p.bloom_version)
+                    }
                     None => true,
                 };
                 if newer {
@@ -203,6 +257,11 @@ impl NodeState {
         for (peer, p) in &self.peers {
             if p.status_version == 0 && p.bloom_version == 0 && p.payload.is_none() {
                 return Err(format!("peer {peer} entry carries no information"));
+            }
+        }
+        for doc in self.replicas.keys() {
+            if !self.docs.contains_key(doc) {
+                return Err(format!("replica {doc} has no stored document"));
             }
         }
         Ok(())
@@ -251,6 +310,24 @@ pub enum WalRecord {
     PeerDropped {
         /// The dropped peer.
         peer: PeerId,
+    },
+    /// A replica pushed by another peer was admitted and ingested.
+    ReplicaStored {
+        /// Local store-assigned document id.
+        doc: u64,
+        /// The document's home peer.
+        home: PeerId,
+        /// Its document id at the home peer.
+        home_doc: u64,
+        /// Content hash, identical across every copy.
+        hash: u64,
+        /// The raw XML.
+        xml: String,
+    },
+    /// A hosted replica was evicted (capacity pressure).
+    ReplicaDropped {
+        /// The local document id of the evicted replica.
+        doc: u64,
     },
 }
 
@@ -554,18 +631,26 @@ mod tests {
     }
 
     fn open(dir: &Path) -> DurableStore {
-        DurableStore::open(DurableConfig::at(dir), StoreMetrics::detached(), None)
-            .expect("open")
+        DurableStore::open(DurableConfig::at(dir), StoreMetrics::detached(), None).expect("open")
     }
 
     fn seed_records(s: &mut DurableStore) {
         s.append(WalRecord::Identity { id: 3 }).unwrap();
-        s.append(WalRecord::OwnVersions { status_version: 1, bloom_version: 1 })
-            .unwrap();
-        s.append(WalRecord::Publish { doc: 1, xml: "<a>alpha</a>".into() })
-            .unwrap();
-        s.append(WalRecord::Publish { doc: 2, xml: "<b>beta</b>".into() })
-            .unwrap();
+        s.append(WalRecord::OwnVersions {
+            status_version: 1,
+            bloom_version: 1,
+        })
+        .unwrap();
+        s.append(WalRecord::Publish {
+            doc: 1,
+            xml: "<a>alpha</a>".into(),
+        })
+        .unwrap();
+        s.append(WalRecord::Publish {
+            doc: 2,
+            xml: "<b>beta</b>".into(),
+        })
+        .unwrap();
         s.append(WalRecord::PeerLearned {
             peer: 9,
             status_version: 2,
@@ -596,10 +681,63 @@ mod tests {
     }
 
     #[test]
+    fn replica_records_roundtrip_and_validate() {
+        let dir = tmpdir("replica");
+        let mut s = open(&dir);
+        seed_records(&mut s);
+        s.append(WalRecord::ReplicaStored {
+            doc: 5,
+            home: 9,
+            home_doc: 2,
+            hash: 0xFEED,
+            xml: "<r>replicated</r>".into(),
+        })
+        .unwrap();
+        s.append(WalRecord::ReplicaStored {
+            doc: 6,
+            home: 9,
+            home_doc: 3,
+            hash: 0xF00D,
+            xml: "<r>evicted later</r>".into(),
+        })
+        .unwrap();
+        s.append(WalRecord::ReplicaDropped { doc: 6 }).unwrap();
+        let state = s.state().clone();
+        drop(s);
+
+        let s2 = open(&dir);
+        assert_eq!(*s2.state(), state);
+        // The surviving replica is both a stored doc and replica meta;
+        // the dropped one is fully gone. next_doc_id cleared both ids.
+        assert!(s2.state().docs.contains_key(&5));
+        assert_eq!(
+            s2.state().replicas.get(&5),
+            Some(&PersistedReplica {
+                home: 9,
+                home_doc: 2,
+                hash: 0xFEED
+            })
+        );
+        assert!(!s2.state().docs.contains_key(&6));
+        assert!(!s2.state().replicas.contains_key(&6));
+        assert_eq!(s2.state().next_doc_id, 7);
+        s2.validate().unwrap();
+
+        // A replica without its document fails validation.
+        let mut bad = s2.state().clone();
+        bad.docs.remove(&5);
+        assert!(bad.validate().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn compaction_folds_wal_into_snapshot() {
         let dir = tmpdir("compact");
         let mut s = DurableStore::open(
-            DurableConfig { dir: dir.clone(), compact_after_records: 4 },
+            DurableConfig {
+                dir: dir.clone(),
+                compact_after_records: 4,
+            },
             StoreMetrics::detached(),
             None,
         )
@@ -608,7 +746,10 @@ mod tests {
         assert!(snapshot_path(&dir).exists());
         let wal_len = std::fs::metadata(wal_path(&dir)).unwrap().len();
         // One record appended after the threshold compaction.
-        assert!(wal_len > 0 && wal_len < 200, "wal holds one record: {wal_len}");
+        assert!(
+            wal_len > 0 && wal_len < 200,
+            "wal holds one record: {wal_len}"
+        );
         let state = s.state().clone();
         drop(s);
 
@@ -667,7 +808,10 @@ mod tests {
     fn corrupt_snapshot_falls_back_to_wal() {
         let dir = tmpdir("badsnap");
         let mut s = DurableStore::open(
-            DurableConfig { dir: dir.clone(), compact_after_records: 4 },
+            DurableConfig {
+                dir: dir.clone(),
+                compact_after_records: 4,
+            },
             StoreMetrics::detached(),
             None,
         )
@@ -698,14 +842,20 @@ mod tests {
             let mut s = DurableStore::open(
                 // Threshold 3 so the 4th record triggers compaction and
                 // walks the snapshot crash points too.
-                DurableConfig { dir: dir.clone(), compact_after_records: 3 },
+                DurableConfig {
+                    dir: dir.clone(),
+                    compact_after_records: 3,
+                },
                 StoreMetrics::detached(),
                 Some(Arc::clone(&inj)),
             )
             .unwrap();
             s.append(WalRecord::Identity { id: 3 }).unwrap();
-            s.append(WalRecord::Publish { doc: 1, xml: "<a>one</a>".into() })
-                .unwrap();
+            s.append(WalRecord::Publish {
+                doc: 1,
+                xml: "<a>one</a>".into(),
+            })
+            .unwrap();
             let pre = s.state().clone();
 
             inj.arm_crash(point);
@@ -714,16 +864,25 @@ mod tests {
             // walks the snapshot path.
             let mut post = pre.clone();
             let r1 = s
-                .append(WalRecord::Publish { doc: 2, xml: "<b>two</b>".into() })
+                .append(WalRecord::Publish {
+                    doc: 2,
+                    xml: "<b>two</b>".into(),
+                })
                 .and_then(|()| {
-                    post.apply(&WalRecord::Publish { doc: 2, xml: "<b>two</b>".into() });
+                    post.apply(&WalRecord::Publish {
+                        doc: 2,
+                        xml: "<b>two</b>".into(),
+                    });
                     s.append(WalRecord::OwnVersions {
                         status_version: 1,
                         bloom_version: 3,
                     })
                 });
             if r1.is_ok() {
-                post.apply(&WalRecord::OwnVersions { status_version: 1, bloom_version: 3 });
+                post.apply(&WalRecord::OwnVersions {
+                    status_version: 1,
+                    bloom_version: 3,
+                });
             }
             assert!(r1.is_err(), "{point:?}: armed crash must surface");
             assert!(s.poisoned(), "{point:?}: store must poison");
@@ -741,7 +900,10 @@ mod tests {
             // legal recovery targets depending on where the crash and
             // fsync landed; anything else is corruption.
             let mut mid = pre.clone();
-            mid.apply(&WalRecord::Publish { doc: 2, xml: "<b>two</b>".into() });
+            mid.apply(&WalRecord::Publish {
+                doc: 2,
+                xml: "<b>two</b>".into(),
+            });
             assert!(
                 *got == pre || *got == mid || *got == post,
                 "{point:?}: recovered state matches no write boundary:\n{got:?}"
@@ -763,27 +925,29 @@ mod tests {
                     .with_store_rules(StoreFaultRules { crash: 0.08 }),
             );
             let mut s = DurableStore::open(
-                DurableConfig { dir: dir.clone(), compact_after_records: 6 },
+                DurableConfig {
+                    dir: dir.clone(),
+                    compact_after_records: 6,
+                },
                 StoreMetrics::detached(),
                 Some(inj),
             )
             .unwrap();
-            s.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            s.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
             let st = s.state();
             assert!(
                 (st.status_version, st.bloom_version) >= last_versions,
                 "round {round}: versions regressed"
             );
             // The recovery contract: bump past the persisted high-water.
-            let bumped =
-                (st.status_version + 1, st.bloom_version + 1);
+            let bumped = (st.status_version + 1, st.bloom_version + 1);
             let _ = s.append(WalRecord::Identity { id: 1 });
-            if s
-                .append(WalRecord::OwnVersions {
-                    status_version: bumped.0,
-                    bloom_version: bumped.1,
-                })
-                .is_ok()
+            if s.append(WalRecord::OwnVersions {
+                status_version: bumped.0,
+                bloom_version: bumped.1,
+            })
+            .is_ok()
             {
                 // Only a *persisted* bump raises the floor the next
                 // incarnation must clear (an append that died before
@@ -793,12 +957,11 @@ mod tests {
             }
             for _ in 0..5 {
                 doc += 1;
-                if s
-                    .append(WalRecord::Publish {
-                        doc,
-                        xml: format!("<d>doc {doc}</d>"),
-                    })
-                    .is_err()
+                if s.append(WalRecord::Publish {
+                    doc,
+                    xml: format!("<d>doc {doc}</d>"),
+                })
+                .is_err()
                 {
                     break;
                 }
@@ -814,7 +977,11 @@ mod tests {
         s.append(WalRecord::Identity { id: 0 }).unwrap();
         let dir_v1 = vec![(1u32, 1u64, 1u32, None), (2, 1, 0, None), (0, 5, 5, None)];
         assert_eq!(s.sync_directory(&dir_v1).unwrap(), 2, "self skipped");
-        assert_eq!(s.sync_directory(&dir_v1).unwrap(), 0, "no change, no records");
+        assert_eq!(
+            s.sync_directory(&dir_v1).unwrap(),
+            0,
+            "no change, no records"
+        );
         // Peer 1 advances, peer 2 departs.
         let dir_v2 = vec![(1u32, 2u64, 3u32, None)];
         assert_eq!(s.sync_directory(&dir_v2).unwrap(), 2);

@@ -89,7 +89,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// The same rules in both directions.
     pub fn symmetric(rules: FaultRules) -> Self {
-        Self { outbound: rules, inbound: rules }
+        Self {
+            outbound: rules,
+            inbound: rules,
+        }
     }
 }
 
@@ -263,9 +266,7 @@ impl FaultInjector {
         };
         if armed || self.roll(self.store.crash) {
             self.counters.crashes.fetch_add(1, Ordering::Relaxed);
-            return Err(io::Error::other(format!(
-                "injected crash at {point:?}"
-            )));
+            return Err(io::Error::other(format!("injected crash at {point:?}")));
         }
         Ok(())
     }
@@ -328,8 +329,8 @@ impl FaultInjector {
         value: &T,
     ) -> io::Result<usize> {
         let rules = *self.rules(dir);
-        let mut body = serde_json::to_vec(value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut body =
+            serde_json::to_vec(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if body.len() > crate::wire::MAX_FRAME_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -339,7 +340,9 @@ impl FaultInjector {
         self.maybe_delay(&rules);
         let len = (body.len() as u32).to_be_bytes();
         if self.roll(rules.drop_mid_frame) {
-            self.counters.dropped_mid_frame.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .dropped_mid_frame
+                .fetch_add(1, Ordering::Relaxed);
             w.write_all(&len)?;
             w.write_all(&body[..body.len() / 2])?;
             let _ = w.flush();
@@ -391,8 +394,8 @@ impl FaultInjector {
         value: &T,
     ) -> io::Result<usize> {
         let rules = *self.rules(dir);
-        let mut body = serde_json::to_vec(value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut body =
+            serde_json::to_vec(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if body.len() > crate::wire::MAX_FRAME_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -401,7 +404,9 @@ impl FaultInjector {
         }
         self.maybe_delay(&rules);
         if self.roll(rules.drop_reply) {
-            self.counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .dropped_replies
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(0);
         }
         let corr_id = if self.roll(rules.stale_corr_id) {
@@ -413,7 +418,9 @@ impl FaultInjector {
         let len = ((body.len() as u32) | crate::wire::CORRELATED_FLAG).to_be_bytes();
         let id = corr_id.to_be_bytes();
         if self.roll(rules.drop_mid_frame) {
-            self.counters.dropped_mid_frame.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .dropped_mid_frame
+                .fetch_add(1, Ordering::Relaxed);
             w.write_all(&len)?;
             w.write_all(&id)?;
             w.write_all(&body[..body.len() / 2])?;
@@ -511,7 +518,10 @@ pub fn flip_tail_bit(path: &std::path::Path, offset_from_end: u64) -> io::Result
         return Ok(());
     }
     let pos = len - 1 - offset_from_end;
-    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
     f.seek(SeekFrom::Start(pos))?;
     let mut byte = [0u8; 1];
     f.read_exact(&mut byte)?;
@@ -543,7 +553,8 @@ mod tests {
     fn clean_injector_roundtrips_frames() {
         let inj = FaultInjector::new(2, FaultPlan::default());
         let mut buf = Vec::new();
-        inj.write_frame(Direction::Outbound, &mut buf, &[1u32, 2, 3]).unwrap();
+        inj.write_frame(Direction::Outbound, &mut buf, &[1u32, 2, 3])
+            .unwrap();
         let mut r = buf.as_slice();
         let got: Option<Vec<u32>> = inj.read_frame(Direction::Inbound, &mut r).unwrap();
         assert_eq!(got, Some(vec![1, 2, 3]));
@@ -580,7 +591,8 @@ mod tests {
             }),
         );
         let mut buf = Vec::new();
-        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100]).unwrap();
+        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100])
+            .unwrap();
         let mut r = buf.as_slice();
         assert!(crate::wire::read_frame::<Vec<u32>>(&mut r).is_err());
         assert_eq!(inj.stats().truncated, 1);
@@ -596,7 +608,8 @@ mod tests {
             }),
         );
         let mut buf = Vec::new();
-        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100]).unwrap();
+        inj.write_frame(Direction::Outbound, &mut buf, &[9u32; 100])
+            .unwrap();
         let mut r = buf.as_slice();
         // Well-framed (length matches) but the JSON inside is garbage.
         let res = crate::wire::read_frame::<Vec<u32>>(&mut r);
@@ -725,10 +738,12 @@ mod tests {
         });
         let a = FaultInjector::new(99, plan);
         let b = FaultInjector::new(99, plan);
-        let seq_a: Vec<bool> =
-            (0..64).map(|_| a.admit(Direction::Outbound).is_ok()).collect();
-        let seq_b: Vec<bool> =
-            (0..64).map(|_| b.admit(Direction::Outbound).is_ok()).collect();
+        let seq_a: Vec<bool> = (0..64)
+            .map(|_| a.admit(Direction::Outbound).is_ok())
+            .collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| b.admit(Direction::Outbound).is_ok())
+            .collect();
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(|ok| *ok) && seq_a.iter().any(|ok| !*ok));
     }

@@ -76,7 +76,11 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 3, base_delay_ms: 50, max_delay_ms: 1_000 }
+        Self {
+            max_attempts: 3,
+            base_delay_ms: 50,
+            max_delay_ms: 1_000,
+        }
     }
 }
 
@@ -165,7 +169,10 @@ pub struct PeerHealth {
 impl PeerHealth {
     /// Empty table.
     pub fn new(config: HealthConfig) -> Self {
-        Self { config, entries: HashMap::new() }
+        Self {
+            config,
+            entries: HashMap::new(),
+        }
     }
 
     /// Record a successful contact with observed `latency_ms`.
@@ -176,7 +183,10 @@ impl PeerHealth {
         latency_ms: f64,
     ) -> HealthTransition {
         let alpha = self.config.ewma_alpha;
-        let e = self.entries.entry(peer).or_insert_with(PeerHealthEntry::fresh);
+        let e = self
+            .entries
+            .entry(peer)
+            .or_insert_with(PeerHealthEntry::fresh);
         let from = e.state;
         e.consecutive_failures = 0;
         e.last_success_ms = Some(now_ms);
@@ -186,7 +196,10 @@ impl PeerHealth {
             Some(prev) => prev + alpha * (latency_ms - prev),
             None => latency_ms,
         });
-        HealthTransition { from, to: HealthState::Healthy }
+        HealthTransition {
+            from,
+            to: HealthState::Healthy,
+        }
     }
 
     /// Record a failed contact (after the caller's retries were
@@ -195,7 +208,10 @@ impl PeerHealth {
     /// capped exponential backoff.
     pub fn record_failure(&mut self, peer: PeerId, now_ms: u64) -> HealthTransition {
         let cfg = self.config;
-        let e = self.entries.entry(peer).or_insert_with(PeerHealthEntry::fresh);
+        let e = self
+            .entries
+            .entry(peer)
+            .or_insert_with(PeerHealthEntry::fresh);
         let from = e.state;
         e.consecutive_failures = e.consecutive_failures.saturating_add(1);
         e.last_failure_ms = Some(now_ms);
@@ -212,9 +228,8 @@ impl PeerHealth {
             let cap = exp.min(cfg.max_backoff_ms).max(1);
             // Deterministic jitter in [cap/2, cap], like RetryPolicy.
             let half = cap / 2;
-            let jitter = splitmix64(
-                (u64::from(peer) << 32) ^ u64::from(e.consecutive_failures),
-            ) % (half + 1);
+            let jitter = splitmix64((u64::from(peer) << 32) ^ u64::from(e.consecutive_failures))
+                % (half + 1);
             e.retry_at_ms = now_ms + half + jitter;
         }
         HealthTransition { from, to: e.state }
@@ -225,22 +240,27 @@ impl PeerHealth {
     /// was never proven unreachable (its end of an idle stream merely
     /// went away), so state, failure count, and backoff are untouched.
     pub fn record_stale_reconnect(&mut self, peer: PeerId) {
-        let e = self.entries.entry(peer).or_insert_with(PeerHealthEntry::fresh);
+        let e = self
+            .entries
+            .entry(peer)
+            .or_insert_with(PeerHealthEntry::fresh);
         e.stale_reconnects = e.stale_reconnects.saturating_add(1);
     }
 
     /// Current belief about a peer (Healthy when never contacted).
     pub fn state(&self, peer: PeerId) -> HealthState {
-        self.entries.get(&peer).map_or(HealthState::Healthy, |e| e.state)
+        self.entries
+            .get(&peer)
+            .map_or(HealthState::Healthy, |e| e.state)
     }
 
     /// Should a contact to `peer` be skipped right now? True only for
     /// offline peers still inside their backoff window — suspects keep
     /// being contacted so they can clear themselves.
     pub fn should_skip(&self, peer: PeerId, now_ms: u64) -> bool {
-        self.entries.get(&peer).is_some_and(|e| {
-            e.state == HealthState::Offline && now_ms < e.retry_at_ms
-        })
+        self.entries
+            .get(&peer)
+            .is_some_and(|e| e.state == HealthState::Offline && now_ms < e.retry_at_ms)
     }
 
     /// Snapshot of one peer's history.
@@ -361,7 +381,11 @@ mod tests {
 
     #[test]
     fn retry_policy_delay_is_capped_and_jittered_deterministically() {
-        let p = RetryPolicy { max_attempts: 5, base_delay_ms: 100, max_delay_ms: 400 };
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 100,
+            max_delay_ms: 400,
+        };
         let d1 = p.delay(1, 42);
         assert_eq!(d1, p.delay(1, 42), "same salt, same delay");
         assert!(d1.as_millis() >= 50 && d1.as_millis() <= 100, "{d1:?}");

@@ -69,25 +69,25 @@ pub mod wire;
 
 pub use community::{Community, PeerHandle, RankedHits};
 pub use conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
-pub use datastore::{DocumentRecord, LocalDataStore, PublishOptions};
+pub use datastore::{content_hash, DocumentRecord, LocalDataStore, PublishOptions};
 pub use durable::{
-    DurableConfig, DurableStore, NodeState, PersistedPeer, RecoveryInfo,
+    DurableConfig, DurableStore, NodeState, PersistedPeer, PersistedReplica, RecoveryInfo,
     StoreMetrics, WalRecord,
 };
 pub use error::PlanetPError;
 pub use faults::{
-    flip_tail_bit, truncate_tail, CrashPoint, Direction, FaultInjector,
-    FaultPlan, FaultRules, FaultStats, StoreFaultRules,
+    flip_tail_bit, truncate_tail, CrashPoint, Direction, FaultInjector, FaultPlan, FaultRules,
+    FaultStats, StoreFaultRules,
 };
 pub use health::{
-    HealthConfig, HealthState, HealthTransition, PeerHealth, PeerHealthEntry,
-    RetryPolicy,
+    HealthConfig, HealthState, HealthTransition, PeerHealth, PeerHealthEntry, RetryPolicy,
 };
 pub use live::{
-    scrape_stats, FanoutConfig, LiveConfig, LiveHit, LiveMsg, LiveNode,
-    LiveSearchResult, NodeStatsSnapshot, SearchCoverage,
+    scrape_stats, FanoutConfig, LiveConfig, LiveHit, LiveMsg, LiveNode, LiveSearchResult,
+    NodeStatsSnapshot, SearchCoverage, SearchDoc,
 };
-pub use planetp_obs::{MetricsSnapshot, Registry};
-pub use pool::{ScopedJob, WorkerPool};
 pub use persistent::{Notification, PersistentQueryId, PersistentQueryRegistry};
+pub use planetp_obs::{MetricsSnapshot, Registry};
+pub use planetp_replica::{ReplicaAd, ReplicaConfig};
+pub use pool::{ScopedJob, WorkerPool};
 pub use query::{parse_query, QueryTerms};

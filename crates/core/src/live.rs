@@ -37,16 +37,15 @@ use parking_lot::{Mutex, MutexGuard};
 use planetp_bloom::{BloomDiff, BloomFilter, CompressedBloom, HashedKey};
 use planetp_bloomtree::{TreeConfig, TreeMetrics};
 use planetp_gossip::{
-    DirEntry, Directory, EngineStats, GossipConfig, GossipEngine, Message,
-    Payload, PeerId, PeerStatus, SpeedClass,
+    DirEntry, Directory, EngineStats, GossipConfig, GossipEngine, Message, Payload, PeerId,
+    PeerStatus, SpeedClass,
 };
 use planetp_obs::{
-    names, Counter, Gauge, Histogram, MetricsSnapshot, Registry,
-    LATENCY_MS_BUCKETS, SIZE_BYTES_BUCKETS,
+    names, Counter, Gauge, Histogram, MetricsSnapshot, Registry, LATENCY_MS_BUCKETS,
+    SIZE_BYTES_BUCKETS,
 };
 use planetp_search::{
-    adaptive_p, IpfTable, PeerFilterRef, PeerVersion, QueryCache,
-    QueryCacheMetrics,
+    adaptive_p, IpfTable, PeerFilterRef, PeerVersion, QueryCache, QueryCacheMetrics,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -57,17 +56,20 @@ use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use planetp_replica::{
+    AdmitDecision, HostedReplica, OwnDoc, PeerView, ReplicaAd, ReplicaConfig, ReplicaEngine,
+    ReplicaMetrics, AD_WIRE_BYTES,
+};
+
 use crate::conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
-use crate::datastore::LocalDataStore;
+use crate::datastore::{content_hash, LocalDataStore};
 use crate::durable::{DurableConfig, DurableStore, StoreMetrics, WalRecord};
 use crate::error::PlanetPError;
 use crate::faults::{Direction, FaultInjector};
-use crate::wire::Frame;
-use crate::health::{
-    splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy,
-};
+use crate::health::{splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::query::parse_query;
+use crate::wire::Frame;
 
 /// Is `PLANETP_DEBUG` set? Gates the runtime's debug-level logging of
 /// swallowed protocol errors (stderr; no logging dependency).
@@ -84,33 +86,57 @@ macro_rules! debug_log {
     };
 }
 
-/// What a live peer gossips about itself: its address and its
-/// compressed Bloom filter.
+/// What a live peer gossips about itself: its address, its compressed
+/// Bloom filter, and (when replication is on) its replication ad.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LivePayload {
     /// Socket address ("127.0.0.1:port").
     pub addr: String,
     /// Golomb-compressed filter summarizing the peer's vocabulary.
     pub bloom: CompressedBloom,
+    /// Replication ad: spare capacity, claimed availability, hosted
+    /// count. `None` when the peer does not replicate (and on payloads
+    /// persisted before replication existed — serde default).
+    #[serde(default)]
+    pub replica: Option<ReplicaAd>,
+}
+
+/// The delta form of [`LivePayload`]: a [`BloomDiff`] between
+/// consecutive filter versions plus the sender's current replication
+/// ad. The address rides only in the full form — a receiver applying a
+/// delta already knows it from its stored entry. The ad is tiny and
+/// changes with nearly every accepted replica, so shipping it whole in
+/// every delta is cheaper than diffing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveDelta {
+    /// Filter change between the chained versions.
+    pub diff: BloomDiff,
+    /// The sender's replication ad as of this version.
+    #[serde(default)]
+    pub replica: Option<ReplicaAd>,
 }
 
 impl Payload for LivePayload {
-    /// A [`BloomDiff`] between consecutive filter versions. The peer's
-    /// address rides only in the full form — a receiver applying a
-    /// delta already knows the address from its stored entry.
-    type Delta = BloomDiff;
+    type Delta = LiveDelta;
 
     fn wire_bytes(&self) -> usize {
-        6 + self.addr.len() + self.bloom.wire_bytes()
+        6 + self.addr.len()
+            + self.bloom.wire_bytes()
+            + self.replica.map_or(1, |_| 1 + AD_WIRE_BYTES)
     }
 
-    fn delta_wire_bytes(delta: &BloomDiff) -> usize {
-        delta.wire_bytes()
+    fn delta_wire_bytes(delta: &LiveDelta) -> usize {
+        delta.diff.wire_bytes() + delta.replica.map_or(1, |_| 1 + AD_WIRE_BYTES)
     }
 
-    fn apply_delta(&self, delta: &BloomDiff) -> Option<Self> {
-        let bloom = self.bloom.apply_diff(delta)?;
-        Some(LivePayload { addr: self.addr.clone(), bloom })
+    fn apply_delta(&self, delta: &LiveDelta) -> Option<Self> {
+        let bloom = self.bloom.apply_diff(&delta.diff)?;
+        Some(LivePayload {
+            addr: self.addr.clone(),
+            bloom,
+            // The delta's ad is authoritative: it is newer than ours.
+            replica: delta.replica,
+        })
     }
 }
 
@@ -133,20 +159,20 @@ pub enum LiveMsg {
         /// Community size the IPF was computed over.
         num_peers: usize,
     },
-    /// Reply: `(doc id, score, xml)` for matching documents.
+    /// Reply: matching documents, scored under the initiator's IPF.
     SearchResponse {
         /// Matching documents.
-        docs: Vec<(u64, f64, String)>,
+        docs: Vec<SearchDoc>,
     },
     /// Exhaustive-search RPC: conjunction of analyzed terms.
     ExhaustiveRequest {
         /// Analyzed query terms.
         terms: Vec<String>,
     },
-    /// Reply: `(doc id, xml)` for documents containing every term.
+    /// Reply: documents containing every term (scores are zero).
     ExhaustiveResponse {
         /// Matching documents.
-        docs: Vec<(u64, String)>,
+        docs: Vec<SearchDoc>,
     },
     /// Proxy search (§7.2 future work): a bandwidth-limited peer asks a
     /// well-connected one to run the whole ranked query on its behalf —
@@ -157,13 +183,37 @@ pub enum LiveMsg {
         /// Result-list size.
         k: usize,
     },
-    /// Reply to `ProxySearchRequest`: `(peer, doc id, score, xml)` plus
-    /// the proxy's view of how much of the community answered.
+    /// Reply to `ProxySearchRequest`: `(peer, doc id, score, content
+    /// hash, xml)` plus the proxy's view of how much of the community
+    /// answered.
     ProxySearchResponse {
         /// Final ranked hits.
-        hits: Vec<(PeerId, u64, f64, String)>,
+        hits: Vec<(PeerId, u64, f64, u64, String)>,
         /// Coverage of the proxy's fan-out.
         coverage: SearchCoverage,
+    },
+    /// Replication RPC: the sender asks the receiver to host a copy of
+    /// one of its documents (availability repair, DESIGN.md §15).
+    ReplicaPush {
+        /// The document's home peer (the sender).
+        home: PeerId,
+        /// Its document id at the home peer.
+        home_doc: u64,
+        /// Content hash of `xml`; the receiver verifies it before
+        /// paying any storage.
+        hash: u64,
+        /// The sender's hotness estimate, seeding the receiver's sketch
+        /// so the fresh copy competes fairly in eviction.
+        hotness: u64,
+        /// The raw XML.
+        xml: String,
+    },
+    /// Reply to `ReplicaPush`.
+    ReplicaAccept {
+        /// Echo of the pushed `home_doc`, correlating plan to outcome.
+        home_doc: u64,
+        /// Whether the receiver now hosts (or already hosted) the copy.
+        accepted: bool,
     },
     /// `GetStats` RPC: ask a node for its unified metrics snapshot.
     /// Any client that speaks the framing can scrape any node (see
@@ -174,6 +224,24 @@ pub enum LiveMsg {
         /// Point-in-time copy of the node's metrics registry.
         snapshot: MetricsSnapshot,
     },
+}
+
+/// One document in a search reply, annotated for replica-aware
+/// merging at the initiator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchDoc {
+    /// Document id at the answering peer.
+    pub doc: u64,
+    /// TFxIPF score under the initiator's IPF view (0 for exhaustive).
+    pub score: f64,
+    /// Stable content hash; identical across every copy of the
+    /// document, so initiators can collapse replica duplicates.
+    pub hash: u64,
+    /// `Some((home, home_doc))` when the answering peer holds this
+    /// document as a replica for another peer.
+    pub replica_of: Option<(PeerId, u64)>,
+    /// The raw XML.
+    pub xml: String,
 }
 
 /// Parallel fan-out settings for the search path — the paper's §5.2
@@ -197,7 +265,11 @@ pub struct FanoutConfig {
 
 impl Default for FanoutConfig {
     fn default() -> Self {
-        Self { group_size: 4, contact_deadline: None, pool_threads: 4 }
+        Self {
+            group_size: 4,
+            contact_deadline: None,
+            pool_threads: 4,
+        }
     }
 }
 
@@ -237,6 +309,10 @@ pub struct LiveConfig {
     /// multiplexed RPC stream per peer, `TCP_NODELAY`, bounded server
     /// workers). `conn.enabled = false` restores connect-per-contact.
     pub conn: ConnConfig,
+    /// Availability-aware autonomous replication (DESIGN.md §15). Off
+    /// by default: the node neither advertises capacity nor pushes or
+    /// accepts replicas, preserving the paper's one-copy behavior.
+    pub replica: ReplicaConfig,
 }
 
 impl Default for LiveConfig {
@@ -252,6 +328,7 @@ impl Default for LiveConfig {
             faults: None,
             durable: None,
             conn: ConnConfig::default(),
+            replica: ReplicaConfig::default(),
         }
     }
 }
@@ -280,6 +357,12 @@ pub struct SearchCoverage {
     /// anti-entropy exchange completes.
     #[serde(default)]
     pub recovering: bool,
+    /// Result-list entries only reachable through a replica: their
+    /// content hash never appeared in any non-replica reply (typically
+    /// because the home peer is offline). Nonzero means replication
+    /// actively widened this search's coverage.
+    #[serde(default)]
+    pub recovered_via_replicas: usize,
 }
 
 impl SearchCoverage {
@@ -353,6 +436,11 @@ struct NodeStats {
     recovery_docs_restored: Counter,
     recovery_peers_restored: Counter,
     recovery_catchup_ms: Histogram,
+    /// Initiator-side replica accounting. Registered on every node —
+    /// even a node that hosts nothing collapses duplicates and counts
+    /// recovered hits when *other* peers replicate.
+    replica_dup_collapsed: Counter,
+    replica_recovered_hits: Counter,
 }
 
 impl Default for NodeStats {
@@ -381,27 +469,22 @@ impl NodeStats {
             bytes_in: registry.counter(names::NET_BYTES_IN),
             frames_out: registry.counter(names::NET_FRAMES_OUT),
             frames_in: registry.counter(names::NET_FRAMES_IN),
-            rpc_latency_ms: registry
-                .histogram(names::RPC_LATENCY_MS, LATENCY_MS_BUCKETS),
-            gossip_exchange_ms: registry
-                .histogram(names::GOSSIP_EXCHANGE_MS, LATENCY_MS_BUCKETS),
+            rpc_latency_ms: registry.histogram(names::RPC_LATENCY_MS, LATENCY_MS_BUCKETS),
+            gossip_exchange_ms: registry.histogram(names::GOSSIP_EXCHANGE_MS, LATENCY_MS_BUCKETS),
             search_queries: registry.counter(names::SEARCH_QUERIES),
             search_peers_contacted: registry.counter(names::SEARCH_PEERS_CONTACTED),
             search_stopped_early: registry.counter(names::SEARCH_STOPPED_EARLY),
             search_exhausted: registry.counter(names::SEARCH_EXHAUSTED),
             search_groups: registry.counter(names::SEARCH_GROUPS),
-            search_fanout_ms: registry
-                .histogram(names::SEARCH_FANOUT_MS, LATENCY_MS_BUCKETS),
-            bloom_wire_bytes: registry
-                .histogram(names::BLOOM_WIRE_BYTES, SIZE_BYTES_BUCKETS),
+            search_fanout_ms: registry.histogram(names::SEARCH_FANOUT_MS, LATENCY_MS_BUCKETS),
+            bloom_wire_bytes: registry.histogram(names::BLOOM_WIRE_BYTES, SIZE_BYTES_BUCKETS),
             directory_size: registry.gauge("gossip.directory_size"),
             recovery_restarts: registry.counter(names::RECOVERY_RESTARTS),
-            recovery_docs_restored: registry
-                .counter(names::RECOVERY_DOCS_RESTORED),
-            recovery_peers_restored: registry
-                .counter(names::RECOVERY_PEERS_RESTORED),
-            recovery_catchup_ms: registry
-                .histogram(names::RECOVERY_CATCHUP_MS, LATENCY_MS_BUCKETS),
+            recovery_docs_restored: registry.counter(names::RECOVERY_DOCS_RESTORED),
+            recovery_peers_restored: registry.counter(names::RECOVERY_PEERS_RESTORED),
+            recovery_catchup_ms: registry.histogram(names::RECOVERY_CATCHUP_MS, LATENCY_MS_BUCKETS),
+            replica_dup_collapsed: registry.counter(names::REPLICA_DUP_COLLAPSED),
+            replica_recovered_hits: registry.counter(names::REPLICA_RECOVERED_HITS),
         }
     }
 }
@@ -483,7 +566,7 @@ enum SyncWork {
     /// Toggle these diff steps into the mirrored filter in place —
     /// the delta-gossip fast path that skips re-decompressing the
     /// full 50 KB payload on every version bump.
-    Delta(Vec<BloomDiff>),
+    Delta(Vec<LiveDelta>),
     /// Decompress the full payload from scratch.
     Full(CompressedBloom),
 }
@@ -534,6 +617,10 @@ struct Inner {
     /// thread-per-connection accept loop). Detached metrics: its queue
     /// gauge must not fight the search pool's `pool.queue_depth`.
     server_pool: WorkerPool,
+    /// Replication decision engine, when `config.replica.enabled`.
+    /// Lock order: never held across the store lock — callers snapshot
+    /// what they need (`origins()`, a plan) and drop it first.
+    replica: Option<Mutex<ReplicaEngine>>,
     /// Snapshot + WAL store (crash-restart durability), when enabled.
     durable: Option<Mutex<DurableStore>>,
     /// Recovered from disk and not yet through the first successful
@@ -568,28 +655,30 @@ impl Inner {
     /// Bloom filters to save bandwidth", §7.2).
     fn gossip_own_update(&self) {
         let new_filter = self.store.lock().bloom().clone();
+        let replica = self.current_replica_ad();
         let payload = LivePayload {
             addr: self.addr.clone(),
-            bloom: CompressedBloom::compress_observed(
-                &new_filter,
-                &self.stats.bloom_wire_bytes,
-            ),
+            bloom: CompressedBloom::compress_observed(&new_filter, &self.stats.bloom_wire_bytes),
+            replica,
         };
         let mut prev = self.prev_bloom.lock();
         let mut engine = self.engine.lock();
         if prev.params() == new_filter.params() {
-            let diff = BloomDiff::between_observed(
-                &prev,
-                &new_filter,
-                &self.stats.bloom_wire_bytes,
-            );
-            engine.local_update_delta(payload, diff);
+            let diff =
+                BloomDiff::between_observed(&prev, &new_filter, &self.stats.bloom_wire_bytes);
+            engine.local_update_delta(payload, LiveDelta { diff, replica });
         } else {
             // A filter rebuild changed the parameters: no meaningful
             // diff exists, gossip the full payload.
             engine.local_update(payload);
         }
         *prev = new_filter;
+    }
+
+    /// The replication ad this node currently gossips; `None` when
+    /// replication is off.
+    fn current_replica_ad(&self) -> Option<ReplicaAd> {
+        self.replica.as_ref().map(|r| r.lock().local_ad())
     }
 
     // ------------------------------------------------------------------
@@ -639,9 +728,7 @@ impl Inner {
             engine
                 .directory()
                 .iter()
-                .map(|(pid, e)| {
-                    (pid, e.status_version, e.bloom_version, e.payload.clone())
-                })
+                .map(|(pid, e)| (pid, e.status_version, e.bloom_version, e.payload.clone()))
                 .collect()
         };
         let mut store = d.lock();
@@ -690,12 +777,7 @@ impl Inner {
         Ok(stream)
     }
 
-    fn send(
-        &self,
-        dir: Direction,
-        stream: &mut TcpStream,
-        batch: &[LiveMsg],
-    ) -> io::Result<()> {
+    fn send(&self, dir: Direction, stream: &mut TcpStream, batch: &[LiveMsg]) -> io::Result<()> {
         let wire_bytes = match &self.config.faults {
             Some(f) => f.write_frame(dir, stream, batch)?,
             None => crate::wire::write_frame(stream, batch)?,
@@ -705,11 +787,7 @@ impl Inner {
         Ok(())
     }
 
-    fn recv(
-        &self,
-        dir: Direction,
-        stream: &mut TcpStream,
-    ) -> io::Result<Option<Vec<LiveMsg>>> {
+    fn recv(&self, dir: Direction, stream: &mut TcpStream) -> io::Result<Option<Vec<LiveMsg>>> {
         let got = match &self.config.faults {
             Some(f) => f.read_frame_sized(dir, stream)?,
             None => crate::wire::read_frame_sized(stream)?,
@@ -789,7 +867,10 @@ impl Inner {
         loop {
             let batch: Vec<LiveMsg> = responses
                 .drain(..)
-                .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
+                .map(|(_, m)| LiveMsg::Gossip {
+                    from: self.id,
+                    msg: m,
+                })
                 .collect();
             let done = batch.is_empty();
             self.send(Direction::Inbound, stream, &batch)?;
@@ -804,9 +885,7 @@ impl Inner {
             }
             for m in reply {
                 if let LiveMsg::Gossip { from, msg } = m {
-                    responses.extend(
-                        self.engine.lock().handle_message(from, msg, self.now_ms()),
-                    );
+                    responses.extend(self.engine.lock().handle_message(from, msg, self.now_ms()));
                 }
             }
         }
@@ -832,7 +911,10 @@ impl Inner {
         self.send(
             Direction::Outbound,
             stream,
-            &[LiveMsg::Gossip { from: self.id, msg: msg.clone() }],
+            &[LiveMsg::Gossip {
+                from: self.id,
+                msg: msg.clone(),
+            }],
         )?;
         let mut first_reply = true;
         // Alternate until both sides go quiet.
@@ -853,14 +935,15 @@ impl Inner {
             let mut responses = Vec::new();
             for m in batch {
                 if let LiveMsg::Gossip { from, msg } = m {
-                    responses.extend(
-                        self.engine.lock().handle_message(from, msg, self.now_ms()),
-                    );
+                    responses.extend(self.engine.lock().handle_message(from, msg, self.now_ms()));
                 }
             }
             let out: Vec<LiveMsg> = responses
                 .into_iter()
-                .map(|(_, m)| LiveMsg::Gossip { from: self.id, msg: m })
+                .map(|(_, m)| LiveMsg::Gossip {
+                    from: self.id,
+                    msg: m,
+                })
                 .collect();
             let done = out.is_empty();
             self.send(Direction::Outbound, stream, &out)?;
@@ -875,11 +958,7 @@ impl Inner {
     /// after a clean exchange; a connection-level failure on a reused
     /// stream is absorbed by one transparent fresh reconnect (counted
     /// as `conn.stale_reconnects`, never charged as a gossip retry).
-    fn gossip_attempt(
-        &self,
-        addr: &str,
-        msg: &Message<LivePayload>,
-    ) -> io::Result<()> {
+    fn gossip_attempt(&self, addr: &str, msg: &Message<LivePayload>) -> io::Result<()> {
         let Some(pool) = &self.conns else {
             let mut stream = self.connect(addr)?;
             return self.gossip_conversation(&mut stream, msg, false);
@@ -954,9 +1033,7 @@ impl Inner {
         let r = &self.config.retry;
         let attempts = u64::from(r.max_attempts.max(1));
         let per_attempt = 2 * self.config.io_timeout.as_millis() as u64;
-        Duration::from_millis(
-            attempts * per_attempt + (attempts - 1) * r.max_delay_ms,
-        )
+        Duration::from_millis(attempts * per_attempt + (attempts - 1) * r.max_delay_ms)
     }
 
     /// Read deadline for a proxied search. The proxy's fan-out is
@@ -993,9 +1070,10 @@ impl Inner {
             self.stats.frames_out.inc();
             self.stats.bytes_in.add(info.bytes_in);
             self.stats.frames_in.inc();
-            let msg = reply.into_iter().next().ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "empty reply")
-            })?;
+            let msg = reply
+                .into_iter()
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty reply"))?;
             return Ok((msg, info));
         }
         let mut stream = self.connect(addr)?;
@@ -1084,11 +1162,7 @@ impl Inner {
                 break;
             }
             let attempt_started = Instant::now();
-            match self.rpc_once(
-                addr,
-                request,
-                remaining.min(self.config.io_timeout),
-            ) {
+            match self.rpc_once(addr, request, remaining.min(self.config.io_timeout)) {
                 Ok((reply, info)) => {
                     self.stats
                         .rpc_latency_ms
@@ -1114,10 +1188,7 @@ impl Inner {
     /// that never search never pay for the threads.
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(|| {
-            WorkerPool::in_registry(
-                self.config.fanout.pool_threads,
-                &self.stats.registry,
-            )
+            WorkerPool::in_registry(self.config.fanout.pool_threads, &self.stats.registry)
         })
     }
 
@@ -1145,7 +1216,10 @@ impl Inner {
     /// keys its invalidation on.
     fn synced_query_state(
         &self,
-    ) -> (MutexGuard<'_, QueryState>, Vec<(PeerId, String, PeerVersion)>) {
+    ) -> (
+        MutexGuard<'_, QueryState>,
+        Vec<(PeerId, String, PeerVersion)>,
+    ) {
         let mut qs = self.query_state.lock();
         // Snapshot the directory under a short engine lock; the
         // decompression / delta-apply work happens after it is released.
@@ -1160,8 +1234,7 @@ impl Inner {
                         // Same incarnation, strictly behind: the stored
                         // chain may cover exactly our gap.
                         Some(v)
-                            if v.version.0 == e.status_version
-                                && v.version.1 < e.bloom_version =>
+                            if v.version.0 == e.status_version && v.version.1 < e.bloom_version =>
                         {
                             match engine.delta_steps(
                                 pid,
@@ -1191,9 +1264,7 @@ impl Inner {
                     // re-decompresses the full payload from scratch.
                     let applied = match qs.filters.get_mut(pid) {
                         Some(v) => {
-                            let ok = steps
-                                .iter()
-                                .all(|d| d.apply_in_place(&mut v.filter));
+                            let ok = steps.iter().all(|d| d.diff.apply_in_place(&mut v.filter));
                             if ok {
                                 v.version = *version;
                             }
@@ -1209,7 +1280,10 @@ impl Inner {
                     Some(filter) => {
                         qs.filters.insert(
                             *pid,
-                            VersionedFilter { version: *version, filter },
+                            VersionedFilter {
+                                version: *version,
+                                filter,
+                            },
                         );
                     }
                     // Corrupt filter: drop the peer from the query view
@@ -1221,7 +1295,9 @@ impl Inner {
             }
         }
         qs.filters.retain(|pid, _| {
-            snapshot.binary_search_by_key(pid, |(p, _, _, _)| *p).is_ok()
+            snapshot
+                .binary_search_by_key(pid, |(p, _, _, _)| *p)
+                .is_ok()
         });
         let owners: Vec<(PeerId, String, PeerVersion)> = snapshot
             .into_iter()
@@ -1277,11 +1353,7 @@ impl Inner {
     /// size. Degrades gracefully: dead peers are skipped or cut off at
     /// the deadline, the rank order keeps draining, and the coverage
     /// summary accounts for every peer the search attempted.
-    fn ranked_search(
-        &self,
-        raw_query: &str,
-        k: usize,
-    ) -> Result<LiveSearchResult, PlanetPError> {
+    fn ranked_search(&self, raw_query: &str, k: usize) -> Result<LiveSearchResult, PlanetPError> {
         self.ranked_search_with(raw_query, k, self.config.fanout.group_size)
     }
 
@@ -1339,6 +1411,11 @@ impl Inner {
         };
         let deadline = self.fanout_deadline();
         let mut top: Vec<LiveHit> = Vec::new();
+        // Content hashes seen in a *home* (non-replica) copy: a kept
+        // replica hit whose hash never shows up here was genuinely
+        // recovered — no reachable peer held the original.
+        let mut home_seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut dup_collapsed = 0u64;
         let mut dry = 0usize;
         let mut stopped_early = false;
         'groups: for group in plan.ranked.chunks(group_size.max(1)) {
@@ -1349,26 +1426,28 @@ impl Inner {
                     (*pid, addr.as_str())
                 })
                 .collect();
-            let (slots, mut replies) =
-                self.dispatch_group(&members, &request, deadline);
+            let (slots, mut replies) = self.dispatch_group(&members, &request, deadline);
             // Merge in rank order, with the same bookkeeping the
             // sequential walk kept per contact.
             for (rp, slot) in group.iter().zip(slots) {
                 let (pid, _, _) = &owners[rp.peer];
-                let docs: Vec<(u64, f64, String)> = match slot {
+                let docs: Vec<SearchDoc> = match slot {
                     GroupSlot::Local => {
                         coverage.peers_contacted += 1;
+                        let origins = self.replica_origins();
                         let store = self.store.lock();
-                        planetp_search::score_index(
-                            store.index(),
-                            &q.terms,
-                            &plan.ipf,
-                        )
-                        .into_iter()
-                        .filter_map(|(d, s)| {
-                            store.get(d).map(|r| (d, s, r.xml.clone()))
-                        })
-                        .collect()
+                        planetp_search::score_index(store.index(), &q.terms, &plan.ipf)
+                            .into_iter()
+                            .filter_map(|(d, s)| {
+                                store.get(d).map(|r| SearchDoc {
+                                    doc: d,
+                                    score: s,
+                                    hash: r.hash,
+                                    replica_of: origins.get(&d).copied(),
+                                    xml: r.xml.clone(),
+                                })
+                            })
+                            .collect()
                     }
                     GroupSlot::Skipped => {
                         coverage.peers_skipped += 1;
@@ -1396,18 +1475,39 @@ impl Inner {
                     },
                 };
                 let mut contributed = false;
-                for (doc, score, xml) in docs {
+                for sd in docs {
                     // A corrupt or hostile peer could ship NaN/infinite
                     // scores; drop them instead of letting them poison
                     // the ranking.
-                    if !score.is_finite() {
+                    if !sd.score.is_finite() {
                         debug_log!(
                             "planetp[{}]: dropped non-finite score from peer {pid}",
                             self.id
                         );
                         continue;
                     }
-                    let hit = LiveHit { peer: *pid, doc, score, xml };
+                    if sd.replica_of.is_none() {
+                        home_seen.insert(sd.hash);
+                    }
+                    let hit = LiveHit {
+                        peer: *pid,
+                        doc: sd.doc,
+                        score: sd.score,
+                        hash: sd.hash,
+                        replica_of: sd.replica_of,
+                        xml: sd.xml,
+                    };
+                    // Collapse replica duplicates: the same content can
+                    // arrive from its home and from any holder. Keep
+                    // the best-scored copy (ties keep the first seen).
+                    if let Some(i) = top.iter().position(|h| h.hash == hit.hash) {
+                        dup_collapsed += 1;
+                        if hit.score > top[i].score {
+                            top[i] = hit;
+                            contributed = true;
+                        }
+                        continue;
+                    }
                     if offer_hit(&mut top, hit, k) {
                         contributed = true;
                     }
@@ -1428,6 +1528,18 @@ impl Inner {
                 .total_cmp(&a.score)
                 .then_with(|| (a.peer, a.doc).cmp(&(b.peer, b.doc)))
         });
+        coverage.recovered_via_replicas = top
+            .iter()
+            .filter(|h| h.replica_of.is_some() && !home_seen.contains(&h.hash))
+            .count();
+        if dup_collapsed > 0 {
+            self.stats.replica_dup_collapsed.add(dup_collapsed);
+        }
+        if coverage.recovered_via_replicas > 0 {
+            self.stats
+                .replica_recovered_hits
+                .add(coverage.recovered_via_replicas as u64);
+        }
         // The paper's Fig 6 metric: how many peers the adaptive
         // stopping heuristic actually contacted, and whether it cut
         // the rank order short or drained it.
@@ -1442,7 +1554,10 @@ impl Inner {
         if !coverage.is_complete() {
             self.stats.searches_degraded.inc();
         }
-        Ok(LiveSearchResult { hits: top, coverage })
+        Ok(LiveSearchResult {
+            hits: top,
+            coverage,
+        })
     }
 
     /// Exhaustive conjunction search (§5.1). Candidates come from the
@@ -1450,10 +1565,7 @@ impl Inner {
     /// query term once and probing every filter by precomputed hash),
     /// and all remote candidates are contacted in one parallel batch
     /// on the worker pool under the fan-out deadline.
-    fn exhaustive_search(
-        &self,
-        raw_query: &str,
-    ) -> Result<LiveSearchResult, PlanetPError> {
+    fn exhaustive_search(&self, raw_query: &str) -> Result<LiveSearchResult, PlanetPError> {
         let analyzer = self.store.lock().analyzer().clone();
         let q = parse_query(raw_query, &analyzer);
         if q.is_empty() {
@@ -1462,15 +1574,12 @@ impl Inner {
                 coverage: SearchCoverage::default(),
             });
         }
-        let keys: Vec<HashedKey> =
-            q.terms.iter().map(|t| HashedKey::new(t)).collect();
+        let keys: Vec<HashedKey> = q.terms.iter().map(|t| HashedKey::new(t)).collect();
         let candidates: Vec<(PeerId, String)> = {
             let (qs, owners) = self.synced_query_state();
             owners
                 .into_iter()
-                .filter(|(pid, _, _)| {
-                    qs.filters[pid].filter.count_hits_hashed(&keys) == keys.len()
-                })
+                .filter(|(pid, _, _)| qs.filters[pid].filter.count_hits_hashed(&keys) == keys.len())
                 .map(|(pid, addr, _)| (pid, addr))
                 .collect()
         };
@@ -1479,25 +1588,62 @@ impl Inner {
             recovering: self.is_recovering(),
             ..SearchCoverage::default()
         };
-        let request = LiveMsg::ExhaustiveRequest { terms: q.terms.clone() };
+        let request = LiveMsg::ExhaustiveRequest {
+            terms: q.terms.clone(),
+        };
         let members: Vec<(PeerId, &str)> = candidates
             .iter()
             .map(|(pid, addr)| (*pid, addr.as_str()))
             .collect();
-        let (slots, mut replies) =
-            self.dispatch_group(&members, &request, self.fanout_deadline());
-        let mut hits = Vec::new();
+        let (slots, mut replies) = self.dispatch_group(&members, &request, self.fanout_deadline());
+        // Replica dedup state: content hash → index into `hits`. Home
+        // copies are preferred over replicas, first-seen otherwise.
+        struct ExhaustiveMerge {
+            hits: Vec<LiveHit>,
+            by_hash: HashMap<u64, usize>,
+            home_seen: std::collections::HashSet<u64>,
+            dup_collapsed: u64,
+        }
+        impl ExhaustiveMerge {
+            fn offer(&mut self, hit: LiveHit) {
+                if hit.replica_of.is_none() {
+                    self.home_seen.insert(hit.hash);
+                }
+                match self.by_hash.entry(hit.hash) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        self.dup_collapsed += 1;
+                        let i = *e.get();
+                        if self.hits[i].replica_of.is_some() && hit.replica_of.is_none() {
+                            self.hits[i] = hit;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(self.hits.len());
+                        self.hits.push(hit);
+                    }
+                }
+            }
+        }
+        let mut merge = ExhaustiveMerge {
+            hits: Vec::new(),
+            by_hash: HashMap::new(),
+            home_seen: std::collections::HashSet::new(),
+            dup_collapsed: 0,
+        };
         for ((pid, _), slot) in candidates.iter().zip(slots) {
             match slot {
                 GroupSlot::Local => {
                     coverage.peers_contacted += 1;
+                    let origins = self.replica_origins();
                     let store = self.store.lock();
                     for d in store.search_conjunction(&q.terms) {
                         let r = store.get(d).expect("doc exists");
-                        hits.push(LiveHit {
+                        merge.offer(LiveHit {
                             peer: *pid,
                             doc: d,
                             score: 0.0,
+                            hash: r.hash,
+                            replica_of: origins.get(&d).copied(),
                             xml: r.xml.clone(),
                         });
                     }
@@ -1509,12 +1655,14 @@ impl Inner {
                 GroupSlot::Remote(i) => match replies[i].take() {
                     Some(Ok(LiveMsg::ExhaustiveResponse { docs })) => {
                         coverage.peers_contacted += 1;
-                        for (doc, xml) in docs {
-                            hits.push(LiveHit {
+                        for sd in docs {
+                            merge.offer(LiveHit {
                                 peer: *pid,
-                                doc,
+                                doc: sd.doc,
                                 score: 0.0,
-                                xml,
+                                hash: sd.hash,
+                                replica_of: sd.replica_of,
+                                xml: sd.xml,
                             });
                         }
                     }
@@ -1532,7 +1680,25 @@ impl Inner {
                 },
             }
         }
+        let ExhaustiveMerge {
+            mut hits,
+            home_seen,
+            dup_collapsed,
+            ..
+        } = merge;
         hits.sort_by_key(|a| (a.peer, a.doc));
+        coverage.recovered_via_replicas = hits
+            .iter()
+            .filter(|h| h.replica_of.is_some() && !home_seen.contains(&h.hash))
+            .count();
+        if dup_collapsed > 0 {
+            self.stats.replica_dup_collapsed.add(dup_collapsed);
+        }
+        if coverage.recovered_via_replicas > 0 {
+            self.stats
+                .replica_recovered_hits
+                .add(coverage.recovered_via_replicas as u64);
+        }
         if !coverage.is_complete() {
             self.stats.searches_degraded.inc();
         }
@@ -1552,7 +1718,8 @@ impl Inner {
     /// must not keep the node alive, and the job chain dies with it.
     fn enqueue_conn(self: &Arc<Self>, conn: ServerConn) {
         let weak = Arc::downgrade(self);
-        self.server_pool.execute(move || Inner::serve_step(&weak, conn));
+        self.server_pool
+            .execute(move || Inner::serve_step(&weak, conn));
     }
 
     /// One cooperative scheduling turn for an accepted connection:
@@ -1584,9 +1751,7 @@ impl Inner {
         match conn.stream.peek(&mut probe) {
             Ok(0) => return, // peer closed
             Ok(_) => {
-                let _ = conn
-                    .stream
-                    .set_read_timeout(Some(inner.config.io_timeout));
+                let _ = conn.stream.set_read_timeout(Some(inner.config.io_timeout));
                 if !inner.serve_one_frame(&mut conn.stream) {
                     return;
                 }
@@ -1613,9 +1778,7 @@ impl Inner {
     /// Returns whether the connection is still healthy enough to keep.
     fn serve_one_frame(&self, stream: &mut TcpStream) -> bool {
         let got = match &self.config.faults {
-            Some(f) => {
-                f.read_any_frame_sized::<Vec<LiveMsg>>(Direction::Inbound, stream)
-            }
+            Some(f) => f.read_any_frame_sized::<Vec<LiveMsg>>(Direction::Inbound, stream),
             None => crate::wire::read_any_frame_sized::<Vec<LiveMsg>>(stream),
         };
         let (frame, wire_bytes) = match got {
@@ -1648,38 +1811,57 @@ impl Inner {
                         return false;
                     }
                 }
-                LiveMsg::SearchRequest { terms, ipf, num_peers } => {
+                LiveMsg::SearchRequest {
+                    terms,
+                    ipf,
+                    num_peers,
+                } => {
                     let table = IpfTable::from_pairs(ipf, num_peers);
+                    let origins = self.replica_origins();
                     let store = self.store.lock();
-                    let docs = planetp_search::score_index(store.index(), &terms, &table)
-                        .into_iter()
-                        .filter_map(|(doc, score)| {
-                            store.get(doc).map(|r| (doc, score, r.xml.clone()))
-                        })
-                        .collect();
+                    let docs: Vec<SearchDoc> =
+                        planetp_search::score_index(store.index(), &terms, &table)
+                            .into_iter()
+                            .filter_map(|(doc, score)| {
+                                store.get(doc).map(|r| SearchDoc {
+                                    doc,
+                                    score,
+                                    hash: r.hash,
+                                    replica_of: origins.get(&doc).copied(),
+                                    xml: r.xml.clone(),
+                                })
+                            })
+                            .collect();
                     drop(store);
+                    self.note_docs_served(docs.iter().map(|d| d.hash));
                     self.reply_framed(stream, corr, LiveMsg::SearchResponse { docs });
                 }
                 LiveMsg::ExhaustiveRequest { terms } => {
+                    let origins = self.replica_origins();
                     let store = self.store.lock();
-                    let docs = store
+                    let docs: Vec<SearchDoc> = store
                         .search_conjunction(&terms)
                         .into_iter()
-                        .filter_map(|d| store.get(d).map(|r| (d, r.xml.clone())))
+                        .filter_map(|d| {
+                            store.get(d).map(|r| SearchDoc {
+                                doc: d,
+                                score: 0.0,
+                                hash: r.hash,
+                                replica_of: origins.get(&d).copied(),
+                                xml: r.xml.clone(),
+                            })
+                        })
                         .collect();
                     drop(store);
-                    self.reply_framed(
-                        stream,
-                        corr,
-                        LiveMsg::ExhaustiveResponse { docs },
-                    );
+                    self.note_docs_served(docs.iter().map(|d| d.hash));
+                    self.reply_framed(stream, corr, LiveMsg::ExhaustiveResponse { docs });
                 }
                 LiveMsg::ProxySearchRequest { query, k } => {
                     let (hits, coverage) = match self.ranked_search(&query, k) {
                         Ok(r) => (
                             r.hits
                                 .into_iter()
-                                .map(|h| (h.peer, h.doc, h.score, h.xml))
+                                .map(|h| (h.peer, h.doc, h.score, h.hash, h.xml))
                                 .collect(),
                             r.coverage,
                         ),
@@ -1691,17 +1873,24 @@ impl Inner {
                         LiveMsg::ProxySearchResponse { hits, coverage },
                     );
                 }
+                LiveMsg::ReplicaPush {
+                    home,
+                    home_doc,
+                    hash,
+                    hotness,
+                    xml,
+                } => {
+                    let reply = self.handle_replica_push(home, home_doc, hash, hotness, &xml);
+                    self.reply_framed(stream, corr, reply);
+                }
                 LiveMsg::StatsRequest => {
                     let snapshot = self.metrics_snapshot();
-                    self.reply_framed(
-                        stream,
-                        corr,
-                        LiveMsg::StatsResponse { snapshot },
-                    );
+                    self.reply_framed(stream, corr, LiveMsg::StatsResponse { snapshot });
                 }
                 LiveMsg::SearchResponse { .. }
                 | LiveMsg::ExhaustiveResponse { .. }
                 | LiveMsg::ProxySearchResponse { .. }
+                | LiveMsg::ReplicaAccept { .. }
                 | LiveMsg::StatsResponse { .. } => {}
             }
         }
@@ -1716,12 +1905,7 @@ impl Inner {
         let batch = vec![msg];
         let res = match corr {
             Some(id) => match &self.config.faults {
-                Some(f) => f.write_correlated_frame(
-                    Direction::Inbound,
-                    stream,
-                    id,
-                    &batch,
-                ),
+                Some(f) => f.write_correlated_frame(Direction::Inbound, stream, id, &batch),
                 None => crate::wire::write_correlated_frame(stream, id, &batch),
             },
             None => match &self.config.faults {
@@ -1753,6 +1937,280 @@ impl Inner {
             .directory_size
             .set(self.engine.lock().directory().len() as i64);
         self.stats.registry.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Autonomous replication (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Snapshot of local doc id → (home, home_doc) for hosted replicas.
+    /// Taken *before* locking the store (see the lock-order note on
+    /// [`Inner::replica`]); empty when replication is off.
+    fn replica_origins(&self) -> std::collections::BTreeMap<u64, (PeerId, u64)> {
+        self.replica
+            .as_ref()
+            .map(|r| r.lock().origins())
+            .unwrap_or_default()
+    }
+
+    /// Feed served document hashes into the hotness sketch.
+    fn note_docs_served(&self, hashes: impl IntoIterator<Item = u64>) {
+        if let Some(r) = &self.replica {
+            let mut r = r.lock();
+            for h in hashes {
+                r.observe_served(h);
+            }
+        }
+    }
+
+    /// One replication planning round, run from the gossip loop: sample
+    /// the directory into the availability tracker, plan pushes for
+    /// under-replicated local documents, execute them over the normal
+    /// RPC path (retries, fault injection, health bookkeeping), and
+    /// re-gossip the ad if it changed.
+    fn replica_tick(&self) {
+        let Some(replica) = &self.replica else { return };
+        // 1. Directory sample: status → availability, payloads → ads.
+        let mut views: Vec<PeerView> = Vec::new();
+        let mut addrs: HashMap<PeerId, String> = HashMap::new();
+        {
+            let engine = self.engine.lock();
+            for (pid, e) in engine.directory().iter() {
+                if pid == self.id {
+                    continue;
+                }
+                let online = matches!(e.status, PeerStatus::Online);
+                let ad = e.payload.as_ref().and_then(|p| p.replica);
+                if let Some(p) = &e.payload {
+                    addrs.insert(pid, p.addr.clone());
+                }
+                views.push(PeerView {
+                    peer: pid,
+                    ad,
+                    online,
+                });
+            }
+        }
+        {
+            let mut r = replica.lock();
+            for v in &views {
+                r.observe_peer(v.peer, v.online);
+            }
+            r.retain_peers(|p| views.iter().any(|v| v.peer == p));
+        }
+        // 2. Home-owned documents (hosted replicas are their home's
+        // responsibility). Replica lock dropped before the store lock.
+        let own_docs: Vec<OwnDoc> = {
+            let origins = self.replica_origins();
+            let store = self.store.lock();
+            store
+                .documents()
+                .filter(|rec| !origins.contains_key(&rec.id))
+                .map(|rec| OwnDoc {
+                    doc: rec.id,
+                    hash: rec.hash,
+                    bytes: rec.xml.len() as u64,
+                })
+                .collect()
+        };
+        // 3. Plan under the replica lock, push outside every lock.
+        let plans = replica.lock().plan_pushes(&own_docs, &views);
+        for plan in plans {
+            let Some((xml, hotness)) = ({
+                let store = self.store.lock();
+                store.get(plan.doc).map(|r| r.xml.clone())
+            })
+            .map(|xml| (xml, replica.lock().hotness(plan.hash))) else {
+                continue; // unpublished since planning
+            };
+            let request = LiveMsg::ReplicaPush {
+                home: self.id,
+                home_doc: plan.doc,
+                hash: plan.hash,
+                hotness,
+                xml,
+            };
+            for target in plan.targets {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let Some(addr) = addrs.get(&target) else {
+                    continue;
+                };
+                if self.in_backoff(target) {
+                    continue;
+                }
+                replica.lock().metrics().pushes.inc();
+                match self.rpc_with_retry(target, addr, &request, self.config.io_timeout) {
+                    Ok(LiveMsg::ReplicaAccept { home_doc, accepted }) if home_doc == plan.doc => {
+                        let mut r = replica.lock();
+                        if accepted {
+                            r.note_accept(plan.doc, target);
+                        } else {
+                            r.note_declined(plan.doc, target);
+                        }
+                    }
+                    Ok(_) => {
+                        self.stats.unexpected_replies.inc();
+                    }
+                    Err(e) => {
+                        debug_log!("planetp[{}]: replica push to {target} failed: {e}", self.id);
+                    }
+                }
+            }
+        }
+        // 4. Re-advertise when the gossiped ad no longer matches
+        // reality (capacity moved, hosted count changed).
+        self.refresh_replica_ad();
+    }
+
+    /// Bump the gossiped payload iff the current ad differs from the
+    /// one in the directory, so ad changes ride the existing delta
+    /// chain without gossiping a new version every tick.
+    fn refresh_replica_ad(&self) {
+        let Some(ad) = self.current_replica_ad() else {
+            return;
+        };
+        let gossiped = {
+            let engine = self.engine.lock();
+            engine
+                .directory()
+                .get(self.id)
+                .and_then(|e| e.payload.as_ref())
+                .and_then(|p| p.replica)
+        };
+        if gossiped != Some(ad) {
+            self.gossip_own_update();
+            if let Err(e) = self.persist_own_versions() {
+                debug_log!(
+                    "planetp[{}]: failed to persist versions after ad refresh: {e}",
+                    self.id
+                );
+            }
+        }
+    }
+
+    /// Handle an incoming `ReplicaPush`: verify the hash, admit (maybe
+    /// evicting colder replicas), ingest into the normal store + index
+    /// + filter so the copy is discoverable through the unmodified
+    /// search path, and persist the hosting to the WAL.
+    fn handle_replica_push(
+        &self,
+        home: PeerId,
+        home_doc: u64,
+        hash: u64,
+        hotness: u64,
+        xml: &str,
+    ) -> LiveMsg {
+        let Some(replica) = &self.replica else {
+            return LiveMsg::ReplicaAccept {
+                home_doc,
+                accepted: false,
+            };
+        };
+        if content_hash(xml) != hash {
+            // Corrupt or lying sender: refuse before paying storage.
+            replica.lock().metrics().rejects.inc();
+            return LiveMsg::ReplicaAccept {
+                home_doc,
+                accepted: false,
+            };
+        }
+        let decision = {
+            let mut r = replica.lock();
+            r.seed_hotness(hash, hotness);
+            // The home is talking to us right now: count it online.
+            r.observe_peer(home, true);
+            r.admit(home, hash, xml.len() as u64)
+        };
+        match decision {
+            AdmitDecision::AlreadyHosted { .. } => LiveMsg::ReplicaAccept {
+                home_doc,
+                accepted: true,
+            },
+            AdmitDecision::Reject => {
+                replica.lock().metrics().rejects.inc();
+                LiveMsg::ReplicaAccept {
+                    home_doc,
+                    accepted: false,
+                }
+            }
+            AdmitDecision::Accept { evict } => {
+                for victim in evict {
+                    self.evict_replica(victim);
+                }
+                let doc = match self.store.lock().publish(xml) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        debug_log!("planetp[{}]: replica ingest failed: {e}", self.id);
+                        replica.lock().metrics().rejects.inc();
+                        return LiveMsg::ReplicaAccept {
+                            home_doc,
+                            accepted: false,
+                        };
+                    }
+                };
+                let hosted = HostedReplica {
+                    home,
+                    home_doc,
+                    hash,
+                    bytes: xml.len() as u64,
+                };
+                if !replica.lock().record_hosted(doc, hosted) {
+                    // Lost a race with a concurrent push of the same
+                    // content: drop the redundant copy, still accepted.
+                    let _ = self.store.lock().unpublish(doc);
+                    return LiveMsg::ReplicaAccept {
+                        home_doc,
+                        accepted: true,
+                    };
+                }
+                if let Err(e) = self.durable_append(WalRecord::ReplicaStored {
+                    doc,
+                    home,
+                    home_doc,
+                    hash,
+                    xml: xml.to_string(),
+                }) {
+                    debug_log!("planetp[{}]: failed to persist replica {doc}: {e}", self.id);
+                }
+                // The ingested copy changed the filter (and the ad):
+                // announce the new version.
+                self.gossip_own_update();
+                if let Err(e) = self.persist_own_versions() {
+                    debug_log!(
+                        "planetp[{}]: failed to persist versions after replica: {e}",
+                        self.id
+                    );
+                }
+                LiveMsg::ReplicaAccept {
+                    home_doc,
+                    accepted: true,
+                }
+            }
+        }
+    }
+
+    /// Evict one hosted replica: unpublish (rebuilding the filter),
+    /// log the drop, and release its capacity. The caller is expected
+    /// to gossip the new filter version afterwards.
+    fn evict_replica(&self, doc: u64) {
+        let Some(replica) = &self.replica else { return };
+        if replica.lock().drop_hosted(doc).is_none() {
+            return;
+        }
+        if let Err(e) = self.store.lock().unpublish(doc) {
+            debug_log!(
+                "planetp[{}]: evicted replica {doc} was not stored: {e}",
+                self.id
+            );
+        }
+        if let Err(e) = self.durable_append(WalRecord::ReplicaDropped { doc }) {
+            debug_log!(
+                "planetp[{}]: failed to persist replica drop {doc}: {e}",
+                self.id
+            );
+        }
     }
 }
 
@@ -1786,12 +2244,18 @@ fn offer_hit(top: &mut Vec<LiveHit>, hit: LiveHit, k: usize) -> bool {
 /// One ranked hit from a live search.
 #[derive(Debug, Clone)]
 pub struct LiveHit {
-    /// Owning peer.
+    /// Peer that answered with this copy (the home peer, or a replica
+    /// holder — see [`LiveHit::replica_of`]).
     pub peer: PeerId,
     /// Document id on that peer.
     pub doc: u64,
     /// TFxIPF score.
     pub score: f64,
+    /// Stable content hash (replica duplicates were collapsed on it).
+    pub hash: u64,
+    /// `Some((home, home_doc))` when the answering peer holds this
+    /// document as a replica for an (often offline) home peer.
+    pub replica_of: Option<(PeerId, u64)>,
     /// Document XML.
     pub xml: String,
 }
@@ -1847,9 +2311,37 @@ impl LiveNode {
                 stats.recovery_docs_restored.inc();
             }
         }
+        // Replication: build the engine (metrics in the node registry)
+        // and resume hosting whatever the WAL says we held. If the
+        // operator disabled replication on a store that has hosted
+        // replicas, the docs stay searchable but are no longer
+        // advertised, re-pushed, or evicted.
+        let mut replica_engine = if config.replica.enabled {
+            Some(ReplicaEngine::with_metrics(
+                config.replica.clone(),
+                ReplicaMetrics::in_registry(&stats.registry),
+            ))
+        } else {
+            None
+        };
+        if let (Some(re), Some(d)) = (replica_engine.as_mut(), durable.as_ref()) {
+            for (doc, pr) in d.state().replicas.clone() {
+                let bytes = d.state().docs.get(&doc).map_or(0, |x| x.len() as u64);
+                re.restore_hosted(
+                    doc,
+                    HostedReplica {
+                        home: pr.home,
+                        home_doc: pr.home_doc,
+                        hash: pr.hash,
+                        bytes,
+                    },
+                );
+            }
+        }
         let payload = LivePayload {
             addr: addr.clone(),
             bloom: CompressedBloom::compress(store.bloom()),
+            replica: replica_engine.as_ref().map(|r| r.local_ad()),
         };
 
         let mut engine = match durable
@@ -1910,10 +2402,7 @@ impl LiveNode {
                     config.seed ^ u64::from(id),
                     dir,
                 );
-                engine.local_recover(
-                    payload.clone(),
-                    (state.status_version, state.bloom_version),
-                );
+                engine.local_recover(payload.clone(), (state.status_version, state.bloom_version));
                 stats.recovery_restarts.inc();
                 // Catch-up phase: there is someone to catch up with.
                 recovering = !state.peers.is_empty() || bootstrap.is_some();
@@ -1948,13 +2437,15 @@ impl LiveNode {
             addr_book.insert(b, a);
         }
         let health = PeerHealth::new(config.health);
-        let mut cache = QueryCache::new()
-            .with_metrics(QueryCacheMetrics::in_registry(&stats.registry));
+        let mut cache =
+            QueryCache::new().with_metrics(QueryCacheMetrics::in_registry(&stats.registry));
         if let Some(tree_config) = config.bloom_tree {
-            cache = cache
-                .with_tree(tree_config, TreeMetrics::in_registry(&stats.registry));
+            cache = cache.with_tree(tree_config, TreeMetrics::in_registry(&stats.registry));
         }
-        let query_state = QueryState { filters: HashMap::new(), cache };
+        let query_state = QueryState {
+            filters: HashMap::new(),
+            cache,
+        };
         let conns = config.conn.enabled.then(|| {
             ConnPool::new(
                 config.conn,
@@ -1981,6 +2472,7 @@ impl LiveNode {
             pool: OnceLock::new(),
             conns,
             server_pool,
+            replica: replica_engine.map(Mutex::new),
             durable: durable.map(Mutex::new),
             recovering: AtomicBool::new(recovering),
             recovered_at: Mutex::new(recovering.then(Instant::now)),
@@ -2000,15 +2492,13 @@ impl LiveNode {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let _ = stream.set_nonblocking(false);
-                            let _ = stream
-                                .set_write_timeout(Some(inner.config.io_timeout));
+                            let _ = stream.set_write_timeout(Some(inner.config.io_timeout));
                             if inner.config.conn.nodelay {
                                 let _ = stream.set_nodelay(true);
                             }
                             inner.enqueue_conn(ServerConn {
                                 stream,
-                                idle_deadline: Instant::now()
-                                    + inner.server_keepalive(),
+                                idle_deadline: Instant::now() + inner.server_keepalive(),
                                 admitted: false,
                             });
                         }
@@ -2020,33 +2510,56 @@ impl LiveNode {
                 }
             }));
         }
-        // Gossip loop.
+        // Gossip loop (also drives the replication tick: replication
+        // needs no thread of its own, and piggybacking keeps its
+        // directory samples in lockstep with gossip rounds).
         {
             let inner = Arc::clone(&inner);
             threads.push(std::thread::spawn(move || {
                 let mut next_tick = Duration::from_millis(0);
+                let replica_interval = Duration::from_millis(inner.config.replica.interval_ms);
+                let decay_interval = Duration::from_millis(inner.config.replica.decay_interval_ms);
+                let mut next_replica = Duration::from_millis(0);
+                let mut next_decay = decay_interval;
                 let started = Instant::now();
                 while !inner.shutdown.load(Ordering::Relaxed) {
-                    if started.elapsed() < next_tick {
+                    if started.elapsed() < next_tick.min(next_replica) {
                         std::thread::sleep(Duration::from_millis(2));
                         continue;
                     }
-                    let outcome = {
-                        let mut engine = inner.engine.lock();
-                        let o = engine.tick(inner.now_ms());
-                        next_tick = started.elapsed()
-                            + Duration::from_millis(engine.current_interval());
-                        o
-                    };
-                    if let Some(out) = outcome {
-                        inner.gossip_to(out.target, out.message);
+                    if started.elapsed() >= next_tick {
+                        let outcome = {
+                            let mut engine = inner.engine.lock();
+                            let o = engine.tick(inner.now_ms());
+                            next_tick = started.elapsed()
+                                + Duration::from_millis(engine.current_interval());
+                            o
+                        };
+                        if let Some(out) = outcome {
+                            inner.gossip_to(out.target, out.message);
+                        }
+                        // Fold whatever this tick (and any inbound
+                        // gossip since the last one) taught us into the
+                        // WAL.
+                        inner.persist_directory();
+                        // Retire idle pooled streams past their timeout.
+                        if let Some(p) = &inner.conns {
+                            p.reap();
+                        }
                     }
-                    // Fold whatever this tick (and any inbound gossip
-                    // since the last one) taught us into the WAL.
-                    inner.persist_directory();
-                    // Retire idle pooled streams past their timeout.
-                    if let Some(p) = &inner.conns {
-                        p.reap();
+                    if inner.replica.is_some() && started.elapsed() >= next_replica {
+                        next_replica = started.elapsed() + replica_interval;
+                        if started.elapsed() >= next_decay {
+                            next_decay = started.elapsed() + decay_interval;
+                            if let Some(r) = &inner.replica {
+                                r.lock().decay();
+                            }
+                        }
+                        inner.replica_tick();
+                    } else if inner.replica.is_none() {
+                        // Without replication the loop only waits on
+                        // gossip ticks.
+                        next_replica = next_tick;
                     }
                 }
             }));
@@ -2140,6 +2653,20 @@ impl LiveNode {
         self.inner.engine.lock().stats()
     }
 
+    /// How many replicas this node currently hosts for other peers and
+    /// the bytes they occupy, or `None` when replication is disabled.
+    pub fn replica_hosted(&self) -> Option<(usize, u64)> {
+        let replica = self.inner.replica.as_ref()?;
+        let r = replica.lock();
+        Some((r.hosted_count(), r.used_bytes()))
+    }
+
+    /// The replication advertisement this node currently gossips, or
+    /// `None` when replication is disabled.
+    pub fn replica_ad(&self) -> Option<ReplicaAd> {
+        self.inner.current_replica_ad()
+    }
+
     /// Unified metrics snapshot of this node: gossip, transport,
     /// search, and health metrics from one registry. Serializable; see
     /// [`planetp_obs::MetricsSnapshot`] for diffing and rendering.
@@ -2199,8 +2726,10 @@ impl LiveNode {
     pub fn publish(&self, xml: &str) -> Result<u64, PlanetPError> {
         let doc = self.inner.store.lock().publish(xml)?;
         self.inner.gossip_own_update();
-        self.inner
-            .durable_append(WalRecord::Publish { doc, xml: xml.to_string() })?;
+        self.inner.durable_append(WalRecord::Publish {
+            doc,
+            xml: xml.to_string(),
+        })?;
         self.inner.persist_own_versions()?;
         Ok(doc)
     }
@@ -2245,7 +2774,10 @@ impl LiveNode {
         match self.inner.rpc_with_retry(
             proxy,
             &addr,
-            &LiveMsg::ProxySearchRequest { query: raw_query.to_string(), k },
+            &LiveMsg::ProxySearchRequest {
+                query: raw_query.to_string(),
+                k,
+            },
             self.inner.proxy_read_timeout(),
         ) {
             Ok(LiveMsg::ProxySearchResponse { hits, coverage }) => {
@@ -2254,7 +2786,7 @@ impl LiveNode {
                 // and reject coverage bookkeeping that cannot balance.
                 let hits: Vec<LiveHit> = hits
                     .into_iter()
-                    .filter(|(_, _, score, _)| {
+                    .filter(|(_, _, score, _, _)| {
                         let ok = score.is_finite();
                         if !ok {
                             debug_log!(
@@ -2264,13 +2796,20 @@ impl LiveNode {
                         }
                         ok
                     })
-                    .map(|(peer, doc, score, xml)| LiveHit { peer, doc, score, xml })
+                    .map(|(peer, doc, score, hash, xml)| LiveHit {
+                        peer,
+                        doc,
+                        score,
+                        hash,
+                        // The proxy already collapsed replica
+                        // duplicates; provenance is not re-derived
+                        // through the narrow proxy reply.
+                        replica_of: None,
+                        xml,
+                    })
                     .collect();
                 if coverage.peers_attempted() > coverage.peers_considered {
-                    self.inner
-                        .stats
-                        .unexpected_replies
-                        .inc();
+                    self.inner.stats.unexpected_replies.inc();
                     return Err(PlanetPError::Protocol(
                         "proxy coverage bookkeeping does not balance".into(),
                     ));
@@ -2278,10 +2817,7 @@ impl LiveNode {
                 Ok(LiveSearchResult { hits, coverage })
             }
             Ok(_) => {
-                self.inner
-                    .stats
-                    .unexpected_replies
-                    .inc();
+                self.inner.stats.unexpected_replies.inc();
                 Err(PlanetPError::Protocol("unexpected proxy reply".into()))
             }
             Err(e) => Err(PlanetPError::Network(e)),
@@ -2292,10 +2828,7 @@ impl LiveNode {
     /// are contacted in one parallel batch; dead peers are skipped or
     /// cut off at the fan-out deadline, and the coverage summary
     /// accounts for every candidate that did not answer.
-    pub fn search_exhaustive(
-        &self,
-        raw_query: &str,
-    ) -> Result<LiveSearchResult, PlanetPError> {
+    pub fn search_exhaustive(&self, raw_query: &str) -> Result<LiveSearchResult, PlanetPError> {
         self.inner.exhaustive_search(raw_query)
     }
 
@@ -2340,7 +2873,14 @@ mod tests {
     use super::*;
 
     fn hit(score: f64) -> LiveHit {
-        LiveHit { peer: 1, doc: 0, score, xml: String::new() }
+        LiveHit {
+            peer: 1,
+            doc: 0,
+            score,
+            hash: 0,
+            replica_of: None,
+            xml: String::new(),
+        }
     }
 
     #[test]
@@ -2382,6 +2922,7 @@ mod tests {
             peers_failed: 3,
             peers_skipped: 1,
             recovering: false,
+            recovered_via_replicas: 0,
         };
         assert_eq!(c.peers_attempted(), 10);
         assert!((c.coverage_fraction() - 0.6).abs() < 1e-9);

@@ -66,8 +66,13 @@ impl PersistentQueryRegistry {
     ) -> PersistentQueryId {
         self.next_id += 1;
         let id = self.next_id;
-        self.queries
-            .insert(id, PersistentQuery { terms, callback: Box::new(callback) });
+        self.queries.insert(
+            id,
+            PersistentQuery {
+                terms,
+                callback: Box::new(callback),
+            },
+        );
         id
     }
 
@@ -91,7 +96,9 @@ impl PersistentQueryRegistry {
     pub fn on_bloom_update(&self, peer: &str, bloom: &BloomFilter) {
         for q in self.queries.values() {
             if !q.terms.is_empty() && q.terms.iter().all(|t| bloom.contains(t)) {
-                (q.callback)(&Notification::PeerMayMatch { peer: peer.to_string() });
+                (q.callback)(&Notification::PeerMayMatch {
+                    peer: peer.to_string(),
+                });
             }
         }
     }
@@ -132,7 +139,11 @@ mod tests {
         let mut f = BloomFilter::new(BloomParams::for_capacity(100, 0.001));
         f.insert("gossip");
         reg.on_bloom_update("alice", &f);
-        assert_eq!(hits.load(Ordering::SeqCst), 0, "partial match must not fire");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            0,
+            "partial match must not fire"
+        );
         f.insert("bloom");
         reg.on_bloom_update("alice", &f);
         assert_eq!(hits.load(Ordering::SeqCst), 1);
@@ -150,7 +161,10 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(
             got[0],
-            Notification::Snippet { publisher: "bob".into(), xml: "<n>fire</n>".into() }
+            Notification::Snippet {
+                publisher: "bob".into(),
+                xml: "<n>fire</n>".into()
+            }
         );
     }
 

@@ -151,9 +151,11 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        let latch = Latch { done: Mutex::new(0), all_done: Condvar::new() };
-        let results: Vec<Mutex<Option<T>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let latch = Latch {
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        };
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         {
             let mut q = self.shared.queue.lock();
             for (i, job) in jobs.into_iter().enumerate() {
@@ -257,9 +259,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::time::{Duration, Instant};
 
-    fn jobs_from<'a, T: Send, F: FnOnce() -> T + Send + 'a>(
-        fns: Vec<F>,
-    ) -> Vec<ScopedJob<'a, T>> {
+    fn jobs_from<'a, T: Send, F: FnOnce() -> T + Send + 'a>(fns: Vec<F>) -> Vec<ScopedJob<'a, T>> {
         fns.into_iter()
             .map(|f| Box::new(f) as ScopedJob<'a, T>)
             .collect()
@@ -331,8 +331,7 @@ mod tests {
     #[test]
     fn zero_workers_runs_on_caller() {
         let pool = WorkerPool::new(0);
-        let jobs: Vec<ScopedJob<'_, i32>> =
-            vec![Box::new(|| 1), Box::new(|| 2), Box::new(|| 3)];
+        let jobs: Vec<ScopedJob<'_, i32>> = vec![Box::new(|| 1), Box::new(|| 2), Box::new(|| 3)];
         let out = pool.run_all(jobs);
         assert_eq!(out, vec![Some(1), Some(2), Some(3)]);
     }

@@ -102,9 +102,7 @@ pub fn read_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<T
 /// clean EOF. Correlated frames are rejected here (their flagged prefix
 /// reads as oversized) — use [`read_any_frame_sized`] on streams that
 /// may carry both.
-pub fn read_frame_sized<T: DeserializeOwned>(
-    r: &mut impl Read,
-) -> io::Result<Option<(T, usize)>> {
+pub fn read_frame_sized<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<Option<(T, usize)>> {
     let mut len_buf = [0u8; 4];
     if !fill_exact(r, &mut len_buf, "truncated length prefix")? {
         return Ok(None);
@@ -129,7 +127,10 @@ fn fill_exact(r: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<bool>
         match r.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 => return Ok(false),
             Ok(0) => {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string()))
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    what.to_string(),
+                ))
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -264,7 +265,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -309,10 +314,7 @@ pub enum CrcFrame<T> {
 
 /// Write one value as a CRC frame: `[len u32][crc32 u32][body]`, both
 /// integers big-endian, CRC over the body bytes. Returns bytes written.
-pub fn write_crc_frame<T: Serialize + ?Sized>(
-    w: &mut impl Write,
-    value: &T,
-) -> io::Result<usize> {
+pub fn write_crc_frame<T: Serialize + ?Sized>(w: &mut impl Write, value: &T) -> io::Result<usize> {
     with_serialized(value, |body| {
         if body.len() > MAX_FRAME_BYTES {
             return Err(io::Error::new(
@@ -330,8 +332,8 @@ pub fn write_crc_frame<T: Serialize + ?Sized>(
 /// Serialize one value into CRC-frame bytes (for callers that need the
 /// raw frame, e.g. to place crash points between partial writes).
 pub fn crc_frame_bytes<T: Serialize + ?Sized>(value: &T) -> io::Result<Vec<u8>> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let body =
+        serde_json::to_vec(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if body.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -349,9 +351,7 @@ pub fn crc_frame_bytes<T: Serialize + ?Sized>(value: &T) -> io::Result<Vec<u8>> 
 /// `io::Error` except a genuine transport error from the reader itself:
 /// torn tails, bad checksums, and undecodable bodies all come back as
 /// [`CrcFrame::Corrupt`] so the caller can truncate-and-continue.
-pub fn read_crc_frame<T: DeserializeOwned>(
-    r: &mut impl Read,
-) -> io::Result<CrcFrame<T>> {
+pub fn read_crc_frame<T: DeserializeOwned>(r: &mut impl Read) -> io::Result<CrcFrame<T>> {
     let mut header = [0u8; 8];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -396,7 +396,10 @@ mod tests {
     #[test]
     fn roundtrip_multiple_frames() {
         let mut buf = Vec::new();
-        let x = Sample { a: 1, b: vec!["one".into()] };
+        let x = Sample {
+            a: 1,
+            b: vec!["one".into()],
+        };
         let y = Sample { a: 2, b: vec![] };
         write_frame(&mut buf, &x).unwrap();
         write_frame(&mut buf, &y).unwrap();
@@ -408,12 +411,18 @@ mod tests {
 
     #[test]
     fn scratch_reuse_never_leaks_between_frames() {
-        let x = Sample { a: 1, b: vec!["one".into()] };
+        let x = Sample {
+            a: 1,
+            b: vec!["one".into()],
+        };
         let mut a = Vec::new();
         write_frame(&mut a, &x).unwrap();
         // A larger intervening frame reuses (and grows) the same
         // scratch; the next small frame must come out byte-identical.
-        let big = Sample { a: 2, b: vec!["y".repeat(256); 8] };
+        let big = Sample {
+            a: 2,
+            b: vec!["y".repeat(256); 8],
+        };
         let mut tmp = Vec::new();
         write_frame(&mut tmp, &big).unwrap();
         let mut b = Vec::new();
@@ -456,7 +465,10 @@ mod tests {
     fn large_honest_frame_roundtrips() {
         // Bigger than the initial reservation chunk: the buffer must
         // grow with the arriving bytes.
-        let big = Sample { a: 7, b: vec!["x".repeat(1024); 128] };
+        let big = Sample {
+            a: 7,
+            b: vec!["x".repeat(1024); 128],
+        };
         let mut buf = Vec::new();
         write_frame(&mut buf, &big).unwrap();
         let mut r = buf.as_slice();
@@ -466,12 +478,16 @@ mod tests {
     #[test]
     fn correlated_frame_roundtrips_with_id() {
         let mut buf = Vec::new();
-        let x = Sample { a: 3, b: vec!["mux".into()] };
+        let x = Sample {
+            a: 3,
+            b: vec!["mux".into()],
+        };
         let n = write_correlated_frame(&mut buf, 0xDEAD_BEEF_u64, &x).unwrap();
         assert_eq!(n, buf.len());
         let mut r = buf.as_slice();
-        let (frame, consumed) =
-            read_any_frame_sized::<Sample>(&mut r).unwrap().expect("one frame");
+        let (frame, consumed) = read_any_frame_sized::<Sample>(&mut r)
+            .unwrap()
+            .expect("one frame");
         assert_eq!(frame, Frame::Correlated(0xDEAD_BEEF, x));
         assert_eq!(consumed, n);
         assert!(read_any_frame_sized::<Sample>(&mut r).unwrap().is_none());
@@ -481,7 +497,10 @@ mod tests {
     fn mixed_generations_share_one_stream() {
         let mut buf = Vec::new();
         let old = Sample { a: 1, b: vec![] };
-        let new = Sample { a: 2, b: vec!["corr".into()] };
+        let new = Sample {
+            a: 2,
+            b: vec!["corr".into()],
+        };
         write_frame(&mut buf, &old).unwrap();
         write_correlated_frame(&mut buf, 7, &new).unwrap();
         write_frame(&mut buf, &old).unwrap();
@@ -517,8 +536,7 @@ mod tests {
         write_correlated_frame(&mut buf, 42, &Sample { a: 1, b: vec![] }).unwrap();
         // Cut inside the 8-byte correlation id (after the 4-byte prefix).
         for cut in 4..12 {
-            let err =
-                read_any_frame_sized::<Sample>(&mut &buf[..cut]).unwrap_err();
+            let err = read_any_frame_sized::<Sample>(&mut &buf[..cut]).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
         }
     }
@@ -544,7 +562,10 @@ mod tests {
     #[test]
     fn crc_frame_roundtrip_and_clean_eof() {
         let mut buf = Vec::new();
-        let x = Sample { a: 1, b: vec!["one".into()] };
+        let x = Sample {
+            a: 1,
+            b: vec!["one".into()],
+        };
         let n = write_crc_frame(&mut buf, &x).unwrap();
         assert_eq!(n, buf.len());
         let mut r = buf.as_slice();
@@ -564,7 +585,14 @@ mod tests {
     #[test]
     fn crc_frame_torn_tail_is_corrupt_not_error() {
         let mut buf = Vec::new();
-        write_crc_frame(&mut buf, &Sample { a: 9, b: vec!["abc".into()] }).unwrap();
+        write_crc_frame(
+            &mut buf,
+            &Sample {
+                a: 9,
+                b: vec!["abc".into()],
+            },
+        )
+        .unwrap();
         for cut in [buf.len() - 1, buf.len() / 2, 3] {
             let mut r = &buf[..cut];
             match read_crc_frame::<Sample>(&mut r).unwrap() {
@@ -577,7 +605,14 @@ mod tests {
     #[test]
     fn crc_frame_bit_flip_detected() {
         let mut buf = Vec::new();
-        write_crc_frame(&mut buf, &Sample { a: 5, b: vec!["zz".into()] }).unwrap();
+        write_crc_frame(
+            &mut buf,
+            &Sample {
+                a: 5,
+                b: vec!["zz".into()],
+            },
+        )
+        .unwrap();
         // Flip one bit in every body position: the checksum must catch
         // each one (header flips surface as BadChecksum, BadLength, or
         // Torn depending on which field they land in — never Ok).

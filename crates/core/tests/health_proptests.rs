@@ -29,14 +29,12 @@ fn contact_strategy() -> impl Strategy<Value = Contact> {
 /// (suspect_after < offline_after), as the live runtime always uses.
 fn config_strategy() -> impl Strategy<Value = HealthConfig> {
     (1u32..4, 1u32..5, 1u64..2_000, 1u64..60_000, 0.01f64..1.0).prop_map(
-        |(suspect_after, extra, base_backoff_ms, max_backoff_ms, ewma_alpha)| {
-            HealthConfig {
-                suspect_after,
-                offline_after: suspect_after + extra,
-                base_backoff_ms,
-                max_backoff_ms,
-                ewma_alpha,
-            }
+        |(suspect_after, extra, base_backoff_ms, max_backoff_ms, ewma_alpha)| HealthConfig {
+            suspect_after,
+            offline_after: suspect_after + extra,
+            base_backoff_ms,
+            max_backoff_ms,
+            ewma_alpha,
         },
     )
 }

@@ -38,8 +38,12 @@ fn community_survives_peer_death() {
     let mut nodes = vec![founder];
     for id in 1..5 {
         nodes.push(
-            LiveNode::start(id, fast_config(500 + u64::from(id)), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                fast_config(500 + u64::from(id)),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
     assert!(wait_for(
@@ -47,7 +51,9 @@ fn community_survives_peer_death() {
         Duration::from_secs(30),
     ));
 
-    nodes[1].publish("<d>durable knowledge survives churn</d>").unwrap();
+    nodes[1]
+        .publish("<d>durable knowledge survives churn</d>")
+        .unwrap();
     nodes[4].publish("<d>volatile host content</d>").unwrap();
     assert!(wait_for(
         || {

@@ -60,9 +60,7 @@ fn community(n: u32, config: impl Fn(u32) -> LiveConfig) -> Vec<LiveNode> {
     let bootstrap = (0u32, founder.addr().to_string());
     let mut nodes = vec![founder];
     for id in 1..n {
-        nodes.push(
-            LiveNode::start(id, config(id), Some(bootstrap.clone())).expect("node"),
-        );
+        nodes.push(LiveNode::start(id, config(id), Some(bootstrap.clone())).expect("node"));
     }
     assert!(
         wait_for(
@@ -70,7 +68,10 @@ fn community(n: u32, config: impl Fn(u32) -> LiveConfig) -> Vec<LiveNode> {
             Duration::from_secs(60),
         ),
         "directories never reached size {n}: {:?}",
-        nodes.iter().map(|nd| nd.directory_size()).collect::<Vec<_>>()
+        nodes
+            .iter()
+            .map(|nd| nd.directory_size())
+            .collect::<Vec<_>>()
     );
     for (i, nd) in nodes.iter().enumerate() {
         nd.publish(&format!("<doc><body>soak corpus entry {i}</body></doc>"))
@@ -142,8 +143,10 @@ fn warm_ranked_search_opens_zero_connections() {
 
     // Measure: five warm searches, zero connects, full correct results.
     let before = searcher.metrics_snapshot();
-    let (base_opened, base_reused) =
-        (before.counter(names::CONN_OPENED), before.counter(names::CONN_REUSED));
+    let (base_opened, base_reused) = (
+        before.counter(names::CONN_OPENED),
+        before.counter(names::CONN_REUSED),
+    );
     for round in 0..5 {
         let r = searcher.search_ranked("soak corpus", 50).unwrap();
         assert_eq!(
@@ -181,11 +184,15 @@ fn warm_ranked_search_opens_zero_connections() {
 /// visible in both the conn metrics and the peer's health entry.
 #[test]
 fn rpc_stale_pooled_connection_reconnects_uncharged() {
-    let a = LiveNode::start(0, base_config(710, None, ConnConfig::default()), None)
-        .expect("founder");
+    let a =
+        LiveNode::start(0, base_config(710, None, ConnConfig::default()), None).expect("founder");
     let bootstrap = (0u32, a.addr().to_string());
-    let b = LiveNode::start(1, base_config(711, None, ConnConfig::default()), Some(bootstrap))
-        .expect("joiner");
+    let b = LiveNode::start(
+        1,
+        base_config(711, None, ConnConfig::default()),
+        Some(bootstrap),
+    )
+    .expect("joiner");
     assert!(wait_for(
         || a.directory_size() == 2 && b.directory_size() == 2,
         Duration::from_secs(30),
@@ -202,7 +209,8 @@ fn rpc_stale_pooled_connection_reconnects_uncharged() {
     assert!(broken > 0, "expected at least one pooled stream to break");
 
     // The next RPC must succeed anyway: one transparent reconnect.
-    a.fetch_stats(1).expect("stats fetch over a stale pooled stream");
+    a.fetch_stats(1)
+        .expect("stats fetch over a stale pooled stream");
 
     let snap = a.metrics_snapshot();
     assert!(
@@ -239,7 +247,11 @@ fn rpc_stale_pooled_connection_reconnects_uncharged() {
 /// grace applies to the *stream*, never to the peer.
 #[test]
 fn rpc_dead_peer_charges_retries_and_health() {
-    let retry = RetryPolicy { max_attempts: 2, base_delay_ms: 10, max_delay_ms: 40 };
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        base_delay_ms: 10,
+        max_delay_ms: 40,
+    };
     let mk = |seed| LiveConfig {
         retry,
         ..base_config(seed, None, ConnConfig::default())
@@ -328,7 +340,10 @@ fn soak_under_connection_faults_stays_bounded() {
     // connects of bootstrap and convergence don't dilute the reuse
     // fraction we are actually claiming.
     let sum = |name: &str, nodes: &[LiveNode]| -> u64 {
-        nodes.iter().map(|n| n.metrics_snapshot().counter(name)).sum()
+        nodes
+            .iter()
+            .map(|n| n.metrics_snapshot().counter(name))
+            .sum()
     };
     let opened_before = sum(names::CONN_OPENED, &nodes);
     let reused_before = sum(names::CONN_REUSED, &nodes);
@@ -336,8 +351,8 @@ fn soak_under_connection_faults_stays_bounded() {
     // Every live thread this harness is entitled to: listener + gossip
     // loop, the bounded server worker pool, and the search fan-out pool
     // per node, plus slack for threads mid-spawn/mid-exit.
-    let thread_bound = base_threads
-        .map(|b| b + N as usize * (2 + SERVER_THREADS + POOL_THREADS) + 8);
+    let thread_bound =
+        base_threads.map(|b| b + N as usize * (2 + SERVER_THREADS + POOL_THREADS) + 8);
     // Descriptor ceiling: listener + a bounded pool per peer pair, both
     // directions, with generous slack — the point is that a leak grows
     // past any constant, not the exact constant.

@@ -39,8 +39,7 @@ fn wait_for(mut cond: impl FnMut() -> bool, deadline: Duration) -> bool {
 }
 
 fn start_community(n: u32, seed: u64, delta_updates: bool) -> Vec<LiveNode> {
-    let founder =
-        LiveNode::start(0, fast_config(seed, delta_updates), None).expect("founder");
+    let founder = LiveNode::start(0, fast_config(seed, delta_updates), None).expect("founder");
     let bootstrap = (0u32, founder.addr().to_string());
     let mut nodes = vec![founder];
     for id in 1..n {
@@ -75,10 +74,22 @@ fn run_schedule(nodes: &[LiveNode]) {
         nodes.iter().map(|n| n.directory_size()).collect::<Vec<_>>()
     );
     let docs: [(usize, &str); 4] = [
-        (1, "<doc><title>Epidemic algorithms</title><body>gossip spreads updates</body></doc>"),
-        (1, "<doc><title>Bloom filters</title><body>compact summaries for gossip</body></doc>"),
-        (2, "<doc><title>Content addressing</title><body>ranked search over summaries</body></doc>"),
-        (3, "<doc><title>Cooking</title><body>entirely unrelated content</body></doc>"),
+        (
+            1,
+            "<doc><title>Epidemic algorithms</title><body>gossip spreads updates</body></doc>",
+        ),
+        (
+            1,
+            "<doc><title>Bloom filters</title><body>compact summaries for gossip</body></doc>",
+        ),
+        (
+            2,
+            "<doc><title>Content addressing</title><body>ranked search over summaries</body></doc>",
+        ),
+        (
+            3,
+            "<doc><title>Cooking</title><body>entirely unrelated content</body></doc>",
+        ),
     ];
     for (who, xml) in docs {
         nodes[who].publish(xml).unwrap();
@@ -114,7 +125,12 @@ fn delta_gossip_matches_full_filter_gossip_bit_for_bit() {
 
     // Identical schedule → identical ranked results, hit for hit,
     // score bit for score bit.
-    for query in ["gossip", "summaries", "ranked search", "nonexistent-term-xyz"] {
+    for query in [
+        "gossip",
+        "summaries",
+        "ranked search",
+        "nonexistent-term-xyz",
+    ] {
         assert_eq!(
             fingerprint(&delta, query),
             fingerprint(&full, query),
@@ -124,10 +140,11 @@ fn delta_gossip_matches_full_filter_gossip_bit_for_bit() {
 
     // The delta run really took the delta path...
     let d_sent: u64 = delta.iter().map(|n| n.gossip_stats().deltas_sent).sum();
-    let d_applied: u64 =
-        delta.iter().map(|n| n.gossip_stats().deltas_applied).sum();
-    let d_saved: u64 =
-        delta.iter().map(|n| n.gossip_stats().delta_bytes_saved).sum();
+    let d_applied: u64 = delta.iter().map(|n| n.gossip_stats().deltas_applied).sum();
+    let d_saved: u64 = delta
+        .iter()
+        .map(|n| n.gossip_stats().delta_bytes_saved)
+        .sum();
     assert!(d_sent > 0, "delta community never sent a delta rumor");
     assert!(d_applied > 0, "delta community never applied a delta chain");
     assert!(d_saved > 0, "delta rumors saved no wire bytes");
@@ -135,7 +152,17 @@ fn delta_gossip_matches_full_filter_gossip_bit_for_bit() {
     // ...and the full run never did.
     for n in &full {
         let s = n.gossip_stats();
-        assert_eq!(s.deltas_sent, 0, "node {} sent deltas with deltas off", n.id());
-        assert_eq!(s.deltas_applied, 0, "node {} applied a delta with deltas off", n.id());
+        assert_eq!(
+            s.deltas_sent,
+            0,
+            "node {} sent deltas with deltas off",
+            n.id()
+        );
+        assert_eq!(
+            s.deltas_applied,
+            0,
+            "node {} applied a delta with deltas off",
+            n.id()
+        );
     }
 }

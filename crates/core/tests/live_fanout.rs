@@ -65,7 +65,11 @@ fn delayed(seed: u64, ms: u64) -> Option<Arc<FaultInjector>> {
     Some(Arc::new(FaultInjector::new(
         seed,
         FaultPlan {
-            inbound: FaultRules { delay: 1.0, delay_ms: ms, ..FaultRules::default() },
+            inbound: FaultRules {
+                delay: 1.0,
+                delay_ms: ms,
+                ..FaultRules::default()
+            },
             outbound: FaultRules::default(),
         },
     )))
@@ -86,7 +90,11 @@ fn straggler_delays_its_slot_not_the_query() {
     let bootstrap = (0u32, founder.addr().to_string());
     let mut nodes = vec![founder];
     for id in 1..N {
-        let ms = if id == STRAGGLER { STRAGGLER_DELAY_MS } else { PEER_DELAY_MS };
+        let ms = if id == STRAGGLER {
+            STRAGGLER_DELAY_MS
+        } else {
+            PEER_DELAY_MS
+        };
         nodes.push(
             LiveNode::start(
                 id,
@@ -124,12 +132,16 @@ fn straggler_delays_its_slot_not_the_query() {
     // ~3×PEER_DELAY_MS each, plus the straggler burning its full
     // deadline.
     let seq_started = Instant::now();
-    let seq = nodes[0].search_ranked_grouped("shared corpus", 50, 1).unwrap();
+    let seq = nodes[0]
+        .search_ranked_grouped("shared corpus", 50, 1)
+        .unwrap();
     let seq_elapsed = seq_started.elapsed();
 
     // Grouped walk on the same node, same query (and now-warm cache).
     let par_started = Instant::now();
-    let par = nodes[0].search_ranked_grouped("shared corpus", 50, 3).unwrap();
+    let par = nodes[0]
+        .search_ranked_grouped("shared corpus", 50, 3)
+        .unwrap();
     let par_elapsed = par_started.elapsed();
 
     // (a) Parallelism must show: the sequential floor is
@@ -150,9 +162,8 @@ fn straggler_delays_its_slot_not_the_query() {
 
     // (c) Same results: every reachable peer's document, none from the
     // straggler, identical hits and scores in both walks.
-    let ids = |r: &planetp::LiveSearchResult| {
-        r.hits.iter().map(|h| (h.peer, h.doc)).collect::<Vec<_>>()
-    };
+    let ids =
+        |r: &planetp::LiveSearchResult| r.hits.iter().map(|h| (h.peer, h.doc)).collect::<Vec<_>>();
     assert_eq!(ids(&seq), ids(&par), "grouped walk changed the result set");
     for (a, b) in seq.hits.iter().zip(&par.hits) {
         assert_eq!(a.score, b.score, "grouped walk changed a score");
@@ -210,7 +221,11 @@ fn straggler_delays_its_slot_not_the_query() {
     let fanout = snap
         .histogram(names::SEARCH_FANOUT_MS)
         .expect("fan-out histogram registered");
-    assert!(fanout.count >= 4, "per-group timings recorded: {}", fanout.count);
+    assert!(
+        fanout.count >= 4,
+        "per-group timings recorded: {}",
+        fanout.count
+    );
 }
 
 /// Warm pooled searches must be Nagle-free: every live-runtime stream
@@ -229,8 +244,12 @@ fn pooled_warm_search_latency_is_nagle_free() {
     let mut nodes = vec![founder];
     for id in 1..4u32 {
         nodes.push(
-            LiveNode::start(id, fanout_config(160 + u64::from(id), None), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                fanout_config(160 + u64::from(id), None),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
     assert!(wait_for(
@@ -238,8 +257,10 @@ fn pooled_warm_search_latency_is_nagle_free() {
         Duration::from_secs(30),
     ));
     for (i, n) in nodes.iter().enumerate() {
-        n.publish(&format!("<doc><body>nodelay probe subject {i}</body></doc>"))
-            .unwrap();
+        n.publish(&format!(
+            "<doc><body>nodelay probe subject {i}</body></doc>"
+        ))
+        .unwrap();
     }
     assert!(wait_for(
         || {
@@ -252,7 +273,12 @@ fn pooled_warm_search_latency_is_nagle_free() {
     // Warm the pool and the query cache; these rounds may connect.
     for _ in 0..3 {
         let r = nodes[0].search_ranked("nodelay probe", 10).unwrap();
-        assert_eq!(r.hits.len(), 4, "warm-up search incomplete: {:?}", r.coverage);
+        assert_eq!(
+            r.hits.len(),
+            4,
+            "warm-up search incomplete: {:?}",
+            r.coverage
+        );
     }
 
     // Measure: ten warm searches over pooled streams.
@@ -260,7 +286,11 @@ fn pooled_warm_search_latency_is_nagle_free() {
         .map(|_| {
             let started = Instant::now();
             let r = nodes[0].search_ranked("nodelay probe", 10).unwrap();
-            assert!(r.coverage.is_complete(), "warm search lost a peer: {:?}", r.coverage);
+            assert!(
+                r.coverage.is_complete(),
+                "warm search lost a peer: {:?}",
+                r.coverage
+            );
             started.elapsed()
         })
         .collect();
@@ -285,8 +315,12 @@ fn warm_cache_skips_probes_until_a_republish() {
     let mut nodes = vec![founder];
     for id in 1..4u32 {
         nodes.push(
-            LiveNode::start(id, fanout_config(130 + u64::from(id), None), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                fanout_config(130 + u64::from(id), None),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
     assert!(wait_for(
@@ -294,7 +328,8 @@ fn warm_cache_skips_probes_until_a_republish() {
         Duration::from_secs(30),
     ));
     for (i, n) in nodes.iter().enumerate() {
-        n.publish(&format!("<doc><body>cached subject {i}</body></doc>")).unwrap();
+        n.publish(&format!("<doc><body>cached subject {i}</body></doc>"))
+            .unwrap();
     }
     assert!(wait_for(
         || {
@@ -310,7 +345,10 @@ fn warm_cache_skips_probes_until_a_republish() {
     let s1 = nodes[0].metrics_snapshot();
     let cold_misses = s1.counter(names::SEARCH_CACHE_MISSES);
     assert!(cold_misses >= 1, "cold query must probe");
-    assert!(s1.counter(names::SEARCH_CACHE_REBUILDS) >= 1, "initial population");
+    assert!(
+        s1.counter(names::SEARCH_CACHE_REBUILDS) >= 1,
+        "initial population"
+    );
 
     // Warm query: the whole plan (IPF + ranking) comes from the cache —
     // zero new probes, only hits move.
@@ -326,8 +364,14 @@ fn warm_cache_skips_probes_until_a_republish() {
         "warm query did not hit the cache"
     );
     assert_eq!(
-        cold.hits.iter().map(|h| (h.peer, h.doc)).collect::<Vec<_>>(),
-        warm.hits.iter().map(|h| (h.peer, h.doc)).collect::<Vec<_>>(),
+        cold.hits
+            .iter()
+            .map(|h| (h.peer, h.doc))
+            .collect::<Vec<_>>(),
+        warm.hits
+            .iter()
+            .map(|h| (h.peer, h.doc))
+            .collect::<Vec<_>>(),
         "cached plan changed the results"
     );
 

@@ -70,12 +70,12 @@ fn community_converges_and_searches_under_faults() {
             ..FaultRules::default()
         },
     };
-    let injectors: Vec<Arc<FaultInjector>> =
-        (0..5).map(|id| Arc::new(FaultInjector::new(7 + id, plan))).collect();
+    let injectors: Vec<Arc<FaultInjector>> = (0..5)
+        .map(|id| Arc::new(FaultInjector::new(7 + id, plan)))
+        .collect();
 
-    let founder =
-        LiveNode::start(0, faulty_config(7, Some(Arc::clone(&injectors[0]))), None)
-            .expect("founder");
+    let founder = LiveNode::start(0, faulty_config(7, Some(Arc::clone(&injectors[0]))), None)
+        .expect("founder");
     let bootstrap = (0u32, founder.addr().to_string());
     let mut nodes = vec![founder];
     for id in 1..5u32 {
@@ -130,7 +130,10 @@ fn community_converges_and_searches_under_faults() {
         },
         Duration::from_secs(60),
     );
-    assert!(found_both, "ranked search never surfaced both surviving peers' hits");
+    assert!(
+        found_both,
+        "ranked search never surfaced both surviving peers' hits"
+    );
 
     // Coverage bookkeeping must balance exactly, whatever happened.
     let r = nodes[0].search_ranked("faulty", 10).unwrap();
@@ -140,7 +143,10 @@ fn community_converges_and_searches_under_faults() {
         c.peers_attempted() <= c.peers_considered,
         "cannot attempt more peers than exist: {c:?}"
     );
-    assert!(c.peers_contacted >= 1, "at least the local store answers: {c:?}");
+    assert!(
+        c.peers_contacted >= 1,
+        "at least the local store answers: {c:?}"
+    );
     let f = c.coverage_fraction();
     assert!(f > 0.0 && f <= 1.0, "coverage fraction out of range: {f}");
 
@@ -170,8 +176,12 @@ fn coverage_reports_dead_peers() {
     let mut nodes = vec![founder];
     for id in 1..4u32 {
         nodes.push(
-            LiveNode::start(id, faulty_config(40 + u64::from(id), None), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                faulty_config(40 + u64::from(id), None),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
     assert!(wait_for(
@@ -196,7 +206,10 @@ fn coverage_reports_dead_peers() {
 
     let r = nodes[0].search_ranked("shared subject", 10).unwrap();
     let owners: Vec<u32> = r.hits.iter().map(|h| h.peer).collect();
-    assert!(owners.contains(&1) && owners.contains(&2), "survivors missing: {owners:?}");
+    assert!(
+        owners.contains(&1) && owners.contains(&2),
+        "survivors missing: {owners:?}"
+    );
     assert!(!owners.contains(&3), "dead peer's docs returned");
     assert!(
         r.coverage.peers_failed + r.coverage.peers_skipped >= 1,

@@ -43,8 +43,12 @@ fn start_community(n: u32) -> Vec<LiveNode> {
     let mut nodes = vec![founder];
     for id in 1..n {
         nodes.push(
-            LiveNode::start(id, fast_config(700 + u64::from(id)), Some(bootstrap.clone()))
-                .expect("node starts"),
+            LiveNode::start(
+                id,
+                fast_config(700 + u64::from(id)),
+                Some(bootstrap.clone()),
+            )
+            .expect("node starts"),
         );
     }
     nodes
@@ -58,8 +62,7 @@ fn converged(nodes: &[LiveNode]) -> bool {
 /// Persist a snapshot as JSON under `target/metrics/` so CI can upload
 /// it as a build artifact.
 fn save_artifact(name: &str, snap: &MetricsSnapshot) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/metrics");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/metrics");
     if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::write(dir.join(name), snap.to_json());
     }
@@ -79,8 +82,7 @@ fn six_peer_metrics_balance_and_latency() {
 
     // Baseline after the join storm settles; everything below is
     // asserted on diffs against this point.
-    let before: Vec<MetricsSnapshot> =
-        nodes.iter().map(|n| n.metrics_snapshot()).collect();
+    let before: Vec<MetricsSnapshot> = nodes.iter().map(|n| n.metrics_snapshot()).collect();
 
     nodes[1]
         .publish("<doc><title>Epidemic algorithms</title><body>gossip spreads updates</body></doc>")
@@ -98,19 +100,21 @@ fn six_peer_metrics_balance_and_latency() {
     let result = nodes[0].search_ranked("gossip", 10).unwrap();
     assert!(!result.hits.is_empty(), "search found nothing");
 
-    let after: Vec<MetricsSnapshot> =
-        nodes.iter().map(|n| n.metrics_snapshot()).collect();
-    let diffs: Vec<MetricsSnapshot> =
-        after.iter().zip(&before).map(|(a, b)| a.diff(b)).collect();
+    let after: Vec<MetricsSnapshot> = nodes.iter().map(|n| n.metrics_snapshot()).collect();
+    let diffs: Vec<MetricsSnapshot> = after.iter().zip(&before).map(|(a, b)| a.diff(b)).collect();
 
     // (1) Rumor balance. Each publish is one new rumor the other five
     // peers must each learn exactly once (push, partial AE, or full AE):
     // community-wide, learns land at exactly 2 * 5 = 10, and rumors
     // learned via push cannot exceed rumor messages put on the wire.
-    let rumors_sent: u64 =
-        diffs.iter().map(|d| d.counter("gossip.msgs_out.rumor")).sum();
-    let learned_push: u64 =
-        diffs.iter().map(|d| d.counter(names::GOSSIP_LEARNED_PUSH)).sum();
+    let rumors_sent: u64 = diffs
+        .iter()
+        .map(|d| d.counter("gossip.msgs_out.rumor"))
+        .sum();
+    let learned_push: u64 = diffs
+        .iter()
+        .map(|d| d.counter(names::GOSSIP_LEARNED_PUSH))
+        .sum();
     let learned_total: u64 = diffs
         .iter()
         .map(|d| {
@@ -128,9 +132,15 @@ fn six_peer_metrics_balance_and_latency() {
 
     // (2) RPC latency histogram populated by the remote search hops.
     let d0 = &diffs[0];
-    let rpc = d0.histogram(names::RPC_LATENCY_MS).expect("rpc.latency_ms registered");
+    let rpc = d0
+        .histogram(names::RPC_LATENCY_MS)
+        .expect("rpc.latency_ms registered");
     assert!(rpc.count >= 1, "ranked search made no remote RPCs: {rpc:?}");
-    assert_eq!(rpc.counts.iter().sum::<u64>(), rpc.count, "bucket counts disagree");
+    assert_eq!(
+        rpc.counts.iter().sum::<u64>(),
+        rpc.count,
+        "bucket counts disagree"
+    );
     assert_eq!(d0.counter(names::SEARCH_QUERIES), 1);
     assert!(d0.counter(names::SEARCH_PEERS_CONTACTED) >= 1);
 
@@ -141,7 +151,10 @@ fn six_peer_metrics_balance_and_latency() {
         let inb = d.counter(names::NET_BYTES_IN);
         assert!(out > 0, "node {i} sent no bytes");
         assert!(inb > 0, "node {i} received no bytes");
-        assert!(out < 8 << 20, "node {i} sent {out} bytes for two tiny publishes");
+        assert!(
+            out < 8 << 20,
+            "node {i} sent {out} bytes for two tiny publishes"
+        );
         assert_eq!(
             d.counter(names::NET_FRAMES_OUT) > 0,
             out > 0,
@@ -165,14 +178,16 @@ fn get_stats_rpc_scrapes_remote_nodes() {
 
     // Member-to-member: the GetStats RPC through the node API.
     let remote = nodes[0].fetch_stats(1).expect("fetch_stats");
-    assert!(remote.counter(names::GOSSIP_ROUNDS) > 0, "no gossip rounds: {remote:#?}");
+    assert!(
+        remote.counter(names::GOSSIP_ROUNDS) > 0,
+        "no gossip rounds: {remote:#?}"
+    );
     assert!(remote.counter(names::NET_BYTES_OUT) > 0);
     assert!(remote.gauge("gossip.directory_size") >= 3);
 
     // Outsider scrape: any process that speaks the framing, no
     // membership required (this is what `planetp stats <addr>` does).
-    let scraped = scrape_stats(nodes[2].addr(), Duration::from_secs(5))
-        .expect("scrape_stats");
+    let scraped = scrape_stats(nodes[2].addr(), Duration::from_secs(5)).expect("scrape_stats");
     assert!(scraped.counter(names::GOSSIP_ROUNDS) > 0);
     // The snapshot covers every layer under one schema.
     for prefix in ["gossip.", "net.", "rpc.", "search."] {

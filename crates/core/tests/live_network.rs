@@ -39,8 +39,12 @@ fn start_community(n: u32) -> Vec<LiveNode> {
     let mut nodes = vec![founder];
     for id in 1..n {
         nodes.push(
-            LiveNode::start(id, fast_config(100 + u64::from(id)), Some(bootstrap.clone()))
-                .expect("node starts"),
+            LiveNode::start(
+                id,
+                fast_config(100 + u64::from(id)),
+                Some(bootstrap.clone()),
+            )
+            .expect("node starts"),
         );
     }
     nodes
@@ -102,7 +106,9 @@ fn five_peers_converge_and_search() {
 #[test]
 fn late_joiner_downloads_directory_and_content_is_findable() {
     let mut nodes = start_community(3);
-    nodes[2].publish("<d>deterministic replicated directory</d>").unwrap();
+    nodes[2]
+        .publish("<d>deterministic replicated directory</d>")
+        .unwrap();
     assert!(
         wait_for(
             || {
@@ -115,12 +121,8 @@ fn late_joiner_downloads_directory_and_content_is_findable() {
     );
 
     // A new peer joins via node 1.
-    let late = LiveNode::start(
-        9,
-        fast_config(999),
-        Some((1, nodes[1].addr().to_string())),
-    )
-    .unwrap();
+    let late =
+        LiveNode::start(9, fast_config(999), Some((1, nodes[1].addr().to_string()))).unwrap();
     nodes.push(late);
     assert!(
         wait_for(
@@ -132,7 +134,10 @@ fn late_joiner_downloads_directory_and_content_is_findable() {
     );
 
     // The late joiner can find content published before it joined.
-    let hits = nodes[3].search_ranked("replicated directory", 5).unwrap().hits;
+    let hits = nodes[3]
+        .search_ranked("replicated directory", 5)
+        .unwrap()
+        .hits;
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].peer, 2);
 }
@@ -153,7 +158,10 @@ fn search_suppresses_non_candidates() {
         Duration::from_secs(30),
     ));
     // A term on no peer returns nothing (and must not hang).
-    let hits = nodes[0].search_exhaustive("nonexistent-term-xyz").unwrap().hits;
+    let hits = nodes[0]
+        .search_exhaustive("nonexistent-term-xyz")
+        .unwrap()
+        .hits;
     assert!(hits.is_empty());
     let hits = nodes[2].search_exhaustive("zanzibar").unwrap().hits;
     assert_eq!(hits.len(), 1);

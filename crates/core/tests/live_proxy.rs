@@ -38,16 +38,24 @@ fn proxy_search_returns_same_hits_as_direct() {
     let mut nodes = vec![founder];
     for id in 1..4 {
         nodes.push(
-            LiveNode::start(id, fast_config(900 + u64::from(id)), Some(bootstrap.clone()))
-                .expect("node"),
+            LiveNode::start(
+                id,
+                fast_config(900 + u64::from(id)),
+                Some(bootstrap.clone()),
+            )
+            .expect("node"),
         );
     }
     assert!(wait_for(
         || nodes.iter().all(|n| n.directory_size() == 4),
         Duration::from_secs(30),
     ));
-    nodes[1].publish("<d>planetary gossip economics</d>").unwrap();
-    nodes[2].publish("<d>planetary weather patterns</d>").unwrap();
+    nodes[1]
+        .publish("<d>planetary gossip economics</d>")
+        .unwrap();
+    nodes[2]
+        .publish("<d>planetary weather patterns</d>")
+        .unwrap();
     assert!(wait_for(
         || {
             let d = nodes[0].directory_digest();

@@ -42,11 +42,7 @@ fn scratch(tag: &str) -> PathBuf {
 /// tiny compaction threshold forces the snapshot path constantly, so
 /// every snapshot-side crash point is reachable from a couple of
 /// publishes.
-fn durable_config(
-    seed: u64,
-    dir: &Path,
-    faults: Option<Arc<FaultInjector>>,
-) -> LiveConfig {
+fn durable_config(seed: u64, dir: &Path, faults: Option<Arc<FaultInjector>>) -> LiveConfig {
     LiveConfig {
         gossip: GossipConfig {
             base_interval_ms: 40,
@@ -56,7 +52,11 @@ fn durable_config(
         },
         io_timeout: Duration::from_millis(500),
         seed,
-        retry: RetryPolicy { max_attempts: 3, base_delay_ms: 30, max_delay_ms: 200 },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 30,
+            max_delay_ms: 200,
+        },
         health: HealthConfig {
             base_backoff_ms: 200,
             max_backoff_ms: 2_000,
@@ -92,8 +92,7 @@ fn next_rand(state: &mut u64) -> u64 {
 }
 
 fn save_artifact(name: &str, snap: &MetricsSnapshot) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/metrics");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/metrics");
     if std::fs::create_dir_all(&dir).is_ok() {
         let _ = std::fs::write(dir.join(name), snap.to_json());
     }
@@ -183,7 +182,9 @@ fn community_survives_crash_restart_cycles() {
         injectors[victim].arm_crash(point);
         for filler in 0..12 {
             if node
-                .publish(&format!("<d>cycle {cycle} filler {filler} node{victim}</d>"))
+                .publish(&format!(
+                    "<d>cycle {cycle} filler {filler} node{victim}</d>"
+                ))
                 .is_err()
             {
                 break;
@@ -217,9 +218,14 @@ fn community_survives_crash_restart_cycles() {
         let live = (0..COMMUNITY)
             .find(|&i| nodes[i].is_some())
             .expect("someone survives");
-        let boot = (live as u32, nodes[live].as_ref().unwrap().addr().to_string());
-        injectors[victim] =
-            Arc::new(FaultInjector::new(10_000 + cycle as u64, FaultPlan::default()));
+        let boot = (
+            live as u32,
+            nodes[live].as_ref().unwrap().addr().to_string(),
+        );
+        injectors[victim] = Arc::new(FaultInjector::new(
+            10_000 + cycle as u64,
+            FaultPlan::default(),
+        ));
         let reborn = LiveNode::start(
             victim as u32,
             durable_config(
@@ -281,8 +287,7 @@ fn community_survives_crash_restart_cycles() {
             asker
                 .search_ranked("chaos corpus", COMMUNITY * 2)
                 .is_ok_and(|r| {
-                    let mut owners: Vec<u32> =
-                        r.hits.iter().map(|h| h.peer).collect();
+                    let mut owners: Vec<u32> = r.hits.iter().map(|h| h.peer).collect();
                     owners.sort_unstable();
                     owners.dedup();
                     owners.len() == COMMUNITY
@@ -303,7 +308,10 @@ fn community_survives_crash_restart_cycles() {
     ] {
         assert!(json.contains(name), "{name} missing from metrics snapshot");
     }
-    assert!(snap.counter(names::STORE_WAL_RECORDS) > 0, "node 0 never logged");
+    assert!(
+        snap.counter(names::STORE_WAL_RECORDS) > 0,
+        "node 0 never logged"
+    );
     save_artifact("live_recovery_node0.json", &snap);
 
     let _ = std::fs::remove_dir_all(&root);
@@ -318,11 +326,18 @@ fn restart_restores_identity_docs_and_versions() {
     let dir = root.join("node7");
 
     let first = LiveNode::start(7, durable_config(41, &dir, None), None).expect("start");
-    let d1 = first.publish("<d>durable gossip survives restarts</d>").expect("publish");
-    let d2 = first.publish("<d>second document same peer</d>").expect("publish");
+    let d1 = first
+        .publish("<d>durable gossip survives restarts</d>")
+        .expect("publish");
+    let d2 = first
+        .publish("<d>second document same peer</d>")
+        .expect("publish");
     let versions = first.announced_versions();
     assert!(first.recovery_info().is_some_and(|i| !i.recovered));
-    assert!(!first.is_recovering(), "fresh founder has nothing to catch up on");
+    assert!(
+        !first.is_recovering(),
+        "fresh founder has nothing to catch up on"
+    );
     drop(first);
 
     // The dir belongs to peer 7; peer 8 must be turned away.
@@ -350,7 +365,9 @@ fn restart_restores_identity_docs_and_versions() {
     assert!(r.hits.iter().any(|h| h.doc == d2), "doc {d2} lost");
 
     // New publishes never reuse a recovered id.
-    let d3 = second.publish("<d>published after restart</d>").expect("publish");
+    let d3 = second
+        .publish("<d>published after restart</d>")
+        .expect("publish");
     assert!(d3 > d2, "doc id {d3} collided with recovered history");
 
     let snap = second.metrics_snapshot();

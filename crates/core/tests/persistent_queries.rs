@@ -28,17 +28,23 @@ fn bloom_matching_goes_through_the_analyzer() {
     let q = parse_query("gossiping protocols", store.analyzer());
     reg.register(q.terms, recorder(&log));
 
-    store.publish("<d>a gossip protocol for directories</d>").unwrap();
+    store
+        .publish("<d>a gossip protocol for directories</d>")
+        .unwrap();
     reg.on_bloom_update("alice", store.bloom());
     assert_eq!(
         log.lock().unwrap().as_slice(),
-        &[Notification::PeerMayMatch { peer: "alice".into() }],
+        &[Notification::PeerMayMatch {
+            peer: "alice".into()
+        }],
         "stemmed query terms must hit the published stems"
     );
 
     // A filter that covers only part of the conjunction stays silent.
     let mut other = LocalDataStore::new();
-    other.publish("<d>gossip without the other term</d>").unwrap();
+    other
+        .publish("<d>gossip without the other term</d>")
+        .unwrap();
     reg.on_bloom_update("bob", other.bloom());
     assert_eq!(log.lock().unwrap().len(), 1, "partial match fired");
 }
@@ -53,24 +59,21 @@ fn lifecycle_is_per_query_not_per_registry() {
     let a_hits = Arc::new(AtomicUsize::new(0));
     let b_hits = Arc::new(AtomicUsize::new(0));
     let (a, b) = (Arc::clone(&a_hits), Arc::clone(&b_hits));
-    let qa = reg.register(
-        parse_query("epidemic", store.analyzer()).terms,
-        move |_| {
-            a.fetch_add(1, Ordering::SeqCst);
-        },
-    );
-    let qb = reg.register(
-        parse_query("epidemic", store.analyzer()).terms,
-        move |_| {
-            b.fetch_add(1, Ordering::SeqCst);
-        },
-    );
+    let qa = reg.register(parse_query("epidemic", store.analyzer()).terms, move |_| {
+        a.fetch_add(1, Ordering::SeqCst);
+    });
+    let qb = reg.register(parse_query("epidemic", store.analyzer()).terms, move |_| {
+        b.fetch_add(1, Ordering::SeqCst);
+    });
     assert_ne!(qa, qb);
     assert_eq!(reg.len(), 2);
 
     store.publish("<d>epidemic spread of updates</d>").unwrap();
     reg.on_bloom_update("p", store.bloom());
-    assert_eq!((a_hits.load(Ordering::SeqCst), b_hits.load(Ordering::SeqCst)), (1, 1));
+    assert_eq!(
+        (a_hits.load(Ordering::SeqCst), b_hits.load(Ordering::SeqCst)),
+        (1, 1)
+    );
 
     assert!(reg.unregister(qa));
     assert!(!reg.unregister(qa), "double unregister must report false");
@@ -104,7 +107,9 @@ fn community_publish_notifies_all_matching_members() {
 
     assert_eq!(
         bob_log.lock().unwrap().as_slice(),
-        &[Notification::PeerMayMatch { peer: "alice".into() }]
+        &[Notification::PeerMayMatch {
+            peer: "alice".into()
+        }]
     );
     assert!(
         carol_log.lock().unwrap().is_empty(),
@@ -130,7 +135,14 @@ fn snippet_upcalls_require_hot_key_overlap() {
     c.register_persistent_query(bob, "siren", recorder(&cold_log));
 
     let xml = "<d>alert alert alert alert siren</d>";
-    c.publish(alice, xml, PublishOptions { broker_hot_terms: Some(0.25) }).unwrap();
+    c.publish(
+        alice,
+        xml,
+        PublishOptions {
+            broker_hot_terms: Some(0.25),
+        },
+    )
+    .unwrap();
 
     let hot = hot_log.lock().unwrap();
     assert!(
@@ -141,17 +153,23 @@ fn snippet_upcalls_require_hot_key_overlap() {
         "hot-key query never saw the snippet: {hot:?}"
     );
     assert!(
-        hot.contains(&Notification::PeerMayMatch { peer: "alice".into() }),
+        hot.contains(&Notification::PeerMayMatch {
+            peer: "alice".into()
+        }),
         "snippet delivery must not replace the filter-side upcall"
     );
 
     let cold = cold_log.lock().unwrap();
     assert!(
-        !cold.iter().any(|n| matches!(n, Notification::Snippet { .. })),
+        !cold
+            .iter()
+            .any(|n| matches!(n, Notification::Snippet { .. })),
         "cold-key query got a snippet: {cold:?}"
     );
     assert!(
-        cold.contains(&Notification::PeerMayMatch { peer: "alice".into() }),
+        cold.contains(&Notification::PeerMayMatch {
+            peer: "alice".into()
+        }),
         "the document does contain 'siren'; the filter upcall is due"
     );
 }

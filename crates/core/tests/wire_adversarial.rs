@@ -4,8 +4,8 @@
 //! replies — and the `GetStats` messages riding that framing intact.
 
 use planetp::wire::{
-    read_any_frame_sized, read_frame, read_frame_sized, write_frame,
-    write_correlated_frame, Frame, MAX_FRAME_BYTES,
+    read_any_frame_sized, read_frame, read_frame_sized, write_correlated_frame, write_frame, Frame,
+    MAX_FRAME_BYTES,
 };
 use planetp::{ConnConfig, ConnMetrics, ConnPool, LiveMsg, MetricsSnapshot, Registry};
 use planetp_obs::names;
@@ -25,7 +25,11 @@ struct TricklingReader<'a> {
 
 impl<'a> TricklingReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, interrupt_next: true }
+        Self {
+            data,
+            pos: 0,
+            interrupt_next: true,
+        }
     }
 }
 
@@ -98,11 +102,18 @@ fn trickling_interrupted_reads_still_deliver_the_frame() {
     let mut wire = Vec::new();
     let written = write_frame(&mut wire, &[1u32, 2, 3]).unwrap();
     let mut r = TricklingReader::new(&wire);
-    let (value, consumed) =
-        read_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("one frame");
+    let (value, consumed) = read_frame_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("one frame");
     assert_eq!(value, vec![1, 2, 3]);
-    assert_eq!(consumed, written, "reader and writer disagree on wire bytes");
-    assert!(read_frame::<Vec<u32>>(&mut r).unwrap().is_none(), "clean EOF");
+    assert_eq!(
+        consumed, written,
+        "reader and writer disagree on wire bytes"
+    );
+    assert!(
+        read_frame::<Vec<u32>>(&mut r).unwrap().is_none(),
+        "clean EOF"
+    );
 }
 
 #[test]
@@ -121,8 +132,13 @@ fn get_stats_messages_round_trip() {
     // request batch one way and a response batch back.
     let mut wire = Vec::new();
     write_frame(&mut wire, &[LiveMsg::StatsRequest]).unwrap();
-    write_frame(&mut wire, &[LiveMsg::StatsResponse { snapshot: snapshot.clone() }])
-        .unwrap();
+    write_frame(
+        &mut wire,
+        &[LiveMsg::StatsResponse {
+            snapshot: snapshot.clone(),
+        }],
+    )
+    .unwrap();
 
     let mut r = wire.as_slice();
     let request: Vec<LiveMsg> = read_frame(&mut r).unwrap().expect("request batch");
@@ -136,7 +152,9 @@ fn get_stats_messages_round_trip() {
             assert_eq!(got, &snapshot, "snapshot changed on the wire");
             assert_eq!(got.counter(names::GOSSIP_ROUNDS), 42);
             assert_eq!(got.gauge("gossip.directory_size"), 6);
-            let h = got.histogram(names::RPC_LATENCY_MS).expect("histogram kept");
+            let h = got
+                .histogram(names::RPC_LATENCY_MS)
+                .expect("histogram kept");
             assert_eq!(h.count, 2);
             assert_eq!(h.sum, 483);
         }
@@ -159,12 +177,14 @@ fn trickled_correlated_frames_on_a_reused_stream() {
     let w1 = write_correlated_frame(&mut wire, 7, &vec![10u32, 20]).unwrap();
     let w2 = write_correlated_frame(&mut wire, 8, &vec![30u32]).unwrap();
     let mut r = TricklingReader::new(&wire);
-    let (frame, consumed) =
-        read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("first frame");
+    let (frame, consumed) = read_any_frame_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("first frame");
     assert_eq!(frame, Frame::Correlated(7, vec![10, 20]));
     assert_eq!(consumed, w1);
-    let (frame, consumed) =
-        read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().expect("second frame");
+    let (frame, consumed) = read_any_frame_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("second frame");
     assert_eq!(frame, Frame::Correlated(8, vec![30]));
     assert_eq!(consumed, w2);
     assert!(
@@ -175,9 +195,7 @@ fn trickled_correlated_frames_on_a_reused_stream() {
 
 /// A pool over a scripted server for the multiplexing tests; returns
 /// the pool, shared metric handles, and the target address.
-fn mux_pool(
-    listener: &TcpListener,
-) -> (Arc<ConnPool<Vec<u32>>>, ConnMetrics, String) {
+fn mux_pool(listener: &TcpListener) -> (Arc<ConnPool<Vec<u32>>>, ConnMetrics, String) {
     let addr = listener.local_addr().unwrap().to_string();
     let metrics = ConnMetrics::detached();
     let pool = Arc::new(ConnPool::new(
@@ -198,8 +216,7 @@ fn mux_delivers_out_of_order_replies_to_the_right_callers() {
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         // Priming RPC: echo it, so the clients' shared stream exists
         // before the concurrent callers start.
-        let Some((Frame::Correlated(id, v), _)) =
-            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        let Some((Frame::Correlated(id, v), _)) = read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
         else {
             panic!("expected the priming request")
         };
@@ -228,8 +245,9 @@ fn mux_delivers_out_of_order_replies_to_the_right_callers() {
         let pool = Arc::clone(&pool);
         let addr = addr.clone();
         callers.push(std::thread::spawn(move || {
-            let (reply, info) =
-                pool.rpc(&addr, &vec![payload], Duration::from_secs(2)).unwrap();
+            let (reply, info) = pool
+                .rpc(&addr, &vec![payload], Duration::from_secs(2))
+                .unwrap();
             (payload, reply, info.reused)
         }));
     }
@@ -243,7 +261,11 @@ fn mux_delivers_out_of_order_replies_to_the_right_callers() {
         assert!(reused, "both callers share the primed stream");
     }
     assert_eq!(metrics.opened.get(), 1, "three RPCs, one TCP connect");
-    assert_eq!(metrics.unknown_corr.get(), 0, "every reply found its waiter");
+    assert_eq!(
+        metrics.unknown_corr.get(),
+        0,
+        "every reply found its waiter"
+    );
     drop(pool);
     server.join().unwrap();
 }
@@ -255,8 +277,7 @@ fn mux_skips_unknown_duplicate_and_legacy_frames() {
     let server = std::thread::spawn(move || {
         let (mut s, _) = listener.accept().unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let Some((Frame::Correlated(id, v), _)) =
-            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        let Some((Frame::Correlated(id, v), _)) = read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
         else {
             panic!("expected first request")
         };
@@ -267,8 +288,7 @@ fn mux_skips_unknown_duplicate_and_legacy_frames() {
         write_correlated_frame(&mut s, id, &v).unwrap();
         write_correlated_frame(&mut s, id, &v).unwrap();
         // Second RPC served straight so the client drains the garbage.
-        let Some((Frame::Correlated(id, v), _)) =
-            read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
+        let Some((Frame::Correlated(id, v), _)) = read_any_frame_sized::<Vec<u32>>(&mut s).unwrap()
         else {
             panic!("expected second request")
         };

@@ -88,13 +88,13 @@ impl Collection {
         assert!((0.0..=1.0).contains(&spec.topic_fraction));
         assert!((0.0..=1.0).contains(&spec.secondary_leak));
         let mut rng = SmallRng::seed_from_u64(spec.seed);
-        let bg_zipf = Zipf::new(spec.background_vocab as f64, spec.zipf_exponent)
-            .expect("valid Zipf");
+        let bg_zipf =
+            Zipf::new(spec.background_vocab as f64, spec.zipf_exponent).expect("valid Zipf");
         let topic_zipf =
             Zipf::new(spec.topic_vocab as f64, spec.zipf_exponent).expect("valid Zipf");
         // Document lengths: lognormal around the mean, clamped.
-        let len_dist = LogNormal::new((spec.mean_doc_len as f64).ln(), 0.4)
-            .expect("valid LogNormal");
+        let len_dist =
+            LogNormal::new((spec.mean_doc_len as f64).ln(), 0.4).expect("valid LogNormal");
 
         let mut docs = Vec::with_capacity(spec.num_docs);
         for _ in 0..spec.num_docs {
@@ -116,7 +116,11 @@ impl Collection {
                     terms.push(background_word(rank));
                 }
             }
-            docs.push(Document { primary_topic, secondary_topic, terms });
+            docs.push(Document {
+                primary_topic,
+                secondary_topic,
+                terms,
+            });
         }
 
         let mut queries = Vec::with_capacity(spec.num_queries);
@@ -135,14 +139,21 @@ impl Collection {
                 .iter()
                 .enumerate()
                 .filter(|(_, d)| {
-                    d.primary_topic == topic
-                        && d.terms.iter().any(|t| terms.contains(t))
+                    d.primary_topic == topic && d.terms.iter().any(|t| terms.contains(t))
                 })
                 .map(|(i, _)| i)
                 .collect();
-            queries.push(Query { topic, terms, relevant });
+            queries.push(Query {
+                topic,
+                terms,
+                relevant,
+            });
         }
-        Self { spec, docs, queries }
+        Self {
+            spec,
+            docs,
+            queries,
+        }
     }
 
     /// Vocabulary size actually used by the documents.
@@ -181,7 +192,7 @@ mod tests {
             topic_vocab: 100,
             mean_doc_len: 60,
             topic_fraction: 0.35,
-        secondary_leak: 0.08,
+            secondary_leak: 0.08,
             num_queries: 20,
             query_terms: (2, 4),
             zipf_exponent: 1.0,

@@ -28,6 +28,5 @@ pub mod words;
 pub use collection::{Collection, CollectionSpec, Document, Query};
 pub use partition::{partition_docs, peer_loads, Partition};
 pub use specs::{
-    ap89_like, ap89_like_scaled, cacm_like, cisi_like, cran_like, med_like,
-    table3_specs,
+    ap89_like, ap89_like_scaled, cacm_like, cisi_like, cran_like, med_like, table3_specs,
 };

@@ -43,13 +43,14 @@ pub fn partition_docs(
     assert!(num_peers > 0, "need at least one peer");
     let mut rng = SmallRng::seed_from_u64(seed);
     match partition {
-        Partition::Uniform => {
-            (0..num_docs).map(|_| rng.random_range(0..num_peers)).collect()
-        }
+        Partition::Uniform => (0..num_docs)
+            .map(|_| rng.random_range(0..num_peers))
+            .collect(),
         Partition::Weibull { shape } => {
             let w = Weibull::new(1.0, shape).expect("valid Weibull");
-            let weights: Vec<f64> =
-                (0..num_peers).map(|_| w.sample(&mut rng).max(1e-9)).collect();
+            let weights: Vec<f64> = (0..num_peers)
+                .map(|_| w.sample(&mut rng).max(1e-9))
+                .collect();
             let total: f64 = weights.iter().sum();
             // Cumulative distribution for roulette selection.
             let mut cdf = Vec::with_capacity(num_peers);
@@ -111,12 +112,21 @@ mod tests {
             if sum == 0.0 {
                 return 0.0;
             }
-            let weighted: f64 =
-                l.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+            let weighted: f64 = l
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (i as f64 + 1.0) * x)
+                .sum();
             (2.0 * weighted) / (n * sum) - (n + 1.0) / n
         };
-        let u = peer_loads(&partition_docs(n_docs, n_peers, Partition::Uniform, 3), n_peers);
-        let w = peer_loads(&partition_docs(n_docs, n_peers, Partition::paper(), 3), n_peers);
+        let u = peer_loads(
+            &partition_docs(n_docs, n_peers, Partition::Uniform, 3),
+            n_peers,
+        );
+        let w = peer_loads(
+            &partition_docs(n_docs, n_peers, Partition::paper(), 3),
+            n_peers,
+        );
         assert!(
             gini(&w) > gini(&u) + 0.1,
             "weibull gini {} vs uniform {}",

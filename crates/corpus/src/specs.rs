@@ -78,7 +78,13 @@ pub fn ap89_like_scaled(scale: usize) -> CollectionSpec {
 
 /// All five Table 3 specs in paper order.
 pub fn table3_specs() -> Vec<CollectionSpec> {
-    vec![cacm_like(), med_like(), cran_like(), cisi_like(), ap89_like()]
+    vec![
+        cacm_like(),
+        med_like(),
+        cran_like(),
+        cisi_like(),
+        ap89_like(),
+    ]
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 
 /// Syllable inventory; 24 entries so indexes mix well.
 const SYLLABLES: &[&str] = &[
-    "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe",
-    "qui", "ro", "su", "ta", "ve", "wi", "xo", "yu", "za", "bren", "dor", "mik",
+    "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe", "qui", "ro", "su",
+    "ta", "ve", "wi", "xo", "yu", "za", "bren", "dor", "mik",
 ];
 
 /// Deterministic pseudo-word for a vocabulary index.
@@ -67,8 +67,7 @@ mod tests {
         // t1 + word(0) = "t1ba" vs t11 + ... prefixes could collide:
         // topic 1 rank X vs topic 11 rank Y iff "1"+w(X) == "11"+w(Y),
         // i.e. w(X) starts with "1" — impossible, syllables are alphabetic.
-        let w1: std::collections::HashSet<String> =
-            (0..1000).map(|r| topic_word(1, r)).collect();
+        let w1: std::collections::HashSet<String> = (0..1000).map(|r| topic_word(1, r)).collect();
         for r in 0..1000 {
             assert!(!w1.contains(&topic_word(11, r)));
         }

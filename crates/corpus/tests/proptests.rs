@@ -1,8 +1,6 @@
 //! Property-based tests of the synthetic collection generator.
 
-use planetp_corpus::{
-    partition_docs, peer_loads, Collection, CollectionSpec, Partition,
-};
+use planetp_corpus::{partition_docs, peer_loads, Collection, CollectionSpec, Partition};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = CollectionSpec> {

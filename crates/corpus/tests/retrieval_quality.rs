@@ -8,23 +8,14 @@ use planetp_bloom::BloomParams;
 use planetp_corpus::{partition_docs, Collection, CollectionSpec, Partition};
 use planetp_index::InvertedIndex;
 use planetp_search::{
-    average_recall_precision, recall_precision, CentralizedIndex,
-    DistributedSearch, DocRef, IndexedPeer, RecallPrecision, SelectionConfig,
+    average_recall_precision, recall_precision, CentralizedIndex, DistributedSearch, DocRef,
+    IndexedPeer, RecallPrecision, SelectionConfig,
 };
 use std::collections::HashSet;
 
-fn build_community(
-    collection: &Collection,
-    num_peers: usize,
-) -> (Vec<IndexedPeer>, Vec<DocRef>) {
-    let assignment = partition_docs(
-        collection.docs.len(),
-        num_peers,
-        Partition::paper(),
-        7,
-    );
-    let mut indexes: Vec<InvertedIndex> =
-        (0..num_peers).map(|_| InvertedIndex::new()).collect();
+fn build_community(collection: &Collection, num_peers: usize) -> (Vec<IndexedPeer>, Vec<DocRef>) {
+    let assignment = partition_docs(collection.docs.len(), num_peers, Partition::paper(), 7);
+    let mut indexes: Vec<InvertedIndex> = (0..num_peers).map(|_| InvertedIndex::new()).collect();
     let mut refs = Vec::with_capacity(collection.docs.len());
     let mut next_local = vec![0u64; num_peers];
     for (doc_id, doc) in collection.docs.iter().enumerate() {
@@ -76,8 +67,7 @@ fn tfxipf_tracks_tfxidf() {
         if q.relevant.is_empty() {
             continue;
         }
-        let relevant: HashSet<DocRef> =
-            q.relevant.iter().map(|&d| refs[d]).collect();
+        let relevant: HashSet<DocRef> = q.relevant.iter().map(|&d| refs[d]).collect();
 
         let idf_top = central.top_k(&q.terms, k);
         let idf_docs: Vec<DocRef> = idf_top.iter().map(|s| s.doc).collect();
@@ -123,8 +113,7 @@ fn tfxipf_tracks_tfxidf() {
         if q.relevant.is_empty() {
             continue;
         }
-        let relevant: HashSet<DocRef> =
-            q.relevant.iter().map(|&d| refs[d]).collect();
+        let relevant: HashSet<DocRef> = q.relevant.iter().map(|&d| refs[d]).collect();
         let top = central.top_k(&q.terms, k_large);
         let docs: Vec<DocRef> = top.iter().map(|s| s.doc).collect();
         idf_l.push(recall_precision(&docs, &relevant));

@@ -59,8 +59,7 @@ pub struct DirEntry<P: Payload> {
 impl<P: Payload> DirEntry<P> {
     /// Is the entry at least as new as the given version pair?
     pub fn covers(&self, status_version: u64, bloom_version: u32) -> bool {
-        (self.status_version, self.bloom_version)
-            >= (status_version, bloom_version)
+        (self.status_version, self.bloom_version) >= (status_version, bloom_version)
     }
 }
 
@@ -130,19 +129,14 @@ impl<P: Payload> Directory<P> {
 
     /// Ids of peers currently believed online.
     pub fn believed_online(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.entries.iter().filter_map(|(&id, e)| {
-            (e.status == PeerStatus::Online).then_some(id)
-        })
+        self.entries
+            .iter()
+            .filter_map(|(&id, e)| (e.status == PeerStatus::Online).then_some(id))
     }
 
     /// Would news `(subject, status_version, bloom_version)` teach this
     /// directory anything?
-    pub fn is_news(
-        &self,
-        subject: PeerId,
-        status_version: u64,
-        bloom_version: u32,
-    ) -> bool {
+    pub fn is_news(&self, subject: PeerId, status_version: u64, bloom_version: u32) -> bool {
         match self.entries.get(&subject) {
             None => match self.expired.get(&subject) {
                 // Expired: only a strictly newer incarnation or filter
@@ -179,11 +173,7 @@ impl<P: Payload> Directory<P> {
             .entries
             .iter()
             .filter_map(|(&id, e)| match e.status {
-                PeerStatus::Offline { since }
-                    if now.saturating_sub(since) >= t_dead_ms =>
-                {
-                    Some(id)
-                }
+                PeerStatus::Offline { since } if now.saturating_sub(since) >= t_dead_ms => Some(id),
                 _ => None,
             })
             .collect();
@@ -192,7 +182,8 @@ impl<P: Payload> Directory<P> {
         }
         for id in &dead {
             if let Some(e) = self.entries.remove(id) {
-                self.expired.insert(*id, (e.status_version, e.bloom_version));
+                self.expired
+                    .insert(*id, (e.status_version, e.bloom_version));
             }
         }
         dead
@@ -210,8 +201,8 @@ impl<P: Payload> Directory<P> {
         // Order-independent: sum of per-entry mixes.
         let mut acc = 0u64;
         for (&id, e) in &self.entries {
-            let mut z = u64::from(id) ^ (e.status_version << 32)
-                ^ (u64::from(e.bloom_version) << 8);
+            let mut z =
+                u64::from(id) ^ (e.status_version << 32) ^ (u64::from(e.bloom_version) << 8);
             // SplitMix64 finalizer.
             z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

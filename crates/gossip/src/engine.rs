@@ -17,8 +17,8 @@ use crate::messages::{Message, PeerState, PeerSummary, PEER_SUMMARY_BYTES, RUMOR
 use crate::rumor::{DeltaChain, Payload, Rumor, RumorId, RumorKind, RumorPayload};
 use crate::selector::{pick_target, SelectionPurpose};
 use crate::stats::{EngineCounters, EngineStats};
-use planetp_obs::Registry;
 use crate::{PeerId, TimeMs};
+use planetp_obs::Registry;
 
 /// A rumor this peer is actively spreading.
 #[derive(Debug, Clone)]
@@ -158,7 +158,10 @@ impl<P: Payload> GossipEngine<P> {
         seed: u64,
         dir: Directory<P>,
     ) -> Self {
-        assert!(dir.get(id).is_some(), "directory must contain the peer itself");
+        assert!(
+            dir.get(id).is_some(),
+            "directory must contain the peer itself"
+        );
         Self {
             id,
             speed,
@@ -230,7 +233,9 @@ impl<P: Payload> GossipEngine<P> {
 
     /// Does this peer's directory cover the given news?
     pub fn knows(&self, id: RumorId) -> bool {
-        !self.dir.is_news(id.subject, id.status_version, id.bloom_version)
+        !self
+            .dir
+            .is_news(id.subject, id.status_version, id.bloom_version)
     }
 
     /// The delta steps taking `subject` from `(status_version, from_bv)`
@@ -268,7 +273,10 @@ impl<P: Payload> GossipEngine<P> {
     /// compute the diff from the previous version.
     pub fn local_update(&mut self, payload: P) {
         self.chains.remove(&self.id);
-        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        let e = self
+            .dir
+            .get_mut(self.id)
+            .expect("self entry always present");
         e.bloom_version += 1;
         e.payload = Some(payload);
         self.activate_self_rumor(RumorKind::BloomUpdate);
@@ -286,7 +294,10 @@ impl<P: Payload> GossipEngine<P> {
             (e.status_version, e.bloom_version)
         };
         self.push_chain_step(self.id, status_version, old_bv, delta);
-        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        let e = self
+            .dir
+            .get_mut(self.id)
+            .expect("self entry always present");
         e.bloom_version += 1;
         e.payload = Some(payload);
         self.activate_self_rumor(RumorKind::BloomUpdate);
@@ -299,7 +310,10 @@ impl<P: Payload> GossipEngine<P> {
     pub fn local_rejoin(&mut self, new_payload: Option<P>) {
         // A new incarnation invalidates any chain built in the old one.
         self.chains.remove(&self.id);
-        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        let e = self
+            .dir
+            .get_mut(self.id)
+            .expect("self entry always present");
         e.status_version += 1;
         e.status = PeerStatus::Online;
         let kind = if let Some(p) = new_payload {
@@ -325,7 +339,10 @@ impl<P: Payload> GossipEngine<P> {
     /// tick. Returns the new version pair.
     pub fn local_recover(&mut self, payload: P, floor: (u64, u32)) -> (u64, u32) {
         self.chains.remove(&self.id);
-        let e = self.dir.get_mut(self.id).expect("self entry always present");
+        let e = self
+            .dir
+            .get_mut(self.id)
+            .expect("self entry always present");
         e.status_version = e.status_version.max(floor.0) + 1;
         e.bloom_version = e.bloom_version.max(floor.1) + 1;
         e.payload = Some(payload);
@@ -391,7 +408,9 @@ impl<P: Payload> GossipEngine<P> {
         // far past the paper's Fig 2(a) times. The cheap ping is the
         // paper's partial-anti-entropy idea applied to the idle path.
         let do_full_ae = self.force_ae
-            || self.round.is_multiple_of(u64::from(self.config.anti_entropy_every));
+            || self
+                .round
+                .is_multiple_of(u64::from(self.config.anti_entropy_every));
         if do_full_ae {
             self.force_ae = false;
             let target = pick_target(
@@ -405,7 +424,9 @@ impl<P: Payload> GossipEngine<P> {
             )?;
             self.stats.rounds.inc();
             self.stats.ae_msgs_sent.inc();
-            let message = Message::AeRequest { digest: self.dir.digest() };
+            let message = Message::AeRequest {
+                digest: self.dir.digest(),
+            };
             self.stats.on_message_out(&message);
             return Some(TickOutcome { target, message });
         }
@@ -421,7 +442,9 @@ impl<P: Payload> GossipEngine<P> {
             )?;
             self.stats.rounds.inc();
             self.stats.ae_msgs_sent.inc();
-            let message = Message::AePing { digest: self.dir.digest() };
+            let message = Message::AePing {
+                digest: self.dir.digest(),
+            };
             self.stats.on_message_out(&message);
             return Some(TickOutcome { target, message });
         }
@@ -441,11 +464,7 @@ impl<P: Payload> GossipEngine<P> {
             self.config.fast_to_slow_prob,
             &mut self.rng,
         )?;
-        let rumors: Vec<Rumor<P>> = self
-            .active
-            .values()
-            .map(|a| self.build_rumor(a))
-            .collect();
+        let rumors: Vec<Rumor<P>> = self.active.values().map(|a| self.build_rumor(a)).collect();
         self.pending_acks
             .insert(target, rumors.iter().map(|r| r.id).collect());
         self.stats.rounds.inc();
@@ -491,9 +510,10 @@ impl<P: Payload> GossipEngine<P> {
         self.dir.mark_online(from);
         let responses = match msg {
             Message::Rumor { rumors } => self.on_rumor(from, rumors),
-            Message::RumorAck { already_knew, recent_ids } => {
-                self.on_rumor_ack(from, &already_knew, &recent_ids)
-            }
+            Message::RumorAck {
+                already_knew,
+                recent_ids,
+            } => self.on_rumor_ack(from, &already_knew, &recent_ids),
             Message::Pull { ids } => {
                 let entries = self.states_for(ids.iter().map(|i| i.subject));
                 vec![(from, Message::PullReply { entries })]
@@ -507,7 +527,12 @@ impl<P: Payload> GossipEngine<P> {
                 if digest == self.dir.digest() {
                     vec![(from, Message::AeEqual)]
                 } else {
-                    vec![(from, Message::AeRecent { ids: self.recent_and_active_ids() })]
+                    vec![(
+                        from,
+                        Message::AeRecent {
+                            ids: self.recent_and_active_ids(),
+                        },
+                    )]
                 }
             }
             Message::AeRecent { ids } => {
@@ -526,7 +551,12 @@ impl<P: Payload> GossipEngine<P> {
                 if digest == self.dir.digest() {
                     vec![(from, Message::AeEqual)]
                 } else {
-                    vec![(from, Message::AeSummary { entries: self.summaries() })]
+                    vec![(
+                        from,
+                        Message::AeSummary {
+                            entries: self.summaries(),
+                        },
+                    )]
                 }
             }
             Message::AeEqual => {
@@ -575,11 +605,7 @@ impl<P: Payload> GossipEngine<P> {
     // Internals
     // ------------------------------------------------------------------
 
-    fn on_rumor(
-        &mut self,
-        from: PeerId,
-        rumors: Vec<Rumor<P>>,
-    ) -> Vec<(PeerId, Message<P>)> {
+    fn on_rumor(&mut self, from: PeerId, rumors: Vec<Rumor<P>>) -> Vec<(PeerId, Message<P>)> {
         // "Whenever x receives a rumor message ... it immediately resets
         // its gossiping interval to the default" (§3).
         self.reset_interval();
@@ -608,8 +634,13 @@ impl<P: Payload> GossipEngine<P> {
         };
         // The ack and the fallback pull travel back in one batched
         // exchange (the live transport writes them as one frame).
-        let mut out =
-            vec![(from, Message::RumorAck { already_knew, recent_ids })];
+        let mut out = vec![(
+            from,
+            Message::RumorAck {
+                already_knew,
+                recent_ids,
+            },
+        )];
         if !broken.is_empty() {
             out.push((from, Message::Pull { ids: broken }));
         }
@@ -664,12 +695,10 @@ impl<P: Payload> GossipEngine<P> {
         let payload = match &r.payload {
             None => None,
             Some(RumorPayload::Full(p)) => Some(p.clone()),
-            Some(RumorPayload::Delta(chain)) => {
-                match self.apply_chain(r.id, chain) {
-                    Some(p) => Some(p),
-                    None => return false,
-                }
-            }
+            Some(RumorPayload::Delta(chain)) => match self.apply_chain(r.id, chain) {
+                Some(p) => Some(p),
+                None => return false,
+            },
         };
         self.update_entry(
             r.id.subject,
@@ -692,8 +721,7 @@ impl<P: Payload> GossipEngine<P> {
         // A chain is only meaningful within one incarnation and must
         // land exactly on the version the rumor announces.
         if chain.steps.is_empty()
-            || chain.base_bloom_version + chain.steps.len() as u32
-                != id.bloom_version
+            || chain.base_bloom_version + chain.steps.len() as u32 != id.bloom_version
         {
             return None;
         }
@@ -732,7 +760,10 @@ impl<P: Payload> GossipEngine<P> {
     fn absorb(&mut self, entries: &[PeerState<P>], respread: bool) -> u64 {
         let mut learned = 0;
         for s in entries {
-            if !self.dir.is_news(s.subject, s.status_version, s.bloom_version) {
+            if !self
+                .dir
+                .is_news(s.subject, s.status_version, s.bloom_version)
+            {
                 continue;
             }
             self.update_entry(
@@ -813,7 +844,11 @@ impl<P: Payload> GossipEngine<P> {
     fn activate(&mut self, id: RumorId, kind: RumorKind) {
         self.active.insert(
             id.subject,
-            ActiveRumor { id, kind, consecutive_known: 0 },
+            ActiveRumor {
+                id,
+                kind,
+                consecutive_known: 0,
+            },
         );
     }
 
@@ -851,9 +886,7 @@ impl<P: Payload> GossipEngine<P> {
         let e = self.dir.get(a.id.subject);
         let payload = match a.kind {
             RumorKind::Rejoin => None,
-            RumorKind::Join => {
-                e.and_then(|e| e.payload.clone()).map(RumorPayload::Full)
-            }
+            RumorKind::Join => e.and_then(|e| e.payload.clone()).map(RumorPayload::Full),
             RumorKind::BloomUpdate => e.and_then(|e| {
                 let full = e.payload.clone()?;
                 if let Some(chain) = self.chain_for(a.id) {
@@ -873,7 +906,11 @@ impl<P: Payload> GossipEngine<P> {
                 Some(RumorPayload::Full(full))
             }),
         };
-        Rumor { id: a.id, kind: a.kind, payload }
+        Rumor {
+            id: a.id,
+            kind: a.kind,
+            payload,
+        }
     }
 
     /// The stored chain for a rumor, if it exactly covers the rumor's
@@ -945,8 +982,7 @@ impl<P: Payload> GossipEngine<P> {
     /// its active rumors plus the last m retired ones.
     fn recent_and_active_ids(&self) -> Vec<RumorId> {
         let m = self.config.partial_ae_ids;
-        let mut ids: Vec<RumorId> =
-            self.active.values().map(|a| a.id).collect();
+        let mut ids: Vec<RumorId> = self.active.values().map(|a| a.id).collect();
         ids.extend(self.recent.iter().rev().take(m));
         ids.truncate(m.max(ids.len().min(2 * m)));
         ids
@@ -968,16 +1004,14 @@ impl<P: Payload> GossipEngine<P> {
         entries
             .iter()
             .filter(|s| {
-                self.dir.is_news(s.subject, s.status_version, s.bloom_version)
+                self.dir
+                    .is_news(s.subject, s.status_version, s.bloom_version)
             })
             .map(|s| s.subject)
             .collect()
     }
 
-    fn states_for(
-        &self,
-        subjects: impl Iterator<Item = PeerId>,
-    ) -> Vec<PeerState<P>> {
+    fn states_for(&self, subjects: impl Iterator<Item = PeerId>) -> Vec<PeerState<P>> {
         subjects
             .filter_map(|s| {
                 self.dir.get(s).map(|e| PeerState {
@@ -998,8 +1032,8 @@ impl<P: Payload> GossipEngine<P> {
         }
         self.gossipless += 1;
         if self.gossipless >= self.config.gossipless_threshold {
-            self.interval_ms = (self.interval_ms + self.config.slowdown_ms)
-                .min(self.config.max_interval_ms);
+            self.interval_ms =
+                (self.interval_ms + self.config.slowdown_ms).min(self.config.max_interval_ms);
             self.gossipless = 0;
             self.stats.slowdowns.inc();
         }

@@ -51,8 +51,7 @@ pub use directory::{DirEntry, Directory, PeerStatus, SpeedClass};
 pub use engine::{GossipEngine, TickOutcome};
 pub use messages::Message;
 pub use rumor::{
-    DeltaChain, Payload, Rumor, RumorId, RumorKind, RumorPayload, SizedDelta,
-    SizedPayload,
+    DeltaChain, Payload, Rumor, RumorId, RumorKind, RumorPayload, SizedDelta, SizedPayload,
 };
 pub use stats::{EngineCounters, EngineStats};
 

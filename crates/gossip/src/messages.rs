@@ -130,18 +130,16 @@ impl<P: Payload> Message<P> {
     pub fn wire_bytes(&self) -> usize {
         HEADER_BYTES
             + match self {
-                Message::Rumor { rumors } => {
-                    rumors.iter().map(Rumor::wire_bytes).sum()
-                }
-                Message::RumorAck { already_knew, recent_ids } => {
+                Message::Rumor { rumors } => rumors.iter().map(Rumor::wire_bytes).sum(),
+                Message::RumorAck {
+                    already_knew,
+                    recent_ids,
+                } => {
                     // Known flags pack to a bit each, rounded up.
-                    already_knew.len().div_ceil(8)
-                        + recent_ids.len() * RUMOR_ID_BYTES
+                    already_knew.len().div_ceil(8) + recent_ids.len() * RUMOR_ID_BYTES
                 }
                 Message::Pull { ids } => ids.len() * RUMOR_ID_BYTES,
-                Message::PullReply { entries } => {
-                    entries.iter().map(PeerState::wire_bytes).sum()
-                }
+                Message::PullReply { entries } => entries.iter().map(PeerState::wire_bytes).sum(),
                 Message::AePing { .. } => 8,
                 Message::AeRecent { ids } => ids.len() * RUMOR_ID_BYTES,
                 Message::AeRequest { .. } => 8,
@@ -150,9 +148,7 @@ impl<P: Payload> Message<P> {
                     entries.len() * (PEER_SUMMARY_BYTES + BF_SUMMARY_BYTES)
                 }
                 Message::AePull { subjects } => subjects.len() * 4,
-                Message::AeReply { entries } => {
-                    entries.iter().map(PeerState::wire_bytes).sum()
-                }
+                Message::AeReply { entries } => entries.iter().map(PeerState::wire_bytes).sum(),
             }
     }
 
@@ -182,15 +178,23 @@ mod tests {
 
     fn rumor(bytes: usize) -> Rumor<SizedPayload> {
         Rumor {
-            id: RumorId { subject: 1, status_version: 1, bloom_version: 1 },
+            id: RumorId {
+                subject: 1,
+                status_version: 1,
+                bloom_version: 1,
+            },
             kind: RumorKind::BloomUpdate,
-            payload: Some(RumorPayload::Full(SizedPayload { bytes: bytes as u32 })),
+            payload: Some(RumorPayload::Full(SizedPayload {
+                bytes: bytes as u32,
+            })),
         }
     }
 
     #[test]
     fn rumor_message_size() {
-        let m: Message<SizedPayload> = Message::Rumor { rumors: vec![rumor(3000)] };
+        let m: Message<SizedPayload> = Message::Rumor {
+            rumors: vec![rumor(3000)],
+        };
         // header + peer summary + payload
         assert_eq!(m.wire_bytes(), 3 + 48 + 3000);
     }
@@ -198,7 +202,11 @@ mod tests {
     #[test]
     fn ae_summary_scales_with_community_size() {
         let entries: Vec<PeerSummary> = (0..1000)
-            .map(|i| PeerSummary { subject: i, status_version: 1, bloom_version: 1 })
+            .map(|i| PeerSummary {
+                subject: i,
+                status_version: 1,
+                bloom_version: 1,
+            })
             .collect();
         let m: Message<SizedPayload> = Message::AeSummary { entries };
         assert_eq!(m.wire_bytes(), 3 + 1000 * 54);

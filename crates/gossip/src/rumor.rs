@@ -85,16 +85,16 @@ impl Payload for SizedPayload {
     }
 
     fn apply_delta(&self, delta: &SizedDelta) -> Option<Self> {
-        Some(SizedPayload { bytes: delta.full_bytes })
+        Some(SizedPayload {
+            bytes: delta.full_bytes,
+        })
     }
 }
 
 /// Globally unique rumor identity: the subject peer plus the version
 /// pair the news announces. 16 bytes on the wire ("in order of tens of
 /// bytes" for the m piggybacked ids, §3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RumorId {
     /// The peer the news is about.
     pub subject: PeerId,
@@ -134,7 +134,11 @@ impl<P: Payload> DeltaChain<P> {
     /// Wire size: chain header plus every step.
     pub fn wire_bytes(&self) -> usize {
         DELTA_CHAIN_HEADER_BYTES
-            + self.steps.iter().map(|d| P::delta_wire_bytes(d)).sum::<usize>()
+            + self
+                .steps
+                .iter()
+                .map(|d| P::delta_wire_bytes(d))
+                .sum::<usize>()
     }
 }
 
@@ -173,9 +177,7 @@ impl<P: Payload> Rumor<P> {
         match &self.payload {
             None => PEER_SUMMARY_BYTES,
             Some(RumorPayload::Full(p)) => PEER_SUMMARY_BYTES + p.wire_bytes(),
-            Some(RumorPayload::Delta(chain)) => {
-                RUMOR_ID_BYTES + chain.wire_bytes()
-            }
+            Some(RumorPayload::Delta(chain)) => RUMOR_ID_BYTES + chain.wire_bytes(),
         }
     }
 }
@@ -186,10 +188,13 @@ mod tests {
 
     fn rumor(bytes: Option<usize>) -> Rumor<SizedPayload> {
         Rumor {
-            id: RumorId { subject: 7, status_version: 1, bloom_version: 3 },
+            id: RumorId {
+                subject: 7,
+                status_version: 1,
+                bloom_version: 3,
+            },
             kind: RumorKind::BloomUpdate,
-            payload: bytes
-                .map(|b| RumorPayload::Full(SizedPayload { bytes: b as u32 })),
+            payload: bytes.map(|b| RumorPayload::Full(SizedPayload { bytes: b as u32 })),
         }
     }
 
@@ -202,13 +207,23 @@ mod tests {
     #[test]
     fn delta_rumor_charges_id_plus_chain() {
         let r: Rumor<SizedPayload> = Rumor {
-            id: RumorId { subject: 7, status_version: 1, bloom_version: 5 },
+            id: RumorId {
+                subject: 7,
+                status_version: 1,
+                bloom_version: 5,
+            },
             kind: RumorKind::BloomUpdate,
             payload: Some(RumorPayload::Delta(DeltaChain {
                 base_bloom_version: 3,
                 steps: vec![
-                    SizedDelta { bytes: 150, full_bytes: 3000 },
-                    SizedDelta { bytes: 200, full_bytes: 3100 },
+                    SizedDelta {
+                        bytes: 150,
+                        full_bytes: 3000,
+                    },
+                    SizedDelta {
+                        bytes: 200,
+                        full_bytes: 3100,
+                    },
                 ],
             })),
         };
@@ -220,16 +235,31 @@ mod tests {
     fn sized_delta_applies_to_resulting_size() {
         let p = SizedPayload { bytes: 3000 };
         let next = p
-            .apply_delta(&SizedDelta { bytes: 120, full_bytes: 3200 })
+            .apply_delta(&SizedDelta {
+                bytes: 120,
+                full_bytes: 3200,
+            })
             .unwrap();
         assert_eq!(next, SizedPayload { bytes: 3200 });
     }
 
     #[test]
     fn rumor_ids_order_by_subject_then_versions() {
-        let a = RumorId { subject: 1, status_version: 1, bloom_version: 0 };
-        let b = RumorId { subject: 1, status_version: 2, bloom_version: 0 };
-        let c = RumorId { subject: 2, status_version: 0, bloom_version: 0 };
+        let a = RumorId {
+            subject: 1,
+            status_version: 1,
+            bloom_version: 0,
+        };
+        let b = RumorId {
+            subject: 1,
+            status_version: 2,
+            bloom_version: 0,
+        };
+        let c = RumorId {
+            subject: 2,
+            status_version: 0,
+            bloom_version: 0,
+        };
         assert!(a < b && b < c);
     }
 }

@@ -63,20 +63,21 @@ pub fn pick_target<P: Payload>(
         // Fast rumoring: binary decision, slow pool with small probability.
         (SpeedClass::Fast, SelectionPurpose::RumorForward | SelectionPurpose::RumorSource) => {
             let want_slow = rng.random_bool(fast_to_slow_prob.clamp(0.0, 1.0));
-            pick_preferring(if want_slow { (&slow, &fast) } else { (&fast, &slow) }, rng)
+            pick_preferring(
+                if want_slow {
+                    (&slow, &fast)
+                } else {
+                    (&fast, &slow)
+                },
+                rng,
+            )
         }
         // Fast anti-entropy: always fast.
-        (SpeedClass::Fast, SelectionPurpose::AntiEntropy) => {
-            pick_preferring((&fast, &slow), rng)
-        }
+        (SpeedClass::Fast, SelectionPurpose::AntiEntropy) => pick_preferring((&fast, &slow), rng),
         // Slow forwarding: always slow (never stall a fast peer).
-        (SpeedClass::Slow, SelectionPurpose::RumorForward) => {
-            pick_preferring((&slow, &fast), rng)
-        }
+        (SpeedClass::Slow, SelectionPurpose::RumorForward) => pick_preferring((&slow, &fast), rng),
         // Slow *source*: initial target is fast so the rumor escapes.
-        (SpeedClass::Slow, SelectionPurpose::RumorSource) => {
-            pick_preferring((&fast, &slow), rng)
-        }
+        (SpeedClass::Slow, SelectionPurpose::RumorSource) => pick_preferring((&fast, &slow), rng),
         // Slow anti-entropy: uniform.
         (SpeedClass::Slow, SelectionPurpose::AntiEntropy) => uniform(&fast, &slow, rng),
     }
@@ -88,7 +89,11 @@ fn uniform(fast: &[PeerId], slow: &[PeerId], rng: &mut SmallRng) -> Option<PeerI
         return None;
     }
     let i = rng.random_range(0..total);
-    Some(if i < fast.len() { fast[i] } else { slow[i - fast.len()] })
+    Some(if i < fast.len() {
+        fast[i]
+    } else {
+        slow[i - fast.len()]
+    })
 }
 
 /// Pick from the preferred pool, falling back to the other if empty.
@@ -140,7 +145,15 @@ mod tests {
         d.mark_offline(2, 0);
         let mut r = rng();
         for _ in 0..20 {
-            let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, false, 0.01, &mut r);
+            let t = pick_target(
+                &d,
+                1,
+                SpeedClass::Fast,
+                SelectionPurpose::RumorForward,
+                false,
+                0.01,
+                &mut r,
+            );
             assert_eq!(t, None, "only self and an offline peer exist");
         }
     }
@@ -152,8 +165,16 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             seen.insert(
-                pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, false, 0.01, &mut r)
-                    .unwrap(),
+                pick_target(
+                    &d,
+                    1,
+                    SpeedClass::Fast,
+                    SelectionPurpose::RumorForward,
+                    false,
+                    0.01,
+                    &mut r,
+                )
+                .unwrap(),
             );
         }
         assert_eq!(seen.len(), 4, "{seen:?}");
@@ -165,8 +186,16 @@ mod tests {
         let mut r = rng();
         let slow_picks = (0..2000)
             .filter(|_| {
-                let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::RumorForward, true, 0.01, &mut r)
-                    .unwrap();
+                let t = pick_target(
+                    &d,
+                    1,
+                    SpeedClass::Fast,
+                    SelectionPurpose::RumorForward,
+                    true,
+                    0.01,
+                    &mut r,
+                )
+                .unwrap();
                 t >= 4
             })
             .count();
@@ -179,8 +208,16 @@ mod tests {
         let d = dir(&[1, 2], &[3, 4]);
         let mut r = rng();
         for _ in 0..200 {
-            let t = pick_target(&d, 1, SpeedClass::Fast, SelectionPurpose::AntiEntropy, true, 0.01, &mut r)
-                .unwrap();
+            let t = pick_target(
+                &d,
+                1,
+                SpeedClass::Fast,
+                SelectionPurpose::AntiEntropy,
+                true,
+                0.01,
+                &mut r,
+            )
+            .unwrap();
             assert!(t == 2, "fast AE must target fast, got {t}");
         }
     }
@@ -190,11 +227,27 @@ mod tests {
         let d = dir(&[1, 2], &[3, 4]);
         let mut r = rng();
         for _ in 0..100 {
-            let fwd = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorForward, true, 0.01, &mut r)
-                .unwrap();
+            let fwd = pick_target(
+                &d,
+                3,
+                SpeedClass::Slow,
+                SelectionPurpose::RumorForward,
+                true,
+                0.01,
+                &mut r,
+            )
+            .unwrap();
             assert_eq!(fwd, 4, "slow forward stays slow");
-            let src = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorSource, true, 0.01, &mut r)
-                .unwrap();
+            let src = pick_target(
+                &d,
+                3,
+                SpeedClass::Slow,
+                SelectionPurpose::RumorSource,
+                true,
+                0.01,
+                &mut r,
+            )
+            .unwrap();
             assert!(src <= 2, "slow source goes fast, got {src}");
         }
     }
@@ -203,7 +256,15 @@ mod tests {
     fn falls_back_when_preferred_pool_empty() {
         let d = dir(&[], &[3, 4]);
         let mut r = rng();
-        let t = pick_target(&d, 3, SpeedClass::Slow, SelectionPurpose::RumorSource, true, 0.01, &mut r);
+        let t = pick_target(
+            &d,
+            3,
+            SpeedClass::Slow,
+            SelectionPurpose::RumorSource,
+            true,
+            0.01,
+            &mut r,
+        );
         assert_eq!(t, Some(4), "no fast peers: fall back to slow");
     }
 }

@@ -117,8 +117,7 @@ impl EngineCounters {
             delta_sent: registry.counter(names::GOSSIP_DELTA_SENT),
             delta_applied: registry.counter(names::GOSSIP_DELTA_APPLIED),
             delta_chain_breaks: registry.counter(names::GOSSIP_DELTA_CHAIN_BREAKS),
-            delta_full_fallbacks: registry
-                .counter(names::GOSSIP_DELTA_FULL_FALLBACKS),
+            delta_full_fallbacks: registry.counter(names::GOSSIP_DELTA_FULL_FALLBACKS),
             delta_bytes_saved: registry.counter(names::GOSSIP_DELTA_BYTES_SAVED),
             msgs_out: registry.counter_family(names::GOSSIP_MSGS_OUT),
             msgs_in: registry.counter_family(names::GOSSIP_MSGS_IN),
@@ -136,7 +135,9 @@ impl EngineCounters {
         fresh.rumor_msgs_sent.add(self.rumor_msgs_sent.get());
         fresh.ae_msgs_sent.add(self.ae_msgs_sent.get());
         fresh.rumors_originated.add(self.rumors_originated.get());
-        fresh.rumors_learned_push.add(self.rumors_learned_push.get());
+        fresh
+            .rumors_learned_push
+            .add(self.rumors_learned_push.get());
         fresh
             .rumors_learned_partial_ae
             .add(self.rumors_learned_partial_ae.get());
@@ -150,7 +151,9 @@ impl EngineCounters {
         fresh.delta_sent.add(self.delta_sent.get());
         fresh.delta_applied.add(self.delta_applied.get());
         fresh.delta_chain_breaks.add(self.delta_chain_breaks.get());
-        fresh.delta_full_fallbacks.add(self.delta_full_fallbacks.get());
+        fresh
+            .delta_full_fallbacks
+            .add(self.delta_full_fallbacks.get());
         fresh.delta_bytes_saved.add(self.delta_bytes_saved.get());
         *self = fresh;
     }

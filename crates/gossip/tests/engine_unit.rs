@@ -2,9 +2,8 @@
 //! the state machine one message at a time, without a driver loop.
 
 use planetp_gossip::{
-    Algorithm, DeltaChain, DirEntry, Directory, GossipConfig, GossipEngine,
-    Message, PeerStatus, RumorId, RumorKind, RumorPayload, SizedDelta,
-    SizedPayload, SpeedClass,
+    Algorithm, DeltaChain, DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerStatus,
+    RumorId, RumorKind, RumorPayload, SizedDelta, SizedPayload, SpeedClass,
 };
 
 type Engine = GossipEngine<SizedPayload>;
@@ -30,7 +29,11 @@ fn engine_of(n: u32, me: u32) -> Engine {
 
 fn rumor(subject: u32, sv: u64, bv: u32, bytes: u32) -> planetp_gossip::Rumor<SizedPayload> {
     planetp_gossip::Rumor {
-        id: RumorId { subject, status_version: sv, bloom_version: bv },
+        id: RumorId {
+            subject,
+            status_version: sv,
+            bloom_version: bv,
+        },
         kind: RumorKind::BloomUpdate,
         payload: Some(RumorPayload::Full(SizedPayload { bytes })),
     }
@@ -44,7 +47,11 @@ fn delta_rumor(
 ) -> planetp_gossip::Rumor<SizedPayload> {
     let end = base + steps.len() as u32;
     planetp_gossip::Rumor {
-        id: RumorId { subject, status_version: sv, bloom_version: end },
+        id: RumorId {
+            subject,
+            status_version: sv,
+            bloom_version: end,
+        },
         kind: RumorKind::BloomUpdate,
         payload: Some(RumorPayload::Delta(DeltaChain {
             base_bloom_version: base,
@@ -69,7 +76,9 @@ fn fresh_rumor_is_applied_acked_and_respread() {
     let mut e = engine_of(5, 0);
     let responses = e.handle_message(
         1,
-        Msg::Rumor { rumors: vec![rumor(2, 1, 2, 3100)] },
+        Msg::Rumor {
+            rumors: vec![rumor(2, 1, 2, 3100)],
+        },
         0,
     );
     // Ack says "did not know".
@@ -90,8 +99,13 @@ fn fresh_rumor_is_applied_acked_and_respread() {
 #[test]
 fn stale_rumor_acked_as_known_and_ignored() {
     let mut e = engine_of(5, 0);
-    let responses =
-        e.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 1, 3000)] }, 0);
+    let responses = e.handle_message(
+        1,
+        Msg::Rumor {
+            rumors: vec![rumor(2, 1, 1, 3000)],
+        },
+        0,
+    );
     match &responses[0].1 {
         Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[true]),
         other => panic!("expected ack, got {other:?}"),
@@ -102,7 +116,13 @@ fn stale_rumor_acked_as_known_and_ignored() {
 #[test]
 fn rumor_about_unknown_peer_creates_entry() {
     let mut e = engine_of(3, 0);
-    e.handle_message(1, Msg::Rumor { rumors: vec![rumor(99, 1, 1, 4000)] }, 0);
+    e.handle_message(
+        1,
+        Msg::Rumor {
+            rumors: vec![rumor(99, 1, 1, 4000)],
+        },
+        0,
+    );
     assert!(e.directory().get(99).is_some());
     assert_eq!(e.directory().len(), 4);
 }
@@ -121,7 +141,10 @@ fn ack_known_twice_retires_rumor() {
             let n = rumors.len();
             let _ = e.handle_message(
                 out.target,
-                Msg::RumorAck { already_knew: vec![true; n], recent_ids: vec![] },
+                Msg::RumorAck {
+                    already_knew: vec![true; n],
+                    recent_ids: vec![],
+                },
                 now,
             );
             acked += 1;
@@ -152,7 +175,10 @@ fn fresh_ack_resets_death_counter() {
             let knew = pushes % 2 == 0;
             let _ = e.handle_message(
                 out.target,
-                Msg::RumorAck { already_knew: vec![knew; n], recent_ids: vec![] },
+                Msg::RumorAck {
+                    already_knew: vec![knew; n],
+                    recent_ids: vec![],
+                },
                 now,
             );
             pushes += 1;
@@ -161,19 +187,30 @@ fn fresh_ack_resets_death_counter() {
             }
         }
     }
-    assert_eq!(e.active_rumors(), 1, "alternating acks must keep the rumor hot");
+    assert_eq!(
+        e.active_rumors(),
+        1,
+        "alternating acks must keep the rumor hot"
+    );
 }
 
 #[test]
 fn partial_ae_pull_fetches_missing_news() {
     let mut e = engine_of(5, 0);
     // Peer 1 tells us (via an ack's piggyback) that peer 3 reached v2.
-    let missing = RumorId { subject: 3, status_version: 1, bloom_version: 2 };
+    let missing = RumorId {
+        subject: 3,
+        status_version: 1,
+        bloom_version: 2,
+    };
     // First push something so the engine has a pending exchange; the
     // ack path accepts piggybacks regardless of pending state.
     let responses = e.handle_message(
         1,
-        Msg::RumorAck { already_knew: vec![], recent_ids: vec![missing] },
+        Msg::RumorAck {
+            already_knew: vec![],
+            recent_ids: vec![missing],
+        },
         0,
     );
     assert_eq!(responses.len(), 1);
@@ -188,7 +225,13 @@ fn partial_ae_pull_fetches_missing_news() {
         bloom_version: 2,
         payload: Some(SizedPayload { bytes: 3333 }),
     };
-    let out = e.handle_message(1, Msg::PullReply { entries: vec![state] }, 0);
+    let out = e.handle_message(
+        1,
+        Msg::PullReply {
+            entries: vec![state],
+        },
+        0,
+    );
     assert!(out.is_empty());
     assert!(e.knows(missing));
 }
@@ -216,9 +259,21 @@ fn ae_summary_triggers_pull_of_stale_subjects_only() {
     let mut a = engine_of(4, 0);
     use planetp_gossip::messages::PeerSummary;
     let entries = vec![
-        PeerSummary { subject: 1, status_version: 1, bloom_version: 1 }, // same
-        PeerSummary { subject: 2, status_version: 1, bloom_version: 5 }, // newer
-        PeerSummary { subject: 3, status_version: 1, bloom_version: 0 }, // older
+        PeerSummary {
+            subject: 1,
+            status_version: 1,
+            bloom_version: 1,
+        }, // same
+        PeerSummary {
+            subject: 2,
+            status_version: 1,
+            bloom_version: 5,
+        }, // newer
+        PeerSummary {
+            subject: 3,
+            status_version: 1,
+            bloom_version: 0,
+        }, // older
     ];
     let responses = a.handle_message(1, Msg::AeSummary { entries }, 0);
     match &responses[0].1 {
@@ -230,7 +285,13 @@ fn ae_summary_triggers_pull_of_stale_subjects_only() {
 #[test]
 fn ae_pull_returns_full_state() {
     let mut a = engine_of(4, 0);
-    let responses = a.handle_message(2, Msg::AePull { subjects: vec![1, 3] }, 0);
+    let responses = a.handle_message(
+        2,
+        Msg::AePull {
+            subjects: vec![1, 3],
+        },
+        0,
+    );
     match &responses[0].1 {
         Msg::AeReply { entries } => {
             assert_eq!(entries.len(), 2);
@@ -256,7 +317,10 @@ fn suspect_counts_without_touching_directory_and_recovery_clears_offline() {
         Some(PeerStatus::Offline { .. })
     ));
     a.on_contact_recovered(2);
-    assert_eq!(a.directory().get(2).map(|e| e.status), Some(PeerStatus::Online));
+    assert_eq!(
+        a.directory().get(2).map(|e| e.status),
+        Some(PeerStatus::Online)
+    );
     assert_eq!(a.stats().contact_recoveries, 1);
 }
 
@@ -269,7 +333,10 @@ fn hearing_from_a_peer_marks_it_online() {
         Some(PeerStatus::Offline { .. })
     ));
     a.handle_message(2, Msg::AeEqual, 200);
-    assert_eq!(a.directory().get(2).map(|e| e.status), Some(PeerStatus::Online));
+    assert_eq!(
+        a.directory().get(2).map(|e| e.status),
+        Some(PeerStatus::Online)
+    );
 }
 
 #[test]
@@ -282,7 +349,13 @@ fn interval_slows_after_threshold_equal_contacts() {
     }
     assert_eq!(a.current_interval(), cfg.base_interval_ms + cfg.slowdown_ms);
     // A rumor snaps it back.
-    a.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 9, 100)] }, 0);
+    a.handle_message(
+        1,
+        Msg::Rumor {
+            rumors: vec![rumor(2, 1, 9, 100)],
+        },
+        0,
+    );
     assert_eq!(a.current_interval(), cfg.base_interval_ms);
 }
 
@@ -326,9 +399,23 @@ fn ping_equal_and_recent_paths() {
 #[test]
 fn ae_recent_pulls_only_unknown_ids() {
     let mut a = engine_of(4, 0);
-    let known = RumorId { subject: 1, status_version: 1, bloom_version: 1 };
-    let unknown = RumorId { subject: 2, status_version: 1, bloom_version: 7 };
-    let r = a.handle_message(1, Msg::AeRecent { ids: vec![known, unknown] }, 0);
+    let known = RumorId {
+        subject: 1,
+        status_version: 1,
+        bloom_version: 1,
+    };
+    let unknown = RumorId {
+        subject: 2,
+        status_version: 1,
+        bloom_version: 7,
+    };
+    let r = a.handle_message(
+        1,
+        Msg::AeRecent {
+            ids: vec![known, unknown],
+        },
+        0,
+    );
     match &r[0].1 {
         Msg::Pull { ids } => assert_eq!(ids, &[unknown]),
         other => panic!("expected pull, got {other:?}"),
@@ -354,9 +441,21 @@ fn tick_with_no_known_peers_does_nothing() {
 #[test]
 fn delta_rumor_applies_against_stored_base() {
     let mut e = engine_of(5, 0); // everyone at (sv 1, bv 1, 3000 bytes)
-    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    let r = delta_rumor(
+        2,
+        1,
+        1,
+        vec![SizedDelta {
+            bytes: 120,
+            full_bytes: 3100,
+        }],
+    );
     let responses = e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
-    assert_eq!(responses.len(), 1, "no fallback pull for an applicable chain");
+    assert_eq!(
+        responses.len(),
+        1,
+        "no fallback pull for an applicable chain"
+    );
     match &responses[0].1 {
         Msg::RumorAck { already_knew, .. } => assert_eq!(already_knew, &[false]),
         other => panic!("expected ack, got {other:?}"),
@@ -369,20 +468,38 @@ fn delta_rumor_applies_against_stored_base() {
     // runtime's in-place query-mirror updates).
     assert_eq!(
         e.delta_steps(2, 1, 1, 2),
-        Some(vec![SizedDelta { bytes: 120, full_bytes: 3100 }])
+        Some(vec![SizedDelta {
+            bytes: 120,
+            full_bytes: 3100
+        }])
     );
 }
 
 #[test]
 fn receiver_applies_matching_suffix_of_longer_chain() {
     let mut e = engine_of(5, 0); // entry at bv 1
-    // Chain covers 0 -> 3; we sit at 1, so only steps 1->2 and 2->3 apply.
+                                 // Chain covers 0 -> 3; we sit at 1, so only steps 1->2 and 2->3 apply.
     let steps = vec![
-        SizedDelta { bytes: 100, full_bytes: 3050 },
-        SizedDelta { bytes: 110, full_bytes: 3150 },
-        SizedDelta { bytes: 130, full_bytes: 3250 },
+        SizedDelta {
+            bytes: 100,
+            full_bytes: 3050,
+        },
+        SizedDelta {
+            bytes: 110,
+            full_bytes: 3150,
+        },
+        SizedDelta {
+            bytes: 130,
+            full_bytes: 3250,
+        },
     ];
-    e.handle_message(1, Msg::Rumor { rumors: vec![delta_rumor(2, 1, 0, steps)] }, 0);
+    e.handle_message(
+        1,
+        Msg::Rumor {
+            rumors: vec![delta_rumor(2, 1, 0, steps)],
+        },
+        0,
+    );
     let entry = e.directory().get(2).expect("entry exists");
     assert_eq!(entry.bloom_version, 3);
     assert_eq!(entry.payload, Some(SizedPayload { bytes: 3250 }));
@@ -391,8 +508,16 @@ fn receiver_applies_matching_suffix_of_longer_chain() {
 #[test]
 fn broken_delta_chain_pulls_full_state_and_leaves_directory_untouched() {
     let mut e = engine_of(5, 0); // entry at bv 1
-    // Chain base 3 needs a bv-3 entry we do not have.
-    let r = delta_rumor(2, 1, 3, vec![SizedDelta { bytes: 90, full_bytes: 3400 }]);
+                                 // Chain base 3 needs a bv-3 entry we do not have.
+    let r = delta_rumor(
+        2,
+        1,
+        3,
+        vec![SizedDelta {
+            bytes: 90,
+            full_bytes: 3400,
+        }],
+    );
     let id = r.id;
     let responses = e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
     // Directory untouched...
@@ -418,7 +543,13 @@ fn broken_delta_chain_pulls_full_state_and_leaves_directory_untouched() {
         bloom_version: 4,
         payload: Some(SizedPayload { bytes: 3400 }),
     };
-    e.handle_message(1, Msg::PullReply { entries: vec![state] }, 0);
+    e.handle_message(
+        1,
+        Msg::PullReply {
+            entries: vec![state],
+        },
+        0,
+    );
     assert!(e.knows(id));
     assert_eq!(
         e.directory().get(2).expect("entry exists").payload,
@@ -431,16 +562,24 @@ fn local_update_delta_rumors_the_diff_not_the_filter() {
     let mut e = engine_of(6, 0);
     e.local_update_delta(
         SizedPayload { bytes: 3100 },
-        SizedDelta { bytes: 150, full_bytes: 3100 },
+        SizedDelta {
+            bytes: 150,
+            full_bytes: 3100,
+        },
     );
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     assert_eq!(rumors.len(), 1);
     match &rumors[0].payload {
         Some(RumorPayload::Delta(chain)) => {
             assert_eq!(chain.base_bloom_version, 1);
             assert_eq!(
                 chain.steps,
-                vec![SizedDelta { bytes: 150, full_bytes: 3100 }]
+                vec![SizedDelta {
+                    bytes: 150,
+                    full_bytes: 3100
+                }]
             );
         }
         other => panic!("expected delta payload, got {other:?}"),
@@ -457,7 +596,9 @@ fn local_update_delta_rumors_the_diff_not_the_filter() {
 fn plain_local_update_falls_back_to_full_payload() {
     let mut e = engine_of(6, 0);
     e.local_update(SizedPayload { bytes: 3100 });
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     assert!(matches!(
         rumors[0].payload,
         Some(RumorPayload::Full(SizedPayload { bytes: 3100 }))
@@ -473,9 +614,14 @@ fn oversized_delta_chain_falls_back_to_full_form() {
     // A "diff" bigger than the full filter: sending it would waste bytes.
     e.local_update_delta(
         SizedPayload { bytes: 3100 },
-        SizedDelta { bytes: 50_000, full_bytes: 3100 },
+        SizedDelta {
+            bytes: 50_000,
+            full_bytes: 3100,
+        },
     );
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     assert!(matches!(rumors[0].payload, Some(RumorPayload::Full(_))));
     assert_eq!(e.stats().deltas_sent, 0);
     assert_eq!(e.stats().delta_full_fallbacks, 1);
@@ -483,7 +629,10 @@ fn oversized_delta_chain_falls_back_to_full_form() {
 
 #[test]
 fn delta_updates_off_always_sends_full() {
-    let cfg = GossipConfig { delta_updates: false, ..GossipConfig::default() };
+    let cfg = GossipConfig {
+        delta_updates: false,
+        ..GossipConfig::default()
+    };
     let mut dir = Directory::new();
     for id in 0..6 {
         dir.insert(id, entry(1, 1, 3000));
@@ -491,9 +640,14 @@ fn delta_updates_off_always_sends_full() {
     let mut e = Engine::with_directory(0, SpeedClass::Fast, cfg, 7, dir);
     e.local_update_delta(
         SizedPayload { bytes: 3100 },
-        SizedDelta { bytes: 150, full_bytes: 3100 },
+        SizedDelta {
+            bytes: 150,
+            full_bytes: 3100,
+        },
     );
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     assert!(matches!(rumors[0].payload, Some(RumorPayload::Full(_))));
     let s = e.stats();
     assert_eq!(s.deltas_sent, 0);
@@ -506,9 +660,19 @@ fn delta_updates_off_always_sends_full() {
 #[test]
 fn applied_chain_is_forwarded_as_a_delta() {
     let mut e = engine_of(6, 0);
-    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    let r = delta_rumor(
+        2,
+        1,
+        1,
+        vec![SizedDelta {
+            bytes: 120,
+            full_bytes: 3100,
+        }],
+    );
     e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     assert_eq!(rumors.len(), 1);
     assert!(
         matches!(
@@ -524,15 +688,22 @@ fn consecutive_local_deltas_chain_up_and_cover_stragglers() {
     let mut e = engine_of(5, 0);
     for i in 0..3u32 {
         e.local_update_delta(
-            SizedPayload { bytes: 3000 + 100 * (i + 1) },
-            SizedDelta { bytes: 100, full_bytes: 3000 + 100 * (i + 1) },
+            SizedPayload {
+                bytes: 3000 + 100 * (i + 1),
+            },
+            SizedDelta {
+                bytes: 100,
+                full_bytes: 3000 + 100 * (i + 1),
+            },
         );
     }
     // Chain now covers 1 -> 4; stragglers at any covered version are served.
     assert_eq!(e.delta_steps(0, 1, 1, 4).map(|s| s.len()), Some(3));
     assert_eq!(e.delta_steps(0, 1, 3, 4).map(|s| s.len()), Some(1));
     assert_eq!(e.delta_steps(0, 1, 0, 4), None, "below the chain base");
-    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else { unreachable!() };
+    let Msg::Rumor { rumors } = tick_until_rumor(&mut e) else {
+        unreachable!()
+    };
     match &rumors[0].payload {
         Some(RumorPayload::Delta(c)) => {
             assert_eq!(c.base_bloom_version, 1);
@@ -545,18 +716,35 @@ fn consecutive_local_deltas_chain_up_and_cover_stragglers() {
 #[test]
 fn full_payload_news_invalidates_stored_chain() {
     let mut e = engine_of(5, 0);
-    let r = delta_rumor(2, 1, 1, vec![SizedDelta { bytes: 120, full_bytes: 3100 }]);
+    let r = delta_rumor(
+        2,
+        1,
+        1,
+        vec![SizedDelta {
+            bytes: 120,
+            full_bytes: 3100,
+        }],
+    );
     e.handle_message(1, Msg::Rumor { rumors: vec![r] }, 0);
     assert!(e.delta_steps(2, 1, 1, 2).is_some());
     // A full-payload rumor jumps the subject to bv 5: the chain no
     // longer ends at the entry's version and must be dropped.
-    e.handle_message(1, Msg::Rumor { rumors: vec![rumor(2, 1, 5, 3500)] }, 0);
+    e.handle_message(
+        1,
+        Msg::Rumor {
+            rumors: vec![rumor(2, 1, 5, 3500)],
+        },
+        0,
+    );
     assert_eq!(e.delta_steps(2, 1, 1, 2), None);
 }
 
 #[test]
 fn chain_length_is_capped_and_base_advances() {
-    let cfg = GossipConfig { max_delta_chain: 2, ..GossipConfig::default() };
+    let cfg = GossipConfig {
+        max_delta_chain: 2,
+        ..GossipConfig::default()
+    };
     let mut dir = Directory::new();
     for id in 0..4 {
         dir.insert(id, entry(1, 1, 3000));
@@ -565,7 +753,10 @@ fn chain_length_is_capped_and_base_advances() {
     for _ in 0..5 {
         e.local_update_delta(
             SizedPayload { bytes: 3100 },
-            SizedDelta { bytes: 100, full_bytes: 3100 },
+            SizedDelta {
+                bytes: 100,
+                full_bytes: 3100,
+            },
         );
     }
     // bv is now 6; only the last two steps (4->5, 5->6) are kept.

@@ -3,8 +3,8 @@
 //! never violate its core invariants and must converge once quiet.
 
 use planetp_gossip::{
-    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerId,
-    PeerStatus, SizedPayload, SpeedClass,
+    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerId, PeerStatus, SizedPayload,
+    SpeedClass,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -65,7 +65,11 @@ impl Driver {
                 )
             })
             .collect();
-        Self { engines, online: (0..n).map(|i| (i, true)).collect(), now: 0 }
+        Self {
+            engines,
+            online: (0..n).map(|i| (i, true)).collect(),
+            now: 0,
+        }
     }
 
     fn n(&self) -> u32 {

@@ -3,8 +3,8 @@
 //! gossip state machine itself.
 
 use planetp_gossip::{
-    Algorithm, DirEntry, Directory, GossipConfig, GossipEngine, PeerId,
-    PeerStatus, RumorId, SizedPayload, SpeedClass, TimeMs,
+    Algorithm, DirEntry, Directory, GossipConfig, GossipEngine, PeerId, PeerStatus, RumorId,
+    SizedPayload, SpeedClass, TimeMs,
 };
 use std::collections::HashMap;
 
@@ -49,7 +49,11 @@ impl Harness {
                 )
             })
             .collect();
-        Self { engines, online: (0..n).map(|i| (i, true)).collect(), now: 0 }
+        Self {
+            engines,
+            online: (0..n).map(|i| (i, true)).collect(),
+            now: 0,
+        }
     }
 
     /// Run one gossip round: every online peer ticks; message chains
@@ -74,12 +78,7 @@ impl Harness {
         }
     }
 
-    fn deliver(
-        &mut self,
-        from: PeerId,
-        to: PeerId,
-        msg: planetp_gossip::Message<SizedPayload>,
-    ) {
+    fn deliver(&mut self, from: PeerId, to: PeerId, msg: planetp_gossip::Message<SizedPayload>) {
         if !self.online.get(&to).copied().unwrap_or(false) {
             self.engines
                 .get_mut(&from)
@@ -202,8 +201,11 @@ fn new_member_join_spreads_and_downloads_directory() {
     );
     h.engines.insert(100, joiner);
     h.online.insert(100, true);
-    let join_id =
-        RumorId { subject: 100, status_version: 1, bloom_version: 1 };
+    let join_id = RumorId {
+        subject: 100,
+        status_version: 1,
+        bloom_version: 1,
+    };
     let rounds = h.rounds_until_all_know(join_id, 60).expect("join spreads");
     assert!(rounds <= 30, "join took {rounds} rounds");
     // The joiner must have downloaded the whole directory.
@@ -263,9 +265,18 @@ fn interval_adapts_up_in_quiescence_and_resets_on_news() {
     for _ in 0..30 {
         h.round();
     }
-    let slowed = h.engines.values().filter(|e| e.current_interval() > cfg.base_interval_ms).count();
+    let slowed = h
+        .engines
+        .values()
+        .filter(|e| e.current_interval() > cfg.base_interval_ms)
+        .count();
     assert!(slowed >= 8, "most peers should slow down, got {slowed}");
-    let max = h.engines.values().map(|e| e.current_interval()).max().unwrap();
+    let max = h
+        .engines
+        .values()
+        .map(|e| e.current_interval())
+        .max()
+        .unwrap();
     assert!(max <= cfg.max_interval_ms);
 
     // News resets intervals as it spreads.
@@ -276,8 +287,7 @@ fn interval_adapts_up_in_quiescence_and_resets_on_news() {
     let id = update_rumor_id(&h.engines[&0]);
     h.rounds_until_all_know(id, 40).expect("converges");
     // Everyone that heard the rumor message snapped back at some point.
-    let reset_count: u64 =
-        h.engines.values().map(|e| e.stats().interval_resets).sum();
+    let reset_count: u64 = h.engines.values().map(|e| e.stats().interval_resets).sum();
     assert!(reset_count > 0);
 }
 
@@ -294,14 +304,16 @@ fn rumors_die_out_after_convergence() {
     for _ in 0..30 {
         h.round();
     }
-    let still_active: usize =
-        h.engines.values().map(|e| e.active_rumors()).sum();
+    let still_active: usize = h.engines.values().map(|e| e.active_rumors()).sum();
     assert_eq!(still_active, 0, "rumors must die after everyone knows");
 }
 
 #[test]
 fn t_dead_expires_departed_peers() {
-    let cfg = GossipConfig { t_dead_ms: 10 * 30_000, ..GossipConfig::default() };
+    let cfg = GossipConfig {
+        t_dead_ms: 10 * 30_000,
+        ..GossipConfig::default()
+    };
     let mut h = Harness::stable(8, cfg);
     h.online.insert(5, false);
     for _ in 0..40 {

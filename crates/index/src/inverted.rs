@@ -161,8 +161,7 @@ impl InvertedIndex {
         lists.sort_by_key(|l| l.len());
         let mut result: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
         for l in &lists[1..] {
-            let set: std::collections::HashSet<DocId> =
-                l.iter().map(|p| p.doc).collect();
+            let set: std::collections::HashSet<DocId> = l.iter().map(|p| p.doc).collect();
             result.retain(|d| set.contains(d));
             if result.is_empty() {
                 break;

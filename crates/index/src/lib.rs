@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn analyzer_keep_stopwords() {
-        let a = Analyzer { keep_stopwords: true, no_stemming: true };
+        let a = Analyzer {
+            keep_stopwords: true,
+            no_stemming: true,
+        };
         let terms = a.analyze("the cat");
         assert_eq!(terms, vec!["the", "cat"]);
     }
@@ -86,6 +89,9 @@ mod tests {
     #[test]
     fn query_and_document_analysis_agree() {
         let a = Analyzer::new();
-        assert_eq!(a.analyze("distributed systems"), a.analyze("Distributed SYSTEM"));
+        assert_eq!(
+            a.analyze("distributed systems"),
+            a.analyze("Distributed SYSTEM")
+        );
     }
 }

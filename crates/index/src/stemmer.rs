@@ -216,10 +216,9 @@ impl Stemmer {
                     self.r(b"ance");
                 }
             }
-            b'e'
-                if self.ends(b"izer") => {
-                    self.r(b"ize");
-                }
+            b'e' if self.ends(b"izer") => {
+                self.r(b"ize");
+            }
             b'l' => {
                 if self.ends(b"bli") {
                     self.r(b"ble"); // departure from Porter 1980 ("abli"->"able")
@@ -262,10 +261,9 @@ impl Stemmer {
                     self.r(b"ble");
                 }
             }
-            b'g'
-                if self.ends(b"logi") => {
-                    self.r(b"log"); // departure from Porter 1980
-                }
+            b'g' if self.ends(b"logi") => {
+                self.r(b"log"); // departure from Porter 1980
+            }
             _ => {}
         }
     }
@@ -282,10 +280,9 @@ impl Stemmer {
                     self.r(b"al");
                 }
             }
-            b'i'
-                if self.ends(b"iciti") => {
-                    self.r(b"ic");
-                }
+            b'i' if self.ends(b"iciti") => {
+                self.r(b"ic");
+            }
             b'l' => {
                 if self.ends(b"ical") {
                     self.r(b"ic");
@@ -293,10 +290,9 @@ impl Stemmer {
                     self.r(b"");
                 }
             }
-            b's'
-                if self.ends(b"ness") => {
-                    self.r(b"");
-                }
+            b's' if self.ends(b"ness") => {
+                self.r(b"");
+            }
             _ => {}
         }
     }
@@ -313,15 +309,10 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
-                (self.ends(b"ion")
-                    && self.j >= 0
-                    && matches!(self.at(self.j), b's' | b't'))
+                (self.ends(b"ion") && self.j >= 0 && matches!(self.at(self.j), b's' | b't'))
                     || self.ends(b"ou")
             }
             b's' => self.ends(b"ism"),

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn non_ascii_acts_as_separator() {
-        assert_eq!(tokenize("caf\u{e9}teria naïve"), vec!["caf", "teria", "na", "ve"]);
+        assert_eq!(
+            tokenize("caf\u{e9}teria naïve"),
+            vec!["caf", "teria", "na", "ve"]
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl Element {
     }
 
     /// All child elements with the given tag name.
-    pub fn children_named<'a>(
-        &'a self,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
         self.children.iter().filter_map(move |n| match n {
             Node::Element(e) if e.name == name => Some(e),
             _ => None,
@@ -109,7 +106,10 @@ impl Element {
 impl XmlDocument {
     /// Parse a document from a string.
     pub fn parse(input: &str) -> Result<XmlDocument, XmlError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_prolog();
         let root = p.parse_element()?;
         p.skip_misc();
@@ -176,7 +176,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> XmlError {
-        XmlError { offset: self.pos, message: msg.to_string() }
+        XmlError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -262,7 +265,11 @@ impl<'a> Parser<'a> {
                         return Err(self.err("expected '>' after '/'"));
                     }
                     self.pos += 1;
-                    return Ok(Element { name, attributes, children: Vec::new() });
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -289,8 +296,7 @@ impl<'a> Parser<'a> {
                     if self.peek() != Some(q) {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
                     self.pos += 1;
                     attributes.push((aname, decode_entities(&raw)));
                 }
@@ -313,7 +319,11 @@ impl<'a> Parser<'a> {
                     return Err(self.err("expected '>' in close tag"));
                 }
                 self.pos += 1;
-                return Ok(Element { name, attributes, children });
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                });
             }
             if self.starts_with(b"<!--") {
                 let end = find(self.bytes, self.pos + 4, b"-->")
@@ -325,8 +335,7 @@ impl<'a> Parser<'a> {
                 let start = self.pos + 9;
                 let end = find(self.bytes, start, b"]]>")
                     .ok_or_else(|| self.err("unterminated CDATA"))?;
-                let text =
-                    String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+                let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
                 if !text.is_empty() {
                     children.push(Node::Text(text));
                 }
@@ -342,16 +351,13 @@ impl<'a> Parser<'a> {
                     while self.peek().is_some_and(|c| c != b'<') {
                         self.pos += 1;
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
                     let text = decode_entities(&raw);
                     if !text.trim().is_empty() {
                         children.push(Node::Text(text));
                     }
                 }
-                None => {
-                    return Err(self.err("unexpected end of input in element"))
-                }
+                None => return Err(self.err("unexpected end of input in element")),
             }
         }
     }
@@ -420,27 +426,24 @@ mod tests {
 
     #[test]
     fn self_closing_and_nested() {
-        let doc = XmlDocument::parse(
-            "<a><b/><c><d>deep</d></c></a>",
-        )
-        .unwrap();
+        let doc = XmlDocument::parse("<a><b/><c><d>deep</d></c></a>").unwrap();
         assert!(doc.root.child("b").unwrap().children.is_empty());
-        assert_eq!(doc.root.child("c").unwrap().child("d").unwrap().text(), "deep");
+        assert_eq!(
+            doc.root.child("c").unwrap().child("d").unwrap().text(),
+            "deep"
+        );
     }
 
     #[test]
     fn declaration_and_comments_skipped() {
-        let doc = XmlDocument::parse(
-            "<?xml version=\"1.0\"?><!-- hi --><r>x</r><!-- bye -->",
-        )
-        .unwrap();
+        let doc =
+            XmlDocument::parse("<?xml version=\"1.0\"?><!-- hi --><r>x</r><!-- bye -->").unwrap();
         assert_eq!(doc.text(), "x");
     }
 
     #[test]
     fn cdata_preserved_verbatim() {
-        let doc =
-            XmlDocument::parse("<r><![CDATA[a < b && c]]></r>").unwrap();
+        let doc = XmlDocument::parse("<r><![CDATA[a < b && c]]></r>").unwrap();
         assert_eq!(doc.text(), "a < b && c");
     }
 
@@ -471,8 +474,7 @@ mod tests {
 
     #[test]
     fn indexable_text_includes_tags_and_attrs() {
-        let doc = XmlDocument::parse(r#"<paper year="1987">epidemic</paper>"#)
-            .unwrap();
+        let doc = XmlDocument::parse(r#"<paper year="1987">epidemic</paper>"#).unwrap();
         let t = doc.indexable_text();
         assert!(t.contains("paper") && t.contains("1987") && t.contains("epidemic"));
     }
@@ -511,8 +513,7 @@ mod tests {
 
     #[test]
     fn children_named_filters() {
-        let doc =
-            XmlDocument::parse("<a><k>1</k><j>x</j><k>2</k></a>").unwrap();
+        let doc = XmlDocument::parse("<a><k>1</k><j>x</j><k>2</k></a>").unwrap();
         let ks: Vec<_> = doc.root.children_named("k").map(|e| e.text()).collect();
         assert_eq!(ks, vec!["1", "2"]);
     }

@@ -175,3 +175,20 @@ pub const SIM_TRACKED_KNOWN: &str = "sim.tracked.known_peers";
 pub const SIM_RUMORS_CONVERGED: &str = "sim.rumors.converged";
 /// Histogram: birth-to-everywhere latency of tracked rumors (ms).
 pub const SIM_CONVERGENCE_MS: &str = "sim.convergence_ms";
+
+/// Replica pushes sent (one per target RPC attempt).
+pub const REPLICA_PUSHES: &str = "replica.pushes";
+/// Incoming replicas admitted and ingested into the local store.
+pub const REPLICA_ACCEPTS: &str = "replica.accepts";
+/// Incoming replicas refused (capacity, or eviction not worth it).
+pub const REPLICA_REJECTS: &str = "replica.rejects";
+/// Hosted replicas evicted under capacity pressure.
+pub const REPLICA_EVICTIONS: &str = "replica.evictions";
+/// Replica payload bytes accepted into the local store.
+pub const REPLICA_BYTES: &str = "replica.bytes";
+/// Duplicate search hits collapsed by content hash at the initiator.
+pub const REPLICA_DUP_COLLAPSED: &str = "replica.dup_hits_collapsed";
+/// Search hits only reachable through a replica (no home copy seen).
+pub const REPLICA_RECOVERED_HITS: &str = "replica.recovered_hits";
+/// Gauge: replicas currently hosted on behalf of other peers.
+pub const REPLICA_HOSTED: &str = "replica.hosted";

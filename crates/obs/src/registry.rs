@@ -18,8 +18,9 @@ use std::sync::{Arc, RwLock};
 use crate::snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
 
 /// Default upper bounds (milliseconds) for latency histograms.
-pub const LATENCY_MS_BUCKETS: &[u64] =
-    &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000];
+pub const LATENCY_MS_BUCKETS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
+];
 
 /// Default upper bounds (bytes) for size histograms.
 pub const SIZE_BYTES_BUCKETS: &[u64] = &[
@@ -116,7 +117,11 @@ impl HistogramCore {
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.bounds.clone(),
-            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             sum: self.sum.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
         }
@@ -235,7 +240,9 @@ impl Registry {
             let value = match slot {
                 Slot::Counter(c) => MetricValue::Counter { value: c.get() },
                 Slot::Gauge(g) => MetricValue::Gauge { value: g.get() },
-                Slot::Histogram(h) => MetricValue::Histogram { hist: h.0.snapshot() },
+                Slot::Histogram(h) => MetricValue::Histogram {
+                    hist: h.0.snapshot(),
+                },
             };
             snap.metrics.insert(name.clone(), value);
         }

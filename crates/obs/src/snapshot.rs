@@ -128,12 +128,18 @@ impl MetricsSnapshot {
         let mut out = Self::default();
         for (name, value) in &self.metrics {
             let diffed = match (value, earlier.metrics.get(name)) {
-                (MetricValue::Counter { value: now }, Some(MetricValue::Counter { value: was })) => {
-                    MetricValue::Counter { value: now.saturating_sub(*was) }
-                }
-                (MetricValue::Histogram { hist: now }, Some(MetricValue::Histogram { hist: was })) => {
-                    MetricValue::Histogram { hist: now.diff(was) }
-                }
+                (
+                    MetricValue::Counter { value: now },
+                    Some(MetricValue::Counter { value: was }),
+                ) => MetricValue::Counter {
+                    value: now.saturating_sub(*was),
+                },
+                (
+                    MetricValue::Histogram { hist: now },
+                    Some(MetricValue::Histogram { hist: was }),
+                ) => MetricValue::Histogram {
+                    hist: now.diff(was),
+                },
                 _ => value.clone(),
             };
             out.metrics.insert(name.clone(), diffed);
@@ -219,8 +225,7 @@ impl MetricsSnapshot {
         // Derived summary: what delta gossip saved versus shipping full
         // filters, if any bloom updates went out as diffs.
         let delta_sent = self.counter(crate::names::GOSSIP_DELTA_SENT);
-        let full_fallbacks =
-            self.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS);
+        let full_fallbacks = self.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS);
         if delta_sent + full_fallbacks > 0 {
             let saved = self.counter(crate::names::GOSSIP_DELTA_BYTES_SAVED);
             let _ = writeln!(
@@ -244,6 +249,22 @@ impl MetricsSnapshot {
                  {} stale reconnects, {} reaped)",
                 self.counter(crate::names::CONN_STALE_RECONNECTS),
                 self.counter(crate::names::CONN_REAPED)
+            );
+        }
+        // Derived summary: replication activity, if the node pushed,
+        // hosted, or recovered anything through replicas.
+        let pushes = self.counter(crate::names::REPLICA_PUSHES);
+        let accepts = self.counter(crate::names::REPLICA_ACCEPTS);
+        let recovered = self.counter(crate::names::REPLICA_RECOVERED_HITS);
+        if pushes + accepts + recovered > 0 {
+            let _ = writeln!(
+                out,
+                "replication: hosting {} replicas ({:.1} KB; {accepts} \
+                 accepted / {pushes} pushed, {} evicted, {recovered} hits \
+                 recovered via replicas)",
+                self.gauge(crate::names::REPLICA_HOSTED),
+                self.counter(crate::names::REPLICA_BYTES) as f64 / 1024.0,
+                self.counter(crate::names::REPLICA_EVICTIONS)
             );
         }
         out
@@ -332,8 +353,10 @@ mod tests {
         reg.counter(crate::names::GOSSIP_DELTA_SENT).add(40);
         reg.counter(crate::names::GOSSIP_DELTA_APPLIED).add(38);
         reg.counter(crate::names::GOSSIP_DELTA_CHAIN_BREAKS).add(2);
-        reg.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS).add(3);
-        reg.counter(crate::names::GOSSIP_DELTA_BYTES_SAVED).add(10 * 1024);
+        reg.counter(crate::names::GOSSIP_DELTA_FULL_FALLBACKS)
+            .add(3);
+        reg.counter(crate::names::GOSSIP_DELTA_BYTES_SAVED)
+            .add(10 * 1024);
         let text = reg.snapshot().render_human();
         assert!(
             text.contains("delta gossip: 40 delta rumors saved 10.0 KB"),
@@ -354,7 +377,28 @@ mod tests {
         reg.counter(crate::names::CONN_REAPED).add(3);
         let text = reg.snapshot().render_human();
         assert!(text.contains("conn pool: reused 75.0%"), "{text}");
-        assert!(text.contains("5 opened, 2 stale reconnects, 3 reaped"), "{text}");
+        assert!(
+            text.contains("5 opened, 2 stale reconnects, 3 reaped"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_human_summarizes_replication() {
+        let reg = Registry::new();
+        reg.counter(crate::names::REPLICA_PUSHES).add(9);
+        reg.counter(crate::names::REPLICA_ACCEPTS).add(7);
+        reg.counter(crate::names::REPLICA_EVICTIONS).add(2);
+        reg.counter(crate::names::REPLICA_BYTES).add(2048);
+        reg.counter(crate::names::REPLICA_RECOVERED_HITS).add(4);
+        reg.gauge(crate::names::REPLICA_HOSTED).set(5);
+        let text = reg.snapshot().render_human();
+        assert!(text.contains("replication: hosting 5 replicas"), "{text}");
+        assert!(text.contains("7 accepted / 9 pushed"), "{text}");
+        assert!(text.contains("4 hits recovered via replicas"), "{text}");
+        // Quiet nodes stay quiet.
+        let quiet = Registry::new().snapshot().render_human();
+        assert!(!quiet.contains("replication:"), "{quiet}");
     }
 
     #[test]

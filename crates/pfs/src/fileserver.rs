@@ -18,7 +18,10 @@ pub struct FileServer {
 impl FileServer {
     /// File server for the named peer.
     pub fn new(owner: &str) -> Self {
-        Self { owner: owner.to_string(), files: HashMap::new() }
+        Self {
+            owner: owner.to_string(),
+            files: HashMap::new(),
+        }
     }
 
     /// Store a file and return its URL (function (a)).

@@ -74,7 +74,9 @@ impl PfsNode {
         self.community.lock().publish(
             self.peer,
             &xml,
-            PublishOptions { broker_hot_terms: Some(HOT_TERM_FRACTION) },
+            PublishOptions {
+                broker_hot_terms: Some(HOT_TERM_FRACTION),
+            },
         )?;
         Ok(url)
     }
@@ -89,7 +91,9 @@ impl PfsNode {
             return Ok(());
         }
         let flag = Arc::new(AtomicBool::new(false));
-        self.hints.lock().insert(query.to_string(), Arc::clone(&flag));
+        self.hints
+            .lock()
+            .insert(query.to_string(), Arc::clone(&flag));
         let pq_id = {
             let f = Arc::clone(&flag);
             self.community
@@ -121,8 +125,7 @@ impl PfsNode {
             .unwrap_or(false);
         let now = self.community.lock().now_ms();
         let dir = self.directories.get_mut(query)?;
-        if hint || dir.dirty || now.saturating_sub(dir.refreshed_at) > STALE_THRESHOLD_MS
-        {
+        if hint || dir.dirty || now.saturating_sub(dir.refreshed_at) > STALE_THRESHOLD_MS {
             let mut d = std::mem::replace(
                 dir,
                 QueryDirectory {
@@ -245,8 +248,11 @@ mod tests {
         let mut alice = PfsNode::new(Arc::clone(&community), "alice");
         let mut bob = PfsNode::new(Arc::clone(&community), "bob");
 
-        bob.publish_file("papers/epidemic.txt", "epidemic gossip algorithms for databases")
-            .unwrap();
+        bob.publish_file(
+            "papers/epidemic.txt",
+            "epidemic gossip algorithms for databases",
+        )
+        .unwrap();
         alice.make_directory("gossip algorithms").unwrap();
         let listing = alice.open_directory("gossip algorithms").unwrap();
         assert_eq!(listing.len(), 1);
@@ -254,7 +260,11 @@ mod tests {
         let link = listing.entries.values().next().unwrap();
         assert_eq!(link.owner, "bob");
         // The link resolves at the owner's file server.
-        assert!(bob.file_server().get_url(&link.url).unwrap().contains("epidemic"));
+        assert!(bob
+            .file_server()
+            .get_url(&link.url)
+            .unwrap()
+            .contains("epidemic"));
     }
 
     #[test]
@@ -266,7 +276,8 @@ mod tests {
         alice.make_directory("quantum").unwrap();
         assert!(alice.open_directory("quantum").unwrap().is_empty());
 
-        bob.publish_file("q.txt", "quantum computing notes").unwrap();
+        bob.publish_file("q.txt", "quantum computing notes")
+            .unwrap();
         let listing = alice.open_directory("quantum").unwrap();
         assert_eq!(listing.len(), 1, "persistent query must refresh the dir");
     }
@@ -275,7 +286,9 @@ mod tests {
     fn removal_reflected_after_stale_refresh() {
         let community = shared();
         let mut alice = PfsNode::new(Arc::clone(&community), "alice");
-        let url = alice.publish_file("tmp.txt", "ephemeral topic notes").unwrap();
+        let url = alice
+            .publish_file("tmp.txt", "ephemeral topic notes")
+            .unwrap();
         alice.make_directory("ephemeral").unwrap();
         assert_eq!(alice.open_directory("ephemeral").unwrap().len(), 1);
 
@@ -307,8 +320,10 @@ mod tests {
         let community = shared();
         let mut alice = PfsNode::new(Arc::clone(&community), "alice");
         let mut bob = PfsNode::new(Arc::clone(&community), "bob");
-        bob.publish_file("a.txt", "gossip protocols for databases").unwrap();
-        bob.publish_file("b.txt", "gossip protocols for filesystems").unwrap();
+        bob.publish_file("a.txt", "gossip protocols for databases")
+            .unwrap();
+        bob.publish_file("b.txt", "gossip protocols for filesystems")
+            .unwrap();
         alice.make_directory("gossip protocols").unwrap();
         let sub = alice
             .make_subdirectory("gossip protocols", "databases")

@@ -1,0 +1,77 @@
+//! The gossiped replication advertisement.
+//!
+//! `ReplicaAd` is the entire coordination protocol: a few bytes of
+//! per-peer state (spare replica capacity, self-reported availability,
+//! hosted-replica count) that ride the same gossiped per-peer payload
+//! as the Bloom filter. Every member therefore holds a community-wide
+//! placement view that is as fresh as the directory itself, with zero
+//! additional messages — the same trick PlanetP uses for the directory
+//! proper.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-peer replication state, gossiped inside the live payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaAd {
+    /// Bytes of replica capacity still unclaimed on this peer.
+    pub spare_bytes: u64,
+    /// The peer's self-reported availability, in thousandths (0–1000).
+    /// Placement treats this as a claim and takes the minimum with the
+    /// local EWMA observation, so an optimistic peer cannot inflate
+    /// its own attractiveness past what the community has seen.
+    pub availability_milli: u16,
+    /// Replicas this peer currently hosts for others.
+    pub replica_count: u32,
+}
+
+/// Serialized footprint used for wire-cost accounting: 8 (spare) +
+/// 2 (availability) + 4 (count) bytes.
+pub const AD_WIRE_BYTES: usize = 14;
+
+impl ReplicaAd {
+    /// Self-reported availability as a fraction in [0, 1].
+    pub fn availability(&self) -> f64 {
+        f64::from(self.availability_milli.min(1000)) / 1000.0
+    }
+
+    /// Build an ad with `availability` given as a fraction.
+    pub fn new(spare_bytes: u64, availability: f64, replica_count: u32) -> Self {
+        Self {
+            spare_bytes,
+            availability_milli: (availability.clamp(0.0, 1.0) * 1000.0).round() as u16,
+            replica_count,
+        }
+    }
+}
+
+impl Default for ReplicaAd {
+    fn default() -> Self {
+        Self::new(0, 0.0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_round_trips_through_milli() {
+        let ad = ReplicaAd::new(1 << 20, 0.75, 3);
+        assert_eq!(ad.availability_milli, 750);
+        assert!((ad.availability() - 0.75).abs() < 1e-9);
+        assert_eq!(ad.spare_bytes, 1 << 20);
+        assert_eq!(ad.replica_count, 3);
+    }
+
+    #[test]
+    fn availability_clamps() {
+        assert_eq!(ReplicaAd::new(0, 1.7, 0).availability(), 1.0);
+        assert_eq!(ReplicaAd::new(0, -0.2, 0).availability(), 0.0);
+        // A corrupt wire value above 1000 still reads as 1.0.
+        let ad = ReplicaAd {
+            availability_milli: 6000,
+            ..ReplicaAd::default()
+        };
+        assert_eq!(ad.availability(), 1.0);
+    }
+}

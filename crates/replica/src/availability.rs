@@ -1,0 +1,97 @@
+//! Per-peer availability estimation from gossiped directory status.
+//!
+//! Every gossip tick the live runtime samples the directory: each peer
+//! is either `Online` or `Offline` right now. Feeding those samples
+//! into an EWMA per peer yields the long-run fraction of time the peer
+//! is reachable — exactly the `avail_holder` term in the placement
+//! math `1 − Π(1 − avail_holder)`. No extra protocol: the directory
+//! status history *is* the availability trace, we just integrate it.
+
+use planetp_gossip::PeerId;
+use std::collections::HashMap;
+
+/// EWMA availability estimator over binary online/offline samples.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTracker {
+    alpha: f64,
+    prior: f64,
+    est: HashMap<PeerId, f64>,
+}
+
+impl AvailabilityTracker {
+    /// `alpha` is the EWMA weight of the newest sample (clamped to
+    /// (0, 1]); `prior` is the estimate reported for peers with no
+    /// samples yet (clamped to [0, 1]). A prior of ~0.5 keeps unknown
+    /// peers eligible as replica targets without treating them as
+    /// reliable as proven always-online members.
+    pub fn new(alpha: f64, prior: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            prior: prior.clamp(0.0, 1.0),
+            est: HashMap::new(),
+        }
+    }
+
+    /// Fold one directory sample for `peer` into its estimate.
+    pub fn observe(&mut self, peer: PeerId, online: bool) {
+        let sample = if online { 1.0 } else { 0.0 };
+        let e = self.est.entry(peer).or_insert(self.prior);
+        *e = (1.0 - self.alpha) * *e + self.alpha * sample;
+    }
+
+    /// Current availability estimate in [0, 1]; the prior if the peer
+    /// has never been sampled.
+    pub fn estimate(&self, peer: PeerId) -> f64 {
+        self.est.get(&peer).copied().unwrap_or(self.prior)
+    }
+
+    /// Drop estimates for peers no longer in the directory.
+    pub fn retain(&mut self, mut keep: impl FnMut(PeerId) -> bool) {
+        self.est.retain(|&p, _| keep(p));
+    }
+
+    /// Number of peers with at least one sample.
+    pub fn len(&self) -> usize {
+        self.est.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.est.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_toward_duty_cycle() {
+        let mut t = AvailabilityTracker::new(0.1, 0.5);
+        // 30% duty cycle: 3 online samples out of every 10.
+        for round in 0..400 {
+            t.observe(1, round % 10 < 3);
+        }
+        let e = t.estimate(1);
+        assert!((0.15..=0.45).contains(&e), "estimate {e} far from 0.3");
+    }
+
+    #[test]
+    fn unknown_peer_gets_prior_and_retain_forgets() {
+        let mut t = AvailabilityTracker::new(0.2, 0.5);
+        assert_eq!(t.estimate(9), 0.5);
+        t.observe(1, true);
+        assert!(t.estimate(1) > 0.5);
+        t.retain(|p| p != 1);
+        assert_eq!(t.estimate(1), 0.5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn always_online_approaches_one() {
+        let mut t = AvailabilityTracker::new(0.2, 0.5);
+        for _ in 0..50 {
+            t.observe(2, true);
+        }
+        assert!(t.estimate(2) > 0.99);
+    }
+}

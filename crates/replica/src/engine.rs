@@ -1,0 +1,733 @@
+//! The replication decision engine.
+//!
+//! One `ReplicaEngine` lives on each node, driven by the host runtime:
+//! the live TCP runtime calls it from the gossip tick, the simulator
+//! from its event loop. The engine owns all replication *state* —
+//! hotness sketch, availability estimates, the set of replicas this
+//! node hosts for others, and the confirmed holders of this node's own
+//! documents — and turns it into *decisions*: which documents to push
+//! where ([`ReplicaEngine::plan_pushes`]) and whether to admit an
+//! incoming copy, evicting colder replicas under capacity pressure
+//! ([`ReplicaEngine::admit`]). Moving the bytes is the host's job.
+
+use crate::ad::ReplicaAd;
+use crate::availability::AvailabilityTracker;
+use crate::placement::{estimated_availability, eviction_weight, pick_targets, Candidate};
+use crate::sketch::SpaceSaving;
+use planetp_gossip::PeerId;
+use planetp_obs::{names, Counter, Gauge, Registry};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Tuning knobs for one node's replication behavior.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaConfig {
+    /// Master switch: when false the live runtime neither advertises
+    /// capacity nor pushes or accepts replicas. Off by default — a
+    /// community must opt in, and tests of the unreplicated paper
+    /// behavior (a dead peer's documents vanish) stay valid.
+    pub enabled: bool,
+    /// Bytes of local storage donated to hosting other peers' docs.
+    pub capacity_bytes: u64,
+    /// Push copies until `1 − Π(1 − avail_holder)` reaches this.
+    pub target_availability: f64,
+    /// Hard cap on replicas per local document, whatever the target.
+    pub max_replicas_per_doc: usize,
+    /// Max replica pushes planned per replication tick; keeps a cold
+    /// start from flooding the community in one round.
+    pub push_budget_per_tick: usize,
+    /// Replication planning cadence, driven off the gossip loop.
+    pub interval_ms: u64,
+    /// Hotness-sketch and decline-cooldown decay cadence.
+    pub decay_interval_ms: u64,
+    /// Space-saving sketch capacity (tracked distinct documents).
+    pub sketch_capacity: usize,
+    /// EWMA weight for directory availability samples.
+    pub availability_alpha: f64,
+    /// Availability assumed for peers never sampled.
+    pub availability_prior: f64,
+    /// Availability this node claims for itself in its gossiped ad.
+    /// A deployment wires its measured uptime here; placement at other
+    /// nodes takes min(claim, their own observation) so inflating it
+    /// buys nothing.
+    pub advertised_availability: f64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            capacity_bytes: 4 << 20,
+            target_availability: 0.9,
+            max_replicas_per_doc: 3,
+            push_budget_per_tick: 4,
+            interval_ms: 1_000,
+            decay_interval_ms: 60_000,
+            sketch_capacity: 256,
+            availability_alpha: 0.2,
+            availability_prior: 0.5,
+            advertised_availability: 0.75,
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// Convenience for tests and the CLI: enabled with defaults.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Replication counters, shared with the node's metrics registry.
+#[derive(Debug, Clone)]
+pub struct ReplicaMetrics {
+    /// Replica pushes sent (one per target RPC attempt).
+    pub pushes: Counter,
+    /// Incoming replicas admitted and ingested.
+    pub accepts: Counter,
+    /// Incoming replicas refused (capacity, eviction not worth it).
+    pub rejects: Counter,
+    /// Hosted replicas evicted under capacity pressure.
+    pub evictions: Counter,
+    /// Replica payload bytes accepted into the local store.
+    pub bytes: Counter,
+    /// Duplicate search hits collapsed by content hash at initiators.
+    pub dup_hits_collapsed: Counter,
+    /// Search hits only reachable via a replica (home copy unseen).
+    pub recovered_hits: Counter,
+    /// Gauge: replicas currently hosted for other peers.
+    pub hosted: Gauge,
+}
+
+impl ReplicaMetrics {
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            pushes: registry.counter(names::REPLICA_PUSHES),
+            accepts: registry.counter(names::REPLICA_ACCEPTS),
+            rejects: registry.counter(names::REPLICA_REJECTS),
+            evictions: registry.counter(names::REPLICA_EVICTIONS),
+            bytes: registry.counter(names::REPLICA_BYTES),
+            dup_hits_collapsed: registry.counter(names::REPLICA_DUP_COLLAPSED),
+            recovered_hits: registry.counter(names::REPLICA_RECOVERED_HITS),
+            hosted: registry.gauge(names::REPLICA_HOSTED),
+        }
+    }
+
+    pub fn detached() -> Self {
+        Self::in_registry(&Registry::new())
+    }
+}
+
+/// A replica this node hosts on another peer's behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostedReplica {
+    /// The document's home peer.
+    pub home: PeerId,
+    /// The document's id *at the home peer* (local ids differ).
+    pub home_doc: u64,
+    /// Content hash; identical across every copy.
+    pub hash: u64,
+    /// Payload size, counted against `capacity_bytes`.
+    pub bytes: u64,
+}
+
+/// One local document, as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct OwnDoc {
+    pub doc: u64,
+    pub hash: u64,
+    pub bytes: u64,
+}
+
+/// One directory peer, as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerView {
+    pub peer: PeerId,
+    /// The peer's gossiped replication ad; `None` means it does not
+    /// participate and can be neither a target nor a useful holder.
+    pub ad: Option<ReplicaAd>,
+    /// Online in the directory right now (required to receive a push).
+    pub online: bool,
+}
+
+/// Planned pushes for one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushPlan {
+    pub doc: u64,
+    pub hash: u64,
+    pub targets: Vec<PeerId>,
+}
+
+/// Outcome of [`ReplicaEngine::admit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// This content hash is already stored locally (as an earlier
+    /// replica); report success without ingesting again.
+    AlreadyHosted { doc: u64 },
+    /// Admit after unpublishing the listed hosted replicas (possibly
+    /// none) to make room.
+    Accept { evict: Vec<u64> },
+    /// No room, and every eviction candidate is worth more than the
+    /// incoming copy.
+    Reject,
+}
+
+/// Cooldown, measured in decay periods, before re-offering a document
+/// to a peer that declined it.
+const DECLINE_COOLDOWN: u32 = 4;
+
+#[derive(Debug)]
+pub struct ReplicaEngine {
+    cfg: ReplicaConfig,
+    sketch: SpaceSaving,
+    avail: AvailabilityTracker,
+    /// Local doc id → replica hosted for another peer.
+    hosted: BTreeMap<u64, HostedReplica>,
+    /// Content hash → local doc id, for idempotent admission.
+    hosted_hashes: HashMap<u64, u64>,
+    /// Own doc id → peers confirmed (via `ReplicaAccept`) to hold it.
+    holders: BTreeMap<u64, BTreeSet<PeerId>>,
+    /// (own doc, peer) → remaining cooldown after a decline.
+    declined: HashMap<(u64, PeerId), u32>,
+    used_bytes: u64,
+    metrics: ReplicaMetrics,
+}
+
+impl ReplicaEngine {
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        Self::with_metrics(cfg, ReplicaMetrics::detached())
+    }
+
+    pub fn with_metrics(cfg: ReplicaConfig, metrics: ReplicaMetrics) -> Self {
+        Self {
+            sketch: SpaceSaving::new(cfg.sketch_capacity),
+            avail: AvailabilityTracker::new(cfg.availability_alpha, cfg.availability_prior),
+            cfg,
+            hosted: BTreeMap::new(),
+            hosted_hashes: HashMap::new(),
+            holders: BTreeMap::new(),
+            declined: HashMap::new(),
+            used_bytes: 0,
+            metrics,
+        }
+    }
+
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.cfg
+    }
+
+    pub fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Hotness
+    // ------------------------------------------------------------------
+
+    /// A local document (hash) was served in a query response.
+    pub fn observe_served(&mut self, hash: u64) {
+        self.sketch.observe(hash);
+    }
+
+    /// Seed hotness for an incoming replica from the sender's hint, so
+    /// a copy of a community-hot document does not arrive looking cold
+    /// and get evicted first. Capped: a hint is a claim, not history.
+    pub fn seed_hotness(&mut self, hash: u64, hint: u64) {
+        let current = self.sketch.estimate(hash);
+        for _ in current..hint.min(current + 8) {
+            self.sketch.observe(hash);
+        }
+    }
+
+    pub fn hotness(&self, hash: u64) -> u64 {
+        self.sketch.estimate(hash)
+    }
+
+    /// Periodic aging: decays the hotness sketch and decline cooldowns.
+    pub fn decay(&mut self) {
+        self.sketch.decay();
+        self.declined.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Availability
+    // ------------------------------------------------------------------
+
+    /// Fold one directory status sample for `peer`.
+    pub fn observe_peer(&mut self, peer: PeerId, online: bool) {
+        self.avail.observe(peer, online);
+    }
+
+    /// Local EWMA availability estimate for `peer`.
+    pub fn availability(&self, peer: PeerId) -> f64 {
+        self.avail.estimate(peer)
+    }
+
+    /// Drop state for peers evicted from the directory.
+    pub fn retain_peers(&mut self, mut keep: impl FnMut(PeerId) -> bool) {
+        self.avail.retain(&mut keep);
+        for set in self.holders.values_mut() {
+            set.retain(|&p| keep(p));
+        }
+        self.declined.retain(|&(_, p), _| keep(p));
+    }
+
+    /// The ad this node gossips: spare capacity, self-claimed
+    /// availability, hosted-replica count.
+    pub fn local_ad(&self) -> ReplicaAd {
+        ReplicaAd::new(
+            self.cfg.capacity_bytes.saturating_sub(self.used_bytes),
+            self.cfg.advertised_availability,
+            self.hosted.len() as u32,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Sender side: planning pushes
+    // ------------------------------------------------------------------
+
+    /// Plan this tick's pushes. `own_docs` are the node's home-owned
+    /// documents (hosted replicas excluded by the caller); `peers` is
+    /// the current directory view, self excluded. Hotter documents are
+    /// planned first and the total is capped by the per-tick budget.
+    pub fn plan_pushes(&self, own_docs: &[OwnDoc], peers: &[PeerView]) -> Vec<PushPlan> {
+        let mut docs: Vec<&OwnDoc> = own_docs.iter().collect();
+        docs.sort_by_key(|d| (std::cmp::Reverse(self.hotness(d.hash)), d.doc));
+
+        let mut plans = Vec::new();
+        let mut budget = self.cfg.push_budget_per_tick;
+        for d in docs {
+            if budget == 0 {
+                break;
+            }
+            let empty = BTreeSet::new();
+            let holder_set = self.holders.get(&d.doc).unwrap_or(&empty);
+            let est = estimated_availability(
+                std::iter::once(self.cfg.advertised_availability)
+                    .chain(holder_set.iter().map(|&p| self.avail.estimate(p))),
+            );
+            if est >= self.cfg.target_availability {
+                continue;
+            }
+            let room = self
+                .cfg
+                .max_replicas_per_doc
+                .saturating_sub(holder_set.len())
+                .min(budget);
+            if room == 0 {
+                continue;
+            }
+            let candidates: Vec<Candidate> = peers
+                .iter()
+                .filter(|p| {
+                    p.online
+                        && !holder_set.contains(&p.peer)
+                        && !self.declined.contains_key(&(d.doc, p.peer))
+                })
+                .filter_map(|p| {
+                    let ad = p.ad?;
+                    Some(Candidate {
+                        peer: p.peer,
+                        // Trust the lower of our observation and the
+                        // peer's own claim.
+                        availability: self.avail.estimate(p.peer).min(ad.availability()),
+                        spare_bytes: ad.spare_bytes,
+                    })
+                })
+                .collect();
+            let targets = pick_targets(
+                est,
+                self.cfg.target_availability,
+                d.bytes,
+                &candidates,
+                room,
+            );
+            if !targets.is_empty() {
+                budget -= targets.len();
+                plans.push(PushPlan {
+                    doc: d.doc,
+                    hash: d.hash,
+                    targets,
+                });
+            }
+        }
+        plans
+    }
+
+    /// A push was accepted: `peer` now holds our document `doc`.
+    pub fn note_accept(&mut self, doc: u64, peer: PeerId) {
+        self.holders.entry(doc).or_default().insert(peer);
+        self.declined.remove(&(doc, peer));
+    }
+
+    /// A push was declined; back off from that (doc, peer) pair for a
+    /// few decay periods.
+    pub fn note_declined(&mut self, doc: u64, peer: PeerId) {
+        self.declined.insert((doc, peer), DECLINE_COOLDOWN);
+    }
+
+    /// An own document was unpublished: forget its holder set.
+    pub fn forget_doc(&mut self, doc: u64) {
+        self.holders.remove(&doc);
+        self.declined.retain(|&(d, _), _| d != doc);
+    }
+
+    /// Confirmed holders of own document `doc` (tests/diagnostics).
+    pub fn holders_of(&self, doc: u64) -> Vec<PeerId> {
+        self.holders
+            .get(&doc)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver side: admission and hosting
+    // ------------------------------------------------------------------
+
+    /// Decide whether to admit a pushed copy of `hash` (`bytes` long)
+    /// from `home`. Call [`Self::seed_hotness`] with the sender's hint
+    /// first so the incoming copy competes fairly in eviction.
+    pub fn admit(&self, home: PeerId, hash: u64, bytes: u64) -> AdmitDecision {
+        if let Some(&doc) = self.hosted_hashes.get(&hash) {
+            return AdmitDecision::AlreadyHosted { doc };
+        }
+        if bytes > self.cfg.capacity_bytes {
+            return AdmitDecision::Reject;
+        }
+        let free = self.cfg.capacity_bytes - self.used_bytes;
+        if bytes <= free {
+            return AdmitDecision::Accept { evict: Vec::new() };
+        }
+        // Capacity pressure: evict strictly-colder replicas, cheapest
+        // first, but only if that actually frees enough room.
+        let incoming = eviction_weight(self.hotness(hash), self.avail.estimate(home));
+        let mut victims: Vec<(&u64, &HostedReplica)> = self.hosted.iter().collect();
+        victims.sort_by(|a, b| {
+            self.weight_of(a.1)
+                .partial_cmp(&self.weight_of(b.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        let mut evict = Vec::new();
+        let mut freed = free;
+        for (&doc, r) in victims {
+            if freed >= bytes {
+                break;
+            }
+            if self.weight_of(r) >= incoming {
+                break;
+            }
+            evict.push(doc);
+            freed += r.bytes;
+        }
+        if freed >= bytes {
+            AdmitDecision::Accept { evict }
+        } else {
+            AdmitDecision::Reject
+        }
+    }
+
+    fn weight_of(&self, r: &HostedReplica) -> f64 {
+        eviction_weight(self.hotness(r.hash), self.avail.estimate(r.home))
+    }
+
+    /// Record a freshly ingested replica under local doc id `doc`.
+    /// Returns false (and records nothing) if the hash is already
+    /// hosted — the caller lost a race and should unpublish its copy.
+    pub fn record_hosted(&mut self, doc: u64, r: HostedReplica) -> bool {
+        if self.hosted_hashes.contains_key(&r.hash) {
+            return false;
+        }
+        self.used_bytes += r.bytes;
+        self.hosted_hashes.insert(r.hash, doc);
+        self.hosted.insert(doc, r);
+        self.metrics.accepts.inc();
+        self.metrics.bytes.add(r.bytes);
+        self.metrics.hosted.set(self.hosted.len() as i64);
+        true
+    }
+
+    /// Re-register a hosted replica during crash recovery: identical
+    /// bookkeeping to [`Self::record_hosted`] but without counting it
+    /// as new accept traffic.
+    pub fn restore_hosted(&mut self, doc: u64, r: HostedReplica) {
+        if self.hosted_hashes.contains_key(&r.hash) {
+            return;
+        }
+        self.used_bytes += r.bytes;
+        self.hosted_hashes.insert(r.hash, doc);
+        self.hosted.insert(doc, r);
+        self.metrics.hosted.set(self.hosted.len() as i64);
+    }
+
+    /// Drop a hosted replica (eviction); counts toward
+    /// `replica.evictions`.
+    pub fn drop_hosted(&mut self, doc: u64) -> Option<HostedReplica> {
+        let r = self.hosted.remove(&doc)?;
+        self.hosted_hashes.remove(&r.hash);
+        self.used_bytes -= r.bytes;
+        self.metrics.evictions.inc();
+        self.metrics.hosted.set(self.hosted.len() as i64);
+        Some(r)
+    }
+
+    /// If local doc `doc` is a hosted replica, its (home, home_doc).
+    pub fn replica_origin(&self, doc: u64) -> Option<(PeerId, u64)> {
+        self.hosted.get(&doc).map(|r| (r.home, r.home_doc))
+    }
+
+    /// Snapshot of local doc id → (home, home_doc) for every hosted
+    /// replica; used to annotate search responses without holding the
+    /// engine lock across store scoring.
+    pub fn origins(&self) -> BTreeMap<u64, (PeerId, u64)> {
+        self.hosted
+            .iter()
+            .map(|(&d, r)| (d, (r.home, r.home_doc)))
+            .collect()
+    }
+
+    pub fn is_replica(&self, doc: u64) -> bool {
+        self.hosted.contains_key(&doc)
+    }
+
+    pub fn hosted_count(&self) -> usize {
+        self.hosted.len()
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(capacity: u64) -> ReplicaEngine {
+        ReplicaEngine::new(ReplicaConfig {
+            enabled: true,
+            capacity_bytes: capacity,
+            ..ReplicaConfig::default()
+        })
+    }
+
+    fn peer(peer: PeerId, avail: f64, spare: u64) -> PeerView {
+        PeerView {
+            peer,
+            ad: Some(ReplicaAd::new(spare, avail, 0)),
+            online: true,
+        }
+    }
+
+    #[test]
+    fn plans_pushes_for_under_replicated_docs_only() {
+        let mut e = engine(1 << 20);
+        // Observe peer 2 online repeatedly so its EWMA is high.
+        for _ in 0..40 {
+            e.observe_peer(2, true);
+            e.observe_peer(3, false);
+        }
+        let docs = [OwnDoc {
+            doc: 1,
+            hash: 0xA,
+            bytes: 100,
+        }];
+        let peers = [peer(2, 0.95, 1000), peer(3, 0.95, 1000)];
+        let plans = e.plan_pushes(&docs, &peers);
+        // Advertised self-availability 0.75 < target 0.9 → must push;
+        // peer 2 (observed ~1.0, claimed 0.95 → 0.95) beats peer 3
+        // (observed ~0, claimed 0.95 → ~0).
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].doc, 1);
+        assert_eq!(plans[0].targets, vec![2]);
+
+        // Once peer 2 confirms, the doc clears the target: no plans.
+        e.note_accept(1, 2);
+        assert!(e.plan_pushes(&docs, &peers).is_empty());
+    }
+
+    #[test]
+    fn declined_peers_cool_down_and_recover() {
+        let mut e = engine(1 << 20);
+        for _ in 0..40 {
+            e.observe_peer(2, true);
+        }
+        let docs = [OwnDoc {
+            doc: 1,
+            hash: 0xA,
+            bytes: 100,
+        }];
+        let peers = [peer(2, 1.0, 1000)];
+        assert!(!e.plan_pushes(&docs, &peers).is_empty());
+        e.note_declined(1, 2);
+        assert!(e.plan_pushes(&docs, &peers).is_empty(), "cooldown holds");
+        for _ in 0..DECLINE_COOLDOWN {
+            e.decay();
+        }
+        assert!(!e.plan_pushes(&docs, &peers).is_empty(), "cooldown expires");
+    }
+
+    #[test]
+    fn budget_caps_pushes_per_tick() {
+        let mut e = ReplicaEngine::new(ReplicaConfig {
+            enabled: true,
+            push_budget_per_tick: 2,
+            max_replicas_per_doc: 1,
+            ..ReplicaConfig::default()
+        });
+        for _ in 0..40 {
+            e.observe_peer(9, true);
+        }
+        let docs: Vec<OwnDoc> = (0..5)
+            .map(|i| OwnDoc {
+                doc: i,
+                hash: 0x100 + i,
+                bytes: 10,
+            })
+            .collect();
+        let peers = [peer(9, 1.0, 1 << 20)];
+        let plans = e.plan_pushes(&docs, &peers);
+        let total: usize = plans.iter().map(|p| p.targets.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn admits_records_and_is_idempotent_by_hash() {
+        let mut e = engine(1000);
+        match e.admit(7, 0xBEEF, 400) {
+            AdmitDecision::Accept { evict } => assert!(evict.is_empty()),
+            other => panic!("expected accept, got {other:?}"),
+        }
+        assert!(e.record_hosted(
+            10,
+            HostedReplica {
+                home: 7,
+                home_doc: 3,
+                hash: 0xBEEF,
+                bytes: 400
+            }
+        ));
+        assert_eq!(e.used_bytes(), 400);
+        assert_eq!(e.replica_origin(10), Some((7, 3)));
+        assert_eq!(
+            e.admit(7, 0xBEEF, 400),
+            AdmitDecision::AlreadyHosted { doc: 10 }
+        );
+        // Racing duplicate record is refused.
+        assert!(!e.record_hosted(
+            11,
+            HostedReplica {
+                home: 7,
+                home_doc: 3,
+                hash: 0xBEEF,
+                bytes: 400
+            }
+        ));
+        assert_eq!(e.hosted_count(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_room_for_hotter_incoming() {
+        let mut e = engine(1000);
+        // Home peers: 5 is flaky, 6 is solid.
+        for _ in 0..40 {
+            e.observe_peer(5, false);
+            e.observe_peer(6, true);
+        }
+        assert!(e.record_hosted(
+            1,
+            HostedReplica {
+                home: 6,
+                home_doc: 1,
+                hash: 0xC01D,
+                bytes: 600
+            }
+        ));
+        // Incoming 600-byte doc from flaky home 5, hot.
+        e.seed_hotness(0x107, 6);
+        match e.admit(5, 0x107, 600) {
+            AdmitDecision::Accept { evict } => assert_eq!(evict, vec![1]),
+            other => panic!("expected eviction accept, got {other:?}"),
+        }
+        // Reverse case: cold incoming from solid home loses to the
+        // hot resident from the flaky home.
+        let mut e2 = engine(1000);
+        for _ in 0..40 {
+            e2.observe_peer(5, false);
+            e2.observe_peer(6, true);
+        }
+        e2.seed_hotness(0x107, 6);
+        assert!(e2.record_hosted(
+            1,
+            HostedReplica {
+                home: 5,
+                home_doc: 1,
+                hash: 0x107,
+                bytes: 600
+            }
+        ));
+        assert_eq!(e2.admit(6, 0xC01D, 600), AdmitDecision::Reject);
+    }
+
+    #[test]
+    fn oversized_doc_rejected_outright() {
+        let e = engine(100);
+        assert_eq!(e.admit(1, 0x1, 101), AdmitDecision::Reject);
+    }
+
+    #[test]
+    fn drop_hosted_updates_books_and_ad() {
+        let mut e = engine(1000);
+        assert!(e.record_hosted(
+            4,
+            HostedReplica {
+                home: 2,
+                home_doc: 9,
+                hash: 0xF00,
+                bytes: 250
+            }
+        ));
+        assert_eq!(e.local_ad().spare_bytes, 750);
+        assert_eq!(e.local_ad().replica_count, 1);
+        let r = e.drop_hosted(4).expect("hosted");
+        assert_eq!(r.hash, 0xF00);
+        assert_eq!(e.used_bytes(), 0);
+        assert_eq!(e.local_ad().spare_bytes, 1000);
+        assert_eq!(e.metrics().evictions.get(), 1);
+        assert!(e.drop_hosted(4).is_none());
+    }
+
+    #[test]
+    fn restore_does_not_count_as_accept_traffic() {
+        let mut e = engine(1000);
+        e.restore_hosted(
+            2,
+            HostedReplica {
+                home: 3,
+                home_doc: 1,
+                hash: 0xAB,
+                bytes: 100,
+            },
+        );
+        assert_eq!(e.metrics().accepts.get(), 0);
+        assert_eq!(e.metrics().bytes.get(), 0);
+        assert_eq!(e.hosted_count(), 1);
+        assert_eq!(e.used_bytes(), 100);
+    }
+
+    #[test]
+    fn forget_doc_clears_holder_state() {
+        let mut e = engine(1000);
+        e.note_accept(1, 2);
+        e.note_declined(1, 3);
+        assert_eq!(e.holders_of(1), vec![2]);
+        e.forget_doc(1);
+        assert!(e.holders_of(1).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Availability-aware autonomous content replication.
+//!
+//! PlanetP gossips the *directory* everywhere but leaves each document
+//! on exactly one peer, so under the paper's §7 churn model a large
+//! slice of the indexed corpus is unreachable at any instant. This
+//! crate adds the decision layer that repairs that: every node tracks
+//! which of its documents are hot (a space-saving frequent-items
+//! sketch over served query hits), estimates each peer's availability
+//! from the gossiped directory status history, and pushes copies of
+//! hot, under-replicated documents onto the best-available peers with
+//! spare capacity. All coordination state rides the existing gossip
+//! directory as a tiny [`ReplicaAd`] per peer — zero extra messages.
+//!
+//! The crate is transport-free on purpose: the live runtime
+//! (`planetp::live`) drives [`ReplicaEngine`] from its gossip tick and
+//! carries the actual document bytes over its own RPCs, while the
+//! simulator (`planetp-simnet`) drives the same placement math
+//! ([`placement`]) against a synthetic churn schedule to sweep target
+//! availability vs storage overhead.
+
+pub mod ad;
+pub mod availability;
+pub mod engine;
+pub mod placement;
+pub mod sketch;
+
+pub use ad::{ReplicaAd, AD_WIRE_BYTES};
+pub use availability::AvailabilityTracker;
+pub use engine::{
+    AdmitDecision, HostedReplica, OwnDoc, PeerView, PushPlan, ReplicaConfig, ReplicaEngine,
+    ReplicaMetrics,
+};
+pub use placement::{estimated_availability, eviction_weight, pick_targets, Candidate};
+pub use sketch::SpaceSaving;

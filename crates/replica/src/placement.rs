@@ -1,0 +1,154 @@
+//! Pure placement math, shared by the live engine and the simulator.
+//!
+//! A document held by peers with availabilities `a_1..a_k` is
+//! reachable with probability `1 − Π(1 − a_i)` (holders fail
+//! independently under the §7 churn model — on/off cycles are drawn
+//! per peer). Replication's job is to lift that estimate above a
+//! target by adding holders, spending the fewest copies by preferring
+//! the most-available peers with spare capacity; eviction under
+//! capacity pressure drops the copy contributing the least
+//! hotness-weighted availability.
+
+use planetp_gossip::PeerId;
+
+/// `1 − Π(1 − a_i)` over the holders' availability estimates.
+///
+/// Out-of-range inputs are clamped; an empty iterator yields 0 (a
+/// document nobody holds is never reachable).
+pub fn estimated_availability(holders: impl IntoIterator<Item = f64>) -> f64 {
+    let miss: f64 = holders
+        .into_iter()
+        .map(|a| 1.0 - a.clamp(0.0, 1.0))
+        .product::<f64>()
+        .min(1.0);
+    1.0 - miss
+}
+
+/// A prospective replica target as seen in the gossiped directory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    pub peer: PeerId,
+    /// Effective availability: min(local EWMA observation, the peer's
+    /// own gossiped claim).
+    pub availability: f64,
+    /// Spare replica capacity from the peer's [`crate::ReplicaAd`].
+    pub spare_bytes: u64,
+}
+
+/// Choose peers to push one document of `doc_bytes` to, until its
+/// estimated availability reaches `target` or `max_new` copies have
+/// been planned. `current` is the availability already provided by the
+/// home peer plus existing holders. Candidates are consumed
+/// best-available first (ties broken by peer id for determinism);
+/// peers without room for the document are skipped.
+pub fn pick_targets(
+    current: f64,
+    target: f64,
+    doc_bytes: u64,
+    candidates: &[Candidate],
+    max_new: usize,
+) -> Vec<PeerId> {
+    let mut picked = Vec::new();
+    if current >= target || max_new == 0 {
+        return picked;
+    }
+    let mut order: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| c.spare_bytes >= doc_bytes)
+        .collect();
+    order.sort_by(|a, b| {
+        b.availability
+            .partial_cmp(&a.availability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.peer.cmp(&b.peer))
+    });
+    let mut est = current.clamp(0.0, 1.0);
+    for c in order {
+        if est >= target || picked.len() >= max_new {
+            break;
+        }
+        picked.push(c.peer);
+        est = 1.0 - (1.0 - est) * (1.0 - c.availability.clamp(0.0, 1.0));
+    }
+    picked
+}
+
+/// Eviction weight of a hosted replica: hotness × the marginal
+/// availability it contributes, approximated by how unavailable the
+/// document's home peer is (a replica of a doc whose home is nearly
+/// always online adds almost nothing; a hot doc from a flaky home is
+/// the last thing to drop). `hotness + 1` keeps never-queried replicas
+/// comparable instead of uniformly zero.
+pub fn eviction_weight(hotness: u64, home_availability: f64) -> f64 {
+    (hotness + 1) as f64 * (1.0 - home_availability.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_math_matches_closed_form() {
+        assert_eq!(estimated_availability([]), 0.0);
+        assert!((estimated_availability([0.5]) - 0.5).abs() < 1e-12);
+        // 1 - 0.5*0.5 = 0.75
+        assert!((estimated_availability([0.5, 0.5]) - 0.75).abs() < 1e-12);
+        // Clamping: junk inputs cannot push past [0, 1].
+        assert_eq!(estimated_availability([2.0]), 1.0);
+        assert_eq!(estimated_availability([-3.0, 0.0]), 0.0);
+    }
+
+    fn cand(peer: PeerId, availability: f64, spare: u64) -> Candidate {
+        Candidate {
+            peer,
+            availability,
+            spare_bytes: spare,
+        }
+    }
+
+    #[test]
+    fn picks_best_available_until_target() {
+        let cands = [cand(1, 0.3, 1000), cand(2, 0.95, 1000), cand(3, 0.6, 1000)];
+        // Home at 0.3; one 0.95 peer already clears 0.9:
+        // 1 - 0.7*0.05 = 0.965.
+        let picked = pick_targets(0.3, 0.9, 100, &cands, 3);
+        assert_eq!(picked, vec![2]);
+
+        // Higher target needs the 0.6 peer too:
+        // 1 - 0.7*0.05*0.4 = 0.986.
+        let picked = pick_targets(0.3, 0.98, 100, &cands, 3);
+        assert_eq!(picked, vec![2, 3]);
+
+        // Past what every candidate together can reach, all of them
+        // get picked (capped only by max_new).
+        let picked = pick_targets(0.3, 0.999, 100, &cands, 3);
+        assert_eq!(picked, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn respects_capacity_budget_and_current() {
+        let cands = [cand(1, 0.9, 50), cand(2, 0.8, 1000)];
+        // Peer 1 lacks room for a 100-byte doc.
+        assert_eq!(pick_targets(0.2, 0.9, 100, &cands, 4), vec![2]);
+        // Already at target: nothing to do.
+        assert!(pick_targets(0.95, 0.9, 100, &cands, 4).is_empty());
+        // max_new caps the fan-out even when under target.
+        assert!(pick_targets(0.0, 1.0, 10, &cands, 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_peer_id() {
+        let cands = [cand(7, 0.5, 100), cand(3, 0.5, 100)];
+        assert_eq!(pick_targets(0.0, 0.99, 10, &cands, 1), vec![3]);
+    }
+
+    #[test]
+    fn eviction_weight_orders_sensibly() {
+        // Hot doc from a flaky home outweighs a cold one from a stable
+        // home.
+        assert!(eviction_weight(50, 0.3) > eviction_weight(0, 0.3));
+        assert!(eviction_weight(10, 0.2) > eviction_weight(10, 0.95));
+        // Cold replicas still have nonzero weight.
+        assert!(eviction_weight(0, 0.5) > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Space-saving frequent-items sketch with exponential decay.
+//!
+//! The hotness signal behind replication: each node observes the
+//! stream of documents it serves in query responses and keeps the
+//! top-`capacity` items in bounded memory, following the space-saving
+//! scheme used for popularity mining in unstructured P2P networks
+//! (Metwally et al. via "Mining frequent items in unstructured P2P
+//! networks", PAPERS.md). When the sketch is full, a new item evicts
+//! the current minimum and inherits its count as over-estimation
+//! error; `estimate` is therefore an upper bound whose slack is
+//! tracked per slot. A periodic [`SpaceSaving::decay`] halves every
+//! count so popularity from hours ago cannot pin a replica forever.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u64,
+    /// Over-estimation inherited from the evicted minimum; the true
+    /// frequency lies in `[count - err, count]`.
+    err: u64,
+}
+
+/// Bounded-memory frequent-items counter over `u64` keys (content
+/// hashes here, but the sketch is key-agnostic).
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: HashMap<u64, Slot>,
+}
+
+impl SpaceSaving {
+    /// `capacity` is the number of tracked items; memory is O(capacity)
+    /// regardless of stream length. A capacity of zero is clamped to
+    /// one so `observe` always has a slot to work with.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            slots: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Record one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        if let Some(s) = self.slots.get_mut(&key) {
+            s.count += 1;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.insert(key, Slot { count: 1, err: 0 });
+            return;
+        }
+        // Evict the minimum-count slot (ties broken by smallest key so
+        // replays are deterministic) and inherit its count as error.
+        let (&victim, &slot) = self
+            .slots
+            .iter()
+            .min_by_key(|(k, s)| (s.count, **k))
+            .expect("capacity >= 1, sketch full");
+        self.slots.remove(&victim);
+        self.slots.insert(
+            key,
+            Slot {
+                count: slot.count + 1,
+                err: slot.count,
+            },
+        );
+    }
+
+    /// Upper-bound frequency estimate for `key`; zero if untracked.
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.slots.get(&key).map_or(0, |s| s.count)
+    }
+
+    /// Guaranteed (lower-bound) frequency for `key`: `count - err`.
+    pub fn guaranteed(&self, key: u64) -> u64 {
+        self.slots.get(&key).map_or(0, |s| s.count - s.err)
+    }
+
+    /// Exponential aging: halve every count, dropping slots that reach
+    /// zero. Called on a coarse timer so hotness tracks the recent
+    /// query mix instead of all-time popularity.
+    pub fn decay(&mut self) {
+        self.slots.retain(|_, s| {
+            s.count /= 2;
+            s.err /= 2;
+            s.count > 0
+        });
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Tracked items as `(key, estimate)`, unordered.
+    pub fn items(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.slots.iter().map(|(&k, s)| (k, s.count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_counts_under_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.observe(1);
+        }
+        s.observe(2);
+        assert_eq!(s.estimate(1), 5);
+        assert_eq!(s.guaranteed(1), 5);
+        assert_eq!(s.estimate(2), 1);
+        assert_eq!(s.estimate(99), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_heavy_hitters_and_bounds_error() {
+        let mut s = SpaceSaving::new(4);
+        // Two heavy hitters plus a long tail of singletons.
+        for i in 0..100u64 {
+            s.observe(1);
+            s.observe(2);
+            s.observe(1000 + i);
+        }
+        assert_eq!(s.len(), 4);
+        // Heavy hitters never evicted: estimates exact.
+        assert_eq!(s.estimate(1), 100);
+        assert_eq!(s.estimate(2), 100);
+        // Tail slots carry inherited error; guaranteed count stays
+        // truthful (each tail key truly appeared once).
+        for (k, _) in s.items().filter(|&(k, _)| k >= 1000).collect::<Vec<_>>() {
+            assert!(s.guaranteed(k) <= 1, "tail key {k} over-guaranteed");
+            assert!(s.estimate(k) >= 1);
+        }
+    }
+
+    #[test]
+    fn decay_halves_and_drops_cold_items() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..4 {
+            s.observe(7);
+        }
+        s.observe(8);
+        s.decay();
+        assert_eq!(s.estimate(7), 2);
+        assert_eq!(s.estimate(8), 0, "singleton decays out");
+        s.decay();
+        s.decay();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_still_works() {
+        let mut s = SpaceSaving::new(0);
+        s.observe(3);
+        assert_eq!(s.estimate(3), 1);
+    }
+}

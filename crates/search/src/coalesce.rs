@@ -44,10 +44,7 @@ impl CoalescedDirectory {
     ///
     /// # Panics
     /// Panics if `group_size` is 0 (a local configuration error).
-    pub fn try_build(
-        filters: &[BloomFilter],
-        group_size: usize,
-    ) -> Result<Self, ParamMismatch> {
+    pub fn try_build(filters: &[BloomFilter], group_size: usize) -> Result<Self, ParamMismatch> {
         assert!(group_size > 0, "group size must be positive");
         let mut groups = Vec::new();
         for (gi, chunk) in filters.chunks(group_size).enumerate() {
@@ -55,11 +52,13 @@ impl CoalescedDirectory {
             for f in &chunk[1..] {
                 merged.try_union_with(f)?;
             }
-            let members: Vec<PeerNo> =
-                (gi * group_size..gi * group_size + chunk.len()).collect();
+            let members: Vec<PeerNo> = (gi * group_size..gi * group_size + chunk.len()).collect();
             groups.push((members, merged));
         }
-        Ok(Self { groups, num_peers: filters.len() })
+        Ok(Self {
+            groups,
+            num_peers: filters.len(),
+        })
     }
 
     /// Number of stored filters (memory proxy).
@@ -74,18 +73,14 @@ impl CoalescedDirectory {
 
     /// Memory held by the filters, bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.groups
-            .iter()
-            .map(|(_, f)| f.num_bits() / 8)
-            .sum()
+        self.groups.iter().map(|(_, f)| f.num_bits() / 8).sum()
     }
 
     /// IPF over the coalesced view: `N_t` counts *groups* whose filter
     /// contains the term, scaled to peer counts by group size — the
     /// estimate a memory-constrained peer would compute.
     pub fn ipf(&self, query_terms: &[String]) -> IpfTable {
-        let filters: Vec<&BloomFilter> =
-            self.groups.iter().map(|(_, f)| f).collect();
+        let filters: Vec<&BloomFilter> = self.groups.iter().map(|(_, f)| f).collect();
         IpfTable::compute(query_terms, &filters)
     }
 
@@ -96,8 +91,7 @@ impl CoalescedDirectory {
         if query_terms.is_empty() {
             return Vec::new();
         }
-        let keys: Vec<HashedKey> =
-            query_terms.iter().map(|t| HashedKey::new(t)).collect();
+        let keys: Vec<HashedKey> = query_terms.iter().map(|t| HashedKey::new(t)).collect();
         let mut out = Vec::new();
         for (members, filter) in &self.groups {
             if filter.count_hits_hashed(&keys) == keys.len() {
@@ -160,10 +154,16 @@ mod tests {
         let filters = community();
         for gs in 1..=6 {
             let d = CoalescedDirectory::build(&filters, gs);
-            for (peer, term) in
-                ["gossip", "bloom", "chord", "pastry", "tapestry", "oceanstore"]
-                    .iter()
-                    .enumerate()
+            for (peer, term) in [
+                "gossip",
+                "bloom",
+                "chord",
+                "pastry",
+                "tapestry",
+                "oceanstore",
+            ]
+            .iter()
+            .enumerate()
             {
                 let c = d.candidates(&[term.to_string()]);
                 assert!(

@@ -70,8 +70,7 @@ pub fn score_index(
     ipf: &IpfTable,
 ) -> Vec<(u64, f64)> {
     let mut seen: Vec<&str> = Vec::new();
-    let mut scores: std::collections::HashMap<u64, f64> =
-        std::collections::HashMap::new();
+    let mut scores: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     for t in query_terms {
         if seen.contains(&t.as_str()) {
             continue;
@@ -142,7 +141,10 @@ pub struct DistributedSearch<'a, S: PeerStore> {
 impl<'a, S: PeerStore> DistributedSearch<'a, S> {
     /// Create a search engine over a community of peers.
     pub fn new(peers: &'a [S]) -> Self {
-        Self { peers, metrics: None }
+        Self {
+            peers,
+            metrics: None,
+        }
     }
 
     /// Record per-query metrics (queries, peers contacted, group
@@ -158,8 +160,7 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
             m.queries.inc();
         }
         // Borrow every filter — ranking N peers must not copy N×50 KB.
-        let filters: Vec<&BloomFilter> =
-            self.peers.iter().map(|p| p.bloom()).collect();
+        let filters: Vec<&BloomFilter> = self.peers.iter().map(|p| p.bloom()).collect();
         let ipf = IpfTable::compute(query_terms, &filters);
         let ranked = rank_peers(query_terms, &filters, &ipf);
         let n = self.peers.len();
@@ -189,7 +190,8 @@ impl<'a, S: PeerStore> DistributedSearch<'a, S> {
             }
             if let Some(m) = &self.metrics {
                 m.groups.inc();
-                m.group_ms.observe(group_started.elapsed().as_millis() as u64);
+                m.group_ms
+                    .observe(group_started.elapsed().as_millis() as u64);
             }
             match cfg.stopping {
                 StoppingRule::FirstK => {
@@ -300,8 +302,7 @@ mod tests {
 
     #[test]
     fn first_k_contacts_fewer_peers_than_adaptive() {
-        let peers: Vec<IndexedPeer> =
-            (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
+        let peers: Vec<IndexedPeer> = (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
         let s = DistributedSearch::new(&peers);
         let adaptive = s.search(&q(&["term"]), SelectionConfig::paper(5));
         let first_k = s.search(
@@ -318,8 +319,7 @@ mod tests {
 
     #[test]
     fn all_ranked_contacts_everyone_with_the_term() {
-        let peers: Vec<IndexedPeer> =
-            (0..8).map(|i| peer(&[(i, &["term"])])).collect();
+        let peers: Vec<IndexedPeer> = (0..8).map(|i| peer(&[(i, &["term"])])).collect();
         let s = DistributedSearch::new(&peers);
         let out = s.search(
             &q(&["term"]),
@@ -368,10 +368,8 @@ mod tests {
     #[test]
     fn metrics_record_stopping_decisions() {
         let registry = Registry::new();
-        let peers: Vec<IndexedPeer> =
-            (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
-        let s = DistributedSearch::new(&peers)
-            .with_metrics(SearchMetrics::in_registry(&registry));
+        let peers: Vec<IndexedPeer> = (0..30).map(|i| peer(&[(i, &["term", "pad"])])).collect();
+        let s = DistributedSearch::new(&peers).with_metrics(SearchMetrics::in_registry(&registry));
         let adaptive = s.search(&q(&["term"]), SelectionConfig::paper(5));
         let _ = s.search(
             &q(&["term"]),
@@ -393,9 +391,7 @@ mod tests {
 
     #[test]
     fn results_sorted_best_first() {
-        let peers = vec![
-            peer(&[(1, &["term"]), (2, &["term", "term", "term"])]),
-        ];
+        let peers = vec![peer(&[(1, &["term"]), (2, &["term", "term", "term"])])];
         let s = DistributedSearch::new(&peers);
         let out = s.search(&q(&["term"]), SelectionConfig::paper(5));
         assert!(out.results.windows(2).all(|w| w[0].score >= w[1].score));

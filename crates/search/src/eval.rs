@@ -17,10 +17,7 @@ pub struct RecallPrecision {
 ///
 /// Empty edge cases: with no relevant documents recall is defined as 1
 /// (nothing to find); with no results precision is defined as 0.
-pub fn recall_precision(
-    presented: &[DocRef],
-    relevant: &HashSet<DocRef>,
-) -> RecallPrecision {
+pub fn recall_precision(presented: &[DocRef], relevant: &HashSet<DocRef>) -> RecallPrecision {
     let hits = presented.iter().filter(|d| relevant.contains(d)).count() as f64;
     let recall = if relevant.is_empty() {
         1.0
@@ -40,7 +37,10 @@ pub fn recall_precision(
 /// are skipped, matching standard IR evaluation practice.
 pub fn average_recall_precision(per_query: &[RecallPrecision]) -> RecallPrecision {
     if per_query.is_empty() {
-        return RecallPrecision { recall: 0.0, precision: 0.0 };
+        return RecallPrecision {
+            recall: 0.0,
+            precision: 0.0,
+        };
     }
     let n = per_query.len() as f64;
     RecallPrecision {
@@ -88,8 +88,14 @@ mod tests {
     #[test]
     fn averaging() {
         let avg = average_recall_precision(&[
-            RecallPrecision { recall: 1.0, precision: 0.5 },
-            RecallPrecision { recall: 0.0, precision: 1.0 },
+            RecallPrecision {
+                recall: 1.0,
+                precision: 0.5,
+            },
+            RecallPrecision {
+                recall: 0.0,
+                precision: 1.0,
+            },
         ]);
         assert_eq!(avg.recall, 0.5);
         assert_eq!(avg.precision, 0.75);

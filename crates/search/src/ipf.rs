@@ -29,10 +29,7 @@ impl IpfTable {
     /// work) — callers holding a directory of filters should pass
     /// references rather than cloning. Each term is hashed once, not
     /// once per filter.
-    pub fn compute<F: Borrow<BloomFilter>>(
-        query_terms: &[String],
-        filters: &[F],
-    ) -> Self {
+    pub fn compute<F: Borrow<BloomFilter>>(query_terms: &[String], filters: &[F]) -> Self {
         let n = filters.len();
         let mut values = HashMap::with_capacity(query_terms.len());
         for t in query_terms {
@@ -46,19 +43,24 @@ impl IpfTable {
                 .count();
             values.insert(t.clone(), ipf(n, n_t));
         }
-        Self { values, num_peers: n }
+        Self {
+            values,
+            num_peers: n,
+        }
     }
 
     /// Rebuild a table from `(term, ipf)` pairs (e.g. received over the
     /// wire so every contacted peer scores with the initiator's view).
     pub fn from_pairs(pairs: Vec<(String, f64)>, num_peers: usize) -> Self {
-        Self { values: pairs.into_iter().collect(), num_peers }
+        Self {
+            values: pairs.into_iter().collect(),
+            num_peers,
+        }
     }
 
     /// Export as `(term, ipf)` pairs (wire form).
     pub fn to_pairs(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> =
-            self.values.iter().map(|(t, &x)| (t.clone(), x)).collect();
+        let mut v: Vec<(String, f64)> = self.values.iter().map(|(t, &x)| (t.clone(), x)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -111,10 +113,7 @@ mod tests {
             filter_with(&["common"]),
             filter_with(&["common"]),
         ];
-        let t = IpfTable::compute(
-            &["common".into(), "rare".into()],
-            &filters,
-        );
+        let t = IpfTable::compute(&["common".into(), "rare".into()], &filters);
         assert!(t.get("rare") > t.get("common"));
         // Ubiquitous term: ln(1 + 4/4) = ln 2.
         assert!((t.get("common") - 2.0f64.ln()).abs() < 1e-9);
@@ -138,8 +137,11 @@ mod tests {
 
     #[test]
     fn borrowed_filters_compute_identically() {
-        let filters =
-            vec![filter_with(&["a", "b"]), filter_with(&["b"]), filter_with(&["c"])];
+        let filters = vec![
+            filter_with(&["a", "b"]),
+            filter_with(&["b"]),
+            filter_with(&["c"]),
+        ];
         let refs: Vec<&BloomFilter> = filters.iter().collect();
         let q: Vec<String> = vec!["a".into(), "b".into(), "missing".into()];
         let owned = IpfTable::compute(&q, &filters);

@@ -30,15 +30,13 @@ pub mod types;
 
 pub use coalesce::CoalescedDirectory;
 pub use distributed::{
-    score_index, DistributedSearch, IndexedPeer, PeerStore, SearchMetrics,
-    SearchOutcome,
+    score_index, DistributedSearch, IndexedPeer, PeerStore, SearchMetrics, SearchOutcome,
 };
 pub use eval::{average_recall_precision, recall_precision, RecallPrecision};
 pub use ipf::IpfTable;
 pub use peer_rank::{rank_peers, RankedPeer};
 pub use query_cache::{
-    PeerFilterRef, PeerVersion, QueryCache, QueryCacheMetrics, QueryCacheStats,
-    QueryPlan,
+    PeerFilterRef, PeerVersion, QueryCache, QueryCacheMetrics, QueryCacheStats, QueryPlan,
 };
 pub use selection::{adaptive_p, SelectionConfig, StoppingRule};
 pub use tfidf::CentralizedIndex;

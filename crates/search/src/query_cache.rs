@@ -151,7 +151,11 @@ impl TreeIndex {
     fn rebuild(&mut self, view: &[PeerFilterRef<'_>]) {
         let entries: Vec<PeerEntry<'_>> = view
             .iter()
-            .map(|p| PeerEntry { id: p.id, version: p.version, filter: p.filter })
+            .map(|p| PeerEntry {
+                id: p.id,
+                version: p.version,
+                filter: p.filter,
+            })
             .collect();
         self.tree.rebuild(&entries);
         self.degraded = self.tree.len() != view.len();
@@ -274,19 +278,14 @@ impl QueryCache {
     ///
     /// `view` must present peers in a stable order between calls —
     /// presence rows are positional. The live runtime sorts by peer id.
-    pub fn plan(
-        &mut self,
-        query_terms: &[String],
-        view: &[PeerFilterRef<'_>],
-    ) -> QueryPlan {
+    pub fn plan(&mut self, query_terms: &[String], view: &[PeerFilterRef<'_>]) -> QueryPlan {
         self.sync(view);
         let n = view.len();
         let filters: Vec<&BloomFilter> = view.iter().map(|p| p.filter).collect();
 
         // IPF per unique term (duplicates computed once, as in
         // `IpfTable::compute`).
-        let mut values: HashMap<String, f64> =
-            HashMap::with_capacity(query_terms.len());
+        let mut values: HashMap<String, f64> = HashMap::with_capacity(query_terms.len());
         for t in query_terms {
             if values.contains_key(t) {
                 continue;
@@ -315,9 +314,7 @@ impl QueryCache {
         let mut ranked: Vec<RankedPeer> = scores
             .iter()
             .enumerate()
-            .filter_map(|(peer, &score)| {
-                (score > 0.0).then_some(RankedPeer { peer, score })
-            })
+            .filter_map(|(peer, &score)| (score > 0.0).then_some(RankedPeer { peer, score }))
             .collect();
         ranked.sort_by(|a, b| {
             b.score
@@ -398,7 +395,14 @@ impl QueryCache {
             Some(idx) if !idx.degraded => idx.probe(&key, filters),
             _ => probe_row(&key, filters),
         };
-        self.terms.insert(t.to_string(), TermEntry { key, presence, count });
+        self.terms.insert(
+            t.to_string(),
+            TermEntry {
+                key,
+                presence,
+                count,
+            },
+        );
         self.order.push_back(t.to_string());
         count
     }
@@ -434,9 +438,7 @@ mod tests {
         terms.iter().map(|s| s.to_string()).collect()
     }
 
-    fn view<'a>(
-        peers: &'a [(u64, PeerVersion, BloomFilter)],
-    ) -> Vec<PeerFilterRef<'a>> {
+    fn view<'a>(peers: &'a [(u64, PeerVersion, BloomFilter)]) -> Vec<PeerFilterRef<'a>> {
         peers
             .iter()
             .map(|(id, version, filter)| PeerFilterRef {
@@ -642,7 +644,11 @@ mod tests {
         let v = view(&peers);
         assert_plan_eq(&tree.plan(&q, &v), &flat.plan(&q, &v));
         assert_plan_eq(&tree.plan(&q, &v), &oracle(&q, &v));
-        assert_eq!(tree.stats(), flat.stats(), "identical hit/miss/refresh path");
+        assert_eq!(
+            tree.stats(),
+            flat.stats(),
+            "identical hit/miss/refresh path"
+        );
         assert!(tree.tree_enabled());
     }
 
@@ -662,7 +668,10 @@ mod tests {
         let q = query(&["gossip", "bloom", "absent"]);
         let mut cache = tree_cache();
         assert_plan_eq(&cache.plan(&q, &v), &oracle(&q, &v));
-        assert!(cache.tree_enabled(), "fallback peers don't disable the tree");
+        assert!(
+            cache.tree_enabled(),
+            "fallback peers don't disable the tree"
+        );
     }
 
     #[test]

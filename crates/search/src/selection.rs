@@ -62,7 +62,11 @@ pub struct SelectionConfig {
 impl SelectionConfig {
     /// The paper's configuration for a given k.
     pub fn paper(k: usize) -> Self {
-        Self { k, stopping: StoppingRule::Adaptive, group_size: 1 }
+        Self {
+            k,
+            stopping: StoppingRule::Adaptive,
+            group_size: 1,
+        }
     }
 }
 

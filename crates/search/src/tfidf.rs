@@ -93,7 +93,10 @@ impl CentralizedIndex {
             .into_iter()
             .map(|(doc, s)| {
                 let len = f64::from(self.doc_len[&doc]).max(1.0);
-                ScoredDoc { doc, score: s / len.sqrt() }
+                ScoredDoc {
+                    doc,
+                    score: s / len.sqrt(),
+                }
             })
             .collect();
         sort_ranked(&mut ranked);
@@ -136,10 +139,8 @@ mod tests {
 
     #[test]
     fn document_with_query_term_ranks() {
-        let g = CentralizedIndex::build(&[idx(&[
-            (1, &["gossip", "protocol"]),
-            (2, &["database"]),
-        ])]);
+        let g =
+            CentralizedIndex::build(&[idx(&[(1, &["gossip", "protocol"]), (2, &["database"])])]);
         let r = g.rank(&q(&["gossip"]));
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].doc, DocRef { peer: 0, doc: 1 });
@@ -196,10 +197,8 @@ mod tests {
 
     #[test]
     fn spans_multiple_peers() {
-        let g = CentralizedIndex::build(&[
-            idx(&[(1, &["gossip"])]),
-            idx(&[(1, &["gossip", "bloom"])]),
-        ]);
+        let g =
+            CentralizedIndex::build(&[idx(&[(1, &["gossip"])]), idx(&[(1, &["gossip", "bloom"])])]);
         let r = g.rank(&q(&["gossip", "bloom"]));
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].doc, DocRef { peer: 1, doc: 1 });
@@ -208,11 +207,7 @@ mod tests {
 
     #[test]
     fn top_k_truncates() {
-        let g = CentralizedIndex::build(&[idx(&[
-            (1, &["t"]),
-            (2, &["t"]),
-            (3, &["t"]),
-        ])]);
+        let g = CentralizedIndex::build(&[idx(&[(1, &["t"]), (2, &["t"]), (3, &["t"])])]);
         assert_eq!(g.top_k(&q(&["t"]), 2).len(), 2);
     }
 }

@@ -8,9 +8,7 @@ pub type PeerNo = usize;
 
 /// A document identified globally: which peer stores it, and its id in
 /// that peer's local data store.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DocRef {
     /// Owning peer.
     pub peer: PeerNo,
@@ -50,7 +48,10 @@ mod tests {
 
     #[test]
     fn ranking_sorts_by_score_then_docref() {
-        let d = |peer, doc, score| ScoredDoc { doc: DocRef { peer, doc }, score };
+        let d = |peer, doc, score| ScoredDoc {
+            doc: DocRef { peer, doc },
+            score,
+        };
         let mut v = vec![d(1, 1, 0.5), d(0, 2, 0.9), d(0, 1, 0.5)];
         sort_ranked(&mut v);
         assert_eq!(v[0].doc, DocRef { peer: 0, doc: 2 });

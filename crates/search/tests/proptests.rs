@@ -3,8 +3,8 @@
 use planetp_bloom::BloomParams;
 use planetp_index::InvertedIndex;
 use planetp_search::{
-    adaptive_p, CentralizedIndex, DistributedSearch, IndexedPeer,
-    IpfTable, SelectionConfig, StoppingRule,
+    adaptive_p, CentralizedIndex, DistributedSearch, IndexedPeer, IpfTable, SelectionConfig,
+    StoppingRule,
 };
 use proptest::prelude::*;
 

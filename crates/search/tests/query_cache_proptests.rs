@@ -17,9 +17,7 @@ use std::collections::HashSet;
 
 use planetp_bloom::{BloomDiff, BloomFilter, BloomParams, CompressedBloom};
 use planetp_bloomtree::{TreeConfig, TreeMetrics};
-use planetp_search::{
-    rank_peers, IpfTable, PeerFilterRef, QueryCache, QueryCacheStats,
-};
+use planetp_search::{rank_peers, IpfTable, PeerFilterRef, QueryCache, QueryCacheStats};
 use proptest::prelude::*;
 
 /// One step of a generated schedule over a small community.

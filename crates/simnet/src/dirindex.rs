@@ -50,7 +50,10 @@ pub struct DirectoryIndexModel {
 impl DirectoryIndexModel {
     /// Empty model over the given tree shape.
     pub fn new(config: TreeConfig) -> Self {
-        Self { tree: BloomTree::new(config), terms_per_peer: DEFAULT_TERMS_PER_PEER }
+        Self {
+            tree: BloomTree::new(config),
+            terms_per_peer: DEFAULT_TERMS_PER_PEER,
+        }
     }
 
     /// Record tree activity through `metrics`.
@@ -131,11 +134,7 @@ impl DirectoryIndexModel {
 
 impl Simulator {
     /// Sync `model` against node `id`'s current directory view.
-    pub fn sync_directory_index(
-        &self,
-        id: NodeId,
-        model: &mut DirectoryIndexModel,
-    ) -> SyncDelta {
+    pub fn sync_directory_index(&self, id: NodeId, model: &mut DirectoryIndexModel) -> SyncDelta {
         model.sync(self.engine(id).directory())
     }
 }
@@ -149,7 +148,13 @@ mod tests {
     use planetp_gossip::{DirEntry, SizedPayload, SpeedClass};
 
     fn config() -> TreeConfig {
-        TreeConfig::new(4, BloomParams { num_bits: 4096, num_hashes: 2 })
+        TreeConfig::new(
+            4,
+            BloomParams {
+                num_bits: 4096,
+                num_hashes: 2,
+            },
+        )
     }
 
     fn entry(sv: u64, bv: u32) -> DirEntry<SizedPayload> {
@@ -170,9 +175,19 @@ mod tests {
         }
         let mut model = DirectoryIndexModel::new(config()).with_terms_per_peer(4);
         let d = model.sync(&dir);
-        assert_eq!(d, SyncDelta { inserted: 20, updated: 0, removed: 0 });
+        assert_eq!(
+            d,
+            SyncDelta {
+                inserted: 20,
+                updated: 0,
+                removed: 0
+            }
+        );
         model.tree().validate();
-        assert!(model.sync(&dir).is_noop(), "converged view syncs to a no-op");
+        assert!(
+            model.sync(&dir).is_noop(),
+            "converged view syncs to a no-op"
+        );
 
         // The tree answers for synthetic vocabulary.
         let term = DirectoryIndexModel::synthetic_term(5, 1, 0);
@@ -183,7 +198,14 @@ mod tests {
         // the old vocabulary stops answering.
         dir.get_mut(5).unwrap().bloom_version = 2;
         let d = model.sync(&dir);
-        assert_eq!(d, SyncDelta { inserted: 0, updated: 1, removed: 0 });
+        assert_eq!(
+            d,
+            SyncDelta {
+                inserted: 0,
+                updated: 1,
+                removed: 0
+            }
+        );
         model.tree().validate();
         let rank5 = model.tree().rank_of(5).unwrap();
         assert!(!model
@@ -200,7 +222,14 @@ mod tests {
         dir.get_mut(7).unwrap().status = PeerStatus::Offline { since: 0 };
         dir.remove(11);
         let d = model.sync(&dir);
-        assert_eq!(d, SyncDelta { inserted: 0, updated: 0, removed: 2 });
+        assert_eq!(
+            d,
+            SyncDelta {
+                inserted: 0,
+                updated: 0,
+                removed: 2
+            }
+        );
         model.tree().validate();
         assert_eq!(model.tree().len(), 18);
         assert!(model.tree().rank_of(7).is_none());
@@ -230,7 +259,14 @@ mod tests {
         // the model synced from that node sees exactly one update.
         sim.local_update(3, 120);
         let d = sim.sync_directory_index(3, &mut a);
-        assert_eq!(d, SyncDelta { inserted: 0, updated: 1, removed: 0 });
+        assert_eq!(
+            d,
+            SyncDelta {
+                inserted: 0,
+                updated: 1,
+                removed: 0
+            }
+        );
         a.tree().validate();
     }
 }

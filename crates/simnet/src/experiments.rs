@@ -34,12 +34,48 @@ impl Scenario {
     /// The six Fig 2 scenarios.
     pub fn fig2_all() -> Vec<Scenario> {
         vec![
-            Scenario { name: "LAN", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-            Scenario { name: "LAN-AE", links: LinkScenario::LAN, interval_ms: 30_000, algorithm: Algorithm::AntiEntropyOnly, bandwidth_aware: false },
-            Scenario { name: "DSL-10", links: LinkScenario::DSL, interval_ms: 10_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-            Scenario { name: "DSL-30", links: LinkScenario::DSL, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-            Scenario { name: "DSL-60", links: LinkScenario::DSL, interval_ms: 60_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
-            Scenario { name: "MIX", links: LinkScenario::Mix, interval_ms: 30_000, algorithm: Algorithm::PlanetP, bandwidth_aware: false },
+            Scenario {
+                name: "LAN",
+                links: LinkScenario::LAN,
+                interval_ms: 30_000,
+                algorithm: Algorithm::PlanetP,
+                bandwidth_aware: false,
+            },
+            Scenario {
+                name: "LAN-AE",
+                links: LinkScenario::LAN,
+                interval_ms: 30_000,
+                algorithm: Algorithm::AntiEntropyOnly,
+                bandwidth_aware: false,
+            },
+            Scenario {
+                name: "DSL-10",
+                links: LinkScenario::DSL,
+                interval_ms: 10_000,
+                algorithm: Algorithm::PlanetP,
+                bandwidth_aware: false,
+            },
+            Scenario {
+                name: "DSL-30",
+                links: LinkScenario::DSL,
+                interval_ms: 30_000,
+                algorithm: Algorithm::PlanetP,
+                bandwidth_aware: false,
+            },
+            Scenario {
+                name: "DSL-60",
+                links: LinkScenario::DSL,
+                interval_ms: 60_000,
+                algorithm: Algorithm::PlanetP,
+                bandwidth_aware: false,
+            },
+            Scenario {
+                name: "MIX",
+                links: LinkScenario::Mix,
+                interval_ms: 30_000,
+                algorithm: Algorithm::PlanetP,
+                bandwidth_aware: false,
+            },
         ]
     }
 
@@ -47,7 +83,11 @@ impl Scenario {
         let mut gossip = GossipConfig::with_interval(self.interval_ms);
         gossip.algorithm = self.algorithm;
         gossip.bandwidth_aware = self.bandwidth_aware;
-        SimConfig { gossip, seed, ..SimConfig::default() }
+        SimConfig {
+            gossip,
+            seed,
+            ..SimConfig::default()
+        }
     }
 
     fn sample_links(&self, n: usize, sim: &mut Simulator) -> Vec<LinkClass> {
@@ -74,12 +114,7 @@ pub struct PropagationResult {
 
 /// Fig 2: propagate one 1000-key Bloom filter diff through a stable
 /// community of `n` peers.
-pub fn propagation(
-    scenario: Scenario,
-    n: usize,
-    seed: u64,
-    deadline_s: u64,
-) -> PropagationResult {
+pub fn propagation(scenario: Scenario, n: usize, seed: u64, deadline_s: u64) -> PropagationResult {
     let table2 = Table2::paper();
     let mut sim = Simulator::new(scenario.sim_config(seed));
     let links = scenario.sample_links(n, &mut sim);
@@ -101,8 +136,7 @@ pub fn propagation(
     let time_s = sim.metrics.tracked[tracker]
         .latency_ms()
         .map(|ms| ms as f64 / 1000.0);
-    let total = bytes_at_convergence.unwrap_or(sim.metrics.total_bytes)
-        - bytes_at_start;
+    let total = bytes_at_convergence.unwrap_or(sim.metrics.total_bytes) - bytes_at_start;
     let per_peer = match time_s {
         Some(t) if t > 0.0 => total as f64 / n as f64 / t,
         _ => 0.0,
@@ -297,11 +331,7 @@ pub struct DynamicResult {
 /// Figs 4(b,c) and 5: a community where 40% of members are always
 /// online and 60% cycle (Exp online/offline periods), 5% of rejoins
 /// carrying 1000 new keys.
-pub fn dynamic_community(
-    scenario: Scenario,
-    cfg: DynamicConfig,
-    seed: u64,
-) -> DynamicResult {
+pub fn dynamic_community(scenario: Scenario, cfg: DynamicConfig, seed: u64) -> DynamicResult {
     let table2 = Table2::paper();
     let mut sim = Simulator::new(scenario.sim_config(seed));
     let n = cfg.total_members;
@@ -317,8 +347,7 @@ pub fn dynamic_community(
     for id in n_stable_members..n {
         // Start each cycler in steady state: online with probability
         // mean_on / (mean_on + mean_off).
-        let p_online =
-            cfg.mean_online_s / (cfg.mean_online_s + cfg.mean_offline_s);
+        let p_online = cfg.mean_online_s / (cfg.mean_online_s + cfg.mean_offline_s);
         let mut online = sim.rng().random_bool(p_online);
         if !online {
             sim.set_offline(id as NodeId);

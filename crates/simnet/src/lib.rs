@@ -19,14 +19,19 @@
 //! - [`dirindex`]: a Bloofi [`planetp_bloomtree::BloomTree`] kept in
 //!   step with a simulated peer's directory, driving the same
 //!   insert/update/remove state machine the live query cache drives.
+//! - [`replication`]: availability model for autonomous replication —
+//!   `planetp_replica`'s placement math against the §7 churn schedule,
+//!   measuring query hit rate vs storage overhead (DESIGN.md §15).
 
 pub mod dirindex;
 pub mod experiments;
 pub mod metrics;
 pub mod params;
+pub mod replication;
 pub mod sim;
 
 pub use dirindex::{DirectoryIndexModel, SyncDelta};
 pub use metrics::{BandwidthSeries, Metrics, TrackedRumor};
 pub use params::{LinkClass, LinkScenario, Table2};
+pub use replication::{run_replica_sim, ReplicaSimConfig, ReplicaSimReport};
 pub use sim::{ChurnError, NodeId, SimConfig, Simulator};

@@ -129,14 +129,19 @@ impl Metrics {
             rumors_converged: registry.counter(names::SIM_RUMORS_CONVERGED),
             convergence_ms: registry.histogram(
                 names::SIM_CONVERGENCE_MS,
-                &[1_000, 5_000, 15_000, 30_000, 60_000, 120_000, 300_000, 600_000, 1_800_000],
+                &[
+                    1_000, 5_000, 15_000, 30_000, 60_000, 120_000, 300_000, 600_000, 1_800_000,
+                ],
             ),
         }
     }
 
     /// Set up per-node accounting for `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Self { bytes_per_node: vec![0; n], ..Self::default() }
+        Self {
+            bytes_per_node: vec![0; n],
+            ..Self::default()
+        }
     }
 
     /// The unified registry this run records into.
@@ -145,13 +150,7 @@ impl Metrics {
     }
 
     /// Record a message of `bytes` sent by `from` at `at`.
-    pub fn on_send(
-        &mut self,
-        from: usize,
-        kind: &'static str,
-        bytes: usize,
-        at: TimeMs,
-    ) {
+    pub fn on_send(&mut self, from: usize, kind: &'static str, bytes: usize, at: TimeMs) {
         self.total_bytes += bytes as u64;
         self.total_messages += 1;
         if from < self.bytes_per_node.len() {
@@ -189,7 +188,10 @@ impl Metrics {
 
     /// Convergence latencies of all tracked rumors that converged, ms.
     pub fn latencies(&self) -> Vec<TimeMs> {
-        self.tracked.iter().filter_map(TrackedRumor::latency_ms).collect()
+        self.tracked
+            .iter()
+            .filter_map(TrackedRumor::latency_ms)
+            .collect()
     }
 }
 
@@ -212,8 +214,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return None;
         }
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         Some(self.sorted[idx - 1])
     }
 
@@ -276,7 +277,9 @@ mod tests {
         assert_eq!(snap.counter(names::NET_FRAMES_OUT), 2);
         assert_eq!(snap.counter(names::SIM_TRACKED_KNOWN), 1);
         assert_eq!(snap.counter(names::SIM_RUMORS_CONVERGED), 1);
-        let h = snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered");
+        let h = snap
+            .histogram(names::SIM_CONVERGENCE_MS)
+            .expect("registered");
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 12_000);
     }
@@ -302,7 +305,11 @@ mod tests {
     #[test]
     fn tracked_rumor_latency() {
         let mut m = Metrics::with_nodes(2);
-        let id = RumorId { subject: 0, status_version: 1, bloom_version: 1 };
+        let id = RumorId {
+            subject: 0,
+            status_version: 1,
+            bloom_version: 1,
+        };
         let t = m.track(id, 1000, 2);
         assert_eq!(m.tracked[t].latency_ms(), None);
         m.tracked[t].converged_at = Some(4000);

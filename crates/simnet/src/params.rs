@@ -177,7 +177,9 @@ mod tests {
         let n = 20_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            *counts.entry(LinkScenario::Mix.sample(&mut rng)).or_insert(0u32) += 1;
+            *counts
+                .entry(LinkScenario::Mix.sample(&mut rng))
+                .or_insert(0u32) += 1;
         }
         let frac = |c: LinkClass| f64::from(counts[&c]) / n as f64;
         assert!((frac(LinkClass::Modem56k) - 0.09).abs() < 0.02);

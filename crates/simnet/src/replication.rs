@@ -1,0 +1,443 @@
+//! Availability model for autonomous replication (DESIGN.md §15).
+//!
+//! The live runtime drives `planetp_replica`'s placement math from its
+//! gossip tick; this module drives the *same* math — [`SpaceSaving`]
+//! hotness, EWMA [`AvailabilityTracker`], [`pick_targets`],
+//! [`eviction_weight`] — against the paper's §7 churn schedule (40% of
+//! members always online, the rest cycling with exponential
+//! online/offline dwell times started in steady state). Queries over a
+//! Zipf popularity curve probe whether each requested document is
+//! reachable (home online, or any replica holder online), so one run
+//! yields the hit rate a community would see with replication on or
+//! off, plus the storage it paid for the difference.
+
+use planetp_replica::{
+    estimated_availability, eviction_weight, pick_targets, AvailabilityTracker, Candidate,
+    ReplicaConfig, SpaceSaving,
+};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Configuration of one replication availability run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaSimConfig {
+    /// Community size.
+    pub peers: usize,
+    /// Fraction of members online all the time (paper §7: 0.4).
+    pub always_online_frac: f64,
+    /// Mean online period of cycling members, seconds (paper: 3600).
+    pub mean_online_s: f64,
+    /// Mean offline period of cycling members, seconds (paper: 8400).
+    pub mean_offline_s: f64,
+    /// Documents homed on each peer.
+    pub docs_per_peer: usize,
+    /// Size of every document, bytes.
+    pub doc_bytes: u64,
+    /// Simulated duration, seconds.
+    pub duration_s: u64,
+    /// Seconds between ticks (directory sample + replication pass).
+    pub tick_s: u64,
+    /// Queries sampled per tick across the whole community.
+    pub queries_per_tick: usize,
+    /// Zipf exponent of the query popularity curve.
+    pub zipf_exponent: f64,
+    /// Replication policy; `None` turns replication off (the control
+    /// run — queries succeed only while the home peer is online).
+    pub replication: Option<ReplicaConfig>,
+    /// RNG seed; identical seeds replay identical churn and queries.
+    pub seed: u64,
+}
+
+impl Default for ReplicaSimConfig {
+    fn default() -> Self {
+        Self {
+            peers: 40,
+            always_online_frac: 0.4,
+            mean_online_s: 3600.0,
+            mean_offline_s: 8400.0,
+            docs_per_peer: 8,
+            doc_bytes: 16 << 10,
+            duration_s: 12 * 3600,
+            tick_s: 60,
+            queries_per_tick: 8,
+            zipf_exponent: 1.0,
+            replication: Some(ReplicaConfig::enabled()),
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// What one replication run measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaSimReport {
+    /// Fraction of sampled queries whose document was reachable.
+    pub hit_rate: f64,
+    /// Worst per-window hit rate (windows of `duration_s / 8`).
+    pub min_hit_rate: f64,
+    /// Total stored bytes over original corpus bytes (1.0 = no copies).
+    pub storage_overhead: f64,
+    /// Replica copies placed over the run.
+    pub replicas_placed: u64,
+    /// Replica copies evicted under capacity pressure.
+    pub evictions: u64,
+    /// Queries sampled.
+    pub samples: u64,
+}
+
+/// Per-peer state: churn plus hosted-replica accounting. Stable
+/// members never transition (`next_flip_s` stays at infinity).
+struct PeerState {
+    online: bool,
+    next_flip_s: f64,
+    used_bytes: u64,
+    hosted: BTreeSet<u64>,
+}
+
+/// Run the model and report availability vs storage.
+pub fn run_replica_sim(cfg: &ReplicaSimConfig) -> ReplicaSimReport {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.peers.max(2);
+    let n_stable = (n as f64 * cfg.always_online_frac).round() as usize;
+    let exp_on = Exp::new(1.0 / cfg.mean_online_s).expect("positive rate");
+    let exp_off = Exp::new(1.0 / cfg.mean_offline_s).expect("positive rate");
+    let p_online = cfg.mean_online_s / (cfg.mean_online_s + cfg.mean_offline_s);
+
+    let mut peers: Vec<PeerState> = (0..n)
+        .map(|i| {
+            // Steady-state start for cyclers, as in `dynamic_community`.
+            let (online, next_flip_s) = if i < n_stable {
+                (true, f64::INFINITY)
+            } else {
+                let online = rng.random_bool(p_online);
+                let dwell = if online {
+                    exp_on.sample(&mut rng)
+                } else {
+                    exp_off.sample(&mut rng)
+                };
+                (online, dwell)
+            };
+            PeerState {
+                online,
+                next_flip_s,
+                used_bytes: 0,
+                hosted: BTreeSet::new(),
+            }
+        })
+        .collect();
+
+    // Documents: id -> home peer, round-robin so every peer serves the
+    // same share. Popularity ranks are a random permutation so hot
+    // documents are uncorrelated with how stable their home is.
+    let n_docs = n * cfg.docs_per_peer.max(1);
+    let home_of = |doc: u64| (doc as usize % n) as u32;
+    let mut by_rank: Vec<u64> = (0..n_docs as u64).collect();
+    by_rank.shuffle(&mut rng);
+    // Inverse-CDF sampler over 1/rank^s weights.
+    let mut cum = Vec::with_capacity(n_docs);
+    let mut total = 0.0f64;
+    for rank in 0..n_docs {
+        total += 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent);
+        cum.push(total);
+    }
+
+    // Replica holder sets (home excluded) and shared decision state.
+    let mut holders: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n_docs];
+    let rep = cfg.replication.clone().filter(|r| r.enabled);
+    let mut tracker = rep
+        .as_ref()
+        .map(|r| AvailabilityTracker::new(r.availability_alpha, r.availability_prior));
+    let mut sketch = rep.as_ref().map(|r| SpaceSaving::new(r.sketch_capacity));
+
+    let mut hits = 0u64;
+    let mut samples = 0u64;
+    let mut replicas_placed = 0u64;
+    let mut evictions = 0u64;
+    // Spare capacity as gossiped: sampled once per tick, so within a
+    // pass several homes can target the same peer on a stale ad and
+    // exercise the eviction/reject admission path, as live nodes do.
+    let mut adv_spare: Vec<u64> = vec![0; n];
+    let tick_s = cfg.tick_s.max(1);
+    let window_s = (cfg.duration_s / 8).max(tick_s);
+    let mut windows: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut next_decay_s = rep
+        .as_ref()
+        .map_or(u64::MAX, |r| (r.decay_interval_ms / 1000).max(tick_s));
+
+    let mut t_s = 0u64;
+    while t_s < cfg.duration_s {
+        // Advance churn to `t_s`.
+        for p in peers.iter_mut() {
+            while (p.next_flip_s as u64) <= t_s {
+                p.online = !p.online;
+                p.next_flip_s += if p.online {
+                    exp_on.sample(&mut rng)
+                } else {
+                    exp_off.sample(&mut rng)
+                };
+            }
+        }
+
+        // Directory sample: the converged gossip view of who is up.
+        if let Some(tr) = tracker.as_mut() {
+            for (i, p) in peers.iter().enumerate() {
+                tr.observe(i as u32, p.online);
+            }
+        }
+
+        // Queries: reachable iff the home or any replica holder is up.
+        let window = t_s / window_s;
+        for _ in 0..cfg.queries_per_tick {
+            let x: f64 = rng.random::<f64>() * total;
+            let rank = cum.partition_point(|&c| c < x).min(n_docs - 1);
+            let doc = by_rank[rank];
+            let home = home_of(doc);
+            let up = peers[home as usize].online
+                || holders[doc as usize]
+                    .iter()
+                    .any(|&h| peers[h as usize].online);
+            samples += 1;
+            let w = windows.entry(window).or_insert((0, 0));
+            w.1 += 1;
+            if up {
+                hits += 1;
+                w.0 += 1;
+                if let Some(s) = sketch.as_mut() {
+                    s.observe(doc);
+                }
+            }
+        }
+
+        // Replication pass: online homes push under-replicated hot
+        // documents to the best-available peers with spare capacity.
+        if let Some(r) = rep.as_ref() {
+            if t_s >= next_decay_s {
+                next_decay_s += (r.decay_interval_ms / 1000).max(tick_s);
+                if let Some(s) = sketch.as_mut() {
+                    s.decay();
+                }
+            }
+            for (i, p) in peers.iter().enumerate() {
+                adv_spare[i] = r.capacity_bytes.saturating_sub(p.used_bytes);
+            }
+            if let (Some(tr), Some(sk)) = (tracker.as_ref(), sketch.as_ref()) {
+                replication_pass(
+                    r,
+                    tr,
+                    sk,
+                    cfg.doc_bytes,
+                    home_of,
+                    &adv_spare,
+                    &mut peers,
+                    &mut holders,
+                    &mut replicas_placed,
+                    &mut evictions,
+                );
+            }
+        }
+
+        t_s += tick_s;
+    }
+
+    let corpus_bytes = n_docs as u64 * cfg.doc_bytes;
+    let replica_bytes: u64 = peers.iter().map(|p| p.used_bytes).sum();
+    let min_hit_rate = windows
+        .values()
+        .filter(|&&(_, s)| s > 0)
+        .map(|&(h, s)| h as f64 / s as f64)
+        .fold(f64::INFINITY, f64::min);
+    ReplicaSimReport {
+        hit_rate: if samples == 0 {
+            0.0
+        } else {
+            hits as f64 / samples as f64
+        },
+        min_hit_rate: if min_hit_rate.is_finite() {
+            min_hit_rate
+        } else {
+            0.0
+        },
+        storage_overhead: (corpus_bytes + replica_bytes) as f64 / corpus_bytes as f64,
+        replicas_placed,
+        evictions,
+        samples,
+    }
+}
+
+/// One replication tick: every online home walks its documents in
+/// hotness order, computes `1 − Π(1 − a_i)` over the current holders,
+/// and pushes copies to [`pick_targets`]' choices within its per-tick
+/// budget. Admission at the target mirrors the live engine: spare
+/// capacity accepts outright; a full peer evicts hosted replicas whose
+/// [`eviction_weight`] is below the incoming document's until it fits,
+/// or rejects the push.
+#[allow(clippy::too_many_arguments)]
+fn replication_pass(
+    r: &ReplicaConfig,
+    tracker: &AvailabilityTracker,
+    sketch: &SpaceSaving,
+    doc_bytes: u64,
+    home_of: impl Fn(u64) -> u32,
+    adv_spare: &[u64],
+    peers: &mut [PeerState],
+    holders: &mut [BTreeSet<u32>],
+    replicas_placed: &mut u64,
+    evictions: &mut u64,
+) {
+    let n_docs = holders.len();
+    let mut order: Vec<u64> = (0..n_docs as u64).collect();
+    order.sort_by_key(|&d| (std::cmp::Reverse(sketch.estimate(d)), d));
+    let mut budget: HashMap<u32, usize> = HashMap::new();
+    let weight_of = |d: u64| eviction_weight(sketch.estimate(d), tracker.estimate(home_of(d)));
+    for doc in order {
+        let home = home_of(doc);
+        if !peers[home as usize].online {
+            continue;
+        }
+        let spent = budget.entry(home).or_insert(r.push_budget_per_tick);
+        if *spent == 0 || holders[doc as usize].len() >= r.max_replicas_per_doc {
+            continue;
+        }
+        // As in `ReplicaEngine::plan_pushes`: the home counts for its
+        // *claimed* availability, and candidates for the lower of the
+        // local EWMA and their claim.
+        let current = estimated_availability(
+            std::iter::once(r.advertised_availability)
+                .chain(holders[doc as usize].iter().map(|&p| tracker.estimate(p))),
+        );
+        if current >= r.target_availability {
+            continue;
+        }
+        let candidates: Vec<Candidate> = (0..peers.len() as u32)
+            .filter(|&p| {
+                p != home && !holders[doc as usize].contains(&p) && peers[p as usize].online
+            })
+            .map(|p| Candidate {
+                peer: p,
+                availability: tracker.estimate(p).min(r.advertised_availability),
+                spare_bytes: adv_spare[p as usize],
+            })
+            .collect();
+        let max_new = (r.max_replicas_per_doc - holders[doc as usize].len()).min(*spent);
+        let targets = pick_targets(
+            current,
+            r.target_availability,
+            doc_bytes,
+            &candidates,
+            max_new,
+        );
+        for target in targets {
+            // Admission: evict strictly lighter replicas to make room.
+            let incoming = weight_of(doc);
+            loop {
+                let t = &peers[target as usize];
+                if t.used_bytes + doc_bytes <= r.capacity_bytes {
+                    break;
+                }
+                let victim = t
+                    .hosted
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        weight_of(a)
+                            .partial_cmp(&weight_of(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    })
+                    .filter(|&v| weight_of(v) < incoming);
+                let Some(victim) = victim else { break };
+                let t = &mut peers[target as usize];
+                t.hosted.remove(&victim);
+                t.used_bytes -= doc_bytes;
+                holders[victim as usize].remove(&target);
+                *evictions += 1;
+            }
+            let t = &mut peers[target as usize];
+            if t.used_bytes + doc_bytes > r.capacity_bytes {
+                continue;
+            }
+            t.hosted.insert(doc);
+            t.used_bytes += doc_bytes;
+            holders[doc as usize].insert(target);
+            *replicas_placed += 1;
+            *spent -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_off_places_nothing() {
+        let cfg = ReplicaSimConfig {
+            replication: None,
+            duration_s: 2 * 3600,
+            ..ReplicaSimConfig::default()
+        };
+        let report = run_replica_sim(&cfg);
+        assert_eq!(report.replicas_placed, 0);
+        assert_eq!(report.evictions, 0);
+        assert!((report.storage_overhead - 1.0).abs() < 1e-12);
+        assert!(report.samples > 0);
+        // §7 steady state: 40% stable + 60% at 3600/12000 duty cycle
+        // puts the no-replication hit rate well under 0.8.
+        assert!(report.hit_rate < 0.85, "hit rate {}", report.hit_rate);
+    }
+
+    #[test]
+    fn replication_lifts_hit_rate_within_storage_budget() {
+        let off = run_replica_sim(&ReplicaSimConfig {
+            replication: None,
+            ..ReplicaSimConfig::default()
+        });
+        let on = run_replica_sim(&ReplicaSimConfig::default());
+        assert!(
+            on.hit_rate > off.hit_rate + 0.05,
+            "on {} vs off {}",
+            on.hit_rate,
+            off.hit_rate
+        );
+        assert!(on.replicas_placed > 0);
+        assert!(
+            on.storage_overhead < 3.0,
+            "overhead {}",
+            on.storage_overhead
+        );
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let a = run_replica_sim(&ReplicaSimConfig {
+            duration_s: 3600,
+            ..ReplicaSimConfig::default()
+        });
+        let b = run_replica_sim(&ReplicaSimConfig {
+            duration_s: 3600,
+            ..ReplicaSimConfig::default()
+        });
+        assert_eq!(a.hit_rate, b.hit_rate);
+        assert_eq!(a.replicas_placed, b.replicas_placed);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn capacity_pressure_triggers_evictions() {
+        // One document's worth of replica space per peer forces churn
+        // in what each peer hosts.
+        let mut rep = ReplicaConfig::enabled();
+        rep.capacity_bytes = 16 << 10;
+        let report = run_replica_sim(&ReplicaSimConfig {
+            replication: Some(rep),
+            duration_s: 6 * 3600,
+            ..ReplicaSimConfig::default()
+        });
+        assert!(report.replicas_placed > 0);
+        assert!(report.evictions > 0, "expected capacity evictions");
+        assert!(report.storage_overhead < 2.0);
+    }
+}

@@ -13,8 +13,8 @@
 //!   identical runs, event for event.
 
 use planetp_gossip::{
-    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerStatus,
-    RumorId, SizedPayload, TimeMs,
+    DirEntry, Directory, GossipConfig, GossipEngine, Message, PeerStatus, RumorId, SizedPayload,
+    TimeMs,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -97,7 +97,11 @@ enum EventKind {
     /// Scheduled gossip round for a node.
     Tick { node: NodeId, seq: u64 },
     /// Message arrival.
-    Deliver { from: NodeId, to: NodeId, msg: Box<Msg> },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Box<Msg>,
+    },
     /// The sender's contact attempt to an offline peer timed out.
     ContactFailed { node: NodeId, target: NodeId },
 }
@@ -221,7 +225,9 @@ impl Simulator {
                 DirEntry {
                     status_version: 1,
                     bloom_version: 1,
-                    payload: Some(SizedPayload { bytes: payload_bytes }),
+                    payload: Some(SizedPayload {
+                        bytes: payload_bytes,
+                    }),
                     status: PeerStatus::Online,
                     speed: link.speed_class(),
                 },
@@ -252,8 +258,9 @@ impl Simulator {
         // Stagger initial ticks uniformly over one interval, as unsynced
         // real peers would be.
         for i in 0..n {
-            let stagger =
-                self.rng.random_range(0..self.config.gossip.base_interval_ms.max(1));
+            let stagger = self
+                .rng
+                .random_range(0..self.config.gossip.base_interval_ms.max(1));
             self.schedule_tick(i, stagger);
         }
     }
@@ -273,11 +280,10 @@ impl Simulator {
             link.speed_class(),
             self.config.gossip,
             self.config.seed ^ (0xbeef_0000 + u64::from(id)),
-            Some(SizedPayload { bytes: payload_bytes }),
-            Some((
-                bootstrap,
-                self.nodes[bootstrap as usize].link.speed_class(),
-            )),
+            Some(SizedPayload {
+                bytes: payload_bytes,
+            }),
+            Some((bootstrap, self.nodes[bootstrap as usize].link.speed_class())),
         );
         self.nodes.push(Node {
             engine,
@@ -298,7 +304,11 @@ impl Simulator {
         // Joiners act promptly (they have news and a download to do).
         let jitter = self.rng.random_range(0..1_000);
         self.schedule_tick(id, jitter);
-        let rumor = RumorId { subject: id, status_version: 1, bloom_version: 1 };
+        let rumor = RumorId {
+            subject: id,
+            status_version: 1,
+            bloom_version: 1,
+        };
         self.mark_known(id, id);
         (id, rumor)
     }
@@ -369,7 +379,9 @@ impl Simulator {
     pub fn local_update(&mut self, id: NodeId, payload_bytes: u32) -> RumorId {
         let node = &mut self.nodes[id as usize];
         assert!(node.online, "offline nodes cannot publish");
-        node.engine.local_update(SizedPayload { bytes: payload_bytes });
+        node.engine.local_update(SizedPayload {
+            bytes: payload_bytes,
+        });
         let e = node
             .engine
             .directory()
@@ -398,7 +410,9 @@ impl Simulator {
         let node = &mut self.nodes[id as usize];
         assert!(node.online, "offline nodes cannot publish");
         node.engine.local_update_delta(
-            SizedPayload { bytes: payload_bytes },
+            SizedPayload {
+                bytes: payload_bytes,
+            },
             planetp_gossip::SizedDelta {
                 bytes: delta_bytes,
                 full_bytes: payload_bytes,
@@ -485,11 +499,7 @@ impl Simulator {
 
     /// Run until all online digests match, checking every `poll_ms`;
     /// gives up at `deadline`. Returns the convergence time if reached.
-    pub fn run_until_converged(
-        &mut self,
-        poll_ms: TimeMs,
-        deadline: TimeMs,
-    ) -> Option<TimeMs> {
+    pub fn run_until_converged(&mut self, poll_ms: TimeMs, deadline: TimeMs) -> Option<TimeMs> {
         loop {
             if self.converged() {
                 return Some(self.now);
@@ -508,7 +518,11 @@ impl Simulator {
 
     fn schedule(&mut self, at: TimeMs, kind: EventKind) {
         self.event_seq += 1;
-        self.events.push(Reverse(Event { at, seq: self.event_seq, kind }));
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.event_seq,
+            kind,
+        }));
     }
 
     fn schedule_tick(&mut self, node: NodeId, delay: TimeMs) {
@@ -550,7 +564,13 @@ impl Simulator {
         if !self.nodes[to as usize].online {
             // Connection attempt fails after a timeout.
             let at = self.now + self.config.contact_fail_ms;
-            self.schedule(at, EventKind::ContactFailed { node: from, target: to });
+            self.schedule(
+                at,
+                EventKind::ContactFailed {
+                    node: from,
+                    target: to,
+                },
+            );
             return;
         }
         let size = msg.wire_bytes();
@@ -560,16 +580,21 @@ impl Simulator {
         let sender = &self.nodes[from as usize];
         let receiver = &self.nodes[to as usize];
         let bw = sender.link.bits_per_sec().min(receiver.link.bits_per_sec());
-        let start = ready
-            .max(sender.up_free_at)
-            .max(receiver.down_free_at);
+        let start = ready.max(sender.up_free_at).max(receiver.down_free_at);
         let transfer = (size as u64 * 8).saturating_mul(1000).div_ceil(bw);
         let end = start + transfer;
         self.nodes[from as usize].up_free_at = end;
         self.nodes[to as usize].down_free_at = end;
         self.metrics.on_send(from as usize, kind, size, start);
         let arrive = end + self.config.latency_ms;
-        self.schedule(arrive, EventKind::Deliver { from, to, msg: Box::new(msg) });
+        self.schedule(
+            arrive,
+            EventKind::Deliver {
+                from,
+                to,
+                msg: Box::new(msg),
+            },
+        );
     }
 
     fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Msg) {
@@ -577,7 +602,13 @@ impl Simulator {
             // Receiver died mid-transfer; sender notices.
             if self.nodes[from as usize].online {
                 let at = self.now + self.config.contact_fail_ms;
-                self.schedule(at, EventKind::ContactFailed { node: from, target: to });
+                self.schedule(
+                    at,
+                    EventKind::ContactFailed {
+                        node: from,
+                        target: to,
+                    },
+                );
             }
             return;
         }
@@ -622,7 +653,9 @@ impl Simulator {
             let idx = self.active_trackers[i];
             if self.metrics.tracked[idx].id.subject == subject
                 && !self.metrics.tracked[idx].known[node as usize]
-                && self.nodes[node as usize].engine.knows(self.metrics.tracked[idx].id)
+                && self.nodes[node as usize]
+                    .engine
+                    .knows(self.metrics.tracked[idx].id)
             {
                 self.mark_known_idx(idx, node);
             }
@@ -661,14 +694,11 @@ impl Simulator {
         if t.converged_at.is_some() {
             return;
         }
-        let (known_count, fast_pending) =
-            (t.known_count, t.converged_fast_at.is_none());
+        let (known_count, fast_pending) = (t.known_count, t.converged_fast_at.is_none());
         if fast_pending && known_count >= self.online_fast_count {
             let t = &self.metrics.tracked[idx];
             let all_fast_know = self.nodes.iter().zip(&t.known).all(|(n, &k)| {
-                !n.online
-                    || n.link.speed_class() != planetp_gossip::SpeedClass::Fast
-                    || k
+                !n.online || n.link.speed_class() != planetp_gossip::SpeedClass::Fast || k
             });
             if all_fast_know {
                 self.metrics.tracked[idx].converged_fast_at = Some(self.now);
@@ -695,9 +725,7 @@ impl Simulator {
                 t.born_at
             };
             self.metrics.on_converged(self.now.saturating_sub(born_at));
-            if let Some(pos) =
-                self.active_trackers.iter().position(|&i| i == idx)
-            {
+            if let Some(pos) = self.active_trackers.iter().position(|&i| i == idx) {
                 self.active_trackers.swap_remove(pos);
             }
         }
@@ -726,7 +754,11 @@ mod tests {
             0
         );
         assert_eq!(
-            sim.metrics.bytes_by_kind.get("ae_summary").copied().unwrap_or(0),
+            sim.metrics
+                .bytes_by_kind
+                .get("ae_summary")
+                .copied()
+                .unwrap_or(0),
             0
         );
         // Adaptive interval bounds quiescent traffic: strictly fewer
@@ -793,7 +825,9 @@ mod tests {
         sim.run_until(120_000);
         sim.set_offline(5);
         sim.run_until(400_000);
-        let rumor = sim.rejoin(5, Some(3000)).expect("node 5 went offline above");
+        let rumor = sim
+            .rejoin(5, Some(3000))
+            .expect("node 5 went offline above");
         sim.track(rumor);
         sim.run_until(1_500_000);
         assert!(
@@ -881,9 +915,17 @@ mod tests {
             sim.metrics.total_bytes,
             "unified net bytes must equal the legacy accumulator"
         );
-        assert!(snap.counter(names::GOSSIP_ROUNDS) > 0, "engine counters merged");
+        assert!(
+            snap.counter(names::GOSSIP_ROUNDS) > 0,
+            "engine counters merged"
+        );
         assert_eq!(snap.counter(names::SIM_RUMORS_CONVERGED), 1);
-        assert!(snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered").count == 1);
+        assert!(
+            snap.histogram(names::SIM_CONVERGENCE_MS)
+                .expect("registered")
+                .count
+                == 1
+        );
     }
 
     #[test]

@@ -28,10 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bootstrap = (0u32, founder.addr().to_string());
     let mut nodes = vec![founder];
     for id in 1..6 {
-        nodes.push(LiveNode::start(id, config(1 + u64::from(id)), Some(bootstrap.clone()))?);
+        nodes.push(LiveNode::start(
+            id,
+            config(1 + u64::from(id)),
+            Some(bootstrap.clone()),
+        )?);
     }
 
-    wait(|| nodes.iter().all(|n| n.directory_size() == 6), "membership");
+    wait(
+        || nodes.iter().all(|n| n.directory_size() == 6),
+        "membership",
+    );
     println!("all 6 directories complete");
 
     nodes[2].publish(
@@ -61,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:.3} peer {} doc {}", h.score, h.peer, h.doc);
     }
     let hits = nodes[3].search_exhaustive("consistent hashing")?.hits;
-    println!("node 3 exhaustive search -> {} hit(s) (owner {})", hits.len(), hits[0].peer);
+    println!(
+        "node 3 exhaustive search -> {} hit(s) (owner {})",
+        hits.len(),
+        hits[0].peer
+    );
     Ok(())
 }
 

@@ -35,12 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         agency,
         "<story><title>Volcano eruption on remote island</title>
           <body>eruption eruption volcano ash cloud disrupts flights</body></story>",
-        PublishOptions { broker_hot_terms: Some(0.10) },
+        PublishOptions {
+            broker_hot_terms: Some(0.10),
+        },
     )?;
     community.publish(
         blogger,
         "<post><title>Gardening notes</title><body>tomatoes and basil</body></post>",
-        PublishOptions { broker_hot_terms: Some(0.10) },
+        PublishOptions {
+            broker_hot_terms: Some(0.10),
+        },
     )?;
 
     // Immediately findable through the brokerage.

@@ -44,11 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "randomized rumor spreading gossip push pull epidemic",
     )?;
     let listing = alice.open_directory("gossip epidemic").expect("exists");
-    println!("/gossip epidemic/ after bob shares more: {} file(s)", listing.len());
+    println!(
+        "/gossip epidemic/ after bob shares more: {} file(s)",
+        listing.len()
+    );
 
     // Links resolve at the owner's file server.
     let link = listing.entries.values().next().unwrap();
-    let owner_fs = if link.owner == "bob" { bob.file_server() } else { carol.file_server() };
+    let owner_fs = if link.owner == "bob" {
+        bob.file_server()
+    } else {
+        carol.file_server()
+    };
     let content = owner_fs.get_url(&link.url).unwrap();
     println!("GET {} -> {} bytes", link.url, content.len());
     Ok(())

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exhaustive search: a conjunction of keys, answered by every peer
     // whose Bloom filter may match.
     let hits = community.search_exhaustive(carol, "gossip updates")?;
-    println!("exhaustive 'gossip updates' -> {} hit(s)", hits.results.len());
+    println!(
+        "exhaustive 'gossip updates' -> {} hit(s)",
+        hits.results.len()
+    );
     for h in &hits.results {
         println!("  [{}] doc {}", h.peer, h.doc);
     }

@@ -36,16 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let handles: Vec<_> = member_names.iter().map(|n| community.add_peer(n)).collect();
 
     // Weibull partition: a few prolific members share most documents.
-    let assignment =
-        partition_docs(collection.docs.len(), handles.len(), Partition::paper(), 7);
+    let assignment = partition_docs(collection.docs.len(), handles.len(), Partition::paper(), 7);
     for (doc, &peer) in collection.docs.iter().zip(&assignment) {
         let xml = format!("<paper>{}</paper>", doc.text());
         community.publish(handles[peer], &xml, PublishOptions::default())?;
     }
-    let loads: Vec<usize> = handles
-        .iter()
-        .map(|&h| community.store(h).len())
-        .collect();
+    let loads: Vec<usize> = handles.iter().map(|&h| community.store(h).len()).collect();
     println!(
         "library of {} papers over {} members (max share {}, min {})",
         collection.docs.len(),
@@ -63,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|h| {
                 // Check against the generator's relevance judgments.
                 q.relevant.iter().any(|&d| {
-                    collection.docs[d].terms.first()
-                        == planetp_index_first_term(&h.xml).as_ref()
+                    collection.docs[d].terms.first() == planetp_index_first_term(&h.xml).as_ref()
                 })
             })
             .count();

@@ -4,8 +4,8 @@
 
 use planetp_obs::names;
 use planetp_simnet::experiments::{
-    dynamic_community, dynamic_scenarios, join_storm, poisson_join_interference,
-    propagation, DynamicConfig, Scenario,
+    dynamic_community, dynamic_scenarios, join_storm, poisson_join_interference, propagation,
+    DynamicConfig, Scenario,
 };
 use planetp_simnet::{LinkClass, SimConfig, Simulator};
 
@@ -69,8 +69,7 @@ fn n200_propagation_within_log_round_envelope() {
     const N: usize = 200;
     let config = SimConfig::default();
     let interval_ms = config.gossip.base_interval_ms;
-    let envelope_ms =
-        (6.0 * (N as f64).log2() * interval_ms as f64).ceil() as u64;
+    let envelope_ms = (6.0 * (N as f64).log2() * interval_ms as f64).ceil() as u64;
 
     let mut sim = Simulator::new(config);
     sim.add_stable_community(&[LinkClass::Lan45M; N], 3000);
@@ -89,7 +88,9 @@ fn n200_propagation_within_log_round_envelope() {
     // Every peer learned it exactly once (the origin counts too).
     assert_eq!(snap.counter(names::SIM_TRACKED_KNOWN), N as u64);
     // The recorded latency itself sits inside the envelope.
-    let conv = snap.histogram(names::SIM_CONVERGENCE_MS).expect("registered");
+    let conv = snap
+        .histogram(names::SIM_CONVERGENCE_MS)
+        .expect("registered");
     assert_eq!(conv.count, 1);
     assert!(
         conv.sum <= envelope_ms,

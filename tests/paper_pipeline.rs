@@ -31,8 +31,7 @@ fn publish_and_rank_through_public_api() {
     let handles: Vec<_> = (0..n_peers)
         .map(|i| community.add_peer(&format!("peer-{i}")))
         .collect();
-    let assignment =
-        partition_docs(collection.docs.len(), n_peers, Partition::paper(), 3);
+    let assignment = partition_docs(collection.docs.len(), n_peers, Partition::paper(), 3);
 
     // Track where each generated document landed so relevance judgments
     // can be checked. Documents are published as XML; the community
@@ -60,11 +59,8 @@ fn publish_and_rank_through_public_api() {
             .search_ranked(handles[0], &raw, 20)
             .expect("search");
         total_contacted += hits.peers_contacted;
-        let relevant: std::collections::HashSet<(usize, u64)> = q
-            .relevant
-            .iter()
-            .map(|&d| placed[d])
-            .collect();
+        let relevant: std::collections::HashSet<(usize, u64)> =
+            q.relevant.iter().map(|&d| placed[d]).collect();
         let found = hits
             .results
             .iter()
@@ -94,7 +90,11 @@ fn offline_owner_documents_resurface_on_rejoin() {
     // Peer b owns a unique document.
     let unique = &collection.docs[0];
     community
-        .publish(b, &format!("<d>{}</d>", unique.text()), PublishOptions::default())
+        .publish(
+            b,
+            &format!("<d>{}</d>", unique.text()),
+            PublishOptions::default(),
+        )
         .unwrap();
     let term = unique.terms[0].clone();
 
