@@ -1,0 +1,413 @@
+//! Overload goodput: prioritized load shedding on vs. off, over a live
+//! community driven past its service capacity.
+//!
+//! Every serving peer delays each inbound operation (the same injected
+//! per-op RTT the query-latency bench uses) and runs a deliberately
+//! small admission gate, so a handful of concurrent searchers offer
+//! more load than the community can serve. The experiment runs twice:
+//!
+//! - **shedding on** (the default runtime behavior): the admission
+//!   queue is bounded, overflow is answered `Busy` immediately, and
+//!   queue waits are capped well below the client timeout;
+//! - **shedding off** (`--no-shedding` baseline): arrivals queue
+//!   without bound and wait up to the client's own timeout — the
+//!   classic overload collapse where servers burn service time on
+//!   requests whose callers already gave up.
+//!
+//! Goodput is *useful* work: remote hits delivered to searchers per
+//! second. The run asserts that shedding does not cost goodput
+//! (on ≥ 0.9 × off) and that it bounds tail latency (p99 under the
+//! client timeout) — then emits `BENCH_overload.json` when
+//! `PLANETP_JSON_DIR` is set.
+//!
+//! Knobs: `--quick` / `--full` (scale), `--admission-queue <n>`
+//! (bounded queue capacity for the shedding series), `--no-shedding`
+//! (run only the baseline series, skipping the comparison).
+
+use planetp::faults::{FaultInjector, FaultPlan, FaultRules};
+use planetp::live::{FanoutConfig, LiveConfig, LiveNode};
+use planetp::AdmissionConfig;
+use planetp_bench::{print_table, scale_from_args, write_json, Scale};
+use planetp_gossip::GossipConfig;
+use planetp_obs::names;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Injected delay per inbound operation on every serving peer (ms); a
+/// full contact crosses roughly three such operations.
+const DELAY_MS: u64 = 40;
+/// Client-side I/O timeout — the latency cliff the baseline falls off.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Concurrent service slots per peer: small, so saturation is cheap.
+const MAX_ACTIVE: usize = 2;
+
+#[derive(Serialize, Clone)]
+struct SeriesReport {
+    shedding: bool,
+    queue_capacity: usize,
+    searches: usize,
+    search_errors: usize,
+    hits_total: usize,
+    goodput_hits_per_s: f64,
+    searches_per_s: f64,
+    median_ms: f64,
+    p99_ms: f64,
+    peers_shed_total: usize,
+    peers_failed_total: usize,
+    busy_received: u64,
+    admission_admitted: u64,
+    admission_shed: u64,
+    admission_expired: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    servers: usize,
+    searchers: usize,
+    window_secs: f64,
+    delay_ms: u64,
+    max_active: usize,
+    series: Vec<SeriesReport>,
+    goodput_ratio_on_over_off: Option<f64>,
+}
+
+fn server_config(seed: u64, shedding: bool, queue_capacity: usize) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 150,
+            slowdown_ms: 25,
+            ..GossipConfig::default()
+        },
+        io_timeout: IO_TIMEOUT,
+        seed,
+        admission: AdmissionConfig {
+            max_active: MAX_ACTIVE,
+            queue_capacity,
+            shedding,
+            // Protected mode answers `Busy` long before the client
+            // gives up; the baseline queues until the caller's own
+            // timeout would have fired anyway.
+            max_wait_ms: if shedding {
+                250
+            } else {
+                IO_TIMEOUT.as_millis() as u64
+            },
+            ..AdmissionConfig::default()
+        },
+        faults: Some(Arc::new(FaultInjector::new(
+            seed,
+            FaultPlan {
+                inbound: FaultRules {
+                    delay: 1.0,
+                    delay_ms: DELAY_MS,
+                    ..FaultRules::default()
+                },
+                outbound: FaultRules::default(),
+            },
+        ))),
+        ..LiveConfig::default()
+    }
+}
+
+fn searcher_config(seed: u64, servers: usize) -> LiveConfig {
+    LiveConfig {
+        gossip: GossipConfig {
+            base_interval_ms: 40,
+            max_interval_ms: 150,
+            slowdown_ms: 25,
+            ..GossipConfig::default()
+        },
+        io_timeout: IO_TIMEOUT,
+        seed,
+        fanout: FanoutConfig {
+            // One full group must overlap completely.
+            pool_threads: servers + 1,
+            ..FanoutConfig::default()
+        },
+        ..LiveConfig::default()
+    }
+}
+
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+struct LoadSample {
+    latencies_ms: Vec<f64>,
+    hits: usize,
+    errors: usize,
+    shed: usize,
+    failed: usize,
+}
+
+/// Stand up one community (servers + searchers), converge it, hammer it
+/// from every searcher for `window`, and report the aggregate.
+fn run_series(
+    shedding: bool,
+    servers: usize,
+    searchers: usize,
+    window: Duration,
+    queue_capacity: usize,
+    seed_base: u64,
+) -> SeriesReport {
+    let founder = LiveNode::start(0, server_config(seed_base, shedding, queue_capacity), None)
+        .expect("founder");
+    let bootstrap = (0u32, founder.addr().to_string());
+    let mut server_nodes = vec![founder];
+    for id in 1..servers as u32 {
+        server_nodes.push(
+            LiveNode::start(
+                id,
+                server_config(seed_base + u64::from(id), shedding, queue_capacity),
+                Some(bootstrap.clone()),
+            )
+            .expect("server"),
+        );
+    }
+    let mut searcher_nodes = Vec::new();
+    for i in 0..searchers as u32 {
+        let id = servers as u32 + i;
+        searcher_nodes.push(
+            LiveNode::start(
+                id,
+                searcher_config(seed_base + u64::from(id), servers),
+                Some(bootstrap.clone()),
+            )
+            .expect("searcher"),
+        );
+    }
+
+    for (i, n) in server_nodes.iter().enumerate() {
+        n.publish(&format!(
+            "<doc><body>overload corpus entry{i} shared</body></doc>"
+        ))
+        .expect("publish");
+    }
+
+    let total = servers + searchers;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let converged = loop {
+        let d = server_nodes[0].directory_digest();
+        if server_nodes
+            .iter()
+            .chain(searcher_nodes.iter())
+            .all(|n| n.directory_size() == total && n.directory_digest() == d)
+        {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    if !converged {
+        eprintln!("warning: community not fully converged; goodput may undercount");
+    }
+
+    // One warm-up search per searcher primes filter mirrors and pools.
+    for n in &searcher_nodes {
+        let _ = n.search_ranked_grouped("overload shared", servers, servers);
+    }
+
+    let samples: Vec<LoadSample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = searcher_nodes
+            .iter()
+            .map(|node| {
+                scope.spawn(move || {
+                    let mut out = LoadSample {
+                        latencies_ms: Vec::new(),
+                        hits: 0,
+                        errors: 0,
+                        shed: 0,
+                        failed: 0,
+                    };
+                    let end = Instant::now() + window;
+                    while Instant::now() < end {
+                        let t = Instant::now();
+                        match node.search_ranked_grouped("overload shared", servers, servers) {
+                            Ok(r) => {
+                                out.latencies_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+                                out.hits += r.hits.len();
+                                out.shed += r.coverage.peers_shed;
+                                out.failed += r.coverage.peers_failed;
+                            }
+                            Err(_) => out.errors += 1,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .collect()
+    });
+
+    let mut latencies: Vec<f64> = samples
+        .iter()
+        .flat_map(|s| s.latencies_ms.clone())
+        .collect();
+    let searches = latencies.len();
+    let hits_total: usize = samples.iter().map(|s| s.hits).sum();
+    let secs = window.as_secs_f64();
+    let busy_received: u64 = searcher_nodes
+        .iter()
+        .map(|n| n.metrics_snapshot().counter(names::BUSY_RECEIVED))
+        .sum();
+    let (mut admitted, mut shed, mut expired) = (0u64, 0u64, 0u64);
+    for n in &server_nodes {
+        let m = n.metrics_snapshot();
+        admitted += m.counter(names::ADMISSION_ADMITTED);
+        shed += m.counter(names::ADMISSION_SHED);
+        expired += m.counter(names::ADMISSION_EXPIRED);
+    }
+
+    SeriesReport {
+        shedding,
+        queue_capacity,
+        searches,
+        search_errors: samples.iter().map(|s| s.errors).sum(),
+        hits_total,
+        goodput_hits_per_s: hits_total as f64 / secs,
+        searches_per_s: searches as f64 / secs,
+        median_ms: percentile(&mut latencies, 0.5),
+        p99_ms: percentile(&mut latencies, 0.99),
+        peers_shed_total: samples.iter().map(|s| s.shed).sum(),
+        peers_failed_total: samples.iter().map(|s| s.failed).sum(),
+        busy_received,
+        admission_admitted: admitted,
+        admission_shed: shed,
+        admission_expired: expired,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let queue_capacity = args
+        .iter()
+        .position(|a| a == "--admission-queue")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4);
+    let baseline_only = args.iter().any(|a| a == "--no-shedding");
+
+    let (servers, searchers, window) = match scale {
+        Scale::Quick => (8usize, 3usize, Duration::from_secs(4)),
+        Scale::Full | Scale::Default => (8, 4, Duration::from_secs(10)),
+    };
+
+    println!(
+        "Overload goodput: {servers} servers ({DELAY_MS} ms/op injected, \
+         {MAX_ACTIVE} service slots each), {searchers} concurrent searchers, \
+         {}s window, queue {queue_capacity}:",
+        window.as_secs()
+    );
+
+    let mut series = Vec::new();
+    if !baseline_only {
+        eprintln!("running series: shedding on");
+        series.push(run_series(
+            true,
+            servers,
+            searchers,
+            window,
+            queue_capacity,
+            5_000,
+        ));
+    }
+    eprintln!("running series: shedding off (baseline)");
+    series.push(run_series(
+        false,
+        servers,
+        searchers,
+        window,
+        queue_capacity,
+        9_000,
+    ));
+
+    let table: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            vec![
+                if s.shedding { "on" } else { "off" }.to_string(),
+                s.searches.to_string(),
+                format!("{:.1}", s.goodput_hits_per_s),
+                format!("{:.1}", s.median_ms),
+                format!("{:.1}", s.p99_ms),
+                s.peers_shed_total.to_string(),
+                s.peers_failed_total.to_string(),
+                s.admission_expired.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "shedding",
+            "searches",
+            "hits/s",
+            "median(ms)",
+            "p99(ms)",
+            "shed",
+            "failed",
+            "expired",
+        ],
+        &table,
+    );
+
+    let ratio = if series.len() == 2 {
+        let on = &series[0];
+        let off = &series[1];
+        let ratio = if off.goodput_hits_per_s > 0.0 {
+            on.goodput_hits_per_s / off.goodput_hits_per_s
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "\ngoodput shedding-on / shedding-off: {ratio:.2}x \
+             (p99 {:.0} ms vs {:.0} ms)",
+            on.p99_ms, off.p99_ms
+        );
+        Some(ratio)
+    } else {
+        None
+    };
+
+    write_json(
+        "BENCH_overload",
+        &Report {
+            servers,
+            searchers,
+            window_secs: window.as_secs_f64(),
+            delay_ms: DELAY_MS,
+            max_active: MAX_ACTIVE,
+            series: series.clone(),
+            goodput_ratio_on_over_off: ratio,
+        },
+    );
+
+    // The protective claims, enforced: shedding must not cost goodput
+    // (within noise) and must keep the tail under the client timeout.
+    if let Some(ratio) = ratio {
+        let on = &series[0];
+        assert!(
+            ratio >= 0.9,
+            "shedding lost goodput: on/off ratio {ratio:.2} < 0.9"
+        );
+        assert!(
+            on.p99_ms < IO_TIMEOUT.as_secs_f64() * 1000.0,
+            "shedding failed to bound tail latency: p99 {:.0} ms >= {:?}",
+            on.p99_ms,
+            IO_TIMEOUT
+        );
+        println!("PASS: goodput preserved ({ratio:.2}x) with bounded p99");
+    }
+}

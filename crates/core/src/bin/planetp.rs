@@ -35,7 +35,7 @@
 //! ```
 
 use planetp::live::{LiveConfig, LiveNode};
-use planetp::{ConnConfig, DurableConfig, ReplicaConfig};
+use planetp::{AdmissionConfig, ConnConfig, DurableConfig, ReplicaConfig};
 use planetp_gossip::GossipConfig;
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -49,6 +49,8 @@ struct Args {
     conn_idle_ms: Option<u64>,
     replicate: bool,
     replica_capacity_mb: Option<u64>,
+    admission_queue: Option<usize>,
+    no_shedding: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
     let mut conn_idle_ms = None;
     let mut replicate = false;
     let mut replica_capacity_mb = None;
+    let mut admission_queue = None;
+    let mut no_shedding = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -116,6 +120,19 @@ fn parse_args() -> Result<Args, String> {
                 );
                 i += 2;
             }
+            "--admission-queue" => {
+                admission_queue = Some(
+                    argv.get(i + 1)
+                        .ok_or("--admission-queue needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --admission-queue: {e}"))?,
+                );
+                i += 2;
+            }
+            "--no-shedding" => {
+                no_shedding = true;
+                i += 1;
+            }
             "--conn-idle-ms" => {
                 conn_idle_ms = Some(
                     argv.get(i + 1)
@@ -137,6 +154,8 @@ fn parse_args() -> Result<Args, String> {
         conn_idle_ms,
         replicate,
         replica_capacity_mb,
+        admission_queue,
+        no_shedding,
     })
 }
 
@@ -152,7 +171,8 @@ fn main() {
             eprintln!(
                 "usage: planetp --id <n> [--bootstrap <id>@<addr>] [--interval-ms <ms>] \
                  [--data-dir <dir>] [--no-conn-pool] [--conn-idle-ms <ms>] \
-                 [--replicate] [--replica-capacity-mb <mb>]\n\
+                 [--replicate] [--replica-capacity-mb <mb>] \
+                 [--admission-queue <n>] [--no-shedding]\n\
                  \x20      planetp stats <addr> [--json]"
             );
             std::process::exit(2);
@@ -188,6 +208,16 @@ fn main() {
                 r.capacity_bytes = mb << 20;
             }
             r
+        },
+        admission: {
+            let mut a = AdmissionConfig::default();
+            if let Some(n) = args.admission_queue {
+                a.queue_capacity = n;
+            }
+            if args.no_shedding {
+                a.shedding = false;
+            }
+            a
         },
         ..LiveConfig::default()
     };
@@ -380,11 +410,12 @@ fn warn_coverage(c: &planetp::live::SearchCoverage) {
     if !c.is_complete() {
         println!(
             "warning: partial results — {} of {} attempted peers answered \
-             ({} failed, {} skipped as offline)",
+             ({} failed, {} skipped as offline, {} shed as overloaded)",
             c.peers_contacted,
             c.peers_attempted(),
             c.peers_failed,
-            c.peers_skipped
+            c.peers_skipped,
+            c.peers_shed
         );
     }
 }

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::faults::{Direction, FaultInjector};
-use crate::wire::{self, Frame};
+use crate::wire::{self, Frame, FrameMeta};
 
 /// How long a reader lease polls the socket before handing the lease
 /// back (and how long non-readers wait between checks of their slot).
@@ -242,13 +242,16 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
 
     /// One correlated RPC: send the request, then wait for the matching
     /// reply — reading the stream ourselves whenever no other waiter
-    /// holds the reader lease. Returns the reply with its request/reply
-    /// wire sizes.
+    /// holds the reader lease. `meta`, when present, rides the request
+    /// frame's metadata header (deadline budget + priority class) for
+    /// the server's admission gate. Returns the reply with its
+    /// request/reply wire sizes.
     fn rpc(
         &self,
         request: &T,
         read_timeout: Duration,
         max_inflight: usize,
+        meta: Option<FrameMeta>,
     ) -> io::Result<(T, usize, usize)> {
         if self.is_broken() {
             return Err(io::Error::new(
@@ -268,7 +271,7 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
             st.pending.insert(corr, None);
         }
         self.metrics.inflight.add(1);
-        let res = self.rpc_inner(corr, request, read_timeout);
+        let res = self.rpc_inner(corr, request, read_timeout, meta);
         self.metrics.inflight.add(-1);
         // Clear our slot on every exit path (timeout, error); a reply
         // that arrives after this is counted as unknown and dropped.
@@ -284,12 +287,19 @@ impl<T: Serialize + DeserializeOwned> MuxConn<T> {
         corr: u64,
         request: &T,
         read_timeout: Duration,
+        meta: Option<FrameMeta>,
     ) -> io::Result<(T, usize, usize)> {
         let bytes_out = {
             let mut w = self.writer.lock();
-            let written = match &self.faults {
-                Some(f) => f.write_correlated_frame(Direction::Outbound, &mut *w, corr, request),
-                None => wire::write_correlated_frame(&mut *w, corr, request),
+            let written = match (meta, &self.faults) {
+                (Some(m), Some(f)) => {
+                    f.write_meta_frame(Direction::Outbound, &mut *w, corr, m, request)
+                }
+                (Some(m), None) => wire::write_meta_frame(&mut *w, corr, m, request),
+                (None, Some(f)) => {
+                    f.write_correlated_frame(Direction::Outbound, &mut *w, corr, request)
+                }
+                (None, None) => wire::write_correlated_frame(&mut *w, corr, request),
             };
             match written {
                 Ok(n) => n,
@@ -577,9 +587,28 @@ impl<T: Serialize + DeserializeOwned> ConnPool<T> {
         request: &T,
         read_timeout: Duration,
     ) -> io::Result<(T, RpcConnInfo)> {
+        self.rpc_with_meta(addr, request, read_timeout, None)
+    }
+
+    /// [`Self::rpc`] with request metadata: the frame carries `meta`'s
+    /// deadline budget and priority class for the server's admission
+    /// gate. `None` falls back to a plain correlated frame, readable by
+    /// servers predating the metadata header.
+    pub fn rpc_with_meta(
+        &self,
+        addr: &str,
+        request: &T,
+        read_timeout: Duration,
+        meta: Option<FrameMeta>,
+    ) -> io::Result<(T, RpcConnInfo)> {
         let (conn, pre_existing) = self.mux(addr)?;
         let stale_eligible = pre_existing && conn.was_used();
-        match conn.rpc(request, read_timeout, self.config.max_inflight_per_conn) {
+        match conn.rpc(
+            request,
+            read_timeout,
+            self.config.max_inflight_per_conn,
+            meta,
+        ) {
             Ok((reply, bytes_out, bytes_in)) => Ok((
                 reply,
                 RpcConnInfo {
@@ -593,8 +622,12 @@ impl<T: Serialize + DeserializeOwned> ConnPool<T> {
                 self.metrics.stale_reconnects.inc();
                 self.drop_mux(addr, &conn);
                 let (fresh, _) = self.mux(addr)?;
-                let (reply, bytes_out, bytes_in) =
-                    fresh.rpc(request, read_timeout, self.config.max_inflight_per_conn)?;
+                let (reply, bytes_out, bytes_in) = fresh.rpc(
+                    request,
+                    read_timeout,
+                    self.config.max_inflight_per_conn,
+                    meta,
+                )?;
                 Ok((
                     reply,
                     RpcConnInfo {
@@ -762,6 +795,44 @@ mod tests {
         assert!(info.reused, "second RPC shares the stream");
         assert_eq!(m.opened.get(), 1, "exactly one connect for both RPCs");
         drop(p); // closes the stream; the server loop exits its accept
+        drop(server);
+    }
+
+    #[test]
+    fn mux_rpc_with_meta_reaches_a_meta_aware_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // A meta-aware echo server: echoes the request under its id and
+        // encodes the received metadata into the reply payload.
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            while let Ok(Some((frame, meta, _))) =
+                wire::read_any_frame_meta_sized::<Vec<u32>>(&mut s)
+            {
+                let Frame::Correlated(id, mut v) = frame else {
+                    break;
+                };
+                if let Some(m) = meta {
+                    v.push(m.deadline_ms.unwrap_or(0));
+                    v.push(u32::from(m.priority.to_wire()));
+                }
+                if wire::write_correlated_frame(&mut s, id, &v).is_err() {
+                    break;
+                }
+            }
+        });
+        let (p, _) = pool(ConnConfig::default());
+        let meta = FrameMeta::with_deadline(wire::Priority::Interactive, 1_234);
+        let (reply, _) = p
+            .rpc_with_meta(&addr, &vec![7], Duration::from_secs(2), Some(meta))
+            .unwrap();
+        assert_eq!(reply, vec![7, 1_234, 0], "metadata arrived intact");
+        // A meta-less RPC on the same stream stays a plain correlated
+        // frame (no metadata echoed back).
+        let (reply, _) = p.rpc(&addr, &vec![8], Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, vec![8]);
+        drop(p);
         drop(server);
     }
 

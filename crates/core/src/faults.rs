@@ -75,6 +75,12 @@ pub struct FaultRules {
     /// correlation id (a stale or misrouted reply: the receiving mux
     /// discards it as unknown and the real waiter times out).
     pub stale_corr_id: f64,
+    /// Probability the server's admission gate forcibly sheds an
+    /// inbound request — the caller receives `LiveMsg::Busy` exactly as
+    /// under real overload. Lets tests drive the overload paths
+    /// (uncharged health, busy throttle, `peers_shed` coverage)
+    /// deterministically without saturating a real queue.
+    pub force_busy: f64,
 }
 
 /// A full fault plan: one rule set per direction.
@@ -166,6 +172,7 @@ struct Counters {
     dropped_replies: AtomicU64,
     stale_corr_ids: AtomicU64,
     crashes: AtomicU64,
+    forced_busy: AtomicU64,
 }
 
 /// Snapshot of [`FaultInjector`] counters.
@@ -187,6 +194,8 @@ pub struct FaultStats {
     pub stale_corr_ids: u64,
     /// Store-path crashes simulated.
     pub crashes: u64,
+    /// Inbound requests forcibly shed with a `Busy` reply.
+    pub forced_busy: u64,
 }
 
 impl FaultStats {
@@ -200,6 +209,7 @@ impl FaultStats {
             + self.dropped_replies
             + self.stale_corr_ids
             + self.crashes
+            + self.forced_busy
     }
 }
 
@@ -293,6 +303,19 @@ impl FaultInjector {
             dropped_replies: self.counters.dropped_replies.load(Ordering::Relaxed),
             stale_corr_ids: self.counters.stale_corr_ids.load(Ordering::Relaxed),
             crashes: self.counters.crashes.load(Ordering::Relaxed),
+            forced_busy: self.counters.forced_busy.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Should the server's admission gate forcibly shed this request?
+    /// Rolled once per served frame; a `true` is counted and the caller
+    /// replies `Busy` exactly as under real overload.
+    pub fn force_busy(&self, dir: Direction) -> bool {
+        if self.roll(self.rules(dir).force_busy) {
+            self.counters.forced_busy.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
@@ -456,6 +479,83 @@ impl FaultInjector {
         w.write_all(&body)?;
         w.flush()?;
         Ok(4 + 8 + body.len())
+    }
+
+    /// Write one correlated *metadata* frame (see
+    /// [`crate::wire::write_meta_frame`]) through the request-path
+    /// fault ladder: delay, mid-frame drop, silent truncation, and body
+    /// corruption. The reply-only rules (`drop_reply`,
+    /// `stale_corr_id`) do not apply — this is how requests leave a
+    /// client, not how replies leave a server.
+    pub fn write_meta_frame<T: Serialize + ?Sized>(
+        &self,
+        dir: Direction,
+        w: &mut impl Write,
+        corr_id: u64,
+        meta: crate::wire::FrameMeta,
+        value: &T,
+    ) -> io::Result<usize> {
+        let rules = *self.rules(dir);
+        self.maybe_delay(&rules);
+        if self.roll(rules.drop_mid_frame) {
+            self.counters
+                .dropped_mid_frame
+                .fetch_add(1, Ordering::Relaxed);
+            // Write the full header, half the body, then die — the
+            // receiver sees a well-formed header and a torn body.
+            let body = serde_json::to_vec(value)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let mut framed = Vec::new();
+            crate::wire::write_meta_frame(&mut framed, corr_id, meta, value)?;
+            let keep = framed.len() - body.len() / 2;
+            w.write_all(&framed[..keep])?;
+            let _ = w.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected mid-frame drop",
+            ));
+        }
+        if self.roll(rules.truncate_frame) {
+            self.counters.truncated.fetch_add(1, Ordering::Relaxed);
+            let mut framed = Vec::new();
+            let n = crate::wire::write_meta_frame(&mut framed, corr_id, meta, value)?;
+            let keep = n.saturating_sub(7.min(n));
+            w.write_all(&framed[..keep])?;
+            w.flush()?;
+            // Report success: a crashed sender never learns either.
+            return Ok(keep);
+        }
+        if self.roll(rules.corrupt_frame) {
+            self.counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            let mut framed = Vec::new();
+            let n = crate::wire::write_meta_frame(&mut framed, corr_id, meta, value)?;
+            let header = 17.min(n);
+            if n > header {
+                let mut rng = self.rng.lock();
+                for _ in 0..3.min(n - header) {
+                    let i = rng.random_range(header..n);
+                    framed[i] ^= 0xA5;
+                }
+            }
+            w.write_all(&framed)?;
+            w.flush()?;
+            return Ok(n);
+        }
+        crate::wire::write_meta_frame(w, corr_id, meta, value)
+    }
+
+    /// Read one frame of any framing generation — legacy, correlated,
+    /// or correlated-with-metadata — plus its wire size, possibly after
+    /// an injected delay. (Read-side corruption is covered by
+    /// write-side faults on the other end.)
+    pub fn read_any_frame_meta_sized<T: DeserializeOwned>(
+        &self,
+        dir: Direction,
+        r: &mut impl Read,
+    ) -> io::Result<Option<(crate::wire::Frame<T>, Option<crate::wire::FrameMeta>, usize)>> {
+        let rules = *self.rules(dir);
+        self.maybe_delay(&rules);
+        crate::wire::read_any_frame_meta_sized(r)
     }
 
     /// Read one frame of either framing generation plus its wire size,
@@ -676,6 +776,60 @@ mod tests {
             .expect("one frame");
         assert_eq!(got.0, crate::wire::Frame::Correlated(77, vec![1, 2]));
         assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn clean_injector_roundtrips_meta_frames() {
+        let inj = FaultInjector::new(12, FaultPlan::default());
+        let meta = crate::wire::FrameMeta::with_deadline(crate::wire::Priority::Interactive, 250);
+        let mut buf = Vec::new();
+        inj.write_meta_frame(Direction::Outbound, &mut buf, 21, meta, &[3u32, 4])
+            .unwrap();
+        let mut r = buf.as_slice();
+        let (frame, got_meta, _) = inj
+            .read_any_frame_meta_sized::<Vec<u32>>(Direction::Inbound, &mut r)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(frame, crate::wire::Frame::Correlated(21, vec![3, 4]));
+        assert_eq!(got_meta, Some(meta));
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn truncated_meta_frame_reports_success_but_receiver_errors() {
+        let inj = FaultInjector::new(
+            13,
+            FaultPlan::symmetric(FaultRules {
+                truncate_frame: 1.0,
+                ..FaultRules::default()
+            }),
+        );
+        let meta = crate::wire::FrameMeta::new(crate::wire::Priority::Background);
+        let mut buf = Vec::new();
+        inj.write_meta_frame(Direction::Outbound, &mut buf, 1, meta, &[9u32; 50])
+            .unwrap();
+        let mut r = buf.as_slice();
+        assert!(crate::wire::read_any_frame_meta_sized::<Vec<u32>>(&mut r).is_err());
+        assert_eq!(inj.stats().truncated, 1);
+    }
+
+    #[test]
+    fn force_busy_is_seeded_and_counted() {
+        let plan = FaultPlan::symmetric(FaultRules {
+            force_busy: 0.5,
+            ..FaultRules::default()
+        });
+        let a = FaultInjector::new(77, plan);
+        let b = FaultInjector::new(77, plan);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.force_busy(Direction::Inbound)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.force_busy(Direction::Inbound)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|x| *x) && seq_a.iter().any(|x| !*x));
+        let forced = seq_a.iter().filter(|x| **x).count() as u64;
+        assert_eq!(a.stats().forced_busy, forced);
+        // A zero-probability injector never forces.
+        let clean = FaultInjector::new(1, FaultPlan::default());
+        assert!((0..32).all(|_| !clean.force_busy(Direction::Inbound)));
     }
 
     #[test]

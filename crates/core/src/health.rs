@@ -120,6 +120,15 @@ pub struct PeerHealthEntry {
     /// says nothing about the peer's liveness, so these never feed the
     /// consecutive-failure state machine.
     pub stale_reconnects: u32,
+    /// Consecutive `Busy` replies since the last successful contact.
+    /// Like stale reconnects, Busy is *not* a failure — the peer is
+    /// alive, merely overloaded — so these never feed the
+    /// suspect→offline machine. They drive the busy throttle instead.
+    pub busy_strikes: u32,
+    /// While busy-throttled: the advertised retry-after horizon (local
+    /// clock, ms). Inside this window, repeated strikes make group
+    /// dispatch probabilistically skip the peer for a round.
+    pub busy_until_ms: u64,
 }
 
 impl PeerHealthEntry {
@@ -132,6 +141,8 @@ impl PeerHealthEntry {
             state: HealthState::Healthy,
             retry_at_ms: 0,
             stale_reconnects: 0,
+            busy_strikes: 0,
+            busy_until_ms: 0,
         }
     }
 }
@@ -192,6 +203,9 @@ impl PeerHealth {
         e.last_success_ms = Some(now_ms);
         e.state = HealthState::Healthy;
         e.retry_at_ms = 0;
+        // A served request proves the overload passed: drop the throttle.
+        e.busy_strikes = 0;
+        e.busy_until_ms = 0;
         e.ewma_latency_ms = Some(match e.ewma_latency_ms {
             Some(prev) => prev + alpha * (latency_ms - prev),
             None => latency_ms,
@@ -245,6 +259,49 @@ impl PeerHealth {
             .entry(peer)
             .or_insert_with(PeerHealthEntry::fresh);
         e.stale_reconnects = e.stale_reconnects.saturating_add(1);
+    }
+
+    /// Record a `Busy` reply from `peer` advertising `retry_after_ms`
+    /// of backoff. Deliberately *not* a failure (the peer answered — it
+    /// is alive, just shedding load), so the suspect→offline machine is
+    /// untouched. Consecutive strikes accumulate and extend the busy
+    /// window; [`Self::busy_throttled`] turns repeats into skips.
+    pub fn record_busy(&mut self, peer: PeerId, now_ms: u64, retry_after_ms: u64) {
+        let e = self
+            .entries
+            .entry(peer)
+            .or_insert_with(PeerHealthEntry::fresh);
+        e.busy_strikes = e.busy_strikes.saturating_add(1);
+        e.busy_until_ms = e.busy_until_ms.max(now_ms + retry_after_ms.max(1));
+    }
+
+    /// Should a group dispatch skip this peer for one round because it
+    /// keeps shedding us? A single Busy never throttles (the very next
+    /// request may land); *repeated* Busy inside the advertised window
+    /// skips probabilistically — probability grows with the strike
+    /// count, capped below 1 so a throttled peer is still probed
+    /// occasionally. Deterministic in `salt` for reproducible tests.
+    pub fn busy_throttled(&self, peer: PeerId, now_ms: u64, salt: u64) -> bool {
+        let Some(e) = self.entries.get(&peer) else {
+            return false;
+        };
+        if e.busy_strikes < 2 || now_ms >= e.busy_until_ms {
+            return false;
+        }
+        // 50% at two strikes, +15% per further strike, capped at 90%.
+        let pct = 50u64
+            .saturating_add(15 * u64::from(e.busy_strikes - 2))
+            .min(90);
+        let roll = splitmix64(salt ^ (u64::from(peer) << 17) ^ u64::from(e.busy_strikes)) % 100;
+        roll < pct
+    }
+
+    /// Peers currently inside a busy-throttle window.
+    pub fn busy_throttled_count(&self, now_ms: u64) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.busy_strikes >= 2 && now_ms < e.busy_until_ms)
+            .count()
     }
 
     /// Current belief about a peer (Healthy when never contacted).
@@ -377,6 +434,53 @@ mod tests {
         assert_eq!(e.consecutive_failures, 0, "staleness is not a failure");
         assert_eq!(e.state, HealthState::Healthy);
         assert!(!h.should_skip(5, 1));
+    }
+
+    #[test]
+    fn busy_replies_never_touch_the_liveness_machine() {
+        let mut h = table();
+        h.record_busy(6, 0, 200);
+        h.record_busy(6, 10, 200);
+        h.record_busy(6, 20, 200);
+        let e = h.get(6).unwrap();
+        assert_eq!(e.busy_strikes, 3);
+        assert_eq!(e.consecutive_failures, 0, "busy is not a failure");
+        assert_eq!(e.state, HealthState::Healthy);
+        assert!(!h.should_skip(6, 21), "health never gates a busy peer");
+    }
+
+    #[test]
+    fn single_busy_never_throttles_repeats_do_inside_the_window() {
+        let mut h = table();
+        h.record_busy(8, 0, 1_000);
+        for salt in 0..64 {
+            assert!(!h.busy_throttled(8, 10, salt), "one strike is free");
+        }
+        h.record_busy(8, 10, 1_000);
+        h.record_busy(8, 20, 1_000);
+        let hits = (0..64)
+            .filter(|&salt| h.busy_throttled(8, 30, salt))
+            .count();
+        assert!(hits > 0, "repeated busy must sometimes skip");
+        assert!(hits < 64, "probability stays below 1 — peer is re-probed");
+        // Outside the advertised window the throttle lapses.
+        assert!(!h.busy_throttled(8, 5_000, 1));
+        // Deterministic in salt.
+        assert_eq!(h.busy_throttled(8, 30, 7), h.busy_throttled(8, 30, 7));
+        assert_eq!(h.busy_throttled_count(30), 1);
+        assert_eq!(h.busy_throttled_count(5_000), 0);
+    }
+
+    #[test]
+    fn success_clears_the_busy_throttle() {
+        let mut h = table();
+        h.record_busy(2, 0, 10_000);
+        h.record_busy(2, 1, 10_000);
+        h.record_success(2, 5, 3.0);
+        let e = h.get(2).unwrap();
+        assert_eq!(e.busy_strikes, 0);
+        assert_eq!(e.busy_until_ms, 0);
+        assert!(!h.busy_throttled(2, 6, 1));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //!   analog of the paper's Java prototype used to validate the
 //!   simulator.
 
+pub mod admission;
 pub mod community;
 pub mod conn;
 pub mod datastore;
@@ -67,6 +68,7 @@ pub mod pool;
 pub mod query;
 pub mod wire;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionGate, AdmissionState};
 pub use community::{Community, PeerHandle, RankedHits};
 pub use conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
 pub use datastore::{content_hash, DocumentRecord, LocalDataStore, PublishOptions};
@@ -91,3 +93,4 @@ pub use planetp_obs::{MetricsSnapshot, Registry};
 pub use planetp_replica::{ReplicaAd, ReplicaConfig};
 pub use pool::{ScopedJob, WorkerPool};
 pub use query::{parse_query, QueryTerms};
+pub use wire::{FrameMeta, Priority};

@@ -61,6 +61,7 @@ use planetp_replica::{
     ReplicaMetrics, AD_WIRE_BYTES,
 };
 
+use crate::admission::{Admission, AdmissionConfig, AdmissionGate};
 use crate::conn::{is_connection_level, ConnConfig, ConnMetrics, ConnPool, RpcConnInfo};
 use crate::datastore::{content_hash, LocalDataStore};
 use crate::durable::{DurableConfig, DurableStore, StoreMetrics, WalRecord};
@@ -69,7 +70,7 @@ use crate::faults::{Direction, FaultInjector};
 use crate::health::{splitmix64, HealthConfig, PeerHealth, PeerHealthEntry, RetryPolicy};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::query::parse_query;
-use crate::wire::Frame;
+use crate::wire::{Frame, FrameMeta, Priority};
 
 /// Is `PLANETP_DEBUG` set? Gates the runtime's debug-level logging of
 /// swallowed protocol errors (stderr; no logging dependency).
@@ -224,6 +225,39 @@ pub enum LiveMsg {
         /// Point-in-time copy of the node's metrics registry.
         snapshot: MetricsSnapshot,
     },
+    /// Overload shed: the receiver refused to serve the request because
+    /// its admission queue was full (DESIGN.md §16). Explicitly not a
+    /// failure — the peer is alive and saying so — and never charged to
+    /// the suspect/offline health machine.
+    Busy {
+        /// How long the sender should back off before retrying.
+        retry_after_ms: u64,
+        /// The priority class the request was classified (and shed)
+        /// under.
+        class: Priority,
+    },
+}
+
+/// The admission class of a request message when its sender attached
+/// no explicit [`FrameMeta`] (legacy clients, gossip streams): searches
+/// serve a waiting human, gossip and stats keep the community coherent,
+/// replica pushes are deferrable background repair. Reply types never
+/// pass admission on their own and default to Control.
+fn priority_of(msg: &LiveMsg) -> Priority {
+    match msg {
+        LiveMsg::SearchRequest { .. }
+        | LiveMsg::ExhaustiveRequest { .. }
+        | LiveMsg::ProxySearchRequest { .. } => Priority::Interactive,
+        LiveMsg::ReplicaPush { .. } => Priority::Background,
+        _ => Priority::Control,
+    }
+}
+
+/// Clip a wall-clock budget to the wire header's u32 ms field. The
+/// all-ones value is the "no deadline" sentinel, so the cap stays one
+/// below it.
+fn budget_ms(d: Duration) -> u32 {
+    d.as_millis().min(u128::from(u32::MAX - 1)) as u32
 }
 
 /// One document in a search reply, annotated for replica-aware
@@ -313,6 +347,12 @@ pub struct LiveConfig {
     /// by default: the node neither advertises capacity nor pushes or
     /// accepts replicas, preserving the paper's one-copy behavior.
     pub replica: ReplicaConfig,
+    /// Overload protection (DESIGN.md §16): a bounded, class-aware
+    /// admission gate in front of the server workers. Under saturation
+    /// the lowest class queued is shed first — with an explicit `Busy`
+    /// reply, never a silent timeout — and frames whose propagated
+    /// deadline already passed are dropped unserved.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for LiveConfig {
@@ -329,6 +369,7 @@ impl Default for LiveConfig {
             durable: None,
             conn: ConnConfig::default(),
             replica: ReplicaConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -339,8 +380,9 @@ impl Default for LiveConfig {
 /// candidate; of those, the adaptive stopping heuristic decides how
 /// many to *attempt*. Every attempt lands in exactly one of
 /// `peers_contacted` (answered), `peers_failed` (transport or protocol
-/// error after retries), or `peers_skipped` (known-offline, inside its
-/// probe backoff — not even tried).
+/// error after retries), `peers_skipped` (known-offline, inside its
+/// probe backoff — not even tried), or `peers_shed` (overloaded: the
+/// peer answered `Busy`, or the client-side busy throttle skipped it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchCoverage {
     /// Candidate peers for the query (including this node).
@@ -351,6 +393,12 @@ pub struct SearchCoverage {
     pub peers_failed: usize,
     /// Peers skipped because they were offline and inside backoff.
     pub peers_skipped: usize,
+    /// Peers that shed the contact under overload: they replied `Busy`,
+    /// or the client-side busy throttle skipped them for this round.
+    /// Unlike `peers_failed`, these are alive — their absence is load
+    /// shedding, not death — and they are never charged to peer health.
+    #[serde(default)]
+    pub peers_shed: usize,
     /// Was this node still catching up after a crash-restart when it
     /// answered? A recovering node plans against its *persisted*
     /// directory, which may trail the community until the first
@@ -366,9 +414,10 @@ pub struct SearchCoverage {
 }
 
 impl SearchCoverage {
-    /// Peers the search tried (or deliberately skipped as dead).
+    /// Peers the search tried (or deliberately skipped as dead or
+    /// overloaded).
     pub fn peers_attempted(&self) -> usize {
-        self.peers_contacted + self.peers_failed + self.peers_skipped
+        self.peers_contacted + self.peers_failed + self.peers_skipped + self.peers_shed
     }
 
     /// Fraction of attempted peers that answered, in `[0, 1]`. A
@@ -385,7 +434,7 @@ impl SearchCoverage {
 
     /// Did every attempted peer answer?
     pub fn is_complete(&self) -> bool {
-        self.peers_failed == 0 && self.peers_skipped == 0
+        self.peers_failed == 0 && self.peers_skipped == 0 && self.peers_shed == 0
     }
 }
 
@@ -441,6 +490,17 @@ struct NodeStats {
     /// recovered hits when *other* peers replicate.
     replica_dup_collapsed: Counter,
     replica_recovered_hits: Counter,
+    /// Server-side admission gate accounting (DESIGN.md §16).
+    admission_admitted: Counter,
+    admission_shed: Counter,
+    admission_expired: Counter,
+    admission_queue_wait_ms: Histogram,
+    /// `Busy` traffic: replies this node sent (as an overloaded
+    /// server), received (as a client), and contacts the client-side
+    /// busy throttle skipped.
+    busy_sent: Counter,
+    busy_received: Counter,
+    busy_throttled_peers: Counter,
 }
 
 impl Default for NodeStats {
@@ -485,6 +545,14 @@ impl NodeStats {
             recovery_catchup_ms: registry.histogram(names::RECOVERY_CATCHUP_MS, LATENCY_MS_BUCKETS),
             replica_dup_collapsed: registry.counter(names::REPLICA_DUP_COLLAPSED),
             replica_recovered_hits: registry.counter(names::REPLICA_RECOVERED_HITS),
+            admission_admitted: registry.counter(names::ADMISSION_ADMITTED),
+            admission_shed: registry.counter(names::ADMISSION_SHED),
+            admission_expired: registry.counter(names::ADMISSION_EXPIRED),
+            admission_queue_wait_ms: registry
+                .histogram(names::ADMISSION_QUEUE_WAIT_MS, LATENCY_MS_BUCKETS),
+            busy_sent: registry.counter(names::BUSY_SENT),
+            busy_received: registry.counter(names::BUSY_RECEIVED),
+            busy_throttled_peers: registry.counter(names::BUSY_THROTTLED_PEERS),
         }
     }
 }
@@ -577,6 +645,10 @@ enum GroupSlot {
     Local,
     /// Known-offline peer inside its probe backoff; never dispatched.
     Skipped,
+    /// Peer inside its busy-throttle window (it recently shed us with
+    /// `Busy`); probabilistically skipped for this round so a recovering
+    /// server is not immediately re-saturated.
+    Shed,
     /// Index into the dispatched jobs / replies of this group.
     Remote(usize),
 }
@@ -617,6 +689,9 @@ struct Inner {
     /// thread-per-connection accept loop). Detached metrics: its queue
     /// gauge must not fight the search pool's `pool.queue_depth`.
     server_pool: WorkerPool,
+    /// Class-aware admission gate the server workers pass before
+    /// serving a frame (DESIGN.md §16).
+    admission: AdmissionGate,
     /// Replication decision engine, when `config.replica.enabled`.
     /// Lock order: never held across the store lock — callers snapshot
     /// what they need (`origins()`, a plan) and drop it first.
@@ -850,6 +925,27 @@ impl Inner {
         self.health.lock().should_skip(peer, self.now_ms())
     }
 
+    /// `peer` answered `Busy`: feed the client-side throttle. Exactly
+    /// like PR 7's stale reconnects, this is *not* a failure — the peer
+    /// proved it is alive — so the suspect/offline machine and the
+    /// retry budget are never charged.
+    fn note_peer_busy(&self, peer: PeerId, retry_after_ms: u64) {
+        self.stats.busy_received.inc();
+        self.health
+            .lock()
+            .record_busy(peer, self.now_ms(), retry_after_ms);
+    }
+
+    /// Should this round probabilistically skip `peer` because it
+    /// recently shed us with `Busy`? The salt folds in the current
+    /// clock so each round re-rolls — a throttled peer is *mostly*
+    /// skipped, not blacklisted.
+    fn busy_throttled(&self, peer: PeerId) -> bool {
+        let now = self.now_ms();
+        let salt = splitmix64((u64::from(self.id) << 40) ^ now);
+        self.health.lock().busy_throttled(peer, now, salt)
+    }
+
     // ------------------------------------------------------------------
     // Gossip transport
     // ------------------------------------------------------------------
@@ -1056,16 +1152,21 @@ impl Inner {
     /// stream is replaced transparently inside the pool and reported
     /// via [`RpcConnInfo::stale_reconnect`] — the attempt still counts
     /// as a single success. Without pooling this is the original
-    /// connect-send-read-hangup exchange.
+    /// connect-send-read-hangup exchange (legacy frames, which carry no
+    /// metadata — the server then classifies by message type).
+    ///
+    /// `meta` attaches the request's deadline budget and priority class
+    /// for the receiver's admission gate.
     fn rpc_once(
         &self,
         addr: &str,
         request: &LiveMsg,
         read_timeout: Duration,
+        meta: Option<FrameMeta>,
     ) -> io::Result<(LiveMsg, RpcConnInfo)> {
         if let Some(pool) = &self.conns {
             let batch = vec![request.clone()];
-            let (reply, info) = pool.rpc(addr, &batch, read_timeout)?;
+            let (reply, info) = pool.rpc_with_meta(addr, &batch, read_timeout, meta)?;
             self.stats.bytes_out.add(info.bytes_out);
             self.stats.frames_out.inc();
             self.stats.bytes_in.add(info.bytes_in);
@@ -1090,7 +1191,12 @@ impl Inner {
     }
 
     /// A search RPC to `peer` with the configured retry schedule;
-    /// records health on the final outcome.
+    /// records health on the final outcome. Each attempt propagates its
+    /// read timeout as the frame's deadline budget, so an overloaded
+    /// receiver can drop the request once we have stopped listening. A
+    /// `Busy` reply ends the schedule immediately — retrying into a
+    /// queue that just shed us only deepens the overload — and is
+    /// returned as a *successful* reply for the caller to classify.
     fn rpc_with_retry(
         &self,
         peer: PeerId,
@@ -1100,6 +1206,7 @@ impl Inner {
     ) -> io::Result<LiveMsg> {
         let salt = splitmix64((u64::from(self.id) << 33) ^ u64::from(peer));
         let started = Instant::now();
+        let meta = FrameMeta::with_deadline(priority_of(request), budget_ms(read_timeout));
         let mut last_err = None;
         for retry in 0..self.config.retry.max_attempts.max(1) {
             if retry > 0 {
@@ -1107,7 +1214,20 @@ impl Inner {
                 std::thread::sleep(self.config.retry.delay(retry, salt));
             }
             let attempt_started = Instant::now();
-            match self.rpc_once(addr, request, read_timeout) {
+            match self.rpc_once(addr, request, read_timeout, Some(meta)) {
+                Ok((
+                    LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    },
+                    _,
+                )) => {
+                    self.note_peer_busy(peer, retry_after_ms);
+                    return Ok(LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    });
+                }
                 Ok((reply, info)) => {
                     // Latency of the attempt that succeeded, not of
                     // the whole retry schedule (backoff sleeps would
@@ -1161,8 +1281,26 @@ impl Inner {
             if remaining.is_zero() {
                 break;
             }
+            let attempt_timeout = remaining.min(self.config.io_timeout);
+            // The remaining budget rides the frame header: a receiver
+            // that cannot serve before it passes drops the request
+            // instead of burning a worker on an abandoned reply.
+            let meta = FrameMeta::with_deadline(priority_of(request), budget_ms(attempt_timeout));
             let attempt_started = Instant::now();
-            match self.rpc_once(addr, request, remaining.min(self.config.io_timeout)) {
+            match self.rpc_once(addr, request, attempt_timeout, Some(meta)) {
+                Ok((
+                    LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    },
+                    _,
+                )) => {
+                    self.note_peer_busy(peer, retry_after_ms);
+                    return Ok(LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    });
+                }
                 Ok((reply, info)) => {
                     self.stats
                         .rpc_latency_ms
@@ -1182,6 +1320,53 @@ impl Inner {
         self.stats.rpc_failures.inc();
         self.note_contact_failed(peer, &err);
         Err(err)
+    }
+
+    /// A single-attempt RPC classified [`Priority::Background`], for
+    /// replica pushes: no retries (the next replication round re-plans
+    /// from scratch anyway, so a second attempt into an overloaded or
+    /// flaky peer is pure added load), deadline budget propagated, and
+    /// a `Busy` reply surfaced for the caller to skip quietly. Health
+    /// is still recorded on transport outcomes.
+    fn rpc_background(
+        &self,
+        peer: PeerId,
+        addr: &str,
+        request: &LiveMsg,
+        read_timeout: Duration,
+    ) -> io::Result<LiveMsg> {
+        let started = Instant::now();
+        let meta = FrameMeta::with_deadline(Priority::Background, budget_ms(read_timeout));
+        match self.rpc_once(addr, request, read_timeout, Some(meta)) {
+            Ok((
+                LiveMsg::Busy {
+                    retry_after_ms,
+                    class,
+                },
+                _,
+            )) => {
+                self.note_peer_busy(peer, retry_after_ms);
+                Ok(LiveMsg::Busy {
+                    retry_after_ms,
+                    class,
+                })
+            }
+            Ok((reply, info)) => {
+                self.stats
+                    .rpc_latency_ms
+                    .observe(started.elapsed().as_millis() as u64);
+                if info.stale_reconnect {
+                    self.health.lock().record_stale_reconnect(peer);
+                }
+                self.note_contact_ok(peer, started.elapsed());
+                Ok(reply)
+            }
+            Err(e) => {
+                self.stats.rpc_failures.inc();
+                self.note_contact_failed(peer, &e);
+                Err(e)
+            }
+        }
     }
 
     /// The shared search worker pool, spun up on first use so nodes
@@ -1325,6 +1510,11 @@ impl Inner {
                 slots.push(GroupSlot::Local);
             } else if self.in_backoff(pid) {
                 slots.push(GroupSlot::Skipped);
+            } else if self.busy_throttled(pid) {
+                // The peer shed us with `Busy` recently: mostly leave
+                // it alone this round instead of re-saturating it.
+                slots.push(GroupSlot::Shed);
+                self.stats.busy_throttled_peers.inc();
             } else {
                 let addr = addr.to_string();
                 slots.push(GroupSlot::Remote(jobs.len()));
@@ -1454,10 +1644,21 @@ impl Inner {
                         self.stats.contacts_skipped.inc();
                         continue;
                     }
+                    GroupSlot::Shed => {
+                        coverage.peers_shed += 1;
+                        continue;
+                    }
                     GroupSlot::Remote(i) => match replies[i].take() {
                         Some(Ok(LiveMsg::SearchResponse { docs })) => {
                             coverage.peers_contacted += 1;
                             docs
+                        }
+                        Some(Ok(LiveMsg::Busy { .. })) => {
+                            // The peer is alive but overloaded: shed,
+                            // not failed — health was already fed by
+                            // the RPC layer.
+                            coverage.peers_shed += 1;
+                            continue;
                         }
                         Some(Ok(other)) => {
                             self.stats.unexpected_replies.inc();
@@ -1652,6 +1853,9 @@ impl Inner {
                     coverage.peers_skipped += 1;
                     self.stats.contacts_skipped.inc();
                 }
+                GroupSlot::Shed => {
+                    coverage.peers_shed += 1;
+                }
                 GroupSlot::Remote(i) => match replies[i].take() {
                     Some(Ok(LiveMsg::ExhaustiveResponse { docs })) => {
                         coverage.peers_contacted += 1;
@@ -1665,6 +1869,9 @@ impl Inner {
                                 xml: sd.xml,
                             });
                         }
+                    }
+                    Some(Ok(LiveMsg::Busy { .. })) => {
+                        coverage.peers_shed += 1;
                     }
                     Some(Ok(other)) => {
                         self.stats.unexpected_replies.inc();
@@ -1772,16 +1979,24 @@ impl Inner {
         inner.enqueue_conn(conn);
     }
 
-    /// Read and dispatch one inbound frame — legacy or correlated; a
-    /// correlated request gets its replies written back under the same
-    /// correlation id, so the client's multiplexer can route them.
+    /// Read one inbound frame — legacy, correlated, or metadata-bearing
+    /// — classify it, pass the admission gate, and dispatch it.
     /// Returns whether the connection is still healthy enough to keep.
+    ///
+    /// Admission happens *here*, on a server worker, after the frame is
+    /// parsed: the class comes from the sender's [`FrameMeta`] when
+    /// present (the gate trusts the wire header) and from the message
+    /// types otherwise, and a propagated deadline budget starts
+    /// counting from receipt. A shed request is answered with
+    /// [`LiveMsg::Busy`] — never a silent hangup — and an expired one
+    /// is dropped without service, since its caller already gave up.
     fn serve_one_frame(&self, stream: &mut TcpStream) -> bool {
         let got = match &self.config.faults {
-            Some(f) => f.read_any_frame_sized::<Vec<LiveMsg>>(Direction::Inbound, stream),
-            None => crate::wire::read_any_frame_sized::<Vec<LiveMsg>>(stream),
+            Some(f) => f.read_any_frame_meta_sized::<Vec<LiveMsg>>(Direction::Inbound, stream),
+            None => crate::wire::read_any_frame_meta_sized::<Vec<LiveMsg>>(stream),
         };
-        let (frame, wire_bytes) = match got {
+        let receipt = Instant::now();
+        let (frame, meta, wire_bytes) = match got {
             Ok(Some(x)) => x,
             Ok(None) => return false,
             Err(e) => {
@@ -1796,6 +2011,78 @@ impl Inner {
             Frame::Correlated(id, batch) => (Some(id), batch),
             Frame::Legacy(batch) => (None, batch),
         };
+        // Classification: the sender's explicit class wins; a legacy
+        // frame takes the most urgent class of its batch (`min` —
+        // `Priority` orders Interactive first).
+        let class = match &meta {
+            Some(m) => m.priority,
+            None => batch
+                .iter()
+                .map(priority_of)
+                .min()
+                .unwrap_or(Priority::Control),
+        };
+        let deadline = meta
+            .and_then(|m| m.deadline_ms)
+            .map(|ms| receipt + Duration::from_millis(u64::from(ms)));
+        if let Some(f) = &self.config.faults {
+            if f.force_busy(Direction::Inbound) {
+                // Injected overload (chaos tests): shed unconditionally.
+                self.stats.admission_shed.inc();
+                self.stats.busy_sent.inc();
+                let retry_after_ms = self.admission.retry_after_ms();
+                self.reply_framed(
+                    stream,
+                    corr,
+                    LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    },
+                );
+                return true;
+            }
+        }
+        match self.admission.admit(class, deadline) {
+            Admission::Admitted { queue_wait } => {
+                self.stats.admission_admitted.inc();
+                self.stats
+                    .admission_queue_wait_ms
+                    .observe(queue_wait.as_millis() as u64);
+            }
+            Admission::Shed { retry_after_ms } => {
+                self.stats.admission_shed.inc();
+                self.stats.busy_sent.inc();
+                self.reply_framed(
+                    stream,
+                    corr,
+                    LiveMsg::Busy {
+                        retry_after_ms,
+                        class,
+                    },
+                );
+                return true;
+            }
+            Admission::Expired => {
+                // The sender stopped listening before we could start:
+                // any reply (even `Busy`) would be wasted bytes.
+                self.stats.admission_expired.inc();
+                return true;
+            }
+        }
+        let keep = self.dispatch_batch(stream, corr, batch);
+        self.admission.complete();
+        keep
+    }
+
+    /// Serve every message of one admitted frame. Split from
+    /// [`Self::serve_one_frame`] so its early returns cannot leak the
+    /// admission slot.
+    fn dispatch_batch(
+        &self,
+        stream: &mut TcpStream,
+        corr: Option<u64>,
+        batch: Vec<LiveMsg>,
+    ) -> bool {
         for m in batch {
             match m {
                 LiveMsg::Gossip { from, msg } => {
@@ -1891,7 +2178,8 @@ impl Inner {
                 | LiveMsg::ExhaustiveResponse { .. }
                 | LiveMsg::ProxySearchResponse { .. }
                 | LiveMsg::ReplicaAccept { .. }
-                | LiveMsg::StatsResponse { .. } => {}
+                | LiveMsg::StatsResponse { .. }
+                | LiveMsg::Busy { .. } => {}
             }
         }
         true
@@ -2041,7 +2329,10 @@ impl Inner {
                     continue;
                 }
                 replica.lock().metrics().pushes.inc();
-                match self.rpc_with_retry(target, addr, &request, self.config.io_timeout) {
+                // Background class, single attempt: repair traffic must
+                // never compete with interactive work for an overloaded
+                // receiver's queue, and the next round re-plans anyway.
+                match self.rpc_background(target, addr, &request, self.config.io_timeout) {
                     Ok(LiveMsg::ReplicaAccept { home_doc, accepted }) if home_doc == plan.doc => {
                         let mut r = replica.lock();
                         if accepted {
@@ -2049,6 +2340,11 @@ impl Inner {
                         } else {
                             r.note_declined(plan.doc, target);
                         }
+                    }
+                    Ok(LiveMsg::Busy { .. }) => {
+                        // Overloaded receiver shed the push: skip
+                        // quietly, the plan stays pending.
+                        debug_log!("planetp[{}]: replica push to {target} shed (busy)", self.id);
                     }
                     Ok(_) => {
                         self.stats.unexpected_replies.inc();
@@ -2455,6 +2751,7 @@ impl LiveNode {
             )
         });
         let server_pool = WorkerPool::new(config.conn.server_threads.max(1));
+        let admission = AdmissionGate::new(config.admission);
         // The announced payload above was compressed from this exact
         // filter, so it is the correct base for the first publish diff.
         let prev_bloom = store.bloom().clone();
@@ -2472,6 +2769,7 @@ impl LiveNode {
             pool: OnceLock::new(),
             conns,
             server_pool,
+            admission,
             replica: replica_engine.map(Mutex::new),
             durable: durable.map(Mutex::new),
             recovering: AtomicBool::new(recovering),
@@ -2688,6 +2986,9 @@ impl LiveNode {
             self.inner.config.io_timeout,
         ) {
             Ok(LiveMsg::StatsResponse { snapshot }) => Ok(snapshot),
+            Ok(LiveMsg::Busy { retry_after_ms, .. }) => Err(PlanetPError::Protocol(format!(
+                "peer {peer} is overloaded (retry in {retry_after_ms} ms)"
+            ))),
             Ok(_) => {
                 self.inner.stats.unexpected_replies.inc();
                 Err(PlanetPError::Protocol("unexpected stats reply".into()))
@@ -2816,6 +3117,9 @@ impl LiveNode {
                 }
                 Ok(LiveSearchResult { hits, coverage })
             }
+            Ok(LiveMsg::Busy { retry_after_ms, .. }) => Err(PlanetPError::Protocol(format!(
+                "proxy {proxy} is overloaded (retry in {retry_after_ms} ms)"
+            ))),
             Ok(_) => {
                 self.inner.stats.unexpected_replies.inc();
                 Err(PlanetPError::Protocol("unexpected proxy reply".into()))
@@ -2919,14 +3223,24 @@ mod tests {
         let c = SearchCoverage {
             peers_considered: 10,
             peers_contacted: 6,
-            peers_failed: 3,
+            peers_failed: 2,
             peers_skipped: 1,
+            peers_shed: 1,
             recovering: false,
             recovered_via_replicas: 0,
         };
         assert_eq!(c.peers_attempted(), 10);
         assert!((c.coverage_fraction() - 0.6).abs() < 1e-9);
         assert!(!c.is_complete());
+        // A shed peer alone keeps coverage honest: the search did not
+        // hear from everyone it wanted to.
+        let shed_only = SearchCoverage {
+            peers_considered: 2,
+            peers_contacted: 1,
+            peers_shed: 1,
+            ..SearchCoverage::default()
+        };
+        assert!(!shed_only.is_complete());
         let empty = SearchCoverage::default();
         assert_eq!(empty.coverage_fraction(), 1.0);
         assert!(empty.is_complete());

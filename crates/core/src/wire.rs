@@ -30,6 +30,25 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// keep working everywhere, new frames fail safe on old nodes.
 pub const CORRELATED_FLAG: u32 = 1 << 31;
 
+/// Bit 30 of the length prefix marks a correlated frame that also
+/// carries *request metadata* — a remaining-deadline budget and a
+/// priority class — between the correlation id and the body:
+/// `[len|CORRELATED_FLAG|META_FLAG][corr_id u64][deadline_ms u32][class u8][body]`.
+/// The same generational trick as [`CORRELATED_FLAG`] applies one bit
+/// down: bit 30 is still far above [`MAX_FRAME_BYTES`], so every
+/// pre-metadata reader — [`read_frame`] *and* [`read_any_frame_sized`],
+/// which masks only bit 31 — rejects a metadata frame loudly as
+/// oversized instead of parsing the 5 metadata bytes as body. Only
+/// [`read_any_frame_meta_sized`] masks both bits.
+pub const META_FLAG: u32 = 1 << 30;
+
+/// On-wire sentinel in the deadline field meaning "no deadline
+/// propagated" (the sender runs on plain timeouts).
+const NO_DEADLINE: u32 = u32::MAX;
+
+/// Bytes of request metadata between correlation id and body.
+const META_BYTES: usize = 5;
+
 /// Initial buffer reservation when reading a frame body. Bounds the
 /// allocation a lying length prefix can force before any body byte
 /// arrives; honest frames larger than this grow the buffer as data
@@ -248,6 +267,185 @@ pub fn read_any_frame_sized<T: DeserializeOwned>(
     Ok(Some(match corr_id {
         Some(id) => (Frame::Correlated(id, value), 4 + 8 + len),
         None => (Frame::Legacy(value), 4 + len),
+    }))
+}
+
+// ----------------------------------------------------------------------
+// Metadata frames (deadline propagation + priority classes)
+// ----------------------------------------------------------------------
+
+/// Priority class of a request, carried in the metadata header and used
+/// by the server's admission control to decide what to shed first.
+/// Order matters: shedding walks from the bottom of this enum up —
+/// Background is sacrificed before Control, and Interactive work is
+/// only refused when nothing lower is left to evict.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Priority {
+    /// A human is waiting: search and proxy-search RPCs.
+    Interactive,
+    /// Keeps the community coherent: gossip exchanges and stats scrapes.
+    Control,
+    /// Can always run later: replica pushes.
+    Background,
+}
+
+impl Priority {
+    /// Every class, in shed order (last is shed first).
+    pub const ALL: [Priority; 3] = [
+        Priority::Interactive,
+        Priority::Control,
+        Priority::Background,
+    ];
+
+    /// The single metadata byte for this class.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Control => 1,
+            Priority::Background => 2,
+        }
+    }
+
+    /// Decode a metadata class byte. `None` for bytes from a future
+    /// protocol revision — the reader fails safe instead of guessing.
+    pub fn from_wire(byte: u8) -> Option<Priority> {
+        match byte {
+            0 => Some(Priority::Interactive),
+            1 => Some(Priority::Control),
+            2 => Some(Priority::Background),
+            _ => None,
+        }
+    }
+}
+
+/// Request metadata carried by a [`META_FLAG`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Remaining deadline budget when the frame was written, in ms.
+    /// `None` means the sender propagated no deadline (plain timeout).
+    pub deadline_ms: Option<u32>,
+    /// Priority class the sender claims for this request.
+    pub priority: Priority,
+}
+
+impl FrameMeta {
+    /// Metadata claiming `priority` with no propagated deadline.
+    pub fn new(priority: Priority) -> Self {
+        Self {
+            deadline_ms: None,
+            priority,
+        }
+    }
+
+    /// Metadata claiming `priority` with `deadline_ms` of budget left.
+    pub fn with_deadline(priority: Priority, deadline_ms: u32) -> Self {
+        Self {
+            deadline_ms: Some(deadline_ms),
+            priority,
+        }
+    }
+}
+
+/// Write one value as a correlated *metadata* frame:
+/// `[len|CORRELATED_FLAG|META_FLAG][corr_id u64][deadline_ms u32][class u8][body]`,
+/// all integers big-endian. Returns the total bytes written
+/// (17 + body). Readers older than [`read_any_frame_meta_sized`] reject
+/// this frame as oversized — fail safe, never misparse.
+pub fn write_meta_frame<T: Serialize + ?Sized>(
+    w: &mut impl Write,
+    corr_id: u64,
+    meta: FrameMeta,
+    value: &T,
+) -> io::Result<usize> {
+    with_serialized(value, |body| {
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds maximum size",
+            ));
+        }
+        w.write_all(&((body.len() as u32) | CORRELATED_FLAG | META_FLAG).to_be_bytes())?;
+        w.write_all(&corr_id.to_be_bytes())?;
+        w.write_all(&meta.deadline_ms.unwrap_or(NO_DEADLINE).to_be_bytes())?;
+        w.write_all(&[meta.priority.to_wire()])?;
+        w.write_all(body)?;
+        w.flush()?;
+        Ok(4 + 8 + META_BYTES + body.len())
+    })
+}
+
+/// Read one frame of *any* generation — legacy, correlated, or
+/// correlated-with-metadata — plus the metadata if the frame carried
+/// some and the total bytes consumed. This is the server-side reader:
+/// it masks both flag bits, so it accepts every frame shape ever
+/// written, while older readers reject metadata frames as oversized.
+/// A metadata flag without the correlated flag, or an unknown class
+/// byte, is `InvalidData` — the frame is from no protocol we speak.
+pub fn read_any_frame_meta_sized<T: DeserializeOwned>(
+    r: &mut impl Read,
+) -> io::Result<Option<(Frame<T>, Option<FrameMeta>, usize)>> {
+    let mut len_buf = [0u8; 4];
+    if !fill_exact(r, &mut len_buf, "truncated length prefix")? {
+        return Ok(None);
+    }
+    let raw = u32::from_be_bytes(len_buf);
+    let correlated = raw & CORRELATED_FLAG != 0;
+    let has_meta = raw & META_FLAG != 0;
+    let len = (raw & !(CORRELATED_FLAG | META_FLAG)) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds maximum size",
+        ));
+    }
+    if has_meta && !correlated {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "metadata frame without correlation id",
+        ));
+    }
+    let corr_id = if correlated {
+        let mut id_buf = [0u8; 8];
+        if !fill_exact(r, &mut id_buf, "truncated correlation id")? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated correlation id",
+            ));
+        }
+        Some(u64::from_be_bytes(id_buf))
+    } else {
+        None
+    };
+    let meta = if has_meta {
+        let mut meta_buf = [0u8; META_BYTES];
+        if !fill_exact(r, &mut meta_buf, "truncated frame metadata")? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated frame metadata",
+            ));
+        }
+        let deadline = u32::from_be_bytes(meta_buf[..4].try_into().unwrap());
+        let priority = Priority::from_wire(meta_buf[4]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "unknown priority class byte")
+        })?;
+        Some(FrameMeta {
+            deadline_ms: if deadline == NO_DEADLINE {
+                None
+            } else {
+                Some(deadline)
+            },
+            priority,
+        })
+    } else {
+        None
+    };
+    let value = read_body(r, len)?;
+    let header = 4 + if correlated { 8 } else { 0 } + if has_meta { META_BYTES } else { 0 };
+    Ok(Some(match corr_id {
+        Some(id) => (Frame::Correlated(id, value), meta, header + len),
+        None => (Frame::Legacy(value), meta, header + len),
     }))
 }
 
@@ -550,6 +748,128 @@ mod tests {
         buf.extend_from_slice(&7u64.to_be_bytes());
         let err = read_any_frame_sized::<Sample>(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn meta_frame_roundtrips_with_deadline_and_class() {
+        let mut buf = Vec::new();
+        let x = Sample {
+            a: 4,
+            b: vec!["meta".into()],
+        };
+        let meta = FrameMeta::with_deadline(Priority::Interactive, 1_500);
+        let n = write_meta_frame(&mut buf, 0xFACE_u64, meta, &x).unwrap();
+        assert_eq!(n, buf.len());
+        let mut r = buf.as_slice();
+        let (frame, got_meta, consumed) = read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(frame, Frame::Correlated(0xFACE, x));
+        assert_eq!(got_meta, Some(meta));
+        assert_eq!(consumed, n);
+        assert!(read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn meta_frame_without_deadline_uses_sentinel() {
+        let mut buf = Vec::new();
+        let meta = FrameMeta::new(Priority::Background);
+        write_meta_frame(&mut buf, 1, meta, &Sample { a: 1, b: vec![] }).unwrap();
+        // Bytes 12..16 hold the deadline: the no-deadline sentinel.
+        assert_eq!(&buf[12..16], &u32::MAX.to_be_bytes());
+        let (_, got_meta, _) = read_any_frame_meta_sized::<Sample>(&mut buf.as_slice())
+            .unwrap()
+            .unwrap();
+        assert_eq!(got_meta, Some(meta));
+        assert_eq!(got_meta.unwrap().deadline_ms, None);
+    }
+
+    #[test]
+    fn all_generations_share_one_stream_under_the_meta_reader() {
+        let mut buf = Vec::new();
+        let old = Sample { a: 1, b: vec![] };
+        write_frame(&mut buf, &old).unwrap();
+        write_correlated_frame(&mut buf, 7, &old).unwrap();
+        write_meta_frame(&mut buf, 8, FrameMeta::new(Priority::Control), &old).unwrap();
+        let mut r = buf.as_slice();
+        let (f, m, _) = read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .unwrap();
+        assert_eq!((f.corr_id(), m), (None, None));
+        let (f, m, _) = read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .unwrap();
+        assert_eq!((f.corr_id(), m), (Some(7), None));
+        let (f, m, _) = read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.corr_id(), Some(8));
+        assert_eq!(m, Some(FrameMeta::new(Priority::Control)));
+        assert!(read_any_frame_meta_sized::<Sample>(&mut r)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn pre_meta_readers_reject_meta_frames_loudly() {
+        // Bit 30 reads as oversized on both the legacy reader and the
+        // correlated reader (which masks only bit 31): a hard
+        // InvalidData, never 5 metadata bytes misparsed as body.
+        let mut buf = Vec::new();
+        let meta = FrameMeta::with_deadline(Priority::Interactive, 9);
+        write_meta_frame(&mut buf, 3, meta, &Sample { a: 1, b: vec![] }).unwrap();
+        let err = read_frame::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_any_frame_sized::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_meta_header_is_an_error() {
+        let mut buf = Vec::new();
+        let meta = FrameMeta::with_deadline(Priority::Control, 100);
+        write_meta_frame(&mut buf, 5, meta, &Sample { a: 2, b: vec![] }).unwrap();
+        // Cut anywhere inside the correlation id or the 5 metadata
+        // bytes (after the 4-byte prefix, before the body at 17).
+        for cut in 4..17 {
+            let err = read_any_frame_meta_sized::<Sample>(&mut &buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_priority_class_byte_rejected() {
+        let mut buf = Vec::new();
+        write_meta_frame(
+            &mut buf,
+            5,
+            FrameMeta::new(Priority::Interactive),
+            &Sample { a: 2, b: vec![] },
+        )
+        .unwrap();
+        buf[16] = 0x7F; // class byte from a future protocol revision
+        let err = read_any_frame_meta_sized::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn meta_flag_without_correlation_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(2u32 | META_FLAG).to_be_bytes());
+        buf.extend_from_slice(b"{}");
+        let err = read_any_frame_meta_sized::<Sample>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn priority_wire_bytes_roundtrip_and_reject_unknown() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_wire(p.to_wire()), Some(p));
+        }
+        assert_eq!(Priority::from_wire(3), None);
+        assert_eq!(Priority::from_wire(0xFF), None);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property tests of the admission-control decision core
+//! ([`planetp::admission::AdmissionState`]) under arbitrary schedules:
+//! the shared queue bound holds, shedding is class-ordered (a queued
+//! request is only ever evicted for a strictly higher-class arrival),
+//! grants are strict-priority FIFO, and no ticket is ever lost —
+//! everything that enters leaves through exactly one of grant,
+//! eviction, or cancellation.
+
+use planetp::admission::{AdmissionState, Enqueued};
+use planetp::wire::Priority;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn any_class() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::Interactive),
+        Just(Priority::Control),
+        Just(Priority::Background),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue(Priority),
+    Grant,
+    Complete,
+    CancelNth(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any_class().prop_map(Op::Enqueue),
+        3 => Just(Op::Grant),
+        2 => Just(Op::Complete),
+        1 => (0usize..8).prop_map(Op::CancelNth),
+    ]
+}
+
+proptest! {
+    /// Drive a random schedule against a mirror of the queue and check
+    /// every structural invariant after every step.
+    #[test]
+    fn admission_invariants_hold_under_arbitrary_schedules(
+        max_active in 1usize..4,
+        capacity in 1usize..8,
+        ops in prop::collection::vec(op(), 1..200),
+    ) {
+        let mut s = AdmissionState::new(max_active, capacity, true);
+        // Mirror of the queued tickets in arrival order.
+        let mut queued: Vec<(u64, Priority)> = Vec::new();
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            match op {
+                Op::Enqueue(class) => {
+                    let before: Vec<u64> = queued.iter().map(|(t, _)| *t).collect();
+                    let (res, evicted) = s.enqueue(class, now);
+                    if let Some(v) = evicted {
+                        // Eviction only happens on a full queue, and
+                        // only of work strictly below the arrival.
+                        prop_assert_eq!(before.len(), capacity);
+                        let vc = queued
+                            .iter()
+                            .find(|(t, _)| *t == v)
+                            .map(|(_, c)| *c)
+                            .expect("evicted ticket was queued");
+                        prop_assert!(
+                            vc > class,
+                            "evicted {:?} to admit {:?}",
+                            vc,
+                            class
+                        );
+                        queued.retain(|(t, _)| *t != v);
+                    }
+                    match res {
+                        Enqueued::Queued(t) => {
+                            prop_assert!(!before.contains(&t), "ticket ids are fresh");
+                            queued.push((t, class));
+                        }
+                        Enqueued::Shed => {
+                            // Shed-on-arrival only when the queue is
+                            // full and holds nothing lower-class than
+                            // the arrival (Interactive never evicts
+                            // Interactive).
+                            prop_assert_eq!(queued.len(), capacity);
+                            prop_assert!(evicted.is_none());
+                            prop_assert!(queued.iter().all(|(_, c)| *c <= class));
+                        }
+                    }
+                }
+                Op::Grant => match s.grant_next(now) {
+                    Some((t, _wait, class)) => {
+                        // Strict priority: the oldest ticket of the
+                        // most urgent non-empty class.
+                        let best = queued.iter().map(|(_, c)| *c).min().unwrap();
+                        prop_assert_eq!(class, best);
+                        let expect = queued
+                            .iter()
+                            .find(|(_, c)| *c == best)
+                            .map(|(t, _)| *t)
+                            .unwrap();
+                        prop_assert_eq!(t, expect, "FIFO within the class");
+                        queued.retain(|(tt, _)| *tt != t);
+                    }
+                    None => {
+                        prop_assert!(
+                            queued.is_empty() || s.active() == max_active,
+                            "a grant is only refused when blocked or empty"
+                        );
+                    }
+                },
+                Op::Complete => {
+                    if s.active() > 0 {
+                        s.complete();
+                    }
+                }
+                Op::CancelNth(n) => {
+                    if !queued.is_empty() {
+                        let (t, _) = queued[n % queued.len()];
+                        prop_assert!(s.cancel(t));
+                        queued.retain(|(tt, _)| *tt != t);
+                    }
+                }
+            }
+            prop_assert!(s.queued() <= capacity, "shared bound holds");
+            prop_assert_eq!(s.queued(), queued.len(), "mirror agrees");
+            prop_assert!(s.active() <= max_active, "service bound holds");
+        }
+    }
+
+    /// `--no-shedding` mode (the pre-admission collapse baseline the
+    /// overload bench compares against): nothing is ever refused or
+    /// evicted, no matter how far past the bound the queue grows.
+    #[test]
+    fn shedding_off_never_refuses_work(
+        classes in prop::collection::vec(any_class(), 1..64),
+    ) {
+        let mut s = AdmissionState::new(1, 2, false);
+        for (i, class) in classes.iter().enumerate() {
+            let (res, evicted) = s.enqueue(*class, i as u64);
+            prop_assert!(matches!(res, Enqueued::Queued(_)));
+            prop_assert!(evicted.is_none());
+        }
+        prop_assert_eq!(s.queued(), classes.len());
+    }
+
+    /// No lost replies: after an arbitrary arrival burst, draining the
+    /// gate grants exactly the tickets that were neither shed on
+    /// arrival nor evicted — each of which was answered with `Busy` at
+    /// the time — and nothing remains queued.
+    #[test]
+    fn draining_grants_every_surviving_ticket(
+        classes in prop::collection::vec(any_class(), 1..32),
+        capacity in 1usize..8,
+    ) {
+        let mut s = AdmissionState::new(1, capacity, true);
+        let mut alive: HashSet<u64> = HashSet::new();
+        for (i, class) in classes.iter().enumerate() {
+            let (res, evicted) = s.enqueue(*class, i as u64);
+            if let Some(v) = evicted {
+                prop_assert!(alive.remove(&v), "evicted ticket was alive");
+            }
+            if let Enqueued::Queued(t) = res {
+                alive.insert(t);
+            }
+        }
+        let mut drained = HashSet::new();
+        while let Some((t, _, _)) = s.grant_next(1_000) {
+            s.complete();
+            drained.insert(t);
+        }
+        prop_assert_eq!(drained, alive, "granted exactly the survivors");
+        prop_assert_eq!(s.queued(), 0);
+    }
+}

@@ -4,7 +4,8 @@
 //! replies — and the `GetStats` messages riding that framing intact.
 
 use planetp::wire::{
-    read_any_frame_sized, read_frame, read_frame_sized, write_correlated_frame, write_frame, Frame,
+    read_any_frame_meta_sized, read_any_frame_sized, read_frame, read_frame_sized,
+    write_correlated_frame, write_frame, write_meta_frame, Frame, FrameMeta, Priority,
     MAX_FRAME_BYTES,
 };
 use planetp::{ConnConfig, ConnMetrics, ConnPool, LiveMsg, MetricsSnapshot, Registry};
@@ -191,6 +192,86 @@ fn trickled_correlated_frames_on_a_reused_stream() {
         read_any_frame_sized::<Vec<u32>>(&mut r).unwrap().is_none(),
         "clean EOF after both frames"
     );
+}
+
+#[test]
+fn meta_frames_fail_safe_on_every_older_reader() {
+    // A deadline+priority frame from a new client must be *loudly*
+    // rejected by both generations of older readers — never silently
+    // parsed into garbage, never a clean EOF a server would shrug off.
+    let mut wire = Vec::new();
+    write_meta_frame(
+        &mut wire,
+        41,
+        FrameMeta::with_deadline(Priority::Interactive, 2_500),
+        &vec![1u32, 2],
+    )
+    .unwrap();
+    // Generation 0: the legacy reader (no flag masking at all).
+    let err = read_frame_sized::<Vec<u32>>(&mut wire.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "legacy reader");
+    // Generation 1: the correlated reader (masks only bit 31).
+    let err = read_any_frame_sized::<Vec<u32>>(&mut wire.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "correlated reader");
+}
+
+#[test]
+fn meta_reader_accepts_every_older_writer() {
+    // The new reader on a stream written by all three generations in a
+    // row: legacy, correlated, and meta frames interleaved.
+    let mut wire = Vec::new();
+    let w1 = write_frame(&mut wire, &vec![1u32]).unwrap();
+    let w2 = write_correlated_frame(&mut wire, 9, &vec![2u32]).unwrap();
+    let w3 = write_meta_frame(
+        &mut wire,
+        10,
+        FrameMeta::new(Priority::Background),
+        &vec![3u32],
+    )
+    .unwrap();
+    let mut r = wire.as_slice();
+    let (frame, meta, n) = read_any_frame_meta_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("legacy frame");
+    assert_eq!(frame, Frame::Legacy(vec![1]));
+    assert!(meta.is_none());
+    assert_eq!(n, w1);
+    let (frame, meta, n) = read_any_frame_meta_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("correlated frame");
+    assert_eq!(frame, Frame::Correlated(9, vec![2]));
+    assert!(meta.is_none());
+    assert_eq!(n, w2);
+    let (frame, meta, n) = read_any_frame_meta_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("meta frame");
+    assert_eq!(frame, Frame::Correlated(10, vec![3]));
+    let meta = meta.expect("meta survives");
+    assert_eq!(meta.priority, Priority::Background);
+    assert_eq!(meta.deadline_ms, None);
+    assert_eq!(n, w3);
+    assert!(
+        read_any_frame_meta_sized::<Vec<u32>>(&mut r)
+            .unwrap()
+            .is_none(),
+        "clean EOF"
+    );
+}
+
+#[test]
+fn trickled_meta_frames_deliver_deadline_and_class_intact() {
+    // One byte at a time with an Interrupted before every byte — the
+    // 17-byte extended header must reassemble exactly.
+    let mut wire = Vec::new();
+    let meta_in = FrameMeta::with_deadline(Priority::Control, 777);
+    let written = write_meta_frame(&mut wire, 3, meta_in, &vec![5u32, 6]).unwrap();
+    let mut r = TricklingReader::new(&wire);
+    let (frame, meta, consumed) = read_any_frame_meta_sized::<Vec<u32>>(&mut r)
+        .unwrap()
+        .expect("one frame");
+    assert_eq!(frame, Frame::Correlated(3, vec![5, 6]));
+    assert_eq!(meta, Some(meta_in));
+    assert_eq!(consumed, written);
 }
 
 /// A pool over a scripted server for the multiplexing tests; returns

@@ -192,3 +192,24 @@ pub const REPLICA_DUP_COLLAPSED: &str = "replica.dup_hits_collapsed";
 pub const REPLICA_RECOVERED_HITS: &str = "replica.recovered_hits";
 /// Gauge: replicas currently hosted on behalf of other peers.
 pub const REPLICA_HOSTED: &str = "replica.hosted";
+
+/// Admission control: requests granted a service slot.
+pub const ADMISSION_ADMITTED: &str = "admission.admitted";
+/// Admission control: requests shed with a `Busy` reply (overflow
+/// eviction, full queue, or the forced-Busy fault rule).
+pub const ADMISSION_SHED: &str = "admission.shed";
+/// Admission control: requests dropped because their propagated
+/// deadline passed before service (the caller had already timed out).
+pub const ADMISSION_EXPIRED: &str = "admission.expired";
+/// Histogram: time a request spent in the admission queue before its
+/// grant (ms).
+pub const ADMISSION_QUEUE_WAIT_MS: &str = "admission.queue_wait_ms";
+
+/// `Busy` replies this node sent while shedding load.
+pub const BUSY_SENT: &str = "busy.sent";
+/// `Busy` replies this node received from overloaded peers. Never
+/// charged to peer health — the peer answered, it is merely shedding.
+pub const BUSY_RECEIVED: &str = "busy.received";
+/// Group-dispatch contacts skipped by the client-side busy throttle
+/// (repeated `Busy` from a peer inside its advertised backoff window).
+pub const BUSY_THROTTLED_PEERS: &str = "busy.throttled_peers";

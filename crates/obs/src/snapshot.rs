@@ -251,6 +251,35 @@ impl MetricsSnapshot {
                 self.counter(crate::names::CONN_REAPED)
             );
         }
+        // Derived summary: overload protection, if the admission gate
+        // handled any traffic or Busy replies moved either way.
+        let admitted = self.counter(crate::names::ADMISSION_ADMITTED);
+        let shed = self.counter(crate::names::ADMISSION_SHED);
+        let expired = self.counter(crate::names::ADMISSION_EXPIRED);
+        if admitted + shed + expired > 0 {
+            let total = admitted + shed + expired;
+            let shed_pct = 100.0 * shed as f64 / total as f64;
+            let wait = self
+                .histogram(crate::names::ADMISSION_QUEUE_WAIT_MS)
+                .map(HistogramSnapshot::mean)
+                .unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "admission: shed {shed_pct:.1}% of {total} requests \
+                 ({admitted} admitted, {expired} expired, mean queue wait \
+                 {wait:.1} ms)"
+            );
+        }
+        let busy_sent = self.counter(crate::names::BUSY_SENT);
+        let busy_received = self.counter(crate::names::BUSY_RECEIVED);
+        let throttled = self.counter(crate::names::BUSY_THROTTLED_PEERS);
+        if busy_sent + busy_received + throttled > 0 {
+            let _ = writeln!(
+                out,
+                "busy: sent {busy_sent}, received {busy_received}, \
+                 {throttled} contacts skipped by the busy throttle"
+            );
+        }
         // Derived summary: replication activity, if the node pushed,
         // hosted, or recovered anything through replicas.
         let pushes = self.counter(crate::names::REPLICA_PUSHES);
@@ -399,6 +428,33 @@ mod tests {
         // Quiet nodes stay quiet.
         let quiet = Registry::new().snapshot().render_human();
         assert!(!quiet.contains("replication:"), "{quiet}");
+    }
+
+    #[test]
+    fn render_human_summarizes_admission_shedding() {
+        let reg = Registry::new();
+        reg.counter(crate::names::ADMISSION_ADMITTED).add(75);
+        reg.counter(crate::names::ADMISSION_SHED).add(20);
+        reg.counter(crate::names::ADMISSION_EXPIRED).add(5);
+        reg.histogram(crate::names::ADMISSION_QUEUE_WAIT_MS, &[5, 50])
+            .observe(4);
+        reg.counter(crate::names::BUSY_SENT).add(20);
+        reg.counter(crate::names::BUSY_RECEIVED).add(3);
+        reg.counter(crate::names::BUSY_THROTTLED_PEERS).add(2);
+        let text = reg.snapshot().render_human();
+        assert!(
+            text.contains("admission: shed 20.0% of 100 requests"),
+            "{text}"
+        );
+        assert!(text.contains("75 admitted, 5 expired"), "{text}");
+        assert!(
+            text.contains("busy: sent 20, received 3, 2 contacts skipped"),
+            "{text}"
+        );
+        // Quiet nodes stay quiet.
+        let quiet = Registry::new().snapshot().render_human();
+        assert!(!quiet.contains("admission:"), "{quiet}");
+        assert!(!quiet.contains("busy:"), "{quiet}");
     }
 
     #[test]
